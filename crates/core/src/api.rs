@@ -1,0 +1,71 @@
+//! High-level entry points: rewrite a query, or rewrite-and-execute against
+//! a [`Database`].
+
+use conquer_engine::{Database, Rows};
+use conquer_sql::ast::Query;
+use conquer_sql::parse_query;
+
+use crate::analyze::{analyze, TreeQuery};
+use crate::annotations::is_annotated;
+use crate::constraints::ConstraintSet;
+use crate::error::{Result, RewriteError};
+use crate::rewrite_agg::rewrite_agg;
+use crate::rewrite_join::{rewrite_join, RewriteOptions};
+
+/// Rewrite a tree query into a SQL query computing its consistent answers
+/// (queries without aggregation, Theorem 1) or range-consistent answers
+/// (queries with grouping/aggregation, Theorem 2).
+pub fn rewrite(query: &Query, sigma: &ConstraintSet, opts: &RewriteOptions) -> Result<Query> {
+    let tq = analyze(query, sigma)?;
+    rewrite_tree(&tq, opts)
+}
+
+/// Rewrite an already-analysed tree query.
+pub fn rewrite_tree(tq: &TreeQuery, opts: &RewriteOptions) -> Result<Query> {
+    if tq.has_aggregates() {
+        rewrite_agg(tq, opts)
+    } else {
+        rewrite_join(tq, opts)
+    }
+}
+
+/// Rewrite SQL text to SQL text — the form in which ConQuer hands queries
+/// to a host database system.
+pub fn rewrite_sql(sql: &str, sigma: &ConstraintSet, opts: &RewriteOptions) -> Result<String> {
+    let query = parse_query(sql)?;
+    Ok(rewrite(&query, sigma, opts)?.to_string())
+}
+
+/// Compute the consistent (or range-consistent) answers of `sql` on `db`
+/// under the key constraints `sigma`, using the plain rewriting.
+pub fn consistent_answers(db: &Database, sql: &str, sigma: &ConstraintSet) -> Result<Rows> {
+    let query = parse_query(sql)?;
+    let rewritten = rewrite(&query, sigma, &RewriteOptions::default())?;
+    Ok(db.execute_query(&rewritten)?)
+}
+
+/// Compute the consistent answers using the annotation-aware rewriting of
+/// Section 5. The database must have been annotated first
+/// ([`crate::annotations::annotate_database`]).
+pub fn consistent_answers_annotated(
+    db: &Database,
+    sql: &str,
+    sigma: &ConstraintSet,
+) -> Result<Rows> {
+    if !is_annotated(db, sigma) {
+        return Err(RewriteError::InvalidConstraint(
+            "database is not annotated; call annotate_database first".into(),
+        ));
+    }
+    let query = parse_query(sql)?;
+    let opts = RewriteOptions { annotated: true, ..RewriteOptions::default() };
+    let rewritten = rewrite(&query, sigma, &opts)?;
+    Ok(db.execute_query(&rewritten)?)
+}
+
+/// The *possible* answers of a monotone query are the answers of the
+/// original query on the inconsistent database (Section 2); provided for
+/// symmetry and for the difference-based inconsistency reports of Section 1.
+pub fn possible_answers(db: &Database, sql: &str) -> Result<Rows> {
+    Ok(db.query(sql)?)
+}

@@ -1,0 +1,146 @@
+//! Key *query constraints* (Section 2 of the paper).
+//!
+//! These constraints do not restrict valid database instances; they
+//! constrain the set of *consistent answers* computed for a query. A
+//! constraint set holds at most one key constraint per relation.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::error::{Result, RewriteError};
+
+/// A key constraint: `key` is the (composite) key of `relation`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyConstraint {
+    pub relation: String,
+    pub key: Vec<String>,
+}
+
+impl fmt::Display for KeyConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "key({}) = ({})", self.relation, self.key.join(", "))
+    }
+}
+
+/// A set of key query constraints, at most one per relation.
+///
+/// Relation and attribute names are stored lower-cased to match the SQL
+/// dialect's case-insensitive identifiers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConstraintSet {
+    keys: BTreeMap<String, Vec<String>>,
+}
+
+impl ConstraintSet {
+    pub fn new() -> ConstraintSet {
+        ConstraintSet::default()
+    }
+
+    /// Builder-style: add a key constraint for a relation.
+    ///
+    /// # Panics
+    /// Panics when the relation already has a key or the key is empty;
+    /// use [`ConstraintSet::add_key`] for fallible insertion.
+    pub fn with_key<S: Into<String>>(
+        mut self,
+        relation: impl Into<String>,
+        key: impl IntoIterator<Item = S>,
+    ) -> ConstraintSet {
+        self.add_key(relation, key).expect("invalid key constraint");
+        self
+    }
+
+    /// Add a key constraint; errors on duplicates and empty keys.
+    pub fn add_key<S: Into<String>>(
+        &mut self,
+        relation: impl Into<String>,
+        key: impl IntoIterator<Item = S>,
+    ) -> Result<()> {
+        let relation = relation.into().to_ascii_lowercase();
+        let key: Vec<String> =
+            key.into_iter().map(|s| s.into().to_ascii_lowercase()).collect();
+        if key.is_empty() {
+            return Err(RewriteError::InvalidConstraint(format!(
+                "key for `{relation}` must have at least one attribute"
+            )));
+        }
+        let mut dedup = key.clone();
+        dedup.sort();
+        dedup.dedup();
+        if dedup.len() != key.len() {
+            return Err(RewriteError::InvalidConstraint(format!(
+                "key for `{relation}` has duplicate attributes"
+            )));
+        }
+        if self.keys.contains_key(&relation) {
+            return Err(RewriteError::InvalidConstraint(format!(
+                "relation `{relation}` already has a key constraint (at most one per relation)"
+            )));
+        }
+        self.keys.insert(relation, key);
+        Ok(())
+    }
+
+    /// The key of a relation, if constrained.
+    pub fn key_of(&self, relation: &str) -> Option<&[String]> {
+        self.keys.get(&relation.to_ascii_lowercase()).map(Vec::as_slice)
+    }
+
+    /// `true` when `attr` is one of `relation`'s key attributes.
+    pub fn is_key_attr(&self, relation: &str, attr: &str) -> bool {
+        self.key_of(relation)
+            .is_some_and(|k| k.iter().any(|a| a == &attr.to_ascii_lowercase()))
+    }
+
+    /// Iterate over all constraints.
+    pub fn iter(&self) -> impl Iterator<Item = KeyConstraint> + '_ {
+        self.keys
+            .iter()
+            .map(|(r, k)| KeyConstraint { relation: r.clone(), key: k.clone() })
+    }
+
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_lookup() {
+        let sigma = ConstraintSet::new()
+            .with_key("customer", ["custkey"])
+            .with_key("LINEITEM", ["L_ORDERKEY", "l_linenumber"]);
+        assert_eq!(sigma.key_of("CUSTOMER"), Some(&["custkey".to_string()][..]));
+        assert!(sigma.is_key_attr("lineitem", "l_orderkey"));
+        assert!(!sigma.is_key_attr("lineitem", "l_quantity"));
+        assert_eq!(sigma.key_of("orders"), None);
+        assert_eq!(sigma.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_relation_rejected() {
+        let mut sigma = ConstraintSet::new().with_key("t", ["a"]);
+        assert!(sigma.add_key("t", ["b"]).is_err());
+    }
+
+    #[test]
+    fn empty_or_duplicate_key_rejected() {
+        let mut sigma = ConstraintSet::new();
+        assert!(sigma.add_key("t", Vec::<String>::new()).is_err());
+        assert!(sigma.add_key("t", ["a", "a"]).is_err());
+    }
+
+    #[test]
+    fn display_format() {
+        let sigma = ConstraintSet::new().with_key("orders", ["orderkey"]);
+        let c: Vec<KeyConstraint> = sigma.iter().collect();
+        assert_eq!(c[0].to_string(), "key(orders) = (orderkey)");
+    }
+}

@@ -1,0 +1,50 @@
+//! Error type for the rewriting layer.
+
+use std::fmt;
+
+/// Result alias for conquer-core.
+pub type Result<T> = std::result::Result<T, RewriteError>;
+
+/// An error raised while analysing or rewriting a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RewriteError {
+    /// The query is outside the tree-query class of Definition 4.
+    NotATreeQuery(String),
+    /// A feature of the query is outside ConQuer's supported fragment.
+    Unsupported(String),
+    /// A relation in the query has no key constraint in Σ.
+    MissingKey(String),
+    /// A malformed constraint set.
+    InvalidConstraint(String),
+    /// Failure in the underlying engine (annotation, execution).
+    Engine(String),
+}
+
+impl fmt::Display for RewriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RewriteError::NotATreeQuery(msg) => write!(f, "not a tree query: {msg}"),
+            RewriteError::Unsupported(msg) => write!(f, "unsupported query feature: {msg}"),
+            RewriteError::MissingKey(rel) => write!(
+                f,
+                "relation `{rel}` has no key constraint in the query constraint set"
+            ),
+            RewriteError::InvalidConstraint(msg) => write!(f, "invalid constraint: {msg}"),
+            RewriteError::Engine(msg) => write!(f, "engine error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RewriteError {}
+
+impl From<conquer_engine::EngineError> for RewriteError {
+    fn from(e: conquer_engine::EngineError) -> Self {
+        RewriteError::Engine(e.to_string())
+    }
+}
+
+impl From<conquer_sql::ParseError> for RewriteError {
+    fn from(e: conquer_sql::ParseError) -> Self {
+        RewriteError::Engine(format!("parse error: {e}"))
+    }
+}

@@ -1,0 +1,582 @@
+//! Reproductions of the worked examples of the paper (Examples 1–9 and the
+//! instances of Figures 1, 2 and 7), running the generated rewritings on
+//! the engine, plus structural checks on the generated SQL and negative
+//! tests for the tree-query classification.
+
+use conquer_core::{
+    analyze, annotate_database, consistent_answers, consistent_answers_annotated, rewrite_sql,
+    ConstraintSet, RewriteError, RewriteOptions,
+};
+use conquer_engine::{Database, Value};
+use conquer_sql::parse_query;
+
+fn figure1_db() -> Database {
+    let db = Database::new();
+    db.run_script(
+        "create table customer (custkey text, acctbal float);
+         insert into customer values
+           ('c1', 2000), ('c1', 100), ('c2', 2500), ('c3', 2200), ('c3', 2500);",
+    )
+    .unwrap();
+    db
+}
+
+fn figure2_db() -> Database {
+    let db = Database::new();
+    db.run_script(
+        "create table orders (orderkey text, clerk text, custfk text);
+         insert into orders values
+           ('o1', 'ali', 'c1'), ('o2', 'jo', 'c2'), ('o2', 'ali', 'c3'),
+           ('o3', 'ali', 'c4'), ('o3', 'pat', 'c2'), ('o4', 'ali', 'c2'),
+           ('o4', 'ali', 'c3'), ('o5', 'ali', 'c2');
+         create table customer (custkey text, acctbal float);
+         insert into customer values
+           ('c1', 2000), ('c1', 100), ('c2', 2500), ('c3', 2200), ('c3', 2500);",
+    )
+    .unwrap();
+    db
+}
+
+fn figure7_db() -> Database {
+    let db = Database::new();
+    db.run_script(
+        "create table customer (custkey text, nationkey text, mktsegment text, acctbal float);
+         insert into customer values
+           ('c1', 'n1', 'building', 1000),
+           ('c1', 'n1', 'building', 2000),
+           ('c2', 'n1', 'building', 500),
+           ('c2', 'n1', 'banking', 600),
+           ('c3', 'n2', 'banking', 100);",
+    )
+    .unwrap();
+    db
+}
+
+fn figure2_sigma() -> ConstraintSet {
+    ConstraintSet::new()
+        .with_key("orders", ["orderkey"])
+        .with_key("customer", ["custkey"])
+}
+
+fn strings(rows: &conquer_engine::Rows, col: usize) -> Vec<String> {
+    let mut v: Vec<String> = rows.rows.iter().map(|r| r[col].to_string()).collect();
+    v.sort();
+    v
+}
+
+// --- Example 1 / Figure 1 -------------------------------------------------
+
+#[test]
+fn example1_consistent_answers() {
+    let db = figure1_db();
+    let sigma = ConstraintSet::new().with_key("customer", ["custkey"]);
+    let rows =
+        consistent_answers(&db, "select custkey from customer where acctbal > 1000", &sigma)
+            .unwrap();
+    assert_eq!(strings(&rows, 0), vec!["c2", "c3"]);
+}
+
+#[test]
+fn example1_difference_detects_inconsistency() {
+    // Section 1: the difference between the original and rewritten query
+    // flags c1 as potentially inconsistent.
+    let db = figure1_db();
+    let sigma = ConstraintSet::new().with_key("customer", ["custkey"]);
+    let q = "select custkey from customer where acctbal > 1000";
+    let possible = db.query(q).unwrap();
+    let consistent = consistent_answers(&db, q, &sigma).unwrap();
+    let mut possible_set = strings(&possible, 0);
+    possible_set.dedup();
+    let consistent_set = strings(&consistent, 0);
+    let suspicious: Vec<String> = possible_set
+        .into_iter()
+        .filter(|v| !consistent_set.contains(v))
+        .collect();
+    assert_eq!(suspicious, vec!["c1"]);
+}
+
+// --- Example 3 / Figures 2 and 3 -------------------------------------------
+
+#[test]
+fn example3_q2_consistent_orders() {
+    let db = figure2_db();
+    let rows = consistent_answers(
+        &db,
+        "select o.orderkey from customer c, orders o
+         where c.acctbal > 1000 and o.custfk = c.custkey",
+        &figure2_sigma(),
+    )
+    .unwrap();
+    assert_eq!(strings(&rows, 0), vec!["o2", "o4", "o5"]);
+}
+
+#[test]
+fn example3_rewriting_structure_matches_figure3() {
+    let sql = rewrite_sql(
+        "select o.orderkey from customer c, orders o
+         where c.acctbal > 1000 and o.custfk = c.custkey",
+        &figure2_sigma(),
+        &RewriteOptions { paper_style_negation: true, ..Default::default() },
+    )
+    .unwrap();
+    // Two CTEs, a left outer join, the IS NULL check, the negated selection,
+    // and NOT EXISTS — and, since only the root key is projected, no
+    // multiplicity (count(*) > 1) branch.
+    assert!(sql.contains("WITH conq_candidates AS (SELECT DISTINCT"), "{sql}");
+    assert!(sql.contains("conq_filter AS ("), "{sql}");
+    assert!(sql.contains("LEFT OUTER JOIN customer c ON o.custfk = c.custkey"), "{sql}");
+    assert!(sql.contains("c.custkey IS NULL"), "{sql}");
+    assert!(sql.contains("c.acctbal <= 1000"), "{sql}");
+    assert!(sql.contains("NOT EXISTS"), "{sql}");
+    assert!(!sql.contains("count(*) > 1"), "{sql}");
+    // The generated SQL re-parses.
+    parse_query(&sql).unwrap();
+}
+
+// --- Example 4 / Figure 4 ---------------------------------------------------
+
+#[test]
+fn example4_q3_consistent_clerks_with_multiplicity() {
+    let db = figure2_db();
+    let rows = consistent_answers(
+        &db,
+        "select o.clerk from customer c, orders o
+         where c.acctbal > 1000 and o.custfk = c.custkey",
+        &figure2_sigma(),
+    )
+    .unwrap();
+    // {ali, ali}: ali is consistent with multiplicity two (o4 and o5).
+    assert_eq!(strings(&rows, 0), vec!["ali", "ali"]);
+}
+
+#[test]
+fn example4_rewriting_has_multiplicity_branch() {
+    let sql = rewrite_sql(
+        "select o.clerk from customer c, orders o
+         where c.acctbal > 1000 and o.custfk = c.custkey",
+        &figure2_sigma(),
+        &RewriteOptions::default(),
+    )
+    .unwrap();
+    assert!(sql.contains("UNION ALL"), "{sql}");
+    assert!(sql.contains("HAVING count(*) > 1"), "{sql}");
+    parse_query(&sql).unwrap();
+}
+
+// --- Example 5 / Figure 7: global aggregation --------------------------------
+
+#[test]
+fn example5_q4_range_of_global_sum() {
+    let db = figure7_db();
+    let sigma = ConstraintSet::new().with_key("customer", ["custkey"]);
+    let rows = consistent_answers(
+        &db,
+        "select sum(acctbal) as sumbal from customer",
+        &sigma,
+    )
+    .unwrap();
+    // Repairs sum to 1600, 1700, 2600, 2700: the range is [1600, 2700].
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows.rows[0][0], Value::Float(1600.0));
+    assert_eq!(rows.rows[0][1], Value::Float(2700.0));
+}
+
+// --- Example 6 / 7: grouped aggregation --------------------------------------
+
+#[test]
+fn example6_q5_range_consistent_answers() {
+    let db = figure7_db();
+    let sigma = ConstraintSet::new().with_key("customer", ["custkey"]);
+    let rows = consistent_answers(
+        &db,
+        "select nationkey, sum(acctbal) as bal from customer
+         where mktsegment = 'building' group by nationkey",
+        &sigma,
+    )
+    .unwrap();
+    // {(n1, 1000, 2500)}: n1 is the only consistent group; c1 contributes
+    // [1000, 2000] and filtered c2 contributes [0, 500].
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows.rows[0][0], Value::str("n1"));
+    assert_eq!(rows.rows[0][1], Value::Float(1000.0));
+    assert_eq!(rows.rows[0][2], Value::Float(2500.0));
+}
+
+// --- Example 8: negative values ----------------------------------------------
+
+#[test]
+fn example8_negative_values() {
+    let db = Database::new();
+    db.run_script(
+        "create table customer (custkey text, nationkey text, mktsegment text, acctbal float);
+         insert into customer values
+           ('c1', 'n1', 'building', 1000),
+           ('c1', 'n1', 'building', 2000),
+           ('c2', 'n1', 'building', -500),
+           ('c2', 'n1', 'banking', 600),
+           ('c3', 'n2', 'banking', 100);",
+    )
+    .unwrap();
+    let sigma = ConstraintSet::new().with_key("customer", ["custkey"]);
+    let rows = consistent_answers(
+        &db,
+        "select nationkey, sum(acctbal) as bal from customer
+         where mktsegment = 'building' group by nationkey",
+        &sigma,
+    )
+    .unwrap();
+    // The paper: range-consistent answer {(n1, 500, 2000)} — c2's negative
+    // balance lowers the minimum instead of raising the maximum.
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows.rows[0][1], Value::Float(500.0));
+    assert_eq!(rows.rows[0][2], Value::Float(2000.0));
+}
+
+// --- Example 9 / Figure 9: annotations ----------------------------------------
+
+#[test]
+fn example9_annotated_rewriting_agrees_with_plain() {
+    let db = figure2_db();
+    let sigma = figure2_sigma();
+    let q = "select o.orderkey from customer c, orders o
+             where c.acctbal > 1000 and o.custfk = c.custkey";
+    let plain = consistent_answers(&db, q, &sigma).unwrap();
+    annotate_database(&db, &sigma).unwrap();
+    let annotated = consistent_answers_annotated(&db, q, &sigma).unwrap();
+    assert_eq!(strings(&plain, 0), strings(&annotated, 0));
+    assert_eq!(strings(&annotated, 0), vec!["o2", "o4", "o5"]);
+}
+
+#[test]
+fn example9_annotated_rewriting_structure() {
+    let sql = rewrite_sql(
+        "select o.orderkey from customer c, orders o
+         where c.acctbal > 1000 and o.custfk = c.custkey",
+        &figure2_sigma(),
+        &RewriteOptions { annotated: true, ..Default::default() },
+    )
+    .unwrap();
+    // The conscand counter and the filter guard from Section 5.
+    assert!(sql.contains("sum(CASE WHEN c.cons = 'n' OR o.cons = 'n' THEN 1 ELSE 0 END)"), "{sql}");
+    assert!(sql.contains("conq_cand.conq_conscand > 0"), "{sql}");
+    assert!(sql.contains("GROUP BY o.orderkey"), "{sql}");
+    parse_query(&sql).unwrap();
+}
+
+#[test]
+fn annotated_requires_annotations() {
+    let db = figure2_db();
+    let sigma = figure2_sigma();
+    let err = consistent_answers_annotated(&db, "select orderkey from orders", &sigma)
+        .unwrap_err();
+    assert!(err.to_string().contains("not annotated"));
+}
+
+#[test]
+fn annotated_agg_rewriting_agrees_with_plain() {
+    let db = figure7_db();
+    let sigma = ConstraintSet::new().with_key("customer", ["custkey"]);
+    let q = "select nationkey, sum(acctbal) as bal from customer
+             where mktsegment = 'building' group by nationkey";
+    let plain = consistent_answers(&db, q, &sigma).unwrap();
+    annotate_database(&db, &sigma).unwrap();
+    let annotated = consistent_answers_annotated(&db, q, &sigma).unwrap();
+    assert_eq!(plain.rows, annotated.rows);
+}
+
+// --- multiplicity / bag semantics ---------------------------------------------
+
+#[test]
+fn bag_semantics_minimum_multiplicity() {
+    // A value supported by two never-filtered keys appears twice.
+    let db = Database::new();
+    db.run_script(
+        "create table t (k integer, v text);
+         insert into t values (1, 'x'), (2, 'x'), (3, 'x'), (3, 'y');",
+    )
+    .unwrap();
+    let sigma = ConstraintSet::new().with_key("t", ["k"]);
+    let rows = consistent_answers(&db, "select v from t", &sigma).unwrap();
+    // Keys 1 and 2 consistently produce 'x'; key 3 is ambiguous.
+    assert_eq!(strings(&rows, 0), vec!["x", "x"]);
+}
+
+#[test]
+fn distinct_input_query_gets_distinct_output() {
+    let db = Database::new();
+    db.run_script(
+        "create table t (k integer, v text);
+         insert into t values (1, 'x'), (2, 'x');",
+    )
+    .unwrap();
+    let sigma = ConstraintSet::new().with_key("t", ["k"]);
+    let rows = consistent_answers(&db, "select distinct v from t", &sigma).unwrap();
+    assert_eq!(strings(&rows, 0), vec!["x"]);
+}
+
+#[test]
+fn key_only_projection_needs_no_filter_at_all() {
+    let sigma = ConstraintSet::new().with_key("t", ["k"]);
+    let sql = rewrite_sql("select k from t", &sigma, &RewriteOptions::default()).unwrap();
+    assert!(!sql.contains("conq_filter"), "{sql}");
+    assert!(sql.contains("SELECT DISTINCT"), "{sql}");
+}
+
+// --- three-relation chains and composite keys ----------------------------------
+
+#[test]
+fn three_relation_chain_rewrites_and_runs() {
+    let db = Database::new();
+    db.run_script(
+        "create table li (ok integer, ln integer, qty integer);
+         insert into li values (1, 1, 10), (1, 2, 20), (1, 2, 25), (2, 1, 5);
+         create table ord (ok integer, ck integer);
+         insert into ord values (1, 100), (2, 200), (2, 300);
+         create table cust (ck integer, seg text);
+         insert into cust values (100, 'building'), (200, 'auto'), (300, 'auto');",
+    )
+    .unwrap();
+    let sigma = ConstraintSet::new()
+        .with_key("li", ["ok", "ln"])
+        .with_key("ord", ["ok"])
+        .with_key("cust", ["ck"]);
+    // lineitem -> orders (partial-key to key) -> customer (non-key to key).
+    let q = "select l.qty from li l, ord o, cust c
+             where l.ok = o.ok and o.ck = c.ck and c.seg = 'building' and l.qty > 1";
+    let tq = analyze(&parse_query(q).unwrap(), &sigma).unwrap();
+    assert_eq!(tq.relations[tq.root].table, "li");
+    assert_eq!(tq.loj_joins.len(), 2);
+
+    let rows = consistent_answers(&db, q, &sigma).unwrap();
+    // (1,1) -> qty 10 consistently (order 1 -> cust 100 building).
+    // (1,2) has two qty values -> filtered by multiplicity.
+    // (2,1) -> order 2 is inconsistent (cust 200/300 both 'auto') -> fails
+    //         the segment selection in every repair; never a candidate.
+    assert_eq!(strings(&rows, 0), vec!["10"]);
+}
+
+#[test]
+fn key_to_key_join_is_supported() {
+    let db = Database::new();
+    db.run_script(
+        "create table a (k integer, x integer);
+         insert into a values (1, 10), (1, 20), (2, 30);
+         create table b (k integer, y integer);
+         insert into b values (1, 7), (2, 8), (2, 9);",
+    )
+    .unwrap();
+    let sigma = ConstraintSet::new().with_key("a", ["k"]).with_key("b", ["k"]);
+    let q = "select a.k from a, b where a.k = b.k and a.x > 5 and b.y > 6";
+    let tq = analyze(&parse_query(q).unwrap(), &sigma).unwrap();
+    assert_eq!(tq.kj_joins.len(), 1);
+    assert!(tq.loj_joins.is_empty());
+    let rows = consistent_answers(&db, q, &sigma).unwrap();
+    // Both keys satisfy both selections in every repair.
+    assert_eq!(strings(&rows, 0), vec!["1", "2"]);
+
+    // Now make b's key-2 group fail the selection in one repair.
+    db.run_script("insert into b values (2, 0)").unwrap();
+    let rows = consistent_answers(&db, q, &sigma).unwrap();
+    assert_eq!(strings(&rows, 0), vec!["1"]);
+}
+
+// --- NULL handling in selections ------------------------------------------------
+
+#[test]
+fn null_selection_values_are_filtered_by_default() {
+    // A tuple whose selection condition is UNKNOWN fails the query in the
+    // repairs that choose it; the default NULL-safe negation filters its key.
+    let db = Database::new();
+    db.run_script(
+        "create table t (k integer, v integer);
+         insert into t values (1, 10), (1, null), (2, 10);",
+    )
+    .unwrap();
+    let sigma = ConstraintSet::new().with_key("t", ["k"]);
+    let rows = consistent_answers(&db, "select k from t where v > 5", &sigma).unwrap();
+    assert_eq!(strings(&rows, 0), vec!["2"]);
+}
+
+// --- classification errors --------------------------------------------------------
+
+fn expect_err(q: &str, sigma: &ConstraintSet) -> RewriteError {
+    conquer_core::rewrite(&parse_query(q).unwrap(), sigma, &RewriteOptions::default())
+        .unwrap_err()
+}
+
+#[test]
+fn rejects_non_key_joins() {
+    let sigma = ConstraintSet::new().with_key("a", ["k"]).with_key("b", ["k"]);
+    let err = expect_err("select a.k from a, b where a.x = b.y", &sigma);
+    assert!(matches!(err, RewriteError::NotATreeQuery(_)), "{err}");
+}
+
+#[test]
+fn rejects_inequality_joins() {
+    let sigma = ConstraintSet::new().with_key("a", ["k"]).with_key("b", ["k"]);
+    let err = expect_err("select a.k from a, b where a.k < b.k", &sigma);
+    assert!(matches!(err, RewriteError::NotATreeQuery(_)), "{err}");
+}
+
+#[test]
+fn rejects_relation_used_twice() {
+    let sigma = ConstraintSet::new().with_key("a", ["k"]);
+    let err = expect_err("select a1.k from a a1, a a2 where a1.k = a2.k", &sigma);
+    assert!(matches!(err, RewriteError::NotATreeQuery(_)), "{err}");
+}
+
+#[test]
+fn rejects_missing_key_constraint() {
+    let sigma = ConstraintSet::new().with_key("a", ["k"]);
+    let err = expect_err("select a.k from a, b where a.x = b.k", &sigma);
+    assert!(matches!(err, RewriteError::MissingKey(_)), "{err}");
+}
+
+#[test]
+fn rejects_two_parents() {
+    // Both a and b join on c's key: c would have two parents.
+    let sigma = ConstraintSet::new()
+        .with_key("a", ["k"])
+        .with_key("b", ["k"])
+        .with_key("c", ["k"]);
+    let err = expect_err(
+        "select a.k from a, b, c where a.fk = c.k and b.fk = c.k",
+        &sigma,
+    );
+    assert!(matches!(err, RewriteError::NotATreeQuery(_)), "{err}");
+}
+
+#[test]
+fn rejects_disconnected_join_graph() {
+    let sigma = ConstraintSet::new().with_key("a", ["k"]).with_key("b", ["k"]);
+    let err = expect_err("select a.k from a, b", &sigma);
+    assert!(matches!(err, RewriteError::NotATreeQuery(_)), "{err}");
+}
+
+#[test]
+fn rejects_disjunction_and_outer_join_inputs() {
+    let sigma = ConstraintSet::new().with_key("a", ["k"]).with_key("b", ["k"]);
+    let err = expect_err(
+        "select k from a union all select k from b",
+        &sigma,
+    );
+    assert!(matches!(err, RewriteError::Unsupported(_)), "{err}");
+    let err = expect_err(
+        "select a.k from a left outer join b on a.k = b.k",
+        &sigma,
+    );
+    assert!(matches!(err, RewriteError::Unsupported(_)), "{err}");
+}
+
+#[test]
+fn rejects_nested_subqueries_with_hint() {
+    let sigma = ConstraintSet::new().with_key("a", ["k"]);
+    let err = expect_err(
+        "select a.k from a where exists (select * from a)",
+        &sigma,
+    );
+    assert!(err.to_string().contains("decorrelate"), "{err}");
+}
+
+#[test]
+fn rejects_expressions_over_aggregates() {
+    let sigma = ConstraintSet::new().with_key("a", ["k"]);
+    let err = expect_err("select sum(x) + 1 from a", &sigma);
+    assert!(matches!(err, RewriteError::Unsupported(_)), "{err}");
+}
+
+#[test]
+fn rejects_group_by_not_in_select() {
+    let sigma = ConstraintSet::new().with_key("a", ["k"]);
+    let err = expect_err("select sum(x) from a group by g", &sigma);
+    assert!(err.to_string().contains("SELECT list"), "{err}");
+}
+
+// --- ORDER BY / LIMIT pass-through ------------------------------------------------
+
+#[test]
+fn order_by_passes_through_join_rewriting() {
+    let db = figure2_db();
+    let rows = consistent_answers(
+        &db,
+        "select o.orderkey from customer c, orders o
+         where c.acctbal > 1000 and o.custfk = c.custkey
+         order by o.orderkey desc limit 2",
+        &figure2_sigma(),
+    )
+    .unwrap();
+    let vals: Vec<String> = rows.rows.iter().map(|r| r[0].to_string()).collect();
+    assert_eq!(vals, vec!["o5", "o4"]);
+}
+
+#[test]
+fn order_by_aggregate_alias_maps_to_min_column() {
+    let db = figure7_db();
+    let sigma = ConstraintSet::new().with_key("customer", ["custkey"]);
+    let rows = consistent_answers(
+        &db,
+        "select nationkey, sum(acctbal) as bal from customer
+         group by nationkey order by bal desc",
+        &sigma,
+    )
+    .unwrap();
+    // n1 (min 1500) sorts above n2 (min 100).
+    assert_eq!(rows.rows[0][0], Value::str("n1"));
+    assert_eq!(rows.schema.columns[1].name, "min_bal");
+    assert_eq!(rows.schema.columns[2].name, "max_bal");
+}
+
+// --- MIN/MAX/COUNT/AVG ranges -------------------------------------------------------
+
+#[test]
+fn count_star_range() {
+    let db = figure7_db();
+    let sigma = ConstraintSet::new().with_key("customer", ["custkey"]);
+    let rows = consistent_answers(
+        &db,
+        "select nationkey, count(*) as n from customer
+         where mktsegment = 'building' group by nationkey",
+        &sigma,
+    )
+    .unwrap();
+    // n1: c1 always counts (1..1), c2 counts in half the repairs (0..1).
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows.rows[0][1], Value::Int(1));
+    assert_eq!(rows.rows[0][2], Value::Int(2));
+}
+
+#[test]
+fn min_max_ranges() {
+    let db = figure7_db();
+    let sigma = ConstraintSet::new().with_key("customer", ["custkey"]);
+    let rows = consistent_answers(
+        &db,
+        "select nationkey, min(acctbal) as lo, max(acctbal) as hi from customer
+         where mktsegment = 'building' group by nationkey",
+        &sigma,
+    )
+    .unwrap();
+    assert_eq!(rows.len(), 1);
+    // MIN range: lower = min(1000, 500) = 500; upper = min over unfiltered
+    // keys of max(e) = 2000 (c1 only).
+    assert_eq!(rows.rows[0][1], Value::Float(500.0));
+    assert_eq!(rows.rows[0][2], Value::Float(2000.0));
+    // MAX range: lower = max over unfiltered of min(e) = 1000;
+    // upper = max over all of max(e) = 2000.
+    assert_eq!(rows.rows[0][3], Value::Float(1000.0));
+    assert_eq!(rows.rows[0][4], Value::Float(2000.0));
+}
+
+#[test]
+fn group_by_without_aggregates_behaves_as_distinct() {
+    let db = figure7_db();
+    let sigma = ConstraintSet::new().with_key("customer", ["custkey"]);
+    let rows = consistent_answers(
+        &db,
+        "select nationkey from customer group by nationkey",
+        &sigma,
+    )
+    .unwrap();
+    // n1 is consistent via c1; n2 is consistent via c3.
+    assert_eq!(strings(&rows, 0), vec!["n1", "n2"]);
+}

@@ -1,0 +1,234 @@
+//! The database: a catalog of named tables plus the query entry points.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use conquer_sql::ast::{Expr, Query, Statement};
+use conquer_sql::{parse_query, parse_statements};
+
+use crate::error::{EngineError, Result};
+use crate::exec;
+use crate::plan::{literal_value, ExecOptions, Plan, Planner};
+use crate::schema::DataType;
+use crate::table::{Row, Rows, Table};
+use crate::value::Value;
+
+/// An in-memory database: thread-safe catalog of tables.
+///
+/// Reads (queries) take a read lock only long enough to snapshot `Arc`s to
+/// the tables they touch, so concurrent query execution over a shared
+/// `&Database` is cheap. Scan-ready row batches are cached per table and
+/// invalidated on registration, so repeated references to a table (within
+/// one query or across queries) share a single `Arc<Rows>`.
+#[derive(Default)]
+pub struct Database {
+    tables: RwLock<BTreeMap<String, Arc<Table>>>,
+    scan_cache: RwLock<BTreeMap<String, Arc<Rows>>>,
+}
+
+impl Database {
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Register (or replace) a table.
+    pub fn register(&self, table: Table) {
+        let name = table.name().to_string();
+        self.scan_cache.write().remove(&name);
+        self.tables.write().insert(name, Arc::new(table));
+    }
+
+    /// Remove a table; returns it if present.
+    pub fn drop_table(&self, name: &str) -> Option<Arc<Table>> {
+        self.scan_cache.write().remove(name);
+        self.tables.write().remove(name)
+    }
+
+    /// Shared handle to a table.
+    pub fn table(&self, name: &str) -> Result<Arc<Table>> {
+        self.tables
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| EngineError::UnknownTable(name.to_string()))
+    }
+
+    /// Names of all registered tables.
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.read().keys().cloned().collect()
+    }
+
+    /// The rows of a table as a shared, scan-ready batch (cached until the
+    /// table is re-registered).
+    pub(crate) fn table_rows(&self, name: &str) -> Result<Arc<Rows>> {
+        if let Some(cached) = self.scan_cache.read().get(name) {
+            return Ok(Arc::clone(cached));
+        }
+        let table = self.table(name)?;
+        let rows = Arc::new(Rows {
+            schema: table.schema().clone(),
+            rows: table.rows().to_vec(),
+        });
+        self.scan_cache.write().insert(name.to_string(), Arc::clone(&rows));
+        Ok(rows)
+    }
+
+    /// Run a SQL query string with default options.
+    pub fn query(&self, sql: &str) -> Result<Rows> {
+        self.query_with(sql, ExecOptions::default())
+    }
+
+    /// Run a SQL query string with explicit options.
+    pub fn query_with(&self, sql: &str, options: ExecOptions) -> Result<Rows> {
+        let query = parse_query(sql)?;
+        self.execute_query_with(&query, options)
+    }
+
+    /// Run a parsed query with default options.
+    pub fn execute_query(&self, query: &Query) -> Result<Rows> {
+        self.execute_query_with(query, ExecOptions::default())
+    }
+
+    /// Run a parsed query with explicit options.
+    pub fn execute_query_with(&self, query: &Query, options: ExecOptions) -> Result<Rows> {
+        let plan = self.plan(query, options)?;
+        exec::execute(&plan, None)
+    }
+
+    /// Plan a query without executing it (CTEs are still materialized).
+    pub fn plan(&self, query: &Query, options: ExecOptions) -> Result<Plan> {
+        let plan = Planner::new(self, options).plan_query(query)?;
+        Ok(if options.pushdown_filters { crate::opt::optimize(plan) } else { plan })
+    }
+
+    /// Execute a `;`-separated script of statements (`CREATE TABLE`,
+    /// `INSERT`, queries). Returns the result of the last query, if any.
+    pub fn run_script(&self, sql: &str) -> Result<Option<Rows>> {
+        let mut last = None;
+        for stmt in parse_statements(sql)? {
+            last = self.run_statement(&stmt)?;
+        }
+        Ok(last)
+    }
+
+    /// Execute one parsed statement.
+    pub fn run_statement(&self, stmt: &Statement) -> Result<Option<Rows>> {
+        match stmt {
+            Statement::Query(q) => Ok(Some(self.execute_query(q)?)),
+            Statement::CreateTable { name, columns } => {
+                if self.tables.read().contains_key(name) {
+                    return Err(EngineError::Catalog(format!("table `{name}` already exists")));
+                }
+                let cols: Vec<(&str, DataType)> =
+                    columns.iter().map(|c| (c.name.as_str(), DataType::from(c.ty))).collect();
+                self.register(Table::new(name.clone(), cols));
+                Ok(None)
+            }
+            Statement::Insert { table, columns, rows } => {
+                self.insert(table, columns, rows)?;
+                Ok(None)
+            }
+        }
+    }
+
+    fn insert(&self, name: &str, columns: &[String], rows: &[Vec<Expr>]) -> Result<()> {
+        let current = self.table(name)?;
+        let mut new_table = (*current).clone();
+        let n_cols = new_table.schema().len();
+        // Map provided columns to positions (all columns when unspecified).
+        let positions: Vec<usize> = if columns.is_empty() {
+            (0..n_cols).collect()
+        } else {
+            columns
+                .iter()
+                .map(|c| new_table.column_index(c))
+                .collect::<Result<Vec<_>>>()?
+        };
+        for exprs in rows {
+            if exprs.len() != positions.len() {
+                return Err(EngineError::Catalog(format!(
+                    "INSERT expects {} values, got {}",
+                    positions.len(),
+                    exprs.len()
+                )));
+            }
+            let mut row: Row = vec![Value::Null; n_cols];
+            for (pos, expr) in positions.iter().zip(exprs) {
+                row[*pos] = eval_const(expr)?;
+            }
+            new_table.push(row)?;
+        }
+        self.register(new_table);
+        Ok(())
+    }
+}
+
+/// Evaluate a constant expression (INSERT values).
+fn eval_const(expr: &Expr) -> Result<Value> {
+    match expr {
+        Expr::Literal(l) => Ok(literal_value(l)),
+        Expr::UnaryOp { op: conquer_sql::UnaryOp::Neg, expr } => {
+            match eval_const(expr)? {
+                Value::Int(v) => Ok(Value::Int(-v)),
+                Value::Float(v) => Ok(Value::Float(-v)),
+                other => Err(EngineError::TypeError(format!(
+                    "cannot negate {}",
+                    other.type_name()
+                ))),
+            }
+        }
+        _ => Err(EngineError::Unsupported(
+            "INSERT values must be literal constants".into(),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_insert_select_roundtrip() {
+        let db = Database::new();
+        db.run_script(
+            "create table t (a integer, b text);
+             insert into t values (1, 'x'), (2, 'y');",
+        )
+        .unwrap();
+        let rows = db.query("select a from t where b = 'y'").unwrap();
+        assert_eq!(rows.rows, vec![vec![Value::Int(2)]]);
+    }
+
+    #[test]
+    fn duplicate_create_fails() {
+        let db = Database::new();
+        db.run_script("create table t (a integer)").unwrap();
+        assert!(db.run_script("create table t (a integer)").is_err());
+    }
+
+    #[test]
+    fn insert_with_column_list_fills_nulls() {
+        let db = Database::new();
+        db.run_script("create table t (a integer, b integer)").unwrap();
+        db.run_script("insert into t (b) values (7)").unwrap();
+        let rows = db.query("select a, b from t").unwrap();
+        assert_eq!(rows.rows, vec![vec![Value::Null, Value::Int(7)]]);
+    }
+
+    #[test]
+    fn unknown_table_error() {
+        let db = Database::new();
+        let err = db.query("select * from nope").unwrap_err();
+        assert!(matches!(err, EngineError::UnknownTable(_)));
+    }
+
+    #[test]
+    fn insert_negative_values() {
+        let db = Database::new();
+        db.run_script("create table t (a integer); insert into t values (-5)").unwrap();
+        let rows = db.query("select a from t").unwrap();
+        assert_eq!(rows.rows, vec![vec![Value::Int(-5)]]);
+    }
+}

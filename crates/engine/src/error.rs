@@ -1,0 +1,47 @@
+//! Error type for planning and execution.
+
+use std::fmt;
+
+/// Result alias for the engine.
+pub type Result<T> = std::result::Result<T, EngineError>;
+
+/// An error raised while planning or executing a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A referenced table or CTE does not exist.
+    UnknownTable(String),
+    /// A column reference could not be resolved.
+    UnknownColumn(String),
+    /// A bare column name matched more than one input column.
+    AmbiguousColumn(String),
+    /// An operation was applied to values of incompatible types.
+    TypeError(String),
+    /// The query shape is not supported by the engine.
+    Unsupported(String),
+    /// A catalog operation failed (duplicate table, arity mismatch, ...).
+    Catalog(String),
+    /// Any other planning/execution failure.
+    Execution(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownTable(name) => write!(f, "unknown table `{name}`"),
+            EngineError::UnknownColumn(name) => write!(f, "unknown column `{name}`"),
+            EngineError::AmbiguousColumn(name) => write!(f, "ambiguous column `{name}`"),
+            EngineError::TypeError(msg) => write!(f, "type error: {msg}"),
+            EngineError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+            EngineError::Catalog(msg) => write!(f, "catalog error: {msg}"),
+            EngineError::Execution(msg) => write!(f, "execution error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<conquer_sql::ParseError> for EngineError {
+    fn from(e: conquer_sql::ParseError) -> Self {
+        EngineError::Execution(format!("parse error: {e}"))
+    }
+}

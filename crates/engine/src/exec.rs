@@ -1,0 +1,614 @@
+//! Plan executor: materialized, operator-at-a-time evaluation.
+//!
+//! Operators exchange [`Batch`]es: either freshly-computed owned rows or a
+//! shared reference to pre-materialized rows (base-table scans and
+//! materialized CTEs). Read-only consumers — join build/probe sides,
+//! aggregation inputs, filters — iterate shared batches without copying
+//! them, so a scan feeding a join never clones the whole table.
+
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use crate::error::{EngineError, Result};
+use crate::expr::{BoundExpr, Env};
+use crate::plan::{AggFunc, AggSpec, JoinType, Plan};
+use crate::schema::Schema;
+use crate::table::{Row, Rows};
+use crate::value::{Key, KeyValue, Value};
+
+/// An operator's output: owned rows, or a shared batch plus the schema it
+/// is viewed under (scans re-qualify the stored schema per binding).
+pub enum Batch {
+    Owned(Rows),
+    Shared { rows: Arc<Rows>, schema: Schema },
+}
+
+impl Batch {
+    pub fn schema(&self) -> &Schema {
+        match self {
+            Batch::Owned(r) => &r.schema,
+            Batch::Shared { schema, .. } => schema,
+        }
+    }
+
+    pub fn rows(&self) -> &[Row] {
+        match self {
+            Batch::Owned(r) => &r.rows,
+            Batch::Shared { rows, .. } => &rows.rows,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows().is_empty()
+    }
+
+    /// Convert into owned rows, cloning when shared.
+    pub fn into_rows(self) -> Rows {
+        match self {
+            Batch::Owned(r) => r,
+            Batch::Shared { rows, schema } => Rows { schema, rows: rows.rows.clone() },
+        }
+    }
+}
+
+/// Execute a plan to fully-owned rows. `outer` is the enclosing row
+/// environment for correlated subquery plans; `None` at the top level.
+pub fn execute(plan: &Plan, outer: Option<&Env<'_>>) -> Result<Rows> {
+    Ok(execute_batch(plan, outer)?.into_rows())
+}
+
+/// Execute a plan, sharing pre-materialized rows where possible.
+pub fn execute_batch(plan: &Plan, outer: Option<&Env<'_>>) -> Result<Batch> {
+    match plan {
+        Plan::Scan { rows, schema } => {
+            Ok(Batch::Shared { rows: Arc::clone(rows), schema: schema.clone() })
+        }
+        Plan::Unit => Ok(Batch::Owned(Rows {
+            schema: plan.schema().clone(),
+            rows: vec![Vec::new()],
+        })),
+        Plan::Filter { input, predicate } => {
+            let child = execute_batch(input, outer)?;
+            let mut out = Vec::new();
+            for row in child.rows() {
+                if eval_predicate_on_row(predicate, row, outer)? == Some(true) {
+                    out.push(row.clone());
+                }
+            }
+            Ok(Batch::Owned(Rows { schema: child.schema().clone(), rows: out }))
+        }
+        Plan::Project { input, exprs, schema } => {
+            let child = execute_batch(input, outer)?;
+            let mut out = Vec::with_capacity(child.len());
+            for row in child.rows() {
+                out.push(project_row(row, exprs, outer)?);
+            }
+            Ok(Batch::Owned(Rows { schema: schema.clone(), rows: out }))
+        }
+        Plan::Rename { input, schema } => {
+            let child = execute_batch(input, outer)?;
+            Ok(match child {
+                Batch::Owned(r) => {
+                    Batch::Owned(Rows { schema: schema.clone(), rows: r.rows })
+                }
+                Batch::Shared { rows, .. } => {
+                    Batch::Shared { rows, schema: schema.clone() }
+                }
+            })
+        }
+        Plan::HashJoin { left, right, kind, left_keys, right_keys, residual, schema } => {
+            let l = execute_batch(left, outer)?;
+            let r = execute_batch(right, outer)?;
+            Ok(Batch::Owned(exec_hash_join(
+                l,
+                r,
+                *kind,
+                left_keys,
+                right_keys,
+                residual.as_ref(),
+                schema,
+                outer,
+            )?))
+        }
+        Plan::NestedLoopJoin { left, right, kind, on, schema } => {
+            let l = execute_batch(left, outer)?;
+            let r = execute_batch(right, outer)?;
+            Ok(Batch::Owned(exec_nested_loop_join(
+                l,
+                r,
+                *kind,
+                on.as_ref(),
+                schema,
+                outer,
+            )?))
+        }
+        Plan::Aggregate { input, group_exprs, aggs, schema } => {
+            let child = execute_batch(input, outer)?;
+            Ok(Batch::Owned(exec_aggregate(child, group_exprs, aggs, schema, outer)?))
+        }
+        Plan::Distinct { input } => {
+            let child = execute_batch(input, outer)?;
+            let mut seen: HashSet<Key> = HashSet::with_capacity(child.len());
+            let mut out = Vec::new();
+            for row in child.rows() {
+                if seen.insert(Key::from_values(row)) {
+                    out.push(row.clone());
+                }
+            }
+            Ok(Batch::Owned(Rows { schema: child.schema().clone(), rows: out }))
+        }
+        Plan::UnionAll { left, right } => {
+            let l = execute_batch(left, outer)?;
+            let r = execute_batch(right, outer)?;
+            let mut rows = l.into_rows();
+            match r {
+                Batch::Owned(o) => rows.rows.extend(o.rows),
+                Batch::Shared { rows: shared, .. } => {
+                    rows.rows.extend(shared.rows.iter().cloned())
+                }
+            }
+            Ok(Batch::Owned(rows))
+        }
+        Plan::Sort { input, keys } => {
+            let child = execute_batch(input, outer)?.into_rows();
+            Ok(Batch::Owned(exec_sort(child, keys, outer)?))
+        }
+        Plan::Limit { input, n } => {
+            let child = execute_batch(input, outer)?;
+            let take = (*n as usize).min(child.len());
+            let rows = child.rows()[..take].to_vec();
+            Ok(Batch::Owned(Rows { schema: child.schema().clone(), rows }))
+        }
+    }
+}
+
+/// Evaluate an expression for a given current row, chaining outer scopes.
+fn eval_on_row(expr: &BoundExpr, row: &[Value], outer: Option<&Env<'_>>) -> Result<Value> {
+    match outer {
+        Some(parent) => expr.eval(&Env::push(row, parent)),
+        None => expr.eval(&Env::root(row)),
+    }
+}
+
+fn eval_predicate_on_row(
+    expr: &BoundExpr,
+    row: &[Value],
+    outer: Option<&Env<'_>>,
+) -> Result<Option<bool>> {
+    match outer {
+        Some(parent) => expr.eval_predicate(&Env::push(row, parent)),
+        None => expr.eval_predicate(&Env::root(row)),
+    }
+}
+
+fn project_row(row: &[Value], exprs: &[BoundExpr], outer: Option<&Env<'_>>) -> Result<Row> {
+    let mut out = Vec::with_capacity(exprs.len());
+    for e in exprs {
+        out.push(eval_on_row(e, row, outer)?);
+    }
+    Ok(out)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn exec_hash_join(
+    left: Batch,
+    right: Batch,
+    kind: JoinType,
+    left_keys: &[BoundExpr],
+    right_keys: &[BoundExpr],
+    residual: Option<&BoundExpr>,
+    schema: &Schema,
+    outer: Option<&Env<'_>>,
+) -> Result<Rows> {
+    // Early outs for empty sides: an inner join with an empty input is
+    // empty; a semi join against nothing is empty; an anti join against
+    // nothing passes everything through. (The annotation-aware Filter often
+    // has an empty candidates side on nearly-consistent databases.)
+    if right.is_empty() {
+        return Ok(match kind {
+            JoinType::Inner | JoinType::Semi => Rows { schema: schema.clone(), rows: Vec::new() },
+            JoinType::Anti => Rows { schema: schema.clone(), rows: left.into_rows().rows },
+            JoinType::LeftOuter => {
+                let right_width = right.schema().len();
+                let rows = left
+                    .rows()
+                    .iter()
+                    .map(|l| {
+                        let mut row = l.clone();
+                        row.extend(std::iter::repeat_n(Value::Null, right_width));
+                        row
+                    })
+                    .collect();
+                Rows { schema: schema.clone(), rows }
+            }
+        });
+    }
+    if left.is_empty() {
+        return Ok(Rows { schema: schema.clone(), rows: Vec::new() });
+    }
+
+    // Inner joins build the hash table on the smaller side; the output
+    // column order (left ++ right) is preserved when emitting.
+    if kind == JoinType::Inner && left.len() < right.len() && residual.is_none() {
+        return exec_hash_join_inner_swapped(
+            right, left, right_keys, left_keys, schema, outer,
+        );
+    }
+
+    // Build on the right side.
+    let right_rows = right.rows();
+    let mut table: HashMap<Key, Vec<usize>> = HashMap::with_capacity(right_rows.len());
+    for (i, row) in right_rows.iter().enumerate() {
+        let key = Key::from_values(&project_row(row, right_keys, outer)?);
+        if key.has_null() {
+            continue; // NULL keys never match under SQL equality.
+        }
+        table.entry(key).or_default().push(i);
+    }
+
+    let right_width = right.schema().len();
+    let mut out = Vec::new();
+    for lrow in left.rows() {
+        let key = Key::from_values(&project_row(lrow, left_keys, outer)?);
+        let matches = if key.has_null() { None } else { table.get(&key) };
+        let mut matched = false;
+        if let Some(idxs) = matches {
+            for &ri in idxs {
+                // Residual conditions are part of the ON clause: they decide
+                // whether this candidate pair is a match.
+                let pass = match residual {
+                    None => true,
+                    Some(res) => {
+                        let mut combined = lrow.clone();
+                        combined.extend(right_rows[ri].iter().cloned());
+                        eval_predicate_on_row(res, &combined, outer)? == Some(true)
+                    }
+                };
+                if !pass {
+                    continue;
+                }
+                matched = true;
+                match kind {
+                    JoinType::Inner | JoinType::LeftOuter => {
+                        let mut combined = lrow.clone();
+                        combined.extend(right_rows[ri].iter().cloned());
+                        out.push(combined);
+                    }
+                    JoinType::Semi | JoinType::Anti => break,
+                }
+            }
+        }
+        match kind {
+            JoinType::LeftOuter if !matched => {
+                let mut combined = lrow.clone();
+                combined.extend(std::iter::repeat_n(Value::Null, right_width));
+                out.push(combined);
+            }
+            JoinType::Semi if matched => out.push(lrow.clone()),
+            JoinType::Anti if !matched => out.push(lrow.clone()),
+            _ => {}
+        }
+    }
+    Ok(Rows { schema: schema.clone(), rows: out })
+}
+
+/// Inner hash join probing with the *larger* side: `probe` is the original
+/// right input, `build` the original left. Output rows still lay out
+/// original-left columns first.
+fn exec_hash_join_inner_swapped(
+    probe: Batch,
+    build: Batch,
+    probe_keys: &[BoundExpr],
+    build_keys: &[BoundExpr],
+    schema: &Schema,
+    outer: Option<&Env<'_>>,
+) -> Result<Rows> {
+    let build_rows = build.rows();
+    let mut table: HashMap<Key, Vec<usize>> = HashMap::with_capacity(build_rows.len());
+    for (i, row) in build_rows.iter().enumerate() {
+        let key = Key::from_values(&project_row(row, build_keys, outer)?);
+        if key.has_null() {
+            continue;
+        }
+        table.entry(key).or_default().push(i);
+    }
+    if table.is_empty() {
+        return Ok(Rows { schema: schema.clone(), rows: Vec::new() });
+    }
+    let mut out = Vec::new();
+    for prow in probe.rows() {
+        let key = Key::from_values(&project_row(prow, probe_keys, outer)?);
+        if key.has_null() {
+            continue;
+        }
+        if let Some(idxs) = table.get(&key) {
+            for &bi in idxs {
+                let mut combined = Vec::with_capacity(build_rows[bi].len() + prow.len());
+                combined.extend(build_rows[bi].iter().cloned());
+                combined.extend(prow.iter().cloned());
+                out.push(combined);
+            }
+        }
+    }
+    Ok(Rows { schema: schema.clone(), rows: out })
+}
+
+fn exec_nested_loop_join(
+    left: Batch,
+    right: Batch,
+    kind: JoinType,
+    on: Option<&BoundExpr>,
+    schema: &Schema,
+    outer: Option<&Env<'_>>,
+) -> Result<Rows> {
+    let right_width = right.schema().len();
+    let mut out = Vec::new();
+    for lrow in left.rows() {
+        let mut matched = false;
+        for rrow in right.rows() {
+            let mut combined = lrow.clone();
+            combined.extend(rrow.iter().cloned());
+            let pass = match on {
+                None => true,
+                Some(cond) => eval_predicate_on_row(cond, &combined, outer)? == Some(true),
+            };
+            if !pass {
+                continue;
+            }
+            matched = true;
+            match kind {
+                JoinType::Inner | JoinType::LeftOuter => out.push(combined),
+                JoinType::Semi | JoinType::Anti => break,
+            }
+        }
+        match kind {
+            JoinType::LeftOuter if !matched => {
+                let mut combined = lrow.clone();
+                combined.extend(std::iter::repeat_n(Value::Null, right_width));
+                out.push(combined);
+            }
+            JoinType::Semi if matched => out.push(lrow.clone()),
+            JoinType::Anti if !matched => out.push(lrow.clone()),
+            _ => {}
+        }
+    }
+    Ok(Rows { schema: schema.clone(), rows: out })
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation
+// ---------------------------------------------------------------------------
+
+/// Accumulator for one aggregate within one group.
+#[derive(Debug, Clone)]
+enum Accumulator {
+    Count(i64),
+    SumInt { sum: i64, seen: bool },
+    SumFloat { sum: f64, seen: bool },
+    MinMax { best: Option<Value>, is_min: bool },
+    Avg { sum: f64, count: i64 },
+}
+
+impl Accumulator {
+    fn new(func: AggFunc) -> Accumulator {
+        match func {
+            AggFunc::Count => Accumulator::Count(0),
+            AggFunc::Sum => Accumulator::SumInt { sum: 0, seen: false },
+            AggFunc::Min => Accumulator::MinMax { best: None, is_min: true },
+            AggFunc::Max => Accumulator::MinMax { best: None, is_min: false },
+            AggFunc::Avg => Accumulator::Avg { sum: 0.0, count: 0 },
+        }
+    }
+
+    fn update(&mut self, value: &Value) -> Result<()> {
+        if value.is_null() {
+            // SQL aggregates skip NULL inputs (COUNT(e) counts non-NULL).
+            return Ok(());
+        }
+        match self {
+            Accumulator::Count(n) => *n += 1,
+            Accumulator::SumInt { sum, seen } => match value {
+                Value::Int(v) => {
+                    *sum = sum.checked_add(*v).ok_or_else(|| {
+                        EngineError::Execution("integer overflow in SUM".into())
+                    })?;
+                    *seen = true;
+                }
+                Value::Float(v) => {
+                    let promoted = *sum as f64 + v;
+                    *self = Accumulator::SumFloat { sum: promoted, seen: true };
+                }
+                other => {
+                    return Err(EngineError::TypeError(format!(
+                        "SUM over {}",
+                        other.type_name()
+                    )))
+                }
+            },
+            Accumulator::SumFloat { sum, seen } => {
+                let v = value.as_f64()?.expect("null handled above");
+                *sum += v;
+                *seen = true;
+            }
+            Accumulator::MinMax { best, is_min } => {
+                let replace = match best {
+                    None => true,
+                    Some(b) => {
+                        let ord = value.sql_cmp(b)?.ok_or_else(|| {
+                            EngineError::TypeError("incomparable values in MIN/MAX".into())
+                        })?;
+                        if *is_min {
+                            ord.is_lt()
+                        } else {
+                            ord.is_gt()
+                        }
+                    }
+                };
+                if replace {
+                    *best = Some(value.clone());
+                }
+            }
+            Accumulator::Avg { sum, count } => {
+                let v = value.as_f64()?.expect("null handled above");
+                *sum += v;
+                *count += 1;
+            }
+        }
+        Ok(())
+    }
+
+    fn count_row(&mut self) {
+        if let Accumulator::Count(n) = self {
+            *n += 1;
+        }
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            Accumulator::Count(n) => Value::Int(n),
+            Accumulator::SumInt { sum, seen } => {
+                if seen {
+                    Value::Int(sum)
+                } else {
+                    Value::Null
+                }
+            }
+            Accumulator::SumFloat { sum, seen } => {
+                if seen {
+                    Value::Float(sum)
+                } else {
+                    Value::Null
+                }
+            }
+            Accumulator::MinMax { best, .. } => best.unwrap_or(Value::Null),
+            Accumulator::Avg { sum, count } => {
+                if count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum / count as f64)
+                }
+            }
+        }
+    }
+}
+
+/// State for one group: accumulators plus per-aggregate distinct filters.
+struct GroupState {
+    accs: Vec<Accumulator>,
+    distinct_seen: Vec<Option<HashSet<KeyValue>>>,
+}
+
+impl GroupState {
+    fn new(aggs: &[AggSpec]) -> GroupState {
+        GroupState {
+            accs: aggs.iter().map(|a| Accumulator::new(a.func)).collect(),
+            distinct_seen: aggs
+                .iter()
+                .map(|a| if a.distinct { Some(HashSet::new()) } else { None })
+                .collect(),
+        }
+    }
+
+    fn update(&mut self, aggs: &[AggSpec], row: &[Value], outer: Option<&Env<'_>>) -> Result<()> {
+        for (i, spec) in aggs.iter().enumerate() {
+            match &spec.arg {
+                None => self.accs[i].count_row(),
+                Some(arg) => {
+                    let v = eval_on_row(arg, row, outer)?;
+                    if let Some(seen) = &mut self.distinct_seen[i] {
+                        if v.is_null() || !seen.insert(KeyValue::from(&v)) {
+                            continue;
+                        }
+                    }
+                    self.accs[i].update(&v)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn exec_aggregate(
+    input: Batch,
+    group_exprs: &[BoundExpr],
+    aggs: &[AggSpec],
+    schema: &Schema,
+    outer: Option<&Env<'_>>,
+) -> Result<Rows> {
+    let mut groups: HashMap<Key, (Row, GroupState)> = HashMap::new();
+    // Preserve first-seen group order for deterministic output.
+    let mut order: Vec<Key> = Vec::new();
+
+    for row in input.rows() {
+        let group_vals = project_row(row, group_exprs, outer)?;
+        let key = Key::from_values(&group_vals);
+        match groups.entry(key.clone()) {
+            Entry::Occupied(mut e) => e.get_mut().1.update(aggs, row, outer)?,
+            Entry::Vacant(e) => {
+                let mut state = GroupState::new(aggs);
+                state.update(aggs, row, outer)?;
+                e.insert((group_vals, state));
+                order.push(key);
+            }
+        }
+    }
+
+    // A global aggregate (no GROUP BY) over zero rows yields one row of
+    // "empty" aggregate values.
+    if group_exprs.is_empty() && groups.is_empty() {
+        let state = GroupState::new(aggs);
+        let mut row = Vec::new();
+        row.extend(state.accs.into_iter().map(Accumulator::finish));
+        return Ok(Rows { schema: schema.clone(), rows: vec![row] });
+    }
+
+    let mut out = Vec::with_capacity(groups.len());
+    for key in order {
+        let (group_vals, state) = groups.remove(&key).expect("group present");
+        let mut row = group_vals;
+        row.extend(state.accs.into_iter().map(Accumulator::finish));
+        out.push(row);
+    }
+    Ok(Rows { schema: schema.clone(), rows: out })
+}
+
+fn exec_sort(mut input: Rows, keys: &[(BoundExpr, bool)], outer: Option<&Env<'_>>) -> Result<Rows> {
+    // Precompute sort keys once per row.
+    let mut decorated: Vec<(Vec<Value>, Row)> = Vec::with_capacity(input.rows.len());
+    for row in input.rows.drain(..) {
+        let mut kv = Vec::with_capacity(keys.len());
+        for (expr, _) in keys {
+            kv.push(eval_on_row(expr, &row, outer)?);
+        }
+        decorated.push((kv, row));
+    }
+    decorated.sort_by(|(a, _), (b, _)| {
+        for (i, (_, desc)) in keys.iter().enumerate() {
+            // NULLs sort last regardless of direction.
+            let ord = match (a[i].is_null(), b[i].is_null()) {
+                (true, true) => std::cmp::Ordering::Equal,
+                (true, false) => std::cmp::Ordering::Greater,
+                (false, true) => std::cmp::Ordering::Less,
+                (false, false) => {
+                    let ord = a[i].total_cmp(&b[i]);
+                    if *desc {
+                        ord.reverse()
+                    } else {
+                        ord
+                    }
+                }
+            };
+            if !ord.is_eq() {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    input.rows = decorated.into_iter().map(|(_, r)| r).collect();
+    Ok(input)
+}

@@ -1,0 +1,43 @@
+//! An in-memory relational engine with bag semantics, used as the execution
+//! substrate for the ConQuer consistent-query-answering system.
+//!
+//! The paper (Fuxman, Fazli & Miller, SIGMOD 2005) runs its rewritten SQL on
+//! DB2; this crate plays that role. It executes the full dialect that
+//! ConQuer consumes and emits: select-project-join with inner and left outer
+//! joins, grouping and aggregation (`SUM`/`MIN`/`MAX`/`COUNT`/`AVG`),
+//! `DISTINCT`, `WITH` common table expressions (materialized once per query,
+//! as Section 6.1 of the paper prescribes), `UNION ALL`, and correlated
+//! `EXISTS`/`NOT EXISTS` subqueries — which the planner decorrelates into
+//! hash semi/anti joins, the optimization a production engine would apply to
+//! ConQuer's rewritings.
+//!
+//! # Example
+//!
+//! ```
+//! use conquer_engine::Database;
+//!
+//! let db = Database::new();
+//! db.run_script(
+//!     "create table customer (custkey integer, acctbal float);
+//!      insert into customer values (1, 2000), (1, 100), (2, 2500);",
+//! ).unwrap();
+//! let rows = db.query("select custkey from customer where acctbal > 1000").unwrap();
+//! assert_eq!(rows.len(), 2);
+//! ```
+
+pub mod database;
+pub mod error;
+pub mod exec;
+pub mod expr;
+pub mod opt;
+pub mod plan;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+pub use database::Database;
+pub use error::{EngineError, Result};
+pub use plan::{ExecOptions, Plan};
+pub use schema::{Column, DataType, Schema};
+pub use table::{Row, Rows, Table};
+pub use value::Value;

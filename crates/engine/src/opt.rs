@@ -1,0 +1,349 @@
+//! Post-planning optimizations: filter pushdown through joins and renames.
+//!
+//! ConQuer's Section 5 relies on the host optimizer evaluating the
+//! `conscand > 0` guard *before* the Filter's joins ("it is up to the query
+//! optimizer to perform this selection before the joins; the results ...
+//! show that it consistently chooses the appropriate strategy"). This pass
+//! plays that role: conjuncts of a `Filter` that reference only one side of
+//! a join move below it, eventually fusing with the base-table scan.
+
+use crate::expr::{BoundExpr, SubqueryKind};
+use crate::plan::{JoinType, Plan};
+
+/// Optimize a plan tree. Currently: pushes filter conjuncts through
+/// `Rename`, `Filter`, inner `HashJoin`/`NestedLoopJoin` (both sides),
+/// left-outer joins (left side only), and semi/anti joins (left side).
+pub fn optimize(plan: Plan) -> Plan {
+    match plan {
+        Plan::Filter { input, predicate } => {
+            let input = optimize(*input);
+            let conjuncts = split_bound_conjuncts(predicate);
+            push_filter(input, conjuncts)
+        }
+        Plan::Project { input, exprs, schema } => {
+            Plan::Project { input: Box::new(optimize(*input)), exprs, schema }
+        }
+        Plan::Rename { input, schema } => {
+            Plan::Rename { input: Box::new(optimize(*input)), schema }
+        }
+        Plan::HashJoin { left, right, kind, left_keys, right_keys, residual, schema } => {
+            Plan::HashJoin {
+                left: Box::new(optimize(*left)),
+                right: Box::new(optimize(*right)),
+                kind,
+                left_keys,
+                right_keys,
+                residual,
+                schema,
+            }
+        }
+        Plan::NestedLoopJoin { left, right, kind, on, schema } => Plan::NestedLoopJoin {
+            left: Box::new(optimize(*left)),
+            right: Box::new(optimize(*right)),
+            kind,
+            on,
+            schema,
+        },
+        Plan::Aggregate { input, group_exprs, aggs, schema } => Plan::Aggregate {
+            input: Box::new(optimize(*input)),
+            group_exprs,
+            aggs,
+            schema,
+        },
+        Plan::Distinct { input } => Plan::Distinct { input: Box::new(optimize(*input)) },
+        Plan::UnionAll { left, right } => Plan::UnionAll {
+            left: Box::new(optimize(*left)),
+            right: Box::new(optimize(*right)),
+        },
+        Plan::Sort { input, keys } => Plan::Sort { input: Box::new(optimize(*input)), keys },
+        Plan::Limit { input, n } => Plan::Limit { input: Box::new(optimize(*input)), n },
+        leaf @ (Plan::Scan { .. } | Plan::Unit) => leaf,
+    }
+}
+
+/// Push a set of conjuncts as deep as possible above `input`, rebuilding a
+/// `Filter` for whatever cannot sink further.
+fn push_filter(input: Plan, conjuncts: Vec<BoundExpr>) -> Plan {
+    if conjuncts.is_empty() {
+        return input;
+    }
+    match input {
+        Plan::Filter { input: inner, predicate } => {
+            // Merge with the existing filter and retry on its input.
+            let mut all = split_bound_conjuncts(predicate);
+            all.extend(conjuncts);
+            push_filter(*inner, all)
+        }
+        Plan::Rename { input: inner, schema } => {
+            // Renames keep column positions; conjuncts pass through intact.
+            let pushed = push_filter(*inner, conjuncts);
+            Plan::Rename { input: Box::new(pushed), schema }
+        }
+        Plan::HashJoin { left, right, kind, left_keys, right_keys, residual, schema } => {
+            let left_width = left.schema().len();
+            let (sink_left, sink_right, keep) =
+                split_by_side(conjuncts, left_width, kind);
+            let left = push_filter(*left, sink_left);
+            let right = push_filter(*right, sink_right);
+            let joined = Plan::HashJoin {
+                left: Box::new(left),
+                right: Box::new(right),
+                kind,
+                left_keys,
+                right_keys,
+                residual,
+                schema,
+            };
+            wrap_filter(joined, keep)
+        }
+        Plan::NestedLoopJoin { left, right, kind, on, schema } => {
+            let left_width = left.schema().len();
+            let (sink_left, sink_right, keep) =
+                split_by_side(conjuncts, left_width, kind);
+            let left = push_filter(*left, sink_left);
+            let right = push_filter(*right, sink_right);
+            let joined = Plan::NestedLoopJoin {
+                left: Box::new(left),
+                right: Box::new(right),
+                kind,
+                on,
+                schema,
+            };
+            wrap_filter(joined, keep)
+        }
+        other => wrap_filter(other, conjuncts),
+    }
+}
+
+/// Partition conjuncts into (push-left, push-right, keep-above) for a join
+/// of the given type. Right-side conjuncts are re-indexed.
+fn split_by_side(
+    conjuncts: Vec<BoundExpr>,
+    left_width: usize,
+    kind: JoinType,
+) -> (Vec<BoundExpr>, Vec<BoundExpr>, Vec<BoundExpr>) {
+    let mut left = Vec::new();
+    let right = Vec::new();
+    let mut keep = Vec::new();
+    let _ = kind;
+    for conjunct in conjuncts {
+        let mut refs = Vec::new();
+        collect_row_refs(&conjunct, 0, &mut refs);
+        let all_left = refs.iter().all(|i| *i < left_width);
+        // Only left-side conjuncts sink. For any join type this is safe: a
+        // conjunct over left columns sees identical values above and below
+        // the join. Right-side pushes would also be *correct* for inner
+        // joins, but without cardinality estimates they are a bad bet: in
+        // ConQuer's Filter CTEs the right side is a base table and the
+        // right-side conjunct is the low-selectivity NSC disjunction, which
+        // is far cheaper to evaluate on the join's (small) output. The
+        // conscand guard of Section 5 — the case this pass exists for —
+        // always lands on the left (candidates) side.
+        if all_left {
+            left.push(conjunct);
+        } else {
+            keep.push(conjunct);
+        }
+    }
+    // Semi/anti join outputs only left columns; the planner never produces
+    // right-referencing filters above them, so `keep` handles any residue.
+    (left, right, keep)
+}
+
+fn wrap_filter(plan: Plan, conjuncts: Vec<BoundExpr>) -> Plan {
+    match conjoin_bound(conjuncts) {
+        None => plan,
+        Some(predicate) => Plan::Filter { input: Box::new(plan), predicate },
+    }
+}
+
+/// Split a bound predicate into its top-level AND conjuncts.
+fn split_bound_conjuncts(e: BoundExpr) -> Vec<BoundExpr> {
+    match e {
+        BoundExpr::Binary { op: conquer_sql::BinaryOp::And, left, right } => {
+            let mut out = split_bound_conjuncts(*left);
+            out.extend(split_bound_conjuncts(*right));
+            out
+        }
+        other => vec![other],
+    }
+}
+
+fn conjoin_bound(conjuncts: Vec<BoundExpr>) -> Option<BoundExpr> {
+    conjuncts.into_iter().reduce(|a, b| BoundExpr::Binary {
+        op: conquer_sql::BinaryOp::And,
+        left: Box::new(a),
+        right: Box::new(b),
+    })
+}
+
+/// Collect the row-level column indices an expression references: columns at
+/// `depth == level`, including references from inside nested subquery plans
+/// (where the row sits one scope deeper per nesting level).
+fn collect_row_refs(e: &BoundExpr, level: usize, out: &mut Vec<usize>) {
+    use BoundExpr::*;
+    match e {
+        Column { depth, index } => {
+            if *depth == level {
+                out.push(*index);
+            }
+        }
+        Literal(_) | AggRef { .. } => {}
+        Binary { left, right, .. } => {
+            collect_row_refs(left, level, out);
+            collect_row_refs(right, level, out);
+        }
+        Not(x) | Neg(x) => collect_row_refs(x, level, out),
+        IsNull { expr, .. } => collect_row_refs(expr, level, out),
+        InList { expr, list, .. } => {
+            collect_row_refs(expr, level, out);
+            for x in list {
+                collect_row_refs(x, level, out);
+            }
+        }
+        Like { expr, pattern, .. } => {
+            collect_row_refs(expr, level, out);
+            collect_row_refs(pattern, level, out);
+        }
+        Case { branches, else_expr } => {
+            for (c, v) in branches {
+                collect_row_refs(c, level, out);
+                collect_row_refs(v, level, out);
+            }
+            if let Some(x) = else_expr {
+                collect_row_refs(x, level, out);
+            }
+        }
+        Func { args, .. } => {
+            for x in args {
+                collect_row_refs(x, level, out);
+            }
+        }
+        Subquery { plan, kind } => {
+            collect_plan_row_refs(plan, level + 1, out);
+            if let SubqueryKind::In { expr, .. } = kind {
+                collect_row_refs(expr, level, out);
+            }
+        }
+    }
+}
+
+fn collect_plan_row_refs(plan: &Plan, level: usize, out: &mut Vec<usize>) {
+    plan.visit_exprs(&mut |e| collect_row_refs(e, level, out));
+}
+
+/// Subtract `delta` from every row-level (depth == level) column index —
+/// needed if a conjunct ever moves to the right side of a join (currently
+/// unused by the pass itself: right-side pushes are disabled pending
+/// cardinality estimation; see `split_by_side`).
+#[allow(dead_code)]
+fn remap_row_refs(e: &mut BoundExpr, level: usize, delta: usize) {
+    use BoundExpr::*;
+    match e {
+        Column { depth, index } => {
+            if *depth == level {
+                *index -= delta;
+            }
+        }
+        Literal(_) | AggRef { .. } => {}
+        Binary { left, right, .. } => {
+            remap_row_refs(left, level, delta);
+            remap_row_refs(right, level, delta);
+        }
+        Not(x) | Neg(x) => remap_row_refs(x, level, delta),
+        IsNull { expr, .. } => remap_row_refs(expr, level, delta),
+        InList { expr, list, .. } => {
+            remap_row_refs(expr, level, delta);
+            for x in list {
+                remap_row_refs(x, level, delta);
+            }
+        }
+        Like { expr, pattern, .. } => {
+            remap_row_refs(expr, level, delta);
+            remap_row_refs(pattern, level, delta);
+        }
+        Case { branches, else_expr } => {
+            for (c, v) in branches {
+                remap_row_refs(c, level, delta);
+                remap_row_refs(v, level, delta);
+            }
+            if let Some(x) = else_expr {
+                remap_row_refs(x, level, delta);
+            }
+        }
+        Func { args, .. } => {
+            for x in args {
+                remap_row_refs(x, level, delta);
+            }
+        }
+        Subquery { plan, kind } => {
+            plan.visit_exprs_mut(&mut |ex| remap_row_refs(ex, level + 1, delta));
+            if let SubqueryKind::In { expr, .. } = kind {
+                remap_row_refs(expr, level, delta);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn col(i: usize) -> BoundExpr {
+        BoundExpr::column(i)
+    }
+
+    fn gt(l: BoundExpr, v: i64) -> BoundExpr {
+        BoundExpr::Binary {
+            op: conquer_sql::BinaryOp::Gt,
+            left: Box::new(l),
+            right: Box::new(BoundExpr::Literal(Value::Int(v))),
+        }
+    }
+
+    fn and(l: BoundExpr, r: BoundExpr) -> BoundExpr {
+        BoundExpr::Binary {
+            op: conquer_sql::BinaryOp::And,
+            left: Box::new(l),
+            right: Box::new(r),
+        }
+    }
+
+    #[test]
+    fn splits_and_rejoins_conjuncts() {
+        let e = and(gt(col(0), 1), and(gt(col(1), 2), gt(col(2), 3)));
+        let parts = split_bound_conjuncts(e);
+        assert_eq!(parts.len(), 3);
+        let back = conjoin_bound(parts).unwrap();
+        assert_eq!(split_bound_conjuncts(back).len(), 3);
+    }
+
+    #[test]
+    fn side_split_classifies_by_column_range() {
+        let conjuncts = vec![gt(col(0), 1), gt(col(5), 2), gt(and(col(0), col(5)), 0)];
+        let (l, r, keep) = split_by_side(conjuncts, 3, JoinType::Inner);
+        assert_eq!(l.len(), 1);
+        // Right-side pushes are disabled (no cardinality estimation).
+        assert!(r.is_empty());
+        assert_eq!(keep.len(), 2);
+    }
+
+    #[test]
+    fn left_outer_join_keeps_right_conjuncts_above() {
+        let conjuncts = vec![gt(col(0), 1), gt(col(5), 2)];
+        let (l, r, keep) = split_by_side(conjuncts, 3, JoinType::LeftOuter);
+        assert_eq!(l.len(), 1);
+        assert!(r.is_empty());
+        assert_eq!(keep.len(), 1);
+    }
+
+    #[test]
+    fn remap_subtracts_at_level() {
+        let mut e = gt(col(5), 2);
+        remap_row_refs(&mut e, 0, 3);
+        let mut refs = Vec::new();
+        collect_row_refs(&e, 0, &mut refs);
+        assert_eq!(refs, vec![2]);
+    }
+}

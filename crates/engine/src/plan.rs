@@ -1,0 +1,1682 @@
+//! The planner/binder: turns a parsed [`Query`] into an executable [`Plan`].
+//!
+//! CTEs are materialized at plan time (the paper materializes its
+//! `Candidates`/`Filter` subexpressions explicitly, Section 6.1); an
+//! [`ExecOptions`] flag re-inlines them instead, for the ablation study.
+//! Equality-correlated `EXISTS`/`NOT EXISTS` predicates are decorrelated
+//! into hash semi/anti joins; a second flag disables that and falls back to
+//! per-row nested-loop evaluation.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use conquer_sql::ast::{
+    self, is_aggregate_function, BinaryOp, Cte, Expr, Query, Select, SelectItem, SetExpr,
+    TableRef, UnaryOp,
+};
+use conquer_sql::Literal;
+
+use crate::database::Database;
+use crate::error::{EngineError, Result};
+use crate::exec;
+use crate::expr::{BoundExpr, ScalarFunc, SubqueryKind};
+use crate::schema::{Column, DataType, Schema};
+use crate::table::Rows;
+use crate::value::Value;
+
+/// Planner/executor options; the defaults match the paper's configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecOptions {
+    /// Materialize `WITH` subexpressions once per query (Section 6.1 of the
+    /// paper found this essential for the rewritings). When `false`, each
+    /// CTE reference re-plans and re-executes the CTE body.
+    pub materialize_ctes: bool,
+    /// Rewrite equality-correlated `EXISTS`/`NOT EXISTS` into hash
+    /// semi/anti joins. When `false`, they run as per-row nested loops.
+    pub decorrelate_exists: bool,
+    /// Push filter conjuncts below joins after planning (the host-optimizer
+    /// behaviour Section 5 of the paper relies on for the `conscand` guard).
+    pub pushdown_filters: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions { materialize_ctes: true, decorrelate_exists: true, pushdown_filters: true }
+    }
+}
+
+/// Join flavours of the physical plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinType {
+    Inner,
+    LeftOuter,
+    /// Emit left rows with at least one match (output schema = left).
+    Semi,
+    /// Emit left rows with no match (output schema = left).
+    Anti,
+}
+
+/// One aggregate computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggSpec {
+    pub func: AggFunc,
+    /// `None` for `COUNT(*)`.
+    pub arg: Option<BoundExpr>,
+    pub distinct: bool,
+}
+
+/// Supported aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Min,
+    Max,
+    Avg,
+}
+
+impl AggFunc {
+    pub fn by_name(name: &str) -> Option<AggFunc> {
+        Some(match name {
+            "count" => AggFunc::Count,
+            "sum" => AggFunc::Sum,
+            "min" => AggFunc::Min,
+            "max" => AggFunc::Max,
+            "avg" => AggFunc::Avg,
+            _ => return None,
+        })
+    }
+}
+
+/// An executable operator tree.
+#[derive(Debug, Clone)]
+pub enum Plan {
+    /// Scan of pre-materialized rows (base table or materialized CTE). The
+    /// schema carries the binding qualifier; `rows` are shared.
+    Scan { rows: Arc<Rows>, schema: Schema },
+    /// A single empty row — the input of `SELECT` without `FROM`.
+    Unit,
+    Filter { input: Box<Plan>, predicate: BoundExpr },
+    Project { input: Box<Plan>, exprs: Vec<BoundExpr>, schema: Schema },
+    /// Rename/requalify the input schema without touching rows.
+    Rename { input: Box<Plan>, schema: Schema },
+    HashJoin {
+        left: Box<Plan>,
+        right: Box<Plan>,
+        kind: JoinType,
+        left_keys: Vec<BoundExpr>,
+        right_keys: Vec<BoundExpr>,
+        /// Extra join condition over the concatenated row, part of the ON
+        /// clause (affects match decisions for outer joins).
+        residual: Option<BoundExpr>,
+        schema: Schema,
+    },
+    /// Fallback join for non-equi or missing ON conditions.
+    NestedLoopJoin {
+        left: Box<Plan>,
+        right: Box<Plan>,
+        kind: JoinType,
+        on: Option<BoundExpr>,
+        schema: Schema,
+    },
+    Aggregate {
+        input: Box<Plan>,
+        group_exprs: Vec<BoundExpr>,
+        aggs: Vec<AggSpec>,
+        schema: Schema,
+    },
+    Distinct { input: Box<Plan> },
+    UnionAll { left: Box<Plan>, right: Box<Plan> },
+    Sort { input: Box<Plan>, keys: Vec<(BoundExpr, bool)> },
+    Limit { input: Box<Plan>, n: u64 },
+}
+
+impl Plan {
+    /// Output schema of this operator.
+    pub fn schema(&self) -> &Schema {
+        match self {
+            Plan::Scan { schema, .. } => schema,
+            Plan::Unit => {
+                static EMPTY: Schema = Schema { columns: Vec::new() };
+                &EMPTY
+            }
+            Plan::Filter { input, .. }
+            | Plan::Distinct { input }
+            | Plan::Sort { input, .. }
+            | Plan::Limit { input, .. } => input.schema(),
+            Plan::Project { schema, .. }
+            | Plan::Rename { schema, .. }
+            | Plan::HashJoin { schema, .. }
+            | Plan::NestedLoopJoin { schema, .. }
+            | Plan::Aggregate { schema, .. } => schema,
+            Plan::UnionAll { left, .. } => left.schema(),
+        }
+    }
+
+    /// Maximum outer-scope depth referenced by any expression in the plan,
+    /// from the perspective of rows flowing through this plan (0 = no
+    /// correlation).
+    pub fn max_outer_depth(&self) -> usize {
+        // Expressions inside a plan evaluate against that plan's own rows at
+        // depth 0; anything deeper refers to enclosing query scopes.
+        match self {
+            Plan::Scan { .. } | Plan::Unit => 0,
+            Plan::Filter { input, predicate } => {
+                input.max_outer_depth().max(predicate.max_depth())
+            }
+            Plan::Project { input, exprs, .. } => input
+                .max_outer_depth()
+                .max(exprs.iter().map(BoundExpr::max_depth).max().unwrap_or(0)),
+            Plan::Rename { input, .. }
+            | Plan::Distinct { input }
+            | Plan::Limit { input, .. } => input.max_outer_depth(),
+            Plan::Sort { input, keys } => input
+                .max_outer_depth()
+                .max(keys.iter().map(|(e, _)| e.max_depth()).max().unwrap_or(0)),
+            Plan::HashJoin { left, right, left_keys, right_keys, residual, .. } => left
+                .max_outer_depth()
+                .max(right.max_outer_depth())
+                .max(left_keys.iter().map(BoundExpr::max_depth).max().unwrap_or(0))
+                .max(right_keys.iter().map(BoundExpr::max_depth).max().unwrap_or(0))
+                .max(residual.as_ref().map(|e| e.max_depth()).unwrap_or(0)),
+            Plan::NestedLoopJoin { left, right, on, .. } => left
+                .max_outer_depth()
+                .max(right.max_outer_depth())
+                .max(on.as_ref().map(|e| e.max_depth()).unwrap_or(0)),
+            Plan::Aggregate { input, group_exprs, aggs, .. } => input
+                .max_outer_depth()
+                .max(group_exprs.iter().map(BoundExpr::max_depth).max().unwrap_or(0))
+                .max(
+                    aggs.iter()
+                        .filter_map(|a| a.arg.as_ref())
+                        .map(BoundExpr::max_depth)
+                        .max()
+                        .unwrap_or(0),
+                ),
+            Plan::UnionAll { left, right } => {
+                left.max_outer_depth().max(right.max_outer_depth())
+            }
+        }
+    }
+
+    /// Visit every expression embedded in this plan tree (immutably).
+    pub fn visit_exprs(&self, f: &mut impl FnMut(&BoundExpr)) {
+        match self {
+            Plan::Scan { .. } | Plan::Unit => {}
+            Plan::Filter { input, predicate } => {
+                f(predicate);
+                input.visit_exprs(f);
+            }
+            Plan::Project { input, exprs, .. } => {
+                exprs.iter().for_each(&mut *f);
+                input.visit_exprs(f);
+            }
+            Plan::Rename { input, .. } | Plan::Distinct { input } | Plan::Limit { input, .. } => {
+                input.visit_exprs(f)
+            }
+            Plan::Sort { input, keys } => {
+                keys.iter().for_each(|(e, _)| f(e));
+                input.visit_exprs(f);
+            }
+            Plan::HashJoin { left, right, left_keys, right_keys, residual, .. } => {
+                left_keys.iter().chain(right_keys).for_each(&mut *f);
+                if let Some(r) = residual {
+                    f(r);
+                }
+                left.visit_exprs(f);
+                right.visit_exprs(f);
+            }
+            Plan::NestedLoopJoin { left, right, on, .. } => {
+                if let Some(o) = on {
+                    f(o);
+                }
+                left.visit_exprs(f);
+                right.visit_exprs(f);
+            }
+            Plan::Aggregate { input, group_exprs, aggs, .. } => {
+                group_exprs.iter().for_each(&mut *f);
+                aggs.iter().filter_map(|a| a.arg.as_ref()).for_each(&mut *f);
+                input.visit_exprs(f);
+            }
+            Plan::UnionAll { left, right } => {
+                left.visit_exprs(f);
+                right.visit_exprs(f);
+            }
+        }
+    }
+
+    /// Visit every expression embedded in this plan tree (mutably).
+    pub fn visit_exprs_mut(&mut self, f: &mut impl FnMut(&mut BoundExpr)) {
+        match self {
+            Plan::Scan { .. } | Plan::Unit => {}
+            Plan::Filter { input, predicate } => {
+                f(predicate);
+                input.visit_exprs_mut(f);
+            }
+            Plan::Project { input, exprs, .. } => {
+                exprs.iter_mut().for_each(&mut *f);
+                input.visit_exprs_mut(f);
+            }
+            Plan::Rename { input, .. } | Plan::Distinct { input } | Plan::Limit { input, .. } => {
+                input.visit_exprs_mut(f)
+            }
+            Plan::Sort { input, keys } => {
+                keys.iter_mut().for_each(|(e, _)| f(e));
+                input.visit_exprs_mut(f);
+            }
+            Plan::HashJoin { left, right, left_keys, right_keys, residual, .. } => {
+                left_keys.iter_mut().chain(right_keys.iter_mut()).for_each(&mut *f);
+                if let Some(r) = residual {
+                    f(r);
+                }
+                left.visit_exprs_mut(f);
+                right.visit_exprs_mut(f);
+            }
+            Plan::NestedLoopJoin { left, right, on, .. } => {
+                if let Some(o) = on {
+                    f(o);
+                }
+                left.visit_exprs_mut(f);
+                right.visit_exprs_mut(f);
+            }
+            Plan::Aggregate { input, group_exprs, aggs, .. } => {
+                group_exprs.iter_mut().for_each(&mut *f);
+                aggs.iter_mut().filter_map(|a| a.arg.as_mut()).for_each(&mut *f);
+                input.visit_exprs_mut(f);
+            }
+            Plan::UnionAll { left, right } => {
+                left.visit_exprs_mut(f);
+                right.visit_exprs_mut(f);
+            }
+        }
+    }
+
+    /// Shift every outer-scope reference in the plan by `delta`.
+    pub fn shift_outer_depths(&mut self, delta: usize) {
+        match self {
+            Plan::Scan { .. } | Plan::Unit => {}
+            Plan::Filter { input, predicate } => {
+                input.shift_outer_depths(delta);
+                shift_if_outer(predicate, delta);
+            }
+            Plan::Project { input, exprs, .. } => {
+                input.shift_outer_depths(delta);
+                for e in exprs {
+                    shift_if_outer(e, delta);
+                }
+            }
+            Plan::Rename { input, .. } | Plan::Distinct { input } | Plan::Limit { input, .. } => {
+                input.shift_outer_depths(delta)
+            }
+            Plan::Sort { input, keys } => {
+                input.shift_outer_depths(delta);
+                for (e, _) in keys {
+                    shift_if_outer(e, delta);
+                }
+            }
+            Plan::HashJoin { left, right, left_keys, right_keys, residual, .. } => {
+                left.shift_outer_depths(delta);
+                right.shift_outer_depths(delta);
+                for e in left_keys.iter_mut().chain(right_keys.iter_mut()) {
+                    shift_if_outer(e, delta);
+                }
+                if let Some(e) = residual {
+                    shift_if_outer(e, delta);
+                }
+            }
+            Plan::NestedLoopJoin { left, right, on, .. } => {
+                left.shift_outer_depths(delta);
+                right.shift_outer_depths(delta);
+                if let Some(e) = on {
+                    shift_if_outer(e, delta);
+                }
+            }
+            Plan::Aggregate { input, group_exprs, aggs, .. } => {
+                input.shift_outer_depths(delta);
+                for e in group_exprs {
+                    shift_if_outer(e, delta);
+                }
+                for a in aggs {
+                    if let Some(e) = &mut a.arg {
+                        shift_if_outer(e, delta);
+                    }
+                }
+            }
+            Plan::UnionAll { left, right } => {
+                left.shift_outer_depths(delta);
+                right.shift_outer_depths(delta);
+            }
+        }
+    }
+}
+
+/// Shift only references that escape the current plan scope (depth >= 1).
+fn shift_if_outer(e: &mut BoundExpr, delta: usize) {
+    shift_above(e, 1, delta);
+}
+
+fn shift_above(e: &mut BoundExpr, min_depth: usize, delta: usize) {
+    use BoundExpr::*;
+    match e {
+        Column { depth, .. } => {
+            if *depth >= min_depth {
+                *depth += delta;
+            }
+        }
+        Literal(_) | AggRef { .. } => {}
+        Binary { left, right, .. } => {
+            shift_above(left, min_depth, delta);
+            shift_above(right, min_depth, delta);
+        }
+        Not(x) | Neg(x) => shift_above(x, min_depth, delta),
+        IsNull { expr, .. } => shift_above(expr, min_depth, delta),
+        InList { expr, list, .. } => {
+            shift_above(expr, min_depth, delta);
+            for x in list {
+                shift_above(x, min_depth, delta);
+            }
+        }
+        Like { expr, pattern, .. } => {
+            shift_above(expr, min_depth, delta);
+            shift_above(pattern, min_depth, delta);
+        }
+        Case { branches, else_expr } => {
+            for (c, v) in branches {
+                shift_above(c, min_depth, delta);
+                shift_above(v, min_depth, delta);
+            }
+            if let Some(x) = else_expr {
+                shift_above(x, min_depth, delta);
+            }
+        }
+        Func { args, .. } => {
+            for x in args {
+                shift_above(x, min_depth, delta);
+            }
+        }
+        Subquery { plan, kind } => {
+            // Inside the subquery plan, our depth-1 is its depth-2, etc.
+            shift_plan_above(plan, min_depth + 1, delta);
+            if let SubqueryKind::In { expr, .. } = kind {
+                shift_above(expr, min_depth, delta);
+            }
+        }
+    }
+}
+
+fn shift_plan_above(plan: &mut Plan, min_depth: usize, delta: usize) {
+    match plan {
+        Plan::Scan { .. } | Plan::Unit => {}
+        Plan::Filter { input, predicate } => {
+            shift_plan_above(input, min_depth, delta);
+            shift_above(predicate, min_depth, delta);
+        }
+        Plan::Project { input, exprs, .. } => {
+            shift_plan_above(input, min_depth, delta);
+            for e in exprs {
+                shift_above(e, min_depth, delta);
+            }
+        }
+        Plan::Rename { input, .. } | Plan::Distinct { input } | Plan::Limit { input, .. } => {
+            shift_plan_above(input, min_depth, delta)
+        }
+        Plan::Sort { input, keys } => {
+            shift_plan_above(input, min_depth, delta);
+            for (e, _) in keys {
+                shift_above(e, min_depth, delta);
+            }
+        }
+        Plan::HashJoin { left, right, left_keys, right_keys, residual, .. } => {
+            shift_plan_above(left, min_depth, delta);
+            shift_plan_above(right, min_depth, delta);
+            for e in left_keys.iter_mut().chain(right_keys.iter_mut()) {
+                shift_above(e, min_depth, delta);
+            }
+            if let Some(e) = residual {
+                shift_above(e, min_depth, delta);
+            }
+        }
+        Plan::NestedLoopJoin { left, right, on, .. } => {
+            shift_plan_above(left, min_depth, delta);
+            shift_plan_above(right, min_depth, delta);
+            if let Some(e) = on {
+                shift_above(e, min_depth, delta);
+            }
+        }
+        Plan::Aggregate { input, group_exprs, aggs, .. } => {
+            shift_plan_above(input, min_depth, delta);
+            for e in group_exprs {
+                shift_above(e, min_depth, delta);
+            }
+            for a in aggs {
+                if let Some(e) = &mut a.arg {
+                    shift_above(e, min_depth, delta);
+                }
+            }
+        }
+        Plan::UnionAll { left, right } => {
+            shift_plan_above(left, min_depth, delta);
+            shift_plan_above(right, min_depth, delta);
+        }
+    }
+}
+
+/// CTE bindings visible while planning a query.
+#[derive(Debug, Clone, Default)]
+struct CteEnv {
+    /// Materialized CTE results.
+    materialized: HashMap<String, Arc<Rows>>,
+    /// Inline CTE definitions (when materialization is disabled).
+    inline: HashMap<String, Arc<Query>>,
+}
+
+/// Binding scope chain used during name resolution.
+#[derive(Debug, Clone, Copy)]
+struct BindScope<'a> {
+    schema: &'a Schema,
+    parent: Option<&'a BindScope<'a>>,
+}
+
+impl<'a> BindScope<'a> {
+    fn root(schema: &'a Schema) -> BindScope<'a> {
+        BindScope { schema, parent: None }
+    }
+
+    /// Resolve a column to (depth, index).
+    fn resolve(&self, col: &ast::ColumnRef) -> Result<(usize, usize)> {
+        let mut scope = Some(self);
+        let mut depth = 0;
+        let mut last_err = EngineError::UnknownColumn(col.name.clone());
+        while let Some(s) = scope {
+            match s.schema.resolve(col) {
+                Ok(i) => return Ok((depth, i)),
+                Err(e @ EngineError::AmbiguousColumn(_)) => return Err(e),
+                Err(e) => last_err = e,
+            }
+            scope = s.parent;
+            depth += 1;
+        }
+        Err(last_err)
+    }
+}
+
+/// The planner: holds the database catalog and options.
+pub struct Planner<'a> {
+    db: &'a Database,
+    options: ExecOptions,
+}
+
+impl<'a> Planner<'a> {
+    pub fn new(db: &'a Database, options: ExecOptions) -> Planner<'a> {
+        Planner { db, options }
+    }
+
+    /// Plan (and, for CTEs, partially execute) a full query.
+    pub fn plan_query(&self, query: &Query) -> Result<Plan> {
+        let env = CteEnv::default();
+        self.plan_query_in(query, &env, None)
+    }
+
+    fn plan_query_in(
+        &self,
+        query: &Query,
+        env: &CteEnv,
+        outer: Option<&BindScope<'_>>,
+    ) -> Result<Plan> {
+        let mut env = env.clone();
+        for cte in &query.ctes {
+            self.register_cte(cte, &mut env)?;
+        }
+        let mut plan = self.plan_set_expr(&query.body, &env, outer)?;
+        if !query.order_by.is_empty() {
+            let schema = plan.schema().clone();
+            let mut keys = Vec::new();
+            for item in &query.order_by {
+                let bound = self.bind_order_key(&item.expr, &schema, outer)?;
+                keys.push((bound, item.desc));
+            }
+            plan = Plan::Sort { input: Box::new(plan), keys };
+        }
+        if let Some(n) = query.limit {
+            plan = Plan::Limit { input: Box::new(plan), n };
+        }
+        Ok(plan)
+    }
+
+    fn register_cte(&self, cte: &Cte, env: &mut CteEnv) -> Result<()> {
+        if self.options.materialize_ctes {
+            // CTEs cannot be correlated: plan and run with no outer scope.
+            let mut plan = self.plan_query_in(&cte.query, env, None)?;
+            if self.options.pushdown_filters {
+                plan = crate::opt::optimize(plan);
+            }
+            let rows = exec::execute(&plan, None)?;
+            env.materialized.insert(cte.name.clone(), Arc::new(rows));
+        } else {
+            env.inline.insert(cte.name.clone(), Arc::new(cte.query.clone()));
+        }
+        Ok(())
+    }
+
+    /// ORDER BY keys resolve against the output schema; an integer literal
+    /// is a 1-based output column position (SQL positional ordering).
+    fn bind_order_key(
+        &self,
+        expr: &Expr,
+        output: &Schema,
+        outer: Option<&BindScope<'_>>,
+    ) -> Result<BoundExpr> {
+        if let Expr::Literal(Literal::Integer(k)) = expr {
+            let idx = usize::try_from(*k - 1)
+                .ok()
+                .filter(|i| *i < output.len())
+                .ok_or_else(|| {
+                    EngineError::Execution(format!("ORDER BY position {k} out of range"))
+                })?;
+            return Ok(BoundExpr::column(idx));
+        }
+        let scope = BindScope { schema: output, parent: outer };
+        match self.bind_expr(expr, &scope, &CteEnv::default()) {
+            Ok(bound) => Ok(bound),
+            // `ORDER BY t.col` over a projection that exposes the column as
+            // bare `col`: retry with the qualifier stripped.
+            Err(EngineError::UnknownColumn(_)) => {
+                if let Expr::Column(c) = expr {
+                    if c.qualifier.is_some() {
+                        let bare = Expr::Column(ast::ColumnRef::bare(c.name.clone()));
+                        return self.bind_expr(&bare, &scope, &CteEnv::default());
+                    }
+                }
+                Err(EngineError::UnknownColumn(format!("ORDER BY expression `{expr}`")))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn plan_set_expr(
+        &self,
+        body: &SetExpr,
+        env: &CteEnv,
+        outer: Option<&BindScope<'_>>,
+    ) -> Result<Plan> {
+        match body {
+            SetExpr::Select(select) => self.plan_select(select, env, outer),
+            SetExpr::UnionAll(l, r) => {
+                let left = self.plan_set_expr(l, env, outer)?;
+                let right = self.plan_set_expr(r, env, outer)?;
+                if left.schema().len() != right.schema().len() {
+                    return Err(EngineError::Execution(format!(
+                        "UNION ALL arity mismatch: {} vs {} columns",
+                        left.schema().len(),
+                        right.schema().len()
+                    )));
+                }
+                Ok(Plan::UnionAll { left: Box::new(left), right: Box::new(right) })
+            }
+        }
+    }
+
+    fn plan_select(
+        &self,
+        select: &Select,
+        env: &CteEnv,
+        outer: Option<&BindScope<'_>>,
+    ) -> Result<Plan> {
+        // 1 + 2. FROM and WHERE are planned together: equality conjuncts
+        // between two FROM factors become hash-join keys and single-factor
+        // conjuncts are pushed below the joins, so comma-style joins never
+        // materialize cross products.
+        let plan = self.plan_from_where(select, env, outer)?;
+
+        // 3. Grouping / aggregation, projection, DISTINCT.
+        let has_aggregates = !select.group_by.is_empty()
+            || select.projection.iter().any(|item| match item {
+                SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
+                _ => false,
+            })
+            || select.having.as_ref().is_some_and(Expr::contains_aggregate);
+
+        let mut plan = if has_aggregates {
+            self.plan_aggregate(plan, select, env, outer)?
+        } else {
+            if select.having.is_some() {
+                return Err(EngineError::Unsupported(
+                    "HAVING without GROUP BY or aggregates".into(),
+                ));
+            }
+            self.plan_projection(plan, &select.projection, env, outer)?
+        };
+
+        if select.distinct {
+            plan = Plan::Distinct { input: Box::new(plan) };
+        }
+        Ok(plan)
+    }
+
+    fn plan_table_ref(
+        &self,
+        table_ref: &TableRef,
+        env: &CteEnv,
+        outer: Option<&BindScope<'_>>,
+        bindings: &mut Vec<String>,
+    ) -> Result<Plan> {
+        match table_ref {
+            TableRef::Table { name, alias } => {
+                let binding = alias.as_deref().unwrap_or(name);
+                self.check_binding(binding, bindings)?;
+                // CTEs shadow base tables.
+                if let Some(rows) = env.materialized.get(name) {
+                    let schema = rows.schema.qualified(binding);
+                    return Ok(Plan::Scan { rows: Arc::clone(rows), schema });
+                }
+                if let Some(query) = env.inline.get(name) {
+                    // Re-plan the CTE body at each reference (ablation mode).
+                    let inner = self.plan_query_in(query, env, None)?;
+                    let schema = inner.schema().qualified(binding);
+                    return Ok(Plan::Rename { input: Box::new(inner), schema });
+                }
+                let table = self.db.table(name)?;
+                let schema = table.schema().qualified(binding);
+                let rows = self.db.table_rows(name)?;
+                Ok(Plan::Scan { rows, schema })
+            }
+            TableRef::Subquery { query, alias } => {
+                self.check_binding(alias, bindings)?;
+                let inner = self.plan_query_in(query, env, None)?;
+                let schema = inner.schema().qualified(alias);
+                Ok(Plan::Rename { input: Box::new(inner), schema })
+            }
+            TableRef::Join { left, kind, right, on } => {
+                let left_plan = self.plan_table_ref(left, env, outer, bindings)?;
+                let right_plan = self.plan_table_ref(right, env, outer, bindings)?;
+                self.plan_join(left_plan, right_plan, *kind, on.as_ref(), outer)
+            }
+        }
+    }
+
+    fn check_binding(&self, binding: &str, bindings: &mut Vec<String>) -> Result<()> {
+        if bindings.iter().any(|b| b == binding) {
+            return Err(EngineError::Execution(format!(
+                "duplicate table binding `{binding}` in FROM clause (use aliases)"
+            )));
+        }
+        bindings.push(binding.to_string());
+        Ok(())
+    }
+
+    fn plan_join(
+        &self,
+        left: Plan,
+        right: Plan,
+        kind: ast::JoinKind,
+        on: Option<&Expr>,
+        outer: Option<&BindScope<'_>>,
+    ) -> Result<Plan> {
+        let schema = left.schema().join(right.schema());
+        let join_type = match kind {
+            ast::JoinKind::Inner => JoinType::Inner,
+            ast::JoinKind::LeftOuter => JoinType::LeftOuter,
+            ast::JoinKind::Cross => {
+                return Ok(Plan::NestedLoopJoin {
+                    left: Box::new(left),
+                    right: Box::new(right),
+                    kind: JoinType::Inner,
+                    on: None,
+                    schema,
+                })
+            }
+        };
+        let on = on.ok_or_else(|| EngineError::Unsupported("join without ON".into()))?;
+        let conjuncts: Vec<Expr> = on.split_conjuncts().into_iter().cloned().collect();
+        self.make_join(left, right, join_type, &conjuncts, outer)
+    }
+
+    /// Bind an expression strictly against one schema with no outer scopes
+    /// and no subqueries (used for join-key extraction).
+    fn bind_local(&self, expr: &Expr, schema: &Schema) -> Result<BoundExpr> {
+        let scope = BindScope::root(schema);
+        let bound = self.bind_expr(expr, &scope, &CteEnv::default())?;
+        if bound.max_depth() > 0 {
+            return Err(EngineError::UnknownColumn("outer reference".into()));
+        }
+        Ok(bound)
+    }
+
+    fn bind_with_outer(
+        &self,
+        expr: &Expr,
+        schema: &Schema,
+        outer: Option<&BindScope<'_>>,
+    ) -> Result<BoundExpr> {
+        let scope = match outer {
+            Some(parent) => BindScope { schema, parent: Some(parent) },
+            None => BindScope::root(schema),
+        };
+        self.bind_expr(expr, &scope, &CteEnv::default())
+    }
+
+    /// Plan FROM and WHERE together. Equality conjuncts spanning exactly two
+    /// FROM factors become hash-join keys, single-factor conjuncts are
+    /// pushed below the joins, and everything else (multi-factor residuals,
+    /// correlated predicates, subquery conjuncts) is applied above.
+    fn plan_from_where(
+        &self,
+        select: &Select,
+        env: &CteEnv,
+        outer: Option<&BindScope<'_>>,
+    ) -> Result<Plan> {
+        // Plan each FROM factor independently.
+        let mut bindings = Vec::new();
+        let mut factors: Vec<Plan> = Vec::new();
+        for factor in &select.from {
+            factors.push(self.plan_table_ref(factor, env, outer, &mut bindings)?);
+        }
+        if factors.is_empty() {
+            let mut plan = Plan::Unit;
+            if let Some(w) = &select.selection {
+                plan = self.apply_post_conjuncts(
+                    plan,
+                    &w.split_conjuncts().into_iter().cloned().collect::<Vec<_>>(),
+                    env,
+                    outer,
+                )?;
+            }
+            return Ok(plan);
+        }
+        let factor_schemas: Vec<Schema> =
+            factors.iter().map(|f| f.schema().clone()).collect();
+
+        // Classify WHERE conjuncts by the factors they reference.
+        let conjuncts: Vec<Expr> = select
+            .selection
+            .iter()
+            .flat_map(|w| w.split_conjuncts().into_iter().cloned())
+            .collect();
+        let mut single: Vec<Vec<Expr>> = vec![Vec::new(); factors.len()];
+        // (factor set, conjunct) pairs awaiting a join.
+        let mut pending: Vec<(std::collections::BTreeSet<usize>, Expr)> = Vec::new();
+        let mut post: Vec<Expr> = Vec::new();
+        for conjunct in conjuncts {
+            if contains_subquery(&conjunct) {
+                post.push(conjunct);
+                continue;
+            }
+            match self.conjunct_factors(&conjunct, &factor_schemas)? {
+                Some(set) if set.len() == 1 => {
+                    single[*set.iter().next().expect("non-empty")].push(conjunct);
+                }
+                Some(set) if set.len() >= 2 => pending.push((set, conjunct)),
+                // Constant or outer-correlated predicate: apply at the top.
+                _ => post.push(conjunct),
+            }
+        }
+
+        // Push single-factor selections below the joins.
+        for (factor, preds) in factors.iter_mut().zip(single) {
+            if let Some(pred) = Expr::conjoin(preds) {
+                let schema = factor.schema().clone();
+                let bound = self.bind_with_outer(&pred, &schema, outer)?;
+                let input = std::mem::replace(factor, Plan::Unit);
+                *factor = Plan::Filter { input: Box::new(input), predicate: bound };
+            }
+        }
+
+        // Greedy join ordering: repeatedly merge two components connected by
+        // a pending conjunct; fall back to a cross join when none connects.
+        let mut components: Vec<(std::collections::BTreeSet<usize>, Plan)> = factors
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| (std::collections::BTreeSet::from([i]), p))
+            .collect();
+        while components.len() > 1 {
+            let connection = pending.iter().find_map(|(set, _)| {
+                let touching: Vec<usize> = components
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, (fs, _))| !fs.is_disjoint(set))
+                    .map(|(ci, _)| ci)
+                    .collect();
+                (touching.len() == 2 && set.iter().all(|f| {
+                    components[touching[0]].0.contains(f)
+                        || components[touching[1]].0.contains(f)
+                }))
+                .then_some((touching[0], touching[1]))
+            });
+            let (ci, cj) = connection.unwrap_or((0, 1));
+            let (fj, right) = components.remove(cj.max(ci));
+            let (fi, left) = components.remove(ci.min(cj));
+            let mut merged_factors = fi;
+            merged_factors.extend(fj);
+            // All pending conjuncts now fully contained in the merged pair
+            // become join conditions.
+            let mut join_conjuncts = Vec::new();
+            pending.retain(|(set, conjunct)| {
+                if set.is_subset(&merged_factors) {
+                    join_conjuncts.push(conjunct.clone());
+                    false
+                } else {
+                    true
+                }
+            });
+            let joined =
+                self.make_join(left, right, JoinType::Inner, &join_conjuncts, outer)?;
+            components.push((merged_factors, joined));
+        }
+        let (_, plan) = components.pop().expect("at least one component");
+
+        // Anything left in `pending` spans the (single) remaining component.
+        post.extend(pending.into_iter().map(|(_, c)| c));
+        self.apply_post_conjuncts(plan, &post, env, outer)
+    }
+
+    /// Apply post-join conjuncts: plain ones as a Filter, subquery ones via
+    /// decorrelation or per-row evaluation.
+    fn apply_post_conjuncts(
+        &self,
+        input: Plan,
+        conjuncts: &[Expr],
+        env: &CteEnv,
+        outer: Option<&BindScope<'_>>,
+    ) -> Result<Plan> {
+        let mut plain = Vec::new();
+        let mut subquery_conjuncts = Vec::new();
+        for c in conjuncts {
+            if contains_subquery(c) {
+                subquery_conjuncts.push(c);
+            } else {
+                plain.push(c.clone());
+            }
+        }
+        let mut plan = input;
+        if let Some(pred) = Expr::conjoin(plain) {
+            let schema = plan.schema().clone();
+            let bound = self.bind_with_outer(&pred, &schema, outer)?;
+            plan = Plan::Filter { input: Box::new(plan), predicate: bound };
+        }
+        for conjunct in subquery_conjuncts {
+            plan = self.plan_subquery_conjunct(plan, conjunct, env, outer)?;
+        }
+        Ok(plan)
+    }
+
+    /// The set of FROM factors a conjunct's columns resolve into, or `None`
+    /// when some column resolves in no factor (outer correlation — handled
+    /// later with the full scope chain).
+    fn conjunct_factors(
+        &self,
+        conjunct: &Expr,
+        schemas: &[Schema],
+    ) -> Result<Option<std::collections::BTreeSet<usize>>> {
+        let mut set = std::collections::BTreeSet::new();
+        for col in conjunct.column_refs() {
+            let mut found = None;
+            for (i, schema) in schemas.iter().enumerate() {
+                match schema.resolve(col) {
+                    Ok(_) => {
+                        if found.is_some() {
+                            return Err(EngineError::AmbiguousColumn(col.name.clone()));
+                        }
+                        found = Some(i);
+                    }
+                    Err(EngineError::AmbiguousColumn(name)) => {
+                        return Err(EngineError::AmbiguousColumn(name))
+                    }
+                    Err(_) => {}
+                }
+            }
+            match found {
+                Some(i) => {
+                    set.insert(i);
+                }
+                None => return Ok(None),
+            }
+        }
+        Ok(Some(set))
+    }
+
+    /// Build a join between two plans from a list of AST conjuncts: equality
+    /// conjuncts splitting cleanly across the sides become hash keys, the
+    /// rest become the residual ON condition.
+    fn make_join(
+        &self,
+        left: Plan,
+        right: Plan,
+        kind: JoinType,
+        conjuncts: &[Expr],
+        outer: Option<&BindScope<'_>>,
+    ) -> Result<Plan> {
+        let schema = left.schema().join(right.schema());
+        let mut left_keys = Vec::new();
+        let mut right_keys = Vec::new();
+        let mut residual_parts: Vec<&Expr> = Vec::new();
+        for conjunct in conjuncts {
+            if let Expr::BinaryOp { left: a, op: BinaryOp::Eq, right: b } = conjunct {
+                if let (Ok(ka), Ok(kb)) =
+                    (self.bind_local(a, left.schema()), self.bind_local(b, right.schema()))
+                {
+                    left_keys.push(ka);
+                    right_keys.push(kb);
+                    continue;
+                }
+                if let (Ok(kb), Ok(ka)) =
+                    (self.bind_local(b, left.schema()), self.bind_local(a, right.schema()))
+                {
+                    left_keys.push(kb);
+                    right_keys.push(ka);
+                    continue;
+                }
+            }
+            residual_parts.push(conjunct);
+        }
+
+        if left_keys.is_empty() {
+            let on = match Expr::conjoin(residual_parts.into_iter().cloned()) {
+                Some(e) => Some(self.bind_with_outer(&e, &schema, outer)?),
+                None => None,
+            };
+            return Ok(Plan::NestedLoopJoin {
+                left: Box::new(left),
+                right: Box::new(right),
+                kind,
+                on,
+                schema,
+            });
+        }
+        let residual = match Expr::conjoin(residual_parts.into_iter().cloned()) {
+            Some(e) => Some(self.bind_with_outer(&e, &schema, outer)?),
+            None => None,
+        };
+        Ok(Plan::HashJoin {
+            left: Box::new(left),
+            right: Box::new(right),
+            kind,
+            left_keys,
+            right_keys,
+            residual,
+            schema,
+        })
+    }
+
+    fn plan_subquery_conjunct(
+        &self,
+        input: Plan,
+        conjunct: &Expr,
+        env: &CteEnv,
+        outer: Option<&BindScope<'_>>,
+    ) -> Result<Plan> {
+        if self.options.decorrelate_exists {
+            if let Expr::Exists { subquery, negated } = conjunct {
+                if let Some(plan) = self.try_decorrelate_exists(&input, subquery, *negated, env)? {
+                    return Ok(plan);
+                }
+            }
+            if let Expr::InSubquery { expr, subquery, negated: false } = conjunct {
+                if let Some(plan) = self.try_decorrelate_in(&input, expr, subquery, env)? {
+                    return Ok(plan);
+                }
+            }
+        }
+        // Fallback: evaluate the subquery per row.
+        let schema = input.schema().clone();
+        let bound = self.bind_subquery_aware(conjunct, &schema, env, outer)?;
+        Ok(Plan::Filter { input: Box::new(input), predicate: bound })
+    }
+
+    /// Attempt to turn `[NOT] EXISTS (SELECT ... FROM F WHERE W)` into a
+    /// hash semi/anti join. Succeeds when every correlated conjunct of `W`
+    /// is an equality between an outer column (depth 1) and a local
+    /// expression, and everything else in the subquery is local.
+    fn try_decorrelate_exists(
+        &self,
+        input: &Plan,
+        subquery: &Query,
+        negated: bool,
+        env: &CteEnv,
+    ) -> Result<Option<Plan>> {
+        // Only simple selects: no CTEs of their own with correlation, no
+        // grouping, no distinct needed (existential semantics).
+        if !subquery.ctes.is_empty() || !subquery.order_by.is_empty() || subquery.limit.is_some() {
+            return Ok(None);
+        }
+        let Some(select) = subquery.as_select() else { return Ok(None) };
+        if !select.group_by.is_empty() || select.having.is_some() {
+            return Ok(None);
+        }
+
+        // Plan the subquery FROM clause (must be uncorrelated itself).
+        let mut bindings = Vec::new();
+        let mut sub_plan = match select.from.split_first() {
+            None => return Ok(None),
+            Some((first, rest)) => {
+                let mut p = self.plan_table_ref(first, env, None, &mut bindings)?;
+                for factor in rest {
+                    let right = self.plan_table_ref(factor, env, None, &mut bindings)?;
+                    let schema = p.schema().join(right.schema());
+                    p = Plan::NestedLoopJoin {
+                        left: Box::new(p),
+                        right: Box::new(right),
+                        kind: JoinType::Inner,
+                        on: None,
+                        schema,
+                    };
+                }
+                p
+            }
+        };
+
+        let outer_schema = input.schema().clone();
+        let inner_schema = sub_plan.schema().clone();
+
+        let mut outer_keys = Vec::new();
+        let mut inner_keys = Vec::new();
+        let mut local: Vec<Expr> = Vec::new();
+        if let Some(w) = &select.selection {
+            for conjunct in w.split_conjuncts() {
+                if !contains_subquery(conjunct) {
+                    if let Ok(bound) = self.bind_local(conjunct, &inner_schema) {
+                        local.push(conjunct.clone());
+                        let _ = bound;
+                        continue;
+                    }
+                }
+                // Correlated equality?
+                if let Expr::BinaryOp { left: a, op: BinaryOp::Eq, right: b } = conjunct {
+                    let inner_a = self.bind_local(a, &inner_schema);
+                    let outer_b = self.bind_local(b, &outer_schema);
+                    if let (Ok(ia), Ok(ob)) = (inner_a, outer_b) {
+                        inner_keys.push(ia);
+                        outer_keys.push(ob);
+                        continue;
+                    }
+                    let inner_b = self.bind_local(b, &inner_schema);
+                    let outer_a = self.bind_local(a, &outer_schema);
+                    if let (Ok(ib), Ok(oa)) = (inner_b, outer_a) {
+                        inner_keys.push(ib);
+                        outer_keys.push(oa);
+                        continue;
+                    }
+                }
+                // Some conjunct is neither local nor a simple correlated
+                // equality: give up on decorrelation.
+                return Ok(None);
+            }
+        }
+        if outer_keys.is_empty() {
+            // Uncorrelated EXISTS: cheap to evaluate once via the fallback.
+            return Ok(None);
+        }
+
+        if let Some(pred) = Expr::conjoin(local) {
+            let bound = self.bind_local(&pred, &inner_schema)?;
+            sub_plan = Plan::Filter { input: Box::new(sub_plan), predicate: bound };
+        }
+
+        let kind = if negated { JoinType::Anti } else { JoinType::Semi };
+        Ok(Some(Plan::HashJoin {
+            left: Box::new(input.clone()),
+            right: Box::new(sub_plan),
+            kind,
+            left_keys: outer_keys,
+            right_keys: inner_keys,
+            residual: None,
+            schema: outer_schema,
+        }))
+    }
+
+    /// Attempt `expr IN (uncorrelated subquery)` as a hash semi join.
+    fn try_decorrelate_in(
+        &self,
+        input: &Plan,
+        expr: &Expr,
+        subquery: &Query,
+        env: &CteEnv,
+    ) -> Result<Option<Plan>> {
+        let outer_schema = input.schema().clone();
+        let Ok(outer_key) = self.bind_local(expr, &outer_schema) else {
+            return Ok(None);
+        };
+        // The subquery must be fully uncorrelated.
+        let Ok(sub_plan) = self.plan_query_in(subquery, env, None) else {
+            return Ok(None);
+        };
+        if sub_plan.schema().len() != 1 || sub_plan.max_outer_depth() > 0 {
+            return Ok(None);
+        }
+        Ok(Some(Plan::HashJoin {
+            left: Box::new(input.clone()),
+            right: Box::new(sub_plan),
+            kind: JoinType::Semi,
+            left_keys: vec![outer_key],
+            right_keys: vec![BoundExpr::column(0)],
+            residual: None,
+            schema: outer_schema,
+        }))
+    }
+
+    fn plan_projection(
+        &self,
+        input: Plan,
+        projection: &[SelectItem],
+        env: &CteEnv,
+        outer: Option<&BindScope<'_>>,
+    ) -> Result<Plan> {
+        let input_schema = input.schema().clone();
+        let mut exprs = Vec::new();
+        let mut columns = Vec::new();
+        for (i, item) in projection.iter().enumerate() {
+            match item {
+                SelectItem::Wildcard => {
+                    for (idx, col) in input_schema.columns.iter().enumerate() {
+                        exprs.push(BoundExpr::column(idx));
+                        columns.push(col.clone());
+                    }
+                }
+                SelectItem::QualifiedWildcard(q) => {
+                    let indices = input_schema.indices_for_qualifier(q);
+                    if indices.is_empty() {
+                        return Err(EngineError::UnknownTable(q.clone()));
+                    }
+                    for idx in indices {
+                        exprs.push(BoundExpr::column(idx));
+                        columns.push(input_schema.columns[idx].clone());
+                    }
+                }
+                SelectItem::Expr { expr, alias } => {
+                    let bound = self.bind_subquery_aware(expr, &input_schema, env, outer)?;
+                    let name = output_name(expr, alias.as_deref(), i);
+                    let ty = infer_type(&bound, &input_schema);
+                    exprs.push(bound);
+                    columns.push(Column::bare(&name, ty));
+                }
+            }
+        }
+        let schema = Schema::new(columns);
+        Ok(Plan::Project { input: Box::new(input), exprs, schema })
+    }
+
+    /// Bind an expression that may contain subqueries: the current schema
+    /// becomes the innermost scope, and subquery plans are built with this
+    /// scope (plus enclosing ones) available for correlation.
+    fn bind_subquery_aware(
+        &self,
+        expr: &Expr,
+        schema: &Schema,
+        env: &CteEnv,
+        outer: Option<&BindScope<'_>>,
+    ) -> Result<BoundExpr> {
+        let scope = match outer {
+            Some(parent) => BindScope { schema, parent: Some(parent) },
+            None => BindScope::root(schema),
+        };
+        self.bind_expr_env(expr, &scope, env)
+    }
+
+    fn bind_expr(&self, expr: &Expr, scope: &BindScope<'_>, env: &CteEnv) -> Result<BoundExpr> {
+        self.bind_expr_env(expr, scope, env)
+    }
+
+    fn bind_expr_env(
+        &self,
+        expr: &Expr,
+        scope: &BindScope<'_>,
+        env: &CteEnv,
+    ) -> Result<BoundExpr> {
+        Ok(match expr {
+            Expr::Column(col) => {
+                let (depth, index) = scope.resolve(col)?;
+                BoundExpr::Column { depth, index }
+            }
+            Expr::Literal(l) => BoundExpr::Literal(literal_value(l)),
+            Expr::BinaryOp { left, op, right } => BoundExpr::Binary {
+                op: *op,
+                left: Box::new(self.bind_expr_env(left, scope, env)?),
+                right: Box::new(self.bind_expr_env(right, scope, env)?),
+            },
+            Expr::UnaryOp { op: UnaryOp::Not, expr } => {
+                BoundExpr::Not(Box::new(self.bind_expr_env(expr, scope, env)?))
+            }
+            Expr::UnaryOp { op: UnaryOp::Neg, expr } => {
+                BoundExpr::Neg(Box::new(self.bind_expr_env(expr, scope, env)?))
+            }
+            Expr::IsNull { expr, negated } => BoundExpr::IsNull {
+                expr: Box::new(self.bind_expr_env(expr, scope, env)?),
+                negated: *negated,
+            },
+            Expr::Between { expr, low, high, negated } => {
+                // Desugar: e BETWEEN a AND b  ==  e >= a AND e <= b.
+                let e = self.bind_expr_env(expr, scope, env)?;
+                let lo = self.bind_expr_env(low, scope, env)?;
+                let hi = self.bind_expr_env(high, scope, env)?;
+                let ge = BoundExpr::Binary {
+                    op: BinaryOp::GtEq,
+                    left: Box::new(e.clone()),
+                    right: Box::new(lo),
+                };
+                let le = BoundExpr::Binary {
+                    op: BinaryOp::LtEq,
+                    left: Box::new(e),
+                    right: Box::new(hi),
+                };
+                let both = BoundExpr::Binary {
+                    op: BinaryOp::And,
+                    left: Box::new(ge),
+                    right: Box::new(le),
+                };
+                if *negated {
+                    BoundExpr::Not(Box::new(both))
+                } else {
+                    both
+                }
+            }
+            Expr::InList { expr, list, negated } => BoundExpr::InList {
+                expr: Box::new(self.bind_expr_env(expr, scope, env)?),
+                list: list
+                    .iter()
+                    .map(|e| self.bind_expr_env(e, scope, env))
+                    .collect::<Result<_>>()?,
+                negated: *negated,
+            },
+            Expr::Like { expr, pattern, negated } => BoundExpr::Like {
+                expr: Box::new(self.bind_expr_env(expr, scope, env)?),
+                pattern: Box::new(self.bind_expr_env(pattern, scope, env)?),
+                negated: *negated,
+            },
+            Expr::Case { branches, else_expr } => BoundExpr::Case {
+                branches: branches
+                    .iter()
+                    .map(|(c, v)| {
+                        Ok((
+                            self.bind_expr_env(c, scope, env)?,
+                            self.bind_expr_env(v, scope, env)?,
+                        ))
+                    })
+                    .collect::<Result<_>>()?,
+                else_expr: match else_expr {
+                    Some(e) => Some(Box::new(self.bind_expr_env(e, scope, env)?)),
+                    None => None,
+                },
+            },
+            Expr::Function { name, args, distinct } => {
+                if is_aggregate_function(name) {
+                    return Err(EngineError::Execution(format!(
+                        "aggregate `{name}` not allowed here"
+                    )));
+                }
+                if *distinct {
+                    return Err(EngineError::Unsupported(
+                        "DISTINCT in scalar function".into(),
+                    ));
+                }
+                let func = ScalarFunc::by_name(name).ok_or_else(|| {
+                    EngineError::Unsupported(format!("unknown function `{name}`"))
+                })?;
+                let min_args = match func {
+                    ScalarFunc::Abs => 1,
+                    _ => 1,
+                };
+                if args.len() < min_args || (func == ScalarFunc::Abs && args.len() != 1) {
+                    return Err(EngineError::Execution(format!(
+                        "wrong number of arguments to `{name}`"
+                    )));
+                }
+                BoundExpr::Func {
+                    func,
+                    args: args
+                        .iter()
+                        .map(|a| self.bind_expr_env(a, scope, env))
+                        .collect::<Result<_>>()?,
+                }
+            }
+            Expr::Exists { subquery, negated } => {
+                let plan = self.plan_query_in(subquery, env, Some(scope))?;
+                BoundExpr::Subquery {
+                    plan: Box::new(plan),
+                    kind: SubqueryKind::Exists { negated: *negated },
+                }
+            }
+            Expr::InSubquery { expr, subquery, negated } => {
+                let needle = self.bind_expr_env(expr, scope, env)?;
+                let plan = self.plan_query_in(subquery, env, Some(scope))?;
+                BoundExpr::Subquery {
+                    plan: Box::new(plan),
+                    kind: SubqueryKind::In { expr: Box::new(needle), negated: *negated },
+                }
+            }
+            Expr::ScalarSubquery(subquery) => {
+                let plan = self.plan_query_in(subquery, env, Some(scope))?;
+                BoundExpr::Subquery { plan: Box::new(plan), kind: SubqueryKind::Scalar }
+            }
+            Expr::Wildcard => {
+                return Err(EngineError::Execution(
+                    "`*` is only valid in SELECT lists and COUNT(*)".into(),
+                ))
+            }
+        })
+    }
+
+}
+
+/// `true` when the expression contains any subquery node outside nested
+/// subquery scopes.
+fn contains_subquery(e: &Expr) -> bool {
+    match e {
+        Expr::Exists { .. } | Expr::InSubquery { .. } | Expr::ScalarSubquery(_) => true,
+        Expr::BinaryOp { left, right, .. } => contains_subquery(left) || contains_subquery(right),
+        Expr::UnaryOp { expr, .. } | Expr::IsNull { expr, .. } => contains_subquery(expr),
+        Expr::Between { expr, low, high, .. } => {
+            contains_subquery(expr) || contains_subquery(low) || contains_subquery(high)
+        }
+        Expr::InList { expr, list, .. } => {
+            contains_subquery(expr) || list.iter().any(contains_subquery)
+        }
+        Expr::Like { expr, pattern, .. } => contains_subquery(expr) || contains_subquery(pattern),
+        Expr::Case { branches, else_expr } => {
+            branches.iter().any(|(c, v)| contains_subquery(c) || contains_subquery(v))
+                || else_expr.as_deref().is_some_and(contains_subquery)
+        }
+        Expr::Function { args, .. } => args.iter().any(contains_subquery),
+        Expr::Column(_) | Expr::Literal(_) | Expr::Wildcard => false,
+    }
+}
+
+/// Convert an AST literal to a runtime value.
+pub fn literal_value(l: &Literal) -> Value {
+    match l {
+        Literal::Null => Value::Null,
+        Literal::Boolean(b) => Value::Bool(*b),
+        Literal::Integer(v) => Value::Int(*v),
+        Literal::Float(v) => Value::Float(*v),
+        Literal::String(s) => Value::str(s),
+        Literal::Date(d) => Value::Date(*d),
+    }
+}
+
+/// Output column name for a projected expression.
+fn output_name(expr: &Expr, alias: Option<&str>, position: usize) -> String {
+    if let Some(a) = alias {
+        return a.to_string();
+    }
+    match expr {
+        Expr::Column(c) => c.name.clone(),
+        Expr::Function { name, .. } => name.clone(),
+        _ => format!("_col{}", position + 1),
+    }
+}
+
+/// Best-effort output type inference for projections.
+fn infer_type(bound: &BoundExpr, input: &Schema) -> DataType {
+    match bound {
+        BoundExpr::Column { depth: 0, index } => input.columns[*index].ty,
+        BoundExpr::Literal(Value::Int(_)) => DataType::Integer,
+        BoundExpr::Literal(Value::Float(_)) => DataType::Float,
+        BoundExpr::Literal(Value::Str(_)) => DataType::Text,
+        BoundExpr::Literal(Value::Date(_)) => DataType::Date,
+        BoundExpr::Literal(Value::Bool(_)) => DataType::Boolean,
+        _ => DataType::Any,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation planning
+// ---------------------------------------------------------------------------
+
+impl<'a> Planner<'a> {
+    fn plan_aggregate(
+        &self,
+        input: Plan,
+        select: &Select,
+        env: &CteEnv,
+        outer: Option<&BindScope<'_>>,
+    ) -> Result<Plan> {
+        let input_schema = input.schema().clone();
+
+        // Bind group expressions over the input.
+        let mut group_exprs = Vec::new();
+        let mut group_cols = Vec::new();
+        for (i, g) in select.group_by.iter().enumerate() {
+            let bound = self.bind_subquery_aware(g, &input_schema, env, outer)?;
+            let (name, qualifier) = match g {
+                Expr::Column(c) => (c.name.clone(), c.qualifier.clone()),
+                _ => (format!("_g{}", i + 1), None),
+            };
+            let ty = infer_type(&bound, &input_schema);
+            group_cols.push(Column { qualifier, name, ty });
+            group_exprs.push(bound);
+        }
+
+        // Collect aggregate specs from projection + having; build the
+        // rewritten (post-aggregation) expressions.
+        let mut ctx = GroupContext {
+            planner: self,
+            input_schema: &input_schema,
+            env,
+            group_exprs: &group_exprs,
+            aggs: Vec::new(),
+        };
+
+        let mut out_exprs = Vec::new();
+        let mut out_cols = Vec::new();
+        for (i, item) in select.projection.iter().enumerate() {
+            let SelectItem::Expr { expr, alias } = item else {
+                return Err(EngineError::Unsupported(
+                    "wildcard projection with GROUP BY".into(),
+                ));
+            };
+            let rewritten = ctx.bind(expr)?;
+            let name = output_name(expr, alias.as_deref(), i);
+            out_cols.push(Column::bare(&name, DataType::Any));
+            out_exprs.push(rewritten);
+        }
+        let having = match &select.having {
+            Some(h) => Some(ctx.bind(h)?),
+            None => None,
+        };
+
+        let aggs = ctx.aggs;
+        // Aggregate output: group columns then aggregate slots.
+        let mut agg_schema_cols = group_cols.clone();
+        for (i, _) in aggs.iter().enumerate() {
+            agg_schema_cols.push(Column::bare(&format!("_agg{}", i + 1), DataType::Any));
+        }
+        let n_groups = group_exprs.len();
+        let agg_plan = Plan::Aggregate {
+            input: Box::new(input),
+            group_exprs,
+            aggs,
+            schema: Schema::new(agg_schema_cols),
+        };
+
+        // Resolve AggRef slots to plain columns above the Aggregate node.
+        let resolve = |mut e: BoundExpr| {
+            resolve_agg_refs(&mut e, n_groups);
+            e
+        };
+        let mut plan = agg_plan;
+        if let Some(h) = having {
+            plan = Plan::Filter { input: Box::new(plan), predicate: resolve(h) };
+        }
+        let exprs: Vec<BoundExpr> = out_exprs.into_iter().map(resolve).collect();
+        Ok(Plan::Project { input: Box::new(plan), exprs, schema: Schema::new(out_cols) })
+    }
+}
+
+/// Replace `AggRef { index }` with a column reference at
+/// `n_groups + index` (the slot layout of the Aggregate operator output).
+fn resolve_agg_refs(e: &mut BoundExpr, n_groups: usize) {
+    use BoundExpr::*;
+    match e {
+        AggRef { index } => *e = BoundExpr::Column { depth: 0, index: n_groups + *index },
+        Column { .. } | Literal(_) => {}
+        Binary { left, right, .. } => {
+            resolve_agg_refs(left, n_groups);
+            resolve_agg_refs(right, n_groups);
+        }
+        Not(x) | Neg(x) => resolve_agg_refs(x, n_groups),
+        IsNull { expr, .. } => resolve_agg_refs(expr, n_groups),
+        InList { expr, list, .. } => {
+            resolve_agg_refs(expr, n_groups);
+            for x in list {
+                resolve_agg_refs(x, n_groups);
+            }
+        }
+        Like { expr, pattern, .. } => {
+            resolve_agg_refs(expr, n_groups);
+            resolve_agg_refs(pattern, n_groups);
+        }
+        Case { branches, else_expr } => {
+            for (c, v) in branches {
+                resolve_agg_refs(c, n_groups);
+                resolve_agg_refs(v, n_groups);
+            }
+            if let Some(x) = else_expr {
+                resolve_agg_refs(x, n_groups);
+            }
+        }
+        Func { args, .. } => {
+            for x in args {
+                resolve_agg_refs(x, n_groups);
+            }
+        }
+        Subquery { .. } => {}
+    }
+}
+
+/// Binder for expressions evaluated *after* aggregation: matches whole
+/// subtrees against GROUP BY expressions, turns aggregate calls into slots,
+/// and rejects stray column references.
+struct GroupContext<'p, 'a> {
+    planner: &'p Planner<'a>,
+    input_schema: &'p Schema,
+    env: &'p CteEnv,
+    group_exprs: &'p [BoundExpr],
+    aggs: Vec<AggSpec>,
+}
+
+impl GroupContext<'_, '_> {
+    fn bind(&mut self, expr: &Expr) -> Result<BoundExpr> {
+        // An aggregate call becomes (or reuses) a slot.
+        if let Expr::Function { name, args, distinct } = expr {
+            if let Some(func) = AggFunc::by_name(name) {
+                return self.bind_aggregate(func, args, *distinct);
+            }
+        }
+        // A subtree structurally equal to a GROUP BY expression becomes a
+        // reference to the corresponding group column.
+        if !expr.contains_aggregate() {
+            let scope = BindScope::root(self.input_schema);
+            if let Ok(bound) = self.planner.bind_expr(expr, &scope, self.env) {
+                if let Some(i) = self.group_exprs.iter().position(|g| *g == bound) {
+                    return Ok(BoundExpr::column(i));
+                }
+            }
+        }
+        // Otherwise recurse into the expression's children.
+        Ok(match expr {
+            Expr::Column(c) => {
+                return Err(EngineError::Execution(format!(
+                    "column `{c}` must appear in the GROUP BY clause or be used in an aggregate"
+                )))
+            }
+            Expr::Literal(l) => BoundExpr::Literal(literal_value(l)),
+            Expr::BinaryOp { left, op, right } => BoundExpr::Binary {
+                op: *op,
+                left: Box::new(self.bind(left)?),
+                right: Box::new(self.bind(right)?),
+            },
+            Expr::UnaryOp { op: UnaryOp::Not, expr } => BoundExpr::Not(Box::new(self.bind(expr)?)),
+            Expr::UnaryOp { op: UnaryOp::Neg, expr } => BoundExpr::Neg(Box::new(self.bind(expr)?)),
+            Expr::IsNull { expr, negated } => {
+                BoundExpr::IsNull { expr: Box::new(self.bind(expr)?), negated: *negated }
+            }
+            Expr::Case { branches, else_expr } => BoundExpr::Case {
+                branches: branches
+                    .iter()
+                    .map(|(c, v)| Ok((self.bind(c)?, self.bind(v)?)))
+                    .collect::<Result<_>>()?,
+                else_expr: match else_expr {
+                    Some(e) => Some(Box::new(self.bind(e)?)),
+                    None => None,
+                },
+            },
+            Expr::InList { expr, list, negated } => BoundExpr::InList {
+                expr: Box::new(self.bind(expr)?),
+                list: list.iter().map(|e| self.bind(e)).collect::<Result<_>>()?,
+                negated: *negated,
+            },
+            Expr::Between { expr, low, high, negated } => {
+                let e = self.bind(expr)?;
+                let lo = self.bind(low)?;
+                let hi = self.bind(high)?;
+                let ge = BoundExpr::Binary {
+                    op: BinaryOp::GtEq,
+                    left: Box::new(e.clone()),
+                    right: Box::new(lo),
+                };
+                let le = BoundExpr::Binary {
+                    op: BinaryOp::LtEq,
+                    left: Box::new(e),
+                    right: Box::new(hi),
+                };
+                let both = BoundExpr::Binary {
+                    op: BinaryOp::And,
+                    left: Box::new(ge),
+                    right: Box::new(le),
+                };
+                if *negated {
+                    BoundExpr::Not(Box::new(both))
+                } else {
+                    both
+                }
+            }
+            Expr::Like { expr, pattern, negated } => BoundExpr::Like {
+                expr: Box::new(self.bind(expr)?),
+                pattern: Box::new(self.bind(pattern)?),
+                negated: *negated,
+            },
+            Expr::Function { name, args, .. } => {
+                let func = ScalarFunc::by_name(name).ok_or_else(|| {
+                    EngineError::Unsupported(format!("unknown function `{name}`"))
+                })?;
+                BoundExpr::Func {
+                    func,
+                    args: args.iter().map(|a| self.bind(a)).collect::<Result<_>>()?,
+                }
+            }
+            Expr::Exists { .. } | Expr::InSubquery { .. } | Expr::ScalarSubquery(_) => {
+                return Err(EngineError::Unsupported(
+                    "subqueries above aggregation".into(),
+                ))
+            }
+            Expr::Wildcard => {
+                return Err(EngineError::Execution("stray `*` in aggregate query".into()))
+            }
+        })
+    }
+
+    fn bind_aggregate(&mut self, func: AggFunc, args: &[Expr], distinct: bool) -> Result<BoundExpr> {
+        let spec = match (func, args) {
+            (AggFunc::Count, [Expr::Wildcard]) => AggSpec { func, arg: None, distinct: false },
+            (_, [arg]) => {
+                if arg.contains_aggregate() {
+                    return Err(EngineError::Execution("nested aggregate call".into()));
+                }
+                let scope = BindScope::root(self.input_schema);
+                let bound = self.planner.bind_expr(arg, &scope, self.env)?;
+                AggSpec { func, arg: Some(bound), distinct }
+            }
+            _ => {
+                return Err(EngineError::Execution(format!(
+                    "aggregate {func:?} takes exactly one argument"
+                )))
+            }
+        };
+        let index = match self.aggs.iter().position(|a| *a == spec) {
+            Some(i) => i,
+            None => {
+                self.aggs.push(spec);
+                self.aggs.len() - 1
+            }
+        };
+        Ok(BoundExpr::AggRef { index })
+    }
+}

@@ -1,0 +1,204 @@
+//! Column and schema descriptions, with the name-resolution rules used by
+//! the binder (qualified lookup, unique bare-name lookup, ambiguity errors).
+
+use conquer_sql::{ColumnRef, TypeName};
+
+use crate::error::{EngineError, Result};
+
+/// Data type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataType {
+    Integer,
+    Float,
+    Text,
+    Date,
+    Boolean,
+    /// Type not known statically (e.g. a computed expression); values are
+    /// checked dynamically.
+    Any,
+}
+
+impl From<TypeName> for DataType {
+    fn from(t: TypeName) -> DataType {
+        match t {
+            TypeName::Integer => DataType::Integer,
+            TypeName::Float => DataType::Float,
+            TypeName::Text => DataType::Text,
+            TypeName::Date => DataType::Date,
+            TypeName::Boolean => DataType::Boolean,
+        }
+    }
+}
+
+/// One column of an operator output or stored table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    /// Binding qualifier: the table alias this column is visible under,
+    /// `None` for computed/projected outputs.
+    pub qualifier: Option<String>,
+    /// Column name.
+    pub name: String,
+    /// Declared or inferred type.
+    pub ty: DataType,
+}
+
+impl Column {
+    pub fn new(qualifier: Option<&str>, name: &str, ty: DataType) -> Column {
+        Column { qualifier: qualifier.map(str::to_string), name: name.to_string(), ty }
+    }
+
+    pub fn bare(name: &str, ty: DataType) -> Column {
+        Column { qualifier: None, name: name.to_string(), ty }
+    }
+}
+
+/// An ordered list of columns describing a row shape.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Schema {
+    pub columns: Vec<Column>,
+}
+
+impl Schema {
+    pub fn new(columns: Vec<Column>) -> Schema {
+        Schema { columns }
+    }
+
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Concatenate two schemas (join output).
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut columns = self.columns.clone();
+        columns.extend(other.columns.iter().cloned());
+        Schema { columns }
+    }
+
+    /// Re-qualify every column with a new binding name (used when a table,
+    /// CTE, or derived table is bound under an alias in a FROM clause).
+    pub fn qualified(&self, qualifier: &str) -> Schema {
+        Schema {
+            columns: self
+                .columns
+                .iter()
+                .map(|c| Column {
+                    qualifier: Some(qualifier.to_string()),
+                    name: c.name.clone(),
+                    ty: c.ty,
+                })
+                .collect(),
+        }
+    }
+
+    /// Resolve a column reference to an index.
+    ///
+    /// Qualified references require an exact qualifier+name match; bare
+    /// references must match exactly one column name across all bindings.
+    pub fn resolve(&self, col: &ColumnRef) -> Result<usize> {
+        match &col.qualifier {
+            Some(q) => {
+                let mut found = None;
+                for (i, c) in self.columns.iter().enumerate() {
+                    if c.qualifier.as_deref() == Some(q.as_str()) && c.name == col.name {
+                        if found.is_some() {
+                            return Err(EngineError::AmbiguousColumn(format!("{q}.{}", col.name)));
+                        }
+                        found = Some(i);
+                    }
+                }
+                found.ok_or_else(|| EngineError::UnknownColumn(format!("{q}.{}", col.name)))
+            }
+            None => {
+                let mut found = None;
+                for (i, c) in self.columns.iter().enumerate() {
+                    if c.name == col.name {
+                        if found.is_some() {
+                            return Err(EngineError::AmbiguousColumn(col.name.clone()));
+                        }
+                        found = Some(i);
+                    }
+                }
+                found.ok_or_else(|| EngineError::UnknownColumn(col.name.clone()))
+            }
+        }
+    }
+
+    /// All column indices visible under a given binding qualifier
+    /// (for `alias.*` expansion).
+    pub fn indices_for_qualifier(&self, qualifier: &str) -> Vec<usize> {
+        self.columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.qualifier.as_deref() == Some(qualifier))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(vec![
+            Column::new(Some("c"), "custkey", DataType::Integer),
+            Column::new(Some("c"), "acctbal", DataType::Float),
+            Column::new(Some("o"), "orderkey", DataType::Integer),
+            Column::new(Some("o"), "custkey", DataType::Integer),
+        ])
+    }
+
+    #[test]
+    fn qualified_resolution() {
+        let s = sample();
+        assert_eq!(s.resolve(&ColumnRef::new("o", "custkey")).unwrap(), 3);
+        assert_eq!(s.resolve(&ColumnRef::new("c", "custkey")).unwrap(), 0);
+    }
+
+    #[test]
+    fn bare_resolution_unique() {
+        let s = sample();
+        assert_eq!(s.resolve(&ColumnRef::bare("acctbal")).unwrap(), 1);
+        assert_eq!(s.resolve(&ColumnRef::bare("orderkey")).unwrap(), 2);
+    }
+
+    #[test]
+    fn bare_resolution_ambiguous() {
+        let s = sample();
+        assert!(matches!(
+            s.resolve(&ColumnRef::bare("custkey")),
+            Err(EngineError::AmbiguousColumn(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_column() {
+        let s = sample();
+        assert!(matches!(
+            s.resolve(&ColumnRef::bare("nope")),
+            Err(EngineError::UnknownColumn(_))
+        ));
+        assert!(matches!(
+            s.resolve(&ColumnRef::new("x", "custkey")),
+            Err(EngineError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn requalification() {
+        let s = sample().qualified("cand");
+        assert_eq!(s.resolve(&ColumnRef::new("cand", "acctbal")).unwrap(), 1);
+        assert!(s.resolve(&ColumnRef::new("c", "acctbal")).is_err());
+    }
+
+    #[test]
+    fn qualified_wildcard_indices() {
+        let s = sample();
+        assert_eq!(s.indices_for_qualifier("o"), vec![2, 3]);
+        assert!(s.indices_for_qualifier("zz").is_empty());
+    }
+}

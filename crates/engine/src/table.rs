@@ -1,0 +1,268 @@
+//! Stored tables and transient row batches.
+
+use std::sync::Arc;
+
+use crate::error::{EngineError, Result};
+use crate::schema::{Column, DataType, Schema};
+use crate::value::Value;
+
+/// A row is a vector of values matching some schema.
+pub type Row = Vec<Value>;
+
+/// A materialized batch of rows with its schema: the unit of data flow in
+/// the executor, and the result type of queries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rows {
+    pub schema: Schema,
+    pub rows: Vec<Row>,
+}
+
+impl Rows {
+    pub fn new(schema: Schema) -> Rows {
+        Rows { schema, rows: Vec::new() }
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Column values of the i-th output column, cloned.
+    pub fn column(&self, i: usize) -> Vec<Value> {
+        self.rows.iter().map(|r| r[i].clone()).collect()
+    }
+
+    /// Render as an aligned text table (for examples and the harness).
+    pub fn to_text(&self) -> String {
+        let headers: Vec<String> = self
+            .schema
+            .columns
+            .iter()
+            .map(|c| match &c.qualifier {
+                Some(q) => format!("{q}.{}", c.name),
+                None => c.name.clone(),
+            })
+            .collect();
+        let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+        let cells: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|row| row.iter().map(ToString::to_string).collect())
+            .collect();
+        for row in &cells {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, row: &[String]| {
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(cell);
+                out.extend(std::iter::repeat_n(' ', widths[i] - cell.len()));
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &headers);
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        write_row(&mut out, &sep);
+        for row in &cells {
+            write_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// A stored base table: a schema whose columns are unqualified, plus rows.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    rows: Vec<Row>,
+}
+
+impl Table {
+    /// Create an empty table. Column qualifiers are stripped: stored
+    /// columns are always unqualified and get qualified at scan time.
+    pub fn new(name: impl Into<String>, columns: Vec<(&str, DataType)>) -> Table {
+        Table {
+            name: name.into(),
+            schema: Schema::new(
+                columns.into_iter().map(|(n, t)| Column::bare(n, t)).collect(),
+            ),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn with_rows(
+        name: impl Into<String>,
+        columns: Vec<(&str, DataType)>,
+        rows: Vec<Row>,
+    ) -> Result<Table> {
+        let mut t = Table::new(name, columns);
+        for row in rows {
+            t.push(row)?;
+        }
+        Ok(t)
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Result<usize> {
+        self.schema
+            .columns
+            .iter()
+            .position(|c| c.name == name)
+            .ok_or_else(|| EngineError::UnknownColumn(format!("{}.{}", self.name, name)))
+    }
+
+    /// Append a row, checking arity and (loose) type compatibility.
+    pub fn push(&mut self, row: Row) -> Result<()> {
+        if row.len() != self.schema.len() {
+            return Err(EngineError::Catalog(format!(
+                "table `{}` expects {} values, got {}",
+                self.name,
+                self.schema.len(),
+                row.len()
+            )));
+        }
+        for (value, col) in row.iter().zip(&self.schema.columns) {
+            if !type_compatible(value, col.ty) {
+                return Err(EngineError::TypeError(format!(
+                    "column `{}.{}` has type {:?}, got {}",
+                    self.name,
+                    col.name,
+                    col.ty,
+                    value.type_name()
+                )));
+            }
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Bulk-append without per-row type checks (trusted generators).
+    pub fn extend_unchecked(&mut self, rows: impl IntoIterator<Item = Row>) {
+        self.rows.extend(rows);
+    }
+
+    /// A copy of this table extended with one extra column computed from
+    /// each row (used by the annotation pass).
+    pub fn with_computed_column(
+        &self,
+        name: &str,
+        ty: DataType,
+        mut f: impl FnMut(&Row) -> Value,
+    ) -> Table {
+        let mut schema = self.schema.clone();
+        schema.columns.push(Column::bare(name, ty));
+        Table {
+            name: self.name.clone(),
+            schema,
+            rows: self
+                .rows
+                .iter()
+                .map(|r| {
+                    let mut r2 = r.clone();
+                    let v = f(r);
+                    r2.push(v);
+                    r2
+                })
+                .collect(),
+        }
+    }
+
+    /// View the table as a scan result under a binding name.
+    pub fn scan(self: &Arc<Table>, binding: &str) -> Rows {
+        Rows { schema: self.schema.qualified(binding), rows: self.rows.clone() }
+    }
+}
+
+fn type_compatible(value: &Value, ty: DataType) -> bool {
+    matches!(
+        (value, ty),
+        (Value::Null, _)
+            | (_, DataType::Any)
+            | (Value::Int(_), DataType::Integer)
+            | (Value::Int(_), DataType::Float)
+            | (Value::Float(_), DataType::Float)
+            | (Value::Str(_), DataType::Text)
+            | (Value::Date(_), DataType::Date)
+            | (Value::Bool(_), DataType::Boolean)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_checks_arity_and_types() {
+        let mut t = Table::new("t", vec![("a", DataType::Integer), ("b", DataType::Text)]);
+        t.push(vec![Value::Int(1), Value::str("x")]).unwrap();
+        assert!(t.push(vec![Value::Int(1)]).is_err());
+        assert!(t.push(vec![Value::str("x"), Value::str("y")]).is_err());
+        // NULL fits any column; Int fits Float columns.
+        t.push(vec![Value::Null, Value::Null]).unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn int_accepted_in_float_column() {
+        let mut t = Table::new("t", vec![("x", DataType::Float)]);
+        t.push(vec![Value::Int(3)]).unwrap();
+    }
+
+    #[test]
+    fn computed_column() {
+        let mut t = Table::new("t", vec![("a", DataType::Integer)]);
+        t.push(vec![Value::Int(5)]).unwrap();
+        let t2 = t.with_computed_column("doubled", DataType::Integer, |r| {
+            let Value::Int(v) = r[0] else { panic!() };
+            Value::Int(v * 2)
+        });
+        assert_eq!(t2.rows()[0], vec![Value::Int(5), Value::Int(10)]);
+        assert_eq!(t2.schema().columns[1].name, "doubled");
+    }
+
+    #[test]
+    fn scan_qualifies_columns() {
+        let t = Arc::new(Table::new("customer", vec![("custkey", DataType::Integer)]));
+        let rows = t.scan("c");
+        assert_eq!(rows.schema.columns[0].qualifier.as_deref(), Some("c"));
+    }
+
+    #[test]
+    fn text_rendering() {
+        let mut t = Table::new("t", vec![("a", DataType::Integer), ("b", DataType::Text)]);
+        t.push(vec![Value::Int(1), Value::str("hello")]).unwrap();
+        let rows = Rows { schema: t.schema().clone(), rows: t.rows().to_vec() };
+        let text = rows.to_text();
+        assert!(text.contains("a"));
+        assert!(text.contains("hello"));
+    }
+}

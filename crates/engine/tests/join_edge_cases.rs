@@ -1,0 +1,195 @@
+//! Join edge cases, focused on the executor's fast paths: empty build or
+//! probe sides (the annotation-aware Filter routinely produces these on
+//! nearly-consistent databases), NULL join keys, build-side swapping, and
+//! semi/anti joins through the decorrelated EXISTS path.
+
+use conquer_engine::{Database, Value};
+
+fn db_ab(a_rows: &str, b_rows: &str) -> Database {
+    let db = Database::new();
+    db.run_script(&format!(
+        "create table a (x integer, y integer);
+         create table b (x integer, z integer);
+         {a_rows} {b_rows}"
+    ))
+    .unwrap();
+    db
+}
+
+#[test]
+fn inner_join_with_empty_left() {
+    let db = db_ab("", "insert into b values (1, 10);");
+    let rows = db.query("select a.y from a, b where a.x = b.x").unwrap();
+    assert!(rows.is_empty());
+}
+
+#[test]
+fn inner_join_with_empty_right() {
+    let db = db_ab("insert into a values (1, 5);", "");
+    let rows = db.query("select a.y from a, b where a.x = b.x").unwrap();
+    assert!(rows.is_empty());
+}
+
+#[test]
+fn left_outer_join_with_empty_right_pads_every_row() {
+    let db = db_ab("insert into a values (1, 5), (2, 6);", "");
+    let rows = db
+        .query("select a.y, b.z from a left outer join b on a.x = b.x order by a.y")
+        .unwrap();
+    assert_eq!(
+        rows.rows,
+        vec![vec![Value::Int(5), Value::Null], vec![Value::Int(6), Value::Null]]
+    );
+}
+
+#[test]
+fn anti_join_with_empty_right_passes_everything() {
+    let db = db_ab("insert into a values (1, 5), (2, 6);", "");
+    let rows = db
+        .query("select a.y from a where not exists (select * from b where b.x = a.x) order by a.y")
+        .unwrap();
+    assert_eq!(rows.len(), 2);
+}
+
+#[test]
+fn semi_join_with_empty_right_is_empty() {
+    let db = db_ab("insert into a values (1, 5);", "");
+    let rows = db
+        .query("select a.y from a where exists (select * from b where b.x = a.x)")
+        .unwrap();
+    assert!(rows.is_empty());
+}
+
+#[test]
+fn null_keys_never_match_in_joins() {
+    let db = db_ab(
+        "insert into a values (null, 5), (1, 6);",
+        "insert into b values (null, 10), (1, 20);",
+    );
+    // Inner join: NULL = NULL is unknown, so only the (1, 1) pair matches.
+    let rows = db.query("select a.y, b.z from a, b where a.x = b.x").unwrap();
+    assert_eq!(rows.rows, vec![vec![Value::Int(6), Value::Int(20)]]);
+    // Left outer join: the NULL-keyed a-row survives padded.
+    let rows = db
+        .query("select a.y, b.z from a left outer join b on a.x = b.x order by a.y")
+        .unwrap();
+    assert_eq!(
+        rows.rows,
+        vec![vec![Value::Int(5), Value::Null], vec![Value::Int(6), Value::Int(20)]]
+    );
+    // Anti join: the NULL-keyed row has no match, so NOT EXISTS keeps it.
+    let rows = db
+        .query("select a.y from a where not exists (select * from b where b.x = a.x)")
+        .unwrap();
+    assert_eq!(rows.rows, vec![vec![Value::Int(5)]]);
+}
+
+#[test]
+fn build_side_swap_preserves_column_order_and_multiplicity() {
+    // Left is much smaller than right: the executor builds on the left and
+    // probes with the right, but output must still be left-columns-first
+    // with full bag semantics.
+    let db = Database::new();
+    db.run_script(
+        "create table small (k integer, tag text);
+         insert into small values (1, 'one');
+         create table big (k integer, v integer);",
+    )
+    .unwrap();
+    let inserts: Vec<String> = (0..50).map(|i| format!("({}, {i})", i % 5)).collect();
+    db.run_script(&format!("insert into big values {}", inserts.join(", "))).unwrap();
+    let rows = db
+        .query("select s.tag, b.v from small s, big b where s.k = b.k order by b.v")
+        .unwrap();
+    // k = 1 appears 10 times in big.
+    assert_eq!(rows.len(), 10);
+    assert!(rows.rows.iter().all(|r| r[0] == Value::str("one")));
+    assert_eq!(rows.schema.columns[0].name, "tag");
+}
+
+#[test]
+fn duplicate_keys_on_both_sides_multiply() {
+    let db = db_ab(
+        "insert into a values (1, 5), (1, 6);",
+        "insert into b values (1, 10), (1, 20), (1, 30);",
+    );
+    let rows = db.query("select a.y, b.z from a, b where a.x = b.x").unwrap();
+    assert_eq!(rows.len(), 6);
+}
+
+#[test]
+fn residual_condition_limits_matches_per_key() {
+    let db = db_ab(
+        "insert into a values (1, 5);",
+        "insert into b values (1, 10), (1, 20);",
+    );
+    let rows = db
+        .query("select b.z from a join b on a.x = b.x and b.z > 15")
+        .unwrap();
+    assert_eq!(rows.rows, vec![vec![Value::Int(20)]]);
+}
+
+#[test]
+fn self_equi_filter_is_not_a_join() {
+    // x = y within one relation must classify as a plain selection.
+    let db = Database::new();
+    db.run_script(
+        "create table t (x integer, y integer);
+         insert into t values (1, 1), (1, 2);",
+    )
+    .unwrap();
+    let rows = db.query("select t.x from t where t.x = t.y").unwrap();
+    assert_eq!(rows.len(), 1);
+}
+
+#[test]
+fn three_way_join_orders_by_connectivity() {
+    // a joins c only through b; the planner must not cross-join a with c.
+    let db = Database::new();
+    db.run_script(
+        "create table a (k integer); create table b (k integer, fk integer);
+         create table c (k integer, tag text);
+         insert into a values (1), (2);
+         insert into b values (1, 100), (2, 200);
+         insert into c values (100, 'x'), (200, 'y');",
+    )
+    .unwrap();
+    let rows = db
+        .query(
+            "select c.tag from a, b, c where a.k = b.k and b.fk = c.k and a.k = 2",
+        )
+        .unwrap();
+    assert_eq!(rows.rows, vec![vec![Value::str("y")]]);
+}
+
+#[test]
+fn cross_join_fallback_when_no_predicate_connects() {
+    let db = db_ab(
+        "insert into a values (1, 5), (2, 6);",
+        "insert into b values (7, 10);",
+    );
+    let rows = db.query("select a.y, b.z from a, b").unwrap();
+    assert_eq!(rows.len(), 2);
+}
+
+#[test]
+fn correlated_exists_through_join_output() {
+    // EXISTS correlated on a column produced by a join of two tables.
+    let db = Database::new();
+    db.run_script(
+        "create table a (k integer, fk integer);
+         create table b (k integer, v integer);
+         create table w (v integer);
+         insert into a values (1, 10), (2, 20);
+         insert into b values (10, 7), (20, 9);
+         insert into w values (7);",
+    )
+    .unwrap();
+    let rows = db
+        .query(
+            "select a.k from a, b where a.fk = b.k \
+             and exists (select * from w where w.v = b.v)",
+        )
+        .unwrap();
+    assert_eq!(rows.rows, vec![vec![Value::Int(1)]]);
+}

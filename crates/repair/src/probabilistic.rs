@@ -1,0 +1,306 @@
+//! Probabilistic consistent answering — the Section 8 extension.
+//!
+//! The paper closes with: "our rewritings extend naturally to ... a
+//! semantics under which each tuple is given a probability of being
+//! correct. We are currently experimenting with rewritings which return
+//! the most probable answer over an inconsistent database in which each
+//! tuple is assigned a probability of being consistent."
+//!
+//! This module implements that semantics by exact enumeration: every tuple
+//! carries a weight; within each key group the weights normalize to a
+//! probability distribution over which tuple the repair keeps (uniform when
+//! no weights are supplied — the "all repairs are equally likely" model);
+//! a repair's probability is the product of its choices, and an answer's
+//! probability is the total probability of the repairs that return it.
+//! The consistent answers of Definition 2 are exactly the answers with
+//! probability 1.
+
+use std::collections::HashMap;
+
+use conquer_core::ConstraintSet;
+use conquer_engine::value::Key;
+use conquer_engine::{Database, Row, Value};
+
+use crate::{RepairEnumerator, RepairError, Result};
+
+/// Per-tuple weights for one relation: a function from row to
+/// (non-negative) weight. Rows of a key group with all-zero weights are
+/// treated as uniform.
+pub type WeightFn<'a> = &'a dyn Fn(&Row) -> f64;
+
+/// One probabilistic answer: the tuple and the probability that a randomly
+/// chosen repair (under the tuple-weight model) returns it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbableAnswer {
+    pub row: Row,
+    pub probability: f64,
+}
+
+/// Compute the probability of every possible answer to `sql`, under
+/// per-relation tuple weights. Relations without an entry in `weights` use
+/// the uniform model.
+///
+/// Enumeration is exponential in the number of violated keys; this is the
+/// reference implementation the future rewriting-based version would be
+/// validated against (mirroring how `conquer-repair` validates the
+/// Theorem 1/2 rewritings).
+pub fn answer_probabilities(
+    db: &Database,
+    sql: &str,
+    sigma: &ConstraintSet,
+    weights: &HashMap<String, WeightFn<'_>>,
+) -> Result<Vec<ProbableAnswer>> {
+    let enumerator = RepairEnumerator::new(db, sigma, crate::DEFAULT_REPAIR_CAP)?;
+
+    // Probability of each repair = product over key groups of the chosen
+    // tuple's normalized weight. We recover the choice probabilities by
+    // asking the enumerator for per-repair weights.
+    let repair_weights = repair_weight_table(db, sigma, weights)?;
+
+    let mut totals: HashMap<Key, (Row, f64)> = HashMap::new();
+    let mut index = 0usize;
+    let mut total_mass = 0.0;
+    enumerator.for_each_repair(|repair| {
+        let weight = repair_weights[index];
+        index += 1;
+        total_mass += weight;
+        let rows = repair.query(sql)?;
+        let mut seen: HashMap<Key, Row> = HashMap::new();
+        for row in &rows.rows {
+            seen.insert(Key::from_values(row), row.clone());
+        }
+        for (k, row) in seen {
+            totals.entry(k).and_modify(|(_, p)| *p += weight).or_insert((row, weight));
+        }
+        Ok(())
+    })?;
+    if total_mass <= 0.0 {
+        return Err(RepairError::Invalid("all repair weights are zero".into()));
+    }
+
+    let mut out: Vec<ProbableAnswer> = totals
+        .into_values()
+        .map(|(row, p)| ProbableAnswer { row, probability: p / total_mass })
+        .collect();
+    out.sort_by(|a, b| {
+        b.probability
+            .partial_cmp(&a.probability)
+            .unwrap()
+            .then_with(|| cmp_rows(&a.row, &b.row))
+    });
+    Ok(out)
+}
+
+/// The most probable answer(s): all answers tied for the maximum
+/// probability (within `epsilon`).
+pub fn most_probable_answers(
+    db: &Database,
+    sql: &str,
+    sigma: &ConstraintSet,
+    weights: &HashMap<String, WeightFn<'_>>,
+    epsilon: f64,
+) -> Result<Vec<ProbableAnswer>> {
+    let all = answer_probabilities(db, sql, sigma, weights)?;
+    let Some(best) = all.first().map(|a| a.probability) else {
+        return Ok(Vec::new());
+    };
+    Ok(all.into_iter().take_while(|a| a.probability >= best - epsilon).collect())
+}
+
+fn cmp_rows(a: &Row, b: &Row) -> std::cmp::Ordering {
+    for (x, y) in a.iter().zip(b.iter()) {
+        let ord = x.total_cmp(y);
+        if !ord.is_eq() {
+            return ord;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// Weight of every repair in enumeration order: the mixed-radix walk here
+/// must match `RepairEnumerator::for_each_repair` exactly, which it does by
+/// sharing the same grouping construction (tables in name order, groups in
+/// first-seen row order).
+fn repair_weight_table(
+    db: &Database,
+    sigma: &ConstraintSet,
+    weights: &HashMap<String, WeightFn<'_>>,
+) -> Result<Vec<f64>> {
+    // Rebuild the same group structure the enumerator uses.
+    let mut group_weights: Vec<Vec<f64>> = Vec::new();
+    for name in db.table_names() {
+        let Some(key) = sigma.key_of(&name) else { continue };
+        let table = db.table(&name)?;
+        let key_idx: Vec<usize> = key
+            .iter()
+            .map(|k| table.column_index(k))
+            .collect::<std::result::Result<_, _>>()?;
+        let mut group_map: HashMap<Key, usize> = HashMap::new();
+        let mut groups: Vec<Vec<f64>> = Vec::new();
+        let weight_fn = weights.get(&name);
+        for row in table.rows() {
+            let kv: Vec<Value> = key_idx.iter().map(|i| row[*i].clone()).collect();
+            let k = Key::from_values(&kv);
+            let gi = *group_map.entry(k).or_insert_with(|| {
+                groups.push(Vec::new());
+                groups.len() - 1
+            });
+            let w = match weight_fn {
+                Some(f) => f(row).max(0.0),
+                None => 1.0,
+            };
+            groups[gi].push(w);
+        }
+        // Normalize each group; all-zero groups fall back to uniform.
+        for g in &mut groups {
+            let sum: f64 = g.iter().sum();
+            if sum <= 0.0 {
+                let u = 1.0 / g.len() as f64;
+                g.iter_mut().for_each(|w| *w = u);
+            } else {
+                g.iter_mut().for_each(|w| *w /= sum);
+            }
+        }
+        group_weights.extend(groups);
+    }
+
+    // Walk the same mixed-radix counter the enumerator uses.
+    let radices: Vec<usize> = group_weights.iter().map(Vec::len).collect();
+    let mut digits = vec![0usize; radices.len()];
+    let mut out = Vec::new();
+    loop {
+        let mut w = 1.0;
+        for (g, d) in group_weights.iter().zip(&digits) {
+            w *= g[*d];
+        }
+        out.push(w);
+        let mut i = 0;
+        loop {
+            if i == digits.len() {
+                return Ok(out);
+            }
+            digits[i] += 1;
+            if digits[i] < radices[i] {
+                break;
+            }
+            digits[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure1_db() -> Database {
+        let db = Database::new();
+        db.run_script(
+            "create table customer (custkey text, acctbal float);
+             insert into customer values
+               ('c1', 2000), ('c1', 100), ('c2', 2500), ('c3', 2200), ('c3', 2500);",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn uniform_probabilities_match_support() {
+        let db = figure1_db();
+        let sigma = ConstraintSet::new().with_key("customer", ["custkey"]);
+        let probs = answer_probabilities(
+            &db,
+            "select custkey from customer where acctbal > 1000",
+            &sigma,
+            &HashMap::new(),
+        )
+        .unwrap();
+        let by_name: HashMap<String, f64> =
+            probs.iter().map(|a| (a.row[0].to_string(), a.probability)).collect();
+        // Uniform weights reduce to the repair-support semantics.
+        assert!((by_name["c2"] - 1.0).abs() < 1e-12);
+        assert!((by_name["c3"] - 1.0).abs() < 1e-12);
+        assert!((by_name["c1"] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_skew_the_distribution() {
+        let db = figure1_db();
+        let sigma = ConstraintSet::new().with_key("customer", ["custkey"]);
+        // Trust high balances three times as much as low ones.
+        let weight: WeightFn<'_> = &|row: &Row| {
+            match row[1].as_f64() {
+                Ok(Some(bal)) if bal > 1000.0 => 3.0,
+                _ => 1.0,
+            }
+        };
+        let mut weights: HashMap<String, WeightFn<'_>> = HashMap::new();
+        weights.insert("customer".to_string(), weight);
+        let probs = answer_probabilities(
+            &db,
+            "select custkey from customer where acctbal > 1000",
+            &sigma,
+            &weights,
+        )
+        .unwrap();
+        let by_name: HashMap<String, f64> =
+            probs.iter().map(|a| (a.row[0].to_string(), a.probability)).collect();
+        // c1's satisfying tuple now has weight 3 of 4.
+        assert!((by_name["c1"] - 0.75).abs() < 1e-12);
+        assert!((by_name["c2"] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn most_probable_answers_pick_the_top_tie_group() {
+        let db = figure1_db();
+        let sigma = ConstraintSet::new().with_key("customer", ["custkey"]);
+        let top = most_probable_answers(
+            &db,
+            "select custkey from customer where acctbal > 1000",
+            &sigma,
+            &HashMap::new(),
+            1e-9,
+        )
+        .unwrap();
+        // c2 and c3 are certain; c1 (probability 0.5) is excluded.
+        assert_eq!(top.len(), 2);
+        assert!(top.iter().all(|a| (a.probability - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn probabilities_are_a_distribution_over_group_values() {
+        // For `select acctbal ...` on c1's group: the two tuples are
+        // mutually exclusive answers whose probabilities sum to 1.
+        let db = Database::new();
+        db.run_script(
+            "create table t (k text, v integer);
+             insert into t values ('a', 1), ('a', 2), ('a', 3);",
+        )
+        .unwrap();
+        let sigma = ConstraintSet::new().with_key("t", ["k"]);
+        let probs =
+            answer_probabilities(&db, "select v from t", &sigma, &HashMap::new()).unwrap();
+        let sum: f64 = probs.iter().map(|a| a.probability).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(probs.iter().all(|a| (a.probability - 1.0 / 3.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn zero_weight_groups_fall_back_to_uniform() {
+        let db = figure1_db();
+        let sigma = ConstraintSet::new().with_key("customer", ["custkey"]);
+        let zero: WeightFn<'_> = &|_row: &Row| 0.0;
+        let mut weights: HashMap<String, WeightFn<'_>> = HashMap::new();
+        weights.insert("customer".to_string(), zero);
+        let probs = answer_probabilities(
+            &db,
+            "select custkey from customer where acctbal > 1000",
+            &sigma,
+            &weights,
+        )
+        .unwrap();
+        let by_name: HashMap<String, f64> =
+            probs.iter().map(|a| (a.row[0].to_string(), a.probability)).collect();
+        assert!((by_name["c1"] - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,130 @@
+//! Minimal proleptic-Gregorian date arithmetic.
+//!
+//! Dates are stored as a number of days since the Unix epoch (1970-01-01),
+//! which keeps the engine's `Value::Date` a plain `i32` that is cheap to
+//! compare, hash, and generate. TPC-H only needs dates between 1992 and
+//! 1998, but the conversions below are exact for the full Gregorian range.
+
+/// Number of days in each month of a non-leap year.
+const DAYS_IN_MONTH: [i64; 12] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+
+/// Returns `true` when `year` is a Gregorian leap year.
+pub fn is_leap_year(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+fn days_in_month(year: i32, month: u32) -> i64 {
+    if month == 2 && is_leap_year(year) {
+        29
+    } else {
+        DAYS_IN_MONTH[(month - 1) as usize]
+    }
+}
+
+/// Days from 0000-03-01 to `year-03-01` using the civil-from-days algorithm
+/// (Howard Hinnant's `days_from_civil`), shifted so that day 0 is 1970-01-01.
+pub fn ymd_to_days(year: i32, month: u32, day: u32) -> Option<i32> {
+    if !(1..=12).contains(&month) {
+        return None;
+    }
+    if day == 0 || (day as i64) > days_in_month(year, month) {
+        return None;
+    }
+    let y = i64::from(year) - i64::from(month <= 2);
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let m = i64::from(month);
+    let d = i64::from(day);
+    let doy = (153 * (m + if m > 2 { -3 } else { 9 }) + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    let days = era * 146097 + doe - 719468;
+    i32::try_from(days).ok()
+}
+
+/// Inverse of [`ymd_to_days`]: day count since 1970-01-01 back to (y, m, d).
+pub fn days_to_ymd(days: i32) -> (i32, u32, u32) {
+    let z = i64::from(days) + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = z - era * 146097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
+    let m = mp + if mp < 10 { 3 } else { -9 }; // [1, 12]
+    ((y + i64::from(m <= 2)) as i32, m as u32, d as u32)
+}
+
+/// Parse a `YYYY-MM-DD` string into days since 1970-01-01.
+pub fn parse_date(s: &str) -> Option<i32> {
+    let mut parts = s.split('-');
+    let year: i32 = parts.next()?.parse().ok()?;
+    let month: u32 = parts.next()?.parse().ok()?;
+    let day: u32 = parts.next()?.parse().ok()?;
+    if parts.next().is_some() {
+        return None;
+    }
+    ymd_to_days(year, month, day)
+}
+
+/// Format days since 1970-01-01 as `YYYY-MM-DD`.
+pub fn format_date(days: i32) -> String {
+    let (y, m, d) = days_to_ymd(days);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_day_zero() {
+        assert_eq!(ymd_to_days(1970, 1, 1), Some(0));
+        assert_eq!(days_to_ymd(0), (1970, 1, 1));
+    }
+
+    #[test]
+    fn known_dates() {
+        // TPC-H date range endpoints.
+        assert_eq!(ymd_to_days(1992, 1, 1), Some(8035));
+        assert_eq!(ymd_to_days(1998, 12, 31), Some(10591));
+        // Leap day.
+        assert_eq!(ymd_to_days(1996, 2, 29).map(format_date).as_deref(), Some("1996-02-29"));
+    }
+
+    #[test]
+    fn rejects_invalid_dates() {
+        assert_eq!(ymd_to_days(1995, 2, 29), None);
+        assert_eq!(ymd_to_days(1995, 13, 1), None);
+        assert_eq!(ymd_to_days(1995, 0, 1), None);
+        assert_eq!(ymd_to_days(1995, 4, 31), None);
+        assert_eq!(parse_date("1995-06"), None);
+        assert_eq!(parse_date("not-a-date"), None);
+    }
+
+    #[test]
+    fn round_trips_every_day_of_a_century() {
+        let start = ymd_to_days(1950, 1, 1).unwrap();
+        let end = ymd_to_days(2050, 1, 1).unwrap();
+        for day in start..=end {
+            let (y, m, d) = days_to_ymd(day);
+            assert_eq!(ymd_to_days(y, m, d), Some(day));
+        }
+    }
+
+    #[test]
+    fn parse_and_format_round_trip() {
+        for s in ["1970-01-01", "1995-03-15", "2000-02-29", "1999-12-31"] {
+            let days = parse_date(s).unwrap();
+            assert_eq!(format_date(days), s);
+        }
+    }
+
+    #[test]
+    fn leap_year_rules() {
+        assert!(is_leap_year(2000));
+        assert!(!is_leap_year(1900));
+        assert!(is_leap_year(1996));
+        assert!(!is_leap_year(1995));
+    }
+}

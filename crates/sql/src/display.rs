@@ -1,0 +1,369 @@
+//! SQL pretty-printer: `Display` implementations for every AST node.
+//!
+//! The printer emits canonical SQL that round-trips through the parser.
+//! Parentheses are inserted based on operator precedence, so programmatically
+//! constructed trees (such as ConQuer's rewritings) print unambiguously.
+
+use std::fmt::{self, Display, Formatter, Write as _};
+
+use crate::ast::*;
+use crate::dates;
+
+impl Display for Literal {
+    fn fmt(&self, f: &mut Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Null => f.write_str("NULL"),
+            Literal::Boolean(true) => f.write_str("TRUE"),
+            Literal::Boolean(false) => f.write_str("FALSE"),
+            Literal::Integer(v) => write!(f, "{v}"),
+            Literal::Float(v) => {
+                if v.fract() == 0.0 && v.is_finite() && v.abs() < 1e15 {
+                    // Keep a decimal point so the literal round-trips as Float.
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Literal::String(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Literal::Date(d) => write!(f, "DATE '{}'", dates::format_date(*d)),
+        }
+    }
+}
+
+impl Display for ColumnRef {
+    fn fmt(&self, f: &mut Formatter<'_>) -> fmt::Result {
+        if let Some(q) = &self.qualifier {
+            write!(f, "{}.", ident(q))?;
+        }
+        f.write_str(&ident(&self.name))
+    }
+}
+
+/// Quote an identifier when it would not re-lex as a bare identifier
+/// (uppercase letters, punctuation, or a reserved keyword).
+fn ident(name: &str) -> String {
+    let bare = !name.is_empty()
+        && name.chars().next().unwrap().is_ascii_lowercase()
+        && name.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        && !crate::ast::is_reserved_word(name);
+    if bare {
+        name.to_string()
+    } else {
+        format!("\"{}\"", name.replace('"', "\"\""))
+    }
+}
+
+impl Display for BinaryOp {
+    fn fmt(&self, f: &mut Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BinaryOp::Plus => "+",
+            BinaryOp::Minus => "-",
+            BinaryOp::Multiply => "*",
+            BinaryOp::Divide => "/",
+            BinaryOp::Modulo => "%",
+            BinaryOp::Eq => "=",
+            BinaryOp::NotEq => "<>",
+            BinaryOp::Lt => "<",
+            BinaryOp::LtEq => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::GtEq => ">=",
+            BinaryOp::And => "AND",
+            BinaryOp::Or => "OR",
+        })
+    }
+}
+
+/// Binding strength, matching the parser's precedence ladder.
+fn precedence(op: BinaryOp) -> u8 {
+    use BinaryOp::*;
+    match op {
+        Or => 1,
+        And => 2,
+        Eq | NotEq | Lt | LtEq | Gt | GtEq => 4,
+        Plus | Minus => 5,
+        Multiply | Divide | Modulo => 6,
+    }
+}
+
+/// Precedence of an expression node for parenthesization decisions.
+fn expr_precedence(e: &Expr) -> u8 {
+    match e {
+        Expr::BinaryOp { op, .. } => precedence(*op),
+        Expr::UnaryOp { op: UnaryOp::Not, .. } => 3,
+        // Predicate forms parse at comparison level.
+        Expr::IsNull { .. }
+        | Expr::Between { .. }
+        | Expr::InList { .. }
+        | Expr::InSubquery { .. }
+        | Expr::Like { .. } => 4,
+        Expr::UnaryOp { op: UnaryOp::Neg, .. } => 7,
+        _ => 8,
+    }
+}
+
+fn fmt_child(f: &mut Formatter<'_>, child: &Expr, min_prec: u8) -> fmt::Result {
+    if expr_precedence(child) < min_prec {
+        write!(f, "({child})")
+    } else {
+        write!(f, "{child}")
+    }
+}
+
+impl Display for Expr {
+    fn fmt(&self, f: &mut Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column(c) => write!(f, "{c}"),
+            Expr::Literal(l) => write!(f, "{l}"),
+            Expr::BinaryOp { left, op, right } => {
+                let prec = precedence(*op);
+                // Comparisons do not chain in the grammar (`a = b = c` and
+                // `a IS NULL <= b` are unparseable), so their operands must
+                // sit strictly above predicate level.
+                let (lmin, rmin) = if op.is_comparison() {
+                    (prec + 1, prec + 1)
+                } else {
+                    // Right child needs strictly higher precedence to avoid
+                    // reassociation of non-associative operators (`-`, `/`).
+                    (prec, prec + 1)
+                };
+                fmt_child(f, left, lmin)?;
+                write!(f, " {op} ")?;
+                fmt_child(f, right, rmin)
+            }
+            Expr::UnaryOp { op: UnaryOp::Not, expr } => {
+                f.write_str("NOT ")?;
+                fmt_child(f, expr, 4)
+            }
+            Expr::UnaryOp { op: UnaryOp::Neg, expr } => {
+                f.write_str("-")?;
+                fmt_child(f, expr, 8)
+            }
+            Expr::IsNull { expr, negated } => {
+                fmt_child(f, expr, 5)?;
+                f.write_str(if *negated { " IS NOT NULL" } else { " IS NULL" })
+            }
+            Expr::Between { expr, low, high, negated } => {
+                fmt_child(f, expr, 5)?;
+                f.write_str(if *negated { " NOT BETWEEN " } else { " BETWEEN " })?;
+                fmt_child(f, low, 5)?;
+                f.write_str(" AND ")?;
+                fmt_child(f, high, 5)
+            }
+            Expr::InList { expr, list, negated } => {
+                fmt_child(f, expr, 5)?;
+                f.write_str(if *negated { " NOT IN (" } else { " IN (" })?;
+                fmt_comma_list(f, list)?;
+                f.write_str(")")
+            }
+            Expr::InSubquery { expr, subquery, negated } => {
+                fmt_child(f, expr, 5)?;
+                f.write_str(if *negated { " NOT IN (" } else { " IN (" })?;
+                write!(f, "{subquery})")
+            }
+            Expr::Like { expr, pattern, negated } => {
+                fmt_child(f, expr, 5)?;
+                f.write_str(if *negated { " NOT LIKE " } else { " LIKE " })?;
+                fmt_child(f, pattern, 5)
+            }
+            Expr::Exists { subquery, negated } => {
+                if *negated {
+                    f.write_str("NOT ")?;
+                }
+                write!(f, "EXISTS ({subquery})")
+            }
+            Expr::ScalarSubquery(q) => write!(f, "({q})"),
+            Expr::Case { branches, else_expr } => {
+                f.write_str("CASE")?;
+                for (cond, value) in branches {
+                    write!(f, " WHEN {cond} THEN {value}")?;
+                }
+                if let Some(e) = else_expr {
+                    write!(f, " ELSE {e}")?;
+                }
+                f.write_str(" END")
+            }
+            Expr::Function { name, args, distinct } => {
+                write!(f, "{}(", name.to_ascii_lowercase())?;
+                if *distinct {
+                    f.write_str("DISTINCT ")?;
+                }
+                fmt_comma_list(f, args)?;
+                f.write_str(")")
+            }
+            Expr::Wildcard => f.write_str("*"),
+        }
+    }
+}
+
+fn fmt_comma_list<T: Display>(f: &mut Formatter<'_>, items: &[T]) -> fmt::Result {
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            f.write_str(", ")?;
+        }
+        write!(f, "{item}")?;
+    }
+    Ok(())
+}
+
+impl Display for SelectItem {
+    fn fmt(&self, f: &mut Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Expr { expr, alias: Some(a) } => write!(f, "{expr} AS {}", ident(a)),
+            SelectItem::Expr { expr, alias: None } => write!(f, "{expr}"),
+            SelectItem::Wildcard => f.write_str("*"),
+            SelectItem::QualifiedWildcard(q) => write!(f, "{}.*", ident(q)),
+        }
+    }
+}
+
+impl Display for TableRef {
+    fn fmt(&self, f: &mut Formatter<'_>) -> fmt::Result {
+        match self {
+            TableRef::Table { name, alias } => {
+                f.write_str(&ident(name))?;
+                if let Some(a) = alias {
+                    write!(f, " {}", ident(a))?;
+                }
+                Ok(())
+            }
+            TableRef::Subquery { query, alias } => write!(f, "({query}) {}", ident(alias)),
+            TableRef::Join { left, kind, right, on } => {
+                write!(f, "{left}")?;
+                f.write_str(match kind {
+                    JoinKind::Inner => " JOIN ",
+                    JoinKind::LeftOuter => " LEFT OUTER JOIN ",
+                    JoinKind::Cross => " CROSS JOIN ",
+                })?;
+                // Parenthesize a join on the right side to preserve shape.
+                if matches!(**right, TableRef::Join { .. }) {
+                    write!(f, "({right})")?;
+                } else {
+                    write!(f, "{right}")?;
+                }
+                if let Some(on) = on {
+                    write!(f, " ON {on}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl Display for Select {
+    fn fmt(&self, f: &mut Formatter<'_>) -> fmt::Result {
+        f.write_str("SELECT ")?;
+        if self.distinct {
+            f.write_str("DISTINCT ")?;
+        }
+        fmt_comma_list(f, &self.projection)?;
+        if !self.from.is_empty() {
+            f.write_str(" FROM ")?;
+            fmt_comma_list(f, &self.from)?;
+        }
+        if let Some(w) = &self.selection {
+            write!(f, " WHERE {w}")?;
+        }
+        if !self.group_by.is_empty() {
+            f.write_str(" GROUP BY ")?;
+            fmt_comma_list(f, &self.group_by)?;
+        }
+        if let Some(h) = &self.having {
+            write!(f, " HAVING {h}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Display for SetExpr {
+    fn fmt(&self, f: &mut Formatter<'_>) -> fmt::Result {
+        match self {
+            SetExpr::Select(s) => write!(f, "{s}"),
+            SetExpr::UnionAll(l, r) => write!(f, "{l} UNION ALL {r}"),
+        }
+    }
+}
+
+impl Display for Query {
+    fn fmt(&self, f: &mut Formatter<'_>) -> fmt::Result {
+        if !self.ctes.is_empty() {
+            f.write_str("WITH ")?;
+            for (i, cte) in self.ctes.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{} AS ({})", ident(&cte.name), cte.query)?;
+            }
+            f.write_char(' ')?;
+        }
+        write!(f, "{}", self.body)?;
+        if !self.order_by.is_empty() {
+            f.write_str(" ORDER BY ")?;
+            for (i, item) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{}", item.expr)?;
+                if item.desc {
+                    f.write_str(" DESC")?;
+                }
+            }
+        }
+        if let Some(n) = self.limit {
+            write!(f, " LIMIT {n}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Display for TypeName {
+    fn fmt(&self, f: &mut Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TypeName::Integer => "INTEGER",
+            TypeName::Float => "FLOAT",
+            TypeName::Text => "TEXT",
+            TypeName::Date => "DATE",
+            TypeName::Boolean => "BOOLEAN",
+        })
+    }
+}
+
+impl Display for Statement {
+    fn fmt(&self, f: &mut Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::Query(q) => write!(f, "{q}"),
+            Statement::CreateTable { name, columns } => {
+                write!(f, "CREATE TABLE {} (", ident(name))?;
+                for (i, c) in columns.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{} {}", ident(&c.name), c.ty)?;
+                }
+                f.write_str(")")
+            }
+            Statement::Insert { table, columns, rows } => {
+                write!(f, "INSERT INTO {}", ident(table))?;
+                if !columns.is_empty() {
+                    f.write_str(" (")?;
+                    for (i, c) in columns.iter().enumerate() {
+                        if i > 0 {
+                            f.write_str(", ")?;
+                        }
+                        f.write_str(&ident(c))?;
+                    }
+                    f.write_str(")")?;
+                }
+                f.write_str(" VALUES ")?;
+                for (i, row) in rows.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    f.write_str("(")?;
+                    fmt_comma_list(f, row)?;
+                    f.write_str(")")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}

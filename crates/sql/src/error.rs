@@ -1,0 +1,41 @@
+//! Parse-error type shared by the lexer and parser.
+
+use std::fmt;
+
+/// Result alias for the SQL front end.
+pub type Result<T> = std::result::Result<T, ParseError>;
+
+/// An error produced while lexing or parsing SQL text.
+///
+/// Carries a human-readable message and the byte offset in the input at
+/// which the problem was detected, so callers can point at the offending
+/// position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    message: String,
+    offset: usize,
+}
+
+impl ParseError {
+    pub(crate) fn new(message: impl Into<String>, offset: usize) -> Self {
+        ParseError { message: message.into(), offset }
+    }
+
+    /// The human-readable description of the error.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// Byte offset into the original SQL text where the error occurred.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SQL parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}

@@ -1,0 +1,752 @@
+//! Recursive-descent parser for the ConQuer SQL dialect.
+//!
+//! Operator precedence (loosest to tightest): `OR`, `AND`, `NOT`,
+//! predicates (`=`, `<`, `BETWEEN`, `IN`, `LIKE`, `IS NULL`, ...),
+//! `+`/`-`, `*`/`/`/`%`, unary minus, primary.
+
+use crate::ast::*;
+use crate::dates;
+use crate::error::{ParseError, Result};
+use crate::lexer::{tokenize, Token, TokenKind};
+
+use crate::ast::RESERVED_WORDS as RESERVED;
+
+/// The parser. Construct with [`Parser::new`], then call one of the
+/// `parse_*_eof` entry points.
+pub struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    /// Tokenize `sql` and position at the first token.
+    pub fn new(sql: &str) -> Result<Parser> {
+        Ok(Parser { tokens: tokenize(sql)?, pos: 0 })
+    }
+
+    /// Parse a complete query and require end of input.
+    pub fn parse_query_eof(&mut self) -> Result<Query> {
+        let q = self.parse_query()?;
+        self.eat_kind(&TokenKind::Semicolon);
+        self.expect_eof()?;
+        Ok(q)
+    }
+
+    /// Parse a single statement and require end of input.
+    pub fn parse_statement_eof(&mut self) -> Result<Statement> {
+        let s = self.parse_statement()?;
+        self.eat_kind(&TokenKind::Semicolon);
+        self.expect_eof()?;
+        Ok(s)
+    }
+
+    /// Parse `;`-separated statements until end of input.
+    pub fn parse_statements_eof(&mut self) -> Result<Vec<Statement>> {
+        let mut out = Vec::new();
+        loop {
+            while self.eat_kind(&TokenKind::Semicolon) {}
+            if matches!(self.peek().kind, TokenKind::Eof) {
+                return Ok(out);
+            }
+            out.push(self.parse_statement()?);
+        }
+    }
+
+    /// Parse an expression and require end of input.
+    pub fn parse_expr_eof(&mut self) -> Result<Expr> {
+        let e = self.parse_expr()?;
+        self.expect_eof()?;
+        Ok(e)
+    }
+
+    // ---- token helpers -------------------------------------------------
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn peek_at(&self, n: usize) -> &Token {
+        let idx = (self.pos + n).min(self.tokens.len() - 1);
+        &self.tokens[idx]
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error_here(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(msg, self.peek().offset)
+    }
+
+    /// Consume the next token if it is the given keyword (case-insensitive).
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if let TokenKind::Ident(s) = &self.peek().kind {
+            if s == kw {
+                self.advance();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Ident(s) if s == kw)
+    }
+
+    fn peek_keyword_at(&self, n: usize, kw: &str) -> bool {
+        matches!(&self.peek_at(n).kind, TokenKind::Ident(s) if s == kw)
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.error_here(format!("expected `{}`, found {}", kw, self.peek().kind.describe())))
+        }
+    }
+
+    fn eat_kind(&mut self, kind: &TokenKind) -> bool {
+        if &self.peek().kind == kind {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kind(&mut self, kind: &TokenKind) -> Result<()> {
+        if self.eat_kind(kind) {
+            Ok(())
+        } else {
+            Err(self.error_here(format!(
+                "expected {}, found {}",
+                kind.describe(),
+                self.peek().kind.describe()
+            )))
+        }
+    }
+
+    fn expect_eof(&self) -> Result<()> {
+        if matches!(self.peek().kind, TokenKind::Eof) {
+            Ok(())
+        } else {
+            Err(self.error_here(format!("unexpected {}", self.peek().kind.describe())))
+        }
+    }
+
+    /// Parse any identifier (quoted or not) and return its name.
+    fn parse_ident(&mut self) -> Result<String> {
+        match self.peek().kind.clone() {
+            TokenKind::Ident(s) => {
+                self.advance();
+                Ok(s)
+            }
+            TokenKind::QuotedIdent(s) => {
+                self.advance();
+                Ok(s)
+            }
+            other => Err(self.error_here(format!("expected identifier, found {}", other.describe()))),
+        }
+    }
+
+    /// Parse an optional `AS alias` or bare alias.
+    fn parse_optional_alias(&mut self) -> Result<Option<String>> {
+        if self.eat_keyword("as") {
+            return Ok(Some(self.parse_ident()?));
+        }
+        match &self.peek().kind {
+            TokenKind::Ident(s) if !RESERVED.contains(&s.as_str()) => {
+                let alias = s.clone();
+                self.advance();
+                Ok(Some(alias))
+            }
+            TokenKind::QuotedIdent(s) => {
+                let alias = s.clone();
+                self.advance();
+                Ok(Some(alias))
+            }
+            _ => Ok(None),
+        }
+    }
+
+    // ---- statements ----------------------------------------------------
+
+    fn parse_statement(&mut self) -> Result<Statement> {
+        if self.peek_keyword("create") {
+            self.parse_create_table()
+        } else if self.peek_keyword("insert") {
+            self.parse_insert()
+        } else {
+            Ok(Statement::Query(self.parse_query()?))
+        }
+    }
+
+    fn parse_create_table(&mut self) -> Result<Statement> {
+        self.expect_keyword("create")?;
+        self.expect_keyword("table")?;
+        let name = self.parse_ident()?;
+        self.expect_kind(&TokenKind::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            let col = self.parse_ident()?;
+            let ty = self.parse_type_name()?;
+            columns.push(ColumnDef { name: col, ty });
+            if !self.eat_kind(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect_kind(&TokenKind::RParen)?;
+        Ok(Statement::CreateTable { name, columns })
+    }
+
+    fn parse_type_name(&mut self) -> Result<TypeName> {
+        let name = self.parse_ident()?;
+        let ty = match name.as_str() {
+            "int" | "integer" | "bigint" | "smallint" => TypeName::Integer,
+            "float" | "double" | "real" | "decimal" | "numeric" => TypeName::Float,
+            "text" | "varchar" | "char" | "string" => TypeName::Text,
+            "date" => TypeName::Date,
+            "bool" | "boolean" => TypeName::Boolean,
+            other => return Err(self.error_here(format!("unknown type `{other}`"))),
+        };
+        // Allow an ignored precision suffix: varchar(25), decimal(15, 2).
+        if self.eat_kind(&TokenKind::LParen) {
+            loop {
+                match self.advance().kind {
+                    TokenKind::Integer(_) | TokenKind::Comma => {}
+                    TokenKind::RParen => break,
+                    other => {
+                        return Err(
+                            self.error_here(format!("unexpected {} in type", other.describe()))
+                        )
+                    }
+                }
+            }
+        }
+        Ok(ty)
+    }
+
+    fn parse_insert(&mut self) -> Result<Statement> {
+        self.expect_keyword("insert")?;
+        self.expect_keyword("into")?;
+        let table = self.parse_ident()?;
+        let mut columns = Vec::new();
+        if self.eat_kind(&TokenKind::LParen) {
+            loop {
+                columns.push(self.parse_ident()?);
+                if !self.eat_kind(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect_kind(&TokenKind::RParen)?;
+        }
+        self.expect_keyword("values")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect_kind(&TokenKind::LParen)?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.parse_expr()?);
+                if !self.eat_kind(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect_kind(&TokenKind::RParen)?;
+            rows.push(row);
+            if !self.eat_kind(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(Statement::Insert { table, columns, rows })
+    }
+
+    // ---- queries ---------------------------------------------------------
+
+    fn parse_query(&mut self) -> Result<Query> {
+        let mut ctes = Vec::new();
+        if self.eat_keyword("with") {
+            loop {
+                let name = self.parse_ident()?;
+                self.expect_keyword("as")?;
+                self.expect_kind(&TokenKind::LParen)?;
+                let query = self.parse_query()?;
+                self.expect_kind(&TokenKind::RParen)?;
+                ctes.push(Cte { name, query });
+                if !self.eat_kind(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let body = self.parse_set_expr()?;
+        let mut order_by = Vec::new();
+        if self.eat_keyword("order") {
+            self.expect_keyword("by")?;
+            loop {
+                let expr = self.parse_expr()?;
+                let desc = if self.eat_keyword("desc") {
+                    true
+                } else {
+                    self.eat_keyword("asc");
+                    false
+                };
+                order_by.push(OrderByItem { expr, desc });
+                if !self.eat_kind(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let mut limit = None;
+        if self.eat_keyword("limit") {
+            match self.advance().kind {
+                TokenKind::Integer(n) if n >= 0 => limit = Some(n as u64),
+                other => {
+                    return Err(self.error_here(format!(
+                        "expected non-negative integer after LIMIT, found {}",
+                        other.describe()
+                    )))
+                }
+            }
+        }
+        Ok(Query { ctes, body, order_by, limit })
+    }
+
+    fn parse_set_expr(&mut self) -> Result<SetExpr> {
+        let mut left = self.parse_set_operand()?;
+        while self.peek_keyword("union") {
+            self.advance();
+            self.expect_keyword("all")?;
+            let right = self.parse_set_operand()?;
+            left = SetExpr::UnionAll(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_set_operand(&mut self) -> Result<SetExpr> {
+        // Allow parenthesized select blocks as set operands.
+        if matches!(self.peek().kind, TokenKind::LParen)
+            && (self.peek_keyword_at(1, "select") || self.peek_keyword_at(1, "with"))
+        {
+            self.advance();
+            let inner = self.parse_set_expr()?;
+            self.expect_kind(&TokenKind::RParen)?;
+            return Ok(inner);
+        }
+        Ok(SetExpr::Select(Box::new(self.parse_select()?)))
+    }
+
+    fn parse_select(&mut self) -> Result<Select> {
+        self.expect_keyword("select")?;
+        let distinct = self.eat_keyword("distinct");
+        let mut projection = Vec::new();
+        loop {
+            projection.push(self.parse_select_item()?);
+            if !self.eat_kind(&TokenKind::Comma) {
+                break;
+            }
+        }
+        let mut from = Vec::new();
+        if self.eat_keyword("from") {
+            loop {
+                from.push(self.parse_table_ref()?);
+                if !self.eat_kind(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let selection = if self.eat_keyword("where") { Some(self.parse_expr()?) } else { None };
+        let mut group_by = Vec::new();
+        if self.eat_keyword("group") {
+            self.expect_keyword("by")?;
+            loop {
+                group_by.push(self.parse_expr()?);
+                if !self.eat_kind(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let having = if self.eat_keyword("having") { Some(self.parse_expr()?) } else { None };
+        Ok(Select { distinct, projection, from, selection, group_by, having })
+    }
+
+    fn parse_select_item(&mut self) -> Result<SelectItem> {
+        if self.eat_kind(&TokenKind::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        // `alias.*`
+        if matches!(self.peek().kind, TokenKind::Ident(_) | TokenKind::QuotedIdent(_))
+            && matches!(self.peek_at(1).kind, TokenKind::Dot)
+            && matches!(self.peek_at(2).kind, TokenKind::Star)
+        {
+            let q = self.parse_ident()?;
+            self.advance(); // .
+            self.advance(); // *
+            return Ok(SelectItem::QualifiedWildcard(q));
+        }
+        let expr = self.parse_expr()?;
+        let alias = self.parse_optional_alias()?;
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn parse_table_ref(&mut self) -> Result<TableRef> {
+        let mut left = self.parse_table_factor()?;
+        loop {
+            let kind = if self.peek_keyword("join") {
+                self.advance();
+                JoinKind::Inner
+            } else if self.peek_keyword("inner") && self.peek_keyword_at(1, "join") {
+                self.advance();
+                self.advance();
+                JoinKind::Inner
+            } else if self.peek_keyword("left") {
+                self.advance();
+                self.eat_keyword("outer");
+                self.expect_keyword("join")?;
+                JoinKind::LeftOuter
+            } else if self.peek_keyword("cross") && self.peek_keyword_at(1, "join") {
+                self.advance();
+                self.advance();
+                JoinKind::Cross
+            } else {
+                break;
+            };
+            let right = self.parse_table_factor()?;
+            let on = if kind == JoinKind::Cross {
+                None
+            } else if self.eat_keyword("on") {
+                Some(self.parse_expr()?)
+            } else {
+                // The paper's Figure 5 writes `left outer join LOJ where ...`
+                // with the join predicate folded into LOJ; we require ON for
+                // non-cross joins to avoid silently building cross products.
+                return Err(self.error_here("expected `on` after join"));
+            };
+            left = TableRef::Join { left: Box::new(left), kind, right: Box::new(right), on };
+        }
+        Ok(left)
+    }
+
+    fn parse_table_factor(&mut self) -> Result<TableRef> {
+        if matches!(self.peek().kind, TokenKind::LParen) {
+            // Either a derived table `(select ...) alias` or a
+            // parenthesized join tree `(a join b on ...)`.
+            if self.peek_keyword_at(1, "select") || self.peek_keyword_at(1, "with") {
+                self.advance();
+                let query = self.parse_query()?;
+                self.expect_kind(&TokenKind::RParen)?;
+                let alias = self.parse_optional_alias()?.ok_or_else(|| {
+                    self.error_here("derived table requires an alias")
+                })?;
+                return Ok(TableRef::Subquery { query: Box::new(query), alias });
+            }
+            self.advance();
+            let inner = self.parse_table_ref()?;
+            self.expect_kind(&TokenKind::RParen)?;
+            return Ok(inner);
+        }
+        let name = self.parse_ident()?;
+        let alias = self.parse_optional_alias()?;
+        Ok(TableRef::Table { name, alias })
+    }
+
+    // ---- expressions -----------------------------------------------------
+
+    pub(crate) fn parse_expr(&mut self) -> Result<Expr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr> {
+        let mut left = self.parse_and()?;
+        while self.eat_keyword("or") {
+            let right = self.parse_and()?;
+            left = Expr::or(left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr> {
+        let mut left = self.parse_not()?;
+        while self.eat_keyword("and") {
+            let right = self.parse_not()?;
+            left = Expr::and(left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr> {
+        if self.peek_keyword("not") && !self.peek_keyword_at(1, "exists") {
+            self.advance();
+            let inner = self.parse_not()?;
+            return Ok(Expr::not(inner));
+        }
+        self.parse_predicate()
+    }
+
+    /// Comparison and SQL predicate forms over additive expressions.
+    fn parse_predicate(&mut self) -> Result<Expr> {
+        let left = self.parse_additive()?;
+        // IS [NOT] NULL
+        if self.peek_keyword("is") {
+            self.advance();
+            let negated = self.eat_keyword("not");
+            self.expect_keyword("null")?;
+            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+        }
+        // [NOT] BETWEEN / IN / LIKE
+        let negated = if self.peek_keyword("not")
+            && (self.peek_keyword_at(1, "between")
+                || self.peek_keyword_at(1, "in")
+                || self.peek_keyword_at(1, "like"))
+        {
+            self.advance();
+            true
+        } else {
+            false
+        };
+        if self.eat_keyword("between") {
+            let low = self.parse_additive()?;
+            self.expect_keyword("and")?;
+            let high = self.parse_additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if self.eat_keyword("in") {
+            self.expect_kind(&TokenKind::LParen)?;
+            if self.peek_keyword("select") || self.peek_keyword("with") {
+                let q = self.parse_query()?;
+                self.expect_kind(&TokenKind::RParen)?;
+                return Ok(Expr::InSubquery {
+                    expr: Box::new(left),
+                    subquery: Box::new(q),
+                    negated,
+                });
+            }
+            let mut list = Vec::new();
+            loop {
+                list.push(self.parse_expr()?);
+                if !self.eat_kind(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect_kind(&TokenKind::RParen)?;
+            return Ok(Expr::InList { expr: Box::new(left), list, negated });
+        }
+        if self.eat_keyword("like") {
+            let pattern = self.parse_additive()?;
+            return Ok(Expr::Like { expr: Box::new(left), pattern: Box::new(pattern), negated });
+        }
+        if negated {
+            return Err(self.error_here("expected BETWEEN, IN, or LIKE after NOT"));
+        }
+        // Plain comparison.
+        let op = match self.peek().kind {
+            TokenKind::Eq => BinaryOp::Eq,
+            TokenKind::NotEq => BinaryOp::NotEq,
+            TokenKind::Lt => BinaryOp::Lt,
+            TokenKind::LtEq => BinaryOp::LtEq,
+            TokenKind::Gt => BinaryOp::Gt,
+            TokenKind::GtEq => BinaryOp::GtEq,
+            _ => return Ok(left),
+        };
+        self.advance();
+        let right = self.parse_additive()?;
+        Ok(Expr::binary(left, op, right))
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Plus => BinaryOp::Plus,
+                TokenKind::Minus => BinaryOp::Minus,
+                _ => break,
+            };
+            self.advance();
+            let right = self.parse_multiplicative()?;
+            left = Expr::binary(left, op, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Star => BinaryOp::Multiply,
+                TokenKind::Slash => BinaryOp::Divide,
+                TokenKind::Percent => BinaryOp::Modulo,
+                _ => break,
+            };
+            self.advance();
+            let right = self.parse_unary()?;
+            left = Expr::binary(left, op, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr> {
+        if self.eat_kind(&TokenKind::Minus) {
+            let inner = self.parse_unary()?;
+            // Fold negation of numeric literals for cleaner ASTs.
+            return Ok(match inner {
+                Expr::Literal(Literal::Integer(v)) => Expr::Literal(Literal::Integer(-v)),
+                Expr::Literal(Literal::Float(v)) => Expr::Literal(Literal::Float(-v)),
+                other => Expr::UnaryOp { op: UnaryOp::Neg, expr: Box::new(other) },
+            });
+        }
+        if self.eat_kind(&TokenKind::Plus) {
+            return self.parse_unary();
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        match self.peek().kind.clone() {
+            TokenKind::Integer(v) => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Integer(v)))
+            }
+            TokenKind::Float(v) => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Float(v)))
+            }
+            TokenKind::String(s) => {
+                self.advance();
+                Ok(Expr::Literal(Literal::String(s)))
+            }
+            TokenKind::Star => {
+                self.advance();
+                Ok(Expr::Wildcard)
+            }
+            TokenKind::LParen => {
+                self.advance();
+                if self.peek_keyword("select") || self.peek_keyword("with") {
+                    let q = self.parse_query()?;
+                    self.expect_kind(&TokenKind::RParen)?;
+                    return Ok(Expr::ScalarSubquery(Box::new(q)));
+                }
+                let inner = self.parse_expr()?;
+                self.expect_kind(&TokenKind::RParen)?;
+                Ok(inner)
+            }
+            TokenKind::Ident(word) => self.parse_ident_primary(word),
+            TokenKind::QuotedIdent(name) => {
+                self.advance();
+                self.parse_column_tail(name)
+            }
+            other => Err(self.error_here(format!("expected expression, found {}", other.describe()))),
+        }
+    }
+
+    /// Primary expressions that start with an identifier-like token:
+    /// keywords (`null`, `true`, `case`, `exists`, `date`), function calls,
+    /// and column references.
+    fn parse_ident_primary(&mut self, word: String) -> Result<Expr> {
+        match word.as_str() {
+            "null" => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Null))
+            }
+            "true" => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Boolean(true)))
+            }
+            "false" => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Boolean(false)))
+            }
+            "date" if matches!(self.peek_at(1).kind, TokenKind::String(_)) => {
+                self.advance();
+                let TokenKind::String(s) = self.advance().kind else { unreachable!() };
+                let days = dates::parse_date(&s).ok_or_else(|| {
+                    self.error_here(format!("invalid date literal '{s}' (expected YYYY-MM-DD)"))
+                })?;
+                Ok(Expr::Literal(Literal::Date(days)))
+            }
+            "case" => self.parse_case(),
+            "exists" => {
+                self.advance();
+                self.parse_exists(false)
+            }
+            "not" if self.peek_keyword_at(1, "exists") => {
+                self.advance();
+                self.advance();
+                self.parse_exists(true)
+            }
+            _ => {
+                if RESERVED.contains(&word.as_str()) {
+                    return Err(self.error_here(format!(
+                        "expected expression, found keyword `{word}` (quote it to use as a column)"
+                    )));
+                }
+                self.advance();
+                if matches!(self.peek().kind, TokenKind::LParen) {
+                    return self.parse_function_call(word);
+                }
+                self.parse_column_tail(word)
+            }
+        }
+    }
+
+    fn parse_exists(&mut self, negated: bool) -> Result<Expr> {
+        self.expect_kind(&TokenKind::LParen)?;
+        let q = self.parse_query()?;
+        self.expect_kind(&TokenKind::RParen)?;
+        Ok(Expr::Exists { subquery: Box::new(q), negated })
+    }
+
+    fn parse_case(&mut self) -> Result<Expr> {
+        self.expect_keyword("case")?;
+        let mut branches = Vec::new();
+        while self.eat_keyword("when") {
+            let cond = self.parse_expr()?;
+            self.expect_keyword("then")?;
+            let value = self.parse_expr()?;
+            branches.push((cond, value));
+        }
+        if branches.is_empty() {
+            return Err(self.error_here("CASE requires at least one WHEN branch"));
+        }
+        let else_expr =
+            if self.eat_keyword("else") { Some(Box::new(self.parse_expr()?)) } else { None };
+        self.expect_keyword("end")?;
+        Ok(Expr::Case { branches, else_expr })
+    }
+
+    fn parse_function_call(&mut self, name: String) -> Result<Expr> {
+        self.expect_kind(&TokenKind::LParen)?;
+        let distinct = self.eat_keyword("distinct");
+        let mut args = Vec::new();
+        if !matches!(self.peek().kind, TokenKind::RParen) {
+            loop {
+                if self.eat_kind(&TokenKind::Star) {
+                    args.push(Expr::Wildcard);
+                } else {
+                    args.push(self.parse_expr()?);
+                }
+                if !self.eat_kind(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect_kind(&TokenKind::RParen)?;
+        Ok(Expr::Function { name, args, distinct })
+    }
+
+    /// After consuming an identifier, parse an optional `.column` suffix.
+    fn parse_column_tail(&mut self, first: String) -> Result<Expr> {
+        if matches!(self.peek().kind, TokenKind::Dot) {
+            self.advance();
+            let name = self.parse_ident()?;
+            return Ok(Expr::Column(ColumnRef { qualifier: Some(first), name }));
+        }
+        Ok(Expr::Column(ColumnRef { qualifier: None, name: first }))
+    }
+}

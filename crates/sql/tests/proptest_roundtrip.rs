@@ -1,0 +1,175 @@
+//! Property-based printer/parser round-trip: for randomly generated ASTs
+//! in the dialect's shape, `parse(print(ast)) == ast`. This is the
+//! guarantee ConQuer relies on when handing rewritten SQL text to a host
+//! database system.
+
+use proptest::prelude::*;
+
+use conquer_sql::ast::*;
+use conquer_sql::{parse_expr, parse_query};
+
+fn ident_strategy() -> impl Strategy<Value = String> {
+    // Bare identifiers (avoid reserved words by prefixing).
+    "[a-z][a-z0-9_]{0,6}".prop_map(|s| format!("c_{s}"))
+}
+
+fn literal_strategy() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        Just(Literal::Null),
+        any::<bool>().prop_map(Literal::Boolean),
+        (-1_000_000i64..1_000_000).prop_map(Literal::Integer),
+        // Finite, print-stable floats.
+        (-1_000_000i64..1_000_000).prop_map(|v| Literal::Float(v as f64 / 64.0)),
+        "[a-zA-Z0-9 ']{0,12}".prop_map(Literal::String),
+        (0i32..20_000).prop_map(Literal::Date),
+    ]
+}
+
+fn column_strategy() -> impl Strategy<Value = Expr> {
+    (proptest::option::of(ident_strategy()), ident_strategy()).prop_map(|(q, n)| {
+        Expr::Column(ColumnRef { qualifier: q, name: n })
+    })
+}
+
+fn leaf_expr() -> impl Strategy<Value = Expr> {
+    prop_oneof![column_strategy(), literal_strategy().prop_map(Expr::Literal)]
+}
+
+fn binop_strategy() -> impl Strategy<Value = BinaryOp> {
+    prop_oneof![
+        Just(BinaryOp::Plus),
+        Just(BinaryOp::Minus),
+        Just(BinaryOp::Multiply),
+        Just(BinaryOp::Divide),
+        Just(BinaryOp::Modulo),
+        Just(BinaryOp::Eq),
+        Just(BinaryOp::NotEq),
+        Just(BinaryOp::Lt),
+        Just(BinaryOp::LtEq),
+        Just(BinaryOp::Gt),
+        Just(BinaryOp::GtEq),
+        Just(BinaryOp::And),
+        Just(BinaryOp::Or),
+    ]
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    leaf_expr().prop_recursive(4, 64, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), binop_strategy(), inner.clone()).prop_map(|(l, op, r)| {
+                Expr::BinaryOp { left: Box::new(l), op, right: Box::new(r) }
+            }),
+            inner.clone().prop_map(Expr::not),
+            inner.clone().prop_map(|e| Expr::IsNull { expr: Box::new(e), negated: false }),
+            inner.clone().prop_map(|e| Expr::IsNull { expr: Box::new(e), negated: true }),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(e, lo, hi)| {
+                Expr::Between {
+                    expr: Box::new(e),
+                    low: Box::new(lo),
+                    high: Box::new(hi),
+                    negated: false,
+                }
+            }),
+            (inner.clone(), prop::collection::vec(inner.clone(), 1..4), any::<bool>())
+                .prop_map(|(e, list, negated)| Expr::InList {
+                    expr: Box::new(e),
+                    list,
+                    negated,
+                }),
+            (
+                prop::collection::vec((inner.clone(), inner.clone()), 1..3),
+                proptest::option::of(inner.clone()),
+            )
+                .prop_map(|(branches, else_expr)| Expr::Case {
+                    branches,
+                    else_expr: else_expr.map(Box::new),
+                }),
+            (
+                prop::sample::select(vec!["sum", "min", "max", "coalesce", "abs"]),
+                prop::collection::vec(inner, 1..3),
+            )
+                .prop_map(|(name, args)| Expr::func(name, args)),
+        ]
+    })
+}
+
+fn select_strategy() -> impl Strategy<Value = Select> {
+    (
+        any::<bool>(),
+        prop::collection::vec(
+            (expr_strategy(), proptest::option::of(ident_strategy())),
+            1..4,
+        ),
+        prop::collection::vec((ident_strategy(), proptest::option::of(ident_strategy())), 1..3),
+        proptest::option::of(expr_strategy()),
+    )
+        .prop_map(|(distinct, items, tables, selection)| {
+            // Distinct binding names to keep the FROM clause valid.
+            let mut seen = Vec::new();
+            let from = tables
+                .into_iter()
+                .enumerate()
+                .map(|(i, (name, alias))| TableRef::Table {
+                    name: format!("{name}_{i}"),
+                    alias: alias.map(|a| {
+                        let a = format!("{a}_{i}");
+                        seen.push(a.clone());
+                        a
+                    }),
+                })
+                .collect();
+            Select {
+                distinct,
+                projection: items
+                    .into_iter()
+                    .map(|(expr, alias)| SelectItem::Expr { expr, alias })
+                    .collect(),
+                from,
+                selection,
+                group_by: Vec::new(),
+                having: None,
+            }
+        })
+}
+
+fn query_strategy() -> impl Strategy<Value = Query> {
+    (
+        select_strategy(),
+        prop::collection::vec((expr_strategy(), any::<bool>()), 0..3),
+        proptest::option::of(0u64..1000),
+    )
+        .prop_map(|(select, order, limit)| Query {
+            ctes: Vec::new(),
+            body: SetExpr::Select(Box::new(select)),
+            order_by: order
+                .into_iter()
+                .map(|(expr, desc)| OrderByItem { expr, desc })
+                .collect(),
+            limit,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    #[test]
+    fn expressions_round_trip(e in expr_strategy()) {
+        let printed = e.to_string();
+        let reparsed = parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("failed to re-parse {printed:?}: {err}"));
+        prop_assert_eq!(reparsed, e, "printed: {}", printed);
+    }
+
+    #[test]
+    fn queries_round_trip(q in query_strategy()) {
+        let printed = q.to_string();
+        let reparsed = parse_query(&printed)
+            .unwrap_or_else(|err| panic!("failed to re-parse {printed:?}: {err}"));
+        prop_assert_eq!(reparsed, q, "printed: {}", printed);
+    }
+
+    #[test]
+    fn printing_is_deterministic(e in expr_strategy()) {
+        prop_assert_eq!(e.to_string(), e.to_string());
+    }
+}

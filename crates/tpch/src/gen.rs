@@ -1,0 +1,436 @@
+//! Deterministic TPC-H-style data generator (the `dbgen` substitute).
+//!
+//! Row counts follow the TPC-H scale-factor rules (customer = 150 000 × SF,
+//! orders = 10 × customer, an average of four lineitems per order, …) and
+//! value distributions approximate the specification closely enough for the
+//! benchmark queries: dates span 1992-01-01 .. 1998-08-02, `l_shipdate` is
+//! 1–121 days after the order date, discounts are 0.00–0.10, market
+//! segments and ship modes use the standard vocabularies. Free-text comment
+//! columns are shortened to keep the in-memory footprint low; no benchmark
+//! query reads them.
+//!
+//! Generation is deterministic for a given seed regardless of thread count:
+//! orders/lineitems are produced in fixed chunks, each chunk seeded
+//! independently, and assembled in chunk order (crossbeam scoped threads).
+
+use crossbeam::thread;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use conquer_engine::{Database, Row, Value};
+use conquer_sql::dates::ymd_to_days;
+
+use crate::schema::create_tables;
+
+/// The standard market segments.
+pub const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+/// The standard order priorities.
+pub const PRIORITIES: [&str; 5] =
+    ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+/// The standard ship modes.
+pub const SHIP_MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+const SHIP_INSTRUCTS: [&str; 4] =
+    ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+const NATION_NAMES: [&str; 25] = [
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY",
+    "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE",
+    "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+    "UNITED STATES",
+];
+const REGION_NAMES: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+/// nation -> region mapping from the TPC-H specification.
+const NATION_REGION: [i64; 25] =
+    [0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2, 4, 0, 0, 0, 1, 2, 3, 4, 2, 3, 3, 1];
+
+/// Generator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct GenConfig {
+    /// TPC-H scale factor; 1.0 is the standard 1 GB database
+    /// (≈ 8.6 million tuples). The paper's 100 MB–2 GB range maps to
+    /// 0.1–2.0; this reproduction typically uses 0.008–0.16.
+    pub scale_factor: f64,
+    /// RNG seed; identical seeds give identical databases.
+    pub seed: u64,
+    /// Number of generator threads for the large tables.
+    pub threads: usize,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig { scale_factor: 0.01, seed: 42, threads: 4 }
+    }
+}
+
+impl GenConfig {
+    pub fn customers(&self) -> usize {
+        ((150_000.0 * self.scale_factor).round() as usize).max(10)
+    }
+
+    pub fn orders(&self) -> usize {
+        self.customers() * 10
+    }
+
+    pub fn suppliers(&self) -> usize {
+        ((10_000.0 * self.scale_factor).round() as usize).max(5)
+    }
+
+    pub fn parts(&self) -> usize {
+        ((200_000.0 * self.scale_factor).round() as usize).max(20)
+    }
+}
+
+/// Date bounds of the TPC-H universe.
+pub fn start_date() -> i32 {
+    ymd_to_days(1992, 1, 1).expect("valid date")
+}
+
+pub fn end_order_date() -> i32 {
+    ymd_to_days(1998, 8, 2).expect("valid date")
+}
+
+fn money(rng: &mut StdRng, lo_cents: i64, hi_cents: i64) -> f64 {
+    rng.gen_range(lo_cents..=hi_cents) as f64 / 100.0
+}
+
+fn phone(rng: &mut StdRng, nation: i64) -> String {
+    format!(
+        "{}-{:03}-{:03}-{:04}",
+        10 + nation,
+        rng.gen_range(100..1000),
+        rng.gen_range(100..1000),
+        rng.gen_range(1000..10000)
+    )
+}
+
+fn short_text(rng: &mut StdRng) -> String {
+    const WORDS: [&str; 12] = [
+        "furiously", "quick", "pending", "final", "ironic", "even", "bold", "regular",
+        "express", "silent", "blithe", "careful",
+    ];
+    let a = WORDS[rng.gen_range(0..WORDS.len())];
+    let b = WORDS[rng.gen_range(0..WORDS.len())];
+    format!("{a} {b} deposits")
+}
+
+/// Generate a complete, *consistent* TPC-H database at the given scale.
+pub fn generate_database(config: &GenConfig) -> Database {
+    let db = Database::new();
+    create_tables(&db);
+    fill_region_nation(&db);
+    fill_supplier(&db, config);
+    fill_part_partsupp(&db, config);
+    fill_customer(&db, config);
+    fill_orders_lineitem(&db, config);
+    db
+}
+
+fn fill_region_nation(db: &Database) {
+    let mut region = (*db.table("region").unwrap()).clone();
+    for (i, name) in REGION_NAMES.iter().enumerate() {
+        region.extend_unchecked([vec![
+            Value::Int(i as i64),
+            Value::str(name),
+            Value::str("regional comment"),
+        ]]);
+    }
+    db.register(region);
+
+    let mut nation = (*db.table("nation").unwrap()).clone();
+    for (i, name) in NATION_NAMES.iter().enumerate() {
+        nation.extend_unchecked([vec![
+            Value::Int(i as i64),
+            Value::str(name),
+            Value::Int(NATION_REGION[i]),
+            Value::str("national comment"),
+        ]]);
+    }
+    db.register(nation);
+}
+
+fn fill_supplier(db: &Database, config: &GenConfig) {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x501);
+    let mut t = (*db.table("supplier").unwrap()).clone();
+    for sk in 1..=config.suppliers() as i64 {
+        let nation = rng.gen_range(0..25);
+        t.extend_unchecked([vec![
+            Value::Int(sk),
+            Value::str(format!("Supplier#{sk:09}")),
+            Value::str(format!("addr-{}", rng.gen_range(0..100000))),
+            Value::Int(nation),
+            Value::str(phone(&mut rng, nation)),
+            Value::Float(money(&mut rng, -99999, 999999)),
+            Value::str(short_text(&mut rng)),
+        ]]);
+    }
+    db.register(t);
+}
+
+fn fill_part_partsupp(db: &Database, config: &GenConfig) {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x9a27);
+    let n_parts = config.parts() as i64;
+    let n_suppliers = config.suppliers() as i64;
+
+    const TYPES: [&str; 6] = [
+        "STANDARD ANODIZED TIN", "SMALL PLATED COPPER", "MEDIUM POLISHED BRASS",
+        "LARGE BURNISHED STEEL", "ECONOMY BRUSHED NICKEL", "PROMO POLISHED TIN",
+    ];
+    const CONTAINERS: [&str; 5] = ["SM CASE", "MED BOX", "LG DRUM", "JUMBO JAR", "WRAP PKG"];
+    const COLORS: [&str; 8] =
+        ["green", "blue", "red", "ivory", "salmon", "peach", "khaki", "linen"];
+
+    let mut part = (*db.table("part").unwrap()).clone();
+    let mut partsupp = (*db.table("partsupp").unwrap()).clone();
+    for pk in 1..=n_parts {
+        let color = COLORS[rng.gen_range(0..COLORS.len())];
+        part.extend_unchecked([vec![
+            Value::Int(pk),
+            Value::str(format!("{color} widget")),
+            Value::str(format!("Manufacturer#{}", rng.gen_range(1..=5))),
+            Value::str(format!("Brand#{}{}", rng.gen_range(1..=5), rng.gen_range(1..=5))),
+            Value::str(TYPES[rng.gen_range(0..TYPES.len())]),
+            Value::Int(rng.gen_range(1..=50)),
+            Value::str(CONTAINERS[rng.gen_range(0..CONTAINERS.len())]),
+            Value::Float(money(&mut rng, 90000, 200000)),
+            Value::str(short_text(&mut rng)),
+        ]]);
+        // Four suppliers per part, as in the specification. The stride
+        // keeps the four (pk, sk) pairs distinct so the composite key holds.
+        let stride = (n_suppliers / 4).max(1);
+        for s in 0..4 {
+            let sk = (pk + s * stride) % n_suppliers + 1;
+            partsupp.extend_unchecked([vec![
+                Value::Int(pk),
+                Value::Int(sk),
+                Value::Int(rng.gen_range(1..=9999)),
+                Value::Float(money(&mut rng, 100, 100000)),
+                Value::str(short_text(&mut rng)),
+            ]]);
+        }
+    }
+    db.register(part);
+    db.register(partsupp);
+}
+
+fn fill_customer(db: &Database, config: &GenConfig) {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xc057);
+    let mut t = (*db.table("customer").unwrap()).clone();
+    for ck in 1..=config.customers() as i64 {
+        let nation = rng.gen_range(0..25);
+        t.extend_unchecked([vec![
+            Value::Int(ck),
+            Value::str(format!("Customer#{ck:09}")),
+            Value::str(format!("addr-{}", rng.gen_range(0..1000000))),
+            Value::Int(nation),
+            Value::str(phone(&mut rng, nation)),
+            Value::Float(money(&mut rng, -99999, 999999)),
+            Value::str(SEGMENTS[rng.gen_range(0..SEGMENTS.len())]),
+            Value::str(short_text(&mut rng)),
+        ]]);
+    }
+    db.register(t);
+}
+
+/// Orders and lineitems are generated in parallel chunks; each chunk's RNG
+/// is seeded from (seed, chunk index), so output is independent of thread
+/// scheduling.
+fn fill_orders_lineitem(db: &Database, config: &GenConfig) {
+    let n_orders = config.orders();
+    let n_customers = config.customers() as i64;
+    let n_parts = config.parts() as i64;
+    let n_suppliers = config.suppliers() as i64;
+    let threads = config.threads.max(1);
+
+    // Fixed chunk size so output is identical for every thread count; each
+    // worker processes chunk indices strided by the worker count.
+    const CHUNK: usize = 8192;
+    let n_chunks = n_orders.div_ceil(CHUNK);
+    let mut chunks: Vec<Option<(Vec<Row>, Vec<Row>)>> = Vec::new();
+    chunks.resize_with(n_chunks, || None);
+
+    thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for worker in 0..threads.min(n_chunks.max(1)) {
+            handles.push(scope.spawn(move |_| {
+                let mut out = Vec::new();
+                let mut chunk_idx = worker;
+                while chunk_idx < n_chunks {
+                    let lo = chunk_idx * CHUNK;
+                    let hi = (lo + CHUNK).min(n_orders);
+                    let seed = config.seed ^ (0x07de75 + chunk_idx as u64);
+                    out.push((
+                        chunk_idx,
+                        generate_order_chunk(lo, hi, seed, n_customers, n_parts, n_suppliers),
+                    ));
+                    chunk_idx += threads.min(n_chunks.max(1));
+                }
+                out
+            }));
+        }
+        for h in handles {
+            for (idx, chunk) in h.join().expect("generator thread panicked") {
+                chunks[idx] = Some(chunk);
+            }
+        }
+    })
+    .expect("crossbeam scope");
+
+    let mut orders = (*db.table("orders").unwrap()).clone();
+    let mut lineitem = (*db.table("lineitem").unwrap()).clone();
+    for chunk in chunks {
+        let (order_rows, line_rows) = chunk.expect("all chunks generated");
+        orders.extend_unchecked(order_rows);
+        lineitem.extend_unchecked(line_rows);
+    }
+    db.register(orders);
+    db.register(lineitem);
+}
+
+fn generate_order_chunk(
+    lo: usize,
+    hi: usize,
+    seed: u64,
+    n_customers: i64,
+    n_parts: i64,
+    n_suppliers: i64,
+) -> (Vec<Row>, Vec<Row>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let start = start_date();
+    let end = end_order_date();
+    let cutoff = ymd_to_days(1995, 6, 17).expect("valid date");
+
+    let mut orders = Vec::with_capacity(hi - lo);
+    let mut lines = Vec::with_capacity((hi - lo) * 4);
+    for i in lo..hi {
+        let ok = i as i64 + 1;
+        let custkey = rng.gen_range(1..=n_customers);
+        let orderdate = rng.gen_range(start..=end);
+        let n_lines = rng.gen_range(1..=7);
+
+        let mut total = 0.0;
+        let mut any_open = false;
+        for ln in 1..=n_lines {
+            let quantity = rng.gen_range(1..=50i64);
+            let price_each = money(&mut rng, 90100, 210000);
+            let extended = (quantity as f64) * price_each;
+            let discount = rng.gen_range(0..=10) as f64 / 100.0;
+            let tax = rng.gen_range(0..=8) as f64 / 100.0;
+            let shipdate = orderdate + rng.gen_range(1..=121);
+            let commitdate = orderdate + rng.gen_range(30..=90);
+            let receiptdate = shipdate + rng.gen_range(1..=30);
+            let returnflag = if receiptdate <= cutoff {
+                if rng.gen_bool(0.5) {
+                    "R"
+                } else {
+                    "A"
+                }
+            } else {
+                "N"
+            };
+            let linestatus = if shipdate > cutoff { "O" } else { "F" };
+            any_open |= linestatus == "O";
+            total += extended * (1.0 - discount) * (1.0 + tax);
+            lines.push(vec![
+                Value::Int(ok),
+                Value::Int(ln),
+                Value::Int(rng.gen_range(1..=n_parts)),
+                Value::Int(rng.gen_range(1..=n_suppliers)),
+                Value::Int(quantity),
+                Value::Float(extended),
+                Value::Float(discount),
+                Value::Float(tax),
+                Value::str(returnflag),
+                Value::str(linestatus),
+                Value::Date(shipdate),
+                Value::Date(commitdate),
+                Value::Date(receiptdate),
+                Value::str(SHIP_INSTRUCTS[rng.gen_range(0..SHIP_INSTRUCTS.len())]),
+                Value::str(SHIP_MODES[rng.gen_range(0..SHIP_MODES.len())]),
+                Value::str(short_text(&mut rng)),
+            ]);
+        }
+        let status = if any_open { "O" } else { "F" };
+        orders.push(vec![
+            Value::Int(ok),
+            Value::Int(custkey),
+            Value::str(status),
+            Value::Float(total),
+            Value::Date(orderdate),
+            Value::str(PRIORITIES[rng.gen_range(0..PRIORITIES.len())]),
+            Value::str(format!("Clerk#{:09}", rng.gen_range(1..=1000))),
+            Value::Int(0),
+            Value::str(short_text(&mut rng)),
+        ]);
+    }
+    (orders, lines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_expected_row_counts() {
+        let config = GenConfig { scale_factor: 0.001, seed: 7, threads: 2 };
+        let db = generate_database(&config);
+        assert_eq!(db.table("customer").unwrap().len(), 150);
+        assert_eq!(db.table("orders").unwrap().len(), 1500);
+        assert_eq!(db.table("nation").unwrap().len(), 25);
+        assert_eq!(db.table("region").unwrap().len(), 5);
+        let li = db.table("lineitem").unwrap().len();
+        assert!((1500..=1500 * 7).contains(&li), "lineitem count {li}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_across_thread_counts() {
+        let a = generate_database(&GenConfig { scale_factor: 0.001, seed: 9, threads: 1 });
+        let b = generate_database(&GenConfig { scale_factor: 0.001, seed: 9, threads: 4 });
+        for t in ["orders", "lineitem", "customer"] {
+            assert_eq!(a.table(t).unwrap().rows(), b.table(t).unwrap().rows(), "{t} differs");
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_database(&GenConfig { scale_factor: 0.001, seed: 1, threads: 2 });
+        let b = generate_database(&GenConfig { scale_factor: 0.001, seed: 2, threads: 2 });
+        assert_ne!(a.table("customer").unwrap().rows(), b.table("customer").unwrap().rows());
+    }
+
+    #[test]
+    fn generated_data_is_consistent_wrt_keys() {
+        use std::collections::HashSet;
+        let db = generate_database(&GenConfig { scale_factor: 0.001, seed: 3, threads: 2 });
+        let orders = db.table("orders").unwrap();
+        let keys: HashSet<String> =
+            orders.rows().iter().map(|r| r[0].to_string()).collect();
+        assert_eq!(keys.len(), orders.len());
+        let li = db.table("lineitem").unwrap();
+        let li_keys: HashSet<(String, String)> = li
+            .rows()
+            .iter()
+            .map(|r| (r[0].to_string(), r[1].to_string()))
+            .collect();
+        assert_eq!(li_keys.len(), li.len());
+    }
+
+    #[test]
+    fn foreign_keys_reference_existing_rows() {
+        let config = GenConfig { scale_factor: 0.001, seed: 4, threads: 2 };
+        let db = generate_database(&config);
+        let n_customers = config.customers() as i64;
+        for row in db.table("orders").unwrap().rows() {
+            let Value::Int(ck) = row[1] else { panic!() };
+            assert!((1..=n_customers).contains(&ck));
+        }
+    }
+
+    #[test]
+    fn dates_are_ordered_per_lineitem() {
+        let db = generate_database(&GenConfig { scale_factor: 0.001, seed: 5, threads: 2 });
+        for row in db.table("lineitem").unwrap().rows() {
+            let Value::Date(ship) = row[10] else { panic!() };
+            let Value::Date(receipt) = row[12] else { panic!() };
+            assert!(receipt > ship);
+        }
+    }
+}

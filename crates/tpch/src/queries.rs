@@ -1,0 +1,221 @@
+//! The six TPC-H queries used in the paper's evaluation (Q1, Q3, Q4, Q6,
+//! Q10, Q12), adapted to the tree-query class exactly as Section 6.1
+//! describes, with the standard's suggested substitution parameters.
+//!
+//! Adaptations (all flagged in the paper or required by Definition 4):
+//!
+//! * **Q1** — `date '1998-12-01' - interval '90' day` is constant-folded to
+//!   `date '1998-09-02'` (the interval mechanism is just parameter
+//!   substitution). Q1's `avg` aggregates use the documented sound-bound
+//!   extension.
+//! * **Q3** — unchanged apart from explicit qualification of all columns
+//!   (the analyser requires unambiguous join columns).
+//! * **Q4** — the correlated `EXISTS` is decorrelated into a join, which
+//!   the paper itself does ("many of them can be decorrelated and
+//!   unnested"); the count then tallies late *lineitems* per priority
+//!   rather than late orders — the same join/aggregation shape and data
+//!   volume.
+//! * **Q6** — unchanged (global aggregate, no grouping).
+//! * **Q10** — unchanged; four relations, the largest join in the set.
+//! * **Q12** — unchanged; two CASE-based counts.
+
+use crate::schema::benchmark_constraints;
+use conquer_core::ConstraintSet;
+
+/// Selectivity label from Figure 10 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Selectivity {
+    High,
+    Low,
+}
+
+impl std::fmt::Display for Selectivity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Selectivity::High => f.write_str("high"),
+            Selectivity::Low => f.write_str("low"),
+        }
+    }
+}
+
+/// One benchmark query with the metadata reported in Figure 10.
+#[derive(Debug, Clone)]
+pub struct BenchmarkQuery {
+    /// TPC-H query number.
+    pub number: u32,
+    /// SQL text (tree-query form).
+    pub sql: &'static str,
+    /// Expected Figure-10 characteristics, for the harness table.
+    pub selectivity: Selectivity,
+}
+
+impl BenchmarkQuery {
+    pub fn name(&self) -> String {
+        format!("Q{}", self.number)
+    }
+
+    /// The constraint set the paper pairs with these queries.
+    pub fn constraints() -> ConstraintSet {
+        benchmark_constraints()
+    }
+}
+
+/// TPC-H Q1: pricing summary report (one relation, high selectivity,
+/// 10 projected attributes, 8 aggregates).
+pub const Q1: BenchmarkQuery = BenchmarkQuery {
+    number: 1,
+    selectivity: Selectivity::High,
+    sql: "select l.l_returnflag, l.l_linestatus, \
+            sum(l.l_quantity) as sum_qty, \
+            sum(l.l_extendedprice) as sum_base_price, \
+            sum(l.l_extendedprice * (1 - l.l_discount)) as sum_disc_price, \
+            sum(l.l_extendedprice * (1 - l.l_discount) * (1 + l.l_tax)) as sum_charge, \
+            avg(l.l_quantity) as avg_qty, \
+            avg(l.l_extendedprice) as avg_price, \
+            avg(l.l_discount) as avg_disc, \
+            count(*) as count_order \
+          from lineitem l \
+          where l.l_shipdate <= date '1998-09-02' \
+          group by l.l_returnflag, l.l_linestatus \
+          order by l.l_returnflag, l.l_linestatus",
+};
+
+/// TPC-H Q3: shipping priority (three relations).
+pub const Q3: BenchmarkQuery = BenchmarkQuery {
+    number: 3,
+    selectivity: Selectivity::Low,
+    sql: "select l.l_orderkey, \
+            sum(l.l_extendedprice * (1 - l.l_discount)) as revenue, \
+            o.o_orderdate, o.o_shippriority \
+          from customer c, orders o, lineitem l \
+          where c.c_mktsegment = 'BUILDING' \
+            and c.c_custkey = o.o_custkey \
+            and l.l_orderkey = o.o_orderkey \
+            and o.o_orderdate < date '1995-03-15' \
+            and l.l_shipdate > date '1995-03-15' \
+          group by l.l_orderkey, o.o_orderdate, o.o_shippriority \
+          order by revenue desc, o.o_orderdate \
+          limit 10",
+};
+
+/// TPC-H Q4: order priority checking (two relations, decorrelated).
+pub const Q4: BenchmarkQuery = BenchmarkQuery {
+    number: 4,
+    selectivity: Selectivity::Low,
+    sql: "select o.o_orderpriority, count(*) as order_count \
+          from orders o, lineitem l \
+          where o.o_orderdate >= date '1993-07-01' \
+            and o.o_orderdate < date '1993-10-01' \
+            and l.l_orderkey = o.o_orderkey \
+            and l.l_commitdate < l.l_receiptdate \
+          group by o.o_orderpriority \
+          order by o.o_orderpriority",
+};
+
+/// TPC-H Q6: forecasting revenue change (one relation, global aggregate).
+pub const Q6: BenchmarkQuery = BenchmarkQuery {
+    number: 6,
+    selectivity: Selectivity::Low,
+    sql: "select sum(l.l_extendedprice * l.l_discount) as revenue \
+          from lineitem l \
+          where l.l_shipdate >= date '1994-01-01' \
+            and l.l_shipdate < date '1995-01-01' \
+            and l.l_discount between 0.05 and 0.07 \
+            and l.l_quantity < 24",
+};
+
+/// TPC-H Q10: returned item reporting (four relations).
+pub const Q10: BenchmarkQuery = BenchmarkQuery {
+    number: 10,
+    selectivity: Selectivity::Low,
+    sql: "select c.c_custkey, c.c_name, \
+            sum(l.l_extendedprice * (1 - l.l_discount)) as revenue, \
+            c.c_acctbal, n.n_name, c.c_address, c.c_phone, c.c_comment \
+          from customer c, orders o, lineitem l, nation n \
+          where c.c_custkey = o.o_custkey \
+            and l.l_orderkey = o.o_orderkey \
+            and o.o_orderdate >= date '1993-10-01' \
+            and o.o_orderdate < date '1994-01-01' \
+            and l.l_returnflag = 'R' \
+            and c.c_nationkey = n.n_nationkey \
+          group by c.c_custkey, c.c_name, c.c_acctbal, c.c_phone, n.n_name, \
+                   c.c_address, c.c_comment \
+          order by revenue desc \
+          limit 20",
+};
+
+/// TPC-H Q12: shipping modes and order priority (two relations,
+/// two CASE-based counts).
+pub const Q12: BenchmarkQuery = BenchmarkQuery {
+    number: 12,
+    selectivity: Selectivity::Low,
+    sql: "select l.l_shipmode, \
+            sum(case when o.o_orderpriority = '1-URGENT' \
+                       or o.o_orderpriority = '2-HIGH' \
+                     then 1 else 0 end) as high_line_count, \
+            sum(case when o.o_orderpriority <> '1-URGENT' \
+                      and o.o_orderpriority <> '2-HIGH' \
+                     then 1 else 0 end) as low_line_count \
+          from orders o, lineitem l \
+          where o.o_orderkey = l.l_orderkey \
+            and l.l_shipmode in ('MAIL', 'SHIP') \
+            and l.l_commitdate < l.l_receiptdate \
+            and l.l_shipdate < l.l_commitdate \
+            and l.l_receiptdate >= date '1994-01-01' \
+            and l.l_receiptdate < date '1995-01-01' \
+          group by l.l_shipmode \
+          order by l.l_shipmode",
+};
+
+/// All six benchmark queries in the paper's order.
+pub fn all_queries() -> Vec<BenchmarkQuery> {
+    vec![Q1.clone(), Q3.clone(), Q4.clone(), Q6.clone(), Q10.clone(), Q12.clone()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conquer_core::analyze;
+    use conquer_sql::parse_query;
+
+    /// Figure 10 of the paper: (relations, selectivity, proj attrs, agg attrs).
+    const FIGURE_10: [(u32, usize, Selectivity, usize, usize); 6] = [
+        (1, 1, Selectivity::High, 10, 8),
+        (3, 3, Selectivity::Low, 4, 1),
+        (4, 2, Selectivity::Low, 2, 1),
+        (6, 1, Selectivity::Low, 1, 1),
+        (10, 4, Selectivity::Low, 8, 1),
+        (12, 2, Selectivity::Low, 3, 2),
+    ];
+
+    #[test]
+    fn queries_parse_and_classify_as_tree_queries() {
+        let sigma = BenchmarkQuery::constraints();
+        for q in all_queries() {
+            let parsed = parse_query(q.sql).unwrap_or_else(|e| panic!("{}: {e}", q.name()));
+            analyze(&parsed, &sigma).unwrap_or_else(|e| panic!("{}: {e}", q.name()));
+        }
+    }
+
+    #[test]
+    fn characteristics_match_figure_10() {
+        let sigma = BenchmarkQuery::constraints();
+        for (num, relations, selectivity, proj, aggr) in FIGURE_10 {
+            let q = all_queries().into_iter().find(|q| q.number == num).unwrap();
+            assert_eq!(q.selectivity, selectivity, "Q{num} selectivity");
+            let tq = analyze(&parse_query(q.sql).unwrap(), &sigma).unwrap();
+            assert_eq!(tq.relations.len(), relations, "Q{num} relation count");
+            assert_eq!(tq.projection.len(), proj, "Q{num} projected attributes");
+            assert_eq!(tq.aggregate_count(), aggr, "Q{num} aggregated attributes");
+        }
+    }
+
+    #[test]
+    fn lineitem_is_the_root_of_every_multi_relation_query() {
+        let sigma = BenchmarkQuery::constraints();
+        for q in [Q3, Q4, Q10, Q12] {
+            let tq = analyze(&parse_query(q.sql).unwrap(), &sigma).unwrap();
+            assert_eq!(tq.relations[tq.root].table, "lineitem", "{}", q.name());
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! TPC-H schema definitions and the corresponding key query constraints.
+//!
+//! The paper's experiments assume "primary keys are not part of the schema,
+//! but are rather specified as query constraints" (Section 6.1); this
+//! module provides both the tables and that constraint set.
+
+use conquer_core::ConstraintSet;
+use conquer_engine::DataType::{Date, Float, Integer, Text};
+use conquer_engine::{Database, Table};
+
+/// Names of all eight TPC-H tables.
+pub const TABLES: [&str; 8] = [
+    "region", "nation", "supplier", "part", "partsupp", "customer", "orders", "lineitem",
+];
+
+/// Create all eight empty TPC-H tables in a database.
+pub fn create_tables(db: &Database) {
+    db.register(Table::new(
+        "region",
+        vec![("r_regionkey", Integer), ("r_name", Text), ("r_comment", Text)],
+    ));
+    db.register(Table::new(
+        "nation",
+        vec![
+            ("n_nationkey", Integer),
+            ("n_name", Text),
+            ("n_regionkey", Integer),
+            ("n_comment", Text),
+        ],
+    ));
+    db.register(Table::new(
+        "supplier",
+        vec![
+            ("s_suppkey", Integer),
+            ("s_name", Text),
+            ("s_address", Text),
+            ("s_nationkey", Integer),
+            ("s_phone", Text),
+            ("s_acctbal", Float),
+            ("s_comment", Text),
+        ],
+    ));
+    db.register(Table::new(
+        "part",
+        vec![
+            ("p_partkey", Integer),
+            ("p_name", Text),
+            ("p_mfgr", Text),
+            ("p_brand", Text),
+            ("p_type", Text),
+            ("p_size", Integer),
+            ("p_container", Text),
+            ("p_retailprice", Float),
+            ("p_comment", Text),
+        ],
+    ));
+    db.register(Table::new(
+        "partsupp",
+        vec![
+            ("ps_partkey", Integer),
+            ("ps_suppkey", Integer),
+            ("ps_availqty", Integer),
+            ("ps_supplycost", Float),
+            ("ps_comment", Text),
+        ],
+    ));
+    db.register(Table::new(
+        "customer",
+        vec![
+            ("c_custkey", Integer),
+            ("c_name", Text),
+            ("c_address", Text),
+            ("c_nationkey", Integer),
+            ("c_phone", Text),
+            ("c_acctbal", Float),
+            ("c_mktsegment", Text),
+            ("c_comment", Text),
+        ],
+    ));
+    db.register(Table::new(
+        "orders",
+        vec![
+            ("o_orderkey", Integer),
+            ("o_custkey", Integer),
+            ("o_orderstatus", Text),
+            ("o_totalprice", Float),
+            ("o_orderdate", Date),
+            ("o_orderpriority", Text),
+            ("o_clerk", Text),
+            ("o_shippriority", Integer),
+            ("o_comment", Text),
+        ],
+    ));
+    db.register(Table::new(
+        "lineitem",
+        vec![
+            ("l_orderkey", Integer),
+            ("l_linenumber", Integer),
+            ("l_partkey", Integer),
+            ("l_suppkey", Integer),
+            ("l_quantity", Integer),
+            ("l_extendedprice", Float),
+            ("l_discount", Float),
+            ("l_tax", Float),
+            ("l_returnflag", Text),
+            ("l_linestatus", Text),
+            ("l_shipdate", Date),
+            ("l_commitdate", Date),
+            ("l_receiptdate", Date),
+            ("l_shipinstruct", Text),
+            ("l_shipmode", Text),
+            ("l_comment", Text),
+        ],
+    ));
+}
+
+/// The TPC-H primary keys as query constraints.
+pub fn key_constraints() -> ConstraintSet {
+    ConstraintSet::new()
+        .with_key("region", ["r_regionkey"])
+        .with_key("nation", ["n_nationkey"])
+        .with_key("supplier", ["s_suppkey"])
+        .with_key("part", ["p_partkey"])
+        .with_key("partsupp", ["ps_partkey", "ps_suppkey"])
+        .with_key("customer", ["c_custkey"])
+        .with_key("orders", ["o_orderkey"])
+        .with_key("lineitem", ["l_orderkey", "l_linenumber"])
+}
+
+/// The constraints restricted to relations used by the benchmark queries
+/// (customer, orders, lineitem, nation), for cheaper annotation passes.
+pub fn benchmark_constraints() -> ConstraintSet {
+    ConstraintSet::new()
+        .with_key("nation", ["n_nationkey"])
+        .with_key("customer", ["c_custkey"])
+        .with_key("orders", ["o_orderkey"])
+        .with_key("lineitem", ["l_orderkey", "l_linenumber"])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_tables_created() {
+        let db = Database::new();
+        create_tables(&db);
+        let mut names = db.table_names();
+        names.sort();
+        let mut expected: Vec<String> = TABLES.iter().map(|s| s.to_string()).collect();
+        expected.sort();
+        assert_eq!(names, expected);
+    }
+
+    #[test]
+    fn constraints_cover_all_tables() {
+        let sigma = key_constraints();
+        for t in TABLES {
+            assert!(sigma.key_of(t).is_some(), "missing key for {t}");
+        }
+        assert_eq!(sigma.key_of("lineitem").unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,63 @@
+//! The Section 8 extensions in action: repair-support "voting" and
+//! probabilistic most-probable answers over weighted tuples.
+//!
+//! Two feeds disagree about sensor readings; the operator trusts the newer
+//! feed twice as much. ConQuer's consistent answers are the facts holding
+//! under *every* conflict resolution; the probabilistic semantics ranks
+//! everything else.
+//!
+//! Run with `cargo run -p conquer --example probabilistic_answers`.
+
+use std::collections::HashMap;
+
+use conquer::repair::probabilistic::{answer_probabilities, WeightFn};
+use conquer::{consistent_answers, ConstraintSet, Database, Value};
+
+fn main() {
+    let db = Database::new();
+    db.run_script(
+        "create table reading (sensor text, temp integer, feed integer);
+         -- feed 1 (older)
+         insert into reading values
+           ('s1', 20, 1), ('s2', 35, 1), ('s3', 41, 1);
+         -- feed 2 (newer, partially conflicting)
+         insert into reading values
+           ('s2', 29, 2), ('s3', 41, 2);",
+    )
+    .expect("setup");
+    let sigma = ConstraintSet::new().with_key("reading", ["sensor"]);
+
+    let q = "select r.sensor from reading r where r.temp > 30";
+    println!("Which sensors certainly read above 30?");
+    let certain = consistent_answers(&db, q, &sigma).expect("cqa");
+    for row in &certain.rows {
+        println!("  {} (holds in every repair)", row[0]);
+    }
+
+    // Probabilistic semantics: weight feed 2 twice as much as feed 1.
+    let trust_newer: WeightFn<'_> = &|row| {
+        match row[2] {
+            Value::Int(2) => 2.0,
+            _ => 1.0,
+        }
+    };
+    let mut weights: HashMap<String, WeightFn<'_>> = HashMap::new();
+    weights.insert("reading".to_string(), trust_newer);
+
+    println!("\nAll answers ranked by probability (newer feed trusted 2x):");
+    let probs = answer_probabilities(&db, q, &sigma, &weights).expect("probabilities");
+    for answer in &probs {
+        println!(
+            "  {:<4} p = {:.2}{}",
+            answer.row[0].to_string(),
+            answer.probability,
+            if answer.probability >= 1.0 - 1e-12 { "  <- consistent answer" } else { "" }
+        );
+    }
+
+    println!(
+        "\ns3 is certain (both feeds agree it reads 41); s2 reads above 30 only\n\
+         if the older feed is right, which the weights say happens with\n\
+         probability 1/3."
+    );
+}

@@ -1,0 +1,146 @@
+//! Cross-cutting semantic invariants, property-checked on random
+//! inconsistent databases:
+//!
+//! * consistent answers ⊆ possible answers (Section 2's two semantics);
+//! * on a key-consistent database the rewriting returns exactly the
+//!   original query's bag of answers;
+//! * repair support is 1.0 exactly for the consistent answers;
+//! * aggregate ranges are well-formed (min ≤ max) and their groups are a
+//!   subset of the original query's groups.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+
+use conquer::engine::DataType;
+use conquer::{
+    answers_with_support, consistent_answers, ConstraintSet, Database, Table, Value,
+};
+
+fn build(rows: &[(i64, i64, i64)]) -> Database {
+    let db = Database::new();
+    let mut t = Table::new(
+        "r",
+        vec![("k", DataType::Integer), ("a", DataType::Integer), ("b", DataType::Integer)],
+    );
+    t.extend_unchecked(
+        rows.iter().map(|(k, a, b)| vec![Value::Int(*k), Value::Int(*a), Value::Int(*b)]),
+    );
+    db.register(t);
+    db
+}
+
+fn sigma() -> ConstraintSet {
+    ConstraintSet::new().with_key("r", ["k"])
+}
+
+fn row_set(rows: &conquer::Rows) -> HashSet<Vec<String>> {
+    rows.rows
+        .iter()
+        .map(|r| r.iter().map(ToString::to_string).collect())
+        .collect()
+}
+
+fn row_bag(rows: &conquer::Rows) -> Vec<Vec<String>> {
+    let mut v: Vec<Vec<String>> = rows
+        .rows
+        .iter()
+        .map(|r| r.iter().map(ToString::to_string).collect())
+        .collect();
+    v.sort();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(150))]
+
+    #[test]
+    fn consistent_answers_are_possible_answers(
+        rows in prop::collection::vec((0..4i64, 0..4i64, 0..4i64), 0..10),
+        threshold in 0..4i64,
+    ) {
+        let db = build(&rows);
+        let q = format!("select r.a from r where r.b >= {threshold}");
+        let consistent = consistent_answers(&db, &q, &sigma()).unwrap();
+        let possible = db.query(&q).unwrap();
+        let c = row_set(&consistent);
+        let p = row_set(&possible);
+        prop_assert!(c.is_subset(&p), "consistent {c:?} not within possible {p:?}");
+    }
+
+    #[test]
+    fn consistent_database_is_a_fixpoint(
+        // Distinct keys -> no violations.
+        values in prop::collection::vec((0..4i64, 0..4i64), 0..8),
+        threshold in 0..4i64,
+    ) {
+        let rows: Vec<(i64, i64, i64)> = values
+            .into_iter()
+            .enumerate()
+            .map(|(i, (a, b))| (i as i64, a, b))
+            .collect();
+        let db = build(&rows);
+        let q = format!("select r.k, r.a from r where r.b > {threshold}");
+        let consistent = consistent_answers(&db, &q, &sigma()).unwrap();
+        let original = db.query(&q).unwrap();
+        prop_assert_eq!(row_bag(&consistent), row_bag(&original));
+    }
+
+    #[test]
+    fn support_is_one_exactly_for_consistent_answers(
+        rows in prop::collection::vec((0..3i64, 0..3i64, 0..3i64), 1..8),
+    ) {
+        let db = build(&rows);
+        let q = "select r.a from r where r.b > 0";
+        let consistent = row_set(&consistent_answers(&db, q, &sigma()).unwrap());
+        let support = answers_with_support(&db, q, &sigma()).unwrap();
+        for (row, s) in support {
+            let key: Vec<String> = row.iter().map(ToString::to_string).collect();
+            if s >= 1.0 - 1e-12 {
+                prop_assert!(consistent.contains(&key), "support-1 answer {key:?} missing");
+            } else {
+                prop_assert!(!consistent.contains(&key), "uncertain answer {key:?} claimed consistent");
+            }
+        }
+    }
+
+    #[test]
+    fn aggregate_ranges_are_well_formed(
+        rows in prop::collection::vec((0..4i64, 0..3i64, -4..5i64), 1..10),
+    ) {
+        let db = build(&rows);
+        let q = "select r.a, sum(r.b) as s from r group by r.a";
+        let ranges = consistent_answers(&db, q, &sigma()).unwrap();
+        let original = db.query(q).unwrap();
+        let original_groups: HashSet<String> =
+            original.rows.iter().map(|r| r[0].to_string()).collect();
+        for row in &ranges.rows {
+            // min <= max.
+            let lo = &row[1];
+            let hi = &row[2];
+            prop_assert!(
+                lo.total_cmp(hi) != std::cmp::Ordering::Greater,
+                "range [{lo}, {hi}] inverted"
+            );
+            // Every consistent group exists in the original result.
+            prop_assert!(original_groups.contains(&row[0].to_string()));
+        }
+    }
+
+    #[test]
+    fn annotation_stats_count_the_duplicated_keys(
+        rows in prop::collection::vec((0..4i64, 0..4i64, 0..4i64), 0..12),
+    ) {
+        let db = build(&rows);
+        let stats = conquer::annotate_database(&db, &sigma()).unwrap();
+        let mut counts = std::collections::HashMap::new();
+        for (k, _, _) in &rows {
+            *counts.entry(*k).or_insert(0usize) += 1;
+        }
+        let expected_violated = counts.values().filter(|c| **c > 1).count();
+        let expected_inconsistent: usize =
+            counts.values().filter(|c| **c > 1).sum();
+        prop_assert_eq!(stats[0].violated_keys, expected_violated);
+        prop_assert_eq!(stats[0].inconsistent_tuples, expected_inconsistent);
+    }
+}
