@@ -8,32 +8,35 @@
 //!   the `conscand > 0` guard before the Filter's joins;
 //! * plain vs annotation-aware rewriting — the Section 5 comparison.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
 use conquer::tpch::{Q12, Q6};
 use conquer::ExecOptions;
-use conquer_bench::{rewritten_query, workload};
+use conquer_bench::{bench_case, rewritten_query, workload};
 
-fn bench_ablation(c: &mut Criterion) {
+fn main() {
     let w = workload(0.01, 0.05, 2);
-    let mut group = c.benchmark_group("ablation");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(2));
 
     let configs: [(&str, ExecOptions); 4] = [
         ("all-optimizations", ExecOptions::default()),
         (
             "inline-ctes",
-            ExecOptions { materialize_ctes: false, ..ExecOptions::default() },
+            ExecOptions {
+                materialize_ctes: false,
+                ..ExecOptions::default()
+            },
         ),
         (
             "nested-loop-exists",
-            ExecOptions { decorrelate_exists: false, ..ExecOptions::default() },
+            ExecOptions {
+                decorrelate_exists: false,
+                ..ExecOptions::default()
+            },
         ),
         (
             "no-filter-pushdown",
-            ExecOptions { pushdown_filters: false, ..ExecOptions::default() },
+            ExecOptions {
+                pushdown_filters: false,
+                ..ExecOptions::default()
+            },
         ),
     ];
 
@@ -49,18 +52,13 @@ fn bench_ablation(c: &mut Criterion) {
                 if label == "nested-loop-exists" && q.number == 12 {
                     continue;
                 }
-                group.bench_with_input(
-                    BenchmarkId::new(format!("{}-{variant}", q.name()), label),
-                    &options,
-                    |b, options| {
-                        b.iter(|| w.db.execute_query_with(&rewritten, *options).unwrap())
-                    },
+                bench_case(
+                    "ablation",
+                    &format!("{}-{variant}/{label}", q.name()),
+                    10,
+                    || w.db.execute_query_with(&rewritten, options).unwrap(),
                 );
             }
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_ablation);
-criterion_main!(benches);

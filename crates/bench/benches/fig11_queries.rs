@@ -1,32 +1,24 @@
-//! Figure 11 as a Criterion bench: every benchmark query under the three
+//! Figure 11 as a standalone bench: every benchmark query under the three
 //! execution strategies at a fixed inconsistency level (p = 5%, n = 2).
 //!
 //! The scale factor is reduced relative to the harness so the full matrix
-//! stays within Criterion's time budget; run the harness for the
-//! paper-scale numbers.
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+//! stays within a short time budget; run the harness for the paper-scale
+//! numbers. (`cargo bench` runs this as a plain binary: the workspace
+//! builds offline, so there is no external bench framework.)
 
 use conquer::tpch::all_queries;
-use conquer_bench::{run_query, workload, Strategy};
+use conquer_bench::{bench_case, run_query, workload, Strategy};
 
-fn bench_fig11(c: &mut Criterion) {
+fn main() {
     let w = workload(0.01, 0.05, 2);
-    let mut group = c.benchmark_group("fig11");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(2));
     for q in all_queries() {
         for strategy in [Strategy::Original, Strategy::Rewritten, Strategy::Annotated] {
-            group.bench_with_input(
-                BenchmarkId::new(q.name(), strategy.label()),
-                &strategy,
-                |b, &strategy| b.iter(|| run_query(&w, &q, strategy)),
+            bench_case(
+                "fig11",
+                &format!("{}/{}", q.name(), strategy.label()),
+                10,
+                || run_query(&w, &q, strategy),
             );
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fig11);
-criterion_main!(benches);

@@ -1,31 +1,22 @@
-//! Figure 12 as a Criterion bench: Q6 across inconsistency percentages
+//! Figure 12 as a standalone bench: Q6 across inconsistency percentages
 //! p ∈ {0, 1, 5, 10, 20, 50} with n = 2. The paper's findings to look for:
 //! the original query and the plain rewriting are flat in p, while the
 //! annotation-aware rewriting degrades gracefully from near-zero overhead
 //! at p = 0.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
 use conquer::tpch::Q6;
-use conquer_bench::{run_query, workload, Strategy};
+use conquer_bench::{bench_case, run_query, workload, Strategy};
 
-fn bench_fig12(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig12_q6_vary_p");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(2));
+fn main() {
     for p in [0.0, 0.01, 0.05, 0.10, 0.20, 0.50] {
         let w = workload(0.01, p, 2);
         for strategy in [Strategy::Original, Strategy::Rewritten, Strategy::Annotated] {
-            group.bench_with_input(
-                BenchmarkId::new(strategy.label(), format!("p{}", (p * 100.0) as u32)),
-                &strategy,
-                |b, &strategy| b.iter(|| run_query(&w, &Q6, strategy)),
+            bench_case(
+                "fig12_q6_vary_p",
+                &format!("{}/p{}", strategy.label(), (p * 100.0) as u32),
+                10,
+                || run_query(&w, &Q6, strategy),
             );
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fig12);
-criterion_main!(benches);

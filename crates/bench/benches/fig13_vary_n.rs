@@ -1,29 +1,20 @@
-//! Figure 13 as a Criterion bench: Q6 across n (tuples per violated key)
+//! Figure 13 as a standalone bench: Q6 across n (tuples per violated key)
 //! with p = 10%. The paper finds n has little influence on either
 //! rewriting strategy.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
 use conquer::tpch::Q6;
-use conquer_bench::{run_query, workload, Strategy};
+use conquer_bench::{bench_case, run_query, workload, Strategy};
 
-fn bench_fig13(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig13_q6_vary_n");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(2));
+fn main() {
     for n in [2usize, 5, 10, 25, 50] {
         let w = workload(0.01, 0.10, n);
         for strategy in [Strategy::Rewritten, Strategy::Annotated] {
-            group.bench_with_input(
-                BenchmarkId::new(strategy.label(), format!("n{n}")),
-                &strategy,
-                |b, &strategy| b.iter(|| run_query(&w, &Q6, strategy)),
+            bench_case(
+                "fig13_q6_vary_n",
+                &format!("{}/n{n}", strategy.label()),
+                10,
+                || run_query(&w, &Q6, strategy),
             );
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fig13);
-criterion_main!(benches);

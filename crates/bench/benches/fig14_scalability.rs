@@ -1,29 +1,20 @@
-//! Figure 14 as a Criterion bench: annotation-aware rewritings of Q4, Q6
+//! Figure 14 as a standalone bench: annotation-aware rewritings of Q4, Q6
 //! and Q12 across database sizes with a *constant* number of inconsistent
 //! tuples (the paper's 100 MB..2 GB series at p = 50/10/5/2.5 %).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
 use conquer::tpch::{Q12, Q4, Q6};
-use conquer_bench::{run_query, workload, Strategy};
+use conquer_bench::{bench_case, run_query, workload, Strategy};
 
-fn bench_fig14(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig14_scalability");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(2));
+fn main() {
     for (ratio, p) in [(0.1, 0.50), (0.5, 0.10), (1.0, 0.05), (2.0, 0.025)] {
         let w = workload(0.01 * ratio, p, 2);
         for q in [&Q4, &Q6, &Q12] {
-            group.bench_with_input(
-                BenchmarkId::new(q.name(), format!("size{ratio}")),
-                q,
-                |b, q| b.iter(|| run_query(&w, q, Strategy::Annotated)),
+            bench_case(
+                "fig14_scalability",
+                &format!("{}/size{ratio}", q.name()),
+                10,
+                || run_query(&w, q, Strategy::Annotated),
             );
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fig14);
-criterion_main!(benches);

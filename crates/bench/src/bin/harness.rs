@@ -1,32 +1,60 @@
 //! The figure-regeneration harness: reprints every table and figure of the
-//! paper's evaluation (Section 6) as text/markdown series.
+//! paper's evaluation (Section 6) as text/markdown series, and writes a
+//! machine-readable `BENCH_<fig>.json` report for each figure it runs.
 //!
 //! ```sh
 //! cargo run -p conquer-bench --release --bin harness -- all
 //! cargo run -p conquer-bench --release --bin harness -- fig12 --sf 0.02
+//! cargo run -p conquer-bench --release --bin harness -- fig11 --json out.json --quiet
 //! ```
 //!
 //! Subcommands: `fig10`, `fig11`, `fig12`, `fig13`, `fig14`, `baseline`,
 //! `all`. The optional `--sf <factor>` overrides the base scale factor
 //! standing in for the paper's 1 GB database (default 0.05), and
-//! `--runs <n>` the median-of-n timing (default 3).
+//! `--runs <n>` the median-of-n timing (default 3). `--json <path>`
+//! redirects the report of a single-figure run (with `all`, each figure
+//! keeps its default `BENCH_<fig>.json`); `--quiet` suppresses the
+//! markdown tables.
+//!
+//! Reports carry, per query and strategy: the median wall time, the
+//! pipeline phase breakdown (parse/analyze/rewrite/plan/optimize/execute,
+//! from `conquer-obs` spans), the per-operator `EXPLAIN ANALYZE` tree, and
+//! a snapshot of the global metrics registry.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use conquer::tpch::{all_queries, Q12, Q4, Q6};
+use conquer::tpch::{all_queries, BenchmarkQuery, Workload, Q12, Q4, Q6};
 use conquer::{analyze, parse_query};
 use conquer_bench::{
-    ms, overhead, time_query, workload, Strategy, BASE_SF,
+    ms, operator_breakdown, overhead, phase_breakdown, time_query, workload, Strategy, BASE_SF,
 };
+use conquer_obs::Json;
+
+const COMMANDS: [&str; 7] = [
+    "fig10", "fig11", "fig12", "fig13", "fig14", "baseline", "all",
+];
 
 struct Args {
     command: String,
     sf: f64,
     runs: usize,
+    json: Option<String>,
+    quiet: bool,
+}
+
+/// Print unless `--quiet`.
+macro_rules! say {
+    ($args:expr, $($t:tt)*) => { if !$args.quiet { println!($($t)*); } };
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { command: "all".to_string(), sf: BASE_SF, runs: 3 };
+    let mut args = Args {
+        command: "all".to_string(),
+        sf: BASE_SF,
+        runs: 3,
+        json: None,
+        quiet: false,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -42,7 +70,16 @@ fn parse_args() -> Args {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--runs requires an integer"));
             }
-            cmd if !cmd.starts_with('-') => args.command = cmd.to_string(),
+            "--json" => {
+                args.json = Some(it.next().unwrap_or_else(|| die("--json requires a path")));
+            }
+            "--quiet" => args.quiet = true,
+            cmd if !cmd.starts_with('-') => {
+                if !COMMANDS.contains(&cmd) {
+                    die(&format!("unknown command {cmd}"));
+                }
+                args.command = cmd.to_string();
+            }
             other => die(&format!("unknown flag {other}")),
         }
     }
@@ -51,42 +88,84 @@ fn parse_args() -> Args {
 
 fn die(msg: &str) -> ! {
     eprintln!("harness: {msg}");
-    eprintln!("usage: harness [fig10|fig11|fig12|fig13|fig14|baseline|all] [--sf F] [--runs N]");
+    eprintln!(
+        "usage: harness [fig10|fig11|fig12|fig13|fig14|baseline|all] \
+         [--sf F] [--runs N] [--json PATH] [--quiet]"
+    );
     std::process::exit(2)
 }
 
 fn main() {
     let args = parse_args();
     let t0 = Instant::now();
-    match args.command.as_str() {
-        "fig10" => fig10(),
-        "fig11" => fig11(&args),
-        "fig12" => fig12(&args),
-        "fig13" => fig13(&args),
-        "fig14" => fig14(&args),
-        "baseline" => baseline(),
-        "all" => {
-            fig10();
-            fig11(&args);
-            fig12(&args);
-            fig13(&args);
-            fig14(&args);
-            baseline();
-        }
-        other => die(&format!("unknown command {other}")),
+    let commands: Vec<&str> = if args.command == "all" {
+        vec!["fig10", "fig11", "fig12", "fig13", "fig14", "baseline"]
+    } else {
+        vec![args.command.as_str()]
+    };
+    for cmd in commands {
+        let mut report = match cmd {
+            "fig10" => fig10(&args),
+            "fig11" => fig11(&args),
+            "fig12" => fig12(&args),
+            "fig13" => fig13(&args),
+            "fig14" => fig14(&args),
+            "baseline" => baseline(&args),
+            _ => unreachable!("command validated in parse_args"),
+        };
+        report.push("metrics", conquer_obs::registry().snapshot_json());
+        // --json redirects a single figure; `all` keeps the per-fig names.
+        let path = match &args.json {
+            Some(p) if args.command != "all" => p.clone(),
+            _ => format!("BENCH_{cmd}.json"),
+        };
+        std::fs::write(&path, report.render_pretty())
+            .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        eprintln!("wrote {path}");
     }
     eprintln!("\n(total harness time: {:.1}s)", t0.elapsed().as_secs_f64());
 }
 
+/// The timing record for one (query, strategy) cell: median wall time,
+/// result cardinality, phase totals, and the measured operator tree.
+fn strategy_entry(
+    w: &Workload,
+    q: &BenchmarkQuery,
+    strategy: Strategy,
+    runs: usize,
+) -> (Duration, Json) {
+    let median = time_query(w, q, strategy, runs);
+    let mut entry = phase_breakdown(w, q, strategy);
+    entry.push("median_us", Json::UInt(median.as_micros() as u64));
+    entry.push("operators", operator_breakdown(w, q, strategy));
+    (median, entry)
+}
+
+fn report_header(figure: &str, args: &Args) -> Json {
+    Json::obj([
+        ("figure", Json::from(figure)),
+        ("sf", Json::Float(args.sf)),
+        ("runs", Json::UInt(args.runs as u64)),
+    ])
+}
+
 /// Figure 10: characteristics of the benchmark queries.
-fn fig10() {
-    println!("## Figure 10 — queries used in the experiments\n");
-    println!("| Query | Relations | Selectivity | ProjAttrs | AggrAttrs |");
-    println!("|-------|-----------|-------------|-----------|-----------|");
+fn fig10(args: &Args) -> Json {
+    say!(args, "## Figure 10 — queries used in the experiments\n");
+    say!(
+        args,
+        "| Query | Relations | Selectivity | ProjAttrs | AggrAttrs |"
+    );
+    say!(
+        args,
+        "|-------|-----------|-------------|-----------|-----------|"
+    );
     let sigma = conquer::tpch::benchmark_constraints();
+    let mut queries = Vec::new();
     for q in all_queries() {
         let tq = analyze(&parse_query(q.sql).unwrap(), &sigma).unwrap();
-        println!(
+        say!(
+            args,
             "| {} | {} | {} | {} | {} |",
             q.name(),
             tq.relations.len(),
@@ -94,27 +173,41 @@ fn fig10() {
             tq.projection.len(),
             tq.aggregate_count(),
         );
+        queries.push(Json::obj([
+            ("query", Json::from(q.name())),
+            ("relations", Json::UInt(tq.relations.len() as u64)),
+            ("selectivity", Json::from(q.selectivity.to_string())),
+            ("proj_attrs", Json::UInt(tq.projection.len() as u64)),
+            ("aggr_attrs", Json::UInt(tq.aggregate_count() as u64)),
+        ]));
     }
-    println!();
+    say!(args, "");
+    let mut report = report_header("fig10", args);
+    report.push("queries", Json::Arr(queries));
+    report
 }
 
 /// Figure 11: running times of all queries, original vs rewritten vs
 /// annotation-aware, at the base size with p = 5%, n = 2.
-fn fig11(args: &Args) {
-    println!(
+fn fig11(args: &Args) -> Json {
+    say!(
+        args,
         "## Figure 11 — all queries, SF {} (stand-in for 1 GB), p = 5%, n = 2\n",
         args.sf
     );
     let w = workload(args.sf, 0.05, 2);
-    println!(
+    say!(
+        args,
         "| Query | original (ms) | rewritten (ms) | annotated (ms) | overhead rewritten | overhead annotated |"
     );
-    println!("|-------|--------------:|---------------:|---------------:|-------------------:|-------------------:|");
+    say!(args, "|-------|--------------:|---------------:|---------------:|-------------------:|-------------------:|");
+    let mut queries = Vec::new();
     for q in all_queries() {
-        let t_orig = time_query(&w, &q, Strategy::Original, args.runs);
-        let t_rew = time_query(&w, &q, Strategy::Rewritten, args.runs);
-        let t_ann = time_query(&w, &q, Strategy::Annotated, args.runs);
-        println!(
+        let (t_orig, e_orig) = strategy_entry(&w, &q, Strategy::Original, args.runs);
+        let (t_rew, e_rew) = strategy_entry(&w, &q, Strategy::Rewritten, args.runs);
+        let (t_ann, e_ann) = strategy_entry(&w, &q, Strategy::Annotated, args.runs);
+        say!(
+            args,
             "| {} | {} | {} | {} | {:.2}x | {:.2}x |",
             q.name(),
             ms(t_orig),
@@ -123,21 +216,42 @@ fn fig11(args: &Args) {
             overhead(t_orig, t_rew),
             overhead(t_orig, t_ann),
         );
+        queries.push(Json::obj([
+            ("query", Json::from(q.name())),
+            ("original", e_orig),
+            ("rewritten", e_rew),
+            ("annotated", e_ann),
+            ("overhead_rewritten", Json::Float(overhead(t_orig, t_rew))),
+            ("overhead_annotated", Json::Float(overhead(t_orig, t_ann))),
+        ]));
     }
-    println!();
+    say!(args, "");
+    let mut report = report_header("fig11", args);
+    report.push("p", Json::Float(0.05));
+    report.push("n", Json::UInt(2));
+    report.push("queries", Json::Arr(queries));
+    report
 }
 
 /// Figure 12: Q6 while varying the inconsistency percentage p (n = 2).
-fn fig12(args: &Args) {
-    println!("## Figure 12 — Q6 vs p (n = 2, SF {})\n", args.sf);
-    println!("| p (%) | original (ms) | rewritten (ms) | annotated (ms) | annotated overhead |");
-    println!("|------:|--------------:|---------------:|---------------:|-------------------:|");
+fn fig12(args: &Args) -> Json {
+    say!(args, "## Figure 12 — Q6 vs p (n = 2, SF {})\n", args.sf);
+    say!(
+        args,
+        "| p (%) | original (ms) | rewritten (ms) | annotated (ms) | annotated overhead |"
+    );
+    say!(
+        args,
+        "|------:|--------------:|---------------:|---------------:|-------------------:|"
+    );
+    let mut series = Vec::new();
     for p in [0.0, 0.01, 0.05, 0.10, 0.20, 0.50] {
         let w = workload(args.sf, p, 2);
-        let t_orig = time_query(&w, &Q6, Strategy::Original, args.runs);
-        let t_rew = time_query(&w, &Q6, Strategy::Rewritten, args.runs);
-        let t_ann = time_query(&w, &Q6, Strategy::Annotated, args.runs);
-        println!(
+        let (t_orig, e_orig) = strategy_entry(&w, &Q6, Strategy::Original, args.runs);
+        let (t_rew, e_rew) = strategy_entry(&w, &Q6, Strategy::Rewritten, args.runs);
+        let (t_ann, e_ann) = strategy_entry(&w, &Q6, Strategy::Annotated, args.runs);
+        say!(
+            args,
             "| {:>4.0} | {} | {} | {} | {:.2}x |",
             p * 100.0,
             ms(t_orig),
@@ -145,60 +259,128 @@ fn fig12(args: &Args) {
             ms(t_ann),
             overhead(t_orig, t_ann),
         );
+        series.push(Json::obj([
+            ("p", Json::Float(p)),
+            ("original", e_orig),
+            ("rewritten", e_rew),
+            ("annotated", e_ann),
+            ("overhead_annotated", Json::Float(overhead(t_orig, t_ann))),
+        ]));
     }
-    println!();
+    say!(args, "");
+    let mut report = report_header("fig12", args);
+    report.push("query", Json::from("Q6"));
+    report.push("n", Json::UInt(2));
+    report.push("series", Json::Arr(series));
+    report
 }
 
 /// Figure 13: Q6 while varying n, the tuples per violated key (p = 10%).
-fn fig13(args: &Args) {
-    println!("## Figure 13 — Q6 vs n (p = 10%, SF {})\n", args.sf);
-    println!("| n | original (ms) | rewritten (ms) | annotated (ms) |");
-    println!("|--:|--------------:|---------------:|---------------:|");
+fn fig13(args: &Args) -> Json {
+    say!(args, "## Figure 13 — Q6 vs n (p = 10%, SF {})\n", args.sf);
+    say!(
+        args,
+        "| n | original (ms) | rewritten (ms) | annotated (ms) |"
+    );
+    say!(
+        args,
+        "|--:|--------------:|---------------:|---------------:|"
+    );
+    let mut series = Vec::new();
     for n in [2usize, 5, 10, 25, 50] {
         let w = workload(args.sf, 0.10, n);
-        let t_orig = time_query(&w, &Q6, Strategy::Original, args.runs);
-        let t_rew = time_query(&w, &Q6, Strategy::Rewritten, args.runs);
-        let t_ann = time_query(&w, &Q6, Strategy::Annotated, args.runs);
-        println!("| {n} | {} | {} | {} |", ms(t_orig), ms(t_rew), ms(t_ann));
+        let (t_orig, e_orig) = strategy_entry(&w, &Q6, Strategy::Original, args.runs);
+        let (t_rew, e_rew) = strategy_entry(&w, &Q6, Strategy::Rewritten, args.runs);
+        let (t_ann, e_ann) = strategy_entry(&w, &Q6, Strategy::Annotated, args.runs);
+        say!(
+            args,
+            "| {n} | {} | {} | {} |",
+            ms(t_orig),
+            ms(t_rew),
+            ms(t_ann)
+        );
+        series.push(Json::obj([
+            ("n", Json::UInt(n as u64)),
+            ("original", e_orig),
+            ("rewritten", e_rew),
+            ("annotated", e_ann),
+        ]));
     }
-    println!();
+    say!(args, "");
+    let mut report = report_header("fig13", args);
+    report.push("query", Json::from("Q6"));
+    report.push("p", Json::Float(0.10));
+    report.push("series", Json::Arr(series));
+    report
 }
 
 /// Figure 14: scalability across database sizes with a constant number of
 /// inconsistent tuples (the paper's 100 MB..2 GB at p = 50/10/5/2.5 %).
-fn fig14(args: &Args) {
-    println!("## Figure 14 — scalability, constant inconsistent tuples (n = 2)\n");
-    println!("annotation-aware rewritings of Q4, Q6, Q12\n");
-    println!("| size (×1 GB stand-in) | p (%) | tuples | Q4 (ms) | Q6 (ms) | Q12 (ms) |");
-    println!("|----------------------:|------:|-------:|--------:|--------:|---------:|");
+fn fig14(args: &Args) -> Json {
+    say!(
+        args,
+        "## Figure 14 — scalability, constant inconsistent tuples (n = 2)\n"
+    );
+    say!(args, "annotation-aware rewritings of Q4, Q6, Q12\n");
+    say!(
+        args,
+        "| size (×1 GB stand-in) | p (%) | tuples | Q4 (ms) | Q6 (ms) | Q12 (ms) |"
+    );
+    say!(
+        args,
+        "|----------------------:|------:|-------:|--------:|--------:|---------:|"
+    );
+    let mut series = Vec::new();
     // Same ratios as the paper: 0.1x, 0.5x, 1x, 2x of the base size with
     // p chosen to hold p * size constant.
     for (ratio, p) in [(0.1, 0.50), (0.5, 0.10), (1.0, 0.05), (2.0, 0.025)] {
         let sf = args.sf * ratio;
         let w = workload(sf, p, 2);
         let tuples = conquer_bench::total_tuples(&w.db);
-        let t4 = time_query(&w, &Q4, Strategy::Annotated, args.runs);
-        let t6 = time_query(&w, &Q6, Strategy::Annotated, args.runs);
-        let t12 = time_query(&w, &Q12, Strategy::Annotated, args.runs);
-        println!(
+        let (t4, e4) = strategy_entry(&w, &Q4, Strategy::Annotated, args.runs);
+        let (t6, e6) = strategy_entry(&w, &Q6, Strategy::Annotated, args.runs);
+        let (t12, e12) = strategy_entry(&w, &Q12, Strategy::Annotated, args.runs);
+        say!(
+            args,
             "| {ratio} | {:.1} | {tuples} | {} | {} | {} |",
             p * 100.0,
             ms(t4),
             ms(t6),
             ms(t12),
         );
+        series.push(Json::obj([
+            ("ratio", Json::Float(ratio)),
+            ("p", Json::Float(p)),
+            ("tuples", Json::UInt(tuples as u64)),
+            ("Q4", e4),
+            ("Q6", e6),
+            ("Q12", e12),
+        ]));
     }
-    println!();
+    say!(args, "");
+    let mut report = report_header("fig14", args);
+    report.push("series", Json::Arr(series));
+    report
 }
 
 /// Related-work scale contrast (Section 7): repair enumeration — the
 /// approach rewriting replaces — explodes even at toy sizes, while the
 /// rewriting runs on millions of tuples.
-fn baseline() {
+fn baseline(args: &Args) -> Json {
     use conquer::{consistent_answers_oracle, ConstraintSet, Database};
-    println!("## Baseline — repair enumeration vs rewriting (Section 7 contrast)\n");
-    println!("| conflicting keys | repairs | oracle (ms) | rewriting (ms) |");
-    println!("|-----------------:|--------:|------------:|---------------:|");
+    say!(
+        args,
+        "## Baseline — repair enumeration vs rewriting (Section 7 contrast)\n"
+    );
+    say!(
+        args,
+        "| conflicting keys | repairs | oracle (ms) | rewriting (ms) |"
+    );
+    say!(
+        args,
+        "|-----------------:|--------:|------------:|---------------:|"
+    );
+    let mut series = Vec::new();
     for keys in [4usize, 8, 12, 16] {
         let db = Database::new();
         let mut script =
@@ -222,12 +404,25 @@ fn baseline() {
         let rewritten = conquer::consistent_answers(&db, q, &sigma).unwrap();
         let t_rew = t0.elapsed();
         assert_eq!(oracle.len(), rewritten.len());
-        println!(
+        say!(
+            args,
             "| {keys} | {} | {} | {} |",
             1u128 << keys,
             ms(t_oracle),
             ms(t_rew),
         );
+        series.push(Json::obj([
+            ("conflicting_keys", Json::UInt(keys as u64)),
+            ("repairs", Json::UInt(1u64 << keys)),
+            ("oracle_us", Json::UInt(t_oracle.as_micros() as u64)),
+            ("rewrite_us", Json::UInt(t_rew.as_micros() as u64)),
+        ]));
     }
-    println!("\n(each conflicting key doubles the repair count; the rewriting is flat)");
+    say!(
+        args,
+        "\n(each conflicting key doubles the repair count; the rewriting is flat)"
+    );
+    let mut report = report_header("baseline", args);
+    report.push("series", Json::Arr(series));
+    report
 }

@@ -1,4 +1,4 @@
-//! Shared infrastructure for the benchmark harness and the Criterion
+//! Shared infrastructure for the benchmark harness and the standalone
 //! benches: workload construction, the three execution strategies of the
 //! paper's evaluation, and timing helpers.
 //!
@@ -56,16 +56,17 @@ pub fn workload(scale_factor: f64, p: f64, n: usize) -> Workload {
 }
 
 fn num_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(8)
 }
 
 /// Execute one query under one strategy, returning the result rows.
 pub fn run_query(w: &Workload, q: &BenchmarkQuery, strategy: Strategy) -> Rows {
     match strategy {
         Strategy::Original => w.db.query(q.sql).expect("original query"),
-        Strategy::Rewritten => {
-            consistent_answers(&w.db, q.sql, &w.sigma).expect("rewritten query")
-        }
+        Strategy::Rewritten => consistent_answers(&w.db, q.sql, &w.sigma).expect("rewritten query"),
         Strategy::Annotated => {
             consistent_answers_annotated(&w.db, q.sql, &w.sigma).expect("annotated query")
         }
@@ -86,6 +87,60 @@ pub fn time_query(w: &Workload, q: &BenchmarkQuery, strategy: Strategy, runs: us
     samples[samples.len() / 2]
 }
 
+/// Warm up once, run `samples` times, print and return the median wall
+/// time — the workspace's stand-in for an external bench harness (the
+/// `benches/` binaries are plain `fn main()`s over this).
+pub fn bench_case<T>(group: &str, id: &str, samples: usize, mut f: impl FnMut() -> T) -> Duration {
+    std::hint::black_box(f()); // warm-up
+    let mut times = Vec::with_capacity(samples.max(1));
+    for _ in 0..samples.max(1) {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        times.push(t0.elapsed());
+    }
+    times.sort();
+    let median = times[times.len() / 2];
+    println!(
+        "{group}/{id}: median {} ms ({} samples)",
+        ms(median),
+        times.len()
+    );
+    median
+}
+
+/// One run of a query/strategy pair with pipeline spans captured:
+/// `{"rows": N, "phases_us": {"parse": ..., "rewrite": ..., "execute": ...}}`.
+pub fn phase_breakdown(w: &Workload, q: &BenchmarkQuery, strategy: Strategy) -> conquer_obs::Json {
+    use conquer_obs::Json;
+    let (rows, spans) = conquer_obs::capture(|| run_query(w, q, strategy));
+    let phases: Vec<(String, Json)> = conquer_obs::phase_totals(&spans)
+        .into_iter()
+        .map(|(name, wall)| (name.to_string(), Json::UInt(wall.as_micros() as u64)))
+        .collect();
+    Json::obj([
+        ("rows", Json::UInt(rows.len() as u64)),
+        ("phases_us", Json::Obj(phases)),
+    ])
+}
+
+/// The per-operator stats tree (`EXPLAIN ANALYZE` as JSON) for the plan a
+/// strategy actually executes.
+pub fn operator_breakdown(
+    w: &Workload,
+    q: &BenchmarkQuery,
+    strategy: Strategy,
+) -> conquer_obs::Json {
+    let query = match strategy {
+        Strategy::Original => parse_query(q.sql).expect("benchmark query parses"),
+        Strategy::Rewritten => rewritten_query(q, &w.sigma, false),
+        Strategy::Annotated => rewritten_query(q, &w.sigma, true),
+    };
+    let (_, plan, stats) =
+        w.db.execute_query_traced(&query, conquer::ExecOptions::default())
+            .expect("benchmark query executes");
+    conquer::engine::stats_json(&plan, &stats)
+}
+
 /// Overhead of a rewriting relative to the original query, as the paper
 /// computes it: `(t_r - t_o) / t_o`.
 pub fn overhead(original: Duration, rewritten: Duration) -> f64 {
@@ -100,8 +155,15 @@ pub fn rewritten_query(
     annotated: bool,
 ) -> conquer::sql::Query {
     let parsed = parse_query(q.sql).expect("benchmark query parses");
-    rewrite(&parsed, sigma, &RewriteOptions { annotated, ..Default::default() })
-        .expect("benchmark query rewrites")
+    rewrite(
+        &parsed,
+        sigma,
+        &RewriteOptions {
+            annotated,
+            ..Default::default()
+        },
+    )
+    .expect("benchmark query rewrites")
 }
 
 /// Total tuples across the benchmark relations of a database.

@@ -65,7 +65,11 @@ pub enum ProjItem {
     Plain { expr: Expr, name: String },
     /// Top-level aggregate `func(arg)` with its output name.
     /// `arg` is `None` for `COUNT(*)`.
-    Aggregate { kind: AggKind, arg: Option<Expr>, name: String },
+    Aggregate {
+        kind: AggKind,
+        arg: Option<Expr>,
+        name: String,
+    },
 }
 
 impl ProjItem {
@@ -103,13 +107,19 @@ impl TreeQuery {
     /// Key attributes of the root relation as qualified column references.
     pub fn root_key_columns(&self) -> Vec<ColumnRef> {
         let root = &self.relations[self.root];
-        root.key.iter().map(|k| ColumnRef::new(root.binding.clone(), k.clone())).collect()
+        root.key
+            .iter()
+            .map(|k| ColumnRef::new(root.binding.clone(), k.clone()))
+            .collect()
     }
 
     /// `true` when the query has grouping or aggregation.
     pub fn has_aggregates(&self) -> bool {
         !self.group_by.is_empty()
-            || self.projection.iter().any(|p| matches!(p, ProjItem::Aggregate { .. }))
+            || self
+                .projection
+                .iter()
+                .any(|p| matches!(p, ProjItem::Aggregate { .. }))
     }
 
     /// Number of aggregate items in the SELECT list (Figure 10's AggrAttrs).
@@ -126,7 +136,10 @@ impl TreeQuery {
     pub fn projection_within_root_key(&self) -> bool {
         let root = &self.relations[self.root];
         self.projection.iter().all(|item| match item {
-            ProjItem::Plain { expr: Expr::Column(c), .. } => {
+            ProjItem::Plain {
+                expr: Expr::Column(c),
+                ..
+            } => {
                 let rel_matches = match &c.qualifier {
                     Some(q) => *q == root.binding,
                     None => self.relations.len() == 1,
@@ -159,10 +172,14 @@ struct Edge {
 /// descriptive error explaining why the query is outside ConQuer's class.
 pub fn analyze(query: &Query, sigma: &ConstraintSet) -> Result<TreeQuery> {
     if !query.ctes.is_empty() {
-        return Err(RewriteError::Unsupported("WITH clauses in the input query".into()));
+        return Err(RewriteError::Unsupported(
+            "WITH clauses in the input query".into(),
+        ));
     }
     let select = query.as_select().ok_or_else(|| {
-        RewriteError::Unsupported("UNION in the input query (disjunction is outside the tree-query class)".into())
+        RewriteError::Unsupported(
+            "UNION in the input query (disjunction is outside the tree-query class)".into(),
+        )
     })?;
     if select.having.is_some() {
         return Err(RewriteError::Unsupported("HAVING clauses".into()));
@@ -175,7 +192,9 @@ pub fn analyze(query: &Query, sigma: &ConstraintSet) -> Result<TreeQuery> {
         collect_relations(factor, sigma, &mut relations, &mut on_conjuncts)?;
     }
     if relations.is_empty() {
-        return Err(RewriteError::Unsupported("queries without a FROM clause".into()));
+        return Err(RewriteError::Unsupported(
+            "queries without a FROM clause".into(),
+        ));
     }
     for (i, r) in relations.iter().enumerate() {
         for other in &relations[..i] {
@@ -218,10 +237,19 @@ pub fn analyze(query: &Query, sigma: &ConstraintSet) -> Result<TreeQuery> {
     let mut edges: Vec<Edge> = Vec::new();
     for (i, j, ci, cj) in join_pairs {
         // Normalize so a < b.
-        let (a, b, ca, cb) = if i < j { (i, j, ci, cj) } else { (j, i, cj, ci) };
+        let (a, b, ca, cb) = if i < j {
+            (i, j, ci, cj)
+        } else {
+            (j, i, cj, ci)
+        };
         match edges.iter_mut().find(|e| e.a == a && e.b == b) {
             Some(e) => e.pairs.push((ca, cb)),
-            None => edges.push(Edge { a, b, pairs: vec![(ca, cb)], class: EdgeClass::KeyToKey }),
+            None => edges.push(Edge {
+                a,
+                b,
+                pairs: vec![(ca, cb)],
+                class: EdgeClass::KeyToKey,
+            }),
         }
     }
     for e in &mut edges {
@@ -272,7 +300,13 @@ pub fn analyze(query: &Query, sigma: &ConstraintSet) -> Result<TreeQuery> {
             let (other, on) = if e.a == r {
                 (e.b, e.pairs.clone())
             } else {
-                (e.a, e.pairs.iter().map(|(x, y)| (y.clone(), x.clone())).collect())
+                (
+                    e.a,
+                    e.pairs
+                        .iter()
+                        .map(|(x, y)| (y.clone(), x.clone()))
+                        .collect(),
+                )
             };
             if !in_root_component[other] {
                 in_root_component[other] = true;
@@ -316,12 +350,17 @@ pub fn analyze(query: &Query, sigma: &ConstraintSet) -> Result<TreeQuery> {
     while let Some(r) = queue.pop_front() {
         for &ei in &children[r] {
             let e = &edges[ei];
-            let EdgeClass::Arc { from, to } = e.class else { unreachable!() };
+            let EdgeClass::Arc { from, to } = e.class else {
+                unreachable!()
+            };
             debug_assert_eq!(from, r);
             let on: Vec<(ColumnRef, ColumnRef)> = if e.a == from {
                 e.pairs.clone()
             } else {
-                e.pairs.iter().map(|(x, y)| (y.clone(), x.clone())).collect()
+                e.pairs
+                    .iter()
+                    .map(|(x, y)| (y.clone(), x.clone()))
+                    .collect()
             };
             if visited[to] {
                 return Err(RewriteError::NotATreeQuery(format!(
@@ -344,8 +383,14 @@ pub fn analyze(query: &Query, sigma: &ConstraintSet) -> Result<TreeQuery> {
     // --- projection & grouping --------------------------------------------
     let projection = analyze_projection(select, &relations)?;
     let group_by = analyze_group_by(select, &projection, &relations)?;
-    if select.distinct && projection.iter().any(|p| matches!(p, ProjItem::Aggregate { .. })) {
-        return Err(RewriteError::Unsupported("SELECT DISTINCT with aggregates".into()));
+    if select.distinct
+        && projection
+            .iter()
+            .any(|p| matches!(p, ProjItem::Aggregate { .. }))
+    {
+        return Err(RewriteError::Unsupported(
+            "SELECT DISTINCT with aggregates".into(),
+        ));
     }
 
     Ok(TreeQuery {
@@ -378,14 +423,26 @@ fn collect_relations(
                 .key_of(&table)
                 .ok_or_else(|| RewriteError::MissingKey(table.clone()))?
                 .to_vec();
-            let binding = alias.clone().unwrap_or_else(|| table.clone()).to_ascii_lowercase();
-            relations.push(Relation { table, binding, key });
+            let binding = alias
+                .clone()
+                .unwrap_or_else(|| table.clone())
+                .to_ascii_lowercase();
+            relations.push(Relation {
+                table,
+                binding,
+                key,
+            });
             Ok(())
         }
-        TableRef::Subquery { .. } => {
-            Err(RewriteError::Unsupported("derived tables in the input query".into()))
-        }
-        TableRef::Join { left, kind, right, on } => {
+        TableRef::Subquery { .. } => Err(RewriteError::Unsupported(
+            "derived tables in the input query".into(),
+        )),
+        TableRef::Join {
+            left,
+            kind,
+            right,
+            on,
+        } => {
             match kind {
                 JoinKind::Inner => {}
                 JoinKind::LeftOuter => {
@@ -425,15 +482,20 @@ fn expr_has_subquery(e: &Expr) -> bool {
         Expr::Exists { .. } | Expr::InSubquery { .. } | Expr::ScalarSubquery(_) => true,
         Expr::BinaryOp { left, right, .. } => expr_has_subquery(left) || expr_has_subquery(right),
         Expr::UnaryOp { expr, .. } | Expr::IsNull { expr, .. } => expr_has_subquery(expr),
-        Expr::Between { expr, low, high, .. } => {
-            expr_has_subquery(expr) || expr_has_subquery(low) || expr_has_subquery(high)
-        }
+        Expr::Between {
+            expr, low, high, ..
+        } => expr_has_subquery(expr) || expr_has_subquery(low) || expr_has_subquery(high),
         Expr::InList { expr, list, .. } => {
             expr_has_subquery(expr) || list.iter().any(expr_has_subquery)
         }
         Expr::Like { expr, pattern, .. } => expr_has_subquery(expr) || expr_has_subquery(pattern),
-        Expr::Case { branches, else_expr } => {
-            branches.iter().any(|(c, v)| expr_has_subquery(c) || expr_has_subquery(v))
+        Expr::Case {
+            branches,
+            else_expr,
+        } => {
+            branches
+                .iter()
+                .any(|(c, v)| expr_has_subquery(c) || expr_has_subquery(v))
                 || else_expr.as_deref().is_some_and(expr_has_subquery)
         }
         Expr::Function { args, .. } => args.iter().any(expr_has_subquery),
@@ -513,8 +575,14 @@ fn classify_edge(edge: &Edge, relations: &[Relation]) -> Result<EdgeClass> {
     let b_covered = covers(edge.b, false);
     match (a_covered, b_covered) {
         (true, true) => Ok(EdgeClass::KeyToKey),
-        (false, true) => Ok(EdgeClass::Arc { from: edge.a, to: edge.b }),
-        (true, false) => Ok(EdgeClass::Arc { from: edge.b, to: edge.a }),
+        (false, true) => Ok(EdgeClass::Arc {
+            from: edge.a,
+            to: edge.b,
+        }),
+        (true, false) => Ok(EdgeClass::Arc {
+            from: edge.b,
+            to: edge.a,
+        }),
         (false, false) => Err(RewriteError::NotATreeQuery(format!(
             "the join between `{}` and `{}` does not involve the full key of either relation",
             relations[edge.a].binding, relations[edge.b].binding
@@ -543,7 +611,10 @@ fn analyze_projection(select: &Select, relations: &[Relation]) -> Result<Vec<Pro
                 if expr.contains_aggregate() {
                     items.push(parse_aggregate_item(expr, name, relations)?);
                 } else {
-                    items.push(ProjItem::Plain { expr: expr.clone(), name });
+                    items.push(ProjItem::Plain {
+                        expr: expr.clone(),
+                        name,
+                    });
                 }
             }
         }
@@ -555,7 +626,12 @@ fn analyze_projection(select: &Select, relations: &[Relation]) -> Result<Vec<Pro
 }
 
 fn parse_aggregate_item(expr: &Expr, name: String, _relations: &[Relation]) -> Result<ProjItem> {
-    let Expr::Function { name: fname, args, distinct } = expr else {
+    let Expr::Function {
+        name: fname,
+        args,
+        distinct,
+    } = expr
+    else {
         return Err(RewriteError::Unsupported(format!(
             "expressions over aggregates in the SELECT list (`{expr}`); project the aggregate directly"
         )));
@@ -587,7 +663,9 @@ fn parse_aggregate_item(expr: &Expr, name: String, _relations: &[Relation]) -> R
             return Err(RewriteError::Unsupported("nested aggregates".into()));
         }
         if expr_has_subquery(a) {
-            return Err(RewriteError::Unsupported("subquery inside an aggregate".into()));
+            return Err(RewriteError::Unsupported(
+                "subquery inside an aggregate".into(),
+            ));
         }
     }
     Ok(ProjItem::Aggregate { kind, arg, name })
@@ -607,7 +685,9 @@ fn analyze_group_by(
         };
         group_by.push(c.clone());
     }
-    let has_agg = projection.iter().any(|p| matches!(p, ProjItem::Aggregate { .. }));
+    let has_agg = projection
+        .iter()
+        .any(|p| matches!(p, ProjItem::Aggregate { .. }));
     if !has_agg && group_by.is_empty() {
         return Ok(group_by);
     }

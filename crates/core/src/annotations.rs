@@ -11,7 +11,7 @@
 
 use std::collections::HashMap;
 
-use conquer_engine::{Database, DataType, Value};
+use conquer_engine::{DataType, Database, Value};
 
 use crate::constraints::ConstraintSet;
 use crate::error::{Result, RewriteError};
@@ -33,18 +33,15 @@ pub struct AnnotationStats {
 ///
 /// Errors when a constrained relation is missing from the database, already
 /// has a `cons` column, or lacks one of its key attributes.
-pub fn annotate_database(
-    db: &Database,
-    sigma: &ConstraintSet,
-) -> Result<Vec<AnnotationStats>> {
+pub fn annotate_database(db: &Database, sigma: &ConstraintSet) -> Result<Vec<AnnotationStats>> {
     let mut stats = Vec::new();
     for constraint in sigma.iter() {
-        let table = db
-            .table(&constraint.relation)
-            .map_err(|_| RewriteError::MissingKey(format!(
+        let table = db.table(&constraint.relation).map_err(|_| {
+            RewriteError::MissingKey(format!(
                 "relation `{}` (named in the constraint set) does not exist in the database",
                 constraint.relation
-            )))?;
+            ))
+        })?;
         if table.schema().columns.iter().any(|c| c.name == CONS_COLUMN) {
             return Err(RewriteError::InvalidConstraint(format!(
                 "relation `{}` already has a `{CONS_COLUMN}` column",
@@ -54,24 +51,28 @@ pub fn annotate_database(
         let key_indices: Vec<usize> = constraint
             .key
             .iter()
-            .map(|k| table.column_index(k).map_err(|e| RewriteError::Engine(e.to_string())))
+            .map(|k| {
+                table
+                    .column_index(k)
+                    .map_err(|e| RewriteError::Engine(e.to_string()))
+            })
             .collect::<Result<_>>()?;
 
         // First pass: count occurrences of each key value.
         let mut counts: HashMap<conquer_engine::value::Key, u32> =
             HashMap::with_capacity(table.len());
         for row in table.rows() {
-            let key_vals: Vec<Value> =
-                key_indices.iter().map(|i| row[*i].clone()).collect();
-            *counts.entry(conquer_engine::value::Key::from_values(&key_vals)).or_insert(0) += 1;
+            let key_vals: Vec<Value> = key_indices.iter().map(|i| row[*i].clone()).collect();
+            *counts
+                .entry(conquer_engine::value::Key::from_values(&key_vals))
+                .or_insert(0) += 1;
         }
         let violated_keys = counts.values().filter(|c| **c > 1).count();
 
         // Second pass: attach the flag.
         let mut inconsistent = 0usize;
         let annotated = table.with_computed_column(CONS_COLUMN, DataType::Text, |row| {
-            let key_vals: Vec<Value> =
-                key_indices.iter().map(|i| row[*i].clone()).collect();
+            let key_vals: Vec<Value> = key_indices.iter().map(|i| row[*i].clone()).collect();
             let unique = counts[&conquer_engine::value::Key::from_values(&key_vals)] == 1;
             if unique {
                 Value::str("y")
@@ -127,7 +128,9 @@ mod tests {
         assert_eq!(stats[0].violated_keys, 2);
         assert!(is_annotated(&db, &sigma));
 
-        let rows = db.query("select custkey, cons from customer order by custkey, cons").unwrap();
+        let rows = db
+            .query("select custkey, cons from customer order by custkey, cons")
+            .unwrap();
         let flags: Vec<(String, String)> = rows
             .rows
             .iter()

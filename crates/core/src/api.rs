@@ -16,12 +16,18 @@ use crate::rewrite_join::{rewrite_join, RewriteOptions};
 /// (queries without aggregation, Theorem 1) or range-consistent answers
 /// (queries with grouping/aggregation, Theorem 2).
 pub fn rewrite(query: &Query, sigma: &ConstraintSet, opts: &RewriteOptions) -> Result<Query> {
-    let tq = analyze(query, sigma)?;
+    let tq = {
+        let _span = conquer_obs::span("analyze");
+        analyze(query, sigma)?
+    };
     rewrite_tree(&tq, opts)
 }
 
 /// Rewrite an already-analysed tree query.
 pub fn rewrite_tree(tq: &TreeQuery, opts: &RewriteOptions) -> Result<Query> {
+    let _span = conquer_obs::span("rewrite")
+        .field("aggregates", tq.has_aggregates())
+        .field("annotated", opts.annotated);
     if tq.has_aggregates() {
         rewrite_agg(tq, opts)
     } else {
@@ -32,14 +38,19 @@ pub fn rewrite_tree(tq: &TreeQuery, opts: &RewriteOptions) -> Result<Query> {
 /// Rewrite SQL text to SQL text — the form in which ConQuer hands queries
 /// to a host database system.
 pub fn rewrite_sql(sql: &str, sigma: &ConstraintSet, opts: &RewriteOptions) -> Result<String> {
-    let query = parse_query(sql)?;
+    let query = parse_sql_spanned(sql)?;
     Ok(rewrite(&query, sigma, opts)?.to_string())
+}
+
+fn parse_sql_spanned(sql: &str) -> Result<Query> {
+    let _span = conquer_obs::span("parse").field("bytes", sql.len());
+    Ok(parse_query(sql)?)
 }
 
 /// Compute the consistent (or range-consistent) answers of `sql` on `db`
 /// under the key constraints `sigma`, using the plain rewriting.
 pub fn consistent_answers(db: &Database, sql: &str, sigma: &ConstraintSet) -> Result<Rows> {
-    let query = parse_query(sql)?;
+    let query = parse_sql_spanned(sql)?;
     let rewritten = rewrite(&query, sigma, &RewriteOptions::default())?;
     Ok(db.execute_query(&rewritten)?)
 }
@@ -57,8 +68,11 @@ pub fn consistent_answers_annotated(
             "database is not annotated; call annotate_database first".into(),
         ));
     }
-    let query = parse_query(sql)?;
-    let opts = RewriteOptions { annotated: true, ..RewriteOptions::default() };
+    let query = parse_sql_spanned(sql)?;
+    let opts = RewriteOptions {
+        annotated: true,
+        ..RewriteOptions::default()
+    };
     let rewritten = rewrite(&query, sigma, &opts)?;
     Ok(db.execute_query(&rewritten)?)
 }

@@ -57,8 +57,10 @@ impl ConstraintSet {
         key: impl IntoIterator<Item = S>,
     ) -> Result<()> {
         let relation = relation.into().to_ascii_lowercase();
-        let key: Vec<String> =
-            key.into_iter().map(|s| s.into().to_ascii_lowercase()).collect();
+        let key: Vec<String> = key
+            .into_iter()
+            .map(|s| s.into().to_ascii_lowercase())
+            .collect();
         if key.is_empty() {
             return Err(RewriteError::InvalidConstraint(format!(
                 "key for `{relation}` must have at least one attribute"
@@ -83,7 +85,9 @@ impl ConstraintSet {
 
     /// The key of a relation, if constrained.
     pub fn key_of(&self, relation: &str) -> Option<&[String]> {
-        self.keys.get(&relation.to_ascii_lowercase()).map(Vec::as_slice)
+        self.keys
+            .get(&relation.to_ascii_lowercase())
+            .map(Vec::as_slice)
     }
 
     /// `true` when `attr` is one of `relation`'s key attributes.
@@ -94,9 +98,10 @@ impl ConstraintSet {
 
     /// Iterate over all constraints.
     pub fn iter(&self) -> impl Iterator<Item = KeyConstraint> + '_ {
-        self.keys
-            .iter()
-            .map(|(r, k)| KeyConstraint { relation: r.clone(), key: k.clone() })
+        self.keys.iter().map(|(r, k)| KeyConstraint {
+            relation: r.clone(),
+            key: k.clone(),
+        })
     }
 
     pub fn len(&self) -> usize {

@@ -59,7 +59,11 @@ pub fn rewrite_agg(tq: &TreeQuery, opts: &RewriteOptions) -> Result<Query> {
             "RewriteAgg applies to queries with aggregation; use rewrite() to dispatch".into(),
         ));
     }
-    if tq.projection.iter().all(|p| matches!(p, ProjItem::Plain { .. })) {
+    if tq
+        .projection
+        .iter()
+        .all(|p| matches!(p, ProjItem::Plain { .. }))
+    {
         // GROUP BY without aggregates: the grouped attributes are the whole
         // answer, i.e. `q_G` itself — rewrite as a join query on DISTINCT.
         let mut set_query = tq.clone();
@@ -70,8 +74,9 @@ pub fn rewrite_agg(tq: &TreeQuery, opts: &RewriteOptions) -> Result<Query> {
 
     // --- q_G and naming -----------------------------------------------------
     let qg = build_qg(tq);
-    let key_aliases: Vec<String> =
-        (1..=tq.relations[tq.root].key.len()).map(|i| format!("conq_k{i}")).collect();
+    let key_aliases: Vec<String> = (1..=tq.relations[tq.root].key.len())
+        .map(|i| format!("conq_k{i}"))
+        .collect();
     let g_aliases = choose_item_aliases(&qg);
     check_unique(&g_aliases)?;
 
@@ -105,7 +110,12 @@ pub fn rewrite_agg(tq: &TreeQuery, opts: &RewriteOptions) -> Result<Query> {
     if let Some(body) = filter_body {
         ctes.push(Cte {
             name: QG_FILTER.to_string(),
-            query: Query { ctes: Vec::new(), body, order_by: Vec::new(), limit: None },
+            query: Query {
+                ctes: Vec::new(),
+                body,
+                order_by: Vec::new(),
+                limit: None,
+            },
         });
     }
 
@@ -168,9 +178,15 @@ pub fn rewrite_agg(tq: &TreeQuery, opts: &RewriteOptions) -> Result<Query> {
         }
     };
 
-    ctes.push(Cte { name: UNFILTERED.to_string(), query: Query::from_select(inner_select(false)) });
+    ctes.push(Cte {
+        name: UNFILTERED.to_string(),
+        query: Query::from_select(inner_select(false)),
+    });
     if has_filter {
-        ctes.push(Cte { name: FILTERED.to_string(), query: Query::from_select(inner_select(true)) });
+        ctes.push(Cte {
+            name: FILTERED.to_string(),
+            query: Query::from_select(inner_select(true)),
+        });
     }
 
     // --- final aggregation over the union -----------------------------------
@@ -215,8 +231,10 @@ pub fn rewrite_agg(tq: &TreeQuery, opts: &RewriteOptions) -> Result<Query> {
             }
         }
     }
-    let group_by: Vec<Expr> =
-        g_aliases.iter().map(|a| Expr::col(UNION_BINDING, a.clone())).collect();
+    let group_by: Vec<Expr> = g_aliases
+        .iter()
+        .map(|a| Expr::col(UNION_BINDING, a.clone()))
+        .collect();
 
     let final_select = Select {
         distinct: false,
@@ -228,7 +246,12 @@ pub fn rewrite_agg(tq: &TreeQuery, opts: &RewriteOptions) -> Result<Query> {
     };
 
     let order_by = map_order_by(tq)?;
-    Ok(Query { ctes, body: SetExpr::Select(Box::new(final_select)), order_by, limit: tq.limit })
+    Ok(Query {
+        ctes,
+        body: SetExpr::Select(Box::new(final_select)),
+        order_by,
+        limit: tq.limit,
+    })
 }
 
 /// `q_G`: the original query with aggregate expressions removed and the
@@ -238,7 +261,10 @@ fn build_qg(tq: &TreeQuery) -> TreeQuery {
     qg.projection = tq
         .group_by
         .iter()
-        .map(|c| ProjItem::Plain { expr: Expr::Column(c.clone()), name: c.name.clone() })
+        .map(|c| ProjItem::Plain {
+            expr: Expr::Column(c.clone()),
+            name: c.name.clone(),
+        })
         .collect();
     qg.group_by = Vec::new();
     qg.distinct = true;
@@ -270,7 +296,10 @@ fn base_select(
 ) -> Select {
     let mut projection = Vec::new();
     for (col, alias) in tq.root_key_columns().iter().zip(key_aliases) {
-        projection.push(SelectItem::aliased(Expr::Column(col.clone()), alias.clone()));
+        projection.push(SelectItem::aliased(
+            Expr::Column(col.clone()),
+            alias.clone(),
+        ));
     }
     for (g, alias) in tq.group_by.iter().zip(g_aliases) {
         projection.push(SelectItem::aliased(Expr::Column(g.clone()), alias.clone()));
@@ -298,7 +327,10 @@ fn base_select(
                 projection.push(SelectItem::aliased(
                     Expr::Case {
                         branches: vec![(
-                            Expr::IsNull { expr: Box::new(e), negated: false },
+                            Expr::IsNull {
+                                expr: Box::new(e),
+                                negated: false,
+                            },
                             Expr::int(0),
                         )],
                         else_expr: Some(Box::new(Expr::int(1))),
@@ -309,9 +341,11 @@ fn base_select(
         }
     }
     if opts.annotated {
-        let any_inconsistent = Expr::disjoin(tq.relations.iter().map(|r| {
-            Expr::eq(Expr::col(r.binding.clone(), CONS_COLUMN), Expr::string("n"))
-        }))
+        let any_inconsistent = Expr::disjoin(
+            tq.relations
+                .iter()
+                .map(|r| Expr::eq(Expr::col(r.binding.clone(), CONS_COLUMN), Expr::string("n"))),
+        )
         .expect("at least one relation");
         projection.push(SelectItem::aliased(
             Expr::Case {
@@ -449,10 +483,7 @@ fn case_min_zero(e: Expr) -> Expr {
 /// `CASE WHEN e > 0 THEN e ELSE 0 END` (Figure 8's upper bound for SUM).
 fn case_max_zero(e: Expr) -> Expr {
     Expr::Case {
-        branches: vec![(
-            Expr::binary(e.clone(), BinaryOp::Gt, Expr::int(0)),
-            e,
-        )],
+        branches: vec![(Expr::binary(e.clone(), BinaryOp::Gt, Expr::int(0)), e)],
         else_expr: Some(Box::new(Expr::int(0))),
     }
 }
@@ -465,12 +496,18 @@ fn sum_effective(kind: AggKind, arg: Option<&Expr>) -> Expr {
         AggKind::CountStar => Expr::int(1),
         AggKind::Count => Expr::Case {
             branches: vec![(
-                Expr::IsNull { expr: Box::new(arg.expect("count arg").clone()), negated: false },
+                Expr::IsNull {
+                    expr: Box::new(arg.expect("count arg").clone()),
+                    negated: false,
+                },
                 Expr::int(0),
             )],
             else_expr: Some(Box::new(Expr::int(1))),
         },
-        _ => Expr::func("coalesce", vec![arg.expect("agg arg").clone(), Expr::int(0)]),
+        _ => Expr::func(
+            "coalesce",
+            vec![arg.expect("agg arg").clone(), Expr::int(0)],
+        ),
     }
 }
 
@@ -484,15 +521,25 @@ fn inner_agg_columns(i: usize, kind: AggKind, filtered: bool) -> Vec<SelectItem>
         AggKind::Sum | AggKind::CountStar | AggKind::Count => {
             let e = base_col(format!("conq_e{i}"));
             let (lo, hi) = if filtered {
-                (case_min_zero(agg("min", e.clone())), case_max_zero(agg("max", e)))
+                (
+                    case_min_zero(agg("min", e.clone())),
+                    case_max_zero(agg("max", e)),
+                )
             } else {
                 (agg("min", e.clone()), agg("max", e))
             };
-            vec![SelectItem::aliased(lo, min_alias), SelectItem::aliased(hi, max_alias)]
+            vec![
+                SelectItem::aliased(lo, min_alias),
+                SelectItem::aliased(hi, max_alias),
+            ]
         }
         AggKind::Min => {
             let e = base_col(format!("conq_e{i}"));
-            let hi = if filtered { null_lit() } else { agg("max", e.clone()) };
+            let hi = if filtered {
+                null_lit()
+            } else {
+                agg("max", e.clone())
+            };
             vec![
                 SelectItem::aliased(agg("min", e), min_alias),
                 SelectItem::aliased(hi, max_alias),
@@ -500,7 +547,11 @@ fn inner_agg_columns(i: usize, kind: AggKind, filtered: bool) -> Vec<SelectItem>
         }
         AggKind::Max => {
             let e = base_col(format!("conq_e{i}"));
-            let lo = if filtered { null_lit() } else { agg("min", e.clone()) };
+            let lo = if filtered {
+                null_lit()
+            } else {
+                agg("min", e.clone())
+            };
             vec![
                 SelectItem::aliased(lo, min_alias),
                 SelectItem::aliased(agg("max", e), max_alias),
@@ -510,7 +561,10 @@ fn inner_agg_columns(i: usize, kind: AggKind, filtered: bool) -> Vec<SelectItem>
             let s = base_col(format!("conq_es{i}"));
             let c = base_col(format!("conq_ec{i}"));
             let (smin, smax) = if filtered {
-                (case_min_zero(agg("min", s.clone())), case_max_zero(agg("max", s)))
+                (
+                    case_min_zero(agg("min", s.clone())),
+                    case_max_zero(agg("max", s)),
+                )
             } else {
                 (agg("min", s.clone()), agg("max", s))
             };
@@ -548,9 +602,8 @@ fn outer_agg_exprs(i: usize, kind: AggKind) -> (Expr, Expr) {
         ),
         AggKind::Avg => {
             // `* 1.0` forces float division even over integer columns.
-            let float = |e: Expr| {
-                Expr::binary(e, BinaryOp::Multiply, Expr::Literal(Literal::Float(1.0)))
-            };
+            let float =
+                |e: Expr| Expr::binary(e, BinaryOp::Multiply, Expr::Literal(Literal::Float(1.0)));
             let smin = float(agg("sum", u(format!("conq_smin{i}"))));
             let smax = float(agg("sum", u(format!("conq_smax{i}"))));
             let cmin = agg("sum", u(format!("conq_cmin{i}")));
@@ -607,7 +660,10 @@ fn map_order_by(tq: &TreeQuery) -> Result<Vec<OrderByItem>> {
             Expr::Column(c) => map_order_column(tq, c),
             other => other.clone(),
         };
-        out.push(OrderByItem { expr, desc: item.desc });
+        out.push(OrderByItem {
+            expr,
+            desc: item.desc,
+        });
     }
     Ok(out)
 }

@@ -123,8 +123,9 @@ pub(crate) fn build_parts(
             ));
         }
     }
-    let key_aliases: Vec<String> =
-        (1..=tq.relations[tq.root].key.len()).map(|i| format!("conq_k{i}")).collect();
+    let key_aliases: Vec<String> = (1..=tq.relations[tq.root].key.len())
+        .map(|i| format!("conq_k{i}"))
+        .collect();
     let item_aliases = choose_item_aliases(tq);
 
     let candidates = Cte {
@@ -134,10 +135,20 @@ pub(crate) fn build_parts(
 
     let filter = build_filter(tq, opts, cand_name, &key_aliases)?.map(|body| Cte {
         name: filter_name.to_string(),
-        query: Query { ctes: Vec::new(), body, order_by: Vec::new(), limit: None },
+        query: Query {
+            ctes: Vec::new(),
+            body,
+            order_by: Vec::new(),
+            limit: None,
+        },
     });
 
-    Ok(JoinRewriteParts { candidates, filter, key_aliases, item_aliases })
+    Ok(JoinRewriteParts {
+        candidates,
+        filter,
+        key_aliases,
+        item_aliases,
+    })
 }
 
 /// Pick collision-free aliases for projected items inside the candidates
@@ -149,8 +160,14 @@ pub(crate) fn choose_item_aliases(tq: &TreeQuery) -> Vec<String> {
         let safe = !name.starts_with("conq_")
             && !aliases.contains(&name)
             && name.chars().next().is_some_and(|c| c.is_ascii_lowercase())
-            && name.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_');
-        aliases.push(if safe { name } else { format!("conq_s{}", i + 1) });
+            && name
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_');
+        aliases.push(if safe {
+            name
+        } else {
+            format!("conq_s{}", i + 1)
+        });
     }
     aliases
 }
@@ -197,7 +214,9 @@ fn candidates_select(
     }
     let mut item_exprs = Vec::new();
     for (item, alias) in tq.projection.iter().zip(item_aliases) {
-        let ProjItem::Plain { expr, .. } = item else { unreachable!("checked in build_parts") };
+        let ProjItem::Plain { expr, .. } = item else {
+            unreachable!("checked in build_parts")
+        };
         projection.push(SelectItem::aliased(expr.clone(), alias.clone()));
         item_exprs.push(expr.clone());
     }
@@ -216,9 +235,11 @@ fn candidates_select(
     // Annotation-aware: count how many source tuple combinations involve a
     // possibly-inconsistent tuple; a zero count proves the candidate
     // consistent so the filter can skip it (Example 9).
-    let any_inconsistent = Expr::disjoin(tq.relations.iter().map(|r| {
-        Expr::eq(Expr::col(r.binding.clone(), CONS_COLUMN), Expr::string("n"))
-    }))
+    let any_inconsistent = Expr::disjoin(
+        tq.relations
+            .iter()
+            .map(|r| Expr::eq(Expr::col(r.binding.clone(), CONS_COLUMN), Expr::string("n"))),
+    )
     .expect("at least one relation");
     let conscand = Expr::func(
         "sum",
@@ -288,8 +309,8 @@ fn filter_join_branch(
         )
     }))
     .expect("keys are non-empty");
-    let mut from = TableRef::aliased(cand_name, CAND_BINDING)
-        .join(relation_ref(tq, tq.root), root_on);
+    let mut from =
+        TableRef::aliased(cand_name, CAND_BINDING).join(relation_ref(tq, tq.root), root_on);
 
     // Inner joins for key-to-key co-roots (their joins hold in every repair).
     for kj in &tq.kj_joins {
@@ -306,7 +327,10 @@ fn filter_join_branch(
     for loj in &tq.loj_joins {
         let rel = &tq.relations[loj.rel];
         let first_key = &rel.key[0];
-        disjuncts.push(Expr::is_null(Expr::col(rel.binding.clone(), first_key.clone())));
+        disjuncts.push(Expr::is_null(Expr::col(
+            rel.binding.clone(),
+            first_key.clone(),
+        )));
     }
     for sc in &tq.selection {
         disjuncts.push(negate_selection(sc, opts));
@@ -331,9 +355,7 @@ fn filter_join_branch(
         distinct: false,
         projection: key_aliases
             .iter()
-            .map(|alias| {
-                SelectItem::aliased(Expr::col(CAND_BINDING, alias.clone()), alias.clone())
-            })
+            .map(|alias| SelectItem::aliased(Expr::col(CAND_BINDING, alias.clone()), alias.clone()))
             .collect(),
         from: vec![from],
         selection,
@@ -353,7 +375,10 @@ fn filter_multiplicity_branch(cand_name: &str, key_aliases: &[String]) -> Select
             .collect(),
         from: vec![TableRef::table(cand_name)],
         selection: None,
-        group_by: key_aliases.iter().map(|a| Expr::bare_col(a.clone())).collect(),
+        group_by: key_aliases
+            .iter()
+            .map(|a| Expr::bare_col(a.clone()))
+            .collect(),
         having: Some(Expr::binary(Expr::count_star(), BinaryOp::Gt, Expr::int(1))),
     }
 }

@@ -70,9 +70,12 @@ fn strings(rows: &conquer_engine::Rows, col: usize) -> Vec<String> {
 fn example1_consistent_answers() {
     let db = figure1_db();
     let sigma = ConstraintSet::new().with_key("customer", ["custkey"]);
-    let rows =
-        consistent_answers(&db, "select custkey from customer where acctbal > 1000", &sigma)
-            .unwrap();
+    let rows = consistent_answers(
+        &db,
+        "select custkey from customer where acctbal > 1000",
+        &sigma,
+    )
+    .unwrap();
     assert_eq!(strings(&rows, 0), vec!["c2", "c3"]);
 }
 
@@ -116,15 +119,24 @@ fn example3_rewriting_structure_matches_figure3() {
         "select o.orderkey from customer c, orders o
          where c.acctbal > 1000 and o.custfk = c.custkey",
         &figure2_sigma(),
-        &RewriteOptions { paper_style_negation: true, ..Default::default() },
+        &RewriteOptions {
+            paper_style_negation: true,
+            ..Default::default()
+        },
     )
     .unwrap();
     // Two CTEs, a left outer join, the IS NULL check, the negated selection,
     // and NOT EXISTS — and, since only the root key is projected, no
     // multiplicity (count(*) > 1) branch.
-    assert!(sql.contains("WITH conq_candidates AS (SELECT DISTINCT"), "{sql}");
+    assert!(
+        sql.contains("WITH conq_candidates AS (SELECT DISTINCT"),
+        "{sql}"
+    );
     assert!(sql.contains("conq_filter AS ("), "{sql}");
-    assert!(sql.contains("LEFT OUTER JOIN customer c ON o.custfk = c.custkey"), "{sql}");
+    assert!(
+        sql.contains("LEFT OUTER JOIN customer c ON o.custfk = c.custkey"),
+        "{sql}"
+    );
     assert!(sql.contains("c.custkey IS NULL"), "{sql}");
     assert!(sql.contains("c.acctbal <= 1000"), "{sql}");
     assert!(sql.contains("NOT EXISTS"), "{sql}");
@@ -169,12 +181,8 @@ fn example4_rewriting_has_multiplicity_branch() {
 fn example5_q4_range_of_global_sum() {
     let db = figure7_db();
     let sigma = ConstraintSet::new().with_key("customer", ["custkey"]);
-    let rows = consistent_answers(
-        &db,
-        "select sum(acctbal) as sumbal from customer",
-        &sigma,
-    )
-    .unwrap();
+    let rows =
+        consistent_answers(&db, "select sum(acctbal) as sumbal from customer", &sigma).unwrap();
     // Repairs sum to 1600, 1700, 2600, 2700: the range is [1600, 2700].
     assert_eq!(rows.len(), 1);
     assert_eq!(rows.rows[0][0], Value::Float(1600.0));
@@ -253,11 +261,17 @@ fn example9_annotated_rewriting_structure() {
         "select o.orderkey from customer c, orders o
          where c.acctbal > 1000 and o.custfk = c.custkey",
         &figure2_sigma(),
-        &RewriteOptions { annotated: true, ..Default::default() },
+        &RewriteOptions {
+            annotated: true,
+            ..Default::default()
+        },
     )
     .unwrap();
     // The conscand counter and the filter guard from Section 5.
-    assert!(sql.contains("sum(CASE WHEN c.cons = 'n' OR o.cons = 'n' THEN 1 ELSE 0 END)"), "{sql}");
+    assert!(
+        sql.contains("sum(CASE WHEN c.cons = 'n' OR o.cons = 'n' THEN 1 ELSE 0 END)"),
+        "{sql}"
+    );
     assert!(sql.contains("conq_cand.conq_conscand > 0"), "{sql}");
     assert!(sql.contains("GROUP BY o.orderkey"), "{sql}");
     parse_query(&sql).unwrap();
@@ -267,8 +281,7 @@ fn example9_annotated_rewriting_structure() {
 fn annotated_requires_annotations() {
     let db = figure2_db();
     let sigma = figure2_sigma();
-    let err = consistent_answers_annotated(&db, "select orderkey from orders", &sigma)
-        .unwrap_err();
+    let err = consistent_answers_annotated(&db, "select orderkey from orders", &sigma).unwrap_err();
     assert!(err.to_string().contains("not annotated"));
 }
 
@@ -365,7 +378,9 @@ fn key_to_key_join_is_supported() {
          insert into b values (1, 7), (2, 8), (2, 9);",
     )
     .unwrap();
-    let sigma = ConstraintSet::new().with_key("a", ["k"]).with_key("b", ["k"]);
+    let sigma = ConstraintSet::new()
+        .with_key("a", ["k"])
+        .with_key("b", ["k"]);
     let q = "select a.k from a, b where a.k = b.k and a.x > 5 and b.y > 6";
     let tq = analyze(&parse_query(q).unwrap(), &sigma).unwrap();
     assert_eq!(tq.kj_joins.len(), 1);
@@ -400,20 +415,23 @@ fn null_selection_values_are_filtered_by_default() {
 // --- classification errors --------------------------------------------------------
 
 fn expect_err(q: &str, sigma: &ConstraintSet) -> RewriteError {
-    conquer_core::rewrite(&parse_query(q).unwrap(), sigma, &RewriteOptions::default())
-        .unwrap_err()
+    conquer_core::rewrite(&parse_query(q).unwrap(), sigma, &RewriteOptions::default()).unwrap_err()
 }
 
 #[test]
 fn rejects_non_key_joins() {
-    let sigma = ConstraintSet::new().with_key("a", ["k"]).with_key("b", ["k"]);
+    let sigma = ConstraintSet::new()
+        .with_key("a", ["k"])
+        .with_key("b", ["k"]);
     let err = expect_err("select a.k from a, b where a.x = b.y", &sigma);
     assert!(matches!(err, RewriteError::NotATreeQuery(_)), "{err}");
 }
 
 #[test]
 fn rejects_inequality_joins() {
-    let sigma = ConstraintSet::new().with_key("a", ["k"]).with_key("b", ["k"]);
+    let sigma = ConstraintSet::new()
+        .with_key("a", ["k"])
+        .with_key("b", ["k"]);
     let err = expect_err("select a.k from a, b where a.k < b.k", &sigma);
     assert!(matches!(err, RewriteError::NotATreeQuery(_)), "{err}");
 }
@@ -448,33 +466,28 @@ fn rejects_two_parents() {
 
 #[test]
 fn rejects_disconnected_join_graph() {
-    let sigma = ConstraintSet::new().with_key("a", ["k"]).with_key("b", ["k"]);
+    let sigma = ConstraintSet::new()
+        .with_key("a", ["k"])
+        .with_key("b", ["k"]);
     let err = expect_err("select a.k from a, b", &sigma);
     assert!(matches!(err, RewriteError::NotATreeQuery(_)), "{err}");
 }
 
 #[test]
 fn rejects_disjunction_and_outer_join_inputs() {
-    let sigma = ConstraintSet::new().with_key("a", ["k"]).with_key("b", ["k"]);
-    let err = expect_err(
-        "select k from a union all select k from b",
-        &sigma,
-    );
+    let sigma = ConstraintSet::new()
+        .with_key("a", ["k"])
+        .with_key("b", ["k"]);
+    let err = expect_err("select k from a union all select k from b", &sigma);
     assert!(matches!(err, RewriteError::Unsupported(_)), "{err}");
-    let err = expect_err(
-        "select a.k from a left outer join b on a.k = b.k",
-        &sigma,
-    );
+    let err = expect_err("select a.k from a left outer join b on a.k = b.k", &sigma);
     assert!(matches!(err, RewriteError::Unsupported(_)), "{err}");
 }
 
 #[test]
 fn rejects_nested_subqueries_with_hint() {
     let sigma = ConstraintSet::new().with_key("a", ["k"]);
-    let err = expect_err(
-        "select a.k from a where exists (select * from a)",
-        &sigma,
-    );
+    let err = expect_err("select a.k from a where exists (select * from a)", &sigma);
     assert!(err.to_string().contains("decorrelate"), "{err}");
 }
 

@@ -78,11 +78,17 @@ fn unfilterable_aggregate_query_has_no_filter_ctes_at_all() {
 fn paper_style_vs_null_safe_negation() {
     let q = "select o.orderkey from orders o where o.total > 100";
     let strict = rewrite_sql(q, &sigma(), &RewriteOptions::default()).unwrap();
-    assert!(strict.contains("NOT coalesce(o.total > 100, FALSE)"), "{strict}");
+    assert!(
+        strict.contains("NOT coalesce(o.total > 100, FALSE)"),
+        "{strict}"
+    );
     let paper = rewrite_sql(
         q,
         &sigma(),
-        &RewriteOptions { paper_style_negation: true, ..Default::default() },
+        &RewriteOptions {
+            paper_style_negation: true,
+            ..Default::default()
+        },
     )
     .unwrap();
     assert!(paper.contains("o.total <= 100"), "{paper}");
@@ -107,7 +113,10 @@ fn conscand_guard_is_pushed_below_the_filter_join() {
     let sql = conquer_core::rewrite_sql(
         "select o.orderkey from orders o, customer c where o.custfk = c.custkey",
         &sigma,
-        &RewriteOptions { annotated: true, ..Default::default() },
+        &RewriteOptions {
+            annotated: true,
+            ..Default::default()
+        },
     )
     .unwrap();
     let query = parse_query(&sql).unwrap();
@@ -149,11 +158,16 @@ fn pushdown_off_still_produces_identical_answers() {
     )
     .unwrap();
     let query = parse_query(&sql).unwrap();
-    let with = db.execute_query_with(&query, ExecOptions::default()).unwrap();
+    let with = db
+        .execute_query_with(&query, ExecOptions::default())
+        .unwrap();
     let without = db
         .execute_query_with(
             &query,
-            ExecOptions { pushdown_filters: false, ..Default::default() },
+            ExecOptions {
+                pushdown_filters: false,
+                ..Default::default()
+            },
         )
         .unwrap();
     let norm = |r: &conquer_engine::Rows| {

@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use std::sync::RwLock;
 
 use conquer_sql::ast::{Expr, Query, Statement};
 use conquer_sql::{parse_query, parse_statements};
@@ -36,20 +36,21 @@ impl Database {
     /// Register (or replace) a table.
     pub fn register(&self, table: Table) {
         let name = table.name().to_string();
-        self.scan_cache.write().remove(&name);
-        self.tables.write().insert(name, Arc::new(table));
+        self.scan_cache.write().unwrap().remove(&name);
+        self.tables.write().unwrap().insert(name, Arc::new(table));
     }
 
     /// Remove a table; returns it if present.
     pub fn drop_table(&self, name: &str) -> Option<Arc<Table>> {
-        self.scan_cache.write().remove(name);
-        self.tables.write().remove(name)
+        self.scan_cache.write().unwrap().remove(name);
+        self.tables.write().unwrap().remove(name)
     }
 
     /// Shared handle to a table.
     pub fn table(&self, name: &str) -> Result<Arc<Table>> {
         self.tables
             .read()
+            .unwrap()
             .get(name)
             .cloned()
             .ok_or_else(|| EngineError::UnknownTable(name.to_string()))
@@ -57,13 +58,13 @@ impl Database {
 
     /// Names of all registered tables.
     pub fn table_names(&self) -> Vec<String> {
-        self.tables.read().keys().cloned().collect()
+        self.tables.read().unwrap().keys().cloned().collect()
     }
 
     /// The rows of a table as a shared, scan-ready batch (cached until the
     /// table is re-registered).
     pub(crate) fn table_rows(&self, name: &str) -> Result<Arc<Rows>> {
-        if let Some(cached) = self.scan_cache.read().get(name) {
+        if let Some(cached) = self.scan_cache.read().unwrap().get(name) {
             return Ok(Arc::clone(cached));
         }
         let table = self.table(name)?;
@@ -71,7 +72,10 @@ impl Database {
             schema: table.schema().clone(),
             rows: table.rows().to_vec(),
         });
-        self.scan_cache.write().insert(name.to_string(), Arc::clone(&rows));
+        self.scan_cache
+            .write()
+            .unwrap()
+            .insert(name.to_string(), Arc::clone(&rows));
         Ok(rows)
     }
 
@@ -82,7 +86,10 @@ impl Database {
 
     /// Run a SQL query string with explicit options.
     pub fn query_with(&self, sql: &str, options: ExecOptions) -> Result<Rows> {
-        let query = parse_query(sql)?;
+        let query = {
+            let _span = conquer_obs::span("parse").field("bytes", sql.len());
+            parse_query(sql)?
+        };
         self.execute_query_with(&query, options)
     }
 
@@ -94,13 +101,72 @@ impl Database {
     /// Run a parsed query with explicit options.
     pub fn execute_query_with(&self, query: &Query, options: ExecOptions) -> Result<Rows> {
         let plan = self.plan(query, options)?;
-        exec::execute(&plan, None)
+        let mut span = conquer_obs::span("execute");
+        let rows = exec::execute(&plan, None)?;
+        span.record("rows", rows.rows.len());
+        Ok(rows)
+    }
+
+    /// Run a parsed query, collecting per-operator runtime stats
+    /// (`EXPLAIN ANALYZE` without the formatting).
+    pub fn execute_query_traced(
+        &self,
+        query: &Query,
+        options: ExecOptions,
+    ) -> Result<(Rows, Plan, crate::stats::NodeStats)> {
+        let plan = self.plan(query, options)?;
+        let mut span = conquer_obs::span("execute");
+        let (rows, stats) = exec::execute_traced(&plan, None)?;
+        span.record("rows", rows.rows.len());
+        Ok((rows, plan, stats))
     }
 
     /// Plan a query without executing it (CTEs are still materialized).
     pub fn plan(&self, query: &Query, options: ExecOptions) -> Result<Plan> {
-        let plan = Planner::new(self, options).plan_query(query)?;
-        Ok(if options.pushdown_filters { crate::opt::optimize(plan) } else { plan })
+        let plan = {
+            let _span = conquer_obs::span("plan")
+                .field("materialize_ctes", options.materialize_ctes)
+                .field("pushdown", options.pushdown_filters);
+            Planner::new(self, options).plan_query(query)?
+        };
+        Ok(if options.pushdown_filters {
+            let _span = conquer_obs::span("optimize");
+            crate::opt::optimize(plan)
+        } else {
+            plan
+        })
+    }
+
+    /// The operator tree a SQL query plans to, as an indented listing.
+    ///
+    /// CTEs are materialized during planning (as at execution time), so the
+    /// printed tree is exactly what [`Database::query`] would run.
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        self.explain_with(sql, ExecOptions::default())
+    }
+
+    /// [`Database::explain`] under explicit options.
+    pub fn explain_with(&self, sql: &str, options: ExecOptions) -> Result<String> {
+        let query = parse_query(sql)?;
+        let plan = self.plan(&query, options)?;
+        Ok(crate::explain::explain(&plan))
+    }
+
+    /// Run a SQL query and return its rows together with the plan listing
+    /// annotated with measured per-operator stats.
+    pub fn explain_analyze(&self, sql: &str) -> Result<(Rows, String)> {
+        self.explain_analyze_with(sql, ExecOptions::default())
+    }
+
+    /// [`Database::explain_analyze`] under explicit options.
+    pub fn explain_analyze_with(&self, sql: &str, options: ExecOptions) -> Result<(Rows, String)> {
+        let query = {
+            let _span = conquer_obs::span("parse").field("bytes", sql.len());
+            parse_query(sql)?
+        };
+        let (rows, plan, stats) = self.execute_query_traced(&query, options)?;
+        let text = crate::explain::explain_analyze(&plan, &stats);
+        Ok((rows, text))
     }
 
     /// Execute a `;`-separated script of statements (`CREATE TABLE`,
@@ -118,15 +184,23 @@ impl Database {
         match stmt {
             Statement::Query(q) => Ok(Some(self.execute_query(q)?)),
             Statement::CreateTable { name, columns } => {
-                if self.tables.read().contains_key(name) {
-                    return Err(EngineError::Catalog(format!("table `{name}` already exists")));
+                if self.tables.read().unwrap().contains_key(name) {
+                    return Err(EngineError::Catalog(format!(
+                        "table `{name}` already exists"
+                    )));
                 }
-                let cols: Vec<(&str, DataType)> =
-                    columns.iter().map(|c| (c.name.as_str(), DataType::from(c.ty))).collect();
+                let cols: Vec<(&str, DataType)> = columns
+                    .iter()
+                    .map(|c| (c.name.as_str(), DataType::from(c.ty)))
+                    .collect();
                 self.register(Table::new(name.clone(), cols));
                 Ok(None)
             }
-            Statement::Insert { table, columns, rows } => {
+            Statement::Insert {
+                table,
+                columns,
+                rows,
+            } => {
                 self.insert(table, columns, rows)?;
                 Ok(None)
             }
@@ -169,16 +243,17 @@ impl Database {
 fn eval_const(expr: &Expr) -> Result<Value> {
     match expr {
         Expr::Literal(l) => Ok(literal_value(l)),
-        Expr::UnaryOp { op: conquer_sql::UnaryOp::Neg, expr } => {
-            match eval_const(expr)? {
-                Value::Int(v) => Ok(Value::Int(-v)),
-                Value::Float(v) => Ok(Value::Float(-v)),
-                other => Err(EngineError::TypeError(format!(
-                    "cannot negate {}",
-                    other.type_name()
-                ))),
-            }
-        }
+        Expr::UnaryOp {
+            op: conquer_sql::UnaryOp::Neg,
+            expr,
+        } => match eval_const(expr)? {
+            Value::Int(v) => Ok(Value::Int(-v)),
+            Value::Float(v) => Ok(Value::Float(-v)),
+            other => Err(EngineError::TypeError(format!(
+                "cannot negate {}",
+                other.type_name()
+            ))),
+        },
         _ => Err(EngineError::Unsupported(
             "INSERT values must be literal constants".into(),
         )),
@@ -211,7 +286,8 @@ mod tests {
     #[test]
     fn insert_with_column_list_fills_nulls() {
         let db = Database::new();
-        db.run_script("create table t (a integer, b integer)").unwrap();
+        db.run_script("create table t (a integer, b integer)")
+            .unwrap();
         db.run_script("insert into t (b) values (7)").unwrap();
         let rows = db.query("select a, b from t").unwrap();
         assert_eq!(rows.rows, vec![vec![Value::Null, Value::Int(7)]]);
@@ -227,7 +303,8 @@ mod tests {
     #[test]
     fn insert_negative_values() {
         let db = Database::new();
-        db.run_script("create table t (a integer); insert into t values (-5)").unwrap();
+        db.run_script("create table t (a integer); insert into t values (-5)")
+            .unwrap();
         let rows = db.query("select a from t").unwrap();
         assert_eq!(rows.rows, vec![vec![Value::Int(-5)]]);
     }

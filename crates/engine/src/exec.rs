@@ -8,12 +8,15 @@
 
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
+use std::mem;
 use std::sync::Arc;
+use std::time::Instant;
 
 use crate::error::{EngineError, Result};
 use crate::expr::{BoundExpr, Env};
 use crate::plan::{AggFunc, AggSpec, JoinType, Plan};
 use crate::schema::Schema;
+use crate::stats::NodeStats;
 use crate::table::{Row, Rows};
 use crate::value::{Key, KeyValue, Value};
 
@@ -51,7 +54,10 @@ impl Batch {
     pub fn into_rows(self) -> Rows {
         match self {
             Batch::Owned(r) => r,
-            Batch::Shared { rows, schema } => Rows { schema, rows: rows.rows.clone() },
+            Batch::Shared { rows, schema } => Rows {
+                schema,
+                rows: rows.rows.clone(),
+            },
         }
     }
 }
@@ -64,46 +70,107 @@ pub fn execute(plan: &Plan, outer: Option<&Env<'_>>) -> Result<Rows> {
 
 /// Execute a plan, sharing pre-materialized rows where possible.
 pub fn execute_batch(plan: &Plan, outer: Option<&Env<'_>>) -> Result<Batch> {
-    match plan {
-        Plan::Scan { rows, schema } => {
-            Ok(Batch::Shared { rows: Arc::clone(rows), schema: schema.clone() })
+    execute_batch_stats(plan, outer, None)
+}
+
+/// Execute a plan, additionally collecting per-operator runtime stats into
+/// a [`NodeStats`] tree shaped like the plan (`EXPLAIN ANALYZE`).
+pub fn execute_traced(plan: &Plan, outer: Option<&Env<'_>>) -> Result<(Rows, NodeStats)> {
+    let mut stats = NodeStats::for_plan(plan);
+    let rows = execute_batch_stats(plan, outer, Some(&mut stats))?.into_rows();
+    Ok((rows, stats))
+}
+
+/// Execute a plan, filling `stats` (when present) for this operator and
+/// everything below it. `stats` must mirror the plan's shape — build it
+/// with [`NodeStats::for_plan`].
+pub fn execute_batch_stats(
+    plan: &Plan,
+    outer: Option<&Env<'_>>,
+    mut stats: Option<&mut NodeStats>,
+) -> Result<Batch> {
+    let start = stats.as_ref().map(|_| Instant::now());
+    let result = exec_node(plan, outer, &mut stats);
+    if let (Some(s), Some(t)) = (stats, start) {
+        s.invocations += 1;
+        s.wall += t.elapsed();
+        if let Ok(batch) = &result {
+            s.rows_out += batch.len() as u64;
         }
+    }
+    result
+}
+
+/// The untimed operator dispatch. Children are executed through
+/// [`execute_batch_stats`] with the matching child stats node, so timing
+/// nests correctly; operator-internal counters are filled in by the
+/// `exec_*` helpers.
+fn exec_node(
+    plan: &Plan,
+    outer: Option<&Env<'_>>,
+    stats: &mut Option<&mut NodeStats>,
+) -> Result<Batch> {
+    match plan {
+        Plan::Scan { rows, schema } => Ok(Batch::Shared {
+            rows: Arc::clone(rows),
+            schema: schema.clone(),
+        }),
         Plan::Unit => Ok(Batch::Owned(Rows {
             schema: plan.schema().clone(),
             rows: vec![Vec::new()],
         })),
         Plan::Filter { input, predicate } => {
-            let child = execute_batch(input, outer)?;
+            let child = execute_batch_stats(input, outer, child_stats(stats, 0))?;
             let mut out = Vec::new();
             for row in child.rows() {
                 if eval_predicate_on_row(predicate, row, outer)? == Some(true) {
                     out.push(row.clone());
                 }
             }
-            Ok(Batch::Owned(Rows { schema: child.schema().clone(), rows: out }))
+            Ok(Batch::Owned(Rows {
+                schema: child.schema().clone(),
+                rows: out,
+            }))
         }
-        Plan::Project { input, exprs, schema } => {
-            let child = execute_batch(input, outer)?;
+        Plan::Project {
+            input,
+            exprs,
+            schema,
+        } => {
+            let child = execute_batch_stats(input, outer, child_stats(stats, 0))?;
             let mut out = Vec::with_capacity(child.len());
             for row in child.rows() {
                 out.push(project_row(row, exprs, outer)?);
             }
-            Ok(Batch::Owned(Rows { schema: schema.clone(), rows: out }))
+            Ok(Batch::Owned(Rows {
+                schema: schema.clone(),
+                rows: out,
+            }))
         }
         Plan::Rename { input, schema } => {
-            let child = execute_batch(input, outer)?;
+            let child = execute_batch_stats(input, outer, child_stats(stats, 0))?;
             Ok(match child {
-                Batch::Owned(r) => {
-                    Batch::Owned(Rows { schema: schema.clone(), rows: r.rows })
-                }
-                Batch::Shared { rows, .. } => {
-                    Batch::Shared { rows, schema: schema.clone() }
-                }
+                Batch::Owned(r) => Batch::Owned(Rows {
+                    schema: schema.clone(),
+                    rows: r.rows,
+                }),
+                Batch::Shared { rows, .. } => Batch::Shared {
+                    rows,
+                    schema: schema.clone(),
+                },
             })
         }
-        Plan::HashJoin { left, right, kind, left_keys, right_keys, residual, schema } => {
-            let l = execute_batch(left, outer)?;
-            let r = execute_batch(right, outer)?;
+        Plan::HashJoin {
+            left,
+            right,
+            kind,
+            left_keys,
+            right_keys,
+            residual,
+            schema,
+        } => {
+            let l = execute_batch_stats(left, outer, child_stats(stats, 0))?;
+            let r = execute_batch_stats(right, outer, child_stats(stats, 1))?;
             Ok(Batch::Owned(exec_hash_join(
                 l,
                 r,
@@ -113,11 +180,18 @@ pub fn execute_batch(plan: &Plan, outer: Option<&Env<'_>>) -> Result<Batch> {
                 residual.as_ref(),
                 schema,
                 outer,
+                stats.as_deref_mut(),
             )?))
         }
-        Plan::NestedLoopJoin { left, right, kind, on, schema } => {
-            let l = execute_batch(left, outer)?;
-            let r = execute_batch(right, outer)?;
+        Plan::NestedLoopJoin {
+            left,
+            right,
+            kind,
+            on,
+            schema,
+        } => {
+            let l = execute_batch_stats(left, outer, child_stats(stats, 0))?;
+            let r = execute_batch_stats(right, outer, child_stats(stats, 1))?;
             Ok(Batch::Owned(exec_nested_loop_join(
                 l,
                 r,
@@ -125,14 +199,27 @@ pub fn execute_batch(plan: &Plan, outer: Option<&Env<'_>>) -> Result<Batch> {
                 on.as_ref(),
                 schema,
                 outer,
+                stats.as_deref_mut(),
             )?))
         }
-        Plan::Aggregate { input, group_exprs, aggs, schema } => {
-            let child = execute_batch(input, outer)?;
-            Ok(Batch::Owned(exec_aggregate(child, group_exprs, aggs, schema, outer)?))
+        Plan::Aggregate {
+            input,
+            group_exprs,
+            aggs,
+            schema,
+        } => {
+            let child = execute_batch_stats(input, outer, child_stats(stats, 0))?;
+            Ok(Batch::Owned(exec_aggregate(
+                child,
+                group_exprs,
+                aggs,
+                schema,
+                outer,
+                stats.as_deref_mut(),
+            )?))
         }
         Plan::Distinct { input } => {
-            let child = execute_batch(input, outer)?;
+            let child = execute_batch_stats(input, outer, child_stats(stats, 0))?;
             let mut seen: HashSet<Key> = HashSet::with_capacity(child.len());
             let mut out = Vec::new();
             for row in child.rows() {
@@ -140,31 +227,45 @@ pub fn execute_batch(plan: &Plan, outer: Option<&Env<'_>>) -> Result<Batch> {
                     out.push(row.clone());
                 }
             }
-            Ok(Batch::Owned(Rows { schema: child.schema().clone(), rows: out }))
+            if let Some(s) = stats.as_deref_mut() {
+                s.build_rows += child.len() as u64;
+                s.est_mem_bytes += (seen.capacity() * mem::size_of::<Key>()) as u64;
+            }
+            Ok(Batch::Owned(Rows {
+                schema: child.schema().clone(),
+                rows: out,
+            }))
         }
         Plan::UnionAll { left, right } => {
-            let l = execute_batch(left, outer)?;
-            let r = execute_batch(right, outer)?;
+            let l = execute_batch_stats(left, outer, child_stats(stats, 0))?;
+            let r = execute_batch_stats(right, outer, child_stats(stats, 1))?;
             let mut rows = l.into_rows();
             match r {
                 Batch::Owned(o) => rows.rows.extend(o.rows),
-                Batch::Shared { rows: shared, .. } => {
-                    rows.rows.extend(shared.rows.iter().cloned())
-                }
+                Batch::Shared { rows: shared, .. } => rows.rows.extend(shared.rows.iter().cloned()),
             }
             Ok(Batch::Owned(rows))
         }
         Plan::Sort { input, keys } => {
-            let child = execute_batch(input, outer)?.into_rows();
+            let child = execute_batch_stats(input, outer, child_stats(stats, 0))?.into_rows();
             Ok(Batch::Owned(exec_sort(child, keys, outer)?))
         }
         Plan::Limit { input, n } => {
-            let child = execute_batch(input, outer)?;
+            let child = execute_batch_stats(input, outer, child_stats(stats, 0))?;
             let take = (*n as usize).min(child.len());
             let rows = child.rows()[..take].to_vec();
-            Ok(Batch::Owned(Rows { schema: child.schema().clone(), rows }))
+            Ok(Batch::Owned(Rows {
+                schema: child.schema().clone(),
+                rows,
+            }))
         }
     }
+}
+
+/// Reborrow the stats node for child `i` of the current operator, keeping
+/// the `Option` shape `execute_batch_stats` expects.
+fn child_stats<'a>(stats: &'a mut Option<&mut NodeStats>, i: usize) -> Option<&'a mut NodeStats> {
+    stats.as_deref_mut().map(|s| &mut s.children[i])
 }
 
 /// Evaluate an expression for a given current row, chaining outer scopes.
@@ -204,15 +305,26 @@ fn exec_hash_join(
     residual: Option<&BoundExpr>,
     schema: &Schema,
     outer: Option<&Env<'_>>,
+    mut stats: Option<&mut NodeStats>,
 ) -> Result<Rows> {
+    if let Some(s) = stats.as_deref_mut() {
+        s.build_rows += right.len() as u64;
+        s.probe_rows += left.len() as u64;
+    }
     // Early outs for empty sides: an inner join with an empty input is
     // empty; a semi join against nothing is empty; an anti join against
     // nothing passes everything through. (The annotation-aware Filter often
     // has an empty candidates side on nearly-consistent databases.)
     if right.is_empty() {
         return Ok(match kind {
-            JoinType::Inner | JoinType::Semi => Rows { schema: schema.clone(), rows: Vec::new() },
-            JoinType::Anti => Rows { schema: schema.clone(), rows: left.into_rows().rows },
+            JoinType::Inner | JoinType::Semi => Rows {
+                schema: schema.clone(),
+                rows: Vec::new(),
+            },
+            JoinType::Anti => Rows {
+                schema: schema.clone(),
+                rows: left.into_rows().rows,
+            },
             JoinType::LeftOuter => {
                 let right_width = right.schema().len();
                 let rows = left
@@ -224,19 +336,25 @@ fn exec_hash_join(
                         row
                     })
                     .collect();
-                Rows { schema: schema.clone(), rows }
+                Rows {
+                    schema: schema.clone(),
+                    rows,
+                }
             }
         });
     }
     if left.is_empty() {
-        return Ok(Rows { schema: schema.clone(), rows: Vec::new() });
+        return Ok(Rows {
+            schema: schema.clone(),
+            rows: Vec::new(),
+        });
     }
 
     // Inner joins build the hash table on the smaller side; the output
     // column order (left ++ right) is preserved when emitting.
     if kind == JoinType::Inner && left.len() < right.len() && residual.is_none() {
         return exec_hash_join_inner_swapped(
-            right, left, right_keys, left_keys, schema, outer,
+            right, left, right_keys, left_keys, schema, outer, stats,
         );
     }
 
@@ -250,15 +368,24 @@ fn exec_hash_join(
         }
         table.entry(key).or_default().push(i);
     }
+    if let Some(s) = stats.as_deref_mut() {
+        s.est_mem_bytes += hash_table_bytes(&table);
+    }
 
     let right_width = right.schema().len();
+    let mut comparisons = 0u64;
     let mut out = Vec::new();
     for lrow in left.rows() {
         let key = Key::from_values(&project_row(lrow, left_keys, outer)?);
-        let matches = if key.has_null() { None } else { table.get(&key) };
+        let matches = if key.has_null() {
+            None
+        } else {
+            table.get(&key)
+        };
         let mut matched = false;
         if let Some(idxs) = matches {
             for &ri in idxs {
+                comparisons += 1;
                 // Residual conditions are part of the ON clause: they decide
                 // whether this candidate pair is a match.
                 let pass = match residual {
@@ -294,12 +421,27 @@ fn exec_hash_join(
             _ => {}
         }
     }
-    Ok(Rows { schema: schema.clone(), rows: out })
+    if let Some(s) = stats {
+        s.comparisons += comparisons;
+    }
+    Ok(Rows {
+        schema: schema.clone(),
+        rows: out,
+    })
+}
+
+/// Rough footprint of a join hash table: map entry overhead plus one
+/// row index per build row.
+fn hash_table_bytes(table: &HashMap<Key, Vec<usize>>) -> u64 {
+    let entry = mem::size_of::<Key>() + mem::size_of::<Vec<usize>>();
+    let indices: usize = table.values().map(Vec::len).sum();
+    (table.capacity() * entry + indices * mem::size_of::<usize>()) as u64
 }
 
 /// Inner hash join probing with the *larger* side: `probe` is the original
 /// right input, `build` the original left. Output rows still lay out
 /// original-left columns first.
+#[allow(clippy::too_many_arguments)]
 fn exec_hash_join_inner_swapped(
     probe: Batch,
     build: Batch,
@@ -307,6 +449,7 @@ fn exec_hash_join_inner_swapped(
     build_keys: &[BoundExpr],
     schema: &Schema,
     outer: Option<&Env<'_>>,
+    mut stats: Option<&mut NodeStats>,
 ) -> Result<Rows> {
     let build_rows = build.rows();
     let mut table: HashMap<Key, Vec<usize>> = HashMap::with_capacity(build_rows.len());
@@ -317,9 +460,16 @@ fn exec_hash_join_inner_swapped(
         }
         table.entry(key).or_default().push(i);
     }
-    if table.is_empty() {
-        return Ok(Rows { schema: schema.clone(), rows: Vec::new() });
+    if let Some(s) = stats.as_deref_mut() {
+        s.est_mem_bytes += hash_table_bytes(&table);
     }
+    if table.is_empty() {
+        return Ok(Rows {
+            schema: schema.clone(),
+            rows: Vec::new(),
+        });
+    }
+    let mut comparisons = 0u64;
     let mut out = Vec::new();
     for prow in probe.rows() {
         let key = Key::from_values(&project_row(prow, probe_keys, outer)?);
@@ -328,6 +478,7 @@ fn exec_hash_join_inner_swapped(
         }
         if let Some(idxs) = table.get(&key) {
             for &bi in idxs {
+                comparisons += 1;
                 let mut combined = Vec::with_capacity(build_rows[bi].len() + prow.len());
                 combined.extend(build_rows[bi].iter().cloned());
                 combined.extend(prow.iter().cloned());
@@ -335,9 +486,16 @@ fn exec_hash_join_inner_swapped(
             }
         }
     }
-    Ok(Rows { schema: schema.clone(), rows: out })
+    if let Some(s) = stats {
+        s.comparisons += comparisons;
+    }
+    Ok(Rows {
+        schema: schema.clone(),
+        rows: out,
+    })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn exec_nested_loop_join(
     left: Batch,
     right: Batch,
@@ -345,12 +503,15 @@ fn exec_nested_loop_join(
     on: Option<&BoundExpr>,
     schema: &Schema,
     outer: Option<&Env<'_>>,
+    stats: Option<&mut NodeStats>,
 ) -> Result<Rows> {
     let right_width = right.schema().len();
+    let mut comparisons = 0u64;
     let mut out = Vec::new();
     for lrow in left.rows() {
         let mut matched = false;
         for rrow in right.rows() {
+            comparisons += 1;
             let mut combined = lrow.clone();
             combined.extend(rrow.iter().cloned());
             let pass = match on {
@@ -377,7 +538,15 @@ fn exec_nested_loop_join(
             _ => {}
         }
     }
-    Ok(Rows { schema: schema.clone(), rows: out })
+    if let Some(s) = stats {
+        s.build_rows += right.len() as u64;
+        s.probe_rows += left.len() as u64;
+        s.comparisons += comparisons;
+    }
+    Ok(Rows {
+        schema: schema.clone(),
+        rows: out,
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -398,9 +567,18 @@ impl Accumulator {
     fn new(func: AggFunc) -> Accumulator {
         match func {
             AggFunc::Count => Accumulator::Count(0),
-            AggFunc::Sum => Accumulator::SumInt { sum: 0, seen: false },
-            AggFunc::Min => Accumulator::MinMax { best: None, is_min: true },
-            AggFunc::Max => Accumulator::MinMax { best: None, is_min: false },
+            AggFunc::Sum => Accumulator::SumInt {
+                sum: 0,
+                seen: false,
+            },
+            AggFunc::Min => Accumulator::MinMax {
+                best: None,
+                is_min: true,
+            },
+            AggFunc::Max => Accumulator::MinMax {
+                best: None,
+                is_min: false,
+            },
             AggFunc::Avg => Accumulator::Avg { sum: 0.0, count: 0 },
         }
     }
@@ -414,14 +592,17 @@ impl Accumulator {
             Accumulator::Count(n) => *n += 1,
             Accumulator::SumInt { sum, seen } => match value {
                 Value::Int(v) => {
-                    *sum = sum.checked_add(*v).ok_or_else(|| {
-                        EngineError::Execution("integer overflow in SUM".into())
-                    })?;
+                    *sum = sum
+                        .checked_add(*v)
+                        .ok_or_else(|| EngineError::Execution("integer overflow in SUM".into()))?;
                     *seen = true;
                 }
                 Value::Float(v) => {
                     let promoted = *sum as f64 + v;
-                    *self = Accumulator::SumFloat { sum: promoted, seen: true };
+                    *self = Accumulator::SumFloat {
+                        sum: promoted,
+                        seen: true,
+                    };
                 }
                 other => {
                     return Err(EngineError::TypeError(format!(
@@ -509,7 +690,13 @@ impl GroupState {
             accs: aggs.iter().map(|a| Accumulator::new(a.func)).collect(),
             distinct_seen: aggs
                 .iter()
-                .map(|a| if a.distinct { Some(HashSet::new()) } else { None })
+                .map(|a| {
+                    if a.distinct {
+                        Some(HashSet::new())
+                    } else {
+                        None
+                    }
+                })
                 .collect(),
         }
     }
@@ -539,6 +726,7 @@ fn exec_aggregate(
     aggs: &[AggSpec],
     schema: &Schema,
     outer: Option<&Env<'_>>,
+    stats: Option<&mut NodeStats>,
 ) -> Result<Rows> {
     let mut groups: HashMap<Key, (Row, GroupState)> = HashMap::new();
     // Preserve first-seen group order for deterministic output.
@@ -558,13 +746,25 @@ fn exec_aggregate(
         }
     }
 
+    if let Some(s) = stats {
+        s.build_rows += input.len() as u64;
+        // Group table footprint: per-group key, group values, accumulators.
+        let per_group = mem::size_of::<Key>()
+            + mem::size_of::<(Row, GroupState)>()
+            + aggs.len() * mem::size_of::<Accumulator>();
+        s.est_mem_bytes += (groups.capacity() * per_group) as u64;
+    }
+
     // A global aggregate (no GROUP BY) over zero rows yields one row of
     // "empty" aggregate values.
     if group_exprs.is_empty() && groups.is_empty() {
         let state = GroupState::new(aggs);
         let mut row = Vec::new();
         row.extend(state.accs.into_iter().map(Accumulator::finish));
-        return Ok(Rows { schema: schema.clone(), rows: vec![row] });
+        return Ok(Rows {
+            schema: schema.clone(),
+            rows: vec![row],
+        });
     }
 
     let mut out = Vec::with_capacity(groups.len());
@@ -574,7 +774,10 @@ fn exec_aggregate(
         row.extend(state.accs.into_iter().map(Accumulator::finish));
         out.push(row);
     }
-    Ok(Rows { schema: schema.clone(), rows: out })
+    Ok(Rows {
+        schema: schema.clone(),
+        rows: out,
+    })
 }
 
 fn exec_sort(mut input: Rows, keys: &[(BoundExpr, bool)], outer: Option<&Env<'_>>) -> Result<Rows> {

@@ -18,30 +18,64 @@ use crate::value::{ArithOp, Value};
 #[derive(Debug, Clone)]
 pub enum BoundExpr {
     /// Column at `depth` scopes up (0 = current row) and position `index`.
-    Column { depth: usize, index: usize },
+    Column {
+        depth: usize,
+        index: usize,
+    },
     Literal(Value),
-    Binary { op: ast::BinaryOp, left: Box<BoundExpr>, right: Box<BoundExpr> },
+    Binary {
+        op: ast::BinaryOp,
+        left: Box<BoundExpr>,
+        right: Box<BoundExpr>,
+    },
     Not(Box<BoundExpr>),
     Neg(Box<BoundExpr>),
-    IsNull { expr: Box<BoundExpr>, negated: bool },
-    InList { expr: Box<BoundExpr>, list: Vec<BoundExpr>, negated: bool },
-    Like { expr: Box<BoundExpr>, pattern: Box<BoundExpr>, negated: bool },
-    Case { branches: Vec<(BoundExpr, BoundExpr)>, else_expr: Option<Box<BoundExpr>> },
-    Func { func: ScalarFunc, args: Vec<BoundExpr> },
+    IsNull {
+        expr: Box<BoundExpr>,
+        negated: bool,
+    },
+    InList {
+        expr: Box<BoundExpr>,
+        list: Vec<BoundExpr>,
+        negated: bool,
+    },
+    Like {
+        expr: Box<BoundExpr>,
+        pattern: Box<BoundExpr>,
+        negated: bool,
+    },
+    Case {
+        branches: Vec<(BoundExpr, BoundExpr)>,
+        else_expr: Option<Box<BoundExpr>>,
+    },
+    Func {
+        func: ScalarFunc,
+        args: Vec<BoundExpr>,
+    },
     /// Reference to a computed aggregate slot; only valid above an
     /// `Aggregate` operator whose output lays out group columns first and
     /// aggregate slots after them. Resolved to a plain column index.
-    AggRef { index: usize },
+    AggRef {
+        index: usize,
+    },
     /// A subquery evaluated per row (correlated or used as a value).
-    Subquery { plan: Box<Plan>, kind: SubqueryKind },
+    Subquery {
+        plan: Box<Plan>,
+        kind: SubqueryKind,
+    },
 }
 
 /// How a row-level subquery result is consumed.
 #[derive(Debug, Clone)]
 pub enum SubqueryKind {
-    Exists { negated: bool },
+    Exists {
+        negated: bool,
+    },
     /// `expr [NOT] IN (subquery)` with full SQL NULL semantics.
-    In { expr: Box<BoundExpr>, negated: bool },
+    In {
+        expr: Box<BoundExpr>,
+        negated: bool,
+    },
     /// Scalar subquery: zero rows yield NULL, more than one row is an error.
     Scalar,
 }
@@ -73,30 +107,73 @@ impl PartialEq for BoundExpr {
     fn eq(&self, other: &BoundExpr) -> bool {
         use BoundExpr::*;
         match (self, other) {
-            (Column { depth: d1, index: i1 }, Column { depth: d2, index: i2 }) => {
-                d1 == d2 && i1 == i2
-            }
+            (
+                Column {
+                    depth: d1,
+                    index: i1,
+                },
+                Column {
+                    depth: d2,
+                    index: i2,
+                },
+            ) => d1 == d2 && i1 == i2,
             (Literal(a), Literal(b)) => a == b,
             (
-                Binary { op: o1, left: l1, right: r1 },
-                Binary { op: o2, left: l2, right: r2 },
+                Binary {
+                    op: o1,
+                    left: l1,
+                    right: r1,
+                },
+                Binary {
+                    op: o2,
+                    left: l2,
+                    right: r2,
+                },
             ) => o1 == o2 && l1 == l2 && r1 == r2,
             (Not(a), Not(b)) | (Neg(a), Neg(b)) => a == b,
             (
-                IsNull { expr: e1, negated: n1 },
-                IsNull { expr: e2, negated: n2 },
+                IsNull {
+                    expr: e1,
+                    negated: n1,
+                },
+                IsNull {
+                    expr: e2,
+                    negated: n2,
+                },
             ) => n1 == n2 && e1 == e2,
             (
-                InList { expr: e1, list: l1, negated: n1 },
-                InList { expr: e2, list: l2, negated: n2 },
+                InList {
+                    expr: e1,
+                    list: l1,
+                    negated: n1,
+                },
+                InList {
+                    expr: e2,
+                    list: l2,
+                    negated: n2,
+                },
             ) => n1 == n2 && e1 == e2 && l1 == l2,
             (
-                Like { expr: e1, pattern: p1, negated: n1 },
-                Like { expr: e2, pattern: p2, negated: n2 },
+                Like {
+                    expr: e1,
+                    pattern: p1,
+                    negated: n1,
+                },
+                Like {
+                    expr: e2,
+                    pattern: p2,
+                    negated: n2,
+                },
             ) => n1 == n2 && e1 == e2 && p1 == p2,
             (
-                Case { branches: b1, else_expr: e1 },
-                Case { branches: b2, else_expr: e2 },
+                Case {
+                    branches: b1,
+                    else_expr: e1,
+                },
+                Case {
+                    branches: b2,
+                    else_expr: e2,
+                },
             ) => b1 == b2 && e1 == e2,
             (Func { func: f1, args: a1 }, Func { func: f2, args: a2 }) => f1 == f2 && a1 == a2,
             (AggRef { index: i1 }, AggRef { index: i2 }) => i1 == i2,
@@ -129,7 +206,10 @@ impl BoundExpr {
                 .unwrap_or(0)
                 .max(expr.max_depth()),
             Like { expr, pattern, .. } => expr.max_depth().max(pattern.max_depth()),
-            Case { branches, else_expr } => branches
+            Case {
+                branches,
+                else_expr,
+            } => branches
                 .iter()
                 .map(|(c, v)| c.max_depth().max(v.max_depth()))
                 .chain(else_expr.iter().map(|e| e.max_depth()))
@@ -169,7 +249,10 @@ impl BoundExpr {
                 expr.shift_depth(delta);
                 pattern.shift_depth(delta);
             }
-            Case { branches, else_expr } => {
+            Case {
+                branches,
+                else_expr,
+            } => {
                 for (c, v) in branches {
                     c.shift_depth(delta);
                     v.shift_depth(delta);
@@ -206,19 +289,22 @@ impl<'a> Env<'a> {
     }
 
     pub fn push(row: &'a [Value], parent: &'a Env<'a>) -> Env<'a> {
-        Env { row, parent: Some(parent) }
+        Env {
+            row,
+            parent: Some(parent),
+        }
     }
 
     fn lookup(&self, depth: usize, index: usize) -> Result<&Value> {
         let mut env = self;
         for _ in 0..depth {
-            env = env.parent.ok_or_else(|| {
-                EngineError::Execution("scope depth exceeds environment".into())
-            })?;
+            env = env
+                .parent
+                .ok_or_else(|| EngineError::Execution("scope depth exceeds environment".into()))?;
         }
-        env.row.get(index).ok_or_else(|| {
-            EngineError::Execution(format!("column index {index} out of bounds"))
-        })
+        env.row
+            .get(index)
+            .ok_or_else(|| EngineError::Execution(format!("column index {index} out of bounds")))
     }
 }
 
@@ -262,9 +348,11 @@ impl BoundExpr {
             BoundExpr::Not(e) => Ok(bool_value(not3(e.eval(env)?.as_bool()?))),
             BoundExpr::Neg(e) => match e.eval(env)? {
                 Value::Null => Ok(Value::Null),
-                Value::Int(v) => Ok(Value::Int(v.checked_neg().ok_or_else(|| {
-                    EngineError::Execution("integer overflow".into())
-                })?)),
+                Value::Int(v) => {
+                    Ok(Value::Int(v.checked_neg().ok_or_else(|| {
+                        EngineError::Execution("integer overflow".into())
+                    })?))
+                }
                 Value::Float(v) => Ok(Value::Float(-v)),
                 other => Err(EngineError::TypeError(format!(
                     "cannot negate {}",
@@ -275,7 +363,11 @@ impl BoundExpr {
                 let isnull = expr.eval(env)?.is_null();
                 Ok(Value::Bool(isnull != *negated))
             }
-            BoundExpr::InList { expr, list, negated } => {
+            BoundExpr::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 let needle = expr.eval(env)?;
                 let mut any_unknown = false;
                 let mut found = false;
@@ -298,7 +390,11 @@ impl BoundExpr {
                 };
                 Ok(bool_value(if *negated { not3(raw) } else { raw }))
             }
-            BoundExpr::Like { expr, pattern, negated } => {
+            BoundExpr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
                 let v = expr.eval(env)?;
                 let p = pattern.eval(env)?;
                 match (&v, &p) {
@@ -314,7 +410,10 @@ impl BoundExpr {
                     ))),
                 }
             }
-            BoundExpr::Case { branches, else_expr } => {
+            BoundExpr::Case {
+                branches,
+                else_expr,
+            } => {
                 for (cond, value) in branches {
                     if cond.eval(env)?.as_bool()? == Some(true) {
                         return value.eval(env);
@@ -338,14 +437,22 @@ impl BoundExpr {
         // AND/OR need short-circuit three-valued handling rather than
         // strict value evaluation.
         match self {
-            BoundExpr::Binary { op: ast::BinaryOp::And, left, right } => {
+            BoundExpr::Binary {
+                op: ast::BinaryOp::And,
+                left,
+                right,
+            } => {
                 let l = left.eval_predicate(env)?;
                 if l == Some(false) {
                     return Ok(Some(false));
                 }
                 Ok(and3(l, right.eval_predicate(env)?))
             }
-            BoundExpr::Binary { op: ast::BinaryOp::Or, left, right } => {
+            BoundExpr::Binary {
+                op: ast::BinaryOp::Or,
+                left,
+                right,
+            } => {
                 let l = left.eval_predicate(env)?;
                 if l == Some(true) {
                     return Ok(Some(true));
@@ -409,9 +516,11 @@ fn eval_func(func: ScalarFunc, args: &[BoundExpr], env: &Env<'_>) -> Result<Valu
             let v = args[0].eval(env)?;
             match v {
                 Value::Null => Ok(Value::Null),
-                Value::Int(i) => Ok(Value::Int(i.checked_abs().ok_or_else(|| {
-                    EngineError::Execution("integer overflow".into())
-                })?)),
+                Value::Int(i) => {
+                    Ok(Value::Int(i.checked_abs().ok_or_else(|| {
+                        EngineError::Execution("integer overflow".into())
+                    })?))
+                }
                 Value::Float(f) => Ok(Value::Float(f.abs())),
                 other => Err(EngineError::TypeError(format!(
                     "abs() expects a number, got {}",

@@ -28,16 +28,20 @@
 pub mod database;
 pub mod error;
 pub mod exec;
+pub mod explain;
 pub mod expr;
 pub mod opt;
 pub mod plan;
 pub mod schema;
+pub mod stats;
 pub mod table;
 pub mod value;
 
 pub use database::Database;
 pub use error::{EngineError, Result};
+pub use explain::{explain, explain_analyze, stats_json};
 pub use plan::{ExecOptions, Plan};
 pub use schema::{Column, DataType, Schema};
+pub use stats::NodeStats;
 pub use table::{Row, Rows, Table};
 pub use value::Value;

@@ -20,43 +20,75 @@ pub fn optimize(plan: Plan) -> Plan {
             let conjuncts = split_bound_conjuncts(predicate);
             push_filter(input, conjuncts)
         }
-        Plan::Project { input, exprs, schema } => {
-            Plan::Project { input: Box::new(optimize(*input)), exprs, schema }
-        }
-        Plan::Rename { input, schema } => {
-            Plan::Rename { input: Box::new(optimize(*input)), schema }
-        }
-        Plan::HashJoin { left, right, kind, left_keys, right_keys, residual, schema } => {
-            Plan::HashJoin {
-                left: Box::new(optimize(*left)),
-                right: Box::new(optimize(*right)),
-                kind,
-                left_keys,
-                right_keys,
-                residual,
-                schema,
-            }
-        }
-        Plan::NestedLoopJoin { left, right, kind, on, schema } => Plan::NestedLoopJoin {
+        Plan::Project {
+            input,
+            exprs,
+            schema,
+        } => Plan::Project {
+            input: Box::new(optimize(*input)),
+            exprs,
+            schema,
+        },
+        Plan::Rename { input, schema } => Plan::Rename {
+            input: Box::new(optimize(*input)),
+            schema,
+        },
+        Plan::HashJoin {
+            left,
+            right,
+            kind,
+            left_keys,
+            right_keys,
+            residual,
+            schema,
+        } => Plan::HashJoin {
+            left: Box::new(optimize(*left)),
+            right: Box::new(optimize(*right)),
+            kind,
+            left_keys,
+            right_keys,
+            residual,
+            schema,
+        },
+        Plan::NestedLoopJoin {
+            left,
+            right,
+            kind,
+            on,
+            schema,
+        } => Plan::NestedLoopJoin {
             left: Box::new(optimize(*left)),
             right: Box::new(optimize(*right)),
             kind,
             on,
             schema,
         },
-        Plan::Aggregate { input, group_exprs, aggs, schema } => Plan::Aggregate {
+        Plan::Aggregate {
+            input,
+            group_exprs,
+            aggs,
+            schema,
+        } => Plan::Aggregate {
             input: Box::new(optimize(*input)),
             group_exprs,
             aggs,
             schema,
         },
-        Plan::Distinct { input } => Plan::Distinct { input: Box::new(optimize(*input)) },
+        Plan::Distinct { input } => Plan::Distinct {
+            input: Box::new(optimize(*input)),
+        },
         Plan::UnionAll { left, right } => Plan::UnionAll {
             left: Box::new(optimize(*left)),
             right: Box::new(optimize(*right)),
         },
-        Plan::Sort { input, keys } => Plan::Sort { input: Box::new(optimize(*input)), keys },
-        Plan::Limit { input, n } => Plan::Limit { input: Box::new(optimize(*input)), n },
+        Plan::Sort { input, keys } => Plan::Sort {
+            input: Box::new(optimize(*input)),
+            keys,
+        },
+        Plan::Limit { input, n } => Plan::Limit {
+            input: Box::new(optimize(*input)),
+            n,
+        },
         leaf @ (Plan::Scan { .. } | Plan::Unit) => leaf,
     }
 }
@@ -68,21 +100,37 @@ fn push_filter(input: Plan, conjuncts: Vec<BoundExpr>) -> Plan {
         return input;
     }
     match input {
-        Plan::Filter { input: inner, predicate } => {
+        Plan::Filter {
+            input: inner,
+            predicate,
+        } => {
             // Merge with the existing filter and retry on its input.
             let mut all = split_bound_conjuncts(predicate);
             all.extend(conjuncts);
             push_filter(*inner, all)
         }
-        Plan::Rename { input: inner, schema } => {
+        Plan::Rename {
+            input: inner,
+            schema,
+        } => {
             // Renames keep column positions; conjuncts pass through intact.
             let pushed = push_filter(*inner, conjuncts);
-            Plan::Rename { input: Box::new(pushed), schema }
+            Plan::Rename {
+                input: Box::new(pushed),
+                schema,
+            }
         }
-        Plan::HashJoin { left, right, kind, left_keys, right_keys, residual, schema } => {
+        Plan::HashJoin {
+            left,
+            right,
+            kind,
+            left_keys,
+            right_keys,
+            residual,
+            schema,
+        } => {
             let left_width = left.schema().len();
-            let (sink_left, sink_right, keep) =
-                split_by_side(conjuncts, left_width, kind);
+            let (sink_left, sink_right, keep) = split_by_side(conjuncts, left_width, kind);
             let left = push_filter(*left, sink_left);
             let right = push_filter(*right, sink_right);
             let joined = Plan::HashJoin {
@@ -96,10 +144,15 @@ fn push_filter(input: Plan, conjuncts: Vec<BoundExpr>) -> Plan {
             };
             wrap_filter(joined, keep)
         }
-        Plan::NestedLoopJoin { left, right, kind, on, schema } => {
+        Plan::NestedLoopJoin {
+            left,
+            right,
+            kind,
+            on,
+            schema,
+        } => {
             let left_width = left.schema().len();
-            let (sink_left, sink_right, keep) =
-                split_by_side(conjuncts, left_width, kind);
+            let (sink_left, sink_right, keep) = split_by_side(conjuncts, left_width, kind);
             let left = push_filter(*left, sink_left);
             let right = push_filter(*right, sink_right);
             let joined = Plan::NestedLoopJoin {
@@ -153,14 +206,21 @@ fn split_by_side(
 fn wrap_filter(plan: Plan, conjuncts: Vec<BoundExpr>) -> Plan {
     match conjoin_bound(conjuncts) {
         None => plan,
-        Some(predicate) => Plan::Filter { input: Box::new(plan), predicate },
+        Some(predicate) => Plan::Filter {
+            input: Box::new(plan),
+            predicate,
+        },
     }
 }
 
 /// Split a bound predicate into its top-level AND conjuncts.
 fn split_bound_conjuncts(e: BoundExpr) -> Vec<BoundExpr> {
     match e {
-        BoundExpr::Binary { op: conquer_sql::BinaryOp::And, left, right } => {
+        BoundExpr::Binary {
+            op: conquer_sql::BinaryOp::And,
+            left,
+            right,
+        } => {
             let mut out = split_bound_conjuncts(*left);
             out.extend(split_bound_conjuncts(*right));
             out
@@ -205,7 +265,10 @@ fn collect_row_refs(e: &BoundExpr, level: usize, out: &mut Vec<usize>) {
             collect_row_refs(expr, level, out);
             collect_row_refs(pattern, level, out);
         }
-        Case { branches, else_expr } => {
+        Case {
+            branches,
+            else_expr,
+        } => {
             for (c, v) in branches {
                 collect_row_refs(c, level, out);
                 collect_row_refs(v, level, out);
@@ -262,7 +325,10 @@ fn remap_row_refs(e: &mut BoundExpr, level: usize, delta: usize) {
             remap_row_refs(expr, level, delta);
             remap_row_refs(pattern, level, delta);
         }
-        Case { branches, else_expr } => {
+        Case {
+            branches,
+            else_expr,
+        } => {
             for (c, v) in branches {
                 remap_row_refs(c, level, delta);
                 remap_row_refs(v, level, delta);

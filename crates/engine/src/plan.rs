@@ -11,8 +11,8 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use conquer_sql::ast::{
-    self, is_aggregate_function, BinaryOp, Cte, Expr, Query, Select, SelectItem, SetExpr,
-    TableRef, UnaryOp,
+    self, is_aggregate_function, BinaryOp, Cte, Expr, Query, Select, SelectItem, SetExpr, TableRef,
+    UnaryOp,
 };
 use conquer_sql::Literal;
 
@@ -41,7 +41,11 @@ pub struct ExecOptions {
 
 impl Default for ExecOptions {
     fn default() -> Self {
-        ExecOptions { materialize_ctes: true, decorrelate_exists: true, pushdown_filters: true }
+        ExecOptions {
+            materialize_ctes: true,
+            decorrelate_exists: true,
+            pushdown_filters: true,
+        }
     }
 }
 
@@ -93,13 +97,26 @@ impl AggFunc {
 pub enum Plan {
     /// Scan of pre-materialized rows (base table or materialized CTE). The
     /// schema carries the binding qualifier; `rows` are shared.
-    Scan { rows: Arc<Rows>, schema: Schema },
+    Scan {
+        rows: Arc<Rows>,
+        schema: Schema,
+    },
     /// A single empty row — the input of `SELECT` without `FROM`.
     Unit,
-    Filter { input: Box<Plan>, predicate: BoundExpr },
-    Project { input: Box<Plan>, exprs: Vec<BoundExpr>, schema: Schema },
+    Filter {
+        input: Box<Plan>,
+        predicate: BoundExpr,
+    },
+    Project {
+        input: Box<Plan>,
+        exprs: Vec<BoundExpr>,
+        schema: Schema,
+    },
     /// Rename/requalify the input schema without touching rows.
-    Rename { input: Box<Plan>, schema: Schema },
+    Rename {
+        input: Box<Plan>,
+        schema: Schema,
+    },
     HashJoin {
         left: Box<Plan>,
         right: Box<Plan>,
@@ -125,10 +142,21 @@ pub enum Plan {
         aggs: Vec<AggSpec>,
         schema: Schema,
     },
-    Distinct { input: Box<Plan> },
-    UnionAll { left: Box<Plan>, right: Box<Plan> },
-    Sort { input: Box<Plan>, keys: Vec<(BoundExpr, bool)> },
-    Limit { input: Box<Plan>, n: u64 },
+    Distinct {
+        input: Box<Plan>,
+    },
+    UnionAll {
+        left: Box<Plan>,
+        right: Box<Plan>,
+    },
+    Sort {
+        input: Box<Plan>,
+        keys: Vec<(BoundExpr, bool)>,
+    },
+    Limit {
+        input: Box<Plan>,
+        n: u64,
+    },
 }
 
 impl Plan {
@@ -137,7 +165,9 @@ impl Plan {
         match self {
             Plan::Scan { schema, .. } => schema,
             Plan::Unit => {
-                static EMPTY: Schema = Schema { columns: Vec::new() };
+                static EMPTY: Schema = Schema {
+                    columns: Vec::new(),
+                };
                 &EMPTY
             }
             Plan::Filter { input, .. }
@@ -153,6 +183,23 @@ impl Plan {
         }
     }
 
+    /// The operator's inputs, in execution order (left before right).
+    pub fn children(&self) -> Vec<&Plan> {
+        match self {
+            Plan::Scan { .. } | Plan::Unit => Vec::new(),
+            Plan::Filter { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Rename { input, .. }
+            | Plan::Aggregate { input, .. }
+            | Plan::Distinct { input }
+            | Plan::Sort { input, .. }
+            | Plan::Limit { input, .. } => vec![input],
+            Plan::HashJoin { left, right, .. }
+            | Plan::NestedLoopJoin { left, right, .. }
+            | Plan::UnionAll { left, right } => vec![left, right],
+        }
+    }
+
     /// Maximum outer-scope depth referenced by any expression in the plan,
     /// from the perspective of rows flowing through this plan (0 = no
     /// correlation).
@@ -161,31 +208,61 @@ impl Plan {
         // depth 0; anything deeper refers to enclosing query scopes.
         match self {
             Plan::Scan { .. } | Plan::Unit => 0,
-            Plan::Filter { input, predicate } => {
-                input.max_outer_depth().max(predicate.max_depth())
-            }
+            Plan::Filter { input, predicate } => input.max_outer_depth().max(predicate.max_depth()),
             Plan::Project { input, exprs, .. } => input
                 .max_outer_depth()
                 .max(exprs.iter().map(BoundExpr::max_depth).max().unwrap_or(0)),
-            Plan::Rename { input, .. }
-            | Plan::Distinct { input }
-            | Plan::Limit { input, .. } => input.max_outer_depth(),
+            Plan::Rename { input, .. } | Plan::Distinct { input } | Plan::Limit { input, .. } => {
+                input.max_outer_depth()
+            }
             Plan::Sort { input, keys } => input
                 .max_outer_depth()
                 .max(keys.iter().map(|(e, _)| e.max_depth()).max().unwrap_or(0)),
-            Plan::HashJoin { left, right, left_keys, right_keys, residual, .. } => left
+            Plan::HashJoin {
+                left,
+                right,
+                left_keys,
+                right_keys,
+                residual,
+                ..
+            } => left
                 .max_outer_depth()
                 .max(right.max_outer_depth())
-                .max(left_keys.iter().map(BoundExpr::max_depth).max().unwrap_or(0))
-                .max(right_keys.iter().map(BoundExpr::max_depth).max().unwrap_or(0))
+                .max(
+                    left_keys
+                        .iter()
+                        .map(BoundExpr::max_depth)
+                        .max()
+                        .unwrap_or(0),
+                )
+                .max(
+                    right_keys
+                        .iter()
+                        .map(BoundExpr::max_depth)
+                        .max()
+                        .unwrap_or(0),
+                )
                 .max(residual.as_ref().map(|e| e.max_depth()).unwrap_or(0)),
-            Plan::NestedLoopJoin { left, right, on, .. } => left
+            Plan::NestedLoopJoin {
+                left, right, on, ..
+            } => left
                 .max_outer_depth()
                 .max(right.max_outer_depth())
                 .max(on.as_ref().map(|e| e.max_depth()).unwrap_or(0)),
-            Plan::Aggregate { input, group_exprs, aggs, .. } => input
+            Plan::Aggregate {
+                input,
+                group_exprs,
+                aggs,
+                ..
+            } => input
                 .max_outer_depth()
-                .max(group_exprs.iter().map(BoundExpr::max_depth).max().unwrap_or(0))
+                .max(
+                    group_exprs
+                        .iter()
+                        .map(BoundExpr::max_depth)
+                        .max()
+                        .unwrap_or(0),
+                )
                 .max(
                     aggs.iter()
                         .filter_map(|a| a.arg.as_ref())
@@ -193,9 +270,7 @@ impl Plan {
                         .max()
                         .unwrap_or(0),
                 ),
-            Plan::UnionAll { left, right } => {
-                left.max_outer_depth().max(right.max_outer_depth())
-            }
+            Plan::UnionAll { left, right } => left.max_outer_depth().max(right.max_outer_depth()),
         }
     }
 
@@ -218,7 +293,14 @@ impl Plan {
                 keys.iter().for_each(|(e, _)| f(e));
                 input.visit_exprs(f);
             }
-            Plan::HashJoin { left, right, left_keys, right_keys, residual, .. } => {
+            Plan::HashJoin {
+                left,
+                right,
+                left_keys,
+                right_keys,
+                residual,
+                ..
+            } => {
                 left_keys.iter().chain(right_keys).for_each(&mut *f);
                 if let Some(r) = residual {
                     f(r);
@@ -226,14 +308,21 @@ impl Plan {
                 left.visit_exprs(f);
                 right.visit_exprs(f);
             }
-            Plan::NestedLoopJoin { left, right, on, .. } => {
+            Plan::NestedLoopJoin {
+                left, right, on, ..
+            } => {
                 if let Some(o) = on {
                     f(o);
                 }
                 left.visit_exprs(f);
                 right.visit_exprs(f);
             }
-            Plan::Aggregate { input, group_exprs, aggs, .. } => {
+            Plan::Aggregate {
+                input,
+                group_exprs,
+                aggs,
+                ..
+            } => {
                 group_exprs.iter().for_each(&mut *f);
                 aggs.iter().filter_map(|a| a.arg.as_ref()).for_each(&mut *f);
                 input.visit_exprs(f);
@@ -264,24 +353,43 @@ impl Plan {
                 keys.iter_mut().for_each(|(e, _)| f(e));
                 input.visit_exprs_mut(f);
             }
-            Plan::HashJoin { left, right, left_keys, right_keys, residual, .. } => {
-                left_keys.iter_mut().chain(right_keys.iter_mut()).for_each(&mut *f);
+            Plan::HashJoin {
+                left,
+                right,
+                left_keys,
+                right_keys,
+                residual,
+                ..
+            } => {
+                left_keys
+                    .iter_mut()
+                    .chain(right_keys.iter_mut())
+                    .for_each(&mut *f);
                 if let Some(r) = residual {
                     f(r);
                 }
                 left.visit_exprs_mut(f);
                 right.visit_exprs_mut(f);
             }
-            Plan::NestedLoopJoin { left, right, on, .. } => {
+            Plan::NestedLoopJoin {
+                left, right, on, ..
+            } => {
                 if let Some(o) = on {
                     f(o);
                 }
                 left.visit_exprs_mut(f);
                 right.visit_exprs_mut(f);
             }
-            Plan::Aggregate { input, group_exprs, aggs, .. } => {
+            Plan::Aggregate {
+                input,
+                group_exprs,
+                aggs,
+                ..
+            } => {
                 group_exprs.iter_mut().for_each(&mut *f);
-                aggs.iter_mut().filter_map(|a| a.arg.as_mut()).for_each(&mut *f);
+                aggs.iter_mut()
+                    .filter_map(|a| a.arg.as_mut())
+                    .for_each(&mut *f);
                 input.visit_exprs_mut(f);
             }
             Plan::UnionAll { left, right } => {
@@ -314,7 +422,14 @@ impl Plan {
                     shift_if_outer(e, delta);
                 }
             }
-            Plan::HashJoin { left, right, left_keys, right_keys, residual, .. } => {
+            Plan::HashJoin {
+                left,
+                right,
+                left_keys,
+                right_keys,
+                residual,
+                ..
+            } => {
                 left.shift_outer_depths(delta);
                 right.shift_outer_depths(delta);
                 for e in left_keys.iter_mut().chain(right_keys.iter_mut()) {
@@ -324,14 +439,21 @@ impl Plan {
                     shift_if_outer(e, delta);
                 }
             }
-            Plan::NestedLoopJoin { left, right, on, .. } => {
+            Plan::NestedLoopJoin {
+                left, right, on, ..
+            } => {
                 left.shift_outer_depths(delta);
                 right.shift_outer_depths(delta);
                 if let Some(e) = on {
                     shift_if_outer(e, delta);
                 }
             }
-            Plan::Aggregate { input, group_exprs, aggs, .. } => {
+            Plan::Aggregate {
+                input,
+                group_exprs,
+                aggs,
+                ..
+            } => {
                 input.shift_outer_depths(delta);
                 for e in group_exprs {
                     shift_if_outer(e, delta);
@@ -380,7 +502,10 @@ fn shift_above(e: &mut BoundExpr, min_depth: usize, delta: usize) {
             shift_above(expr, min_depth, delta);
             shift_above(pattern, min_depth, delta);
         }
-        Case { branches, else_expr } => {
+        Case {
+            branches,
+            else_expr,
+        } => {
             for (c, v) in branches {
                 shift_above(c, min_depth, delta);
                 shift_above(v, min_depth, delta);
@@ -426,7 +551,14 @@ fn shift_plan_above(plan: &mut Plan, min_depth: usize, delta: usize) {
                 shift_above(e, min_depth, delta);
             }
         }
-        Plan::HashJoin { left, right, left_keys, right_keys, residual, .. } => {
+        Plan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            residual,
+            ..
+        } => {
             shift_plan_above(left, min_depth, delta);
             shift_plan_above(right, min_depth, delta);
             for e in left_keys.iter_mut().chain(right_keys.iter_mut()) {
@@ -436,14 +568,21 @@ fn shift_plan_above(plan: &mut Plan, min_depth: usize, delta: usize) {
                 shift_above(e, min_depth, delta);
             }
         }
-        Plan::NestedLoopJoin { left, right, on, .. } => {
+        Plan::NestedLoopJoin {
+            left, right, on, ..
+        } => {
             shift_plan_above(left, min_depth, delta);
             shift_plan_above(right, min_depth, delta);
             if let Some(e) = on {
                 shift_above(e, min_depth, delta);
             }
         }
-        Plan::Aggregate { input, group_exprs, aggs, .. } => {
+        Plan::Aggregate {
+            input,
+            group_exprs,
+            aggs,
+            ..
+        } => {
             shift_plan_above(input, min_depth, delta);
             for e in group_exprs {
                 shift_above(e, min_depth, delta);
@@ -479,7 +618,10 @@ struct BindScope<'a> {
 
 impl<'a> BindScope<'a> {
     fn root(schema: &'a Schema) -> BindScope<'a> {
-        BindScope { schema, parent: None }
+        BindScope {
+            schema,
+            parent: None,
+        }
     }
 
     /// Resolve a column to (depth, index).
@@ -535,10 +677,16 @@ impl<'a> Planner<'a> {
                 let bound = self.bind_order_key(&item.expr, &schema, outer)?;
                 keys.push((bound, item.desc));
             }
-            plan = Plan::Sort { input: Box::new(plan), keys };
+            plan = Plan::Sort {
+                input: Box::new(plan),
+                keys,
+            };
         }
         if let Some(n) = query.limit {
-            plan = Plan::Limit { input: Box::new(plan), n };
+            plan = Plan::Limit {
+                input: Box::new(plan),
+                n,
+            };
         }
         Ok(plan)
     }
@@ -553,7 +701,8 @@ impl<'a> Planner<'a> {
             let rows = exec::execute(&plan, None)?;
             env.materialized.insert(cte.name.clone(), Arc::new(rows));
         } else {
-            env.inline.insert(cte.name.clone(), Arc::new(cte.query.clone()));
+            env.inline
+                .insert(cte.name.clone(), Arc::new(cte.query.clone()));
         }
         Ok(())
     }
@@ -575,7 +724,10 @@ impl<'a> Planner<'a> {
                 })?;
             return Ok(BoundExpr::column(idx));
         }
-        let scope = BindScope { schema: output, parent: outer };
+        let scope = BindScope {
+            schema: output,
+            parent: outer,
+        };
         match self.bind_expr(expr, &scope, &CteEnv::default()) {
             Ok(bound) => Ok(bound),
             // `ORDER BY t.col` over a projection that exposes the column as
@@ -587,7 +739,9 @@ impl<'a> Planner<'a> {
                         return self.bind_expr(&bare, &scope, &CteEnv::default());
                     }
                 }
-                Err(EngineError::UnknownColumn(format!("ORDER BY expression `{expr}`")))
+                Err(EngineError::UnknownColumn(format!(
+                    "ORDER BY expression `{expr}`"
+                )))
             }
             Err(e) => Err(e),
         }
@@ -611,7 +765,10 @@ impl<'a> Planner<'a> {
                         right.schema().len()
                     )));
                 }
-                Ok(Plan::UnionAll { left: Box::new(left), right: Box::new(right) })
+                Ok(Plan::UnionAll {
+                    left: Box::new(left),
+                    right: Box::new(right),
+                })
             }
         }
     }
@@ -648,7 +805,9 @@ impl<'a> Planner<'a> {
         };
 
         if select.distinct {
-            plan = Plan::Distinct { input: Box::new(plan) };
+            plan = Plan::Distinct {
+                input: Box::new(plan),
+            };
         }
         Ok(plan)
     }
@@ -667,13 +826,19 @@ impl<'a> Planner<'a> {
                 // CTEs shadow base tables.
                 if let Some(rows) = env.materialized.get(name) {
                     let schema = rows.schema.qualified(binding);
-                    return Ok(Plan::Scan { rows: Arc::clone(rows), schema });
+                    return Ok(Plan::Scan {
+                        rows: Arc::clone(rows),
+                        schema,
+                    });
                 }
                 if let Some(query) = env.inline.get(name) {
                     // Re-plan the CTE body at each reference (ablation mode).
                     let inner = self.plan_query_in(query, env, None)?;
                     let schema = inner.schema().qualified(binding);
-                    return Ok(Plan::Rename { input: Box::new(inner), schema });
+                    return Ok(Plan::Rename {
+                        input: Box::new(inner),
+                        schema,
+                    });
                 }
                 let table = self.db.table(name)?;
                 let schema = table.schema().qualified(binding);
@@ -684,9 +849,17 @@ impl<'a> Planner<'a> {
                 self.check_binding(alias, bindings)?;
                 let inner = self.plan_query_in(query, env, None)?;
                 let schema = inner.schema().qualified(alias);
-                Ok(Plan::Rename { input: Box::new(inner), schema })
+                Ok(Plan::Rename {
+                    input: Box::new(inner),
+                    schema,
+                })
             }
-            TableRef::Join { left, kind, right, on } => {
+            TableRef::Join {
+                left,
+                kind,
+                right,
+                on,
+            } => {
                 let left_plan = self.plan_table_ref(left, env, outer, bindings)?;
                 let right_plan = self.plan_table_ref(right, env, outer, bindings)?;
                 self.plan_join(left_plan, right_plan, *kind, on.as_ref(), outer)
@@ -749,7 +922,10 @@ impl<'a> Planner<'a> {
         outer: Option<&BindScope<'_>>,
     ) -> Result<BoundExpr> {
         let scope = match outer {
-            Some(parent) => BindScope { schema, parent: Some(parent) },
+            Some(parent) => BindScope {
+                schema,
+                parent: Some(parent),
+            },
             None => BindScope::root(schema),
         };
         self.bind_expr(expr, &scope, &CteEnv::default())
@@ -783,8 +959,7 @@ impl<'a> Planner<'a> {
             }
             return Ok(plan);
         }
-        let factor_schemas: Vec<Schema> =
-            factors.iter().map(|f| f.schema().clone()).collect();
+        let factor_schemas: Vec<Schema> = factors.iter().map(|f| f.schema().clone()).collect();
 
         // Classify WHERE conjuncts by the factors they reference.
         let conjuncts: Vec<Expr> = select
@@ -817,7 +992,10 @@ impl<'a> Planner<'a> {
                 let schema = factor.schema().clone();
                 let bound = self.bind_with_outer(&pred, &schema, outer)?;
                 let input = std::mem::replace(factor, Plan::Unit);
-                *factor = Plan::Filter { input: Box::new(input), predicate: bound };
+                *factor = Plan::Filter {
+                    input: Box::new(input),
+                    predicate: bound,
+                };
             }
         }
 
@@ -836,10 +1014,11 @@ impl<'a> Planner<'a> {
                     .filter(|(_, (fs, _))| !fs.is_disjoint(set))
                     .map(|(ci, _)| ci)
                     .collect();
-                (touching.len() == 2 && set.iter().all(|f| {
-                    components[touching[0]].0.contains(f)
-                        || components[touching[1]].0.contains(f)
-                }))
+                (touching.len() == 2
+                    && set.iter().all(|f| {
+                        components[touching[0]].0.contains(f)
+                            || components[touching[1]].0.contains(f)
+                    }))
                 .then_some((touching[0], touching[1]))
             });
             let (ci, cj) = connection.unwrap_or((0, 1));
@@ -858,8 +1037,7 @@ impl<'a> Planner<'a> {
                     true
                 }
             });
-            let joined =
-                self.make_join(left, right, JoinType::Inner, &join_conjuncts, outer)?;
+            let joined = self.make_join(left, right, JoinType::Inner, &join_conjuncts, outer)?;
             components.push((merged_factors, joined));
         }
         let (_, plan) = components.pop().expect("at least one component");
@@ -891,7 +1069,10 @@ impl<'a> Planner<'a> {
         if let Some(pred) = Expr::conjoin(plain) {
             let schema = plan.schema().clone();
             let bound = self.bind_with_outer(&pred, &schema, outer)?;
-            plan = Plan::Filter { input: Box::new(plan), predicate: bound };
+            plan = Plan::Filter {
+                input: Box::new(plan),
+                predicate: bound,
+            };
         }
         for conjunct in subquery_conjuncts {
             plan = self.plan_subquery_conjunct(plan, conjunct, env, outer)?;
@@ -950,17 +1131,24 @@ impl<'a> Planner<'a> {
         let mut right_keys = Vec::new();
         let mut residual_parts: Vec<&Expr> = Vec::new();
         for conjunct in conjuncts {
-            if let Expr::BinaryOp { left: a, op: BinaryOp::Eq, right: b } = conjunct {
-                if let (Ok(ka), Ok(kb)) =
-                    (self.bind_local(a, left.schema()), self.bind_local(b, right.schema()))
-                {
+            if let Expr::BinaryOp {
+                left: a,
+                op: BinaryOp::Eq,
+                right: b,
+            } = conjunct
+            {
+                if let (Ok(ka), Ok(kb)) = (
+                    self.bind_local(a, left.schema()),
+                    self.bind_local(b, right.schema()),
+                ) {
                     left_keys.push(ka);
                     right_keys.push(kb);
                     continue;
                 }
-                if let (Ok(kb), Ok(ka)) =
-                    (self.bind_local(b, left.schema()), self.bind_local(a, right.schema()))
-                {
+                if let (Ok(kb), Ok(ka)) = (
+                    self.bind_local(b, left.schema()),
+                    self.bind_local(a, right.schema()),
+                ) {
                     left_keys.push(kb);
                     right_keys.push(ka);
                     continue;
@@ -1010,7 +1198,12 @@ impl<'a> Planner<'a> {
                     return Ok(plan);
                 }
             }
-            if let Expr::InSubquery { expr, subquery, negated: false } = conjunct {
+            if let Expr::InSubquery {
+                expr,
+                subquery,
+                negated: false,
+            } = conjunct
+            {
                 if let Some(plan) = self.try_decorrelate_in(&input, expr, subquery, env)? {
                     return Ok(plan);
                 }
@@ -1019,7 +1212,10 @@ impl<'a> Planner<'a> {
         // Fallback: evaluate the subquery per row.
         let schema = input.schema().clone();
         let bound = self.bind_subquery_aware(conjunct, &schema, env, outer)?;
-        Ok(Plan::Filter { input: Box::new(input), predicate: bound })
+        Ok(Plan::Filter {
+            input: Box::new(input),
+            predicate: bound,
+        })
     }
 
     /// Attempt to turn `[NOT] EXISTS (SELECT ... FROM F WHERE W)` into a
@@ -1038,7 +1234,9 @@ impl<'a> Planner<'a> {
         if !subquery.ctes.is_empty() || !subquery.order_by.is_empty() || subquery.limit.is_some() {
             return Ok(None);
         }
-        let Some(select) = subquery.as_select() else { return Ok(None) };
+        let Some(select) = subquery.as_select() else {
+            return Ok(None);
+        };
         if !select.group_by.is_empty() || select.having.is_some() {
             return Ok(None);
         }
@@ -1080,7 +1278,12 @@ impl<'a> Planner<'a> {
                     }
                 }
                 // Correlated equality?
-                if let Expr::BinaryOp { left: a, op: BinaryOp::Eq, right: b } = conjunct {
+                if let Expr::BinaryOp {
+                    left: a,
+                    op: BinaryOp::Eq,
+                    right: b,
+                } = conjunct
+                {
                     let inner_a = self.bind_local(a, &inner_schema);
                     let outer_b = self.bind_local(b, &outer_schema);
                     if let (Ok(ia), Ok(ob)) = (inner_a, outer_b) {
@@ -1108,10 +1311,17 @@ impl<'a> Planner<'a> {
 
         if let Some(pred) = Expr::conjoin(local) {
             let bound = self.bind_local(&pred, &inner_schema)?;
-            sub_plan = Plan::Filter { input: Box::new(sub_plan), predicate: bound };
+            sub_plan = Plan::Filter {
+                input: Box::new(sub_plan),
+                predicate: bound,
+            };
         }
 
-        let kind = if negated { JoinType::Anti } else { JoinType::Semi };
+        let kind = if negated {
+            JoinType::Anti
+        } else {
+            JoinType::Semi
+        };
         Ok(Some(Plan::HashJoin {
             left: Box::new(input.clone()),
             right: Box::new(sub_plan),
@@ -1191,7 +1401,11 @@ impl<'a> Planner<'a> {
             }
         }
         let schema = Schema::new(columns);
-        Ok(Plan::Project { input: Box::new(input), exprs, schema })
+        Ok(Plan::Project {
+            input: Box::new(input),
+            exprs,
+            schema,
+        })
     }
 
     /// Bind an expression that may contain subqueries: the current schema
@@ -1205,7 +1419,10 @@ impl<'a> Planner<'a> {
         outer: Option<&BindScope<'_>>,
     ) -> Result<BoundExpr> {
         let scope = match outer {
-            Some(parent) => BindScope { schema, parent: Some(parent) },
+            Some(parent) => BindScope {
+                schema,
+                parent: Some(parent),
+            },
             None => BindScope::root(schema),
         };
         self.bind_expr_env(expr, &scope, env)
@@ -1215,12 +1432,7 @@ impl<'a> Planner<'a> {
         self.bind_expr_env(expr, scope, env)
     }
 
-    fn bind_expr_env(
-        &self,
-        expr: &Expr,
-        scope: &BindScope<'_>,
-        env: &CteEnv,
-    ) -> Result<BoundExpr> {
+    fn bind_expr_env(&self, expr: &Expr, scope: &BindScope<'_>, env: &CteEnv) -> Result<BoundExpr> {
         Ok(match expr {
             Expr::Column(col) => {
                 let (depth, index) = scope.resolve(col)?;
@@ -1232,17 +1444,24 @@ impl<'a> Planner<'a> {
                 left: Box::new(self.bind_expr_env(left, scope, env)?),
                 right: Box::new(self.bind_expr_env(right, scope, env)?),
             },
-            Expr::UnaryOp { op: UnaryOp::Not, expr } => {
-                BoundExpr::Not(Box::new(self.bind_expr_env(expr, scope, env)?))
-            }
-            Expr::UnaryOp { op: UnaryOp::Neg, expr } => {
-                BoundExpr::Neg(Box::new(self.bind_expr_env(expr, scope, env)?))
-            }
+            Expr::UnaryOp {
+                op: UnaryOp::Not,
+                expr,
+            } => BoundExpr::Not(Box::new(self.bind_expr_env(expr, scope, env)?)),
+            Expr::UnaryOp {
+                op: UnaryOp::Neg,
+                expr,
+            } => BoundExpr::Neg(Box::new(self.bind_expr_env(expr, scope, env)?)),
             Expr::IsNull { expr, negated } => BoundExpr::IsNull {
                 expr: Box::new(self.bind_expr_env(expr, scope, env)?),
                 negated: *negated,
             },
-            Expr::Between { expr, low, high, negated } => {
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
                 // Desugar: e BETWEEN a AND b  ==  e >= a AND e <= b.
                 let e = self.bind_expr_env(expr, scope, env)?;
                 let lo = self.bind_expr_env(low, scope, env)?;
@@ -1268,7 +1487,11 @@ impl<'a> Planner<'a> {
                     both
                 }
             }
-            Expr::InList { expr, list, negated } => BoundExpr::InList {
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => BoundExpr::InList {
                 expr: Box::new(self.bind_expr_env(expr, scope, env)?),
                 list: list
                     .iter()
@@ -1276,12 +1499,19 @@ impl<'a> Planner<'a> {
                     .collect::<Result<_>>()?,
                 negated: *negated,
             },
-            Expr::Like { expr, pattern, negated } => BoundExpr::Like {
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => BoundExpr::Like {
                 expr: Box::new(self.bind_expr_env(expr, scope, env)?),
                 pattern: Box::new(self.bind_expr_env(pattern, scope, env)?),
                 negated: *negated,
             },
-            Expr::Case { branches, else_expr } => BoundExpr::Case {
+            Expr::Case {
+                branches,
+                else_expr,
+            } => BoundExpr::Case {
                 branches: branches
                     .iter()
                     .map(|(c, v)| {
@@ -1296,7 +1526,11 @@ impl<'a> Planner<'a> {
                     None => None,
                 },
             },
-            Expr::Function { name, args, distinct } => {
+            Expr::Function {
+                name,
+                args,
+                distinct,
+            } => {
                 if is_aggregate_function(name) {
                     return Err(EngineError::Execution(format!(
                         "aggregate `{name}` not allowed here"
@@ -1334,17 +1568,27 @@ impl<'a> Planner<'a> {
                     kind: SubqueryKind::Exists { negated: *negated },
                 }
             }
-            Expr::InSubquery { expr, subquery, negated } => {
+            Expr::InSubquery {
+                expr,
+                subquery,
+                negated,
+            } => {
                 let needle = self.bind_expr_env(expr, scope, env)?;
                 let plan = self.plan_query_in(subquery, env, Some(scope))?;
                 BoundExpr::Subquery {
                     plan: Box::new(plan),
-                    kind: SubqueryKind::In { expr: Box::new(needle), negated: *negated },
+                    kind: SubqueryKind::In {
+                        expr: Box::new(needle),
+                        negated: *negated,
+                    },
                 }
             }
             Expr::ScalarSubquery(subquery) => {
                 let plan = self.plan_query_in(subquery, env, Some(scope))?;
-                BoundExpr::Subquery { plan: Box::new(plan), kind: SubqueryKind::Scalar }
+                BoundExpr::Subquery {
+                    plan: Box::new(plan),
+                    kind: SubqueryKind::Scalar,
+                }
             }
             Expr::Wildcard => {
                 return Err(EngineError::Execution(
@@ -1353,7 +1597,6 @@ impl<'a> Planner<'a> {
             }
         })
     }
-
 }
 
 /// `true` when the expression contains any subquery node outside nested
@@ -1363,15 +1606,20 @@ fn contains_subquery(e: &Expr) -> bool {
         Expr::Exists { .. } | Expr::InSubquery { .. } | Expr::ScalarSubquery(_) => true,
         Expr::BinaryOp { left, right, .. } => contains_subquery(left) || contains_subquery(right),
         Expr::UnaryOp { expr, .. } | Expr::IsNull { expr, .. } => contains_subquery(expr),
-        Expr::Between { expr, low, high, .. } => {
-            contains_subquery(expr) || contains_subquery(low) || contains_subquery(high)
-        }
+        Expr::Between {
+            expr, low, high, ..
+        } => contains_subquery(expr) || contains_subquery(low) || contains_subquery(high),
         Expr::InList { expr, list, .. } => {
             contains_subquery(expr) || list.iter().any(contains_subquery)
         }
         Expr::Like { expr, pattern, .. } => contains_subquery(expr) || contains_subquery(pattern),
-        Expr::Case { branches, else_expr } => {
-            branches.iter().any(|(c, v)| contains_subquery(c) || contains_subquery(v))
+        Expr::Case {
+            branches,
+            else_expr,
+        } => {
+            branches
+                .iter()
+                .any(|(c, v)| contains_subquery(c) || contains_subquery(v))
                 || else_expr.as_deref().is_some_and(contains_subquery)
         }
         Expr::Function { args, .. } => args.iter().any(contains_subquery),
@@ -1440,7 +1688,11 @@ impl<'a> Planner<'a> {
                 _ => (format!("_g{}", i + 1), None),
             };
             let ty = infer_type(&bound, &input_schema);
-            group_cols.push(Column { qualifier, name, ty });
+            group_cols.push(Column {
+                qualifier,
+                name,
+                ty,
+            });
             group_exprs.push(bound);
         }
 
@@ -1493,10 +1745,17 @@ impl<'a> Planner<'a> {
         };
         let mut plan = agg_plan;
         if let Some(h) = having {
-            plan = Plan::Filter { input: Box::new(plan), predicate: resolve(h) };
+            plan = Plan::Filter {
+                input: Box::new(plan),
+                predicate: resolve(h),
+            };
         }
         let exprs: Vec<BoundExpr> = out_exprs.into_iter().map(resolve).collect();
-        Ok(Plan::Project { input: Box::new(plan), exprs, schema: Schema::new(out_cols) })
+        Ok(Plan::Project {
+            input: Box::new(plan),
+            exprs,
+            schema: Schema::new(out_cols),
+        })
     }
 }
 
@@ -1505,7 +1764,12 @@ impl<'a> Planner<'a> {
 fn resolve_agg_refs(e: &mut BoundExpr, n_groups: usize) {
     use BoundExpr::*;
     match e {
-        AggRef { index } => *e = BoundExpr::Column { depth: 0, index: n_groups + *index },
+        AggRef { index } => {
+            *e = BoundExpr::Column {
+                depth: 0,
+                index: n_groups + *index,
+            }
+        }
         Column { .. } | Literal(_) => {}
         Binary { left, right, .. } => {
             resolve_agg_refs(left, n_groups);
@@ -1523,7 +1787,10 @@ fn resolve_agg_refs(e: &mut BoundExpr, n_groups: usize) {
             resolve_agg_refs(expr, n_groups);
             resolve_agg_refs(pattern, n_groups);
         }
-        Case { branches, else_expr } => {
+        Case {
+            branches,
+            else_expr,
+        } => {
             for (c, v) in branches {
                 resolve_agg_refs(c, n_groups);
                 resolve_agg_refs(v, n_groups);
@@ -1555,7 +1822,12 @@ struct GroupContext<'p, 'a> {
 impl GroupContext<'_, '_> {
     fn bind(&mut self, expr: &Expr) -> Result<BoundExpr> {
         // An aggregate call becomes (or reuses) a slot.
-        if let Expr::Function { name, args, distinct } = expr {
+        if let Expr::Function {
+            name,
+            args,
+            distinct,
+        } = expr
+        {
             if let Some(func) = AggFunc::by_name(name) {
                 return self.bind_aggregate(func, args, *distinct);
             }
@@ -1583,12 +1855,22 @@ impl GroupContext<'_, '_> {
                 left: Box::new(self.bind(left)?),
                 right: Box::new(self.bind(right)?),
             },
-            Expr::UnaryOp { op: UnaryOp::Not, expr } => BoundExpr::Not(Box::new(self.bind(expr)?)),
-            Expr::UnaryOp { op: UnaryOp::Neg, expr } => BoundExpr::Neg(Box::new(self.bind(expr)?)),
-            Expr::IsNull { expr, negated } => {
-                BoundExpr::IsNull { expr: Box::new(self.bind(expr)?), negated: *negated }
-            }
-            Expr::Case { branches, else_expr } => BoundExpr::Case {
+            Expr::UnaryOp {
+                op: UnaryOp::Not,
+                expr,
+            } => BoundExpr::Not(Box::new(self.bind(expr)?)),
+            Expr::UnaryOp {
+                op: UnaryOp::Neg,
+                expr,
+            } => BoundExpr::Neg(Box::new(self.bind(expr)?)),
+            Expr::IsNull { expr, negated } => BoundExpr::IsNull {
+                expr: Box::new(self.bind(expr)?),
+                negated: *negated,
+            },
+            Expr::Case {
+                branches,
+                else_expr,
+            } => BoundExpr::Case {
                 branches: branches
                     .iter()
                     .map(|(c, v)| Ok((self.bind(c)?, self.bind(v)?)))
@@ -1598,12 +1880,21 @@ impl GroupContext<'_, '_> {
                     None => None,
                 },
             },
-            Expr::InList { expr, list, negated } => BoundExpr::InList {
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => BoundExpr::InList {
                 expr: Box::new(self.bind(expr)?),
                 list: list.iter().map(|e| self.bind(e)).collect::<Result<_>>()?,
                 negated: *negated,
             },
-            Expr::Between { expr, low, high, negated } => {
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
                 let e = self.bind(expr)?;
                 let lo = self.bind(low)?;
                 let hi = self.bind(high)?;
@@ -1628,7 +1919,11 @@ impl GroupContext<'_, '_> {
                     both
                 }
             }
-            Expr::Like { expr, pattern, negated } => BoundExpr::Like {
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => BoundExpr::Like {
                 expr: Box::new(self.bind(expr)?),
                 pattern: Box::new(self.bind(pattern)?),
                 negated: *negated,
@@ -1648,21 +1943,36 @@ impl GroupContext<'_, '_> {
                 ))
             }
             Expr::Wildcard => {
-                return Err(EngineError::Execution("stray `*` in aggregate query".into()))
+                return Err(EngineError::Execution(
+                    "stray `*` in aggregate query".into(),
+                ))
             }
         })
     }
 
-    fn bind_aggregate(&mut self, func: AggFunc, args: &[Expr], distinct: bool) -> Result<BoundExpr> {
+    fn bind_aggregate(
+        &mut self,
+        func: AggFunc,
+        args: &[Expr],
+        distinct: bool,
+    ) -> Result<BoundExpr> {
         let spec = match (func, args) {
-            (AggFunc::Count, [Expr::Wildcard]) => AggSpec { func, arg: None, distinct: false },
+            (AggFunc::Count, [Expr::Wildcard]) => AggSpec {
+                func,
+                arg: None,
+                distinct: false,
+            },
             (_, [arg]) => {
                 if arg.contains_aggregate() {
                     return Err(EngineError::Execution("nested aggregate call".into()));
                 }
                 let scope = BindScope::root(self.input_schema);
                 let bound = self.planner.bind_expr(arg, &scope, self.env)?;
-                AggSpec { func, arg: Some(bound), distinct }
+                AggSpec {
+                    func,
+                    arg: Some(bound),
+                    distinct,
+                }
             }
             _ => {
                 return Err(EngineError::Execution(format!(

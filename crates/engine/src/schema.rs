@@ -44,11 +44,19 @@ pub struct Column {
 
 impl Column {
     pub fn new(qualifier: Option<&str>, name: &str, ty: DataType) -> Column {
-        Column { qualifier: qualifier.map(str::to_string), name: name.to_string(), ty }
+        Column {
+            qualifier: qualifier.map(str::to_string),
+            name: name.to_string(),
+            ty,
+        }
     }
 
     pub fn bare(name: &str, ty: DataType) -> Column {
-        Column { qualifier: None, name: name.to_string(), ty }
+        Column {
+            qualifier: None,
+            name: name.to_string(),
+            ty,
+        }
     }
 }
 

@@ -1,0 +1,110 @@
+//! Per-operator runtime statistics for `EXPLAIN ANALYZE`.
+//!
+//! A [`NodeStats`] tree mirrors the [`Plan`] tree shape exactly: the
+//! executor is handed an `Option<&mut NodeStats>` and fills in the node
+//! matching each plan operator as it runs. When no stats are requested the
+//! executor takes the untimed path, so plain queries pay nothing.
+
+use std::time::Duration;
+
+use crate::plan::Plan;
+
+/// Runtime counters for one plan operator.
+///
+/// `wall` is *inclusive*: it covers the operator and everything below it,
+/// as in a conventional `EXPLAIN ANALYZE`. Operator-specific fields
+/// (`build_rows`, `probe_rows`, `comparisons`, `est_mem_bytes`) stay zero
+/// for operators they do not apply to.
+#[derive(Debug, Clone, Default)]
+pub struct NodeStats {
+    /// Times the operator ran (CTE bodies and subplans run once; a plan
+    /// re-executed per outer row would count each run).
+    pub invocations: u64,
+    /// Rows emitted by the operator, summed over invocations.
+    pub rows_out: u64,
+    /// Inclusive wall time (operator plus its inputs).
+    pub wall: Duration,
+    /// Hash-table build input rows (joins) or grouped input rows
+    /// (aggregates).
+    pub build_rows: u64,
+    /// Probe-side input rows (joins only).
+    pub probe_rows: u64,
+    /// Candidate pairs inspected: hash-bucket entries visited for hash
+    /// joins, inner-loop iterations for nested-loop joins.
+    pub comparisons: u64,
+    /// Rough in-memory footprint of operator state (hash table / group
+    /// table), in bytes. An estimate, not an allocator measurement.
+    pub est_mem_bytes: u64,
+    /// Stats of the operator's inputs, in plan order.
+    pub children: Vec<NodeStats>,
+}
+
+impl NodeStats {
+    /// An all-zero stats tree shaped like `plan`.
+    pub fn for_plan(plan: &Plan) -> NodeStats {
+        NodeStats {
+            children: plan
+                .children()
+                .into_iter()
+                .map(NodeStats::for_plan)
+                .collect(),
+            ..NodeStats::default()
+        }
+    }
+
+    /// Rows flowing into the operator: the sum of its children's output.
+    pub fn rows_in(&self) -> u64 {
+        self.children.iter().map(|c| c.rows_out).sum()
+    }
+
+    /// Exclusive wall time: this operator minus its inputs (saturating, in
+    /// case clock granularity makes children sum past the parent).
+    pub fn self_wall(&self) -> Duration {
+        let children: Duration = self.children.iter().map(|c| c.wall).sum();
+        self.wall.saturating_sub(children)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_tree_mirrors_plan_shape() {
+        use crate::table::Table;
+        use crate::Database;
+        let db = Database::new();
+        let mut t = Table::new("t", vec![("a", crate::schema::DataType::Integer)]);
+        t.push(vec![crate::value::Value::Int(1)]).unwrap();
+        db.register(t);
+        let query = conquer_sql::parse_query("select a from t where a > 0").unwrap();
+        let plan = db.plan(&query, Default::default()).unwrap();
+        let stats = NodeStats::for_plan(&plan);
+        fn depth_of_plan(p: &Plan) -> usize {
+            1 + p
+                .children()
+                .iter()
+                .map(|c| depth_of_plan(c))
+                .max()
+                .unwrap_or(0)
+        }
+        fn depth_of_stats(s: &NodeStats) -> usize {
+            1 + s.children.iter().map(depth_of_stats).max().unwrap_or(0)
+        }
+        assert_eq!(depth_of_plan(&plan), depth_of_stats(&stats));
+    }
+
+    #[test]
+    fn self_wall_saturates() {
+        let child = NodeStats {
+            wall: Duration::from_millis(5),
+            ..Default::default()
+        };
+        let parent = NodeStats {
+            wall: Duration::from_millis(3),
+            children: vec![child],
+            ..Default::default()
+        };
+        assert_eq!(parent.self_wall(), Duration::ZERO);
+    }
+}

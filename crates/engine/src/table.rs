@@ -19,7 +19,10 @@ pub struct Rows {
 
 impl Rows {
     pub fn new(schema: Schema) -> Rows {
-        Rows { schema, rows: Vec::new() }
+        Rows {
+            schema,
+            rows: Vec::new(),
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -93,7 +96,10 @@ impl Table {
         Table {
             name: name.into(),
             schema: Schema::new(
-                columns.into_iter().map(|(n, t)| Column::bare(n, t)).collect(),
+                columns
+                    .into_iter()
+                    .map(|(n, t)| Column::bare(n, t))
+                    .collect(),
             ),
             rows: Vec::new(),
         }
@@ -198,7 +204,10 @@ impl Table {
 
     /// View the table as a scan result under a binding name.
     pub fn scan(self: &Arc<Table>, binding: &str) -> Rows {
-        Rows { schema: self.schema.qualified(binding), rows: self.rows.clone() }
+        Rows {
+            schema: self.schema.qualified(binding),
+            rows: self.rows.clone(),
+        }
     }
 }
 
@@ -260,7 +269,10 @@ mod tests {
     fn text_rendering() {
         let mut t = Table::new("t", vec![("a", DataType::Integer), ("b", DataType::Text)]);
         t.push(vec![Value::Int(1), Value::str("hello")]).unwrap();
-        let rows = Rows { schema: t.schema().clone(), rows: t.rows().to_vec() };
+        let rows = Rows {
+            schema: t.schema().clone(),
+            rows: t.rows().to_vec(),
+        };
         let text = rows.to_text();
         assert!(text.contains("a"));
         assert!(text.contains("hello"));

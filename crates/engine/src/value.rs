@@ -45,7 +45,9 @@ impl Value {
         match self {
             Value::Null => Ok(None),
             Value::Bool(b) => Ok(Some(*b)),
-            other => Err(EngineError::TypeError(format!("expected boolean, got {other}"))),
+            other => Err(EngineError::TypeError(format!(
+                "expected boolean, got {other}"
+            ))),
         }
     }
 
@@ -55,7 +57,9 @@ impl Value {
             Value::Null => Ok(None),
             Value::Int(v) => Ok(Some(*v as f64)),
             Value::Float(v) => Ok(Some(*v)),
-            other => Err(EngineError::TypeError(format!("expected number, got {other}"))),
+            other => Err(EngineError::TypeError(format!(
+                "expected number, got {other}"
+            ))),
         }
     }
 
@@ -332,7 +336,9 @@ mod tests {
     fn large_int_float_comparison_is_exact() {
         let big = (1_i64 << 53) + 1; // not representable as f64
         assert_eq!(
-            Value::Int(big).sql_cmp(&Value::Float((1_i64 << 53) as f64)).unwrap(),
+            Value::Int(big)
+                .sql_cmp(&Value::Float((1_i64 << 53) as f64))
+                .unwrap(),
             Some(Ordering::Greater)
         );
     }
@@ -353,7 +359,9 @@ mod tests {
             Value::Int(3)
         );
         assert_eq!(
-            Value::Float(1.5).arith(ArithOp::Mul, &Value::Int(2)).unwrap(),
+            Value::Float(1.5)
+                .arith(ArithOp::Mul, &Value::Int(2))
+                .unwrap(),
             Value::Float(3.0)
         );
         assert_eq!(
@@ -374,12 +382,16 @@ mod tests {
     #[test]
     fn division_by_zero_is_an_error() {
         assert!(Value::Int(1).arith(ArithOp::Div, &Value::Int(0)).is_err());
-        assert!(Value::Float(1.0).arith(ArithOp::Mod, &Value::Float(0.0)).is_err());
+        assert!(Value::Float(1.0)
+            .arith(ArithOp::Mod, &Value::Float(0.0))
+            .is_err());
     }
 
     #[test]
     fn integer_overflow_is_an_error() {
-        assert!(Value::Int(i64::MAX).arith(ArithOp::Add, &Value::Int(1)).is_err());
+        assert!(Value::Int(i64::MAX)
+            .arith(ArithOp::Add, &Value::Int(1))
+            .is_err());
     }
 
     #[test]

@@ -38,7 +38,10 @@ fn left_outer_join_with_empty_right_pads_every_row() {
         .unwrap();
     assert_eq!(
         rows.rows,
-        vec![vec![Value::Int(5), Value::Null], vec![Value::Int(6), Value::Null]]
+        vec![
+            vec![Value::Int(5), Value::Null],
+            vec![Value::Int(6), Value::Null]
+        ]
     );
 }
 
@@ -67,7 +70,9 @@ fn null_keys_never_match_in_joins() {
         "insert into b values (null, 10), (1, 20);",
     );
     // Inner join: NULL = NULL is unknown, so only the (1, 1) pair matches.
-    let rows = db.query("select a.y, b.z from a, b where a.x = b.x").unwrap();
+    let rows = db
+        .query("select a.y, b.z from a, b where a.x = b.x")
+        .unwrap();
     assert_eq!(rows.rows, vec![vec![Value::Int(6), Value::Int(20)]]);
     // Left outer join: the NULL-keyed a-row survives padded.
     let rows = db
@@ -75,7 +80,10 @@ fn null_keys_never_match_in_joins() {
         .unwrap();
     assert_eq!(
         rows.rows,
-        vec![vec![Value::Int(5), Value::Null], vec![Value::Int(6), Value::Int(20)]]
+        vec![
+            vec![Value::Int(5), Value::Null],
+            vec![Value::Int(6), Value::Int(20)]
+        ]
     );
     // Anti join: the NULL-keyed row has no match, so NOT EXISTS keeps it.
     let rows = db
@@ -97,7 +105,8 @@ fn build_side_swap_preserves_column_order_and_multiplicity() {
     )
     .unwrap();
     let inserts: Vec<String> = (0..50).map(|i| format!("({}, {i})", i % 5)).collect();
-    db.run_script(&format!("insert into big values {}", inserts.join(", "))).unwrap();
+    db.run_script(&format!("insert into big values {}", inserts.join(", ")))
+        .unwrap();
     let rows = db
         .query("select s.tag, b.v from small s, big b where s.k = b.k order by b.v")
         .unwrap();
@@ -113,7 +122,9 @@ fn duplicate_keys_on_both_sides_multiply() {
         "insert into a values (1, 5), (1, 6);",
         "insert into b values (1, 10), (1, 20), (1, 30);",
     );
-    let rows = db.query("select a.y, b.z from a, b where a.x = b.x").unwrap();
+    let rows = db
+        .query("select a.y, b.z from a, b where a.x = b.x")
+        .unwrap();
     assert_eq!(rows.len(), 6);
 }
 
@@ -155,9 +166,7 @@ fn three_way_join_orders_by_connectivity() {
     )
     .unwrap();
     let rows = db
-        .query(
-            "select c.tag from a, b, c where a.k = b.k and b.fk = c.k and a.k = 2",
-        )
+        .query("select c.tag from a, b, c where a.k = b.k and b.fk = c.k and a.k = 2")
         .unwrap();
     assert_eq!(rows.rows, vec![vec![Value::str("y")]]);
 }

@@ -57,7 +57,9 @@ fn figure2_db() -> Database {
 fn original_q1_returns_possible_answers() {
     // Section 1: q1 on Figure 1 returns {c1, c2, c3, c3}.
     let db = figure1_db();
-    let rows = db.query("select custkey from customer where acctbal > 1000").unwrap();
+    let rows = db
+        .query("select custkey from customer where acctbal > 1000")
+        .unwrap();
     let mut vals: Vec<String> = rows.rows.iter().map(|r| r[0].to_string()).collect();
     vals.sort();
     assert_eq!(vals, vec!["c1", "c2", "c3", "c3"]);
@@ -148,14 +150,20 @@ fn hand_rewritten_qc3_without_decorrelation_matches() {
     let slow = db
         .query_with(
             sql,
-            ExecOptions { decorrelate_exists: false, ..ExecOptions::default() },
+            ExecOptions {
+                decorrelate_exists: false,
+                ..ExecOptions::default()
+            },
         )
         .unwrap();
     assert_eq!(fast.rows, slow.rows);
     let inline = db
         .query_with(
             sql,
-            ExecOptions { materialize_ctes: false, ..ExecOptions::default() },
+            ExecOptions {
+                materialize_ctes: false,
+                ..ExecOptions::default()
+            },
         )
         .unwrap();
     assert_eq!(fast.rows, inline.rows);
@@ -187,7 +195,10 @@ fn left_outer_join_pads_nulls() {
         .unwrap();
     assert_eq!(
         rows.rows,
-        vec![vec![Value::Int(1), Value::Int(10)], vec![Value::Int(2), Value::Null]]
+        vec![
+            vec![Value::Int(1), Value::Int(10)],
+            vec![Value::Int(2), Value::Null]
+        ]
     );
 }
 
@@ -239,7 +250,9 @@ fn group_by_with_having_and_count() {
 fn global_aggregates_over_empty_input() {
     let db = Database::new();
     db.run_script("create table t (v integer)").unwrap();
-    let rows = db.query("select count(*), sum(v), min(v), avg(v) from t").unwrap();
+    let rows = db
+        .query("select count(*), sum(v), min(v), avg(v) from t")
+        .unwrap();
     assert_eq!(rows.len(), 1);
     assert_eq!(rows.rows[0][0], Value::Int(0));
     assert_eq!(rows.rows[0][1], Value::Null);
@@ -250,7 +263,8 @@ fn global_aggregates_over_empty_input() {
 #[test]
 fn grouped_aggregate_over_empty_input_returns_no_rows() {
     let db = Database::new();
-    db.run_script("create table t (k integer, v integer)").unwrap();
+    db.run_script("create table t (k integer, v integer)")
+        .unwrap();
     let rows = db.query("select k, sum(v) from t group by k").unwrap();
     assert!(rows.is_empty());
 }
@@ -263,7 +277,9 @@ fn aggregates_skip_nulls() {
          insert into t values (1), (null), (3);",
     )
     .unwrap();
-    let rows = db.query("select count(*), count(v), sum(v), avg(v) from t").unwrap();
+    let rows = db
+        .query("select count(*), count(v), sum(v), avg(v) from t")
+        .unwrap();
     assert_eq!(rows.rows[0][0], Value::Int(3));
     assert_eq!(rows.rows[0][1], Value::Int(2));
     assert_eq!(rows.rows[0][2], Value::Int(4));
@@ -278,7 +294,9 @@ fn distinct_aggregates() {
          insert into t values (1), (1), (2), (null);",
     )
     .unwrap();
-    let rows = db.query("select count(distinct v), sum(distinct v) from t").unwrap();
+    let rows = db
+        .query("select count(distinct v), sum(distinct v) from t")
+        .unwrap();
     assert_eq!(rows.rows[0][0], Value::Int(2));
     assert_eq!(rows.rows[0][1], Value::Int(3));
 }
@@ -312,16 +330,22 @@ fn sum_mixing_int_and_float_promotes() {
 #[test]
 fn union_all_keeps_duplicates() {
     let db = Database::new();
-    db.run_script("create table t (v integer); insert into t values (1)").unwrap();
-    let rows = db.query("select v from t union all select v from t").unwrap();
+    db.run_script("create table t (v integer); insert into t values (1)")
+        .unwrap();
+    let rows = db
+        .query("select v from t union all select v from t")
+        .unwrap();
     assert_eq!(rows.len(), 2);
 }
 
 #[test]
 fn union_all_arity_mismatch_errors() {
     let db = Database::new();
-    db.run_script("create table t (a integer, b integer); insert into t values (1, 2)").unwrap();
-    assert!(db.query("select a from t union all select a, b from t").is_err());
+    db.run_script("create table t (a integer, b integer); insert into t values (1, 2)")
+        .unwrap();
+    assert!(db
+        .query("select a from t union all select a, b from t")
+        .is_err());
 }
 
 #[test]
@@ -335,7 +359,12 @@ fn order_by_desc_and_nulls_last() {
     let asc = db.query("select v from t order by v").unwrap();
     assert_eq!(
         asc.rows,
-        vec![vec![Value::Int(1)], vec![Value::Int(2)], vec![Value::Int(3)], vec![Value::Null]]
+        vec![
+            vec![Value::Int(1)],
+            vec![Value::Int(2)],
+            vec![Value::Int(3)],
+            vec![Value::Null]
+        ]
     );
     let desc = db.query("select v from t order by v desc").unwrap();
     assert_eq!(desc.rows[0], vec![Value::Int(3)]);
@@ -354,7 +383,9 @@ fn order_by_alias_and_position_and_limit() {
         .unwrap();
     assert_eq!(rows.len(), 2);
     assert_eq!(rows.rows[0][1], Value::Int(10));
-    let rows = db.query("select k, v from t order by 2 desc limit 1").unwrap();
+    let rows = db
+        .query("select k, v from t order by 2 desc limit 1")
+        .unwrap();
     assert_eq!(rows.rows[0][0], Value::str("b"));
 }
 
@@ -416,21 +447,25 @@ fn in_subquery_and_not_in_null_semantics() {
          create table u (k integer); insert into u values (2), (null);",
     )
     .unwrap();
-    let rows = db.query("select k from t where k in (select k from u)").unwrap();
+    let rows = db
+        .query("select k from t where k in (select k from u)")
+        .unwrap();
     assert_eq!(v_int(&rows), vec![vec![2]]);
     // NOT IN against a set containing NULL is never satisfied.
-    let rows = db.query("select k from t where k not in (select k from u)").unwrap();
+    let rows = db
+        .query("select k from t where k not in (select k from u)")
+        .unwrap();
     assert!(rows.is_empty());
 }
 
 #[test]
 fn scalar_subquery() {
     let db = Database::new();
-    db.run_script(
-        "create table t (v integer); insert into t values (1), (2), (3);",
-    )
-    .unwrap();
-    let rows = db.query("select v from t where v = (select max(v) from t)").unwrap();
+    db.run_script("create table t (v integer); insert into t values (1), (2), (3);")
+        .unwrap();
+    let rows = db
+        .query("select v from t where v = (select max(v) from t)")
+        .unwrap();
     assert_eq!(v_int(&rows), vec![vec![3]]);
 }
 
@@ -451,10 +486,7 @@ fn case_expression_in_aggregate() {
              from t group by mode order by mode",
         )
         .unwrap();
-    assert_eq!(
-        v_int(&sorted_strless(&rows)),
-        vec![vec![1, 1], vec![1, 0]]
-    );
+    assert_eq!(v_int(&sorted_strless(&rows)), vec![vec![1, 1], vec![1, 0]]);
 }
 
 fn sorted_strless(rows: &conquer_engine::Rows) -> conquer_engine::Rows {
@@ -464,7 +496,10 @@ fn sorted_strless(rows: &conquer_engine::Rows) -> conquer_engine::Rows {
     });
     let mut s = out.schema.clone();
     s.columns.remove(0);
-    conquer_engine::Rows { schema: s, rows: out.rows }
+    conquer_engine::Rows {
+        schema: s,
+        rows: out.rows,
+    }
 }
 
 #[test]
@@ -497,7 +532,9 @@ fn between_and_in_list_and_like() {
         .query("select count(*) from l where mode in ('MAIL', 'SHIP')")
         .unwrap();
     assert_eq!(rows.rows[0][0], Value::Int(2));
-    let rows = db.query("select count(*) from l where mode like '%AIL'").unwrap();
+    let rows = db
+        .query("select count(*) from l where mode like '%AIL'")
+        .unwrap();
     assert_eq!(rows.rows[0][0], Value::Int(2));
 }
 
@@ -516,10 +553,8 @@ fn distinct_on_multiple_columns() {
 #[test]
 fn where_with_null_comparison_filters_row() {
     let db = Database::new();
-    db.run_script(
-        "create table t (v integer); insert into t values (1), (null);",
-    )
-    .unwrap();
+    db.run_script("create table t (v integer); insert into t values (1), (null);")
+        .unwrap();
     // NULL > 0 is unknown, so the NULL row is filtered out.
     let rows = db.query("select v from t where v > 0").unwrap();
     assert_eq!(rows.len(), 1);
@@ -561,7 +596,8 @@ fn select_without_from() {
 #[test]
 fn cte_shadowing_and_chaining() {
     let db = Database::new();
-    db.run_script("create table t (v integer); insert into t values (1), (2)").unwrap();
+    db.run_script("create table t (v integer); insert into t values (1), (2)")
+        .unwrap();
     let rows = db
         .query(
             "with t2 as (select v + 10 as v from t),
@@ -575,7 +611,8 @@ fn cte_shadowing_and_chaining() {
 #[test]
 fn derived_table_in_from() {
     let db = Database::new();
-    db.run_script("create table t (v integer); insert into t values (1), (2), (3)").unwrap();
+    db.run_script("create table t (v integer); insert into t values (1), (2), (3)")
+        .unwrap();
     let rows = db
         .query("select s.total from (select sum(v) as total from t) s")
         .unwrap();
@@ -604,7 +641,9 @@ fn arithmetic_on_projected_expressions() {
     )
     .unwrap();
     let rows = db.query("select sum(price * (1 - disc)) from l").unwrap();
-    let Value::Float(total) = rows.rows[0][0] else { panic!() };
+    let Value::Float(total) = rows.rows[0][0] else {
+        panic!()
+    };
     assert!((total - 280.0).abs() < 1e-9);
 }
 
@@ -617,17 +656,19 @@ fn group_by_column_used_qualified_and_bare() {
     )
     .unwrap();
     // group by t.k, select k: structural match through binding.
-    let rows = db.query("select k, sum(v) from t group by t.k order by k").unwrap();
+    let rows = db
+        .query("select k, sum(v) from t group by t.k order by k")
+        .unwrap();
     assert_eq!(v_int(&rows), vec![vec![1, 30], vec![2, 5]]);
 }
 
 #[test]
 fn projection_of_non_grouped_column_errors() {
     let db = Database::new();
-    db.run_script(
-        "create table t (k integer, v integer); insert into t values (1, 2)",
-    )
-    .unwrap();
-    let err = db.query("select v, count(*) from t group by k").unwrap_err();
+    db.run_script("create table t (k integer, v integer); insert into t values (1, 2)")
+        .unwrap();
+    let err = db
+        .query("select v, count(*) from t group by k")
+        .unwrap_err();
     assert!(err.to_string().contains("GROUP BY"), "{err}");
 }

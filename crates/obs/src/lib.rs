@@ -1,0 +1,50 @@
+//! # conquer-obs — observability for the ConQuer stack
+//!
+//! A deliberately small, dependency-free measurement layer used by every
+//! other crate in the workspace:
+//!
+//! * [`span`](mod@span) — lightweight spans over a thread-local stack with
+//!   monotonic timing, structured `key=value` fields, pluggable global
+//!   subscribers (human-readable or JSON-lines sinks), and a scoped
+//!   [`capture`] helper that collects the spans produced by a closure.
+//!   The query pipeline (parse → analyze → rewrite → plan → optimize →
+//!   execute) is instrumented with these spans.
+//! * [`metrics`] — a global registry of counters and log-scale histograms
+//!   with a JSON snapshot export; every closed span also feeds a
+//!   `span.<name>.ns` histogram, so phase latency distributions are
+//!   available process-wide without any subscriber installed.
+//! * [`json`] — a minimal JSON value type and writer (the workspace builds
+//!   offline, so there is no `serde`); used for the bench harness's
+//!   `BENCH_<fig>.json` exports and `EXPLAIN ANALYZE` machine output.
+//!
+//! The paper's headline claim (SIGMOD 2005, Section 6) is that
+//! consistent-answer rewritings cost less than ~2× the original query;
+//! this crate exists so the repository can say *where* that factor goes.
+//!
+//! ```
+//! use conquer_obs::{capture, span};
+//!
+//! let (value, spans) = capture(|| {
+//!     let _outer = span("execute").field("rows", 3u64);
+//!     {
+//!         let _inner = span("hash_join");
+//!     }
+//!     42
+//! });
+//! assert_eq!(value, 42);
+//! assert_eq!(spans.len(), 2); // inner closes first
+//! assert_eq!(spans[0].name, "hash_join");
+//! assert_eq!(spans[1].name, "execute");
+//! assert!(spans[1].wall >= spans[0].wall);
+//! ```
+
+pub mod json;
+pub mod metrics;
+pub mod span;
+
+pub use json::Json;
+pub use metrics::{registry, Counter, Histogram, HistogramSnapshot, Registry};
+pub use span::{
+    capture, clear_subscriber, phase_totals, set_subscriber, span, FieldValue, HumanSink,
+    JsonLinesSink, Span, SpanRecord, Subscriber,
+};

@@ -1,0 +1,350 @@
+//! Lightweight spans: scoped, monotonic timers on a thread-local stack.
+//!
+//! A [`Span`] is an RAII guard: creating it pushes a frame on the current
+//! thread's span stack, dropping it records the elapsed wall time. Closed
+//! spans are delivered to
+//!
+//! 1. any [`capture`] scopes active on the thread (innermost first),
+//! 2. the global [`Subscriber`], when one is installed, and
+//! 3. the global metrics registry, as a `span.<name>.ns` histogram.
+//!
+//! Spans are intended for *phase*-level instrumentation (parse, analyze,
+//! rewrite, plan, optimize, execute) — a handful per query, not one per
+//! row — so the constant per-span cost (one `Instant::now` pair plus a
+//! histogram update) is negligible next to the work being measured.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::io::Write;
+use std::rc::Rc;
+use std::sync::{Mutex, OnceLock, RwLock};
+use std::time::{Duration, Instant};
+
+use crate::json::Json;
+use crate::metrics;
+
+/// A structured field value attached to a span.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Bool(bool),
+    Str(String),
+}
+
+impl fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldValue::I64(v) => write!(f, "{v}"),
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::F64(v) => write!(f, "{v}"),
+            FieldValue::Bool(v) => write!(f, "{v}"),
+            FieldValue::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+impl From<&FieldValue> for Json {
+    fn from(v: &FieldValue) -> Json {
+        match v {
+            FieldValue::I64(v) => Json::Int(*v),
+            FieldValue::U64(v) => Json::UInt(*v),
+            FieldValue::F64(v) => Json::Float(*v),
+            FieldValue::Bool(v) => Json::Bool(*v),
+            FieldValue::Str(v) => Json::Str(v.clone()),
+        }
+    }
+}
+
+/// A closed span, as delivered to collectors and subscribers.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Phase / operation name, e.g. `"rewrite"` or `"execute"`.
+    pub name: &'static str,
+    /// Structured fields attached via [`Span::field`].
+    pub fields: Vec<(&'static str, FieldValue)>,
+    /// Nesting depth at open time (0 = no enclosing span on this thread).
+    pub depth: usize,
+    /// Start offset from the process-wide monotonic epoch.
+    pub start: Duration,
+    /// Wall-clock duration of the span.
+    pub wall: Duration,
+}
+
+impl SpanRecord {
+    /// The record as a JSON object (the JSON-lines sink's line format).
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::obj([
+            ("span", Json::from(self.name)),
+            ("depth", Json::from(self.depth)),
+            ("start_us", Json::UInt(self.start.as_micros() as u64)),
+            ("wall_us", Json::UInt(self.wall.as_micros() as u64)),
+        ]);
+        for (k, v) in &self.fields {
+            obj.push(*k, Json::from(v));
+        }
+        obj
+    }
+}
+
+/// Receives every closed span process-wide. Implementations must be cheap
+/// or buffer internally: they run inline at span close.
+pub trait Subscriber: Send + Sync {
+    fn on_close(&self, record: &SpanRecord);
+}
+
+/// Human-readable sink: one indented line per closed span on stderr.
+pub struct HumanSink;
+
+impl Subscriber for HumanSink {
+    fn on_close(&self, record: &SpanRecord) {
+        let mut line = String::new();
+        for _ in 0..record.depth {
+            line.push_str("  ");
+        }
+        line.push_str(record.name);
+        line.push_str(&format!(" {:.3}ms", record.wall.as_secs_f64() * 1e3));
+        for (k, v) in &record.fields {
+            line.push_str(&format!(" {k}={v}"));
+        }
+        eprintln!("{line}");
+    }
+}
+
+/// JSON-lines sink: one JSON object per closed span, written to any
+/// `Write` target behind a mutex.
+pub struct JsonLinesSink<W: Write + Send> {
+    out: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonLinesSink<W> {
+    pub fn new(out: W) -> Self {
+        JsonLinesSink {
+            out: Mutex::new(out),
+        }
+    }
+}
+
+impl<W: Write + Send> Subscriber for JsonLinesSink<W> {
+    fn on_close(&self, record: &SpanRecord) {
+        if let Ok(mut out) = self.out.lock() {
+            let _ = writeln!(out, "{}", record.to_json().render());
+        }
+    }
+}
+
+fn global_subscriber() -> &'static RwLock<Option<Box<dyn Subscriber>>> {
+    static SUBSCRIBER: OnceLock<RwLock<Option<Box<dyn Subscriber>>>> = OnceLock::new();
+    SUBSCRIBER.get_or_init(|| RwLock::new(None))
+}
+
+/// Install the process-wide subscriber (replacing any previous one).
+pub fn set_subscriber(subscriber: Box<dyn Subscriber>) {
+    *global_subscriber().write().unwrap() = Some(subscriber);
+}
+
+/// Remove the process-wide subscriber.
+pub fn clear_subscriber() {
+    *global_subscriber().write().unwrap() = None;
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+type CollectorHandle = Rc<RefCell<Vec<SpanRecord>>>;
+
+thread_local! {
+    static DEPTH: RefCell<usize> = const { RefCell::new(0) };
+    static COLLECTORS: RefCell<Vec<CollectorHandle>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An open span; created by [`span`], closed (and recorded) on drop.
+#[must_use = "a span measures the scope it is alive in; bind it to a variable"]
+pub struct Span {
+    name: &'static str,
+    fields: Vec<(&'static str, FieldValue)>,
+    depth: usize,
+    start_instant: Instant,
+    start: Duration,
+}
+
+/// Open a span. The returned guard records the span when dropped.
+pub fn span(name: &'static str) -> Span {
+    let depth = DEPTH.with(|d| {
+        let mut d = d.borrow_mut();
+        let current = *d;
+        *d += 1;
+        current
+    });
+    let now = Instant::now();
+    Span {
+        name,
+        fields: Vec::new(),
+        depth,
+        start_instant: now,
+        start: now - epoch(),
+    }
+}
+
+impl Span {
+    /// Attach a structured field (builder style).
+    pub fn field(mut self, key: &'static str, value: impl Into<FieldValue>) -> Span {
+        self.fields.push((key, value.into()));
+        self
+    }
+
+    /// Attach a structured field to an already-bound span.
+    pub fn record(&mut self, key: &'static str, value: impl Into<FieldValue>) {
+        self.fields.push((key, value.into()));
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let wall = self.start_instant.elapsed();
+        DEPTH.with(|d| {
+            let mut d = d.borrow_mut();
+            *d = d.saturating_sub(1);
+        });
+        let record = SpanRecord {
+            name: self.name,
+            fields: std::mem::take(&mut self.fields),
+            depth: self.depth,
+            start: self.start,
+            wall,
+        };
+        // Latency histogram, always on: one atomic add per span.
+        metrics::registry()
+            .span_histogram(self.name)
+            .record(wall.as_nanos() as u64);
+        COLLECTORS.with(|c| {
+            for collector in c.borrow().iter() {
+                collector.borrow_mut().push(record.clone());
+            }
+        });
+        if let Ok(guard) = global_subscriber().read() {
+            if let Some(subscriber) = guard.as_ref() {
+                subscriber.on_close(&record);
+            }
+        }
+    }
+}
+
+/// Run `f`, collecting every span closed on this thread while it runs.
+/// Spans are returned in close order (children before parents).
+pub fn capture<T>(f: impl FnOnce() -> T) -> (T, Vec<SpanRecord>) {
+    let collector: CollectorHandle = Rc::new(RefCell::new(Vec::new()));
+    COLLECTORS.with(|c| c.borrow_mut().push(Rc::clone(&collector)));
+    // Pop the collector even if `f` panics, so a poisoned test does not
+    // leak collection into unrelated code on this thread.
+    struct PopOnDrop;
+    impl Drop for PopOnDrop {
+        fn drop(&mut self) {
+            COLLECTORS.with(|c| {
+                c.borrow_mut().pop();
+            });
+        }
+    }
+    let _guard = PopOnDrop;
+    let value = f();
+    drop(_guard);
+    let records = Rc::try_unwrap(collector)
+        .map(RefCell::into_inner)
+        .unwrap_or_else(|rc| rc.borrow().clone());
+    (value, records)
+}
+
+/// Sum the wall time of captured spans per name, shallowest occurrence
+/// only (nested re-entries of the same phase are not double-counted).
+pub fn phase_totals(records: &[SpanRecord]) -> Vec<(&'static str, Duration)> {
+    let mut totals: Vec<(&'static str, Duration)> = Vec::new();
+    for r in records {
+        if records.iter().any(|outer| {
+            outer.name == r.name
+                && outer.depth < r.depth
+                && outer.start <= r.start
+                && r.start + r.wall <= outer.start + outer.wall
+        }) {
+            continue; // nested re-entry of the same phase
+        }
+        match totals.iter_mut().find(|(n, _)| *n == r.name) {
+            Some((_, d)) => *d += r.wall,
+            None => totals.push((r.name, r.wall)),
+        }
+    }
+    totals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fields_render_in_json() {
+        let (_, spans) = capture(|| {
+            let _s = span("phase").field("rows", 7u64).field("kind", "inner");
+        });
+        let json = spans[0].to_json();
+        assert_eq!(json.get("span"), Some(&Json::Str("phase".into())));
+        assert_eq!(json.get("rows"), Some(&Json::UInt(7)));
+        assert_eq!(json.get("kind"), Some(&Json::Str("inner".into())));
+    }
+
+    #[test]
+    fn phase_totals_skips_nested_reentries() {
+        let (_, spans) = capture(|| {
+            let _outer = span("plan");
+            let _inner = span("plan"); // CTE materialization re-enters
+        });
+        let totals = phase_totals(&spans);
+        assert_eq!(totals.len(), 1);
+        let (_, outer_total) = totals[0];
+        // The nested span must not be added on top of the outer one.
+        assert!(outer_total <= spans.iter().map(|s| s.wall).max().unwrap());
+    }
+}

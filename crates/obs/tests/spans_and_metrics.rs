@@ -1,0 +1,158 @@
+//! Unit tests for the observability layer: span nesting and timing
+//! monotonicity, capture scoping, and histogram bucketing.
+
+use std::time::Duration;
+
+use conquer_obs::metrics::{bucket_index, bucket_upper_bound, Histogram};
+use conquer_obs::{capture, phase_totals, span, Json};
+
+#[test]
+fn spans_nest_and_close_inner_first() {
+    let (_, spans) = capture(|| {
+        let _parse = span("parse");
+        drop(_parse);
+        let _execute = span("execute");
+        let _join = span("hash_join");
+        let _probe = span("probe");
+    });
+    let names: Vec<&str> = spans.iter().map(|s| s.name).collect();
+    assert_eq!(names, ["parse", "probe", "hash_join", "execute"]);
+    let depths: Vec<usize> = spans.iter().map(|s| s.depth).collect();
+    assert_eq!(depths, [0, 2, 1, 0]);
+}
+
+#[test]
+fn span_timing_is_monotonic_and_contains_children() {
+    let (_, spans) = capture(|| {
+        let _outer = span("outer");
+        std::thread::sleep(Duration::from_millis(2));
+        let _inner = span("inner");
+        std::thread::sleep(Duration::from_millis(2));
+    });
+    let inner = spans.iter().find(|s| s.name == "inner").unwrap();
+    let outer = spans.iter().find(|s| s.name == "outer").unwrap();
+    // Start offsets come from one monotonic epoch: the child starts after
+    // its parent and ends no later.
+    assert!(inner.start >= outer.start);
+    assert!(inner.start + inner.wall <= outer.start + outer.wall);
+    // Wall time is monotone in the work performed.
+    assert!(outer.wall >= inner.wall);
+    assert!(inner.wall >= Duration::from_millis(2));
+}
+
+#[test]
+fn capture_scopes_do_not_leak() {
+    let (_, first) = capture(|| {
+        let _s = span("inside");
+    });
+    let _stray = span("outside-created");
+    drop(_stray);
+    let (_, second) = capture(|| {});
+    assert_eq!(first.len(), 1);
+    assert!(
+        second.is_empty(),
+        "span closed outside the capture leaked in"
+    );
+}
+
+#[test]
+fn nested_captures_both_observe_inner_spans() {
+    let ((_, inner_spans), outer_spans) = capture(|| {
+        capture(|| {
+            let _s = span("shared");
+        })
+    });
+    assert_eq!(inner_spans.len(), 1);
+    assert_eq!(outer_spans.len(), 1);
+}
+
+#[test]
+fn phase_totals_aggregate_repeated_phases() {
+    let (_, spans) = capture(|| {
+        for _ in 0..3 {
+            let _s = span("execute");
+        }
+        let _other = span("plan");
+    });
+    let totals = phase_totals(&spans);
+    let names: Vec<&str> = totals.iter().map(|(n, _)| *n).collect();
+    assert_eq!(names, ["execute", "plan"]);
+    let execute_total = totals[0].1;
+    let summed: Duration = spans
+        .iter()
+        .filter(|s| s.name == "execute")
+        .map(|s| s.wall)
+        .sum();
+    assert_eq!(execute_total, summed);
+}
+
+#[test]
+fn span_records_export_fields_to_json() {
+    let (_, spans) = capture(|| {
+        let _s = span("plan").field("nodes", 5u64).field("pushdown", true);
+    });
+    let json = spans[0].to_json();
+    assert_eq!(json.get("nodes"), Some(&Json::UInt(5)));
+    assert_eq!(json.get("pushdown"), Some(&Json::Bool(true)));
+    assert!(json.get("wall_us").is_some());
+}
+
+#[test]
+fn histogram_buckets_by_power_of_two() {
+    let h = Histogram::default();
+    // 1 and 1 share bucket 0; 5, 6, 7 share bucket 2 (values 4..=7).
+    for v in [1u64, 1, 5, 6, 7, 300] {
+        h.record(v);
+    }
+    let s = h.snapshot();
+    assert_eq!(s.buckets[bucket_index(1)], 2);
+    assert_eq!(s.buckets[bucket_index(5)], 3);
+    assert_eq!(s.buckets[bucket_index(300)], 1);
+    assert_eq!(s.count, 6);
+    assert_eq!(s.sum, 1 + 1 + 5 + 6 + 7 + 300);
+    assert_eq!(s.max, 300);
+}
+
+#[test]
+fn histogram_bucket_bounds_are_consistent() {
+    for v in [0u64, 1, 2, 3, 4, 7, 8, 1023, 1024, u64::MAX / 2, u64::MAX] {
+        let i = bucket_index(v);
+        assert!(
+            v <= bucket_upper_bound(i),
+            "value {v} above bound of bucket {i}"
+        );
+        if i > 0 {
+            assert!(
+                v > bucket_upper_bound(i - 1),
+                "value {v} fits bucket {}",
+                i - 1
+            );
+        }
+    }
+}
+
+#[test]
+fn histogram_quantiles_are_monotone() {
+    let h = Histogram::default();
+    for v in 1..=1000u64 {
+        h.record(v);
+    }
+    let s = h.snapshot();
+    let (p50, p90, p99) = (s.quantile(0.5), s.quantile(0.9), s.quantile(0.99));
+    assert!(p50 <= p90 && p90 <= p99 && p99 <= s.max);
+    assert!(p50 >= 500 / 2, "p50 {p50} implausibly low");
+    assert!((s.mean() - 500.5).abs() < 1.0);
+}
+
+#[test]
+fn registry_snapshot_includes_span_histograms() {
+    {
+        let _s = span("snapshot_probe");
+    }
+    let snap = conquer_obs::registry().snapshot_json();
+    let histograms = snap.get("histograms").expect("histograms key");
+    assert!(
+        histograms.get("span.snapshot_probe.ns").is_some(),
+        "span close must feed the registry"
+    );
+}

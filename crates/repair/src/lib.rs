@@ -39,7 +39,10 @@ impl std::fmt::Display for RepairError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RepairError::TooManyRepairs { repairs, cap } => {
-                write!(f, "database has {repairs} repairs, exceeding the oracle cap of {cap}")
+                write!(
+                    f,
+                    "database has {repairs} repairs, exceeding the oracle cap of {cap}"
+                )
             }
             RepairError::Engine(msg) => write!(f, "engine error: {msg}"),
             RepairError::Invalid(msg) => write!(f, "invalid oracle use: {msg}"),
@@ -104,7 +107,10 @@ impl RepairEnumerator {
                     for g in &groups {
                         total = total.saturating_mul(g.len() as u128);
                         if total > cap {
-                            return Err(RepairError::TooManyRepairs { repairs: total, cap });
+                            return Err(RepairError::TooManyRepairs {
+                                repairs: total,
+                                cap,
+                            });
                         }
                     }
                     let columns = table
@@ -113,11 +119,19 @@ impl RepairEnumerator {
                         .iter()
                         .map(|c| (c.name.clone(), c.ty))
                         .collect();
-                    grouped.push(GroupedRelation { name, columns, groups });
+                    grouped.push(GroupedRelation {
+                        name,
+                        columns,
+                        groups,
+                    });
                 }
             }
         }
-        Ok(RepairEnumerator { base, grouped, total })
+        Ok(RepairEnumerator {
+            base,
+            grouped,
+            total,
+        })
     }
 
     /// Total number of repairs.
@@ -129,10 +143,7 @@ impl RepairEnumerator {
     ///
     /// The same `Database` value is reused across calls; constrained tables
     /// are re-registered with the current repair's tuples.
-    pub fn for_each_repair(
-        &self,
-        mut f: impl FnMut(&Database) -> Result<()>,
-    ) -> Result<()> {
+    pub fn for_each_repair(&self, mut f: impl FnMut(&Database) -> Result<()>) -> Result<()> {
         // Mixed-radix counter across every group of every relation.
         let radices: Vec<usize> = self
             .grouped
@@ -235,11 +246,7 @@ impl RowBag {
 
 /// Consistent answers by definition: the bag-intersection (minimum
 /// multiplicity) of the query result over every repair.
-pub fn consistent_answers_oracle(
-    db: &Database,
-    sql: &str,
-    sigma: &ConstraintSet,
-) -> Result<Rows> {
+pub fn consistent_answers_oracle(db: &Database, sql: &str, sigma: &ConstraintSet) -> Result<Rows> {
     let enumerator = RepairEnumerator::new(db, sigma, DEFAULT_REPAIR_CAP)?;
     let mut acc: Option<(RowBag, conquer_engine::Schema)> = None;
     enumerator.for_each_repair(|repair| {
@@ -369,7 +376,10 @@ pub fn answers_with_support(
             seen_this_repair.insert(Key::from_values(row), row.clone());
         }
         for (k, row) in seen_this_repair {
-            counts.entry(k).and_modify(|(_, c)| *c += 1).or_insert((row, 1));
+            counts
+                .entry(k)
+                .and_modify(|(_, c)| *c += 1)
+                .or_insert((row, 1));
         }
         Ok(())
     })?;
@@ -466,15 +476,13 @@ mod tests {
         )
         .unwrap();
         let sigma = ConstraintSet::new().with_key("customer", ["custkey"]);
-        let answers = range_consistent_oracle(
-            &db,
-            "select sum(acctbal) from customer",
-            &sigma,
-            0,
-        )
-        .unwrap();
+        let answers =
+            range_consistent_oracle(&db, "select sum(acctbal) from customer", &sigma, 0).unwrap();
         assert_eq!(answers.len(), 1);
-        assert_eq!(answers[0].ranges, vec![(Value::Float(1600.0), Value::Float(2700.0))]);
+        assert_eq!(
+            answers[0].ranges,
+            vec![(Value::Float(1600.0), Value::Float(2700.0))]
+        );
     }
 
     #[test]
@@ -501,7 +509,10 @@ mod tests {
         .unwrap();
         assert_eq!(answers.len(), 1);
         assert_eq!(answers[0].group, vec![Value::str("n1")]);
-        assert_eq!(answers[0].ranges, vec![(Value::Float(1000.0), Value::Float(2500.0))]);
+        assert_eq!(
+            answers[0].ranges,
+            vec![(Value::Float(1000.0), Value::Float(2500.0))]
+        );
     }
 
     #[test]
@@ -515,8 +526,10 @@ mod tests {
         )
         .unwrap();
         // c2 and c3 appear in all 4 repairs; c1 in 2 of 4.
-        let by_name: HashMap<String, f64> =
-            support.into_iter().map(|(r, s)| (r[0].to_string(), s)).collect();
+        let by_name: HashMap<String, f64> = support
+            .into_iter()
+            .map(|(r, s)| (r[0].to_string(), s))
+            .collect();
         assert_eq!(by_name["c2"], 1.0);
         assert_eq!(by_name["c3"], 1.0);
         assert_eq!(by_name["c1"], 0.5);
@@ -525,9 +538,12 @@ mod tests {
     #[test]
     fn repair_cap_enforced() {
         let db = Database::new();
-        let mut script = String::from("create table t (k integer, v integer);\ninsert into t values ");
+        let mut script =
+            String::from("create table t (k integer, v integer);\ninsert into t values ");
         // 20 keys with 2 tuples each -> 2^20 repairs.
-        let rows: Vec<String> = (0..20).flat_map(|k| [format!("({k}, 0)"), format!("({k}, 1)")]).collect();
+        let rows: Vec<String> = (0..20)
+            .flat_map(|k| [format!("({k}, 0)"), format!("({k}, 1)")])
+            .collect();
         script.push_str(&rows.join(", "));
         db.run_script(&script).unwrap();
         let sigma = ConstraintSet::new().with_key("t", ["k"]);

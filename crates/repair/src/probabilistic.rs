@@ -70,7 +70,10 @@ pub fn answer_probabilities(
             seen.insert(Key::from_values(row), row.clone());
         }
         for (k, row) in seen {
-            totals.entry(k).and_modify(|(_, p)| *p += weight).or_insert((row, weight));
+            totals
+                .entry(k)
+                .and_modify(|(_, p)| *p += weight)
+                .or_insert((row, weight));
         }
         Ok(())
     })?;
@@ -80,7 +83,10 @@ pub fn answer_probabilities(
 
     let mut out: Vec<ProbableAnswer> = totals
         .into_values()
-        .map(|(row, p)| ProbableAnswer { row, probability: p / total_mass })
+        .map(|(row, p)| ProbableAnswer {
+            row,
+            probability: p / total_mass,
+        })
         .collect();
     out.sort_by(|a, b| {
         b.probability
@@ -104,7 +110,10 @@ pub fn most_probable_answers(
     let Some(best) = all.first().map(|a| a.probability) else {
         return Ok(Vec::new());
     };
-    Ok(all.into_iter().take_while(|a| a.probability >= best - epsilon).collect())
+    Ok(all
+        .into_iter()
+        .take_while(|a| a.probability >= best - epsilon)
+        .collect())
 }
 
 fn cmp_rows(a: &Row, b: &Row) -> std::cmp::Ordering {
@@ -129,7 +138,9 @@ fn repair_weight_table(
     // Rebuild the same group structure the enumerator uses.
     let mut group_weights: Vec<Vec<f64>> = Vec::new();
     for name in db.table_names() {
-        let Some(key) = sigma.key_of(&name) else { continue };
+        let Some(key) = sigma.key_of(&name) else {
+            continue;
+        };
         let table = db.table(&name)?;
         let key_idx: Vec<usize> = key
             .iter()
@@ -215,8 +226,10 @@ mod tests {
             &HashMap::new(),
         )
         .unwrap();
-        let by_name: HashMap<String, f64> =
-            probs.iter().map(|a| (a.row[0].to_string(), a.probability)).collect();
+        let by_name: HashMap<String, f64> = probs
+            .iter()
+            .map(|a| (a.row[0].to_string(), a.probability))
+            .collect();
         // Uniform weights reduce to the repair-support semantics.
         assert!((by_name["c2"] - 1.0).abs() < 1e-12);
         assert!((by_name["c3"] - 1.0).abs() < 1e-12);
@@ -228,11 +241,9 @@ mod tests {
         let db = figure1_db();
         let sigma = ConstraintSet::new().with_key("customer", ["custkey"]);
         // Trust high balances three times as much as low ones.
-        let weight: WeightFn<'_> = &|row: &Row| {
-            match row[1].as_f64() {
-                Ok(Some(bal)) if bal > 1000.0 => 3.0,
-                _ => 1.0,
-            }
+        let weight: WeightFn<'_> = &|row: &Row| match row[1].as_f64() {
+            Ok(Some(bal)) if bal > 1000.0 => 3.0,
+            _ => 1.0,
         };
         let mut weights: HashMap<String, WeightFn<'_>> = HashMap::new();
         weights.insert("customer".to_string(), weight);
@@ -243,8 +254,10 @@ mod tests {
             &weights,
         )
         .unwrap();
-        let by_name: HashMap<String, f64> =
-            probs.iter().map(|a| (a.row[0].to_string(), a.probability)).collect();
+        let by_name: HashMap<String, f64> = probs
+            .iter()
+            .map(|a| (a.row[0].to_string(), a.probability))
+            .collect();
         // c1's satisfying tuple now has weight 3 of 4.
         assert!((by_name["c1"] - 0.75).abs() < 1e-12);
         assert!((by_name["c2"] - 1.0).abs() < 1e-12);
@@ -278,11 +291,12 @@ mod tests {
         )
         .unwrap();
         let sigma = ConstraintSet::new().with_key("t", ["k"]);
-        let probs =
-            answer_probabilities(&db, "select v from t", &sigma, &HashMap::new()).unwrap();
+        let probs = answer_probabilities(&db, "select v from t", &sigma, &HashMap::new()).unwrap();
         let sum: f64 = probs.iter().map(|a| a.probability).sum();
         assert!((sum - 1.0).abs() < 1e-12);
-        assert!(probs.iter().all(|a| (a.probability - 1.0 / 3.0).abs() < 1e-12));
+        assert!(probs
+            .iter()
+            .all(|a| (a.probability - 1.0 / 3.0).abs() < 1e-12));
     }
 
     #[test]
@@ -299,8 +313,10 @@ mod tests {
             &weights,
         )
         .unwrap();
-        let by_name: HashMap<String, f64> =
-            probs.iter().map(|a| (a.row[0].to_string(), a.probability)).collect();
+        let by_name: HashMap<String, f64> = probs
+            .iter()
+            .map(|a| (a.row[0].to_string(), a.probability))
+            .collect();
         assert!((by_name["c1"] - 0.5).abs() < 1e-12);
     }
 }

@@ -48,11 +48,17 @@ pub struct ColumnRef {
 
 impl ColumnRef {
     pub fn new(qualifier: impl Into<String>, name: impl Into<String>) -> Self {
-        ColumnRef { qualifier: Some(qualifier.into()), name: name.into() }
+        ColumnRef {
+            qualifier: Some(qualifier.into()),
+            name: name.into(),
+        }
     }
 
     pub fn bare(name: impl Into<String>) -> Self {
-        ColumnRef { qualifier: None, name: name.into() }
+        ColumnRef {
+            qualifier: None,
+            name: name.into(),
+        }
     }
 }
 
@@ -115,28 +121,56 @@ pub enum Expr {
     /// Literal constant.
     Literal(Literal),
     /// Binary operation (arithmetic, comparison, `AND`/`OR`).
-    BinaryOp { left: Box<Expr>, op: BinaryOp, right: Box<Expr> },
+    BinaryOp {
+        left: Box<Expr>,
+        op: BinaryOp,
+        right: Box<Expr>,
+    },
     /// Unary operation (`NOT`, unary minus).
     UnaryOp { op: UnaryOp, expr: Box<Expr> },
     /// `expr IS [NOT] NULL`.
     IsNull { expr: Box<Expr>, negated: bool },
     /// `expr [NOT] BETWEEN low AND high`.
-    Between { expr: Box<Expr>, low: Box<Expr>, high: Box<Expr>, negated: bool },
+    Between {
+        expr: Box<Expr>,
+        low: Box<Expr>,
+        high: Box<Expr>,
+        negated: bool,
+    },
     /// `expr [NOT] IN (e1, e2, ...)`.
-    InList { expr: Box<Expr>, list: Vec<Expr>, negated: bool },
+    InList {
+        expr: Box<Expr>,
+        list: Vec<Expr>,
+        negated: bool,
+    },
     /// `expr [NOT] IN (subquery)`.
-    InSubquery { expr: Box<Expr>, subquery: Box<Query>, negated: bool },
+    InSubquery {
+        expr: Box<Expr>,
+        subquery: Box<Query>,
+        negated: bool,
+    },
     /// `expr [NOT] LIKE pattern` (pattern is `%`/`_` wildcards).
-    Like { expr: Box<Expr>, pattern: Box<Expr>, negated: bool },
+    Like {
+        expr: Box<Expr>,
+        pattern: Box<Expr>,
+        negated: bool,
+    },
     /// `[NOT] EXISTS (subquery)`.
     Exists { subquery: Box<Query>, negated: bool },
     /// Scalar subquery `(select ...)` used as a value.
     ScalarSubquery(Box<Query>),
     /// Searched `CASE WHEN c THEN v ... [ELSE e] END`.
-    Case { branches: Vec<(Expr, Expr)>, else_expr: Option<Box<Expr>> },
+    Case {
+        branches: Vec<(Expr, Expr)>,
+        else_expr: Option<Box<Expr>>,
+    },
     /// Function call: aggregates (`SUM`, `MIN`, `MAX`, `COUNT`, `AVG`) and
     /// scalar functions (`ABS`, `COALESCE`, ...).
-    Function { name: String, args: Vec<Expr>, distinct: bool },
+    Function {
+        name: String,
+        args: Vec<Expr>,
+        distinct: bool,
+    },
     /// `*` — only valid inside `COUNT(*)` or `SELECT *`/`EXISTS(SELECT *)`.
     Wildcard,
 }
@@ -163,7 +197,11 @@ impl Expr {
     }
 
     pub fn binary(left: Expr, op: BinaryOp, right: Expr) -> Expr {
-        Expr::BinaryOp { left: Box::new(left), op, right: Box::new(right) }
+        Expr::BinaryOp {
+            left: Box::new(left),
+            op,
+            right: Box::new(right),
+        }
     }
 
     pub fn eq(left: Expr, right: Expr) -> Expr {
@@ -181,15 +219,25 @@ impl Expr {
     /// Logical negation (named `not` to mirror SQL; distinct from `std::ops::Not`).
     #[allow(clippy::should_implement_trait)]
     pub fn not(expr: Expr) -> Expr {
-        Expr::UnaryOp { op: UnaryOp::Not, expr: Box::new(expr) }
+        Expr::UnaryOp {
+            op: UnaryOp::Not,
+            expr: Box::new(expr),
+        }
     }
 
     pub fn is_null(expr: Expr) -> Expr {
-        Expr::IsNull { expr: Box::new(expr), negated: false }
+        Expr::IsNull {
+            expr: Box::new(expr),
+            negated: false,
+        }
     }
 
     pub fn func(name: impl Into<String>, args: Vec<Expr>) -> Expr {
-        Expr::Function { name: name.into(), args, distinct: false }
+        Expr::Function {
+            name: name.into(),
+            args,
+            distinct: false,
+        }
     }
 
     pub fn count_star() -> Expr {
@@ -197,11 +245,17 @@ impl Expr {
     }
 
     pub fn exists(q: Query) -> Expr {
-        Expr::Exists { subquery: Box::new(q), negated: false }
+        Expr::Exists {
+            subquery: Box::new(q),
+            negated: false,
+        }
     }
 
     pub fn not_exists(q: Query) -> Expr {
-        Expr::Exists { subquery: Box::new(q), negated: true }
+        Expr::Exists {
+            subquery: Box::new(q),
+            negated: true,
+        }
     }
 
     /// Conjoin all expressions with `AND`; `None` when the input is empty.
@@ -218,7 +272,12 @@ impl Expr {
     pub fn split_conjuncts(&self) -> Vec<&Expr> {
         let mut out = Vec::new();
         fn walk<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
-            if let Expr::BinaryOp { left, op: BinaryOp::And, right } = e {
+            if let Expr::BinaryOp {
+                left,
+                op: BinaryOp::And,
+                right,
+            } = e
+            {
                 walk(left, out);
                 walk(right, out);
             } else {
@@ -246,7 +305,9 @@ impl Expr {
                 right.visit_columns(f);
             }
             Expr::UnaryOp { expr, .. } | Expr::IsNull { expr, .. } => expr.visit_columns(f),
-            Expr::Between { expr, low, high, .. } => {
+            Expr::Between {
+                expr, low, high, ..
+            } => {
                 expr.visit_columns(f);
                 low.visit_columns(f);
                 high.visit_columns(f);
@@ -263,7 +324,10 @@ impl Expr {
                 pattern.visit_columns(f);
             }
             Expr::Exists { .. } | Expr::ScalarSubquery(_) => {}
-            Expr::Case { branches, else_expr } => {
+            Expr::Case {
+                branches,
+                else_expr,
+            } => {
                 for (c, v) in branches {
                     c.visit_columns(f);
                     v.visit_columns(f);
@@ -291,9 +355,9 @@ impl Expr {
                 left.contains_aggregate() || right.contains_aggregate()
             }
             Expr::UnaryOp { expr, .. } | Expr::IsNull { expr, .. } => expr.contains_aggregate(),
-            Expr::Between { expr, low, high, .. } => {
-                expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate()
-            }
+            Expr::Between {
+                expr, low, high, ..
+            } => expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate(),
             Expr::InList { expr, list, .. } => {
                 expr.contains_aggregate() || list.iter().any(Expr::contains_aggregate)
             }
@@ -301,8 +365,13 @@ impl Expr {
             Expr::Like { expr, pattern, .. } => {
                 expr.contains_aggregate() || pattern.contains_aggregate()
             }
-            Expr::Case { branches, else_expr } => {
-                branches.iter().any(|(c, v)| c.contains_aggregate() || v.contains_aggregate())
+            Expr::Case {
+                branches,
+                else_expr,
+            } => {
+                branches
+                    .iter()
+                    .any(|(c, v)| c.contains_aggregate() || v.contains_aggregate())
                     || else_expr.as_ref().is_some_and(|e| e.contains_aggregate())
             }
             _ => false,
@@ -314,10 +383,10 @@ impl Expr {
 /// table names); quote them with `"..."` instead. Shared by the parser
 /// (alias/expression disambiguation) and the printer (quoting decisions).
 pub const RESERVED_WORDS: &[&str] = &[
-    "select", "from", "where", "group", "having", "order", "limit", "union", "on", "join",
-    "left", "right", "full", "inner", "outer", "cross", "and", "or", "not", "as", "by",
-    "distinct", "exists", "in", "is", "null", "between", "like", "case", "when", "then",
-    "else", "end", "with", "values", "insert", "create", "into", "all", "asc", "desc",
+    "select", "from", "where", "group", "having", "order", "limit", "union", "on", "join", "left",
+    "right", "full", "inner", "outer", "cross", "and", "or", "not", "as", "by", "distinct",
+    "exists", "in", "is", "null", "between", "like", "case", "when", "then", "else", "end", "with",
+    "values", "insert", "create", "into", "all", "asc", "desc",
 ];
 
 /// `true` when `word` (already lower-cased) is a reserved keyword.
@@ -347,7 +416,10 @@ impl SelectItem {
     }
 
     pub fn aliased(expr: Expr, alias: impl Into<String>) -> SelectItem {
-        SelectItem::Expr { expr, alias: Some(alias.into()) }
+        SelectItem::Expr {
+            expr,
+            alias: Some(alias.into()),
+        }
     }
 }
 
@@ -367,16 +439,27 @@ pub enum TableRef {
     /// Derived table `(subquery) AS alias`.
     Subquery { query: Box<Query>, alias: String },
     /// `left JOIN right ON cond` (or LEFT OUTER / CROSS variants).
-    Join { left: Box<TableRef>, kind: JoinKind, right: Box<TableRef>, on: Option<Expr> },
+    Join {
+        left: Box<TableRef>,
+        kind: JoinKind,
+        right: Box<TableRef>,
+        on: Option<Expr>,
+    },
 }
 
 impl TableRef {
     pub fn table(name: impl Into<String>) -> TableRef {
-        TableRef::Table { name: name.into(), alias: None }
+        TableRef::Table {
+            name: name.into(),
+            alias: None,
+        }
     }
 
     pub fn aliased(name: impl Into<String>, alias: impl Into<String>) -> TableRef {
-        TableRef::Table { name: name.into(), alias: Some(alias.into()) }
+        TableRef::Table {
+            name: name.into(),
+            alias: Some(alias.into()),
+        }
     }
 
     pub fn join(self, right: TableRef, on: Expr) -> TableRef {
@@ -509,7 +592,14 @@ pub struct ColumnDef {
 pub enum Statement {
     Query(Query),
     /// `CREATE TABLE name (col type, ...)`.
-    CreateTable { name: String, columns: Vec<ColumnDef> },
+    CreateTable {
+        name: String,
+        columns: Vec<ColumnDef>,
+    },
     /// `INSERT INTO name [(cols)] VALUES (…), (…)` .
-    Insert { table: String, columns: Vec<String>, rows: Vec<Vec<Expr>> },
+    Insert {
+        table: String,
+        columns: Vec<String>,
+        rows: Vec<Vec<Expr>>,
+    },
 }

@@ -89,7 +89,10 @@ mod tests {
         assert_eq!(ymd_to_days(1992, 1, 1), Some(8035));
         assert_eq!(ymd_to_days(1998, 12, 31), Some(10591));
         // Leap day.
-        assert_eq!(ymd_to_days(1996, 2, 29).map(format_date).as_deref(), Some("1996-02-29"));
+        assert_eq!(
+            ymd_to_days(1996, 2, 29).map(format_date).as_deref(),
+            Some("1996-02-29")
+        );
     }
 
     #[test]

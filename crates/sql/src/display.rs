@@ -44,7 +44,9 @@ impl Display for ColumnRef {
 fn ident(name: &str) -> String {
     let bare = !name.is_empty()
         && name.chars().next().unwrap().is_ascii_lowercase()
-        && name.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        && name
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
         && !crate::ast::is_reserved_word(name);
     if bare {
         name.to_string()
@@ -89,14 +91,18 @@ fn precedence(op: BinaryOp) -> u8 {
 fn expr_precedence(e: &Expr) -> u8 {
     match e {
         Expr::BinaryOp { op, .. } => precedence(*op),
-        Expr::UnaryOp { op: UnaryOp::Not, .. } => 3,
+        Expr::UnaryOp {
+            op: UnaryOp::Not, ..
+        } => 3,
         // Predicate forms parse at comparison level.
         Expr::IsNull { .. }
         | Expr::Between { .. }
         | Expr::InList { .. }
         | Expr::InSubquery { .. }
         | Expr::Like { .. } => 4,
-        Expr::UnaryOp { op: UnaryOp::Neg, .. } => 7,
+        Expr::UnaryOp {
+            op: UnaryOp::Neg, ..
+        } => 7,
         _ => 8,
     }
 }
@@ -130,11 +136,17 @@ impl Display for Expr {
                 write!(f, " {op} ")?;
                 fmt_child(f, right, rmin)
             }
-            Expr::UnaryOp { op: UnaryOp::Not, expr } => {
+            Expr::UnaryOp {
+                op: UnaryOp::Not,
+                expr,
+            } => {
                 f.write_str("NOT ")?;
                 fmt_child(f, expr, 4)
             }
-            Expr::UnaryOp { op: UnaryOp::Neg, expr } => {
+            Expr::UnaryOp {
+                op: UnaryOp::Neg,
+                expr,
+            } => {
                 f.write_str("-")?;
                 fmt_child(f, expr, 8)
             }
@@ -142,25 +154,46 @@ impl Display for Expr {
                 fmt_child(f, expr, 5)?;
                 f.write_str(if *negated { " IS NOT NULL" } else { " IS NULL" })
             }
-            Expr::Between { expr, low, high, negated } => {
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
                 fmt_child(f, expr, 5)?;
-                f.write_str(if *negated { " NOT BETWEEN " } else { " BETWEEN " })?;
+                f.write_str(if *negated {
+                    " NOT BETWEEN "
+                } else {
+                    " BETWEEN "
+                })?;
                 fmt_child(f, low, 5)?;
                 f.write_str(" AND ")?;
                 fmt_child(f, high, 5)
             }
-            Expr::InList { expr, list, negated } => {
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 fmt_child(f, expr, 5)?;
                 f.write_str(if *negated { " NOT IN (" } else { " IN (" })?;
                 fmt_comma_list(f, list)?;
                 f.write_str(")")
             }
-            Expr::InSubquery { expr, subquery, negated } => {
+            Expr::InSubquery {
+                expr,
+                subquery,
+                negated,
+            } => {
                 fmt_child(f, expr, 5)?;
                 f.write_str(if *negated { " NOT IN (" } else { " IN (" })?;
                 write!(f, "{subquery})")
             }
-            Expr::Like { expr, pattern, negated } => {
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
                 fmt_child(f, expr, 5)?;
                 f.write_str(if *negated { " NOT LIKE " } else { " LIKE " })?;
                 fmt_child(f, pattern, 5)
@@ -172,7 +205,10 @@ impl Display for Expr {
                 write!(f, "EXISTS ({subquery})")
             }
             Expr::ScalarSubquery(q) => write!(f, "({q})"),
-            Expr::Case { branches, else_expr } => {
+            Expr::Case {
+                branches,
+                else_expr,
+            } => {
                 f.write_str("CASE")?;
                 for (cond, value) in branches {
                     write!(f, " WHEN {cond} THEN {value}")?;
@@ -182,7 +218,11 @@ impl Display for Expr {
                 }
                 f.write_str(" END")
             }
-            Expr::Function { name, args, distinct } => {
+            Expr::Function {
+                name,
+                args,
+                distinct,
+            } => {
                 write!(f, "{}(", name.to_ascii_lowercase())?;
                 if *distinct {
                     f.write_str("DISTINCT ")?;
@@ -208,7 +248,10 @@ fn fmt_comma_list<T: Display>(f: &mut Formatter<'_>, items: &[T]) -> fmt::Result
 impl Display for SelectItem {
     fn fmt(&self, f: &mut Formatter<'_>) -> fmt::Result {
         match self {
-            SelectItem::Expr { expr, alias: Some(a) } => write!(f, "{expr} AS {}", ident(a)),
+            SelectItem::Expr {
+                expr,
+                alias: Some(a),
+            } => write!(f, "{expr} AS {}", ident(a)),
             SelectItem::Expr { expr, alias: None } => write!(f, "{expr}"),
             SelectItem::Wildcard => f.write_str("*"),
             SelectItem::QualifiedWildcard(q) => write!(f, "{}.*", ident(q)),
@@ -227,7 +270,12 @@ impl Display for TableRef {
                 Ok(())
             }
             TableRef::Subquery { query, alias } => write!(f, "({query}) {}", ident(alias)),
-            TableRef::Join { left, kind, right, on } => {
+            TableRef::Join {
+                left,
+                kind,
+                right,
+                on,
+            } => {
                 write!(f, "{left}")?;
                 f.write_str(match kind {
                     JoinKind::Inner => " JOIN ",
@@ -341,7 +389,11 @@ impl Display for Statement {
                 }
                 f.write_str(")")
             }
-            Statement::Insert { table, columns, rows } => {
+            Statement::Insert {
+                table,
+                columns,
+                rows,
+            } => {
                 write!(f, "INSERT INTO {}", ident(table))?;
                 if !columns.is_empty() {
                     f.write_str(" (")?;

@@ -18,7 +18,10 @@ pub struct ParseError {
 
 impl ParseError {
     pub(crate) fn new(message: impl Into<String>, offset: usize) -> Self {
-        ParseError { message: message.into(), offset }
+        ParseError {
+            message: message.into(),
+            offset,
+        }
     }
 
     /// The human-readable description of the error.
@@ -34,7 +37,11 @@ impl ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "SQL parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "SQL parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 

@@ -123,39 +123,60 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
             b'=' => push_simple(&mut tokens, TokenKind::Eq, &mut i),
             b'<' => match bytes.get(i + 1) {
                 Some(b'=') => {
-                    tokens.push(Token { kind: TokenKind::LtEq, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::LtEq,
+                        offset: start,
+                    });
                     i += 2;
                 }
                 Some(b'>') => {
-                    tokens.push(Token { kind: TokenKind::NotEq, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::NotEq,
+                        offset: start,
+                    });
                     i += 2;
                 }
                 _ => push_simple(&mut tokens, TokenKind::Lt, &mut i),
             },
             b'>' => match bytes.get(i + 1) {
                 Some(b'=') => {
-                    tokens.push(Token { kind: TokenKind::GtEq, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::GtEq,
+                        offset: start,
+                    });
                     i += 2;
                 }
                 _ => push_simple(&mut tokens, TokenKind::Gt, &mut i),
             },
             b'!' if bytes.get(i + 1) == Some(&b'=') => {
-                tokens.push(Token { kind: TokenKind::NotEq, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::NotEq,
+                    offset: start,
+                });
                 i += 2;
             }
             b'\'' => {
                 let (s, next) = lex_string(sql, i)?;
-                tokens.push(Token { kind: TokenKind::String(s), offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::String(s),
+                    offset: start,
+                });
                 i = next;
             }
             b'"' => {
                 let (s, next) = lex_quoted_ident(sql, i)?;
-                tokens.push(Token { kind: TokenKind::QuotedIdent(s), offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::QuotedIdent(s),
+                    offset: start,
+                });
                 i = next;
             }
             b'0'..=b'9' => {
                 let (kind, next) = lex_number(sql, i)?;
-                tokens.push(Token { kind, offset: start });
+                tokens.push(Token {
+                    kind,
+                    offset: start,
+                });
                 i = next;
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
@@ -166,18 +187,27 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                     j += 1;
                 }
                 let word = sql[i..j].to_ascii_lowercase();
-                tokens.push(Token { kind: TokenKind::Ident(word), offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Ident(word),
+                    offset: start,
+                });
                 i = j;
             }
             _ => {
                 return Err(ParseError::new(
-                    format!("unexpected character {:?}", sql[i..].chars().next().unwrap()),
+                    format!(
+                        "unexpected character {:?}",
+                        sql[i..].chars().next().unwrap()
+                    ),
                     start,
                 ))
             }
         }
     }
-    tokens.push(Token { kind: TokenKind::Eof, offset: bytes.len() });
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        offset: bytes.len(),
+    });
     Ok(tokens)
 }
 
@@ -271,9 +301,9 @@ fn lex_number(sql: &str, start: usize) -> Result<(TokenKind, usize)> {
             .map_err(|_| ParseError::new(format!("invalid numeric literal `{text}`"), start))?;
         Ok((TokenKind::Float(v), i))
     } else {
-        let v: i64 = text
-            .parse()
-            .map_err(|_| ParseError::new(format!("integer literal out of range `{text}`"), start))?;
+        let v: i64 = text.parse().map_err(|_| {
+            ParseError::new(format!("integer literal out of range `{text}`"), start)
+        })?;
         Ok((TokenKind::Integer(v), i))
     }
 }
@@ -333,7 +363,12 @@ mod tests {
         // style constructs after numbers never occurs, but guard anyway).
         assert_eq!(
             kinds("1. *"),
-            vec![TokenKind::Integer(1), TokenKind::Dot, TokenKind::Star, TokenKind::Eof]
+            vec![
+                TokenKind::Integer(1),
+                TokenKind::Dot,
+                TokenKind::Star,
+                TokenKind::Eof
+            ]
         );
     }
 
@@ -372,7 +407,11 @@ mod tests {
     fn keywords_are_lowercased() {
         assert_eq!(
             kinds("SELECT FrOm"),
-            vec![TokenKind::Ident("select".into()), TokenKind::Ident("from".into()), TokenKind::Eof]
+            vec![
+                TokenKind::Ident("select".into()),
+                TokenKind::Ident("from".into()),
+                TokenKind::Eof
+            ]
         );
     }
 

@@ -21,7 +21,10 @@ pub struct Parser {
 impl Parser {
     /// Tokenize `sql` and position at the first token.
     pub fn new(sql: &str) -> Result<Parser> {
-        Ok(Parser { tokens: tokenize(sql)?, pos: 0 })
+        Ok(Parser {
+            tokens: tokenize(sql)?,
+            pos: 0,
+        })
     }
 
     /// Parse a complete query and require end of input.
@@ -105,7 +108,11 @@ impl Parser {
         if self.eat_keyword(kw) {
             Ok(())
         } else {
-            Err(self.error_here(format!("expected `{}`, found {}", kw, self.peek().kind.describe())))
+            Err(self.error_here(format!(
+                "expected `{}`, found {}",
+                kw,
+                self.peek().kind.describe()
+            )))
         }
     }
 
@@ -149,7 +156,9 @@ impl Parser {
                 self.advance();
                 Ok(s)
             }
-            other => Err(self.error_here(format!("expected identifier, found {}", other.describe()))),
+            other => {
+                Err(self.error_here(format!("expected identifier, found {}", other.describe())))
+            }
         }
     }
 
@@ -261,7 +270,11 @@ impl Parser {
                 break;
             }
         }
-        Ok(Statement::Insert { table, columns, rows })
+        Ok(Statement::Insert {
+            table,
+            columns,
+            rows,
+        })
     }
 
     // ---- queries ---------------------------------------------------------
@@ -311,7 +324,12 @@ impl Parser {
                 }
             }
         }
-        Ok(Query { ctes, body, order_by, limit })
+        Ok(Query {
+            ctes,
+            body,
+            order_by,
+            limit,
+        })
     }
 
     fn parse_set_expr(&mut self) -> Result<SetExpr> {
@@ -357,7 +375,11 @@ impl Parser {
                 }
             }
         }
-        let selection = if self.eat_keyword("where") { Some(self.parse_expr()?) } else { None };
+        let selection = if self.eat_keyword("where") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
         let mut group_by = Vec::new();
         if self.eat_keyword("group") {
             self.expect_keyword("by")?;
@@ -368,8 +390,19 @@ impl Parser {
                 }
             }
         }
-        let having = if self.eat_keyword("having") { Some(self.parse_expr()?) } else { None };
-        Ok(Select { distinct, projection, from, selection, group_by, having })
+        let having = if self.eat_keyword("having") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(Select {
+            distinct,
+            projection,
+            from,
+            selection,
+            group_by,
+            having,
+        })
     }
 
     fn parse_select_item(&mut self) -> Result<SelectItem> {
@@ -377,8 +410,10 @@ impl Parser {
             return Ok(SelectItem::Wildcard);
         }
         // `alias.*`
-        if matches!(self.peek().kind, TokenKind::Ident(_) | TokenKind::QuotedIdent(_))
-            && matches!(self.peek_at(1).kind, TokenKind::Dot)
+        if matches!(
+            self.peek().kind,
+            TokenKind::Ident(_) | TokenKind::QuotedIdent(_)
+        ) && matches!(self.peek_at(1).kind, TokenKind::Dot)
             && matches!(self.peek_at(2).kind, TokenKind::Star)
         {
             let q = self.parse_ident()?;
@@ -424,7 +459,12 @@ impl Parser {
                 // non-cross joins to avoid silently building cross products.
                 return Err(self.error_here("expected `on` after join"));
             };
-            left = TableRef::Join { left: Box::new(left), kind, right: Box::new(right), on };
+            left = TableRef::Join {
+                left: Box::new(left),
+                kind,
+                right: Box::new(right),
+                on,
+            };
         }
         Ok(left)
     }
@@ -437,10 +477,13 @@ impl Parser {
                 self.advance();
                 let query = self.parse_query()?;
                 self.expect_kind(&TokenKind::RParen)?;
-                let alias = self.parse_optional_alias()?.ok_or_else(|| {
-                    self.error_here("derived table requires an alias")
-                })?;
-                return Ok(TableRef::Subquery { query: Box::new(query), alias });
+                let alias = self
+                    .parse_optional_alias()?
+                    .ok_or_else(|| self.error_here("derived table requires an alias"))?;
+                return Ok(TableRef::Subquery {
+                    query: Box::new(query),
+                    alias,
+                });
             }
             self.advance();
             let inner = self.parse_table_ref()?;
@@ -493,7 +536,10 @@ impl Parser {
             self.advance();
             let negated = self.eat_keyword("not");
             self.expect_keyword("null")?;
-            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
         }
         // [NOT] BETWEEN / IN / LIKE
         let negated = if self.peek_keyword("not")
@@ -536,11 +582,19 @@ impl Parser {
                 }
             }
             self.expect_kind(&TokenKind::RParen)?;
-            return Ok(Expr::InList { expr: Box::new(left), list, negated });
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
         }
         if self.eat_keyword("like") {
             let pattern = self.parse_additive()?;
-            return Ok(Expr::Like { expr: Box::new(left), pattern: Box::new(pattern), negated });
+            return Ok(Expr::Like {
+                expr: Box::new(left),
+                pattern: Box::new(pattern),
+                negated,
+            });
         }
         if negated {
             return Err(self.error_here("expected BETWEEN, IN, or LIKE after NOT"));
@@ -598,7 +652,10 @@ impl Parser {
             return Ok(match inner {
                 Expr::Literal(Literal::Integer(v)) => Expr::Literal(Literal::Integer(-v)),
                 Expr::Literal(Literal::Float(v)) => Expr::Literal(Literal::Float(-v)),
-                other => Expr::UnaryOp { op: UnaryOp::Neg, expr: Box::new(other) },
+                other => Expr::UnaryOp {
+                    op: UnaryOp::Neg,
+                    expr: Box::new(other),
+                },
             });
         }
         if self.eat_kind(&TokenKind::Plus) {
@@ -641,7 +698,9 @@ impl Parser {
                 self.advance();
                 self.parse_column_tail(name)
             }
-            other => Err(self.error_here(format!("expected expression, found {}", other.describe()))),
+            other => {
+                Err(self.error_here(format!("expected expression, found {}", other.describe())))
+            }
         }
     }
 
@@ -664,7 +723,9 @@ impl Parser {
             }
             "date" if matches!(self.peek_at(1).kind, TokenKind::String(_)) => {
                 self.advance();
-                let TokenKind::String(s) = self.advance().kind else { unreachable!() };
+                let TokenKind::String(s) = self.advance().kind else {
+                    unreachable!()
+                };
                 let days = dates::parse_date(&s).ok_or_else(|| {
                     self.error_here(format!("invalid date literal '{s}' (expected YYYY-MM-DD)"))
                 })?;
@@ -699,7 +760,10 @@ impl Parser {
         self.expect_kind(&TokenKind::LParen)?;
         let q = self.parse_query()?;
         self.expect_kind(&TokenKind::RParen)?;
-        Ok(Expr::Exists { subquery: Box::new(q), negated })
+        Ok(Expr::Exists {
+            subquery: Box::new(q),
+            negated,
+        })
     }
 
     fn parse_case(&mut self) -> Result<Expr> {
@@ -714,10 +778,16 @@ impl Parser {
         if branches.is_empty() {
             return Err(self.error_here("CASE requires at least one WHEN branch"));
         }
-        let else_expr =
-            if self.eat_keyword("else") { Some(Box::new(self.parse_expr()?)) } else { None };
+        let else_expr = if self.eat_keyword("else") {
+            Some(Box::new(self.parse_expr()?))
+        } else {
+            None
+        };
         self.expect_keyword("end")?;
-        Ok(Expr::Case { branches, else_expr })
+        Ok(Expr::Case {
+            branches,
+            else_expr,
+        })
     }
 
     fn parse_function_call(&mut self, name: String) -> Result<Expr> {
@@ -737,7 +807,11 @@ impl Parser {
             }
         }
         self.expect_kind(&TokenKind::RParen)?;
-        Ok(Expr::Function { name, args, distinct })
+        Ok(Expr::Function {
+            name,
+            args,
+            distinct,
+        })
     }
 
     /// After consuming an identifier, parse an optional `.column` suffix.
@@ -745,8 +819,14 @@ impl Parser {
         if matches!(self.peek().kind, TokenKind::Dot) {
             self.advance();
             let name = self.parse_ident()?;
-            return Ok(Expr::Column(ColumnRef { qualifier: Some(first), name }));
+            return Ok(Expr::Column(ColumnRef {
+                qualifier: Some(first),
+                name,
+            }));
         }
-        Ok(Expr::Column(ColumnRef { qualifier: None, name: first }))
+        Ok(Expr::Column(ColumnRef {
+            qualifier: None,
+            name: first,
+        }))
     }
 }

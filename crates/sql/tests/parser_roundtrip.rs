@@ -21,7 +21,9 @@ fn parses_paper_query_q1() {
     let s = q.as_select().unwrap();
     assert_eq!(s.projection.len(), 1);
     assert_eq!(s.from, vec![TableRef::table("customer")]);
-    let Some(Expr::BinaryOp { op, .. }) = &s.selection else { panic!() };
+    let Some(Expr::BinaryOp { op, .. }) = &s.selection else {
+        panic!()
+    };
     assert_eq!(*op, BinaryOp::Gt);
 }
 
@@ -89,7 +91,13 @@ fn parses_aggregation_with_group_by_and_case() {
     let q = parse_query(sql).unwrap();
     let s = q.as_select().unwrap();
     assert_eq!(s.group_by.len(), 2);
-    let SelectItem::Expr { expr: Expr::Case { branches, else_expr }, alias } = &s.projection[2]
+    let SelectItem::Expr {
+        expr: Expr::Case {
+            branches,
+            else_expr,
+        },
+        alias,
+    } = &s.projection[2]
     else {
         panic!()
     };
@@ -106,7 +114,9 @@ fn parses_joins_left_outer_chain() {
                left outer join t4 d on c.fk = d.k where d.k is null";
     let q = parse_query(sql).unwrap();
     let s = q.as_select().unwrap();
-    let TableRef::Join { kind, .. } = &s.from[0] else { panic!() };
+    let TableRef::Join { kind, .. } = &s.from[0] else {
+        panic!()
+    };
     assert_eq!(*kind, JoinKind::LeftOuter);
     roundtrip(sql);
 }
@@ -125,9 +135,13 @@ fn parses_order_by_and_limit() {
 #[test]
 fn parses_date_literals_and_arithmetic() {
     let e = parse_expr("shipdate <= date '1998-09-02'").unwrap();
-    let Expr::BinaryOp { right, .. } = e else { panic!() };
+    let Expr::BinaryOp { right, .. } = e else {
+        panic!()
+    };
     assert_eq!(*right, Expr::Literal(Literal::date("1998-09-02")));
-    roundtrip("select 1 from lineitem where shipdate between date '1994-01-01' and date '1994-12-31'");
+    roundtrip(
+        "select 1 from lineitem where shipdate between date '1994-01-01' and date '1994-12-31'",
+    );
 }
 
 #[test]
@@ -155,16 +169,48 @@ fn parses_between_like_isnull() {
 fn parses_arith_precedence() {
     let e = parse_expr("a + b * c - d / e").unwrap();
     // ((a + (b*c)) - (d/e))
-    let Expr::BinaryOp { op: BinaryOp::Minus, left, right } = e else { panic!() };
-    assert!(matches!(*left, Expr::BinaryOp { op: BinaryOp::Plus, .. }));
-    assert!(matches!(*right, Expr::BinaryOp { op: BinaryOp::Divide, .. }));
+    let Expr::BinaryOp {
+        op: BinaryOp::Minus,
+        left,
+        right,
+    } = e
+    else {
+        panic!()
+    };
+    assert!(matches!(
+        *left,
+        Expr::BinaryOp {
+            op: BinaryOp::Plus,
+            ..
+        }
+    ));
+    assert!(matches!(
+        *right,
+        Expr::BinaryOp {
+            op: BinaryOp::Divide,
+            ..
+        }
+    ));
 }
 
 #[test]
 fn parses_boolean_precedence() {
     let e = parse_expr("a = 1 or b = 2 and c = 3").unwrap();
-    let Expr::BinaryOp { op: BinaryOp::Or, right, .. } = e else { panic!() };
-    assert!(matches!(*right, Expr::BinaryOp { op: BinaryOp::And, .. }));
+    let Expr::BinaryOp {
+        op: BinaryOp::Or,
+        right,
+        ..
+    } = e
+    else {
+        panic!()
+    };
+    assert!(matches!(
+        *right,
+        Expr::BinaryOp {
+            op: BinaryOp::And,
+            ..
+        }
+    ));
 }
 
 #[test]
@@ -203,25 +249,26 @@ fn parses_create_table_and_insert() {
          mktsegment text, since date)",
     )
     .unwrap();
-    let Statement::CreateTable { name, columns } = s else { panic!() };
+    let Statement::CreateTable { name, columns } = s else {
+        panic!()
+    };
     assert_eq!(name, "customer");
     assert_eq!(columns.len(), 5);
 
-    let s = parse_statement(
-        "insert into customer (custkey, acctbal) values (1, 100.5), (2, -3)",
-    )
-    .unwrap();
-    let Statement::Insert { rows, .. } = s else { panic!() };
+    let s = parse_statement("insert into customer (custkey, acctbal) values (1, 100.5), (2, -3)")
+        .unwrap();
+    let Statement::Insert { rows, .. } = s else {
+        panic!()
+    };
     assert_eq!(rows.len(), 2);
     assert_eq!(rows[1][1], Expr::Literal(Literal::Integer(-3)));
 }
 
 #[test]
 fn parses_statement_sequence() {
-    let stmts = parse_statements(
-        "create table t (a integer); insert into t values (1); select a from t;",
-    )
-    .unwrap();
+    let stmts =
+        parse_statements("create table t (a integer); insert into t values (1); select a from t;")
+            .unwrap();
     assert_eq!(stmts.len(), 3);
 }
 
@@ -234,7 +281,10 @@ fn parses_derived_table() {
 fn parses_qualified_wildcard() {
     let q = parse_query("select f.* from filter f").unwrap();
     let s = q.as_select().unwrap();
-    assert_eq!(s.projection, vec![SelectItem::QualifiedWildcard("f".into())]);
+    assert_eq!(
+        s.projection,
+        vec![SelectItem::QualifiedWildcard("f".into())]
+    );
     roundtrip("select f.* from filter f");
 }
 
@@ -280,8 +330,16 @@ fn roundtrip_exists_forms() {
 #[test]
 fn not_binds_looser_than_comparison() {
     let e = parse_expr("not a = b").unwrap();
-    let Expr::UnaryOp { expr, .. } = e else { panic!() };
-    assert!(matches!(*expr, Expr::BinaryOp { op: BinaryOp::Eq, .. }));
+    let Expr::UnaryOp { expr, .. } = e else {
+        panic!()
+    };
+    assert!(matches!(
+        *expr,
+        Expr::BinaryOp {
+            op: BinaryOp::Eq,
+            ..
+        }
+    ));
 }
 
 #[test]

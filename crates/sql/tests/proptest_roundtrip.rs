@@ -1,175 +1,246 @@
-//! Property-based printer/parser round-trip: for randomly generated ASTs
+//! Randomized printer/parser round-trip: for randomly generated ASTs
 //! in the dialect's shape, `parse(print(ast)) == ast`. This is the
 //! guarantee ConQuer relies on when handing rewritten SQL text to a host
 //! database system.
-
-use proptest::prelude::*;
+//!
+//! ASTs are drawn from a small deterministic generator with fixed seeds
+//! (the workspace builds offline, so no property-testing framework); a
+//! failure message names the case index that produced it.
 
 use conquer_sql::ast::*;
 use conquer_sql::{parse_expr, parse_query};
 
-fn ident_strategy() -> impl Strategy<Value = String> {
+const CASES: u64 = 400;
+
+/// Minimal deterministic RNG (xorshift64*), local to this test.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z ^= z >> 31;
+        Rng(z.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in `[0, n)`.
+    fn below(&mut self, n: u64) -> u64 {
+        (((self.next() as u128) * (n as u128)) >> 64) as u64
+    }
+
+    fn chance(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
+}
+
+fn ident(rng: &mut Rng) -> String {
     // Bare identifiers (avoid reserved words by prefixing).
-    "[a-z][a-z0-9_]{0,6}".prop_map(|s| format!("c_{s}"))
+    const HEAD: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+    const TAIL: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_";
+    let mut s = String::from("c_");
+    s.push(HEAD[rng.below(HEAD.len() as u64) as usize] as char);
+    for _ in 0..rng.below(6) {
+        s.push(TAIL[rng.below(TAIL.len() as u64) as usize] as char);
+    }
+    s
 }
 
-fn literal_strategy() -> impl Strategy<Value = Literal> {
-    prop_oneof![
-        Just(Literal::Null),
-        any::<bool>().prop_map(Literal::Boolean),
-        (-1_000_000i64..1_000_000).prop_map(Literal::Integer),
+fn literal(rng: &mut Rng) -> Literal {
+    match rng.below(6) {
+        0 => Literal::Null,
+        1 => Literal::Boolean(rng.chance()),
+        2 => Literal::Integer(rng.below(2_000_000) as i64 - 1_000_000),
         // Finite, print-stable floats.
-        (-1_000_000i64..1_000_000).prop_map(|v| Literal::Float(v as f64 / 64.0)),
-        "[a-zA-Z0-9 ']{0,12}".prop_map(Literal::String),
-        (0i32..20_000).prop_map(Literal::Date),
-    ]
-}
-
-fn column_strategy() -> impl Strategy<Value = Expr> {
-    (proptest::option::of(ident_strategy()), ident_strategy()).prop_map(|(q, n)| {
-        Expr::Column(ColumnRef { qualifier: q, name: n })
-    })
-}
-
-fn leaf_expr() -> impl Strategy<Value = Expr> {
-    prop_oneof![column_strategy(), literal_strategy().prop_map(Expr::Literal)]
-}
-
-fn binop_strategy() -> impl Strategy<Value = BinaryOp> {
-    prop_oneof![
-        Just(BinaryOp::Plus),
-        Just(BinaryOp::Minus),
-        Just(BinaryOp::Multiply),
-        Just(BinaryOp::Divide),
-        Just(BinaryOp::Modulo),
-        Just(BinaryOp::Eq),
-        Just(BinaryOp::NotEq),
-        Just(BinaryOp::Lt),
-        Just(BinaryOp::LtEq),
-        Just(BinaryOp::Gt),
-        Just(BinaryOp::GtEq),
-        Just(BinaryOp::And),
-        Just(BinaryOp::Or),
-    ]
-}
-
-fn expr_strategy() -> impl Strategy<Value = Expr> {
-    leaf_expr().prop_recursive(4, 64, 4, |inner| {
-        prop_oneof![
-            (inner.clone(), binop_strategy(), inner.clone()).prop_map(|(l, op, r)| {
-                Expr::BinaryOp { left: Box::new(l), op, right: Box::new(r) }
-            }),
-            inner.clone().prop_map(Expr::not),
-            inner.clone().prop_map(|e| Expr::IsNull { expr: Box::new(e), negated: false }),
-            inner.clone().prop_map(|e| Expr::IsNull { expr: Box::new(e), negated: true }),
-            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(e, lo, hi)| {
-                Expr::Between {
-                    expr: Box::new(e),
-                    low: Box::new(lo),
-                    high: Box::new(hi),
-                    negated: false,
-                }
-            }),
-            (inner.clone(), prop::collection::vec(inner.clone(), 1..4), any::<bool>())
-                .prop_map(|(e, list, negated)| Expr::InList {
-                    expr: Box::new(e),
-                    list,
-                    negated,
-                }),
-            (
-                prop::collection::vec((inner.clone(), inner.clone()), 1..3),
-                proptest::option::of(inner.clone()),
-            )
-                .prop_map(|(branches, else_expr)| Expr::Case {
-                    branches,
-                    else_expr: else_expr.map(Box::new),
-                }),
-            (
-                prop::sample::select(vec!["sum", "min", "max", "coalesce", "abs"]),
-                prop::collection::vec(inner, 1..3),
-            )
-                .prop_map(|(name, args)| Expr::func(name, args)),
-        ]
-    })
-}
-
-fn select_strategy() -> impl Strategy<Value = Select> {
-    (
-        any::<bool>(),
-        prop::collection::vec(
-            (expr_strategy(), proptest::option::of(ident_strategy())),
-            1..4,
-        ),
-        prop::collection::vec((ident_strategy(), proptest::option::of(ident_strategy())), 1..3),
-        proptest::option::of(expr_strategy()),
-    )
-        .prop_map(|(distinct, items, tables, selection)| {
-            // Distinct binding names to keep the FROM clause valid.
-            let mut seen = Vec::new();
-            let from = tables
-                .into_iter()
-                .enumerate()
-                .map(|(i, (name, alias))| TableRef::Table {
-                    name: format!("{name}_{i}"),
-                    alias: alias.map(|a| {
-                        let a = format!("{a}_{i}");
-                        seen.push(a.clone());
-                        a
-                    }),
-                })
-                .collect();
-            Select {
-                distinct,
-                projection: items
-                    .into_iter()
-                    .map(|(expr, alias)| SelectItem::Expr { expr, alias })
-                    .collect(),
-                from,
-                selection,
-                group_by: Vec::new(),
-                having: None,
+        3 => Literal::Float((rng.below(2_000_000) as i64 - 1_000_000) as f64 / 64.0),
+        4 => {
+            const CHARS: &[u8] = b"abcXYZ012 '";
+            let n = rng.below(13);
+            let mut s = String::new();
+            for _ in 0..n {
+                s.push(CHARS[rng.below(CHARS.len() as u64) as usize] as char);
             }
-        })
+            Literal::String(s)
+        }
+        _ => Literal::Date(rng.below(20_000) as i32),
+    }
 }
 
-fn query_strategy() -> impl Strategy<Value = Query> {
-    (
-        select_strategy(),
-        prop::collection::vec((expr_strategy(), any::<bool>()), 0..3),
-        proptest::option::of(0u64..1000),
-    )
-        .prop_map(|(select, order, limit)| Query {
-            ctes: Vec::new(),
-            body: SetExpr::Select(Box::new(select)),
-            order_by: order
-                .into_iter()
-                .map(|(expr, desc)| OrderByItem { expr, desc })
-                .collect(),
-            limit,
+fn leaf_expr(rng: &mut Rng) -> Expr {
+    if rng.chance() {
+        let qualifier = if rng.chance() { Some(ident(rng)) } else { None };
+        Expr::Column(ColumnRef {
+            qualifier,
+            name: ident(rng),
         })
+    } else {
+        Expr::Literal(literal(rng))
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(400))]
+fn binop(rng: &mut Rng) -> BinaryOp {
+    const OPS: [BinaryOp; 13] = [
+        BinaryOp::Plus,
+        BinaryOp::Minus,
+        BinaryOp::Multiply,
+        BinaryOp::Divide,
+        BinaryOp::Modulo,
+        BinaryOp::Eq,
+        BinaryOp::NotEq,
+        BinaryOp::Lt,
+        BinaryOp::LtEq,
+        BinaryOp::Gt,
+        BinaryOp::GtEq,
+        BinaryOp::And,
+        BinaryOp::Or,
+    ];
+    OPS[rng.below(OPS.len() as u64) as usize]
+}
 
-    #[test]
-    fn expressions_round_trip(e in expr_strategy()) {
+fn expr(rng: &mut Rng, depth: u32) -> Expr {
+    if depth == 0 {
+        return leaf_expr(rng);
+    }
+    match rng.below(8) {
+        0 => leaf_expr(rng),
+        1 => Expr::BinaryOp {
+            left: Box::new(expr(rng, depth - 1)),
+            op: binop(rng),
+            right: Box::new(expr(rng, depth - 1)),
+        },
+        2 => Expr::not(expr(rng, depth - 1)),
+        3 => Expr::IsNull {
+            expr: Box::new(expr(rng, depth - 1)),
+            negated: rng.chance(),
+        },
+        4 => Expr::Between {
+            expr: Box::new(expr(rng, depth - 1)),
+            low: Box::new(expr(rng, depth - 1)),
+            high: Box::new(expr(rng, depth - 1)),
+            negated: false,
+        },
+        5 => {
+            let list = (0..rng.below(3) + 1)
+                .map(|_| expr(rng, depth - 1))
+                .collect();
+            Expr::InList {
+                expr: Box::new(expr(rng, depth - 1)),
+                list,
+                negated: rng.chance(),
+            }
+        }
+        6 => {
+            let branches = (0..rng.below(2) + 1)
+                .map(|_| (expr(rng, depth - 1), expr(rng, depth - 1)))
+                .collect();
+            let else_expr = if rng.chance() {
+                Some(Box::new(expr(rng, depth - 1)))
+            } else {
+                None
+            };
+            Expr::Case {
+                branches,
+                else_expr,
+            }
+        }
+        _ => {
+            const FUNCS: [&str; 5] = ["sum", "min", "max", "coalesce", "abs"];
+            let name = FUNCS[rng.below(FUNCS.len() as u64) as usize];
+            let args: Vec<Expr> = (0..rng.below(2) + 1)
+                .map(|_| expr(rng, depth - 1))
+                .collect();
+            Expr::func(name, args)
+        }
+    }
+}
+
+fn select(rng: &mut Rng) -> Select {
+    let projection = (0..rng.below(3) + 1)
+        .map(|_| SelectItem::Expr {
+            expr: expr(rng, 3),
+            alias: if rng.chance() { Some(ident(rng)) } else { None },
+        })
+        .collect();
+    // Distinct binding names keep the FROM clause valid.
+    let from = (0..rng.below(2) + 1)
+        .map(|i| TableRef::Table {
+            name: format!("{}_{i}", ident(rng)),
+            alias: if rng.chance() {
+                Some(format!("{}_{i}", ident(rng)))
+            } else {
+                None
+            },
+        })
+        .collect();
+    Select {
+        distinct: rng.chance(),
+        projection,
+        from,
+        selection: if rng.chance() {
+            Some(expr(rng, 3))
+        } else {
+            None
+        },
+        group_by: Vec::new(),
+        having: None,
+    }
+}
+
+fn query(rng: &mut Rng) -> Query {
+    Query {
+        ctes: Vec::new(),
+        body: SetExpr::Select(Box::new(select(rng))),
+        order_by: (0..rng.below(3))
+            .map(|_| OrderByItem {
+                expr: expr(rng, 2),
+                desc: rng.chance(),
+            })
+            .collect(),
+        limit: if rng.chance() {
+            Some(rng.below(1000))
+        } else {
+            None
+        },
+    }
+}
+
+#[test]
+fn expressions_round_trip() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0xE546_0000 + case);
+        let e = expr(&mut rng, 4);
         let printed = e.to_string();
         let reparsed = parse_expr(&printed)
-            .unwrap_or_else(|err| panic!("failed to re-parse {printed:?}: {err}"));
-        prop_assert_eq!(reparsed, e, "printed: {}", printed);
+            .unwrap_or_else(|err| panic!("failed to re-parse {printed:?} (case {case}): {err}"));
+        assert_eq!(reparsed, e, "printed (case {case}): {printed}");
     }
+}
 
-    #[test]
-    fn queries_round_trip(q in query_strategy()) {
+#[test]
+fn queries_round_trip() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x0EE6_0000 + case);
+        let q = query(&mut rng);
         let printed = q.to_string();
         let reparsed = parse_query(&printed)
-            .unwrap_or_else(|err| panic!("failed to re-parse {printed:?}: {err}"));
-        prop_assert_eq!(reparsed, q, "printed: {}", printed);
+            .unwrap_or_else(|err| panic!("failed to re-parse {printed:?} (case {case}): {err}"));
+        assert_eq!(reparsed, q, "printed (case {case}): {printed}");
     }
+}
 
-    #[test]
-    fn printing_is_deterministic(e in expr_strategy()) {
-        prop_assert_eq!(e.to_string(), e.to_string());
+#[test]
+fn printing_is_deterministic() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0xDE7E_0000 + case);
+        let e = expr(&mut rng, 4);
+        assert_eq!(e.to_string(), e.to_string());
     }
 }

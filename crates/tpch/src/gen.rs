@@ -11,11 +11,9 @@
 //!
 //! Generation is deterministic for a given seed regardless of thread count:
 //! orders/lineitems are produced in fixed chunks, each chunk seeded
-//! independently, and assembled in chunk order (crossbeam scoped threads).
+//! independently, and assembled in chunk order (std scoped threads).
 
-use crossbeam::thread;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::StdRng;
 
 use conquer_engine::{Database, Row, Value};
 use conquer_sql::dates::ymd_to_days;
@@ -23,24 +21,55 @@ use conquer_sql::dates::ymd_to_days;
 use crate::schema::create_tables;
 
 /// The standard market segments.
-pub const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+pub const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
 /// The standard order priorities.
-pub const PRIORITIES: [&str; 5] =
-    ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+pub const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 /// The standard ship modes.
 pub const SHIP_MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
-const SHIP_INSTRUCTS: [&str; 4] =
-    ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+const SHIP_INSTRUCTS: [&str; 4] = [
+    "DELIVER IN PERSON",
+    "COLLECT COD",
+    "NONE",
+    "TAKE BACK RETURN",
+];
 const NATION_NAMES: [&str; 25] = [
-    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY",
-    "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE",
-    "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+    "ALGERIA",
+    "ARGENTINA",
+    "BRAZIL",
+    "CANADA",
+    "EGYPT",
+    "ETHIOPIA",
+    "FRANCE",
+    "GERMANY",
+    "INDIA",
+    "INDONESIA",
+    "IRAN",
+    "IRAQ",
+    "JAPAN",
+    "JORDAN",
+    "KENYA",
+    "MOROCCO",
+    "MOZAMBIQUE",
+    "PERU",
+    "CHINA",
+    "ROMANIA",
+    "SAUDI ARABIA",
+    "VIETNAM",
+    "RUSSIA",
+    "UNITED KINGDOM",
     "UNITED STATES",
 ];
 const REGION_NAMES: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
 /// nation -> region mapping from the TPC-H specification.
-const NATION_REGION: [i64; 25] =
-    [0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2, 4, 0, 0, 0, 1, 2, 3, 4, 2, 3, 3, 1];
+const NATION_REGION: [i64; 25] = [
+    0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2, 4, 0, 0, 0, 1, 2, 3, 4, 2, 3, 3, 1,
+];
 
 /// Generator configuration.
 #[derive(Debug, Clone, Copy)]
@@ -57,7 +86,11 @@ pub struct GenConfig {
 
 impl Default for GenConfig {
     fn default() -> Self {
-        GenConfig { scale_factor: 0.01, seed: 42, threads: 4 }
+        GenConfig {
+            scale_factor: 0.01,
+            seed: 42,
+            threads: 4,
+        }
     }
 }
 
@@ -104,8 +137,18 @@ fn phone(rng: &mut StdRng, nation: i64) -> String {
 
 fn short_text(rng: &mut StdRng) -> String {
     const WORDS: [&str; 12] = [
-        "furiously", "quick", "pending", "final", "ironic", "even", "bold", "regular",
-        "express", "silent", "blithe", "careful",
+        "furiously",
+        "quick",
+        "pending",
+        "final",
+        "ironic",
+        "even",
+        "bold",
+        "regular",
+        "express",
+        "silent",
+        "blithe",
+        "careful",
     ];
     let a = WORDS[rng.gen_range(0..WORDS.len())];
     let b = WORDS[rng.gen_range(0..WORDS.len())];
@@ -171,12 +214,17 @@ fn fill_part_partsupp(db: &Database, config: &GenConfig) {
     let n_suppliers = config.suppliers() as i64;
 
     const TYPES: [&str; 6] = [
-        "STANDARD ANODIZED TIN", "SMALL PLATED COPPER", "MEDIUM POLISHED BRASS",
-        "LARGE BURNISHED STEEL", "ECONOMY BRUSHED NICKEL", "PROMO POLISHED TIN",
+        "STANDARD ANODIZED TIN",
+        "SMALL PLATED COPPER",
+        "MEDIUM POLISHED BRASS",
+        "LARGE BURNISHED STEEL",
+        "ECONOMY BRUSHED NICKEL",
+        "PROMO POLISHED TIN",
     ];
     const CONTAINERS: [&str; 5] = ["SM CASE", "MED BOX", "LG DRUM", "JUMBO JAR", "WRAP PKG"];
-    const COLORS: [&str; 8] =
-        ["green", "blue", "red", "ivory", "salmon", "peach", "khaki", "linen"];
+    const COLORS: [&str; 8] = [
+        "green", "blue", "red", "ivory", "salmon", "peach", "khaki", "linen",
+    ];
 
     let mut part = (*db.table("part").unwrap()).clone();
     let mut partsupp = (*db.table("partsupp").unwrap()).clone();
@@ -186,7 +234,11 @@ fn fill_part_partsupp(db: &Database, config: &GenConfig) {
             Value::Int(pk),
             Value::str(format!("{color} widget")),
             Value::str(format!("Manufacturer#{}", rng.gen_range(1..=5))),
-            Value::str(format!("Brand#{}{}", rng.gen_range(1..=5), rng.gen_range(1..=5))),
+            Value::str(format!(
+                "Brand#{}{}",
+                rng.gen_range(1..=5),
+                rng.gen_range(1..=5)
+            )),
             Value::str(TYPES[rng.gen_range(0..TYPES.len())]),
             Value::Int(rng.gen_range(1..=50)),
             Value::str(CONTAINERS[rng.gen_range(0..CONTAINERS.len())]),
@@ -247,10 +299,10 @@ fn fill_orders_lineitem(db: &Database, config: &GenConfig) {
     let mut chunks: Vec<Option<(Vec<Row>, Vec<Row>)>> = Vec::new();
     chunks.resize_with(n_chunks, || None);
 
-    thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for worker in 0..threads.min(n_chunks.max(1)) {
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut out = Vec::new();
                 let mut chunk_idx = worker;
                 while chunk_idx < n_chunks {
@@ -271,8 +323,7 @@ fn fill_orders_lineitem(db: &Database, config: &GenConfig) {
                 chunks[idx] = Some(chunk);
             }
         }
-    })
-    .expect("crossbeam scope");
+    });
 
     let mut orders = (*db.table("orders").unwrap()).clone();
     let mut lineitem = (*db.table("lineitem").unwrap()).clone();
@@ -370,7 +421,11 @@ mod tests {
 
     #[test]
     fn generates_expected_row_counts() {
-        let config = GenConfig { scale_factor: 0.001, seed: 7, threads: 2 };
+        let config = GenConfig {
+            scale_factor: 0.001,
+            seed: 7,
+            threads: 2,
+        };
         let db = generate_database(&config);
         assert_eq!(db.table("customer").unwrap().len(), 150);
         assert_eq!(db.table("orders").unwrap().len(), 1500);
@@ -382,27 +437,53 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic_across_thread_counts() {
-        let a = generate_database(&GenConfig { scale_factor: 0.001, seed: 9, threads: 1 });
-        let b = generate_database(&GenConfig { scale_factor: 0.001, seed: 9, threads: 4 });
+        let a = generate_database(&GenConfig {
+            scale_factor: 0.001,
+            seed: 9,
+            threads: 1,
+        });
+        let b = generate_database(&GenConfig {
+            scale_factor: 0.001,
+            seed: 9,
+            threads: 4,
+        });
         for t in ["orders", "lineitem", "customer"] {
-            assert_eq!(a.table(t).unwrap().rows(), b.table(t).unwrap().rows(), "{t} differs");
+            assert_eq!(
+                a.table(t).unwrap().rows(),
+                b.table(t).unwrap().rows(),
+                "{t} differs"
+            );
         }
     }
 
     #[test]
     fn different_seeds_differ() {
-        let a = generate_database(&GenConfig { scale_factor: 0.001, seed: 1, threads: 2 });
-        let b = generate_database(&GenConfig { scale_factor: 0.001, seed: 2, threads: 2 });
-        assert_ne!(a.table("customer").unwrap().rows(), b.table("customer").unwrap().rows());
+        let a = generate_database(&GenConfig {
+            scale_factor: 0.001,
+            seed: 1,
+            threads: 2,
+        });
+        let b = generate_database(&GenConfig {
+            scale_factor: 0.001,
+            seed: 2,
+            threads: 2,
+        });
+        assert_ne!(
+            a.table("customer").unwrap().rows(),
+            b.table("customer").unwrap().rows()
+        );
     }
 
     #[test]
     fn generated_data_is_consistent_wrt_keys() {
         use std::collections::HashSet;
-        let db = generate_database(&GenConfig { scale_factor: 0.001, seed: 3, threads: 2 });
+        let db = generate_database(&GenConfig {
+            scale_factor: 0.001,
+            seed: 3,
+            threads: 2,
+        });
         let orders = db.table("orders").unwrap();
-        let keys: HashSet<String> =
-            orders.rows().iter().map(|r| r[0].to_string()).collect();
+        let keys: HashSet<String> = orders.rows().iter().map(|r| r[0].to_string()).collect();
         assert_eq!(keys.len(), orders.len());
         let li = db.table("lineitem").unwrap();
         let li_keys: HashSet<(String, String)> = li
@@ -415,7 +496,11 @@ mod tests {
 
     #[test]
     fn foreign_keys_reference_existing_rows() {
-        let config = GenConfig { scale_factor: 0.001, seed: 4, threads: 2 };
+        let config = GenConfig {
+            scale_factor: 0.001,
+            seed: 4,
+            threads: 2,
+        };
         let db = generate_database(&config);
         let n_customers = config.customers() as i64;
         for row in db.table("orders").unwrap().rows() {
@@ -426,10 +511,16 @@ mod tests {
 
     #[test]
     fn dates_are_ordered_per_lineitem() {
-        let db = generate_database(&GenConfig { scale_factor: 0.001, seed: 5, threads: 2 });
+        let db = generate_database(&GenConfig {
+            scale_factor: 0.001,
+            seed: 5,
+            threads: 2,
+        });
         for row in db.table("lineitem").unwrap().rows() {
             let Value::Date(ship) = row[10] else { panic!() };
-            let Value::Date(receipt) = row[12] else { panic!() };
+            let Value::Date(receipt) = row[12] else {
+                panic!()
+            };
             assert!(receipt > ship);
         }
     }

@@ -15,9 +15,7 @@
 //! sets is used to draw the key values of the conflicting tuples ...; the
 //! other set is used to obtain non-key values").
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use crate::rng::{SliceRandom, StdRng};
 
 use conquer_core::ConstraintSet;
 use conquer_engine::{Database, Table};
@@ -48,7 +46,11 @@ pub fn inject_table(
 
     let table = db.table(relation).expect("relation exists");
     let total = table.len();
-    let k = if p == 0.0 { 0 } else { ((p * total as f64) / n as f64).round() as usize };
+    let k = if p == 0.0 {
+        0
+    } else {
+        ((p * total as f64) / n as f64).round() as usize
+    };
     if k == 0 {
         return InjectionStats {
             relation: relation.to_string(),
@@ -63,8 +65,10 @@ pub fn inject_table(
         "p={p}, n={n} needs {k} victims plus {extra} removals but the table has only {total} rows"
     );
 
-    let key_idx: Vec<usize> =
-        key.iter().map(|a| table.column_index(a).expect("key attribute exists")).collect();
+    let key_idx: Vec<usize> = key
+        .iter()
+        .map(|a| table.column_index(a).expect("key attribute exists"))
+        .collect();
 
     let mut rng = StdRng::seed_from_u64(seed ^ 0x1213c7);
     let mut indices: Vec<usize> = (0..total).collect();
@@ -212,23 +216,20 @@ mod tests {
     #[test]
     fn composite_key_injection() {
         let db = Database::new();
-        let mut script = String::from("create table li (ok integer, ln integer, q integer);\ninsert into li values ");
-        let vals: Vec<String> =
-            (0..200).map(|i| format!("({}, {}, {})", i / 4, i % 4, i)).collect();
+        let mut script = String::from(
+            "create table li (ok integer, ln integer, q integer);\ninsert into li values ",
+        );
+        let vals: Vec<String> = (0..200)
+            .map(|i| format!("({}, {}, {})", i / 4, i % 4, i))
+            .collect();
         script.push_str(&vals.join(", "));
         db.run_script(&script).unwrap();
-        let stats = inject_table(
-            &db,
-            "li",
-            &["ok".to_string(), "ln".to_string()],
-            0.10,
-            2,
-            3,
-        );
+        let stats = inject_table(&db, "li", &["ok".to_string(), "ln".to_string()], 0.10, 2, 3);
         assert_eq!(stats.inconsistent_tuples, 20);
         let mut h: HashMap<(String, String), usize> = HashMap::new();
         for row in db.table("li").unwrap().rows() {
-            *h.entry((row[0].to_string(), row[1].to_string())).or_insert(0) += 1;
+            *h.entry((row[0].to_string(), row[1].to_string()))
+                .or_insert(0) += 1;
         }
         let inconsistent: usize = h.values().filter(|c| **c > 1).copied().sum();
         assert_eq!(inconsistent, 20);

@@ -20,6 +20,7 @@
 pub mod gen;
 pub mod inject;
 pub mod queries;
+pub mod rng;
 pub mod schema;
 
 pub use gen::{generate_database, GenConfig};
@@ -82,5 +83,10 @@ pub fn build_workload(config: &WorkloadConfig) -> Workload {
     let annotation = config
         .annotate
         .then(|| annotate_database(&db, &sigma).expect("annotation succeeds"));
-    Workload { db, sigma, injection, annotation }
+    Workload {
+        db,
+        sigma,
+        injection,
+        annotation,
+    }
 }

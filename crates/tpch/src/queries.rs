@@ -169,7 +169,14 @@ pub const Q12: BenchmarkQuery = BenchmarkQuery {
 
 /// All six benchmark queries in the paper's order.
 pub fn all_queries() -> Vec<BenchmarkQuery> {
-    vec![Q1.clone(), Q3.clone(), Q4.clone(), Q6.clone(), Q10.clone(), Q12.clone()]
+    vec![
+        Q1.clone(),
+        Q3.clone(),
+        Q4.clone(),
+        Q6.clone(),
+        Q10.clone(),
+        Q12.clone(),
+    ]
 }
 
 #[cfg(test)]

@@ -1,0 +1,161 @@
+//! A small deterministic RNG, drop-in for the subset of the `rand` API the
+//! generators use (the workspace builds offline, with no external crates).
+//!
+//! The generator is xorshift64* seeded through a splitmix64 scramble, which
+//! passes the statistical bar for synthetic benchmark data: we need
+//! reproducible, well-spread draws, not cryptographic strength. The API
+//! mirrors `rand`: `StdRng::seed_from_u64`, `gen_range` over (inclusive)
+//! integer ranges, `gen_bool`, and a `SliceRandom::shuffle` extension.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic pseudo-random generator (xorshift64*).
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl StdRng {
+    /// Seed the generator; identical seeds give identical streams.
+    pub fn seed_from_u64(seed: u64) -> StdRng {
+        // splitmix64 turns adjacent seeds into well-separated states and
+        // guarantees a non-zero xorshift state.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        StdRng { state: z.max(1) }
+    }
+
+    /// The next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// A draw uniform in `[0, n)` (`n > 0`).
+    fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0, "empty range");
+        // Multiply-shift mapping: unbiased enough for synthetic data and
+        // avoids the modulo's low-bit artifacts.
+        (((self.next_u64() as u128) * (n as u128)) >> 64) as u64
+    }
+
+    /// A value uniform over the range, like `rand::Rng::gen_range`.
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+/// Ranges `gen_range` can sample from.
+pub trait SampleRange<T> {
+    fn sample(self, rng: &mut StdRng) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut StdRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                (lo as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(i32, i64, u32, u64, usize);
+
+/// Slice shuffling, like `rand::seq::SliceRandom`.
+pub trait SliceRandom {
+    fn shuffle(&mut self, rng: &mut StdRng);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle(&mut self, rng: &mut StdRng) {
+        // Fisher–Yates, high to low.
+        for i in (1..self.len()).rev() {
+            let j = rng.below(i as u64 + 1) as usize;
+            self.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn adjacent_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v: i64 = rng.gen_range(-5..=5);
+            assert!((-5..=5).contains(&v));
+            let u: usize = rng.gen_range(0..7);
+            assert!(u < 7);
+            let d: i32 = rng.gen_range(10..11); // single-value range
+            assert_eq!(d, 10);
+        }
+    }
+
+    #[test]
+    fn ranges_cover_their_support() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..10usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "some values never drawn: {seen:?}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "p=0.25 gave {hits}/10000");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle left the slice ordered");
+    }
+}

@@ -17,7 +17,11 @@ pub const TABLES: [&str; 8] = [
 pub fn create_tables(db: &Database) {
     db.register(Table::new(
         "region",
-        vec![("r_regionkey", Integer), ("r_name", Text), ("r_comment", Text)],
+        vec![
+            ("r_regionkey", Integer),
+            ("r_name", Text),
+            ("r_comment", Text),
+        ],
     ));
     db.register(Table::new(
         "nation",

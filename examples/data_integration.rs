@@ -45,7 +45,11 @@ fn main() {
     // The voting semantics (Section 8 of the paper) grades the rest.
     println!("\nAnswer support across repairs:");
     for (row, support) in answers_with_support(&db, q, &sigma).expect("support") {
-        println!("  {:<12} {:>5.0}% of repairs", row[0].to_string(), support * 100.0);
+        println!(
+            "  {:<12} {:>5.0}% of repairs",
+            row[0].to_string(),
+            support * 100.0
+        );
     }
 
     // Duplicate tuples that only differ on cosmetic fields are fine as long

@@ -1,0 +1,39 @@
+//! Observability tour: EXPLAIN / EXPLAIN ANALYZE on a ConQuer rewriting,
+//! plus the per-phase span breakdown of the whole pipeline.
+//!
+//! Run with `cargo run -p conquer --example explain`.
+
+use conquer::{rewrite_sql, ConstraintSet, Database, RewriteOptions};
+
+fn main() {
+    let db = Database::new();
+    db.run_script(
+        "create table customer (custkey text, acctbal float);
+         insert into customer values
+           ('c1', 2000), ('c1', 100), ('c2', 2500), ('c3', 2200), ('c3', 2500);",
+    )
+    .expect("setup");
+
+    let sigma = ConstraintSet::new().with_key("customer", ["custkey"]);
+    let q1 = "select custkey from customer where acctbal > 1000";
+    let rewritten = rewrite_sql(q1, &sigma, &RewriteOptions::default()).expect("rewrite");
+
+    // EXPLAIN: the optimized physical plan, without running it.
+    println!("EXPLAIN:\n{}", db.explain(&rewritten).expect("explain"));
+
+    // EXPLAIN ANALYZE: run the plan and annotate each operator with its
+    // measured cardinalities, timings and hash-table statistics.
+    let (rows, report) = db.explain_analyze(&rewritten).expect("analyze");
+    println!(
+        "EXPLAIN ANALYZE ({} consistent answers):\n{report}",
+        rows.len()
+    );
+
+    // The span layer sees the whole pipeline, not just execution.
+    let (_, spans) =
+        conquer_obs::capture(|| conquer::consistent_answers(&db, q1, &sigma).expect("query"));
+    println!("pipeline phases:");
+    for (phase, wall) in conquer_obs::phase_totals(&spans) {
+        println!("  {phase:<8} {:>8.1} us", wall.as_secs_f64() * 1e6);
+    }
+}

@@ -6,9 +6,7 @@
 
 use std::collections::BTreeSet;
 
-use conquer::{
-    annotate_database, consistent_answers, possible_answers, ConstraintSet, Database,
-};
+use conquer::{annotate_database, consistent_answers, possible_answers, ConstraintSet, Database};
 
 fn main() {
     let db = Database::new();

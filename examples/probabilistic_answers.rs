@@ -35,11 +35,9 @@ fn main() {
     }
 
     // Probabilistic semantics: weight feed 2 twice as much as feed 1.
-    let trust_newer: WeightFn<'_> = &|row| {
-        match row[2] {
-            Value::Int(2) => 2.0,
-            _ => 1.0,
-        }
+    let trust_newer: WeightFn<'_> = &|row| match row[2] {
+        Value::Int(2) => 2.0,
+        _ => 1.0,
     };
     let mut weights: HashMap<String, WeightFn<'_>> = HashMap::new();
     weights.insert("reading".to_string(), trust_newer);
@@ -51,7 +49,11 @@ fn main() {
             "  {:<4} p = {:.2}{}",
             answer.row[0].to_string(),
             answer.probability,
-            if answer.probability >= 1.0 - 1e-12 { "  <- consistent answer" } else { "" }
+            if answer.probability >= 1.0 - 1e-12 {
+                "  <- consistent answer"
+            } else {
+                ""
+            }
         );
     }
 

@@ -42,9 +42,8 @@ fn main() {
         print!("{}", original.to_text());
 
         let t0 = Instant::now();
-        let consistent =
-            consistent_answers_annotated(&workload.db, q.sql, &workload.sigma)
-                .expect("consistent answers");
+        let consistent = consistent_answers_annotated(&workload.db, q.sql, &workload.sigma)
+            .expect("consistent answers");
         let t_cons = t0.elapsed();
         println!("Range-consistent answer ([min, max] across repairs):");
         print!("{}", consistent.to_text());
@@ -61,7 +60,10 @@ fn main() {
     let rewritten = rewrite_sql(
         Q6.sql,
         &workload.sigma,
-        &RewriteOptions { annotated: true, ..Default::default() },
+        &RewriteOptions {
+            annotated: true,
+            ..Default::default()
+        },
     )
     .expect("rewrite");
     println!("\nThe annotation-aware rewriting of Q6 handed to the engine:\n{rewritten}");

@@ -3,8 +3,8 @@
 
 use conquer::tpch::{build_workload, inject_table, WorkloadConfig};
 use conquer::{
-    annotate_database, consistent_answers, consistent_answers_annotated, is_annotated,
-    rewrite_sql, ConstraintSet, Database, RewriteOptions,
+    annotate_database, consistent_answers, consistent_answers_annotated, is_annotated, rewrite_sql,
+    ConstraintSet, Database, RewriteOptions,
 };
 
 #[test]
@@ -28,7 +28,11 @@ fn annotation_counts_agree_with_injector_on_tpch() {
             "{} inconsistent tuples",
             inj.relation
         );
-        assert_eq!(inj.conflicting_keys, ann.violated_keys, "{} keys", inj.relation);
+        assert_eq!(
+            inj.conflicting_keys, ann.violated_keys,
+            "{} keys",
+            inj.relation
+        );
     }
     assert!(is_annotated(&w.db, &w.sigma));
 }
@@ -66,10 +70,18 @@ fn annotated_rewriting_only_differs_syntactically() {
         let annotated = rewrite_sql(
             q.sql,
             &w.sigma,
-            &RewriteOptions { annotated: true, ..Default::default() },
+            &RewriteOptions {
+                annotated: true,
+                ..Default::default()
+            },
         )
         .unwrap();
-        assert_ne!(plain, annotated, "{}: annotation should change the SQL", q.name());
+        assert_ne!(
+            plain,
+            annotated,
+            "{}: annotation should change the SQL",
+            q.name()
+        );
         assert!(annotated.contains("conq_conscand"), "{}", q.name());
         assert!(!plain.contains("conq_conscand"), "{}", q.name());
     }

@@ -1,5 +1,5 @@
-//! Cross-cutting semantic invariants, property-checked on random
-//! inconsistent databases:
+//! Cross-cutting semantic invariants, checked on random inconsistent
+//! databases (deterministic seeds via `conquer::tpch::rng`):
 //!
 //! * consistent answers ⊆ possible answers (Section 2's two semantics);
 //! * on a key-consistent database the rewriting returns exactly the
@@ -10,24 +10,41 @@
 
 use std::collections::HashSet;
 
-use proptest::prelude::*;
-
 use conquer::engine::DataType;
-use conquer::{
-    answers_with_support, consistent_answers, ConstraintSet, Database, Table, Value,
-};
+use conquer::tpch::rng::StdRng;
+use conquer::{answers_with_support, consistent_answers, ConstraintSet, Database, Table, Value};
+
+const CASES: u64 = 150;
 
 fn build(rows: &[(i64, i64, i64)]) -> Database {
     let db = Database::new();
     let mut t = Table::new(
         "r",
-        vec![("k", DataType::Integer), ("a", DataType::Integer), ("b", DataType::Integer)],
+        vec![
+            ("k", DataType::Integer),
+            ("a", DataType::Integer),
+            ("b", DataType::Integer),
+        ],
     );
     t.extend_unchecked(
-        rows.iter().map(|(k, a, b)| vec![Value::Int(*k), Value::Int(*a), Value::Int(*b)]),
+        rows.iter()
+            .map(|(k, a, b)| vec![Value::Int(*k), Value::Int(*a), Value::Int(*b)]),
     );
     db.register(t);
     db
+}
+
+fn rand_rows(rng: &mut StdRng, max_n: usize, min_n: usize, hi: i64) -> Vec<(i64, i64, i64)> {
+    let n = rng.gen_range(min_n..max_n);
+    (0..n)
+        .map(|_| {
+            (
+                rng.gen_range(0..hi),
+                rng.gen_range(0..hi),
+                rng.gen_range(0..hi),
+            )
+        })
+        .collect()
 }
 
 fn sigma() -> ConstraintSet {
@@ -51,45 +68,48 @@ fn row_bag(rows: &conquer::Rows) -> Vec<Vec<String>> {
     v
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(150))]
-
-    #[test]
-    fn consistent_answers_are_possible_answers(
-        rows in prop::collection::vec((0..4i64, 0..4i64, 0..4i64), 0..10),
-        threshold in 0..4i64,
-    ) {
+#[test]
+fn consistent_answers_are_possible_answers() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x0055_0000 + case);
+        let rows = rand_rows(&mut rng, 10, 0, 4);
+        let threshold = rng.gen_range(0..4i64);
         let db = build(&rows);
         let q = format!("select r.a from r where r.b >= {threshold}");
         let consistent = consistent_answers(&db, &q, &sigma()).unwrap();
         let possible = db.query(&q).unwrap();
         let c = row_set(&consistent);
         let p = row_set(&possible);
-        prop_assert!(c.is_subset(&p), "consistent {c:?} not within possible {p:?}");
+        assert!(
+            c.is_subset(&p),
+            "consistent {c:?} not within possible {p:?} (case {case})"
+        );
     }
+}
 
-    #[test]
-    fn consistent_database_is_a_fixpoint(
+#[test]
+fn consistent_database_is_a_fixpoint() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xF1F0_0000 + case);
         // Distinct keys -> no violations.
-        values in prop::collection::vec((0..4i64, 0..4i64), 0..8),
-        threshold in 0..4i64,
-    ) {
-        let rows: Vec<(i64, i64, i64)> = values
-            .into_iter()
-            .enumerate()
-            .map(|(i, (a, b))| (i as i64, a, b))
+        let n = rng.gen_range(0..8usize);
+        let rows: Vec<(i64, i64, i64)> = (0..n)
+            .map(|i| (i as i64, rng.gen_range(0..4i64), rng.gen_range(0..4i64)))
             .collect();
+        let threshold = rng.gen_range(0..4i64);
         let db = build(&rows);
         let q = format!("select r.k, r.a from r where r.b > {threshold}");
         let consistent = consistent_answers(&db, &q, &sigma()).unwrap();
         let original = db.query(&q).unwrap();
-        prop_assert_eq!(row_bag(&consistent), row_bag(&original));
+        assert_eq!(row_bag(&consistent), row_bag(&original), "case {case}");
     }
+}
 
-    #[test]
-    fn support_is_one_exactly_for_consistent_answers(
-        rows in prop::collection::vec((0..3i64, 0..3i64, 0..3i64), 1..8),
-    ) {
+#[test]
+fn support_is_one_exactly_for_consistent_answers() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5EED_0000 + case);
+        let rows = rand_rows(&mut rng, 8, 1, 3);
         let db = build(&rows);
         let q = "select r.a from r where r.b > 0";
         let consistent = row_set(&consistent_answers(&db, q, &sigma()).unwrap());
@@ -97,17 +117,34 @@ proptest! {
         for (row, s) in support {
             let key: Vec<String> = row.iter().map(ToString::to_string).collect();
             if s >= 1.0 - 1e-12 {
-                prop_assert!(consistent.contains(&key), "support-1 answer {key:?} missing");
+                assert!(
+                    consistent.contains(&key),
+                    "support-1 answer {key:?} missing (case {case})"
+                );
             } else {
-                prop_assert!(!consistent.contains(&key), "uncertain answer {key:?} claimed consistent");
+                assert!(
+                    !consistent.contains(&key),
+                    "uncertain answer {key:?} claimed consistent (case {case})"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn aggregate_ranges_are_well_formed(
-        rows in prop::collection::vec((0..4i64, 0..3i64, -4..5i64), 1..10),
-    ) {
+#[test]
+fn aggregate_ranges_are_well_formed() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xA66E_0000 + case);
+        let n = rng.gen_range(1..10usize);
+        let rows: Vec<(i64, i64, i64)> = (0..n)
+            .map(|_| {
+                (
+                    rng.gen_range(0..4i64),
+                    rng.gen_range(0..3i64),
+                    rng.gen_range(-4..5i64),
+                )
+            })
+            .collect();
         let db = build(&rows);
         let q = "select r.a, sum(r.b) as s from r group by r.a";
         let ranges = consistent_answers(&db, q, &sigma()).unwrap();
@@ -118,19 +155,21 @@ proptest! {
             // min <= max.
             let lo = &row[1];
             let hi = &row[2];
-            prop_assert!(
+            assert!(
                 lo.total_cmp(hi) != std::cmp::Ordering::Greater,
-                "range [{lo}, {hi}] inverted"
+                "range [{lo}, {hi}] inverted (case {case})"
             );
             // Every consistent group exists in the original result.
-            prop_assert!(original_groups.contains(&row[0].to_string()));
+            assert!(original_groups.contains(&row[0].to_string()), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn annotation_stats_count_the_duplicated_keys(
-        rows in prop::collection::vec((0..4i64, 0..4i64, 0..4i64), 0..12),
-    ) {
+#[test]
+fn annotation_stats_count_the_duplicated_keys() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xD0B1_0000 + case);
+        let rows = rand_rows(&mut rng, 12, 0, 4);
         let db = build(&rows);
         let stats = conquer::annotate_database(&db, &sigma()).unwrap();
         let mut counts = std::collections::HashMap::new();
@@ -138,9 +177,11 @@ proptest! {
             *counts.entry(*k).or_insert(0usize) += 1;
         }
         let expected_violated = counts.values().filter(|c| **c > 1).count();
-        let expected_inconsistent: usize =
-            counts.values().filter(|c| **c > 1).sum();
-        prop_assert_eq!(stats[0].violated_keys, expected_violated);
-        prop_assert_eq!(stats[0].inconsistent_tuples, expected_inconsistent);
+        let expected_inconsistent: usize = counts.values().filter(|c| **c > 1).sum();
+        assert_eq!(stats[0].violated_keys, expected_violated, "case {case}");
+        assert_eq!(
+            stats[0].inconsistent_tuples, expected_inconsistent,
+            "case {case}"
+        );
     }
 }

@@ -33,10 +33,16 @@ fn dangling_foreign_keys() {
          insert into c values (10, 1), (11, 0), (11, 1);",
     )
     .unwrap();
-    let sigma = ConstraintSet::new().with_key("o", ["ok"]).with_key("c", ["ck"]);
+    let sigma = ConstraintSet::new()
+        .with_key("o", ["ok"])
+        .with_key("c", ["ck"]);
     // Order 2 dangles (ck 99 missing) in every repair; order 3 joins c=10
     // (good) in one tuple and c=11 (sometimes bad) in the other.
-    assert_matches_oracle(&db, "select o.ok from o, c where o.fk = c.ck and c.good = 1", &sigma);
+    assert_matches_oracle(
+        &db,
+        "select o.ok from o, c where o.fk = c.ck and c.good = 1",
+        &sigma,
+    );
 }
 
 #[test]
@@ -56,7 +62,8 @@ fn all_candidates_filtered_leaves_empty_answer() {
 #[test]
 fn empty_table_and_no_selection() {
     let db = Database::new();
-    db.run_script("create table t (k integer, v integer)").unwrap();
+    db.run_script("create table t (k integer, v integer)")
+        .unwrap();
     let sigma = ConstraintSet::new().with_key("t", ["k"]);
     assert_matches_oracle(&db, "select t.v from t", &sigma);
 }
@@ -88,7 +95,9 @@ fn key_to_key_co_roots_against_oracle() {
          insert into b values (1, 7), (2, 8), (2, 0);",
     )
     .unwrap();
-    let sigma = ConstraintSet::new().with_key("a", ["k"]).with_key("b", ["k"]);
+    let sigma = ConstraintSet::new()
+        .with_key("a", ["k"])
+        .with_key("b", ["k"]);
     assert_matches_oracle(
         &db,
         "select a.k from a, b where a.k = b.k and a.x > 5 and b.y > 5",
@@ -118,8 +127,16 @@ fn sum_ranges_with_negative_values_match_oracle() {
     assert_eq!(rewritten.len(), oracle.len());
     for (row, ans) in rewritten.rows.iter().zip(&oracle) {
         assert_eq!(row[0], ans.group[0]);
-        assert_eq!(row[1], ans.ranges[0].0, "lower bound of group {}", ans.group[0]);
-        assert_eq!(row[2], ans.ranges[0].1, "upper bound of group {}", ans.group[0]);
+        assert_eq!(
+            row[1], ans.ranges[0].0,
+            "lower bound of group {}",
+            ans.group[0]
+        );
+        assert_eq!(
+            row[2], ans.ranges[0].1,
+            "upper bound of group {}",
+            ans.group[0]
+        );
     }
 }
 
@@ -225,12 +242,19 @@ fn avg_bounds_are_sound_containments_of_the_oracle() {
     let oracle = range_consistent_oracle(&db, q, &sigma, 1).unwrap();
     assert_eq!(rewritten.len(), 1);
     assert_eq!(oracle.len(), 1);
-    let Value::Float(lo) = rewritten.rows[0][1] else { panic!() };
-    let Value::Float(hi) = rewritten.rows[0][2] else { panic!() };
+    let Value::Float(lo) = rewritten.rows[0][1] else {
+        panic!()
+    };
+    let Value::Float(hi) = rewritten.rows[0][2] else {
+        panic!()
+    };
     let (olo, ohi) = &oracle[0].ranges[0];
     let olo = olo.to_string().parse::<f64>().unwrap();
     let ohi = ohi.to_string().parse::<f64>().unwrap();
-    assert!(lo <= olo + 1e-9, "lower bound {lo} must not exceed oracle {olo}");
+    assert!(
+        lo <= olo + 1e-9,
+        "lower bound {lo} must not exceed oracle {olo}"
+    );
     assert!(hi >= ohi - 1e-9, "upper bound {hi} must cover oracle {ohi}");
 }
 
@@ -244,15 +268,15 @@ fn three_way_chain_with_aggregation_matches_oracle() {
          insert into o values (10, 'HI'), (11, 'HI'), (11, 'LO'), (12, 'LO');",
     )
     .unwrap();
-    let sigma = ConstraintSet::new().with_key("l", ["lk"]).with_key("o", ["ok"]);
+    let sigma = ConstraintSet::new()
+        .with_key("l", ["lk"])
+        .with_key("o", ["ok"]);
     let q = "select o.pri, sum(l.qty) as total from l, o where l.ofk = o.ok group by o.pri";
     let rewritten = consistent_answers(&db, q, &sigma).unwrap();
     let oracle = range_consistent_oracle(&db, q, &sigma, 1).unwrap();
     // Consistent groups must coincide.
-    let rewritten_groups: Vec<String> =
-        rewritten.rows.iter().map(|r| r[0].to_string()).collect();
-    let oracle_groups: Vec<String> =
-        oracle.iter().map(|a| a.group[0].to_string()).collect();
+    let rewritten_groups: Vec<String> = rewritten.rows.iter().map(|r| r[0].to_string()).collect();
+    let oracle_groups: Vec<String> = oracle.iter().map(|a| a.group[0].to_string()).collect();
     assert_eq!(rewritten_groups, oracle_groups);
     for (row, ans) in rewritten.rows.iter().zip(&oracle) {
         assert_eq!(row[1], ans.ranges[0].0, "group {}", ans.group[0]);

@@ -102,7 +102,10 @@ fn range_consistent_answers_match_oracle_on_figure7() {
     let oracle = range_consistent_oracle(&db, q, &sigma, 1).unwrap();
     assert_eq!(oracle.len(), 1);
     assert_eq!(oracle[0].group, vec![Value::str("n1")]);
-    assert_eq!(oracle[0].ranges, vec![(Value::Float(1000.0), Value::Float(2500.0))]);
+    assert_eq!(
+        oracle[0].ranges,
+        vec![(Value::Float(1000.0), Value::Float(2500.0))]
+    );
 }
 
 #[test]
