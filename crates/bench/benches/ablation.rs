@@ -45,11 +45,11 @@ fn main() {
         for annotated in [false, true] {
             let rewritten = rewritten_query(q, &w.sigma, annotated);
             let variant = if annotated { "annotated" } else { "plain" };
-            for (label, options) in configs {
+            for (label, options) in &configs {
                 // The nested-loop fallback on the larger Q12 rewriting is
                 // quadratic; skip the pathological combination to keep the
                 // bench finishing in reasonable time.
-                if label == "nested-loop-exists" && q.number == 12 {
+                if *label == "nested-loop-exists" && q.number == 12 {
                     continue;
                 }
                 bench_case(

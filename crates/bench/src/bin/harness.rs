@@ -14,21 +14,32 @@
 //! `--runs <n>` the median-of-n timing (default 3). `--json <path>`
 //! redirects the report of a single-figure run (with `all`, each figure
 //! keeps its default `BENCH_<fig>.json`); `--quiet` suppresses the
-//! markdown tables.
+//! markdown tables. `--timeout-ms <N>` and `--mem-limit <bytes>` run every
+//! query under those engine resource limits; a tripped query is recorded in
+//! the report (`status: timeout|mem_exceeded|...`) instead of aborting the
+//! sweep, and the harness exits nonzero after writing all reports.
 //!
-//! Reports carry, per query and strategy: the median wall time, the
-//! pipeline phase breakdown (parse/analyze/rewrite/plan/optimize/execute,
-//! from `conquer-obs` spans), the per-operator `EXPLAIN ANALYZE` tree, and
-//! a snapshot of the global metrics registry.
+//! Reports carry, per query and strategy: the median wall time, a
+//! `status` (`ok`, `timeout`, `mem_exceeded`, `row_limit`, `cancelled`,
+//! `error`), the pipeline phase breakdown
+//! (parse/analyze/rewrite/plan/optimize/execute, from `conquer-obs`
+//! spans), the per-operator `EXPLAIN ANALYZE` tree, and a snapshot of the
+//! global metrics registry.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use conquer::tpch::{all_queries, BenchmarkQuery, Workload, Q12, Q4, Q6};
-use conquer::{analyze, parse_query};
+use conquer::{analyze, parse_query, ExecOptions, ResourceLimits};
 use conquer_bench::{
-    ms, operator_breakdown, overhead, phase_breakdown, time_query, workload, Strategy, BASE_SF,
+    ms, operator_breakdown, overhead, phase_breakdown, run_status, time_query_with, workload,
+    Strategy, BASE_SF,
 };
 use conquer_obs::Json;
+
+/// Set when any query fails or trips a limit; the harness still completes
+/// the sweep and writes every report before exiting nonzero.
+static FAILED: AtomicBool = AtomicBool::new(false);
 
 const COMMANDS: [&str; 7] = [
     "fig10", "fig11", "fig12", "fig13", "fig14", "baseline", "all",
@@ -40,6 +51,23 @@ struct Args {
     runs: usize,
     json: Option<String>,
     quiet: bool,
+    timeout_ms: Option<u64>,
+    mem_limit: Option<u64>,
+}
+
+impl Args {
+    /// Engine options for every timed query, carrying any `--timeout-ms` /
+    /// `--mem-limit` resource limits.
+    fn options(&self) -> ExecOptions {
+        let mut limits = ResourceLimits::unlimited();
+        if let Some(t) = self.timeout_ms {
+            limits = limits.with_timeout(Duration::from_millis(t));
+        }
+        if let Some(bytes) = self.mem_limit {
+            limits = limits.with_max_memory_bytes(bytes);
+        }
+        ExecOptions::default().with_limits(limits)
+    }
 }
 
 /// Print unless `--quiet`.
@@ -54,6 +82,8 @@ fn parse_args() -> Args {
         runs: 3,
         json: None,
         quiet: false,
+        timeout_ms: None,
+        mem_limit: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -73,6 +103,20 @@ fn parse_args() -> Args {
             "--json" => {
                 args.json = Some(it.next().unwrap_or_else(|| die("--json requires a path")));
             }
+            "--timeout-ms" => {
+                args.timeout_ms = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--timeout-ms requires an integer")),
+                );
+            }
+            "--mem-limit" => {
+                args.mem_limit = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--mem-limit requires a byte count")),
+                );
+            }
             "--quiet" => args.quiet = true,
             cmd if !cmd.starts_with('-') => {
                 if !COMMANDS.contains(&cmd) {
@@ -90,7 +134,8 @@ fn die(msg: &str) -> ! {
     eprintln!("harness: {msg}");
     eprintln!(
         "usage: harness [fig10|fig11|fig12|fig13|fig14|baseline|all] \
-         [--sf F] [--runs N] [--json PATH] [--quiet]"
+         [--sf F] [--runs N] [--json PATH] [--quiet] \
+         [--timeout-ms N] [--mem-limit BYTES]"
     );
     std::process::exit(2)
 }
@@ -124,21 +169,45 @@ fn main() {
         eprintln!("wrote {path}");
     }
     eprintln!("\n(total harness time: {:.1}s)", t0.elapsed().as_secs_f64());
+    if FAILED.load(Ordering::Relaxed) {
+        eprintln!("harness: some queries failed or tripped resource limits (see reports)");
+        std::process::exit(1);
+    }
 }
 
-/// The timing record for one (query, strategy) cell: median wall time,
-/// result cardinality, phase totals, and the measured operator tree.
+/// The timing record for one (query, strategy) cell: status, median wall
+/// time, result cardinality, phase totals, and the measured operator tree.
+///
+/// A query that errors or trips a resource limit yields a `status` /
+/// `error` entry (and flags the harness for a nonzero exit) instead of
+/// aborting the sweep; its reported time is zero and the per-phase /
+/// per-operator breakdowns are skipped.
 fn strategy_entry(
     w: &Workload,
     q: &BenchmarkQuery,
     strategy: Strategy,
-    runs: usize,
+    args: &Args,
 ) -> (Duration, Json) {
-    let median = time_query(w, q, strategy, runs);
-    let mut entry = phase_breakdown(w, q, strategy);
-    entry.push("median_us", Json::UInt(median.as_micros() as u64));
-    entry.push("operators", operator_breakdown(w, q, strategy));
-    (median, entry)
+    let result = time_query_with(w, q, strategy, args.runs, &args.options());
+    let status = run_status(&result);
+    match result {
+        Ok(median) => {
+            let mut entry = phase_breakdown(w, q, strategy);
+            entry.push("status", Json::from(status));
+            entry.push("median_us", Json::UInt(median.as_micros() as u64));
+            entry.push("operators", operator_breakdown(w, q, strategy));
+            (median, entry)
+        }
+        Err(e) => {
+            FAILED.store(true, Ordering::Relaxed);
+            eprintln!("harness: {} [{}] {status}: {e}", q.name(), strategy.label());
+            let entry = Json::obj([
+                ("status", Json::from(status)),
+                ("error", Json::from(e.to_string())),
+            ]);
+            (Duration::ZERO, entry)
+        }
+    }
 }
 
 fn report_header(figure: &str, args: &Args) -> Json {
@@ -203,9 +272,9 @@ fn fig11(args: &Args) -> Json {
     say!(args, "|-------|--------------:|---------------:|---------------:|-------------------:|-------------------:|");
     let mut queries = Vec::new();
     for q in all_queries() {
-        let (t_orig, e_orig) = strategy_entry(&w, &q, Strategy::Original, args.runs);
-        let (t_rew, e_rew) = strategy_entry(&w, &q, Strategy::Rewritten, args.runs);
-        let (t_ann, e_ann) = strategy_entry(&w, &q, Strategy::Annotated, args.runs);
+        let (t_orig, e_orig) = strategy_entry(&w, &q, Strategy::Original, args);
+        let (t_rew, e_rew) = strategy_entry(&w, &q, Strategy::Rewritten, args);
+        let (t_ann, e_ann) = strategy_entry(&w, &q, Strategy::Annotated, args);
         say!(
             args,
             "| {} | {} | {} | {} | {:.2}x | {:.2}x |",
@@ -247,9 +316,9 @@ fn fig12(args: &Args) -> Json {
     let mut series = Vec::new();
     for p in [0.0, 0.01, 0.05, 0.10, 0.20, 0.50] {
         let w = workload(args.sf, p, 2);
-        let (t_orig, e_orig) = strategy_entry(&w, &Q6, Strategy::Original, args.runs);
-        let (t_rew, e_rew) = strategy_entry(&w, &Q6, Strategy::Rewritten, args.runs);
-        let (t_ann, e_ann) = strategy_entry(&w, &Q6, Strategy::Annotated, args.runs);
+        let (t_orig, e_orig) = strategy_entry(&w, &Q6, Strategy::Original, args);
+        let (t_rew, e_rew) = strategy_entry(&w, &Q6, Strategy::Rewritten, args);
+        let (t_ann, e_ann) = strategy_entry(&w, &Q6, Strategy::Annotated, args);
         say!(
             args,
             "| {:>4.0} | {} | {} | {} | {:.2}x |",
@@ -289,9 +358,9 @@ fn fig13(args: &Args) -> Json {
     let mut series = Vec::new();
     for n in [2usize, 5, 10, 25, 50] {
         let w = workload(args.sf, 0.10, n);
-        let (t_orig, e_orig) = strategy_entry(&w, &Q6, Strategy::Original, args.runs);
-        let (t_rew, e_rew) = strategy_entry(&w, &Q6, Strategy::Rewritten, args.runs);
-        let (t_ann, e_ann) = strategy_entry(&w, &Q6, Strategy::Annotated, args.runs);
+        let (t_orig, e_orig) = strategy_entry(&w, &Q6, Strategy::Original, args);
+        let (t_rew, e_rew) = strategy_entry(&w, &Q6, Strategy::Rewritten, args);
+        let (t_ann, e_ann) = strategy_entry(&w, &Q6, Strategy::Annotated, args);
         say!(
             args,
             "| {n} | {} | {} | {} |",
@@ -337,9 +406,9 @@ fn fig14(args: &Args) -> Json {
         let sf = args.sf * ratio;
         let w = workload(sf, p, 2);
         let tuples = conquer_bench::total_tuples(&w.db);
-        let (t4, e4) = strategy_entry(&w, &Q4, Strategy::Annotated, args.runs);
-        let (t6, e6) = strategy_entry(&w, &Q6, Strategy::Annotated, args.runs);
-        let (t12, e12) = strategy_entry(&w, &Q12, Strategy::Annotated, args.runs);
+        let (t4, e4) = strategy_entry(&w, &Q4, Strategy::Annotated, args);
+        let (t6, e6) = strategy_entry(&w, &Q6, Strategy::Annotated, args);
+        let (t12, e12) = strategy_entry(&w, &Q12, Strategy::Annotated, args);
         say!(
             args,
             "| {ratio} | {:.1} | {tuples} | {} | {} | {} |",

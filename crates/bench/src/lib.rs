@@ -13,8 +13,9 @@ use std::time::{Duration, Instant};
 
 use conquer::tpch::{build_workload, BenchmarkQuery, Workload, WorkloadConfig};
 use conquer::{
-    consistent_answers, consistent_answers_annotated, parse_query, rewrite, ConstraintSet,
-    Database, RewriteOptions, Rows,
+    consistent_answers, consistent_answers_annotated, consistent_answers_annotated_with,
+    consistent_answers_with, parse_query, rewrite, ConstraintSet, Database, EngineError,
+    ExecOptions, RewriteError, RewriteOptions, Rows,
 };
 
 /// The scale factor that stands in for the paper's 1 GB database. The
@@ -73,6 +74,38 @@ pub fn run_query(w: &Workload, q: &BenchmarkQuery, strategy: Strategy) -> Rows {
     }
 }
 
+/// Execute one query under one strategy with explicit engine options,
+/// surfacing failures (including resource-limit trips) instead of
+/// panicking.
+pub fn try_run_query(
+    w: &Workload,
+    q: &BenchmarkQuery,
+    strategy: Strategy,
+    options: &ExecOptions,
+) -> Result<Rows, RewriteError> {
+    match strategy {
+        Strategy::Original => w.db.query_with(q.sql, options).map_err(RewriteError::from),
+        Strategy::Rewritten => consistent_answers_with(&w.db, q.sql, &w.sigma, options),
+        Strategy::Annotated => consistent_answers_annotated_with(&w.db, q.sql, &w.sigma, options),
+    }
+}
+
+/// Classify a query outcome for bench reports: `ok`, `timeout`,
+/// `mem_exceeded`, `row_limit`, `cancelled`, or `error`.
+pub fn run_status<T>(result: &Result<T, RewriteError>) -> &'static str {
+    match result {
+        Ok(_) => "ok",
+        Err(RewriteError::Engine(e)) => match e {
+            EngineError::Timeout(_) => "timeout",
+            EngineError::MemoryExceeded(_) => "mem_exceeded",
+            EngineError::RowLimitExceeded(_) => "row_limit",
+            EngineError::Cancelled(_) => "cancelled",
+            _ => "error",
+        },
+        Err(_) => "error",
+    }
+}
+
 /// Median-of-`runs` wall-clock time for one query/strategy pair.
 pub fn time_query(w: &Workload, q: &BenchmarkQuery, strategy: Strategy, runs: usize) -> Duration {
     let mut samples = Vec::with_capacity(runs);
@@ -85,6 +118,27 @@ pub fn time_query(w: &Workload, q: &BenchmarkQuery, strategy: Strategy, runs: us
     }
     samples.sort();
     samples[samples.len() / 2]
+}
+
+/// [`time_query`] under explicit engine options. Returns the error of the
+/// first failing run (the caller records the status and moves on).
+pub fn time_query_with(
+    w: &Workload,
+    q: &BenchmarkQuery,
+    strategy: Strategy,
+    runs: usize,
+    options: &ExecOptions,
+) -> Result<Duration, RewriteError> {
+    let mut samples = Vec::with_capacity(runs);
+    for _ in 0..runs.max(1) {
+        let t0 = Instant::now();
+        let rows = try_run_query(w, q, strategy, options)?;
+        let dt = t0.elapsed();
+        std::hint::black_box(rows.len());
+        samples.push(dt);
+    }
+    samples.sort();
+    Ok(samples[samples.len() / 2])
 }
 
 /// Warm up once, run `samples` times, print and return the median wall
@@ -136,7 +190,7 @@ pub fn operator_breakdown(
         Strategy::Annotated => rewritten_query(q, &w.sigma, true),
     };
     let (_, plan, stats) =
-        w.db.execute_query_traced(&query, conquer::ExecOptions::default())
+        w.db.execute_query_traced(&query, &conquer::ExecOptions::default())
             .expect("benchmark query executes");
     conquer::engine::stats_json(&plan, &stats)
 }

@@ -1,0 +1,64 @@
+//! Resource limits and cancellation in action: a cross join big enough to
+//! blow every budget, each trip surfacing as a structured error naming the
+//! operator — with the database fully usable afterwards.
+//!
+//! ```sh
+//! cargo run -p conquer --example governor
+//! ```
+
+use std::time::Duration;
+
+use conquer::{CancellationToken, Database, EngineError, ExecOptions, ResourceLimits};
+
+fn main() {
+    let db = Database::new();
+    let vals: Vec<String> = (0..1500).map(|i| format!("({i})")).collect();
+    db.run_script(&format!(
+        "create table a (x integer); create table b (y integer);
+         insert into a values {v}; insert into b values {v};",
+        v = vals.join(", ")
+    ))
+    .expect("fixture");
+
+    // 1500 x 1500 = 2.25M intermediate rows.
+    let big = "select count(*) from a, b where a.x + b.y > 0";
+
+    let show = |label: &str, result: Result<conquer::Rows, EngineError>| match result {
+        Ok(rows) => println!("{label:>12}: ok ({} rows)", rows.len()),
+        Err(EngineError::Timeout(trip)) => println!("{label:>12}: timeout {trip}"),
+        Err(EngineError::MemoryExceeded(trip)) => println!("{label:>12}: memory {trip}"),
+        Err(EngineError::RowLimitExceeded(trip)) => println!("{label:>12}: rows {trip}"),
+        Err(EngineError::Cancelled(trip)) => println!("{label:>12}: cancelled {trip}"),
+        Err(e) => println!("{label:>12}: error {e}"),
+    };
+
+    let timeout = ExecOptions::default()
+        .with_limits(ResourceLimits::unlimited().with_timeout(Duration::from_millis(5)));
+    show("timeout", db.query_with(big, &timeout));
+
+    let rows =
+        ExecOptions::default().with_limits(ResourceLimits::unlimited().with_max_rows(100_000));
+    show("row limit", db.query_with(big, &rows));
+
+    let mem = ExecOptions::default()
+        .with_limits(ResourceLimits::unlimited().with_max_memory_bytes(1 << 20));
+    show(
+        "mem limit",
+        db.query_with("select a.x, b.y from a, b", &mem),
+    );
+
+    let token = CancellationToken::new();
+    let cancelled = ExecOptions::default().with_cancellation(token.clone());
+    let canceller = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(10));
+        token.cancel();
+    });
+    show("cancel", db.query_with(big, &cancelled));
+    canceller.join().expect("canceller");
+
+    // The database is untouched after every trip.
+    show(
+        "afterwards",
+        db.query_with("select count(*) from a", &ExecOptions::default()),
+    );
+}

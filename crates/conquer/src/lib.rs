@@ -35,11 +35,15 @@ pub use conquer_sql as sql;
 pub use conquer_tpch as tpch;
 
 pub use conquer_core::{
-    analyze, annotate_database, consistent_answers, consistent_answers_annotated, is_annotated,
-    possible_answers, rewrite, rewrite_sql, rewrite_tree, AnnotationStats, ConstraintSet,
-    KeyConstraint, RewriteError, RewriteOptions, TreeQuery,
+    analyze, annotate_database, consistent_answers, consistent_answers_annotated,
+    consistent_answers_annotated_with, consistent_answers_with, is_annotated, possible_answers,
+    rewrite, rewrite_sql, rewrite_tree, AnnotationStats, ConstraintSet, KeyConstraint,
+    RewriteError, RewriteOptions, TreeQuery,
 };
-pub use conquer_engine::{Database, ExecOptions, Rows, Table, Value};
+pub use conquer_engine::{
+    CancellationToken, Database, EngineError, ExecOptions, LimitTrip, ResourceLimits, Rows, Table,
+    Value,
+};
 pub use conquer_repair::{
     answers_with_support, consistent_answers_oracle, possible_answers_oracle,
     range_consistent_oracle, RangeAnswer, RepairEnumerator,

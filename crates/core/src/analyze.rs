@@ -351,7 +351,11 @@ pub fn analyze(query: &Query, sigma: &ConstraintSet) -> Result<TreeQuery> {
         for &ei in &children[r] {
             let e = &edges[ei];
             let EdgeClass::Arc { from, to } = e.class else {
-                unreachable!()
+                // `children` only ever holds arc edges; keep the path
+                // structured-error-only regardless.
+                return Err(RewriteError::NotATreeQuery(
+                    "internal: non-arc edge in join-tree traversal".into(),
+                ));
             };
             debug_assert_eq!(from, r);
             let on: Vec<(ColumnRef, ColumnRef)> = if e.a == from {

@@ -51,11 +51,7 @@ pub fn annotate_database(db: &Database, sigma: &ConstraintSet) -> Result<Vec<Ann
         let key_indices: Vec<usize> = constraint
             .key
             .iter()
-            .map(|k| {
-                table
-                    .column_index(k)
-                    .map_err(|e| RewriteError::Engine(e.to_string()))
-            })
+            .map(|k| table.column_index(k).map_err(RewriteError::Engine))
             .collect::<Result<_>>()?;
 
         // First pass: count occurrences of each key value.

@@ -1,7 +1,7 @@
 //! High-level entry points: rewrite a query, or rewrite-and-execute against
 //! a [`Database`].
 
-use conquer_engine::{Database, Rows};
+use conquer_engine::{Database, ExecOptions, Rows};
 use conquer_sql::ast::Query;
 use conquer_sql::parse_query;
 
@@ -50,9 +50,20 @@ fn parse_sql_spanned(sql: &str) -> Result<Query> {
 /// Compute the consistent (or range-consistent) answers of `sql` on `db`
 /// under the key constraints `sigma`, using the plain rewriting.
 pub fn consistent_answers(db: &Database, sql: &str, sigma: &ConstraintSet) -> Result<Rows> {
+    consistent_answers_with(db, sql, sigma, &ExecOptions::default())
+}
+
+/// [`consistent_answers`] under explicit execution options — resource
+/// limits and cancellation apply to the rewritten query's execution.
+pub fn consistent_answers_with(
+    db: &Database,
+    sql: &str,
+    sigma: &ConstraintSet,
+    options: &ExecOptions,
+) -> Result<Rows> {
     let query = parse_sql_spanned(sql)?;
     let rewritten = rewrite(&query, sigma, &RewriteOptions::default())?;
-    Ok(db.execute_query(&rewritten)?)
+    Ok(db.execute_query_with(&rewritten, options)?)
 }
 
 /// Compute the consistent answers using the annotation-aware rewriting of
@@ -62,6 +73,16 @@ pub fn consistent_answers_annotated(
     db: &Database,
     sql: &str,
     sigma: &ConstraintSet,
+) -> Result<Rows> {
+    consistent_answers_annotated_with(db, sql, sigma, &ExecOptions::default())
+}
+
+/// [`consistent_answers_annotated`] under explicit execution options.
+pub fn consistent_answers_annotated_with(
+    db: &Database,
+    sql: &str,
+    sigma: &ConstraintSet,
+    options: &ExecOptions,
 ) -> Result<Rows> {
     if !is_annotated(db, sigma) {
         return Err(RewriteError::InvalidConstraint(
@@ -74,7 +95,7 @@ pub fn consistent_answers_annotated(
         ..RewriteOptions::default()
     };
     let rewritten = rewrite(&query, sigma, &opts)?;
-    Ok(db.execute_query(&rewritten)?)
+    Ok(db.execute_query_with(&rewritten, options)?)
 }
 
 /// The *possible* answers of a monotone query are the answers of the

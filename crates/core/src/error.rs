@@ -16,8 +16,10 @@ pub enum RewriteError {
     MissingKey(String),
     /// A malformed constraint set.
     InvalidConstraint(String),
-    /// Failure in the underlying engine (annotation, execution).
-    Engine(String),
+    /// Failure in the underlying engine (annotation, execution). Carries
+    /// the structured engine error so callers can distinguish resource-limit
+    /// trips (timeout, memory, rows, cancellation) from plain failures.
+    Engine(conquer_engine::EngineError),
 }
 
 impl fmt::Display for RewriteError {
@@ -30,7 +32,7 @@ impl fmt::Display for RewriteError {
                 "relation `{rel}` has no key constraint in the query constraint set"
             ),
             RewriteError::InvalidConstraint(msg) => write!(f, "invalid constraint: {msg}"),
-            RewriteError::Engine(msg) => write!(f, "engine error: {msg}"),
+            RewriteError::Engine(e) => write!(f, "engine error: {e}"),
         }
     }
 }
@@ -39,12 +41,12 @@ impl std::error::Error for RewriteError {}
 
 impl From<conquer_engine::EngineError> for RewriteError {
     fn from(e: conquer_engine::EngineError) -> Self {
-        RewriteError::Engine(e.to_string())
+        RewriteError::Engine(e)
     }
 }
 
 impl From<conquer_sql::ParseError> for RewriteError {
     fn from(e: conquer_sql::ParseError) -> Self {
-        RewriteError::Engine(format!("parse error: {e}"))
+        RewriteError::Engine(e.into())
     }
 }

@@ -39,7 +39,7 @@ fn explain_analyze_root_cardinality_matches_result() {
     )
     .unwrap();
     let (rows, plan, stats) = db
-        .execute_query_traced(&rewritten, ExecOptions::default())
+        .execute_query_traced(&rewritten, &ExecOptions::default())
         .unwrap();
 
     // The traced run and the plain rewriting agree.
@@ -76,7 +76,7 @@ fn explain_analyze_inner_cardinalities_are_consistent() {
     )
     .unwrap();
     let (rows, plan, stats) = db
-        .execute_query_traced(&rewritten, ExecOptions::default())
+        .execute_query_traced(&rewritten, &ExecOptions::default())
         .unwrap();
 
     // Walk the stats tree: every operator ran exactly once (no correlated
@@ -118,7 +118,7 @@ fn explain_lists_the_rewritten_plan_without_running_it() {
     )
     .unwrap();
     let text = db
-        .explain_with(&rewritten.to_string(), ExecOptions::default())
+        .explain_with(&rewritten.to_string(), &ExecOptions::default())
         .unwrap();
     // The rewriting planner turns the NOT EXISTS filter into an anti join.
     assert!(

@@ -120,7 +120,7 @@ fn conscand_guard_is_pushed_below_the_filter_join() {
     )
     .unwrap();
     let query = parse_query(&sql).unwrap();
-    let plan = db.plan(&query, ExecOptions::default()).unwrap();
+    let plan = db.plan(&query, &ExecOptions::default()).unwrap();
     let shape = format!("{plan:?}");
     // The final plan is the anti-join of candidates against the filter; the
     // filter CTE was already materialized during planning, so here we only
@@ -159,12 +159,12 @@ fn pushdown_off_still_produces_identical_answers() {
     .unwrap();
     let query = parse_query(&sql).unwrap();
     let with = db
-        .execute_query_with(&query, ExecOptions::default())
+        .execute_query_with(&query, &ExecOptions::default())
         .unwrap();
     let without = db
         .execute_query_with(
             &query,
-            ExecOptions {
+            &ExecOptions {
                 pushdown_filters: false,
                 ..Default::default()
             },

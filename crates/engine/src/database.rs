@@ -10,10 +10,22 @@ use conquer_sql::{parse_query, parse_statements};
 
 use crate::error::{EngineError, Result};
 use crate::exec;
+use crate::governor::Governor;
 use crate::plan::{literal_value, ExecOptions, Plan, Planner};
 use crate::schema::DataType;
 use crate::table::{Row, Rows, Table};
 use crate::value::Value;
+
+/// Recover a lock even if a previous holder panicked: the catalog maps are
+/// valid after any interrupted operation (worst case a stale scan cache
+/// entry, which is overwritten on next use).
+fn read_lock<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|e| e.into_inner())
+}
+
+fn write_lock<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(|e| e.into_inner())
+}
 
 /// An in-memory database: thread-safe catalog of tables.
 ///
@@ -36,21 +48,19 @@ impl Database {
     /// Register (or replace) a table.
     pub fn register(&self, table: Table) {
         let name = table.name().to_string();
-        self.scan_cache.write().unwrap().remove(&name);
-        self.tables.write().unwrap().insert(name, Arc::new(table));
+        write_lock(&self.scan_cache).remove(&name);
+        write_lock(&self.tables).insert(name, Arc::new(table));
     }
 
     /// Remove a table; returns it if present.
     pub fn drop_table(&self, name: &str) -> Option<Arc<Table>> {
-        self.scan_cache.write().unwrap().remove(name);
-        self.tables.write().unwrap().remove(name)
+        write_lock(&self.scan_cache).remove(name);
+        write_lock(&self.tables).remove(name)
     }
 
     /// Shared handle to a table.
     pub fn table(&self, name: &str) -> Result<Arc<Table>> {
-        self.tables
-            .read()
-            .unwrap()
+        read_lock(&self.tables)
             .get(name)
             .cloned()
             .ok_or_else(|| EngineError::UnknownTable(name.to_string()))
@@ -58,13 +68,13 @@ impl Database {
 
     /// Names of all registered tables.
     pub fn table_names(&self) -> Vec<String> {
-        self.tables.read().unwrap().keys().cloned().collect()
+        read_lock(&self.tables).keys().cloned().collect()
     }
 
     /// The rows of a table as a shared, scan-ready batch (cached until the
     /// table is re-registered).
     pub(crate) fn table_rows(&self, name: &str) -> Result<Arc<Rows>> {
-        if let Some(cached) = self.scan_cache.read().unwrap().get(name) {
+        if let Some(cached) = read_lock(&self.scan_cache).get(name) {
             return Ok(Arc::clone(cached));
         }
         let table = self.table(name)?;
@@ -72,37 +82,48 @@ impl Database {
             schema: table.schema().clone(),
             rows: table.rows().to_vec(),
         });
-        self.scan_cache
-            .write()
-            .unwrap()
-            .insert(name.to_string(), Arc::clone(&rows));
+        write_lock(&self.scan_cache).insert(name.to_string(), Arc::clone(&rows));
         Ok(rows)
     }
 
     /// Run a SQL query string with default options.
     pub fn query(&self, sql: &str) -> Result<Rows> {
-        self.query_with(sql, ExecOptions::default())
+        self.query_with(sql, &ExecOptions::default())
     }
 
-    /// Run a SQL query string with explicit options.
-    pub fn query_with(&self, sql: &str, options: ExecOptions) -> Result<Rows> {
+    /// Run a SQL query string with explicit options. One governor covers
+    /// parse → plan (CTE materialization included) → execute, so the
+    /// wall-clock budget in [`ResourceLimits`](crate::ResourceLimits) is
+    /// end-to-end.
+    pub fn query_with(&self, sql: &str, options: &ExecOptions) -> Result<Rows> {
+        let gov = Governor::for_options(options);
         let query = {
             let _span = conquer_obs::span("parse").field("bytes", sql.len());
             parse_query(sql)?
         };
-        self.execute_query_with(&query, options)
+        self.execute_query_opts(&query, options, gov.as_ref())
     }
 
     /// Run a parsed query with default options.
     pub fn execute_query(&self, query: &Query) -> Result<Rows> {
-        self.execute_query_with(query, ExecOptions::default())
+        self.execute_query_with(query, &ExecOptions::default())
     }
 
     /// Run a parsed query with explicit options.
-    pub fn execute_query_with(&self, query: &Query, options: ExecOptions) -> Result<Rows> {
-        let plan = self.plan(query, options)?;
+    pub fn execute_query_with(&self, query: &Query, options: &ExecOptions) -> Result<Rows> {
+        let gov = Governor::for_options(options);
+        self.execute_query_opts(query, options, gov.as_ref())
+    }
+
+    fn execute_query_opts(
+        &self,
+        query: &Query,
+        options: &ExecOptions,
+        gov: Option<&Governor>,
+    ) -> Result<Rows> {
+        let plan = self.plan_governed(query, options, gov)?;
         let mut span = conquer_obs::span("execute");
-        let rows = exec::execute(&plan, None)?;
+        let rows = exec::execute_governed(&plan, None, gov)?;
         span.record("rows", rows.rows.len());
         Ok(rows)
     }
@@ -112,22 +133,34 @@ impl Database {
     pub fn execute_query_traced(
         &self,
         query: &Query,
-        options: ExecOptions,
+        options: &ExecOptions,
     ) -> Result<(Rows, Plan, crate::stats::NodeStats)> {
-        let plan = self.plan(query, options)?;
+        let gov = Governor::for_options(options);
+        let plan = self.plan_governed(query, options, gov.as_ref())?;
         let mut span = conquer_obs::span("execute");
-        let (rows, stats) = exec::execute_traced(&plan, None)?;
+        let (rows, stats) = exec::execute_traced(&plan, None, gov.as_ref())?;
         span.record("rows", rows.rows.len());
         Ok((rows, plan, stats))
     }
 
-    /// Plan a query without executing it (CTEs are still materialized).
-    pub fn plan(&self, query: &Query, options: ExecOptions) -> Result<Plan> {
+    /// Plan a query without executing it (CTEs are still materialized, under
+    /// the options' resource budget).
+    pub fn plan(&self, query: &Query, options: &ExecOptions) -> Result<Plan> {
+        let gov = Governor::for_options(options);
+        self.plan_governed(query, options, gov.as_ref())
+    }
+
+    fn plan_governed(
+        &self,
+        query: &Query,
+        options: &ExecOptions,
+        gov: Option<&Governor>,
+    ) -> Result<Plan> {
         let plan = {
             let _span = conquer_obs::span("plan")
                 .field("materialize_ctes", options.materialize_ctes)
                 .field("pushdown", options.pushdown_filters);
-            Planner::new(self, options).plan_query(query)?
+            Planner::with_governor(self, options, gov).plan_query(query)?
         };
         Ok(if options.pushdown_filters {
             let _span = conquer_obs::span("optimize");
@@ -142,11 +175,11 @@ impl Database {
     /// CTEs are materialized during planning (as at execution time), so the
     /// printed tree is exactly what [`Database::query`] would run.
     pub fn explain(&self, sql: &str) -> Result<String> {
-        self.explain_with(sql, ExecOptions::default())
+        self.explain_with(sql, &ExecOptions::default())
     }
 
     /// [`Database::explain`] under explicit options.
-    pub fn explain_with(&self, sql: &str, options: ExecOptions) -> Result<String> {
+    pub fn explain_with(&self, sql: &str, options: &ExecOptions) -> Result<String> {
         let query = parse_query(sql)?;
         let plan = self.plan(&query, options)?;
         Ok(crate::explain::explain(&plan))
@@ -155,11 +188,11 @@ impl Database {
     /// Run a SQL query and return its rows together with the plan listing
     /// annotated with measured per-operator stats.
     pub fn explain_analyze(&self, sql: &str) -> Result<(Rows, String)> {
-        self.explain_analyze_with(sql, ExecOptions::default())
+        self.explain_analyze_with(sql, &ExecOptions::default())
     }
 
     /// [`Database::explain_analyze`] under explicit options.
-    pub fn explain_analyze_with(&self, sql: &str, options: ExecOptions) -> Result<(Rows, String)> {
+    pub fn explain_analyze_with(&self, sql: &str, options: &ExecOptions) -> Result<(Rows, String)> {
         let query = {
             let _span = conquer_obs::span("parse").field("bytes", sql.len());
             parse_query(sql)?
@@ -184,7 +217,7 @@ impl Database {
         match stmt {
             Statement::Query(q) => Ok(Some(self.execute_query(q)?)),
             Statement::CreateTable { name, columns } => {
-                if self.tables.read().unwrap().contains_key(name) {
+                if read_lock(&self.tables).contains_key(name) {
                     return Err(EngineError::Catalog(format!(
                         "table `{name}` already exists"
                     )));
@@ -247,7 +280,11 @@ fn eval_const(expr: &Expr) -> Result<Value> {
             op: conquer_sql::UnaryOp::Neg,
             expr,
         } => match eval_const(expr)? {
-            Value::Int(v) => Ok(Value::Int(-v)),
+            Value::Int(v) => {
+                Ok(Value::Int(v.checked_neg().ok_or_else(|| {
+                    EngineError::Eval("integer overflow in negation".into())
+                })?))
+            }
             Value::Float(v) => Ok(Value::Float(-v)),
             other => Err(EngineError::TypeError(format!(
                 "cannot negate {}",

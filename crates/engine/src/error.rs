@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::governor::LimitTrip;
+
 /// Result alias for the engine.
 pub type Result<T> = std::result::Result<T, EngineError>;
 
@@ -20,8 +22,34 @@ pub enum EngineError {
     Unsupported(String),
     /// A catalog operation failed (duplicate table, arity mismatch, ...).
     Catalog(String),
+    /// A runtime expression-evaluation failure with SQL semantics: integer
+    /// overflow, division by zero, invalid casts.
+    Eval(String),
+    /// The wall-clock budget of [`ResourceLimits`](crate::ResourceLimits)
+    /// was exhausted.
+    Timeout(LimitTrip),
+    /// The memory budget was exhausted.
+    MemoryExceeded(LimitTrip),
+    /// The row budget (output plus intermediate rows) was exhausted.
+    RowLimitExceeded(LimitTrip),
+    /// A [`CancellationToken`](crate::CancellationToken) was tripped.
+    Cancelled(LimitTrip),
     /// Any other planning/execution failure.
     Execution(String),
+}
+
+impl EngineError {
+    /// The governor trip snapshot, when this error came from a resource
+    /// limit or cancellation.
+    pub fn limit_trip(&self) -> Option<&LimitTrip> {
+        match self {
+            EngineError::Timeout(t)
+            | EngineError::MemoryExceeded(t)
+            | EngineError::RowLimitExceeded(t)
+            | EngineError::Cancelled(t) => Some(t),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for EngineError {
@@ -33,6 +61,11 @@ impl fmt::Display for EngineError {
             EngineError::TypeError(msg) => write!(f, "type error: {msg}"),
             EngineError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
             EngineError::Catalog(msg) => write!(f, "catalog error: {msg}"),
+            EngineError::Eval(msg) => write!(f, "evaluation error: {msg}"),
+            EngineError::Timeout(trip) => write!(f, "query timed out {trip}"),
+            EngineError::MemoryExceeded(trip) => write!(f, "memory limit exceeded {trip}"),
+            EngineError::RowLimitExceeded(trip) => write!(f, "row limit exceeded {trip}"),
+            EngineError::Cancelled(trip) => write!(f, "query cancelled {trip}"),
             EngineError::Execution(msg) => write!(f, "execution error: {msg}"),
         }
     }

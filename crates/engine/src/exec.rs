@@ -5,6 +5,13 @@
 //! materialized CTEs). Read-only consumers — join build/probe sides,
 //! aggregation inputs, filters — iterate shared batches without copying
 //! them, so a scan feeding a join never clones the whole table.
+//!
+//! Every operator is governed: hot loops call [`Governor::tick`]
+//! cooperatively, joins account each emitted row ([`Governor::emit_row`]),
+//! hash tables / group tables / distinct sets reserve their estimated
+//! footprint, and non-join operators batch-commit their output row counts.
+//! Row and memory accounting is therefore *cumulative over intermediate
+//! results* (a budget on total work), not an instantaneous peak.
 
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
@@ -14,6 +21,8 @@ use std::time::Instant;
 
 use crate::error::{EngineError, Result};
 use crate::expr::{BoundExpr, Env};
+use crate::faults;
+use crate::governor::Governor;
 use crate::plan::{AggFunc, AggSpec, JoinType, Plan};
 use crate::schema::Schema;
 use crate::stats::NodeStats;
@@ -63,22 +72,52 @@ impl Batch {
 }
 
 /// Execute a plan to fully-owned rows. `outer` is the enclosing row
-/// environment for correlated subquery plans; `None` at the top level.
+/// environment for correlated subquery plans; `None` at the top level. The
+/// governor, if any, is inherited from `outer` — correlated subqueries stay
+/// under the enclosing query's budget.
 pub fn execute(plan: &Plan, outer: Option<&Env<'_>>) -> Result<Rows> {
-    Ok(execute_batch(plan, outer)?.into_rows())
+    let gov = outer.and_then(|e| e.gov);
+    execute_governed(plan, outer, gov)
+}
+
+/// Execute a plan to fully-owned rows under an explicit resource governor.
+pub fn execute_governed(
+    plan: &Plan,
+    outer: Option<&Env<'_>>,
+    gov: Option<&Governor>,
+) -> Result<Rows> {
+    Ok(execute_batch_stats(plan, outer, None, gov)?.into_rows())
 }
 
 /// Execute a plan, sharing pre-materialized rows where possible.
 pub fn execute_batch(plan: &Plan, outer: Option<&Env<'_>>) -> Result<Batch> {
-    execute_batch_stats(plan, outer, None)
+    let gov = outer.and_then(|e| e.gov);
+    execute_batch_stats(plan, outer, None, gov)
 }
 
 /// Execute a plan, additionally collecting per-operator runtime stats into
 /// a [`NodeStats`] tree shaped like the plan (`EXPLAIN ANALYZE`).
-pub fn execute_traced(plan: &Plan, outer: Option<&Env<'_>>) -> Result<(Rows, NodeStats)> {
+pub fn execute_traced(
+    plan: &Plan,
+    outer: Option<&Env<'_>>,
+    gov: Option<&Governor>,
+) -> Result<(Rows, NodeStats)> {
     let mut stats = NodeStats::for_plan(plan);
-    let rows = execute_batch_stats(plan, outer, Some(&mut stats))?.into_rows();
+    let rows = execute_batch_stats(plan, outer, Some(&mut stats), gov)?.into_rows();
     Ok((rows, stats))
+}
+
+/// Rough footprint of a materialized row set (used when reserving memory
+/// for CTEs and join outputs).
+pub fn rows_bytes(rows: &Rows) -> u64 {
+    est_row_bytes(rows.schema.len()) * rows.rows.len() as u64
+}
+
+/// Estimated bytes for one materialized row of `width` columns. A crude
+/// upper-bound-ish estimate: inline `Value`s plus the row vector header.
+/// Heap payloads behind `Arc<str>` are shared and deliberately not charged.
+fn est_row_bytes(width: usize) -> u64 {
+    (width * mem::size_of::<Value>() + mem::size_of::<Row>()) as u64
 }
 
 /// Execute a plan, filling `stats` (when present) for this operator and
@@ -88,9 +127,13 @@ pub fn execute_batch_stats(
     plan: &Plan,
     outer: Option<&Env<'_>>,
     mut stats: Option<&mut NodeStats>,
+    gov: Option<&Governor>,
 ) -> Result<Batch> {
+    if let Some(g) = gov {
+        g.check_now(op_name(plan))?;
+    }
     let start = stats.as_ref().map(|_| Instant::now());
-    let result = exec_node(plan, outer, &mut stats);
+    let result = exec_node(plan, outer, &mut stats, gov);
     if let (Some(s), Some(t)) = (stats, start) {
         s.invocations += 1;
         s.wall += t.elapsed();
@@ -98,7 +141,43 @@ pub fn execute_batch_stats(
             s.rows_out += batch.len() as u64;
         }
     }
+    // Joins already accounted each emitted row; everything else commits its
+    // output batch here, so the row budget bounds cumulative intermediate
+    // results no matter which operator inflates them.
+    if let (Some(g), Ok(batch)) = (gov, &result) {
+        if !matches!(plan, Plan::HashJoin { .. } | Plan::NestedLoopJoin { .. }) {
+            g.add_rows(batch.len() as u64, op_name(plan))?;
+        }
+    }
     result
+}
+
+/// Stable operator name used in limit-trip reports and span events.
+fn op_name(plan: &Plan) -> &'static str {
+    match plan {
+        Plan::Scan { .. } => "scan",
+        Plan::Unit => "unit",
+        Plan::Filter { .. } => "filter",
+        Plan::Project { .. } => "project",
+        Plan::Rename { .. } => "rename",
+        Plan::HashJoin { .. } => "hash_join",
+        Plan::NestedLoopJoin { .. } => "nested_loop_join",
+        Plan::Aggregate { .. } => "aggregate",
+        Plan::Distinct { .. } => "distinct",
+        Plan::UnionAll { .. } => "union_all",
+        Plan::Sort { .. } => "sort",
+        Plan::Limit { .. } => "limit",
+    }
+}
+
+/// Cooperative cancellation/timeout check for hot loops; free when
+/// ungoverned.
+#[inline]
+fn tick(gov: Option<&Governor>, op: &'static str) -> Result<()> {
+    match gov {
+        Some(g) => g.tick(op),
+        None => Ok(()),
+    }
 }
 
 /// The untimed operator dispatch. Children are executed through
@@ -109,21 +188,27 @@ fn exec_node(
     plan: &Plan,
     outer: Option<&Env<'_>>,
     stats: &mut Option<&mut NodeStats>,
+    gov: Option<&Governor>,
 ) -> Result<Batch> {
     match plan {
-        Plan::Scan { rows, schema } => Ok(Batch::Shared {
-            rows: Arc::clone(rows),
-            schema: schema.clone(),
-        }),
+        Plan::Scan { rows, schema } => {
+            faults::trip("scan")?;
+            Ok(Batch::Shared {
+                rows: Arc::clone(rows),
+                schema: schema.clone(),
+            })
+        }
         Plan::Unit => Ok(Batch::Owned(Rows {
             schema: plan.schema().clone(),
             rows: vec![Vec::new()],
         })),
         Plan::Filter { input, predicate } => {
-            let child = execute_batch_stats(input, outer, child_stats(stats, 0))?;
+            faults::trip("filter")?;
+            let child = execute_batch_stats(input, outer, child_stats(stats, 0), gov)?;
             let mut out = Vec::new();
             for row in child.rows() {
-                if eval_predicate_on_row(predicate, row, outer)? == Some(true) {
+                tick(gov, "filter")?;
+                if eval_predicate_on_row(predicate, row, outer, gov)? == Some(true) {
                     out.push(row.clone());
                 }
             }
@@ -137,10 +222,12 @@ fn exec_node(
             exprs,
             schema,
         } => {
-            let child = execute_batch_stats(input, outer, child_stats(stats, 0))?;
+            faults::trip("project")?;
+            let child = execute_batch_stats(input, outer, child_stats(stats, 0), gov)?;
             let mut out = Vec::with_capacity(child.len());
             for row in child.rows() {
-                out.push(project_row(row, exprs, outer)?);
+                tick(gov, "project")?;
+                out.push(project_row(row, exprs, outer, gov)?);
             }
             Ok(Batch::Owned(Rows {
                 schema: schema.clone(),
@@ -148,7 +235,8 @@ fn exec_node(
             }))
         }
         Plan::Rename { input, schema } => {
-            let child = execute_batch_stats(input, outer, child_stats(stats, 0))?;
+            faults::trip("rename")?;
+            let child = execute_batch_stats(input, outer, child_stats(stats, 0), gov)?;
             Ok(match child {
                 Batch::Owned(r) => Batch::Owned(Rows {
                     schema: schema.clone(),
@@ -169,8 +257,8 @@ fn exec_node(
             residual,
             schema,
         } => {
-            let l = execute_batch_stats(left, outer, child_stats(stats, 0))?;
-            let r = execute_batch_stats(right, outer, child_stats(stats, 1))?;
+            let l = execute_batch_stats(left, outer, child_stats(stats, 0), gov)?;
+            let r = execute_batch_stats(right, outer, child_stats(stats, 1), gov)?;
             Ok(Batch::Owned(exec_hash_join(
                 l,
                 r,
@@ -181,6 +269,7 @@ fn exec_node(
                 schema,
                 outer,
                 stats.as_deref_mut(),
+                gov,
             )?))
         }
         Plan::NestedLoopJoin {
@@ -190,8 +279,9 @@ fn exec_node(
             on,
             schema,
         } => {
-            let l = execute_batch_stats(left, outer, child_stats(stats, 0))?;
-            let r = execute_batch_stats(right, outer, child_stats(stats, 1))?;
+            faults::trip("nested_loop")?;
+            let l = execute_batch_stats(left, outer, child_stats(stats, 0), gov)?;
+            let r = execute_batch_stats(right, outer, child_stats(stats, 1), gov)?;
             Ok(Batch::Owned(exec_nested_loop_join(
                 l,
                 r,
@@ -200,6 +290,7 @@ fn exec_node(
                 schema,
                 outer,
                 stats.as_deref_mut(),
+                gov,
             )?))
         }
         Plan::Aggregate {
@@ -208,7 +299,8 @@ fn exec_node(
             aggs,
             schema,
         } => {
-            let child = execute_batch_stats(input, outer, child_stats(stats, 0))?;
+            faults::trip("aggregate.group")?;
+            let child = execute_batch_stats(input, outer, child_stats(stats, 0), gov)?;
             Ok(Batch::Owned(exec_aggregate(
                 child,
                 group_exprs,
@@ -216,13 +308,19 @@ fn exec_node(
                 schema,
                 outer,
                 stats.as_deref_mut(),
+                gov,
             )?))
         }
         Plan::Distinct { input } => {
-            let child = execute_batch_stats(input, outer, child_stats(stats, 0))?;
+            faults::trip("distinct")?;
+            let child = execute_batch_stats(input, outer, child_stats(stats, 0), gov)?;
             let mut seen: HashSet<Key> = HashSet::with_capacity(child.len());
+            if let Some(g) = gov {
+                g.reserve_mem((seen.capacity() * mem::size_of::<Key>()) as u64, "distinct")?;
+            }
             let mut out = Vec::new();
             for row in child.rows() {
+                tick(gov, "distinct")?;
                 if seen.insert(Key::from_values(row)) {
                     out.push(row.clone());
                 }
@@ -237,8 +335,9 @@ fn exec_node(
             }))
         }
         Plan::UnionAll { left, right } => {
-            let l = execute_batch_stats(left, outer, child_stats(stats, 0))?;
-            let r = execute_batch_stats(right, outer, child_stats(stats, 1))?;
+            faults::trip("union")?;
+            let l = execute_batch_stats(left, outer, child_stats(stats, 0), gov)?;
+            let r = execute_batch_stats(right, outer, child_stats(stats, 1), gov)?;
             let mut rows = l.into_rows();
             match r {
                 Batch::Owned(o) => rows.rows.extend(o.rows),
@@ -247,11 +346,13 @@ fn exec_node(
             Ok(Batch::Owned(rows))
         }
         Plan::Sort { input, keys } => {
-            let child = execute_batch_stats(input, outer, child_stats(stats, 0))?.into_rows();
-            Ok(Batch::Owned(exec_sort(child, keys, outer)?))
+            faults::trip("sort")?;
+            let child = execute_batch_stats(input, outer, child_stats(stats, 0), gov)?.into_rows();
+            Ok(Batch::Owned(exec_sort(child, keys, outer, gov)?))
         }
         Plan::Limit { input, n } => {
-            let child = execute_batch_stats(input, outer, child_stats(stats, 0))?;
+            faults::trip("limit")?;
+            let child = execute_batch_stats(input, outer, child_stats(stats, 0), gov)?;
             let take = (*n as usize).min(child.len());
             let rows = child.rows()[..take].to_vec();
             Ok(Batch::Owned(Rows {
@@ -269,10 +370,17 @@ fn child_stats<'a>(stats: &'a mut Option<&mut NodeStats>, i: usize) -> Option<&'
 }
 
 /// Evaluate an expression for a given current row, chaining outer scopes.
-fn eval_on_row(expr: &BoundExpr, row: &[Value], outer: Option<&Env<'_>>) -> Result<Value> {
+/// The governor rides along in the environment so correlated subqueries
+/// launched from expression evaluation stay governed.
+fn eval_on_row(
+    expr: &BoundExpr,
+    row: &[Value],
+    outer: Option<&Env<'_>>,
+    gov: Option<&Governor>,
+) -> Result<Value> {
     match outer {
         Some(parent) => expr.eval(&Env::push(row, parent)),
-        None => expr.eval(&Env::root(row)),
+        None => expr.eval(&Env::governed(row, gov)),
     }
 }
 
@@ -280,17 +388,23 @@ fn eval_predicate_on_row(
     expr: &BoundExpr,
     row: &[Value],
     outer: Option<&Env<'_>>,
+    gov: Option<&Governor>,
 ) -> Result<Option<bool>> {
     match outer {
         Some(parent) => expr.eval_predicate(&Env::push(row, parent)),
-        None => expr.eval_predicate(&Env::root(row)),
+        None => expr.eval_predicate(&Env::governed(row, gov)),
     }
 }
 
-fn project_row(row: &[Value], exprs: &[BoundExpr], outer: Option<&Env<'_>>) -> Result<Row> {
+fn project_row(
+    row: &[Value],
+    exprs: &[BoundExpr],
+    outer: Option<&Env<'_>>,
+    gov: Option<&Governor>,
+) -> Result<Row> {
     let mut out = Vec::with_capacity(exprs.len());
     for e in exprs {
-        out.push(eval_on_row(e, row, outer)?);
+        out.push(eval_on_row(e, row, outer, gov)?);
     }
     Ok(out)
 }
@@ -306,11 +420,21 @@ fn exec_hash_join(
     schema: &Schema,
     outer: Option<&Env<'_>>,
     mut stats: Option<&mut NodeStats>,
+    gov: Option<&Governor>,
 ) -> Result<Rows> {
     if let Some(s) = stats.as_deref_mut() {
         s.build_rows += right.len() as u64;
         s.probe_rows += left.len() as u64;
     }
+    let row_bytes = est_row_bytes(schema.len());
+    // Joins are the unbounded row generators, so they account output rows
+    // (and their bytes) one emission at a time.
+    let emit = |n: usize| -> Result<()> {
+        match gov {
+            Some(g) => g.emit_rows(n as u64, row_bytes, "hash_join"),
+            None => Ok(()),
+        }
+    };
     // Early outs for empty sides: an inner join with an empty input is
     // empty; a semi join against nothing is empty; an anti join against
     // nothing passes everything through. (The annotation-aware Filter often
@@ -321,11 +445,15 @@ fn exec_hash_join(
                 schema: schema.clone(),
                 rows: Vec::new(),
             },
-            JoinType::Anti => Rows {
-                schema: schema.clone(),
-                rows: left.into_rows().rows,
-            },
+            JoinType::Anti => {
+                emit(left.len())?;
+                Rows {
+                    schema: schema.clone(),
+                    rows: left.into_rows().rows,
+                }
+            }
             JoinType::LeftOuter => {
+                emit(left.len())?;
                 let right_width = right.schema().len();
                 let rows = left
                     .rows()
@@ -354,29 +482,36 @@ fn exec_hash_join(
     // column order (left ++ right) is preserved when emitting.
     if kind == JoinType::Inner && left.len() < right.len() && residual.is_none() {
         return exec_hash_join_inner_swapped(
-            right, left, right_keys, left_keys, schema, outer, stats,
+            right, left, right_keys, left_keys, schema, outer, stats, gov,
         );
     }
 
     // Build on the right side.
+    faults::trip("join.build")?;
     let right_rows = right.rows();
     let mut table: HashMap<Key, Vec<usize>> = HashMap::with_capacity(right_rows.len());
     for (i, row) in right_rows.iter().enumerate() {
-        let key = Key::from_values(&project_row(row, right_keys, outer)?);
+        tick(gov, "hash_join")?;
+        let key = Key::from_values(&project_row(row, right_keys, outer, gov)?);
         if key.has_null() {
             continue; // NULL keys never match under SQL equality.
         }
         table.entry(key).or_default().push(i);
     }
+    if let Some(g) = gov {
+        g.reserve_mem(hash_table_bytes(&table), "hash_join")?;
+    }
     if let Some(s) = stats.as_deref_mut() {
         s.est_mem_bytes += hash_table_bytes(&table);
     }
 
+    faults::trip("join.probe")?;
     let right_width = right.schema().len();
     let mut comparisons = 0u64;
     let mut out = Vec::new();
     for lrow in left.rows() {
-        let key = Key::from_values(&project_row(lrow, left_keys, outer)?);
+        tick(gov, "hash_join")?;
+        let key = Key::from_values(&project_row(lrow, left_keys, outer, gov)?);
         let matches = if key.has_null() {
             None
         } else {
@@ -393,7 +528,7 @@ fn exec_hash_join(
                     Some(res) => {
                         let mut combined = lrow.clone();
                         combined.extend(right_rows[ri].iter().cloned());
-                        eval_predicate_on_row(res, &combined, outer)? == Some(true)
+                        eval_predicate_on_row(res, &combined, outer, gov)? == Some(true)
                     }
                 };
                 if !pass {
@@ -402,6 +537,7 @@ fn exec_hash_join(
                 matched = true;
                 match kind {
                     JoinType::Inner | JoinType::LeftOuter => {
+                        emit(1)?;
                         let mut combined = lrow.clone();
                         combined.extend(right_rows[ri].iter().cloned());
                         out.push(combined);
@@ -412,12 +548,19 @@ fn exec_hash_join(
         }
         match kind {
             JoinType::LeftOuter if !matched => {
+                emit(1)?;
                 let mut combined = lrow.clone();
                 combined.extend(std::iter::repeat_n(Value::Null, right_width));
                 out.push(combined);
             }
-            JoinType::Semi if matched => out.push(lrow.clone()),
-            JoinType::Anti if !matched => out.push(lrow.clone()),
+            JoinType::Semi if matched => {
+                emit(1)?;
+                out.push(lrow.clone());
+            }
+            JoinType::Anti if !matched => {
+                emit(1)?;
+                out.push(lrow.clone());
+            }
             _ => {}
         }
     }
@@ -450,15 +593,22 @@ fn exec_hash_join_inner_swapped(
     schema: &Schema,
     outer: Option<&Env<'_>>,
     mut stats: Option<&mut NodeStats>,
+    gov: Option<&Governor>,
 ) -> Result<Rows> {
+    faults::trip("join.build")?;
+    let row_bytes = est_row_bytes(schema.len());
     let build_rows = build.rows();
     let mut table: HashMap<Key, Vec<usize>> = HashMap::with_capacity(build_rows.len());
     for (i, row) in build_rows.iter().enumerate() {
-        let key = Key::from_values(&project_row(row, build_keys, outer)?);
+        tick(gov, "hash_join")?;
+        let key = Key::from_values(&project_row(row, build_keys, outer, gov)?);
         if key.has_null() {
             continue;
         }
         table.entry(key).or_default().push(i);
+    }
+    if let Some(g) = gov {
+        g.reserve_mem(hash_table_bytes(&table), "hash_join")?;
     }
     if let Some(s) = stats.as_deref_mut() {
         s.est_mem_bytes += hash_table_bytes(&table);
@@ -469,16 +619,21 @@ fn exec_hash_join_inner_swapped(
             rows: Vec::new(),
         });
     }
+    faults::trip("join.probe")?;
     let mut comparisons = 0u64;
     let mut out = Vec::new();
     for prow in probe.rows() {
-        let key = Key::from_values(&project_row(prow, probe_keys, outer)?);
+        tick(gov, "hash_join")?;
+        let key = Key::from_values(&project_row(prow, probe_keys, outer, gov)?);
         if key.has_null() {
             continue;
         }
         if let Some(idxs) = table.get(&key) {
             for &bi in idxs {
                 comparisons += 1;
+                if let Some(g) = gov {
+                    g.emit_rows(1, row_bytes, "hash_join")?;
+                }
                 let mut combined = Vec::with_capacity(build_rows[bi].len() + prow.len());
                 combined.extend(build_rows[bi].iter().cloned());
                 combined.extend(prow.iter().cloned());
@@ -504,37 +659,56 @@ fn exec_nested_loop_join(
     schema: &Schema,
     outer: Option<&Env<'_>>,
     stats: Option<&mut NodeStats>,
+    gov: Option<&Governor>,
 ) -> Result<Rows> {
+    let row_bytes = est_row_bytes(schema.len());
+    let emit = |n: u64| -> Result<()> {
+        match gov {
+            Some(g) => g.emit_rows(n, row_bytes, "nested_loop_join"),
+            None => Ok(()),
+        }
+    };
     let right_width = right.schema().len();
     let mut comparisons = 0u64;
     let mut out = Vec::new();
     for lrow in left.rows() {
         let mut matched = false;
         for rrow in right.rows() {
+            tick(gov, "nested_loop_join")?;
             comparisons += 1;
             let mut combined = lrow.clone();
             combined.extend(rrow.iter().cloned());
             let pass = match on {
                 None => true,
-                Some(cond) => eval_predicate_on_row(cond, &combined, outer)? == Some(true),
+                Some(cond) => eval_predicate_on_row(cond, &combined, outer, gov)? == Some(true),
             };
             if !pass {
                 continue;
             }
             matched = true;
             match kind {
-                JoinType::Inner | JoinType::LeftOuter => out.push(combined),
+                JoinType::Inner | JoinType::LeftOuter => {
+                    emit(1)?;
+                    out.push(combined);
+                }
                 JoinType::Semi | JoinType::Anti => break,
             }
         }
         match kind {
             JoinType::LeftOuter if !matched => {
+                emit(1)?;
                 let mut combined = lrow.clone();
                 combined.extend(std::iter::repeat_n(Value::Null, right_width));
                 out.push(combined);
             }
-            JoinType::Semi if matched => out.push(lrow.clone()),
-            JoinType::Anti if !matched => out.push(lrow.clone()),
+            JoinType::Semi if matched => {
+                emit(1)?;
+                out.push(lrow.clone());
+            }
+            JoinType::Anti if !matched => {
+                emit(1)?;
+                out.push(lrow.clone());
+            }
             _ => {}
         }
     }
@@ -594,7 +768,7 @@ impl Accumulator {
                 Value::Int(v) => {
                     *sum = sum
                         .checked_add(*v)
-                        .ok_or_else(|| EngineError::Execution("integer overflow in SUM".into()))?;
+                        .ok_or_else(|| EngineError::Eval("integer overflow in SUM".into()))?;
                     *seen = true;
                 }
                 Value::Float(v) => {
@@ -612,7 +786,9 @@ impl Accumulator {
                 }
             },
             Accumulator::SumFloat { sum, seen } => {
-                let v = value.as_f64()?.expect("null handled above");
+                let Some(v) = value.as_f64()? else {
+                    return Ok(()); // non-null checked above; defensive
+                };
                 *sum += v;
                 *seen = true;
             }
@@ -635,7 +811,9 @@ impl Accumulator {
                 }
             }
             Accumulator::Avg { sum, count } => {
-                let v = value.as_f64()?.expect("null handled above");
+                let Some(v) = value.as_f64()? else {
+                    return Ok(());
+                };
                 *sum += v;
                 *count += 1;
             }
@@ -701,12 +879,18 @@ impl GroupState {
         }
     }
 
-    fn update(&mut self, aggs: &[AggSpec], row: &[Value], outer: Option<&Env<'_>>) -> Result<()> {
+    fn update(
+        &mut self,
+        aggs: &[AggSpec],
+        row: &[Value],
+        outer: Option<&Env<'_>>,
+        gov: Option<&Governor>,
+    ) -> Result<()> {
         for (i, spec) in aggs.iter().enumerate() {
             match &spec.arg {
                 None => self.accs[i].count_row(),
                 Some(arg) => {
-                    let v = eval_on_row(arg, row, outer)?;
+                    let v = eval_on_row(arg, row, outer, gov)?;
                     if let Some(seen) = &mut self.distinct_seen[i] {
                         if v.is_null() || !seen.insert(KeyValue::from(&v)) {
                             continue;
@@ -727,31 +911,45 @@ fn exec_aggregate(
     schema: &Schema,
     outer: Option<&Env<'_>>,
     stats: Option<&mut NodeStats>,
+    gov: Option<&Governor>,
 ) -> Result<Rows> {
     let mut groups: HashMap<Key, (Row, GroupState)> = HashMap::new();
     // Preserve first-seen group order for deterministic output.
     let mut order: Vec<Key> = Vec::new();
+    // Group table footprint: per-group key, group values, accumulators.
+    let per_group = mem::size_of::<Key>()
+        + mem::size_of::<(Row, GroupState)>()
+        + aggs.len() * mem::size_of::<Accumulator>();
+    // Reserve memory as the group table grows, so a high-cardinality GROUP
+    // BY trips the budget while building rather than after.
+    let mut reserved_cap = 0usize;
 
     for row in input.rows() {
-        let group_vals = project_row(row, group_exprs, outer)?;
+        tick(gov, "aggregate")?;
+        let group_vals = project_row(row, group_exprs, outer, gov)?;
         let key = Key::from_values(&group_vals);
         match groups.entry(key.clone()) {
-            Entry::Occupied(mut e) => e.get_mut().1.update(aggs, row, outer)?,
+            Entry::Occupied(mut e) => e.get_mut().1.update(aggs, row, outer, gov)?,
             Entry::Vacant(e) => {
                 let mut state = GroupState::new(aggs);
-                state.update(aggs, row, outer)?;
+                state.update(aggs, row, outer, gov)?;
                 e.insert((group_vals, state));
                 order.push(key);
             }
+        }
+        if groups.capacity() > reserved_cap {
+            if let Some(g) = gov {
+                g.reserve_mem(
+                    ((groups.capacity() - reserved_cap) * per_group) as u64,
+                    "aggregate",
+                )?;
+            }
+            reserved_cap = groups.capacity();
         }
     }
 
     if let Some(s) = stats {
         s.build_rows += input.len() as u64;
-        // Group table footprint: per-group key, group values, accumulators.
-        let per_group = mem::size_of::<Key>()
-            + mem::size_of::<(Row, GroupState)>()
-            + aggs.len() * mem::size_of::<Accumulator>();
         s.est_mem_bytes += (groups.capacity() * per_group) as u64;
     }
 
@@ -769,7 +967,9 @@ fn exec_aggregate(
 
     let mut out = Vec::with_capacity(groups.len());
     for key in order {
-        let (group_vals, state) = groups.remove(&key).expect("group present");
+        let Some((group_vals, state)) = groups.remove(&key) else {
+            continue; // defensive: order and groups are built in lockstep
+        };
         let mut row = group_vals;
         row.extend(state.accs.into_iter().map(Accumulator::finish));
         out.push(row);
@@ -780,13 +980,19 @@ fn exec_aggregate(
     })
 }
 
-fn exec_sort(mut input: Rows, keys: &[(BoundExpr, bool)], outer: Option<&Env<'_>>) -> Result<Rows> {
+fn exec_sort(
+    mut input: Rows,
+    keys: &[(BoundExpr, bool)],
+    outer: Option<&Env<'_>>,
+    gov: Option<&Governor>,
+) -> Result<Rows> {
     // Precompute sort keys once per row.
     let mut decorated: Vec<(Vec<Value>, Row)> = Vec::with_capacity(input.rows.len());
     for row in input.rows.drain(..) {
+        tick(gov, "sort")?;
         let mut kv = Vec::with_capacity(keys.len());
         for (expr, _) in keys {
-            kv.push(eval_on_row(expr, &row, outer)?);
+            kv.push(eval_on_row(expr, &row, outer, gov)?);
         }
         decorated.push((kv, row));
     }

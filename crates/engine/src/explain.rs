@@ -235,8 +235,8 @@ mod tests {
         let db = demo_db();
         let query =
             conquer_sql::parse_query("select e.id from emp e, emp f where e.id = f.id").unwrap();
-        let plan = db.plan(&query, Default::default()).unwrap();
-        let (rows, stats) = crate::exec::execute_traced(&plan, None).unwrap();
+        let plan = db.plan(&query, &Default::default()).unwrap();
+        let (rows, stats) = crate::exec::execute_traced(&plan, None, None).unwrap();
         assert_eq!(rows.rows.len(), 3);
         let json = stats_json(&plan, &stats);
         assert_eq!(json.get("rows_out"), Some(&Json::UInt(3)));

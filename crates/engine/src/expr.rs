@@ -11,6 +11,7 @@ use conquer_sql::ast;
 
 use crate::error::{EngineError, Result};
 use crate::exec;
+use crate::governor::Governor;
 use crate::plan::Plan;
 use crate::value::{ArithOp, Value};
 
@@ -276,22 +277,39 @@ impl BoundExpr {
     }
 }
 
-/// Runtime scope chain: the current row plus enclosing query rows.
+/// Runtime scope chain: the current row plus enclosing query rows. Carries
+/// the enclosing query's resource [`Governor`] so correlated subqueries
+/// executed per row stay governed.
 #[derive(Debug, Clone, Copy)]
 pub struct Env<'a> {
     pub row: &'a [Value],
     pub parent: Option<&'a Env<'a>>,
+    pub gov: Option<&'a Governor>,
 }
 
 impl<'a> Env<'a> {
     pub fn root(row: &'a [Value]) -> Env<'a> {
-        Env { row, parent: None }
+        Env {
+            row,
+            parent: None,
+            gov: None,
+        }
+    }
+
+    /// A root scope governed by `gov`.
+    pub fn governed(row: &'a [Value], gov: Option<&'a Governor>) -> Env<'a> {
+        Env {
+            row,
+            parent: None,
+            gov,
+        }
     }
 
     pub fn push(row: &'a [Value], parent: &'a Env<'a>) -> Env<'a> {
         Env {
             row,
             parent: Some(parent),
+            gov: parent.gov,
         }
     }
 
@@ -346,19 +364,19 @@ impl BoundExpr {
             BoundExpr::Literal(v) => Ok(v.clone()),
             BoundExpr::Binary { op, left, right } => eval_binary(*op, left, right, env),
             BoundExpr::Not(e) => Ok(bool_value(not3(e.eval(env)?.as_bool()?))),
-            BoundExpr::Neg(e) => match e.eval(env)? {
-                Value::Null => Ok(Value::Null),
-                Value::Int(v) => {
-                    Ok(Value::Int(v.checked_neg().ok_or_else(|| {
-                        EngineError::Execution("integer overflow".into())
-                    })?))
+            BoundExpr::Neg(e) => {
+                match e.eval(env)? {
+                    Value::Null => Ok(Value::Null),
+                    Value::Int(v) => Ok(Value::Int(v.checked_neg().ok_or_else(|| {
+                        EngineError::Eval("integer overflow in negation".into())
+                    })?)),
+                    Value::Float(v) => Ok(Value::Float(-v)),
+                    other => Err(EngineError::TypeError(format!(
+                        "cannot negate {}",
+                        other.type_name()
+                    ))),
                 }
-                Value::Float(v) => Ok(Value::Float(-v)),
-                other => Err(EngineError::TypeError(format!(
-                    "cannot negate {}",
-                    other.type_name()
-                ))),
-            },
+            }
             BoundExpr::IsNull { expr, negated } => {
                 let isnull = expr.eval(env)?.is_null();
                 Ok(Value::Bool(isnull != *negated))
@@ -503,8 +521,8 @@ fn eval_binary(
                 Lt => ord.is_lt(),
                 LtEq => ord.is_le(),
                 Gt => ord.is_gt(),
-                GtEq => ord.is_ge(),
-                _ => unreachable!(),
+                // Only comparison ops reach this arm; GtEq is the remainder.
+                _ => ord.is_ge(),
             })))
         }
     }
@@ -513,12 +531,15 @@ fn eval_binary(
 fn eval_func(func: ScalarFunc, args: &[BoundExpr], env: &Env<'_>) -> Result<Value> {
     match func {
         ScalarFunc::Abs => {
-            let v = args[0].eval(env)?;
+            let v = args
+                .first()
+                .ok_or_else(|| EngineError::Execution("abs() requires one argument".into()))?
+                .eval(env)?;
             match v {
                 Value::Null => Ok(Value::Null),
                 Value::Int(i) => {
                     Ok(Value::Int(i.checked_abs().ok_or_else(|| {
-                        EngineError::Execution("integer overflow".into())
+                        EngineError::Eval("integer overflow in abs()".into())
                     })?))
                 }
                 Value::Float(f) => Ok(Value::Float(f.abs())),

@@ -24,12 +24,27 @@
 //! let rows = db.query("select custkey from customer where acctbal > 1000").unwrap();
 //! assert_eq!(rows.len(), 2);
 //! ```
+//!
+//! # Resource governance
+//!
+//! Queries run under an optional [`ResourceLimits`] budget (wall-clock
+//! timeout, row cap, memory cap) with a shareable [`CancellationToken`];
+//! every physical operator checks the budget cooperatively and unwinds with
+//! a structured [`EngineError`] carrying a [`LimitTrip`] snapshot. See
+//! [`governor`] and `DESIGN.md` §7.
+
+// The query path must never panic on user input: unwrap/expect are banned
+// in shipping code (tests are exempt — unit-test modules compile under
+// cfg(test); integration tests and benches are separate crates).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod database;
 pub mod error;
 pub mod exec;
 pub mod explain;
 pub mod expr;
+pub mod faults;
+pub mod governor;
 pub mod opt;
 pub mod plan;
 pub mod schema;
@@ -40,6 +55,7 @@ pub mod value;
 pub use database::Database;
 pub use error::{EngineError, Result};
 pub use explain::{explain, explain_analyze, stats_json};
+pub use governor::{CancellationToken, Governor, LimitTrip, ResourceLimits};
 pub use plan::{ExecOptions, Plan};
 pub use schema::{Column, DataType, Schema};
 pub use stats::NodeStats;

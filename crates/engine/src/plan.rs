@@ -20,12 +20,14 @@ use crate::database::Database;
 use crate::error::{EngineError, Result};
 use crate::exec;
 use crate::expr::{BoundExpr, ScalarFunc, SubqueryKind};
+use crate::faults;
+use crate::governor::{CancellationToken, Governor, ResourceLimits};
 use crate::schema::{Column, DataType, Schema};
 use crate::table::Rows;
 use crate::value::Value;
 
 /// Planner/executor options; the defaults match the paper's configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ExecOptions {
     /// Materialize `WITH` subexpressions once per query (Section 6.1 of the
     /// paper found this essential for the rewritings). When `false`, each
@@ -37,6 +39,13 @@ pub struct ExecOptions {
     /// Push filter conjuncts below joins after planning (the host-optimizer
     /// behaviour Section 5 of the paper relies on for the `conscand` guard).
     pub pushdown_filters: bool,
+    /// Resource budget for the query (unlimited by default). Covers plan
+    /// time too: CTE materialization runs under the same governor.
+    pub limits: ResourceLimits,
+    /// Cooperative cancellation: keep a clone, call `cancel()` from any
+    /// thread, and the running query unwinds with
+    /// [`EngineError::Cancelled`](crate::EngineError).
+    pub cancellation: Option<CancellationToken>,
 }
 
 impl Default for ExecOptions {
@@ -45,7 +54,23 @@ impl Default for ExecOptions {
             materialize_ctes: true,
             decorrelate_exists: true,
             pushdown_filters: true,
+            limits: ResourceLimits::default(),
+            cancellation: None,
         }
+    }
+}
+
+impl ExecOptions {
+    /// Builder-style resource budget.
+    pub fn with_limits(mut self, limits: ResourceLimits) -> ExecOptions {
+        self.limits = limits;
+        self
+    }
+
+    /// Builder-style cancellation token.
+    pub fn with_cancellation(mut self, token: CancellationToken) -> ExecOptions {
+        self.cancellation = Some(token);
+        self
     }
 }
 
@@ -645,12 +670,30 @@ impl<'a> BindScope<'a> {
 /// The planner: holds the database catalog and options.
 pub struct Planner<'a> {
     db: &'a Database,
-    options: ExecOptions,
+    options: &'a ExecOptions,
+    /// Resource governor for the enclosing query, if any. CTE
+    /// materialization executes at plan time, so planning is governed by
+    /// the same budget as execution.
+    gov: Option<&'a Governor>,
 }
 
 impl<'a> Planner<'a> {
-    pub fn new(db: &'a Database, options: ExecOptions) -> Planner<'a> {
-        Planner { db, options }
+    pub fn new(db: &'a Database, options: &'a ExecOptions) -> Planner<'a> {
+        Planner {
+            db,
+            options,
+            gov: None,
+        }
+    }
+
+    /// A planner whose plan-time work (CTE materialization) runs under
+    /// `gov`.
+    pub fn with_governor(
+        db: &'a Database,
+        options: &'a ExecOptions,
+        gov: Option<&'a Governor>,
+    ) -> Planner<'a> {
+        Planner { db, options, gov }
     }
 
     /// Plan (and, for CTEs, partially execute) a full query.
@@ -693,12 +736,16 @@ impl<'a> Planner<'a> {
 
     fn register_cte(&self, cte: &Cte, env: &mut CteEnv) -> Result<()> {
         if self.options.materialize_ctes {
+            faults::trip("cte.materialize")?;
             // CTEs cannot be correlated: plan and run with no outer scope.
             let mut plan = self.plan_query_in(&cte.query, env, None)?;
             if self.options.pushdown_filters {
                 plan = crate::opt::optimize(plan);
             }
-            let rows = exec::execute(&plan, None)?;
+            let rows = exec::execute_governed(&plan, None, self.gov)?;
+            if let Some(gov) = self.gov {
+                gov.reserve_mem(exec::rows_bytes(&rows), "cte.materialize")?;
+            }
             env.materialized.insert(cte.name.clone(), Arc::new(rows));
         } else {
             env.inline
@@ -977,9 +1024,10 @@ impl<'a> Planner<'a> {
                 continue;
             }
             match self.conjunct_factors(&conjunct, &factor_schemas)? {
-                Some(set) if set.len() == 1 => {
-                    single[*set.iter().next().expect("non-empty")].push(conjunct);
-                }
+                Some(set) if set.len() == 1 => match set.iter().next() {
+                    Some(&factor) => single[factor].push(conjunct),
+                    None => post.push(conjunct),
+                },
                 Some(set) if set.len() >= 2 => pending.push((set, conjunct)),
                 // Constant or outer-correlated predicate: apply at the top.
                 _ => post.push(conjunct),
@@ -1040,7 +1088,11 @@ impl<'a> Planner<'a> {
             let joined = self.make_join(left, right, JoinType::Inner, &join_conjuncts, outer)?;
             components.push((merged_factors, joined));
         }
-        let (_, plan) = components.pop().expect("at least one component");
+        let Some((_, plan)) = components.pop() else {
+            return Err(EngineError::Execution(
+                "join ordering produced no components".into(),
+            ));
+        };
 
         // Anything left in `pending` spans the (single) remaining component.
         post.extend(pending.into_iter().map(|(_, c)| c));

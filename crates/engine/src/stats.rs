@@ -78,7 +78,7 @@ mod tests {
         t.push(vec![crate::value::Value::Int(1)]).unwrap();
         db.register(t);
         let query = conquer_sql::parse_query("select a from t where a > 0").unwrap();
-        let plan = db.plan(&query, Default::default()).unwrap();
+        let plan = db.plan(&query, &Default::default()).unwrap();
         let stats = NodeStats::for_plan(&plan);
         fn depth_of_plan(p: &Plan) -> usize {
             1 + p

@@ -31,9 +31,15 @@ impl Value {
     /// Construct a date value from a `YYYY-MM-DD` string.
     ///
     /// # Panics
-    /// Panics on invalid dates; intended for trusted construction sites.
+    /// Panics on invalid dates; intended for trusted construction sites
+    /// (test fixtures, generators). The query path never calls this on user
+    /// input — SQL date literals go through the parser, which reports
+    /// malformed dates as parse errors.
     pub fn date(s: &str) -> Value {
-        Value::Date(dates::parse_date(s).unwrap_or_else(|| panic!("invalid date {s:?}")))
+        match dates::parse_date(s) {
+            Some(d) => Value::Date(d),
+            None => panic!("invalid date {s:?}"),
+        }
     }
 
     pub fn is_null(&self) -> bool {
@@ -134,25 +140,26 @@ impl Value {
         match (self, other) {
             (Null, _) | (_, Null) => Ok(Null),
             (Int(a), Int(b)) => arith_int(*a, op, *b),
-            (Date(a), Int(b)) if op == ArithOp::Add => Ok(Date(a + *b as i32)),
-            (Date(a), Int(b)) if op == ArithOp::Sub => Ok(Date(a - *b as i32)),
+            (Date(a), Int(b)) if op == ArithOp::Add => date_shift(*a, *b, false),
+            (Date(a), Int(b)) if op == ArithOp::Sub => date_shift(*a, *b, true),
             (Date(a), Date(b)) if op == ArithOp::Sub => Ok(Int(i64::from(*a) - i64::from(*b))),
             _ => {
-                let a = self.as_f64()?.expect("null handled above");
-                let b = other.as_f64()?.expect("null handled above");
+                let (Some(a), Some(b)) = (self.as_f64()?, other.as_f64()?) else {
+                    return Ok(Null); // unreachable: NULLs handled above
+                };
                 let r = match op {
                     ArithOp::Add => a + b,
                     ArithOp::Sub => a - b,
                     ArithOp::Mul => a * b,
                     ArithOp::Div => {
                         if b == 0.0 {
-                            return Err(EngineError::Execution("division by zero".into()));
+                            return Err(EngineError::Eval("division by zero".into()));
                         }
                         a / b
                     }
                     ArithOp::Mod => {
                         if b == 0.0 {
-                            return Err(EngineError::Execution("division by zero".into()));
+                            return Err(EngineError::Eval("division by zero".into()));
                         }
                         a % b
                     }
@@ -163,14 +170,28 @@ impl Value {
     }
 }
 
+/// Shift a date (days since epoch) by an integer day count with overflow
+/// checking.
+fn date_shift(days: i32, by: i64, negate: bool) -> Result<Value> {
+    let overflow = || EngineError::Eval("date arithmetic overflow".into());
+    let by = i32::try_from(by).map_err(|_| overflow())?;
+    let shifted = if negate {
+        days.checked_sub(by)
+    } else {
+        days.checked_add(by)
+    };
+    Ok(Value::Date(shifted.ok_or_else(overflow)?))
+}
+
 /// Compare an i64 with an f64 exactly (no precision loss for large ints).
 fn cmp_i64_f64(a: i64, b: f64) -> Result<Ordering> {
     if b.is_nan() {
         return Err(EngineError::TypeError("NaN comparison".into()));
     }
-    // Fast path: both fit exactly in f64.
+    // Fast path: both fit exactly in f64. (b is non-NaN here, so
+    // partial_cmp cannot fail; Equal is a safe defensive fallback.)
     if a.unsigned_abs() < (1 << 52) {
-        return Ok((a as f64).partial_cmp(&b).expect("non-NaN"));
+        return Ok((a as f64).partial_cmp(&b).unwrap_or(Ordering::Equal));
     }
     if b >= 9.223_372_036_854_776e18 {
         return Ok(Ordering::Less);
@@ -180,7 +201,10 @@ fn cmp_i64_f64(a: i64, b: f64) -> Result<Ordering> {
     }
     let bt = b.trunc();
     match a.cmp(&(bt as i64)) {
-        Ordering::Equal => Ok(0.0_f64.partial_cmp(&(b - bt)).expect("non-NaN").reverse()),
+        Ordering::Equal => Ok(0.0_f64
+            .partial_cmp(&(b - bt))
+            .unwrap_or(Ordering::Equal)
+            .reverse()),
         other => Ok(other),
     }
 }
@@ -196,22 +220,23 @@ pub enum ArithOp {
 }
 
 fn arith_int(a: i64, op: ArithOp, b: i64) -> Result<Value> {
-    let overflow = || EngineError::Execution("integer overflow".into());
+    let overflow = || EngineError::Eval("integer overflow".into());
     Ok(match op {
         ArithOp::Add => Value::Int(a.checked_add(b).ok_or_else(overflow)?),
         ArithOp::Sub => Value::Int(a.checked_sub(b).ok_or_else(overflow)?),
         ArithOp::Mul => Value::Int(a.checked_mul(b).ok_or_else(overflow)?),
         ArithOp::Div => {
             if b == 0 {
-                return Err(EngineError::Execution("division by zero".into()));
+                return Err(EngineError::Eval("division by zero".into()));
             }
-            Value::Int(a / b)
+            // checked_div guards i64::MIN / -1 as well as b == 0.
+            Value::Int(a.checked_div(b).ok_or_else(overflow)?)
         }
         ArithOp::Mod => {
             if b == 0 {
-                return Err(EngineError::Execution("division by zero".into()));
+                return Err(EngineError::Eval("division by zero".into()));
             }
-            Value::Int(a % b)
+            Value::Int(a.checked_rem(b).ok_or_else(overflow)?)
         }
     })
 }

@@ -1,0 +1,127 @@
+//! Tier-2 fault-injection tests (`--features fault-injection`): every named
+//! fault point propagates an injected failure as a structured `Err` — never
+//! a panic — and the `Database` stays fully usable afterwards.
+
+#![cfg(feature = "fault-injection")]
+
+use conquer_engine::{faults, Database, EngineError};
+
+/// One query per fault point, each guaranteed to reach that point on the
+/// small fixture below.
+const POINT_QUERIES: &[(&str, &str)] = &[
+    ("scan", "select x from a"),
+    ("filter", "select x from a where x > 1"),
+    ("project", "select x + 1 from a"),
+    ("rename", "select t.x from (select x from a) t"),
+    ("join.build", "select a.x from a join b on a.x = b.y"),
+    ("join.probe", "select a.x from a join b on a.x = b.y"),
+    ("nested_loop", "select a.x from a join b on a.x > b.y"),
+    ("aggregate.group", "select x, count(*) from a group by x"),
+    ("distinct", "select distinct x from a"),
+    ("union", "select x from a union all select y from b"),
+    ("sort", "select x from a order by x"),
+    ("limit", "select x from a order by x limit 2"),
+    (
+        "cte.materialize",
+        "with t as (select x from a) select x from t",
+    ),
+];
+
+fn fixture() -> Database {
+    let db = Database::new();
+    db.run_script(
+        "create table a (x integer);
+         create table b (y integer);
+         insert into a values (1), (2), (3), (4);
+         insert into b values (2), (3), (5);",
+    )
+    .expect("fixture");
+    db
+}
+
+fn is_injected(err: &EngineError, point: &str) -> bool {
+    matches!(err, EngineError::Execution(msg) if msg.contains("injected fault")
+        && msg.contains(point))
+}
+
+#[test]
+fn every_fault_point_errs_and_database_survives() {
+    // The query table must cover the exhaustive point list, so a new
+    // executor fault point cannot ship without a test riding through it.
+    let covered: std::collections::BTreeSet<&str> = POINT_QUERIES.iter().map(|(p, _)| *p).collect();
+    let all: std::collections::BTreeSet<&str> = faults::POINTS.iter().copied().collect();
+    assert_eq!(covered, all, "POINT_QUERIES must cover faults::POINTS");
+
+    let db = fixture();
+    for (point, sql) in POINT_QUERIES {
+        faults::disarm_all();
+        // Sanity: the query actually reaches the point when disarmed.
+        db.query(sql)
+            .unwrap_or_else(|e| panic!("{point}: baseline query failed: {e}"));
+        assert!(
+            faults::hits(point) > 0,
+            "query `{sql}` never reaches fault point `{point}`"
+        );
+
+        faults::disarm_all();
+        faults::arm(point, 0);
+        let err = db
+            .query(sql)
+            .expect_err(&format!("armed `{point}` must surface as Err"));
+        assert!(
+            is_injected(&err, point),
+            "`{point}`: expected injected-fault error, got {err:?}"
+        );
+
+        // The database is untouched: the same query succeeds right after.
+        faults::disarm_all();
+        let rows = db
+            .query(sql)
+            .unwrap_or_else(|e| panic!("{point}: database unusable after trip: {e}"));
+        assert!(!rows.schema.columns.is_empty());
+    }
+}
+
+#[test]
+fn armed_countdown_survives_across_queries() {
+    let db = fixture();
+    // Each query reaches `join.probe` once; with a countdown of 1, the
+    // first query passes and the second trips — the schedule is stateful
+    // across queries on the same thread.
+    faults::disarm_all();
+    faults::arm("join.probe", 1);
+    let sql = "select a.x from a join b on a.x = b.y";
+    db.query(sql).expect("first probe hit only counts down");
+    let err = db.query(sql).expect_err("second probe hit fires");
+    assert!(is_injected(&err, "join.probe"));
+    faults::disarm_all();
+    assert!(db.query("select x from a").is_ok());
+}
+
+#[test]
+fn seeded_schedule_never_panics_and_is_deterministic() {
+    let db = fixture();
+    let outcomes = |seed: u64| -> Vec<bool> {
+        (0..16)
+            .map(|_| {
+                faults::disarm_all();
+                faults::arm_seeded(seed, 4);
+                let mut failures = Vec::new();
+                for (_, sql) in POINT_QUERIES {
+                    failures.push(db.query(sql).is_err());
+                }
+                faults::disarm_all();
+                failures.iter().any(|f| *f)
+            })
+            .collect()
+    };
+    let a = outcomes(0xDEAD_BEEF);
+    let b = outcomes(0xDEAD_BEEF);
+    assert_eq!(a, b, "seeded schedule must reproduce exactly");
+    assert!(
+        a.iter().any(|f| *f),
+        "a 1-in-4 schedule over all points should fire at least once"
+    );
+    // And the database still answers after the whole storm.
+    assert_eq!(db.query("select count(*) from a").unwrap().len(), 1);
+}

@@ -1,0 +1,191 @@
+//! Tier-2 tests for the execution governor: resource limits trip promptly
+//! with structured errors, cancellation works across threads, and the
+//! database stays usable after every trip.
+
+use std::time::{Duration, Instant};
+
+use conquer_engine::{CancellationToken, Database, EngineError, ExecOptions, ResourceLimits};
+
+/// A database whose cross-join `select * from a, b` yields `n * n`
+/// intermediate rows — enough work to observe limits tripping mid-query.
+fn cross_join_db(n: usize) -> Database {
+    let db = Database::new();
+    let mut script = String::from("create table a (x integer);\ncreate table b (y integer);\n");
+    let vals: Vec<String> = (0..n).map(|i| format!("({i})")).collect();
+    script.push_str(&format!("insert into a values {};\n", vals.join(", ")));
+    script.push_str(&format!("insert into b values {};\n", vals.join(", ")));
+    db.run_script(&script).expect("build cross-join fixture");
+    db
+}
+
+/// After a trip the same Database must answer queries normally.
+fn assert_usable(db: &Database) {
+    let rows = db
+        .query("select count(*) from a")
+        .expect("database still usable after trip");
+    assert_eq!(rows.len(), 1);
+}
+
+#[test]
+fn timeout_trips_mid_join_with_operator_context() {
+    let db = cross_join_db(2_000); // 4M intermediate rows
+    let options = ExecOptions::default()
+        .with_limits(ResourceLimits::unlimited().with_timeout(Duration::from_millis(10)));
+    let t0 = Instant::now();
+    let err = db
+        .query_with("select count(*) from a, b where a.x + b.y > 0", &options)
+        .expect_err("4M-row join must not finish in 10ms");
+    let elapsed = t0.elapsed();
+    match &err {
+        EngineError::Timeout(trip) => {
+            assert!(!trip.operator.is_empty(), "trip names an operator");
+            assert!(trip.elapsed_ms >= 10, "trip records elapsed time");
+        }
+        other => panic!("expected Timeout, got {other:?}"),
+    }
+    // The governor checks cooperatively every few hundred rows, so the
+    // trip should land well within the ~50ms budget past the deadline.
+    assert!(
+        elapsed < Duration::from_millis(500),
+        "timeout honored promptly, took {elapsed:?}"
+    );
+    assert_usable(&db);
+}
+
+#[test]
+fn row_limit_trips_on_cross_join() {
+    let db = cross_join_db(500); // 250k intermediate rows
+    let options =
+        ExecOptions::default().with_limits(ResourceLimits::unlimited().with_max_rows(10_000));
+    let err = db
+        .query_with("select count(*) from a, b", &options)
+        .expect_err("row budget far below the cross-join cardinality");
+    let trip = match &err {
+        EngineError::RowLimitExceeded(trip) => trip,
+        other => panic!("expected RowLimitExceeded, got {other:?}"),
+    };
+    assert!(trip.rows >= 10_000, "trip snapshot carries the row count");
+    assert_usable(&db);
+}
+
+#[test]
+fn memory_limit_trips_on_cross_join() {
+    let db = cross_join_db(500);
+    let options = ExecOptions::default()
+        .with_limits(ResourceLimits::unlimited().with_max_memory_bytes(64 * 1024));
+    let err = db
+        .query_with("select a.x, b.y from a, b", &options)
+        .expect_err("cross-join materialization exceeds a 64 KiB budget");
+    let trip = match &err {
+        EngineError::MemoryExceeded(trip) => trip,
+        other => panic!("expected MemoryExceeded, got {other:?}"),
+    };
+    assert!(trip.mem_bytes >= 64 * 1024);
+    assert_usable(&db);
+}
+
+#[test]
+fn memory_limit_trips_on_aggregation_build() {
+    let db = cross_join_db(500);
+    // High-cardinality GROUP BY: the group table itself blows the budget.
+    let options = ExecOptions::default()
+        .with_limits(ResourceLimits::unlimited().with_max_memory_bytes(32 * 1024));
+    let err = db
+        .query_with(
+            "select a.x, b.y, count(*) from a, b group by a.x, b.y",
+            &options,
+        )
+        .expect_err("group table exceeds a 32 KiB budget");
+    assert!(
+        matches!(
+            err,
+            EngineError::MemoryExceeded(_) | EngineError::RowLimitExceeded(_)
+        ),
+        "expected a resource trip, got {err:?}"
+    );
+    assert_usable(&db);
+}
+
+#[test]
+fn cancellation_from_another_thread_stops_promptly() {
+    let db = cross_join_db(2_000);
+    let token = CancellationToken::new();
+    let options = ExecOptions::default().with_cancellation(token.clone());
+
+    let canceller = {
+        let token = token.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            token.cancel();
+        })
+    };
+
+    let t0 = Instant::now();
+    let err = db
+        .query_with("select count(*) from a, b where a.x + b.y > 0", &options)
+        .expect_err("cancelled mid-join");
+    let elapsed = t0.elapsed();
+    canceller.join().expect("canceller thread");
+
+    assert!(
+        matches!(err, EngineError::Cancelled(_)),
+        "expected Cancelled, got {err:?}"
+    );
+    assert!(
+        elapsed < Duration::from_millis(500),
+        "cancellation honored promptly, took {elapsed:?}"
+    );
+    assert_usable(&db);
+
+    // A fresh token runs the workload-free query fine; the cancelled token
+    // stays cancelled for reuse detection.
+    assert!(token.is_cancelled());
+    let fresh = ExecOptions::default().with_cancellation(CancellationToken::new());
+    db.query_with("select count(*) from a", &fresh)
+        .expect("fresh token executes");
+}
+
+#[test]
+fn pre_cancelled_token_fails_before_any_work() {
+    let db = cross_join_db(50);
+    let token = CancellationToken::new();
+    token.cancel();
+    let options = ExecOptions::default().with_cancellation(token);
+    let err = db
+        .query_with("select count(*) from a, b", &options)
+        .expect_err("pre-cancelled token");
+    assert!(matches!(err, EngineError::Cancelled(_)));
+    assert_usable(&db);
+}
+
+#[test]
+fn limits_cover_cte_materialization() {
+    let db = cross_join_db(500);
+    let options =
+        ExecOptions::default().with_limits(ResourceLimits::unlimited().with_max_rows(10_000));
+    // The cross join materializes inside the CTE at plan time; the governor
+    // must already be attached there.
+    let err = db
+        .query_with(
+            "with big as (select a.x as x, b.y as y from a, b) select count(*) from big",
+            &options,
+        )
+        .expect_err("CTE materialization must respect the row budget");
+    assert!(
+        matches!(err, EngineError::RowLimitExceeded(_)),
+        "expected RowLimitExceeded, got {err:?}"
+    );
+    assert_usable(&db);
+}
+
+#[test]
+fn unlimited_options_do_not_interfere() {
+    let db = cross_join_db(40);
+    let rows = db
+        .query_with(
+            "select count(*) from a, b",
+            &ExecOptions::default().with_limits(ResourceLimits::unlimited()),
+        )
+        .expect("unlimited run succeeds");
+    assert_eq!(rows.rows[0][0].to_string(), "1600");
+}

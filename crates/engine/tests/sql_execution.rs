@@ -150,7 +150,7 @@ fn hand_rewritten_qc3_without_decorrelation_matches() {
     let slow = db
         .query_with(
             sql,
-            ExecOptions {
+            &ExecOptions {
                 decorrelate_exists: false,
                 ..ExecOptions::default()
             },
@@ -160,7 +160,7 @@ fn hand_rewritten_qc3_without_decorrelation_matches() {
     let inline = db
         .query_with(
             sql,
-            ExecOptions {
+            &ExecOptions {
                 materialize_ctes: false,
                 ..ExecOptions::default()
             },

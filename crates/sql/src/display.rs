@@ -42,8 +42,7 @@ impl Display for ColumnRef {
 /// Quote an identifier when it would not re-lex as a bare identifier
 /// (uppercase letters, punctuation, or a reserved keyword).
 fn ident(name: &str) -> String {
-    let bare = !name.is_empty()
-        && name.chars().next().unwrap().is_ascii_lowercase()
+    let bare = name.chars().next().is_some_and(|c| c.is_ascii_lowercase())
         && name
             .chars()
             .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')

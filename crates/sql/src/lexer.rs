@@ -194,13 +194,14 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                 i = j;
             }
             _ => {
+                let ch = sql
+                    .get(i..)
+                    .and_then(|s| s.chars().next())
+                    .unwrap_or('\u{FFFD}');
                 return Err(ParseError::new(
-                    format!(
-                        "unexpected character {:?}",
-                        sql[i..].chars().next().unwrap()
-                    ),
+                    format!("unexpected character {ch:?}"),
                     start,
-                ))
+                ));
             }
         }
     }
@@ -233,8 +234,11 @@ fn lex_string(sql: &str, start: usize) -> Result<(String, usize)> {
                 }
             }
             Some(_) => {
-                // Advance over a full UTF-8 scalar.
-                let ch = sql[i..].chars().next().unwrap();
+                // Advance over a full UTF-8 scalar; `i` always sits on a
+                // boundary, but stay panic-free on arbitrary input.
+                let Some(ch) = sql.get(i..).and_then(|s| s.chars().next()) else {
+                    return Err(ParseError::new("unterminated string literal", start));
+                };
                 out.push(ch);
                 i += ch.len_utf8();
             }
@@ -258,7 +262,9 @@ fn lex_quoted_ident(sql: &str, start: usize) -> Result<(String, usize)> {
                 }
             }
             Some(_) => {
-                let ch = sql[i..].chars().next().unwrap();
+                let Some(ch) = sql.get(i..).and_then(|s| s.chars().next()) else {
+                    return Err(ParseError::new("unterminated quoted identifier", start));
+                };
                 out.push(ch);
                 i += ch.len_utf8();
             }

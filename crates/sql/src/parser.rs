@@ -723,8 +723,14 @@ impl Parser {
             }
             "date" if matches!(self.peek_at(1).kind, TokenKind::String(_)) => {
                 self.advance();
-                let TokenKind::String(s) = self.advance().kind else {
-                    unreachable!()
+                let s = match self.advance().kind {
+                    TokenKind::String(s) => s,
+                    other => {
+                        return Err(self.error_here(format!(
+                            "expected string after `date`, found {}",
+                            other.describe()
+                        )))
+                    }
                 };
                 let days = dates::parse_date(&s).ok_or_else(|| {
                     self.error_here(format!("invalid date literal '{s}' (expected YYYY-MM-DD)"))

@@ -99,7 +99,7 @@ fn engine_ablations_do_not_change_answers() {
         )
         .unwrap();
         let reference = w.db.execute_query(&rewritten).unwrap();
-        for options in configs {
+        for options in &configs {
             let got = w.db.execute_query_with(&rewritten, options).unwrap();
             assert_eq!(
                 sorted(&reference),
