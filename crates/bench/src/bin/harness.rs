@@ -25,6 +25,14 @@
 //! (parse/analyze/rewrite/plan/optimize/execute, from `conquer-obs`
 //! spans), the per-operator `EXPLAIN ANALYZE` tree, and a snapshot of the
 //! global metrics registry.
+//!
+//! `--threads <N>` sets the engine's morsel-parallel fan-out for every
+//! timed query (default: what the engine itself would pick —
+//! `CONQUER_THREADS` or the host's available parallelism). When N > 1 each
+//! query is additionally timed at `threads = 1`, and the report carries
+//! `serial_us` and `speedup` (= serial / parallel) per strategy cell, so a
+//! report documents what parallelism actually bought on the host that
+//! produced it.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
@@ -32,8 +40,8 @@ use std::time::{Duration, Instant};
 use conquer::tpch::{all_queries, BenchmarkQuery, Workload, Q12, Q4, Q6};
 use conquer::{analyze, parse_query, ExecOptions, ResourceLimits};
 use conquer_bench::{
-    ms, operator_breakdown, overhead, phase_breakdown, run_status, time_query_with, workload,
-    Strategy, BASE_SF,
+    ms, operator_breakdown, overhead, phase_breakdown, run_status, speedup, time_query_with,
+    workload, Strategy, BASE_SF,
 };
 use conquer_obs::Json;
 
@@ -53,12 +61,19 @@ struct Args {
     quiet: bool,
     timeout_ms: Option<u64>,
     mem_limit: Option<u64>,
+    threads: usize,
 }
 
 impl Args {
     /// Engine options for every timed query, carrying any `--timeout-ms` /
-    /// `--mem-limit` resource limits.
+    /// `--mem-limit` resource limits and the `--threads` fan-out.
     fn options(&self) -> ExecOptions {
+        self.options_at(self.threads)
+    }
+
+    /// [`Args::options`] with an explicit thread count (the serial
+    /// reference runs use `options_at(1)`).
+    fn options_at(&self, threads: usize) -> ExecOptions {
         let mut limits = ResourceLimits::unlimited();
         if let Some(t) = self.timeout_ms {
             limits = limits.with_timeout(Duration::from_millis(t));
@@ -66,7 +81,9 @@ impl Args {
         if let Some(bytes) = self.mem_limit {
             limits = limits.with_max_memory_bytes(bytes);
         }
-        ExecOptions::default().with_limits(limits)
+        ExecOptions::default()
+            .with_limits(limits)
+            .with_threads(threads)
     }
 }
 
@@ -84,6 +101,7 @@ fn parse_args() -> Args {
         quiet: false,
         timeout_ms: None,
         mem_limit: None,
+        threads: ExecOptions::default().threads,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -117,6 +135,13 @@ fn parse_args() -> Args {
                         .unwrap_or_else(|| die("--mem-limit requires a byte count")),
                 );
             }
+            "--threads" => {
+                args.threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|n| *n >= 1)
+                    .unwrap_or_else(|| die("--threads requires a positive integer"));
+            }
             "--quiet" => args.quiet = true,
             cmd if !cmd.starts_with('-') => {
                 if !COMMANDS.contains(&cmd) {
@@ -135,7 +160,7 @@ fn die(msg: &str) -> ! {
     eprintln!(
         "usage: harness [fig10|fig11|fig12|fig13|fig14|baseline|all] \
          [--sf F] [--runs N] [--json PATH] [--quiet] \
-         [--timeout-ms N] [--mem-limit BYTES]"
+         [--timeout-ms N] [--mem-limit BYTES] [--threads N]"
     );
     std::process::exit(2)
 }
@@ -195,7 +220,19 @@ fn strategy_entry(
             let mut entry = phase_breakdown(w, q, strategy);
             entry.push("status", Json::from(status));
             entry.push("median_us", Json::UInt(median.as_micros() as u64));
-            entry.push("operators", operator_breakdown(w, q, strategy));
+            // With a parallel fan-out, also time the serial path so the
+            // report records what the threads bought on this host.
+            if args.threads > 1 {
+                if let Ok(serial) = time_query_with(w, q, strategy, args.runs, &args.options_at(1))
+                {
+                    entry.push("serial_us", Json::UInt(serial.as_micros() as u64));
+                    entry.push("speedup", Json::Float(speedup(serial, median)));
+                }
+            }
+            entry.push(
+                "operators",
+                operator_breakdown(w, q, strategy, &args.options()),
+            );
             (median, entry)
         }
         Err(e) => {
@@ -215,6 +252,7 @@ fn report_header(figure: &str, args: &Args) -> Json {
         ("figure", Json::from(figure)),
         ("sf", Json::Float(args.sf)),
         ("runs", Json::UInt(args.runs as u64)),
+        ("threads", Json::UInt(args.threads as u64)),
     ])
 }
 

@@ -178,11 +178,13 @@ pub fn phase_breakdown(w: &Workload, q: &BenchmarkQuery, strategy: Strategy) -> 
 }
 
 /// The per-operator stats tree (`EXPLAIN ANALYZE` as JSON) for the plan a
-/// strategy actually executes.
+/// strategy actually executes, under the given engine options (so a
+/// parallel run's tree carries the per-operator `threads` fan-out).
 pub fn operator_breakdown(
     w: &Workload,
     q: &BenchmarkQuery,
     strategy: Strategy,
+    options: &ExecOptions,
 ) -> conquer_obs::Json {
     let query = match strategy {
         Strategy::Original => parse_query(q.sql).expect("benchmark query parses"),
@@ -190,7 +192,7 @@ pub fn operator_breakdown(
         Strategy::Annotated => rewritten_query(q, &w.sigma, true),
     };
     let (_, plan, stats) =
-        w.db.execute_query_traced(&query, &conquer::ExecOptions::default())
+        w.db.execute_query_traced(&query, options)
             .expect("benchmark query executes");
     conquer::engine::stats_json(&plan, &stats)
 }
@@ -199,6 +201,13 @@ pub fn operator_breakdown(
 /// computes it: `(t_r - t_o) / t_o`.
 pub fn overhead(original: Duration, rewritten: Duration) -> f64 {
     (rewritten.as_secs_f64() - original.as_secs_f64()) / original.as_secs_f64().max(1e-12)
+}
+
+/// Parallel speedup: `t_serial / t_parallel`. Values below 1.0 mean the
+/// parallel run was slower (expected on single-core hosts, where extra
+/// threads only add coordination cost).
+pub fn speedup(serial: Duration, parallel: Duration) -> f64 {
+    serial.as_secs_f64() / parallel.as_secs_f64().max(1e-12)
 }
 
 /// Pre-rewrite a benchmark query (for benches that want to time execution

@@ -122,8 +122,8 @@ impl Database {
         gov: Option<&Governor>,
     ) -> Result<Rows> {
         let plan = self.plan_governed(query, options, gov)?;
-        let mut span = conquer_obs::span("execute");
-        let rows = exec::execute_governed(&plan, None, gov)?;
+        let mut span = conquer_obs::span("execute").field("threads", options.threads);
+        let rows = exec::execute_governed_threads(&plan, None, gov, options.threads)?;
         span.record("rows", rows.rows.len());
         Ok(rows)
     }
@@ -137,8 +137,9 @@ impl Database {
     ) -> Result<(Rows, Plan, crate::stats::NodeStats)> {
         let gov = Governor::for_options(options);
         let plan = self.plan_governed(query, options, gov.as_ref())?;
-        let mut span = conquer_obs::span("execute");
-        let (rows, stats) = exec::execute_traced(&plan, None, gov.as_ref())?;
+        let mut span = conquer_obs::span("execute").field("threads", options.threads);
+        let (rows, stats) =
+            exec::execute_traced_threads(&plan, None, gov.as_ref(), options.threads)?;
         span.record("rows", rows.rows.len());
         Ok((rows, plan, stats))
     }

@@ -12,10 +12,39 @@
 //! footprint, and non-join operators batch-commit their output row counts.
 //! Row and memory accounting is therefore *cumulative over intermediate
 //! results* (a budget on total work), not an instantaneous peak.
+//!
+//! # Morsel-parallel execution
+//!
+//! When [`ExecOptions::threads`](crate::plan::ExecOptions) is above 1, the
+//! row-at-a-time operator loops run *morsel-parallel* on scoped std
+//! threads ([`std::thread::scope`] + atomics; no external crates): inputs
+//! are split into fixed-size morsels ([`MORSEL_ROWS`] rows), workers claim
+//! morsels from a shared atomic cursor, and per-morsel outputs are
+//! reassembled in morsel order, so every operator reproduces the serial
+//! processing order exactly. Hash joins partition the build side by key
+//! hash into one table per worker and route probe lookups to the matching
+//! partition; aggregation and DISTINCT build per-worker partial tables
+//! that are merged with SQL NULL/three-valued-logic semantics preserved;
+//! ORDER BY sorts per-worker runs and k-way merges them with the global
+//! row index as tie-break, reproducing the serial stable sort. The one
+//! documented divergence from the serial oracle: floating-point SUM/AVG
+//! partial sums associate differently, so float aggregates can differ in
+//! the last ulp.
+//!
+//! The [`Governor`] is shared by all workers (its counters are atomics):
+//! every worker loop calls `tick`, and the first trip or error aborts the
+//! remaining workers at their next morsel boundary. When several workers
+//! fail, the error from the lowest-numbered morsel wins, keeping failures
+//! deterministic. Correlated subqueries evaluated inside worker loops stay
+//! serial (no nested fan-out). Operators fall back to the serial path for
+//! inputs under [`PAR_THRESHOLD`] rows, so small queries pay nothing.
 
-use std::collections::hash_map::Entry;
+use std::collections::hash_map::{Entry, RandomState};
 use std::collections::{HashMap, HashSet};
+use std::hash::BuildHasher;
 use std::mem;
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -71,69 +100,145 @@ impl Batch {
     }
 }
 
+/// Shared execution context: the resource governor (if any) plus the
+/// worker-thread budget for morsel-parallel operators.
+#[derive(Clone, Copy)]
+struct ExecCtx<'g> {
+    gov: Option<&'g Governor>,
+    threads: usize,
+}
+
 /// Execute a plan to fully-owned rows. `outer` is the enclosing row
 /// environment for correlated subquery plans; `None` at the top level. The
 /// governor, if any, is inherited from `outer` — correlated subqueries stay
-/// under the enclosing query's budget.
+/// under the enclosing query's budget. Always serial: per-row subqueries
+/// must not fan out nested thread pools.
 pub fn execute(plan: &Plan, outer: Option<&Env<'_>>) -> Result<Rows> {
     let gov = outer.and_then(|e| e.gov);
     execute_governed(plan, outer, gov)
 }
 
-/// Execute a plan to fully-owned rows under an explicit resource governor.
+/// Execute a plan to fully-owned rows under an explicit resource governor
+/// (serial).
 pub fn execute_governed(
     plan: &Plan,
     outer: Option<&Env<'_>>,
     gov: Option<&Governor>,
 ) -> Result<Rows> {
-    Ok(execute_batch_stats(plan, outer, None, gov)?.into_rows())
+    execute_governed_threads(plan, outer, gov, 1)
 }
 
-/// Execute a plan, sharing pre-materialized rows where possible.
+/// Execute a plan to fully-owned rows with up to `threads` morsel-parallel
+/// workers. `threads <= 1` is exactly the serial path.
+pub fn execute_governed_threads(
+    plan: &Plan,
+    outer: Option<&Env<'_>>,
+    gov: Option<&Governor>,
+    threads: usize,
+) -> Result<Rows> {
+    let ctx = ExecCtx {
+        gov,
+        threads: threads.max(1),
+    };
+    Ok(execute_ctx(plan, outer, None, ctx)?.into_rows())
+}
+
+/// Execute a plan, sharing pre-materialized rows where possible (serial).
 pub fn execute_batch(plan: &Plan, outer: Option<&Env<'_>>) -> Result<Batch> {
     let gov = outer.and_then(|e| e.gov);
     execute_batch_stats(plan, outer, None, gov)
 }
 
 /// Execute a plan, additionally collecting per-operator runtime stats into
-/// a [`NodeStats`] tree shaped like the plan (`EXPLAIN ANALYZE`).
+/// a [`NodeStats`] tree shaped like the plan (`EXPLAIN ANALYZE`; serial).
 pub fn execute_traced(
     plan: &Plan,
     outer: Option<&Env<'_>>,
     gov: Option<&Governor>,
 ) -> Result<(Rows, NodeStats)> {
+    execute_traced_threads(plan, outer, gov, 1)
+}
+
+/// [`execute_traced`] with up to `threads` morsel-parallel workers.
+/// Per-worker counters are merged into the single stats node of each
+/// operator, so the tree keeps the serial shape; `threads_used` records
+/// the widest fan-out of each operator.
+pub fn execute_traced_threads(
+    plan: &Plan,
+    outer: Option<&Env<'_>>,
+    gov: Option<&Governor>,
+    threads: usize,
+) -> Result<(Rows, NodeStats)> {
     let mut stats = NodeStats::for_plan(plan);
-    let rows = execute_batch_stats(plan, outer, Some(&mut stats), gov)?.into_rows();
+    let ctx = ExecCtx {
+        gov,
+        threads: threads.max(1),
+    };
+    let rows = execute_ctx(plan, outer, Some(&mut stats), ctx)?.into_rows();
     Ok((rows, stats))
 }
 
 /// Rough footprint of a materialized row set (used when reserving memory
 /// for CTEs and join outputs).
 pub fn rows_bytes(rows: &Rows) -> u64 {
-    est_row_bytes(rows.schema.len()) * rows.rows.len() as u64
+    est_row_bytes(&rows.schema) * rows.rows.len() as u64
 }
 
-/// Estimated bytes for one materialized row of `width` columns. A crude
-/// upper-bound-ish estimate: inline `Value`s plus the row vector header.
-/// Heap payloads behind `Arc<str>` are shared and deliberately not charged.
-fn est_row_bytes(width: usize) -> u64 {
-    (width * mem::size_of::<Value>() + mem::size_of::<Row>()) as u64
+/// Amortized heap payload charged per `TEXT` column of a row: the
+/// `Arc<str>` control block (two ref counts) plus a typical short-string
+/// payload. TPC-H string columns are mostly fixed-ish short codes and
+/// comments; before this constant existed string payloads were charged
+/// zero and the memory governor undercounted string-heavy rows badly.
+const TEXT_PAYLOAD_BYTES: usize = 32;
+
+/// Estimated bytes for one materialized row under `schema`: inline
+/// `Value`s plus the row vector header, plus [`TEXT_PAYLOAD_BYTES`] for
+/// every `TEXT` (or untyped) column. `Arc<str>` payloads are shared, but
+/// each clone keeps the allocation alive, so charging them per row is the
+/// honest upper-bound-ish estimate. The same formula feeds the governor's
+/// memory budget and the `est_mem_bytes` column of `EXPLAIN ANALYZE`.
+fn est_row_bytes(schema: &Schema) -> u64 {
+    let text_cols = schema
+        .columns
+        .iter()
+        .filter(|c| {
+            matches!(
+                c.ty,
+                crate::schema::DataType::Text | crate::schema::DataType::Any
+            )
+        })
+        .count();
+    (schema.len() * mem::size_of::<Value>()
+        + text_cols * TEXT_PAYLOAD_BYTES
+        + mem::size_of::<Row>()) as u64
 }
 
 /// Execute a plan, filling `stats` (when present) for this operator and
 /// everything below it. `stats` must mirror the plan's shape — build it
-/// with [`NodeStats::for_plan`].
+/// with [`NodeStats::for_plan`]. Serial entry point, kept for callers that
+/// manage their own stats tree.
 pub fn execute_batch_stats(
     plan: &Plan,
     outer: Option<&Env<'_>>,
-    mut stats: Option<&mut NodeStats>,
+    stats: Option<&mut NodeStats>,
     gov: Option<&Governor>,
 ) -> Result<Batch> {
-    if let Some(g) = gov {
+    execute_ctx(plan, outer, stats, ExecCtx { gov, threads: 1 })
+}
+
+/// The recursive executor: times the operator, runs it, and commits its
+/// output rows to the governor.
+fn execute_ctx(
+    plan: &Plan,
+    outer: Option<&Env<'_>>,
+    mut stats: Option<&mut NodeStats>,
+    ctx: ExecCtx<'_>,
+) -> Result<Batch> {
+    if let Some(g) = ctx.gov {
         g.check_now(op_name(plan))?;
     }
     let start = stats.as_ref().map(|_| Instant::now());
-    let result = exec_node(plan, outer, &mut stats, gov);
+    let result = exec_node(plan, outer, &mut stats, ctx);
     if let (Some(s), Some(t)) = (stats, start) {
         s.invocations += 1;
         s.wall += t.elapsed();
@@ -144,7 +249,7 @@ pub fn execute_batch_stats(
     // Joins already accounted each emitted row; everything else commits its
     // output batch here, so the row budget bounds cumulative intermediate
     // results no matter which operator inflates them.
-    if let (Some(g), Ok(batch)) = (gov, &result) {
+    if let (Some(g), Ok(batch)) = (ctx.gov, &result) {
         if !matches!(plan, Plan::HashJoin { .. } | Plan::NestedLoopJoin { .. }) {
             g.add_rows(batch.len() as u64, op_name(plan))?;
         }
@@ -180,16 +285,221 @@ fn tick(gov: Option<&Governor>, op: &'static str) -> Result<()> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Morsel-parallel primitives
+// ---------------------------------------------------------------------------
+
+/// Rows per morsel: large enough to amortize the atomic cursor claim,
+/// small enough that work stealing balances skewed operators.
+const MORSEL_ROWS: usize = 1024;
+
+/// Inputs below this many rows run serially even when `threads > 1`: the
+/// thread-spawn cost outweighs any parallel win on small batches.
+const PAR_THRESHOLD: usize = 4 * MORSEL_ROWS;
+
+/// Effective worker count for an operator over `n` input rows: 1 (serial)
+/// for small inputs or a serial context, otherwise capped by the morsel
+/// count so no worker is spawned without work.
+fn par_workers(n: usize, threads: usize) -> usize {
+    if threads <= 1 || n < PAR_THRESHOLD {
+        1
+    } else {
+        threads.min(n.div_ceil(MORSEL_ROWS))
+    }
+}
+
+/// A worker error tagged with the morsel it occurred in, so the coordinator
+/// can pick a deterministic winner when several workers fail at once.
+struct MorselError {
+    morsel: usize,
+    error: EngineError,
+}
+
+/// Map an unwound worker into a structured error. Workers are panic-free
+/// by policy (`deny(unwrap_used)`), so this is defense in depth.
+fn join_worker<T>(res: std::thread::Result<T>) -> Result<T> {
+    res.map_err(|_| EngineError::Execution("parallel worker panicked".into()))
+}
+
+/// Of all worker failures, return the one from the lowest-numbered morsel:
+/// the failure the serial path would have hit first.
+fn first_error(errors: Vec<MorselError>) -> Option<EngineError> {
+    errors.into_iter().min_by_key(|e| e.morsel).map(|e| e.error)
+}
+
+/// Run `f` once per morsel of `0..n` on `workers` scoped threads and
+/// return the per-morsel results *in morsel order* — callers that
+/// concatenate them observe exactly the serial processing order. Workers
+/// claim morsels from a shared atomic cursor (dynamic work stealing); the
+/// first error flips an abort flag that stops the other workers at their
+/// next morsel boundary, and the error from the lowest morsel wins.
+fn parallel_morsels<T, F>(n: usize, workers: usize, f: F) -> Result<Vec<T>>
+where
+    T: Send,
+    F: Fn(usize, Range<usize>) -> Result<T> + Sync,
+{
+    type WorkerOut<T> = (Vec<(usize, T)>, Option<MorselError>);
+    let morsels = n.div_ceil(MORSEL_ROWS);
+    let cursor = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let worker_results: Vec<WorkerOut<T>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out: Vec<(usize, T)> = Vec::new();
+                    let mut failed = None;
+                    while !abort.load(Ordering::Relaxed) {
+                        let m = cursor.fetch_add(1, Ordering::Relaxed);
+                        if m >= morsels {
+                            break;
+                        }
+                        let lo = m * MORSEL_ROWS;
+                        let hi = n.min(lo + MORSEL_ROWS);
+                        match f(m, lo..hi) {
+                            Ok(t) => out.push((m, t)),
+                            Err(error) => {
+                                abort.store(true, Ordering::Relaxed);
+                                failed = Some(MorselError { morsel: m, error });
+                                break;
+                            }
+                        }
+                    }
+                    (out, failed)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| join_worker(h.join()))
+            .collect::<Result<Vec<_>>>()
+    })?;
+
+    let mut errors = Vec::new();
+    let mut tagged: Vec<(usize, T)> = Vec::with_capacity(morsels);
+    for (out, failed) in worker_results {
+        tagged.extend(out);
+        errors.extend(failed);
+    }
+    if let Some(e) = first_error(errors) {
+        return Err(e);
+    }
+    tagged.sort_unstable_by_key(|(m, _)| *m);
+    Ok(tagged.into_iter().map(|(_, t)| t).collect())
+}
+
+/// Like [`parallel_morsels`], but each *worker* carries one accumulator
+/// across all the morsels it claims (per-worker partial hash tables for
+/// aggregation/DISTINCT). Returns the per-worker accumulators in no
+/// particular order — the fold must be merge-order-insensitive, which the
+/// callers guarantee by tracking global first-seen row indexes.
+fn parallel_fold<T, I, F>(n: usize, workers: usize, init: I, step: F) -> Result<Vec<T>>
+where
+    T: Send,
+    I: Fn() -> T + Sync,
+    F: Fn(&mut T, Range<usize>) -> Result<()> + Sync,
+{
+    let morsels = n.div_ceil(MORSEL_ROWS);
+    let cursor = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let worker_results: Vec<(T, Option<MorselError>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut acc = init();
+                    let mut failed = None;
+                    while !abort.load(Ordering::Relaxed) {
+                        let m = cursor.fetch_add(1, Ordering::Relaxed);
+                        if m >= morsels {
+                            break;
+                        }
+                        let lo = m * MORSEL_ROWS;
+                        let hi = n.min(lo + MORSEL_ROWS);
+                        if let Err(error) = step(&mut acc, lo..hi) {
+                            abort.store(true, Ordering::Relaxed);
+                            failed = Some(MorselError { morsel: m, error });
+                            break;
+                        }
+                    }
+                    (acc, failed)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| join_worker(h.join()))
+            .collect::<Result<Vec<_>>>()
+    })?;
+
+    let mut errors = Vec::new();
+    let mut accs = Vec::with_capacity(workers);
+    for (acc, failed) in worker_results {
+        accs.push(acc);
+        errors.extend(failed);
+    }
+    if let Some(e) = first_error(errors) {
+        return Err(e);
+    }
+    Ok(accs)
+}
+
+/// Run one independent task per element of `inputs` on scoped threads
+/// (hash-join partition builds, per-run sorts). Task index is the
+/// deterministic error tie-break.
+fn parallel_tasks<T, U, F>(inputs: Vec<T>, f: F) -> Result<Vec<U>>
+where
+    T: Send,
+    U: Send,
+    F: Fn(usize, T) -> Result<U> + Sync,
+{
+    let results: Vec<(usize, Result<U>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = inputs
+            .into_iter()
+            .enumerate()
+            .map(|(i, input)| {
+                let f = &f;
+                scope.spawn(move || (i, f(i, input)))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| join_worker(h.join()))
+            .collect::<Result<Vec<_>>>()
+    })?;
+    let mut errors = Vec::new();
+    let mut out: Vec<(usize, U)> = Vec::with_capacity(results.len());
+    for (i, res) in results {
+        match res {
+            Ok(u) => out.push((i, u)),
+            Err(error) => errors.push(MorselError { morsel: i, error }),
+        }
+    }
+    if let Some(e) = first_error(errors) {
+        return Err(e);
+    }
+    out.sort_unstable_by_key(|(i, _)| *i);
+    Ok(out.into_iter().map(|(_, u)| u).collect())
+}
+
+/// Record the fan-out an operator ran with.
+fn note_threads(stats: &mut Option<&mut NodeStats>, workers: usize) {
+    if let Some(s) = stats.as_deref_mut() {
+        s.threads_used = s.threads_used.max(workers as u64);
+    }
+}
+
 /// The untimed operator dispatch. Children are executed through
-/// [`execute_batch_stats`] with the matching child stats node, so timing
-/// nests correctly; operator-internal counters are filled in by the
-/// `exec_*` helpers.
+/// [`execute_ctx`] with the matching child stats node, so timing nests
+/// correctly; operator-internal counters are filled in by the `exec_*`
+/// helpers. Fault points (`faults::trip`) sit at operator entry on the
+/// coordinating thread, so an armed fault fires identically at any thread
+/// count (the schedule is thread-local).
 fn exec_node(
     plan: &Plan,
     outer: Option<&Env<'_>>,
     stats: &mut Option<&mut NodeStats>,
-    gov: Option<&Governor>,
+    ctx: ExecCtx<'_>,
 ) -> Result<Batch> {
+    let gov = ctx.gov;
     match plan {
         Plan::Scan { rows, schema } => {
             faults::trip("scan")?;
@@ -204,14 +514,27 @@ fn exec_node(
         })),
         Plan::Filter { input, predicate } => {
             faults::trip("filter")?;
-            let child = execute_batch_stats(input, outer, child_stats(stats, 0), gov)?;
-            let mut out = Vec::new();
-            for row in child.rows() {
-                tick(gov, "filter")?;
-                if eval_predicate_on_row(predicate, row, outer, gov)? == Some(true) {
-                    out.push(row.clone());
+            let child = execute_ctx(input, outer, child_stats(stats, 0), ctx)?;
+            let rows = child.rows();
+            let workers = par_workers(rows.len(), ctx.threads);
+            note_threads(stats, workers);
+            let filter_morsel = |range: Range<usize>| -> Result<Vec<Row>> {
+                let mut out = Vec::new();
+                for row in &rows[range] {
+                    tick(gov, "filter")?;
+                    if eval_predicate_on_row(predicate, row, outer, gov)? == Some(true) {
+                        out.push(row.clone());
+                    }
                 }
-            }
+                Ok(out)
+            };
+            let out = if workers == 1 {
+                filter_morsel(0..rows.len())?
+            } else {
+                concat_rows(parallel_morsels(rows.len(), workers, |_, range| {
+                    filter_morsel(range)
+                })?)
+            };
             Ok(Batch::Owned(Rows {
                 schema: child.schema().clone(),
                 rows: out,
@@ -223,12 +546,25 @@ fn exec_node(
             schema,
         } => {
             faults::trip("project")?;
-            let child = execute_batch_stats(input, outer, child_stats(stats, 0), gov)?;
-            let mut out = Vec::with_capacity(child.len());
-            for row in child.rows() {
-                tick(gov, "project")?;
-                out.push(project_row(row, exprs, outer, gov)?);
-            }
+            let child = execute_ctx(input, outer, child_stats(stats, 0), ctx)?;
+            let rows = child.rows();
+            let workers = par_workers(rows.len(), ctx.threads);
+            note_threads(stats, workers);
+            let project_morsel = |range: Range<usize>| -> Result<Vec<Row>> {
+                let mut out = Vec::with_capacity(range.len());
+                for row in &rows[range] {
+                    tick(gov, "project")?;
+                    out.push(project_row(row, exprs, outer, gov)?);
+                }
+                Ok(out)
+            };
+            let out = if workers == 1 {
+                project_morsel(0..rows.len())?
+            } else {
+                concat_rows(parallel_morsels(rows.len(), workers, |_, range| {
+                    project_morsel(range)
+                })?)
+            };
             Ok(Batch::Owned(Rows {
                 schema: schema.clone(),
                 rows: out,
@@ -236,7 +572,7 @@ fn exec_node(
         }
         Plan::Rename { input, schema } => {
             faults::trip("rename")?;
-            let child = execute_batch_stats(input, outer, child_stats(stats, 0), gov)?;
+            let child = execute_ctx(input, outer, child_stats(stats, 0), ctx)?;
             Ok(match child {
                 Batch::Owned(r) => Batch::Owned(Rows {
                     schema: schema.clone(),
@@ -257,8 +593,8 @@ fn exec_node(
             residual,
             schema,
         } => {
-            let l = execute_batch_stats(left, outer, child_stats(stats, 0), gov)?;
-            let r = execute_batch_stats(right, outer, child_stats(stats, 1), gov)?;
+            let l = execute_ctx(left, outer, child_stats(stats, 0), ctx)?;
+            let r = execute_ctx(right, outer, child_stats(stats, 1), ctx)?;
             Ok(Batch::Owned(exec_hash_join(
                 l,
                 r,
@@ -269,7 +605,7 @@ fn exec_node(
                 schema,
                 outer,
                 stats.as_deref_mut(),
-                gov,
+                ctx,
             )?))
         }
         Plan::NestedLoopJoin {
@@ -280,8 +616,8 @@ fn exec_node(
             schema,
         } => {
             faults::trip("nested_loop")?;
-            let l = execute_batch_stats(left, outer, child_stats(stats, 0), gov)?;
-            let r = execute_batch_stats(right, outer, child_stats(stats, 1), gov)?;
+            let l = execute_ctx(left, outer, child_stats(stats, 0), ctx)?;
+            let r = execute_ctx(right, outer, child_stats(stats, 1), ctx)?;
             Ok(Batch::Owned(exec_nested_loop_join(
                 l,
                 r,
@@ -290,7 +626,7 @@ fn exec_node(
                 schema,
                 outer,
                 stats.as_deref_mut(),
-                gov,
+                ctx,
             )?))
         }
         Plan::Aggregate {
@@ -300,7 +636,7 @@ fn exec_node(
             schema,
         } => {
             faults::trip("aggregate.group")?;
-            let child = execute_batch_stats(input, outer, child_stats(stats, 0), gov)?;
+            let child = execute_ctx(input, outer, child_stats(stats, 0), ctx)?;
             Ok(Batch::Owned(exec_aggregate(
                 child,
                 group_exprs,
@@ -308,26 +644,18 @@ fn exec_node(
                 schema,
                 outer,
                 stats.as_deref_mut(),
-                gov,
+                ctx,
             )?))
         }
         Plan::Distinct { input } => {
             faults::trip("distinct")?;
-            let child = execute_batch_stats(input, outer, child_stats(stats, 0), gov)?;
-            let mut seen: HashSet<Key> = HashSet::with_capacity(child.len());
-            if let Some(g) = gov {
-                g.reserve_mem((seen.capacity() * mem::size_of::<Key>()) as u64, "distinct")?;
-            }
-            let mut out = Vec::new();
-            for row in child.rows() {
-                tick(gov, "distinct")?;
-                if seen.insert(Key::from_values(row)) {
-                    out.push(row.clone());
-                }
-            }
+            let child = execute_ctx(input, outer, child_stats(stats, 0), ctx)?;
+            let workers = par_workers(child.len(), ctx.threads);
+            note_threads(stats, workers);
+            let (out, set_bytes) = exec_distinct(&child, workers, gov)?;
             if let Some(s) = stats.as_deref_mut() {
                 s.build_rows += child.len() as u64;
-                s.est_mem_bytes += (seen.capacity() * mem::size_of::<Key>()) as u64;
+                s.est_mem_bytes += set_bytes;
             }
             Ok(Batch::Owned(Rows {
                 schema: child.schema().clone(),
@@ -336,8 +664,8 @@ fn exec_node(
         }
         Plan::UnionAll { left, right } => {
             faults::trip("union")?;
-            let l = execute_batch_stats(left, outer, child_stats(stats, 0), gov)?;
-            let r = execute_batch_stats(right, outer, child_stats(stats, 1), gov)?;
+            let l = execute_ctx(left, outer, child_stats(stats, 0), ctx)?;
+            let r = execute_ctx(right, outer, child_stats(stats, 1), ctx)?;
             let mut rows = l.into_rows();
             match r {
                 Batch::Owned(o) => rows.rows.extend(o.rows),
@@ -347,12 +675,14 @@ fn exec_node(
         }
         Plan::Sort { input, keys } => {
             faults::trip("sort")?;
-            let child = execute_batch_stats(input, outer, child_stats(stats, 0), gov)?.into_rows();
-            Ok(Batch::Owned(exec_sort(child, keys, outer, gov)?))
+            let child = execute_ctx(input, outer, child_stats(stats, 0), ctx)?.into_rows();
+            let workers = par_workers(child.rows.len(), ctx.threads);
+            note_threads(stats, workers);
+            Ok(Batch::Owned(exec_sort(child, keys, outer, gov, workers)?))
         }
         Plan::Limit { input, n } => {
             faults::trip("limit")?;
-            let child = execute_batch_stats(input, outer, child_stats(stats, 0), gov)?;
+            let child = execute_ctx(input, outer, child_stats(stats, 0), ctx)?;
             let take = (*n as usize).min(child.len());
             let rows = child.rows()[..take].to_vec();
             Ok(Batch::Owned(Rows {
@@ -361,6 +691,92 @@ fn exec_node(
             }))
         }
     }
+}
+
+/// Concatenate per-morsel output chunks (already in morsel order).
+fn concat_rows(chunks: Vec<Vec<Row>>) -> Vec<Row> {
+    let total = chunks.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    for chunk in chunks {
+        out.extend(chunk);
+    }
+    out
+}
+
+/// DISTINCT: serial for one worker; otherwise workers pre-deduplicate the
+/// morsels they claim against a per-worker set (each worker's morsels are
+/// claimed in increasing order, so a worker always keeps its earliest
+/// occurrence), and a sequential pass over the surviving rows in global
+/// row order picks the true first occurrence of each key — the same row,
+/// with the same payload, the serial path keeps. Returns the output rows
+/// and the estimated footprint of the dedup sets.
+fn exec_distinct(child: &Batch, workers: usize, gov: Option<&Governor>) -> Result<(Vec<Row>, u64)> {
+    let rows = child.rows();
+    if workers == 1 {
+        let mut seen: HashSet<Key> = HashSet::with_capacity(rows.len());
+        if let Some(g) = gov {
+            g.reserve_mem((seen.capacity() * mem::size_of::<Key>()) as u64, "distinct")?;
+        }
+        let mut out = Vec::new();
+        for row in rows {
+            tick(gov, "distinct")?;
+            if seen.insert(Key::from_values(row)) {
+                out.push(row.clone());
+            }
+        }
+        return Ok((out, (seen.capacity() * mem::size_of::<Key>()) as u64));
+    }
+
+    struct DistinctPartial {
+        seen: HashSet<Key>,
+        /// Surviving `(global row index, key)` pairs, per-worker-deduped.
+        survivors: Vec<(usize, Key)>,
+        reserved_cap: usize,
+    }
+    let partials = parallel_fold(
+        rows.len(),
+        workers,
+        || DistinctPartial {
+            seen: HashSet::new(),
+            survivors: Vec::new(),
+            reserved_cap: 0,
+        },
+        |acc, range| {
+            for idx in range {
+                tick(gov, "distinct")?;
+                let key = Key::from_values(&rows[idx]);
+                if acc.seen.insert(key.clone()) {
+                    acc.survivors.push((idx, key));
+                }
+                if acc.seen.capacity() > acc.reserved_cap {
+                    if let Some(g) = gov {
+                        g.reserve_mem(
+                            ((acc.seen.capacity() - acc.reserved_cap) * mem::size_of::<Key>())
+                                as u64,
+                            "distinct",
+                        )?;
+                    }
+                    acc.reserved_cap = acc.seen.capacity();
+                }
+            }
+            Ok(())
+        },
+    )?;
+
+    let set_bytes: u64 = partials
+        .iter()
+        .map(|p| (p.seen.capacity() * mem::size_of::<Key>()) as u64)
+        .sum();
+    let mut survivors: Vec<(usize, Key)> = partials.into_iter().flat_map(|p| p.survivors).collect();
+    survivors.sort_unstable_by_key(|(idx, _)| *idx);
+    let mut global: HashSet<Key> = HashSet::with_capacity(survivors.len());
+    let mut out = Vec::new();
+    for (idx, key) in survivors {
+        if global.insert(key) {
+            out.push(rows[idx].clone());
+        }
+    }
+    Ok((out, set_bytes))
 }
 
 /// Reborrow the stats node for child `i` of the current operator, keeping
@@ -409,6 +825,102 @@ fn project_row(
     Ok(out)
 }
 
+/// The build side of a hash join, hash-partitioned into `parts.len()`
+/// disjoint tables. Build and probe route a key to its partition through
+/// the same shared [`RandomState`], so lookups hit exactly one table. One
+/// partition (serial build) degenerates to the classic single hash table.
+struct PartitionedTable {
+    hasher: RandomState,
+    parts: Vec<HashMap<Key, Vec<usize>>>,
+}
+
+impl PartitionedTable {
+    fn route(&self, key: &Key) -> usize {
+        if self.parts.len() == 1 {
+            0
+        } else {
+            (self.hasher.hash_one(key) as usize) % self.parts.len()
+        }
+    }
+
+    fn get(&self, key: &Key) -> Option<&Vec<usize>> {
+        self.parts[self.route(key)].get(key)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.parts.iter().all(HashMap::is_empty)
+    }
+
+    fn bytes(&self) -> u64 {
+        self.parts.iter().map(hash_table_bytes).sum()
+    }
+}
+
+/// Build the join hash table over `rows`, partitioned across `workers`
+/// threads when above the parallel threshold. Workers extract keys per
+/// morsel and route `(key, row index)` pairs into per-partition buckets; a
+/// morsel-order transpose then hands each partition's pairs — in global
+/// row order — to one builder thread, so every key's index list is
+/// identical to the serial build's. NULL keys are skipped (SQL equality
+/// never matches them).
+fn build_join_table(
+    rows: &[Row],
+    keys: &[BoundExpr],
+    workers: usize,
+    outer: Option<&Env<'_>>,
+    gov: Option<&Governor>,
+) -> Result<PartitionedTable> {
+    let hasher = RandomState::new();
+    if workers == 1 {
+        let mut table: HashMap<Key, Vec<usize>> = HashMap::with_capacity(rows.len());
+        for (i, row) in rows.iter().enumerate() {
+            tick(gov, "hash_join")?;
+            let key = Key::from_values(&project_row(row, keys, outer, gov)?);
+            if key.has_null() {
+                continue;
+            }
+            table.entry(key).or_default().push(i);
+        }
+        return Ok(PartitionedTable {
+            hasher,
+            parts: vec![table],
+        });
+    }
+
+    let nparts = workers;
+    let morsel_buckets: Vec<Vec<Vec<(Key, usize)>>> =
+        parallel_morsels(rows.len(), workers, |_, range| {
+            let mut buckets: Vec<Vec<(Key, usize)>> = (0..nparts).map(|_| Vec::new()).collect();
+            for idx in range {
+                tick(gov, "hash_join")?;
+                let key = Key::from_values(&project_row(&rows[idx], keys, outer, gov)?);
+                if key.has_null() {
+                    continue;
+                }
+                let p = (hasher.hash_one(&key) as usize) % nparts;
+                buckets[p].push((key, idx));
+            }
+            Ok(buckets)
+        })?;
+    // Transpose morsel-major to partition-major; iterating morsels in order
+    // keeps each partition's pairs in global row order.
+    let mut per_part: Vec<Vec<(Key, usize)>> = (0..nparts).map(|_| Vec::new()).collect();
+    for buckets in morsel_buckets {
+        for (p, bucket) in buckets.into_iter().enumerate() {
+            per_part[p].extend(bucket);
+        }
+    }
+    let parts = parallel_tasks(per_part, |_, entries| {
+        let mut table: HashMap<Key, Vec<usize>> = HashMap::with_capacity(entries.len());
+        for (key, idx) in entries {
+            tick(gov, "hash_join")?;
+            table.entry(key).or_default().push(idx);
+        }
+        Ok(table)
+    })?;
+    Ok(PartitionedTable { hasher, parts })
+}
+
 #[allow(clippy::too_many_arguments)]
 fn exec_hash_join(
     left: Batch,
@@ -420,13 +932,14 @@ fn exec_hash_join(
     schema: &Schema,
     outer: Option<&Env<'_>>,
     mut stats: Option<&mut NodeStats>,
-    gov: Option<&Governor>,
+    ctx: ExecCtx<'_>,
 ) -> Result<Rows> {
+    let gov = ctx.gov;
     if let Some(s) = stats.as_deref_mut() {
         s.build_rows += right.len() as u64;
         s.probe_rows += left.len() as u64;
     }
-    let row_bytes = est_row_bytes(schema.len());
+    let row_bytes = est_row_bytes(schema);
     // Joins are the unbounded row generators, so they account output rows
     // (and their bytes) one emission at a time.
     let emit = |n: usize| -> Result<()> {
@@ -482,88 +995,105 @@ fn exec_hash_join(
     // column order (left ++ right) is preserved when emitting.
     if kind == JoinType::Inner && left.len() < right.len() && residual.is_none() {
         return exec_hash_join_inner_swapped(
-            right, left, right_keys, left_keys, schema, outer, stats, gov,
+            right, left, right_keys, left_keys, schema, outer, stats, ctx,
         );
     }
 
-    // Build on the right side.
+    // Build on the right side, hash-partitioned across workers when large.
     faults::trip("join.build")?;
     let right_rows = right.rows();
-    let mut table: HashMap<Key, Vec<usize>> = HashMap::with_capacity(right_rows.len());
-    for (i, row) in right_rows.iter().enumerate() {
-        tick(gov, "hash_join")?;
-        let key = Key::from_values(&project_row(row, right_keys, outer, gov)?);
-        if key.has_null() {
-            continue; // NULL keys never match under SQL equality.
-        }
-        table.entry(key).or_default().push(i);
-    }
+    let build_workers = par_workers(right_rows.len(), ctx.threads);
+    let table = build_join_table(right_rows, right_keys, build_workers, outer, gov)?;
     if let Some(g) = gov {
-        g.reserve_mem(hash_table_bytes(&table), "hash_join")?;
+        g.reserve_mem(table.bytes(), "hash_join")?;
     }
     if let Some(s) = stats.as_deref_mut() {
-        s.est_mem_bytes += hash_table_bytes(&table);
+        s.est_mem_bytes += table.bytes();
     }
 
     faults::trip("join.probe")?;
-    let right_width = right.schema().len();
-    let mut comparisons = 0u64;
-    let mut out = Vec::new();
-    for lrow in left.rows() {
-        tick(gov, "hash_join")?;
-        let key = Key::from_values(&project_row(lrow, left_keys, outer, gov)?);
-        let matches = if key.has_null() {
-            None
-        } else {
-            table.get(&key)
-        };
-        let mut matched = false;
-        if let Some(idxs) = matches {
-            for &ri in idxs {
-                comparisons += 1;
-                // Residual conditions are part of the ON clause: they decide
-                // whether this candidate pair is a match.
-                let pass = match residual {
-                    None => true,
-                    Some(res) => {
-                        let mut combined = lrow.clone();
-                        combined.extend(right_rows[ri].iter().cloned());
-                        eval_predicate_on_row(res, &combined, outer, gov)? == Some(true)
-                    }
-                };
-                if !pass {
-                    continue;
-                }
-                matched = true;
-                match kind {
-                    JoinType::Inner | JoinType::LeftOuter => {
-                        emit(1)?;
-                        let mut combined = lrow.clone();
-                        combined.extend(right_rows[ri].iter().cloned());
-                        out.push(combined);
-                    }
-                    JoinType::Semi | JoinType::Anti => break,
-                }
-            }
-        }
-        match kind {
-            JoinType::LeftOuter if !matched => {
-                emit(1)?;
-                let mut combined = lrow.clone();
-                combined.extend(std::iter::repeat_n(Value::Null, right_width));
-                out.push(combined);
-            }
-            JoinType::Semi if matched => {
-                emit(1)?;
-                out.push(lrow.clone());
-            }
-            JoinType::Anti if !matched => {
-                emit(1)?;
-                out.push(lrow.clone());
-            }
-            _ => {}
-        }
+    let left_rows = left.rows();
+    let probe_workers = par_workers(left_rows.len(), ctx.threads);
+    if let Some(s) = stats.as_deref_mut() {
+        s.threads_used = s.threads_used.max(build_workers.max(probe_workers) as u64);
     }
+    let right_width = right.schema().len();
+    // One probe morsel: the per-row matching logic is identical at any
+    // thread count, and morsel outputs concatenate back to the serial
+    // emission order (probe rows in order; per-key build indexes in global
+    // build order).
+    let probe_morsel = |range: Range<usize>| -> Result<(Vec<Row>, u64)> {
+        let mut comparisons = 0u64;
+        let mut out = Vec::new();
+        for lrow in &left_rows[range] {
+            tick(gov, "hash_join")?;
+            let key = Key::from_values(&project_row(lrow, left_keys, outer, gov)?);
+            let matches = if key.has_null() {
+                None
+            } else {
+                table.get(&key)
+            };
+            let mut matched = false;
+            if let Some(idxs) = matches {
+                for &ri in idxs {
+                    comparisons += 1;
+                    // Residual conditions are part of the ON clause: they
+                    // decide whether this candidate pair is a match.
+                    let pass = match residual {
+                        None => true,
+                        Some(res) => {
+                            let mut combined = lrow.clone();
+                            combined.extend(right_rows[ri].iter().cloned());
+                            eval_predicate_on_row(res, &combined, outer, gov)? == Some(true)
+                        }
+                    };
+                    if !pass {
+                        continue;
+                    }
+                    matched = true;
+                    match kind {
+                        JoinType::Inner | JoinType::LeftOuter => {
+                            emit(1)?;
+                            let mut combined = lrow.clone();
+                            combined.extend(right_rows[ri].iter().cloned());
+                            out.push(combined);
+                        }
+                        JoinType::Semi | JoinType::Anti => break,
+                    }
+                }
+            }
+            match kind {
+                JoinType::LeftOuter if !matched => {
+                    emit(1)?;
+                    let mut combined = lrow.clone();
+                    combined.extend(std::iter::repeat_n(Value::Null, right_width));
+                    out.push(combined);
+                }
+                JoinType::Semi if matched => {
+                    emit(1)?;
+                    out.push(lrow.clone());
+                }
+                JoinType::Anti if !matched => {
+                    emit(1)?;
+                    out.push(lrow.clone());
+                }
+                _ => {}
+            }
+        }
+        Ok((out, comparisons))
+    };
+    let (out, comparisons) = if probe_workers == 1 {
+        probe_morsel(0..left_rows.len())?
+    } else {
+        let chunks = parallel_morsels(left_rows.len(), probe_workers, |_, range| {
+            probe_morsel(range)
+        })?;
+        let comparisons = chunks.iter().map(|(_, c)| c).sum();
+        (
+            concat_rows(chunks.into_iter().map(|(rows, _)| rows).collect()),
+            comparisons,
+        )
+    };
     if let Some(s) = stats {
         s.comparisons += comparisons;
     }
@@ -584,6 +1114,10 @@ fn hash_table_bytes(table: &HashMap<Key, Vec<usize>>) -> u64 {
 /// Inner hash join probing with the *larger* side: `probe` is the original
 /// right input, `build` the original left. Output rows still lay out
 /// original-left columns first.
+///
+/// Note the emission-order divergence from the unswapped shape: rows come
+/// out in probe (original-right) order. The parallel path reproduces
+/// exactly this order, morsel by morsel.
 #[allow(clippy::too_many_arguments)]
 fn exec_hash_join_inner_swapped(
     probe: Batch,
@@ -593,25 +1127,19 @@ fn exec_hash_join_inner_swapped(
     schema: &Schema,
     outer: Option<&Env<'_>>,
     mut stats: Option<&mut NodeStats>,
-    gov: Option<&Governor>,
+    ctx: ExecCtx<'_>,
 ) -> Result<Rows> {
+    let gov = ctx.gov;
     faults::trip("join.build")?;
-    let row_bytes = est_row_bytes(schema.len());
+    let row_bytes = est_row_bytes(schema);
     let build_rows = build.rows();
-    let mut table: HashMap<Key, Vec<usize>> = HashMap::with_capacity(build_rows.len());
-    for (i, row) in build_rows.iter().enumerate() {
-        tick(gov, "hash_join")?;
-        let key = Key::from_values(&project_row(row, build_keys, outer, gov)?);
-        if key.has_null() {
-            continue;
-        }
-        table.entry(key).or_default().push(i);
-    }
+    let build_workers = par_workers(build_rows.len(), ctx.threads);
+    let table = build_join_table(build_rows, build_keys, build_workers, outer, gov)?;
     if let Some(g) = gov {
-        g.reserve_mem(hash_table_bytes(&table), "hash_join")?;
+        g.reserve_mem(table.bytes(), "hash_join")?;
     }
     if let Some(s) = stats.as_deref_mut() {
-        s.est_mem_bytes += hash_table_bytes(&table);
+        s.est_mem_bytes += table.bytes();
     }
     if table.is_empty() {
         return Ok(Rows {
@@ -620,27 +1148,47 @@ fn exec_hash_join_inner_swapped(
         });
     }
     faults::trip("join.probe")?;
-    let mut comparisons = 0u64;
-    let mut out = Vec::new();
-    for prow in probe.rows() {
-        tick(gov, "hash_join")?;
-        let key = Key::from_values(&project_row(prow, probe_keys, outer, gov)?);
-        if key.has_null() {
-            continue;
-        }
-        if let Some(idxs) = table.get(&key) {
-            for &bi in idxs {
-                comparisons += 1;
-                if let Some(g) = gov {
-                    g.emit_rows(1, row_bytes, "hash_join")?;
+    let probe_rows = probe.rows();
+    let probe_workers = par_workers(probe_rows.len(), ctx.threads);
+    if let Some(s) = stats.as_deref_mut() {
+        s.threads_used = s.threads_used.max(build_workers.max(probe_workers) as u64);
+    }
+    let probe_morsel = |range: Range<usize>| -> Result<(Vec<Row>, u64)> {
+        let mut comparisons = 0u64;
+        let mut out = Vec::new();
+        for prow in &probe_rows[range] {
+            tick(gov, "hash_join")?;
+            let key = Key::from_values(&project_row(prow, probe_keys, outer, gov)?);
+            if key.has_null() {
+                continue;
+            }
+            if let Some(idxs) = table.get(&key) {
+                for &bi in idxs {
+                    comparisons += 1;
+                    if let Some(g) = gov {
+                        g.emit_rows(1, row_bytes, "hash_join")?;
+                    }
+                    let mut combined = Vec::with_capacity(build_rows[bi].len() + prow.len());
+                    combined.extend(build_rows[bi].iter().cloned());
+                    combined.extend(prow.iter().cloned());
+                    out.push(combined);
                 }
-                let mut combined = Vec::with_capacity(build_rows[bi].len() + prow.len());
-                combined.extend(build_rows[bi].iter().cloned());
-                combined.extend(prow.iter().cloned());
-                out.push(combined);
             }
         }
-    }
+        Ok((out, comparisons))
+    };
+    let (out, comparisons) = if probe_workers == 1 {
+        probe_morsel(0..probe_rows.len())?
+    } else {
+        let chunks = parallel_morsels(probe_rows.len(), probe_workers, |_, range| {
+            probe_morsel(range)
+        })?;
+        let comparisons = chunks.iter().map(|(_, c)| c).sum();
+        (
+            concat_rows(chunks.into_iter().map(|(rows, _)| rows).collect()),
+            comparisons,
+        )
+    };
     if let Some(s) = stats {
         s.comparisons += comparisons;
     }
@@ -650,6 +1198,9 @@ fn exec_hash_join_inner_swapped(
     })
 }
 
+/// Nested-loop join. The outer (left) loop is morsel-parallel: each probe
+/// row's inner scan is independent, and concatenating morsel outputs
+/// reproduces the serial emission order for every join kind.
 #[allow(clippy::too_many_arguments)]
 fn exec_nested_loop_join(
     left: Batch,
@@ -658,60 +1209,88 @@ fn exec_nested_loop_join(
     on: Option<&BoundExpr>,
     schema: &Schema,
     outer: Option<&Env<'_>>,
-    stats: Option<&mut NodeStats>,
-    gov: Option<&Governor>,
+    mut stats: Option<&mut NodeStats>,
+    ctx: ExecCtx<'_>,
 ) -> Result<Rows> {
-    let row_bytes = est_row_bytes(schema.len());
+    let gov = ctx.gov;
+    let row_bytes = est_row_bytes(schema);
     let emit = |n: u64| -> Result<()> {
         match gov {
             Some(g) => g.emit_rows(n, row_bytes, "nested_loop_join"),
             None => Ok(()),
         }
     };
+    let left_rows = left.rows();
+    let right_rows = right.rows();
     let right_width = right.schema().len();
-    let mut comparisons = 0u64;
-    let mut out = Vec::new();
-    for lrow in left.rows() {
-        let mut matched = false;
-        for rrow in right.rows() {
-            tick(gov, "nested_loop_join")?;
-            comparisons += 1;
-            let mut combined = lrow.clone();
-            combined.extend(rrow.iter().cloned());
-            let pass = match on {
-                None => true,
-                Some(cond) => eval_predicate_on_row(cond, &combined, outer, gov)? == Some(true),
-            };
-            if !pass {
-                continue;
+    // Gate on the total pair count (the actual work), but the split
+    // granularity is left-side morsels — a left under one morsel runs
+    // serially regardless of how large the right side is.
+    let pairs = left_rows.len().saturating_mul(right_rows.len());
+    let workers = if ctx.threads <= 1 || pairs < PAR_THRESHOLD {
+        1
+    } else {
+        ctx.threads.min(left_rows.len().div_ceil(MORSEL_ROWS))
+    };
+    let outer_morsel = |range: Range<usize>| -> Result<(Vec<Row>, u64)> {
+        let mut comparisons = 0u64;
+        let mut out = Vec::new();
+        for lrow in &left_rows[range] {
+            let mut matched = false;
+            for rrow in right_rows {
+                tick(gov, "nested_loop_join")?;
+                comparisons += 1;
+                let mut combined = lrow.clone();
+                combined.extend(rrow.iter().cloned());
+                let pass = match on {
+                    None => true,
+                    Some(cond) => eval_predicate_on_row(cond, &combined, outer, gov)? == Some(true),
+                };
+                if !pass {
+                    continue;
+                }
+                matched = true;
+                match kind {
+                    JoinType::Inner | JoinType::LeftOuter => {
+                        emit(1)?;
+                        out.push(combined);
+                    }
+                    JoinType::Semi | JoinType::Anti => break,
+                }
             }
-            matched = true;
             match kind {
-                JoinType::Inner | JoinType::LeftOuter => {
+                JoinType::LeftOuter if !matched => {
                     emit(1)?;
+                    let mut combined = lrow.clone();
+                    combined.extend(std::iter::repeat_n(Value::Null, right_width));
                     out.push(combined);
                 }
-                JoinType::Semi | JoinType::Anti => break,
+                JoinType::Semi if matched => {
+                    emit(1)?;
+                    out.push(lrow.clone());
+                }
+                JoinType::Anti if !matched => {
+                    emit(1)?;
+                    out.push(lrow.clone());
+                }
+                _ => {}
             }
         }
-        match kind {
-            JoinType::LeftOuter if !matched => {
-                emit(1)?;
-                let mut combined = lrow.clone();
-                combined.extend(std::iter::repeat_n(Value::Null, right_width));
-                out.push(combined);
-            }
-            JoinType::Semi if matched => {
-                emit(1)?;
-                out.push(lrow.clone());
-            }
-            JoinType::Anti if !matched => {
-                emit(1)?;
-                out.push(lrow.clone());
-            }
-            _ => {}
-        }
+        Ok((out, comparisons))
+    };
+    if let Some(s) = stats.as_deref_mut() {
+        s.threads_used = s.threads_used.max(workers as u64);
     }
+    let (out, comparisons) = if workers == 1 {
+        outer_morsel(0..left_rows.len())?
+    } else {
+        let chunks = parallel_morsels(left_rows.len(), workers, |_, range| outer_morsel(range))?;
+        let comparisons = chunks.iter().map(|(_, c)| c).sum();
+        (
+            concat_rows(chunks.into_iter().map(|(rows, _)| rows).collect()),
+            comparisons,
+        )
+    };
     if let Some(s) = stats {
         s.build_rows += right.len() as u64;
         s.probe_rows += left.len() as u64;
@@ -827,6 +1406,73 @@ impl Accumulator {
         }
     }
 
+    /// Fold another partial state for the same aggregate spec into `self`
+    /// (morsel-parallel aggregation). NULL-skipping semantics are encoded
+    /// in the partial states already (`seen` flags, `count`s), so merging
+    /// is pure arithmetic; mixed Int/Float SUM partials promote to float
+    /// exactly as the serial accumulator does on its first float input.
+    /// Note float SUM/AVG merges re-associate addition, so results can
+    /// differ from the serial fold in the last ulp.
+    fn merge(&mut self, other: Accumulator) -> Result<()> {
+        match (&mut *self, other) {
+            (Accumulator::Count(a), Accumulator::Count(b)) => {
+                *a += b;
+            }
+            (Accumulator::SumInt { sum, seen }, Accumulator::SumInt { sum: s2, seen: e2 }) => {
+                *sum = sum
+                    .checked_add(s2)
+                    .ok_or_else(|| EngineError::Eval("integer overflow in SUM".into()))?;
+                *seen |= e2;
+            }
+            (Accumulator::SumInt { sum, seen }, Accumulator::SumFloat { sum: f, seen: e2 }) => {
+                *self = Accumulator::SumFloat {
+                    sum: *sum as f64 + f,
+                    seen: *seen || e2,
+                };
+            }
+            (Accumulator::SumFloat { sum, seen }, Accumulator::SumInt { sum: i, seen: e2 }) => {
+                *sum += i as f64;
+                *seen |= e2;
+            }
+            (Accumulator::SumFloat { sum, seen }, Accumulator::SumFloat { sum: f, seen: e2 }) => {
+                *sum += f;
+                *seen |= e2;
+            }
+            (Accumulator::MinMax { best, is_min }, Accumulator::MinMax { best: b2, .. }) => {
+                if let Some(v) = b2 {
+                    let replace = match best {
+                        None => true,
+                        Some(cur) => {
+                            let ord = v.sql_cmp(cur)?.ok_or_else(|| {
+                                EngineError::TypeError("incomparable values in MIN/MAX".into())
+                            })?;
+                            if *is_min {
+                                ord.is_lt()
+                            } else {
+                                ord.is_gt()
+                            }
+                        }
+                    };
+                    if replace {
+                        *best = Some(v);
+                    }
+                }
+            }
+            (Accumulator::Avg { sum, count }, Accumulator::Avg { sum: s2, count: c2 }) => {
+                *sum += s2;
+                *count += c2;
+            }
+            // Partials for one spec always share a variant family; reaching
+            // here is an executor bug, reported as an error, never a panic.
+            _ => {
+                return Err(EngineError::Execution(
+                    "mismatched accumulator variants in parallel merge".into(),
+                ))
+            }
+        }
+        Ok(())
+    }
+
     fn finish(self) -> Value {
         match self {
             Accumulator::Count(n) => Value::Int(n),
@@ -910,16 +1556,31 @@ fn exec_aggregate(
     aggs: &[AggSpec],
     schema: &Schema,
     outer: Option<&Env<'_>>,
-    stats: Option<&mut NodeStats>,
-    gov: Option<&Governor>,
+    mut stats: Option<&mut NodeStats>,
+    ctx: ExecCtx<'_>,
 ) -> Result<Rows> {
+    let gov = ctx.gov;
+    let workers = par_workers(input.len(), ctx.threads);
+    if let Some(s) = stats.as_deref_mut() {
+        s.threads_used = s.threads_used.max(workers as u64);
+    }
+    if workers > 1 {
+        return exec_aggregate_parallel(
+            input,
+            group_exprs,
+            aggs,
+            schema,
+            outer,
+            stats,
+            ctx,
+            workers,
+        );
+    }
     let mut groups: HashMap<Key, (Row, GroupState)> = HashMap::new();
     // Preserve first-seen group order for deterministic output.
     let mut order: Vec<Key> = Vec::new();
     // Group table footprint: per-group key, group values, accumulators.
-    let per_group = mem::size_of::<Key>()
-        + mem::size_of::<(Row, GroupState)>()
-        + aggs.len() * mem::size_of::<Accumulator>();
+    let per_group = group_footprint(aggs);
     // Reserve memory as the group table grows, so a high-cardinality GROUP
     // BY trips the budget while building rather than after.
     let mut reserved_cap = 0usize;
@@ -956,12 +1617,9 @@ fn exec_aggregate(
     // A global aggregate (no GROUP BY) over zero rows yields one row of
     // "empty" aggregate values.
     if group_exprs.is_empty() && groups.is_empty() {
-        let state = GroupState::new(aggs);
-        let mut row = Vec::new();
-        row.extend(state.accs.into_iter().map(Accumulator::finish));
         return Ok(Rows {
             schema: schema.clone(),
-            rows: vec![row],
+            rows: vec![empty_aggregate_row(aggs)],
         });
     }
 
@@ -980,44 +1638,359 @@ fn exec_aggregate(
     })
 }
 
+/// Group table footprint: per-group key, group values, accumulators.
+fn group_footprint(aggs: &[AggSpec]) -> usize {
+    mem::size_of::<Key>()
+        + mem::size_of::<(Row, GroupState)>()
+        + aggs.len() * mem::size_of::<Accumulator>()
+}
+
+/// The one output row of a global aggregate over zero input rows.
+fn empty_aggregate_row(aggs: &[AggSpec]) -> Row {
+    GroupState::new(aggs)
+        .accs
+        .into_iter()
+        .map(Accumulator::finish)
+        .collect()
+}
+
+/// One group's partial state on one worker.
+struct PartialGroup {
+    /// Global index of the first input row seen for this group — the merge
+    /// key for both output ordering (serial first-seen order) and picking
+    /// the representative group values.
+    first_idx: usize,
+    group_vals: Row,
+    accs: Vec<Accumulator>,
+    /// For DISTINCT aggregates: distinct input value -> (global index of
+    /// its first occurrence, that first value). The accumulator for such a
+    /// spec stays untouched until [`finish_partial_group`] replays the
+    /// merged distinct values in first-occurrence order — reproducing the
+    /// serial fold exactly (including which of `2` / `2.0` survives).
+    distinct: Vec<Option<HashMap<KeyValue, (usize, Value)>>>,
+}
+
+impl PartialGroup {
+    fn new(first_idx: usize, group_vals: Row, aggs: &[AggSpec]) -> PartialGroup {
+        PartialGroup {
+            first_idx,
+            group_vals,
+            accs: aggs.iter().map(|a| Accumulator::new(a.func)).collect(),
+            distinct: aggs
+                .iter()
+                .map(|a| {
+                    if a.distinct {
+                        Some(HashMap::new())
+                    } else {
+                        None
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    fn update(
+        &mut self,
+        aggs: &[AggSpec],
+        row: &[Value],
+        row_idx: usize,
+        outer: Option<&Env<'_>>,
+        gov: Option<&Governor>,
+    ) -> Result<()> {
+        for (i, spec) in aggs.iter().enumerate() {
+            match &spec.arg {
+                None => self.accs[i].count_row(),
+                Some(arg) => {
+                    let v = eval_on_row(arg, row, outer, gov)?;
+                    if let Some(seen) = &mut self.distinct[i] {
+                        if !v.is_null() {
+                            // First occurrence wins; a worker's row indexes
+                            // are increasing, so entry() keeps the earliest.
+                            seen.entry(KeyValue::from(&v)).or_insert((row_idx, v));
+                        }
+                    } else {
+                        self.accs[i].update(&v)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Fold `other` (same group, another worker) into `self`.
+    fn merge(&mut self, other: PartialGroup) -> Result<()> {
+        if other.first_idx < self.first_idx {
+            self.first_idx = other.first_idx;
+            self.group_vals = other.group_vals;
+        }
+        for (acc, o) in self.accs.iter_mut().zip(other.accs) {
+            acc.merge(o)?;
+        }
+        for (mine, theirs) in self.distinct.iter_mut().zip(other.distinct) {
+            if let (Some(m), Some(t)) = (mine, theirs) {
+                for (kv, (idx, v)) in t {
+                    match m.entry(kv) {
+                        Entry::Occupied(mut e) => {
+                            if idx < e.get().0 {
+                                e.insert((idx, v));
+                            }
+                        }
+                        Entry::Vacant(e) => {
+                            e.insert((idx, v));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Finish a merged group: replay DISTINCT values in global first-seen
+/// order into their accumulators, then finalize all of them.
+fn finish_partial_group(mut pg: PartialGroup) -> Result<Row> {
+    for (i, seen) in pg.distinct.iter_mut().enumerate() {
+        if let Some(seen) = seen.take() {
+            let mut vals: Vec<(usize, Value)> = seen.into_values().collect();
+            vals.sort_unstable_by_key(|(idx, _)| *idx);
+            for (_, v) in vals {
+                pg.accs[i].update(&v)?;
+            }
+        }
+    }
+    let mut row = pg.group_vals;
+    row.extend(pg.accs.into_iter().map(Accumulator::finish));
+    Ok(row)
+}
+
+/// Morsel-parallel aggregation: each worker folds the morsels it claims
+/// into a private partial group table; the coordinator merges the partial
+/// tables ([`Accumulator::merge`]) and emits groups ordered by global
+/// first-seen row index — the exact group order of the serial path.
+#[allow(clippy::too_many_arguments)]
+fn exec_aggregate_parallel(
+    input: Batch,
+    group_exprs: &[BoundExpr],
+    aggs: &[AggSpec],
+    schema: &Schema,
+    outer: Option<&Env<'_>>,
+    stats: Option<&mut NodeStats>,
+    ctx: ExecCtx<'_>,
+    workers: usize,
+) -> Result<Rows> {
+    let gov = ctx.gov;
+    let rows = input.rows();
+    let per_group = group_footprint(aggs);
+
+    struct WorkerTable {
+        groups: HashMap<Key, PartialGroup>,
+        reserved_cap: usize,
+    }
+    let tables = parallel_fold(
+        rows.len(),
+        workers,
+        || WorkerTable {
+            groups: HashMap::new(),
+            reserved_cap: 0,
+        },
+        |acc, range| {
+            for idx in range {
+                tick(gov, "aggregate")?;
+                let row = &rows[idx];
+                let group_vals = project_row(row, group_exprs, outer, gov)?;
+                let key = Key::from_values(&group_vals);
+                match acc.groups.entry(key) {
+                    Entry::Occupied(mut e) => {
+                        e.get_mut().update(aggs, row, idx, outer, gov)?;
+                    }
+                    Entry::Vacant(e) => {
+                        let pg = e.insert(PartialGroup::new(idx, group_vals, aggs));
+                        pg.update(aggs, row, idx, outer, gov)?;
+                    }
+                }
+                if acc.groups.capacity() > acc.reserved_cap {
+                    if let Some(g) = gov {
+                        g.reserve_mem(
+                            ((acc.groups.capacity() - acc.reserved_cap) * per_group) as u64,
+                            "aggregate",
+                        )?;
+                    }
+                    acc.reserved_cap = acc.groups.capacity();
+                }
+            }
+            Ok(())
+        },
+    )?;
+
+    let est_mem: u64 = tables
+        .iter()
+        .map(|t| (t.groups.capacity() * per_group) as u64)
+        .sum();
+    if let Some(s) = stats {
+        s.build_rows += rows.len() as u64;
+        s.est_mem_bytes += est_mem;
+    }
+
+    // Merge worker tables; first-seen indexes make the merge order
+    // irrelevant.
+    let mut merged: HashMap<Key, PartialGroup> = HashMap::new();
+    for table in tables {
+        for (key, pg) in table.groups {
+            match merged.entry(key) {
+                Entry::Occupied(mut e) => e.get_mut().merge(pg)?,
+                Entry::Vacant(e) => {
+                    e.insert(pg);
+                }
+            }
+        }
+    }
+
+    if group_exprs.is_empty() && merged.is_empty() {
+        return Ok(Rows {
+            schema: schema.clone(),
+            rows: vec![empty_aggregate_row(aggs)],
+        });
+    }
+
+    let mut groups: Vec<PartialGroup> = merged.into_values().collect();
+    groups.sort_unstable_by_key(|pg| pg.first_idx);
+    let mut out = Vec::with_capacity(groups.len());
+    for pg in groups {
+        out.push(finish_partial_group(pg)?);
+    }
+    Ok(Rows {
+        schema: schema.clone(),
+        rows: out,
+    })
+}
+
+/// ORDER BY key comparison: NULLs sort last regardless of direction,
+/// otherwise [`Value::total_cmp`] per key, descending keys reversed.
+fn cmp_key_vecs(a: &[Value], b: &[Value], keys: &[(BoundExpr, bool)]) -> std::cmp::Ordering {
+    for (i, (_, desc)) in keys.iter().enumerate() {
+        let ord = match (a[i].is_null(), b[i].is_null()) {
+            (true, true) => std::cmp::Ordering::Equal,
+            (true, false) => std::cmp::Ordering::Greater,
+            (false, true) => std::cmp::Ordering::Less,
+            (false, false) => {
+                let ord = a[i].total_cmp(&b[i]);
+                if *desc {
+                    ord.reverse()
+                } else {
+                    ord
+                }
+            }
+        };
+        if !ord.is_eq() {
+            return ord;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// Sort rows by the ORDER BY keys. Keys are evaluated once per row
+/// up front (decorate–sort–undecorate), so the comparator never re-runs
+/// key expressions.
+///
+/// With `workers > 1` the decoration is morsel-parallel and the sort runs
+/// as per-worker `sort_unstable_by` over contiguous runs followed by a
+/// k-way merge. The comparator is extended with the original row index as
+/// the final tie-break, which makes the unstable per-run sorts and the
+/// merge reproduce the serial *stable* sort bit for bit.
 fn exec_sort(
     mut input: Rows,
     keys: &[(BoundExpr, bool)],
     outer: Option<&Env<'_>>,
     gov: Option<&Governor>,
+    workers: usize,
 ) -> Result<Rows> {
-    // Precompute sort keys once per row.
-    let mut decorated: Vec<(Vec<Value>, Row)> = Vec::with_capacity(input.rows.len());
-    for row in input.rows.drain(..) {
-        tick(gov, "sort")?;
-        let mut kv = Vec::with_capacity(keys.len());
-        for (expr, _) in keys {
-            kv.push(eval_on_row(expr, &row, outer, gov)?);
+    if workers == 1 {
+        let mut decorated: Vec<(Vec<Value>, Row)> = Vec::with_capacity(input.rows.len());
+        for row in input.rows.drain(..) {
+            tick(gov, "sort")?;
+            let mut kv = Vec::with_capacity(keys.len());
+            for (expr, _) in keys {
+                kv.push(eval_on_row(expr, &row, outer, gov)?);
+            }
+            decorated.push((kv, row));
         }
-        decorated.push((kv, row));
+        decorated.sort_by(|(a, _), (b, _)| cmp_key_vecs(a, b, keys));
+        input.rows = decorated.into_iter().map(|(_, r)| r).collect();
+        return Ok(input);
     }
-    decorated.sort_by(|(a, _), (b, _)| {
-        for (i, (_, desc)) in keys.iter().enumerate() {
-            // NULLs sort last regardless of direction.
-            let ord = match (a[i].is_null(), b[i].is_null()) {
-                (true, true) => std::cmp::Ordering::Equal,
-                (true, false) => std::cmp::Ordering::Greater,
-                (false, true) => std::cmp::Ordering::Less,
-                (false, false) => {
-                    let ord = a[i].total_cmp(&b[i]);
-                    if *desc {
-                        ord.reverse()
+
+    // Evaluate the key vectors in parallel, then decorate each row with
+    // (keys, original index) — the index doubles as the stability
+    // tie-break below.
+    let rows = mem::take(&mut input.rows);
+    let chunks = parallel_morsels(rows.len(), workers, |_, range| {
+        let mut out = Vec::with_capacity(range.len());
+        for idx in range {
+            tick(gov, "sort")?;
+            let mut kv = Vec::with_capacity(keys.len());
+            for (expr, _) in keys {
+                kv.push(eval_on_row(expr, &rows[idx], outer, gov)?);
+            }
+            out.push(kv);
+        }
+        Ok(out)
+    })?;
+    type Decorated = (Vec<Value>, usize, Row);
+    let decorated: Vec<Decorated> = chunks
+        .into_iter()
+        .flatten()
+        .zip(rows)
+        .enumerate()
+        .map(|(idx, (kv, row))| (kv, idx, row))
+        .collect();
+
+    // Split into contiguous runs and sort each on its own thread. The
+    // (keys, index) comparator is a total order, so unstable sorting is
+    // deterministic.
+    let run_len = decorated.len().div_ceil(workers).max(1);
+    let mut runs: Vec<Vec<Decorated>> = Vec::with_capacity(workers);
+    let mut rest = decorated;
+    while rest.len() > run_len {
+        let tail = rest.split_off(run_len);
+        runs.push(rest);
+        rest = tail;
+    }
+    if !rest.is_empty() {
+        runs.push(rest);
+    }
+    let mut sorted_runs: Vec<Vec<Decorated>> = parallel_tasks(runs, |_, mut run| {
+        run.sort_unstable_by(|(a, ai, _), (b, bi, _)| cmp_key_vecs(a, b, keys).then(ai.cmp(bi)));
+        Ok(run)
+    })?;
+
+    // K-way merge via iterated pairwise merges (k is small: <= workers).
+    while sorted_runs.len() > 1 {
+        let b = sorted_runs.pop().unwrap_or_default();
+        let a = sorted_runs.pop().unwrap_or_default();
+        let mut merged = Vec::with_capacity(a.len() + b.len());
+        let (mut ia, mut ib) = (a.into_iter().peekable(), b.into_iter().peekable());
+        loop {
+            match (ia.peek(), ib.peek()) {
+                (Some((ka, na, _)), Some((kb, nb, _))) => {
+                    let take_a = cmp_key_vecs(ka, kb, keys).then(na.cmp(nb)).is_le();
+                    if take_a {
+                        merged.extend(ia.next());
                     } else {
-                        ord
+                        merged.extend(ib.next());
                     }
                 }
-            };
-            if !ord.is_eq() {
-                return ord;
+                (Some(_), None) => merged.extend(ia.by_ref()),
+                (None, Some(_)) => merged.extend(ib.by_ref()),
+                (None, None) => break,
             }
         }
-        std::cmp::Ordering::Equal
-    });
-    input.rows = decorated.into_iter().map(|(_, r)| r).collect();
+        sorted_runs.push(merged);
+    }
+    input.rows = sorted_runs
+        .pop()
+        .unwrap_or_default()
+        .into_iter()
+        .map(|(_, _, r)| r)
+        .collect();
     Ok(input)
 }

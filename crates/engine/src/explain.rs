@@ -54,6 +54,9 @@ fn walk(plan: &Plan, stats: Option<&NodeStats>, depth: usize, out: &mut String) 
         if s.est_mem_bytes > 0 {
             out.push_str(&format!(" mem~{}", human_bytes(s.est_mem_bytes)));
         }
+        if s.threads_used > 1 {
+            out.push_str(&format!(" threads={}", s.threads_used));
+        }
         out.push(')');
     }
     out.push('\n');
@@ -163,6 +166,9 @@ pub fn stats_json(plan: &Plan, stats: &NodeStats) -> Json {
     }
     if stats.est_mem_bytes > 0 {
         obj.push("est_mem_bytes", Json::UInt(stats.est_mem_bytes));
+    }
+    if stats.threads_used > 1 {
+        obj.push("threads", Json::UInt(stats.threads_used));
     }
     let children: Vec<Json> = plan
         .children()

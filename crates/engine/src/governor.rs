@@ -22,6 +22,16 @@
 //!   memory counters; the budget is a cumulative allocation estimate, not a
 //!   peak-RSS measurement.
 //!
+//! All counters are relaxed atomics and the governor is consulted by
+//! shared reference, so one `Governor` is safely shared by every worker of
+//! a morsel-parallel operator: workers `tick` and `emit_rows` concurrently
+//! against the same budget, the first worker whose check trips returns the
+//! structured error, and the executor's shared abort flag stops the
+//! remaining workers at their next morsel boundary. Budgets are therefore
+//! *global* across workers (a query does not get `N×` the memory budget at
+//! `N` threads); the only thread-count sensitivity is which worker happens
+//! to observe the trip first, never whether a trip occurs.
+//!
 //! A trip unwinds as one of the structured
 //! [`EngineError::{Timeout, MemoryExceeded, RowLimitExceeded, Cancelled}`](crate::error::EngineError)
 //! variants carrying a [`LimitTrip`] snapshot (operator, elapsed time, rows
@@ -371,6 +381,68 @@ mod tests {
             gov.check_now("scan"),
             Err(EngineError::Cancelled(_))
         ));
+    }
+
+    #[test]
+    fn concurrent_accounting_is_exact_and_trips_once_tripped() {
+        // Eight threads hammer the same governor; the total must be the
+        // exact sum of their contributions (no lost updates) and every
+        // thread must observe the row budget as tripped once it is.
+        let gov = Governor::new(ResourceLimits::default().with_max_rows(100_000), None);
+        let errors: Vec<usize> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut errs = 0;
+                        for _ in 0..20_000 {
+                            let _ = gov.tick("agg");
+                            if gov.add_rows(1, "agg").is_err() {
+                                errs += 1;
+                            }
+                        }
+                        errs
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // 160k rows accounted against a 100k budget: every row is counted
+        // exactly once, so exactly 60k of the add_rows calls failed.
+        assert_eq!(gov.rows(), 160_000);
+        assert_eq!(errors.iter().sum::<usize>(), 60_000);
+        // Once over budget the governor stays tripped for everyone.
+        assert!(matches!(
+            gov.add_rows(1, "agg"),
+            Err(EngineError::RowLimitExceeded(_))
+        ));
+    }
+
+    #[test]
+    fn concurrent_cancellation_reaches_all_workers() {
+        let token = CancellationToken::new();
+        let gov = Governor::new(ResourceLimits::default(), Some(token.clone()));
+        let start = std::sync::Barrier::new(5);
+        let cancelled_everywhere = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    scope.spawn(|| {
+                        start.wait();
+                        // Spin until the cooperative check observes the
+                        // token; CHECK_EVERY bounds the latency in ticks.
+                        for _ in 0..1_000_000 {
+                            if gov.tick("scan").is_err() {
+                                return true;
+                            }
+                        }
+                        false
+                    })
+                })
+                .collect();
+            token.cancel();
+            start.wait();
+            handles.into_iter().all(|h| h.join().unwrap())
+        });
+        assert!(cancelled_everywhere);
     }
 
     #[test]

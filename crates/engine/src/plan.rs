@@ -46,6 +46,12 @@ pub struct ExecOptions {
     /// thread, and the running query unwinds with
     /// [`EngineError::Cancelled`](crate::EngineError).
     pub cancellation: Option<CancellationToken>,
+    /// Worker threads for morsel-parallel execution. `1` is the serial
+    /// path (the oracle the differential tests compare against); the
+    /// default is [`std::thread::available_parallelism`], overridable via
+    /// the `CONQUER_THREADS` environment variable (which lets CI run the
+    /// whole test suite at a fixed thread count).
+    pub threads: usize,
 }
 
 impl Default for ExecOptions {
@@ -56,8 +62,22 @@ impl Default for ExecOptions {
             pushdown_filters: true,
             limits: ResourceLimits::default(),
             cancellation: None,
+            threads: default_threads(),
         }
     }
+}
+
+/// Default worker-thread count: `CONQUER_THREADS` when set, otherwise the
+/// machine's available parallelism (1 when that cannot be determined).
+fn default_threads() -> usize {
+    if let Ok(raw) = std::env::var("CONQUER_THREADS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
 }
 
 impl ExecOptions {
@@ -70,6 +90,12 @@ impl ExecOptions {
     /// Builder-style cancellation token.
     pub fn with_cancellation(mut self, token: CancellationToken) -> ExecOptions {
         self.cancellation = Some(token);
+        self
+    }
+
+    /// Builder-style worker-thread count (clamped to at least 1).
+    pub fn with_threads(mut self, threads: usize) -> ExecOptions {
+        self.threads = threads.max(1);
         self
     }
 }
@@ -742,7 +768,7 @@ impl<'a> Planner<'a> {
             if self.options.pushdown_filters {
                 plan = crate::opt::optimize(plan);
             }
-            let rows = exec::execute_governed(&plan, None, self.gov)?;
+            let rows = exec::execute_governed_threads(&plan, None, self.gov, self.options.threads)?;
             if let Some(gov) = self.gov {
                 gov.reserve_mem(exec::rows_bytes(&rows), "cte.materialize")?;
             }

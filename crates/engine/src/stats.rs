@@ -35,6 +35,11 @@ pub struct NodeStats {
     /// Rough in-memory footprint of operator state (hash table / group
     /// table), in bytes. An estimate, not an allocator measurement.
     pub est_mem_bytes: u64,
+    /// Widest morsel-parallel fan-out any invocation of this operator ran
+    /// with. `0` or `1` means the operator only ever ran serially.
+    /// Per-worker counters are summed into this node, so the tree keeps
+    /// the serial shape at any thread count.
+    pub threads_used: u64,
     /// Stats of the operator's inputs, in plan order.
     pub children: Vec<NodeStats>,
 }

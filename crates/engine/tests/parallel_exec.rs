@@ -1,0 +1,323 @@
+//! Morsel-parallel execution vs the serial oracle.
+//!
+//! Every test runs the same query at `threads = 1` (the unchanged serial
+//! path) and at `threads ∈ {2, 8}`, asserting the parallel executor
+//! reproduces the serial result *exactly* — including row order, which the
+//! executor reconstructs from morsel order even where SQL leaves it free.
+//! The one documented exception is floating-point SUM/AVG, where the
+//! parallel merge re-associates addition; those use a relative tolerance.
+//!
+//! Tables are sized past the executor's parallel threshold (4 × 1024-row
+//! morsels) so the parallel code paths actually engage.
+
+use conquer_engine::{
+    CancellationToken, DataType, Database, EngineError, ExecOptions, ResourceLimits, Rows, Table,
+    Value,
+};
+
+/// Deterministic LCG so the fixture is identical across runs and platforms.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+/// `t(k, v, s, f)` with `n` rows: `k` near-unique, `v` low-cardinality
+/// (many groups with many rows each), `s` a 7-way skewed text column with
+/// ties for sort-stability checks, `f` a float. Plus `u(k, w)` with `n/8`
+/// rows sharing `k`'s domain so joins hit and miss.
+fn fixture(n: usize) -> Database {
+    let db = Database::new();
+    let mut rng = Lcg(0xC0FFEE);
+    let mut t = Table::new(
+        "t",
+        vec![
+            ("k", DataType::Integer),
+            ("v", DataType::Integer),
+            ("s", DataType::Text),
+            ("f", DataType::Float),
+        ],
+    );
+    for i in 0..n {
+        let r = rng.next();
+        let s = match r % 7 {
+            0 => "alpha",
+            1 => "bravo",
+            2 => "charlie",
+            3 => "delta",
+            4 => "echo",
+            5 => "", // empty string ties with itself a lot
+            _ => "golf",
+        };
+        let v = (r % 97) as i64;
+        let row = vec![
+            Value::Int(i as i64),
+            if r.is_multiple_of(31) {
+                Value::Null
+            } else {
+                Value::Int(v)
+            },
+            Value::str(s),
+            Value::Float((r % 1000) as f64 / 8.0 - 60.0),
+        ];
+        t.push(row).unwrap();
+    }
+    db.register(t);
+    let mut u = Table::new(
+        "u",
+        vec![("k", DataType::Integer), ("w", DataType::Integer)],
+    );
+    for _ in 0..n / 8 {
+        let r = rng.next();
+        u.push(vec![
+            Value::Int((r % (2 * n as u64)) as i64),
+            Value::Int((r % 13) as i64),
+        ])
+        .unwrap();
+    }
+    db.register(u);
+    db
+}
+
+fn run_at(db: &Database, sql: &str, threads: usize) -> Rows {
+    db.query_with(sql, &ExecOptions::default().with_threads(threads))
+        .unwrap_or_else(|e| panic!("query failed at threads={threads}: {e}\n{sql}"))
+}
+
+/// Assert the query's output is bit-identical at 1, 2, and 8 threads.
+fn assert_thread_invariant(db: &Database, sql: &str) {
+    let serial = run_at(db, sql, 1);
+    for threads in [2, 8] {
+        let parallel = run_at(db, sql, threads);
+        assert_eq!(
+            serial.rows, parallel.rows,
+            "threads={threads} diverged from serial on: {sql}"
+        );
+    }
+}
+
+/// Like [`assert_thread_invariant`] but floats compare within relative
+/// tolerance (parallel SUM/AVG re-associates addition).
+fn assert_thread_invariant_approx(db: &Database, sql: &str) {
+    let serial = run_at(db, sql, 1);
+    for threads in [2, 8] {
+        let parallel = run_at(db, sql, threads);
+        assert_eq!(serial.rows.len(), parallel.rows.len(), "row count: {sql}");
+        for (a, b) in serial.rows.iter().zip(&parallel.rows) {
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b) {
+                match (x, y) {
+                    (Value::Float(x), Value::Float(y)) => {
+                        let scale = x.abs().max(y.abs()).max(1.0);
+                        assert!(
+                            (x - y).abs() <= 1e-9 * scale,
+                            "float diverged: {x} vs {y} at threads={threads} on: {sql}"
+                        );
+                    }
+                    _ => assert_eq!(x, y, "threads={threads} diverged on: {sql}"),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn filter_and_project_preserve_order() {
+    let db = fixture(12_000);
+    assert_thread_invariant(&db, "select t.k, t.v from t where t.v > 40");
+    assert_thread_invariant(&db, "select t.k from t where t.s = 'delta'");
+}
+
+#[test]
+fn inner_join_matches_serial() {
+    let db = fixture(12_000);
+    assert_thread_invariant(&db, "select t.k, t.v, u.w from t, u where t.k = u.k");
+}
+
+#[test]
+fn join_with_residual_matches_serial() {
+    let db = fixture(12_000);
+    assert_thread_invariant(
+        &db,
+        "select t.k, u.w from t, u where t.k = u.k and t.v > u.w",
+    );
+}
+
+#[test]
+fn semi_and_anti_joins_match_serial() {
+    let db = fixture(12_000);
+    assert_thread_invariant(
+        &db,
+        "select t.k from t where exists (select u.k from u where u.k = t.k)",
+    );
+    assert_thread_invariant(
+        &db,
+        "select t.k from t where not exists (select u.k from u where u.k = t.k)",
+    );
+}
+
+#[test]
+fn aggregation_matches_serial_including_group_order() {
+    let db = fixture(12_000);
+    // Integer aggregates are exact; group rows must come out in serial
+    // first-seen order.
+    assert_thread_invariant(
+        &db,
+        "select t.v, count(*), sum(t.k), min(t.k), max(t.k) from t group by t.v",
+    );
+    // Global aggregate (no GROUP BY) over an input that fans out.
+    assert_thread_invariant(&db, "select count(*), sum(t.k) from t");
+}
+
+#[test]
+fn distinct_aggregates_match_serial() {
+    let db = fixture(12_000);
+    assert_thread_invariant(
+        &db,
+        "select t.v, count(distinct t.s), min(t.s) from t group by t.v",
+    );
+}
+
+#[test]
+fn float_aggregates_match_within_ulp_tolerance() {
+    let db = fixture(12_000);
+    assert_thread_invariant_approx(&db, "select t.v, sum(t.f), avg(t.f) from t group by t.v");
+}
+
+#[test]
+fn distinct_preserves_first_occurrence_order() {
+    let db = fixture(12_000);
+    assert_thread_invariant(&db, "select distinct t.v from t");
+    assert_thread_invariant(&db, "select distinct t.s, t.v from t");
+}
+
+#[test]
+fn sort_preserves_stable_tie_order() {
+    let db = fixture(12_000);
+    // `s` has only 7 distinct values over 12k rows: massive tie runs. The
+    // parallel sort must reproduce the serial stable sort exactly.
+    assert_thread_invariant(&db, "select t.s, t.k from t order by t.s");
+    assert_thread_invariant(&db, "select t.s, t.v, t.k from t order by t.s, t.v desc");
+    assert_thread_invariant(&db, "select t.v, t.k from t order by t.v desc limit 100");
+}
+
+#[test]
+fn order_by_with_nulls_matches_serial() {
+    let db = fixture(12_000);
+    // `v` is NULL for ~1/31 of rows; NULLs sort last in both paths.
+    assert_thread_invariant(&db, "select t.v, t.k from t order by t.v");
+}
+
+#[test]
+fn union_all_feeding_parallel_operators_matches_serial() {
+    let db = fixture(8_000);
+    assert_thread_invariant(
+        &db,
+        "select t.v from t union all select u.w from u order by 1",
+    );
+}
+
+#[test]
+fn row_limit_trips_identically_at_any_thread_count() {
+    let db = fixture(12_000);
+    let sql = "select t.k, u.w from t, u where t.k = u.k";
+    for threads in [1, 2, 8] {
+        let options = ExecOptions {
+            limits: ResourceLimits::default().with_max_rows(500),
+            ..ExecOptions::default()
+        }
+        .with_threads(threads);
+        let err = db.query_with(sql, &options).unwrap_err();
+        assert!(
+            matches!(err, EngineError::RowLimitExceeded(_)),
+            "threads={threads}: expected RowLimitExceeded, got {err:?}"
+        );
+    }
+    // The database stays fully usable after governed parallel failures.
+    assert_eq!(run_at(&db, "select count(*) from u", 8).rows.len(), 1);
+}
+
+#[test]
+fn memory_limit_trips_identically_at_any_thread_count() {
+    let db = fixture(12_000);
+    let sql = "select t.v, count(distinct t.s) from t group by t.v";
+    for threads in [1, 2, 8] {
+        let options = ExecOptions {
+            limits: ResourceLimits::default().with_max_memory_bytes(2_000),
+            ..ExecOptions::default()
+        }
+        .with_threads(threads);
+        let err = db.query_with(sql, &options).unwrap_err();
+        assert!(
+            matches!(err, EngineError::MemoryExceeded(_)),
+            "threads={threads}: expected MemoryExceeded, got {err:?}"
+        );
+    }
+}
+
+#[test]
+fn pre_cancelled_token_stops_parallel_execution() {
+    let db = fixture(12_000);
+    let token = CancellationToken::new();
+    token.cancel();
+    let options = ExecOptions {
+        cancellation: Some(token),
+        ..ExecOptions::default()
+    }
+    .with_threads(8);
+    let err = db
+        .query_with("select t.v, count(*) from t group by t.v", &options)
+        .unwrap_err();
+    assert!(matches!(err, EngineError::Cancelled(_)), "got {err:?}");
+}
+
+#[test]
+fn explain_analyze_reports_thread_fanout() {
+    let db = fixture(12_000);
+    let (rows, text) = db
+        .explain_analyze_with(
+            "select t.v, count(*) from t where t.k >= 0 group by t.v order by t.v",
+            &ExecOptions::default().with_threads(4),
+        )
+        .unwrap();
+    assert!(!rows.rows.is_empty());
+    assert!(
+        text.contains("threads="),
+        "EXPLAIN ANALYZE missing thread fan-out:\n{text}"
+    );
+    // The serial run never reports a thread count.
+    let (_, serial_text) = db
+        .explain_analyze_with(
+            "select t.v, count(*) from t where t.k >= 0 group by t.v order by t.v",
+            &ExecOptions::default().with_threads(1),
+        )
+        .unwrap();
+    assert!(
+        !serial_text.contains("threads="),
+        "serial EXPLAIN ANALYZE should not report threads:\n{serial_text}"
+    );
+}
+
+#[test]
+fn small_inputs_fall_back_to_serial() {
+    // Below the morsel threshold the parallel executor must not spawn; we
+    // can't observe threads directly, but EXPLAIN ANALYZE exposes fan-out.
+    let db = fixture(512);
+    let (_, text) = db
+        .explain_analyze_with(
+            "select t.v, count(*) from t group by t.v",
+            &ExecOptions::default().with_threads(8),
+        )
+        .unwrap();
+    assert!(
+        !text.contains("threads="),
+        "sub-threshold input should run serially:\n{text}"
+    );
+    assert_thread_invariant(&db, "select t.v, count(*) from t group by t.v");
+}

@@ -1,0 +1,111 @@
+//! Fault injection under morsel-parallel execution
+//! (`--features fault-injection`): an armed fault point must surface the
+//! same structured error at any thread count — no panics, no deadlocks,
+//! no worker leaks — and the database must stay usable afterwards.
+//!
+//! Fault points fire at operator entry on the coordinating thread (the
+//! fault schedule is thread-local by design), so a schedule armed by the
+//! caller behaves identically whether the operator then fans out or not.
+
+#![cfg(feature = "fault-injection")]
+
+use conquer_engine::{faults, DataType, Database, EngineError, ExecOptions, Table, Value};
+
+/// Fault points exercised by `QUERIES` below, on inputs large enough
+/// (≥ 4 × 1024 rows) that the parallel paths actually engage at threads > 1.
+const QUERIES: &[(&str, &str)] = &[
+    ("filter", "select t.x from t where t.x > 10"),
+    ("project", "select t.x + 1 from t"),
+    ("join.build", "select t.x from t join s on t.x = s.y"),
+    ("join.probe", "select t.x from t join s on t.x = s.y"),
+    (
+        "aggregate.group",
+        "select t.g, count(*) from t group by t.g",
+    ),
+    ("distinct", "select distinct t.g from t"),
+    ("sort", "select t.g, t.x from t order by t.g"),
+];
+
+fn fixture() -> Database {
+    let db = Database::new();
+    let mut t = Table::new(
+        "t",
+        vec![("x", DataType::Integer), ("g", DataType::Integer)],
+    );
+    for i in 0..6_000i64 {
+        t.push(vec![Value::Int(i), Value::Int(i % 37)]).unwrap();
+    }
+    db.register(t);
+    let mut s = Table::new("s", vec![("y", DataType::Integer)]);
+    for i in 0..5_000i64 {
+        s.push(vec![Value::Int(i * 3 % 6_000)]).unwrap();
+    }
+    db.register(s);
+    db
+}
+
+fn is_injected(err: &EngineError, point: &str) -> bool {
+    matches!(err, EngineError::Execution(msg) if msg.contains("injected fault")
+        && msg.contains(point))
+}
+
+#[test]
+fn armed_faults_surface_identically_at_any_thread_count() {
+    let db = fixture();
+    for (point, sql) in QUERIES {
+        // Baseline: the query reaches the point and the serial and
+        // parallel runs agree when disarmed.
+        faults::disarm_all();
+        let serial = db
+            .query_with(sql, &ExecOptions::default().with_threads(1))
+            .unwrap_or_else(|e| panic!("{point}: serial baseline failed: {e}"));
+        assert!(faults::hits(point) > 0, "`{sql}` never reaches `{point}`");
+
+        for threads in [1, 2, 8] {
+            let options = ExecOptions::default().with_threads(threads);
+            faults::disarm_all();
+            let ok = db
+                .query_with(sql, &options)
+                .unwrap_or_else(|e| panic!("{point}: threads={threads} baseline failed: {e}"));
+            assert_eq!(ok.rows, serial.rows, "{point}: threads={threads} diverged");
+
+            faults::disarm_all();
+            faults::arm(point, 0);
+            let err = db
+                .query_with(sql, &options)
+                .expect_err(&format!("armed `{point}` at threads={threads} must fail"));
+            assert!(
+                is_injected(&err, point),
+                "`{point}` threads={threads}: expected injected fault, got {err:?}"
+            );
+        }
+
+        // The database answers normally after every storm.
+        faults::disarm_all();
+        assert!(db
+            .query_with(sql, &ExecOptions::default().with_threads(8))
+            .is_ok());
+    }
+}
+
+#[test]
+fn seeded_storm_under_parallelism_never_panics() {
+    let db = fixture();
+    let options = ExecOptions::default().with_threads(8);
+    for round in 0..8u64 {
+        faults::disarm_all();
+        faults::arm_seeded(0xFA57 + round, 3);
+        for (_, sql) in QUERIES {
+            // Err or Ok are both fine; panics and hangs are not.
+            let _ = db.query_with(sql, &options);
+        }
+    }
+    faults::disarm_all();
+    assert_eq!(
+        db.query_with("select count(*) from t", &options)
+            .unwrap()
+            .rows
+            .len(),
+        1
+    );
+}

@@ -19,14 +19,39 @@ fn small_workload(annotate: bool) -> conquer::tpch::Workload {
     })
 }
 
-fn sorted(rows: &conquer::Rows) -> Vec<Vec<String>> {
-    let mut v: Vec<Vec<String>> = rows
-        .rows
-        .iter()
-        .map(|r| r.iter().map(ToString::to_string).collect())
-        .collect();
-    v.sort();
-    v
+/// Compare two result sets as multisets, value by value, with floats at
+/// 1e-9 relative tolerance: two different plans for the same answer may
+/// associate float SUM/AVG differently (morsel-parallel execution makes
+/// this routine — DESIGN.md §8), so last-ulp differences are expected.
+fn assert_agree(left: &conquer::Rows, right: &conquer::Rows, label: &str) {
+    let key = |rows: &conquer::Rows| -> Vec<(Vec<String>, Vec<conquer::Value>)> {
+        let mut v: Vec<_> = rows
+            .rows
+            .iter()
+            .map(|r| {
+                (
+                    r.iter().map(ToString::to_string).collect::<Vec<_>>(),
+                    r.clone(),
+                )
+            })
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    };
+    let (ls, rs) = (key(left), key(right));
+    assert_eq!(ls.len(), rs.len(), "{label}: row counts differ");
+    for ((_, a), (_, b)) in ls.iter().zip(&rs) {
+        assert_eq!(a.len(), b.len(), "{label}: row widths differ");
+        for (x, y) in a.iter().zip(b) {
+            match (x, y) {
+                (conquer::Value::Float(x), conquer::Value::Float(y)) => {
+                    let scale = x.abs().max(y.abs()).max(1.0);
+                    assert!((x - y).abs() <= 1e-9 * scale, "{label}: {x} vs {y}");
+                }
+                _ => assert_eq!(x, y, "{label}: values differ"),
+            }
+        }
+    }
 }
 
 #[test]
@@ -73,7 +98,7 @@ fn annotated_and_plain_rewritings_agree_on_every_query() {
             .unwrap_or_else(|e| panic!("{} plain: {e}", q.name()));
         let annotated = consistent_answers_annotated(&w.db, q.sql, &w.sigma)
             .unwrap_or_else(|e| panic!("{} annotated: {e}", q.name()));
-        assert_eq!(sorted(&plain), sorted(&annotated), "{} disagrees", q.name());
+        assert_agree(&plain, &annotated, &format!("{} disagrees", q.name()));
     }
 }
 
@@ -101,11 +126,10 @@ fn engine_ablations_do_not_change_answers() {
         let reference = w.db.execute_query(&rewritten).unwrap();
         for options in &configs {
             let got = w.db.execute_query_with(&rewritten, options).unwrap();
-            assert_eq!(
-                sorted(&reference),
-                sorted(&got),
-                "{} differs under {options:?}",
-                q.name()
+            assert_agree(
+                &reference,
+                &got,
+                &format!("{} differs under {options:?}", q.name()),
             );
         }
     }
