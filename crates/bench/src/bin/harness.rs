@@ -9,7 +9,8 @@
 //! ```
 //!
 //! Subcommands: `fig10`, `fig11`, `fig12`, `fig13`, `fig14`, `baseline`,
-//! `all`. The optional `--sf <factor>` overrides the base scale factor
+//! `serve`, `all` (`all` runs the six figures; `serve` is explicit-only).
+//! The optional `--sf <factor>` overrides the base scale factor
 //! standing in for the paper's 1 GB database (default 0.05), and
 //! `--runs <n>` the median-of-n timing (default 3). `--json <path>`
 //! redirects the report of a single-figure run (with `all`, each figure
@@ -33,6 +34,16 @@
 //! `serial_us` and `speedup` (= serial / parallel) per strategy cell, so a
 //! report documents what parallelism actually bought on the host that
 //! produced it.
+//!
+//! `serve` drives a `conquer-serve` server with a closed-loop load
+//! generator: `--concurrency <N>` worker connections (default 16) each run
+//! every benchmark query under every available strategy `--rounds <R>`
+//! times (default 3), timing each round trip client-side. With
+//! `--serve-port <P>` it targets an already-running server on loopback;
+//! without it, it spins up an in-process server over the standard
+//! annotated workload. The report (`BENCH_serve.json`) carries per-strategy
+//! p50/p95/p99/mean latency, aggregate throughput, busy-retry counts, and
+//! the post-warmup rewrite/plan-cache hit rate.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
@@ -49,8 +60,8 @@ use conquer_obs::Json;
 /// the sweep and writes every report before exiting nonzero.
 static FAILED: AtomicBool = AtomicBool::new(false);
 
-const COMMANDS: [&str; 7] = [
-    "fig10", "fig11", "fig12", "fig13", "fig14", "baseline", "all",
+const COMMANDS: [&str; 8] = [
+    "fig10", "fig11", "fig12", "fig13", "fig14", "baseline", "serve", "all",
 ];
 
 struct Args {
@@ -62,6 +73,13 @@ struct Args {
     timeout_ms: Option<u64>,
     mem_limit: Option<u64>,
     threads: usize,
+    /// `serve` mode: target an already-running server on this loopback port
+    /// instead of starting one in-process.
+    serve_port: Option<u16>,
+    /// `serve` mode: number of closed-loop worker connections.
+    concurrency: usize,
+    /// `serve` mode: rounds over the full query × strategy grid per worker.
+    rounds: usize,
 }
 
 impl Args {
@@ -102,6 +120,9 @@ fn parse_args() -> Args {
         timeout_ms: None,
         mem_limit: None,
         threads: ExecOptions::default().threads,
+        serve_port: None,
+        concurrency: 16,
+        rounds: 3,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -142,6 +163,27 @@ fn parse_args() -> Args {
                     .filter(|n| *n >= 1)
                     .unwrap_or_else(|| die("--threads requires a positive integer"));
             }
+            "--serve-port" => {
+                args.serve_port = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--serve-port requires a port number")),
+                );
+            }
+            "--concurrency" => {
+                args.concurrency = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|n| *n >= 1)
+                    .unwrap_or_else(|| die("--concurrency requires a positive integer"));
+            }
+            "--rounds" => {
+                args.rounds = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|n| *n >= 1)
+                    .unwrap_or_else(|| die("--rounds requires a positive integer"));
+            }
             "--quiet" => args.quiet = true,
             cmd if !cmd.starts_with('-') => {
                 if !COMMANDS.contains(&cmd) {
@@ -158,9 +200,10 @@ fn parse_args() -> Args {
 fn die(msg: &str) -> ! {
     eprintln!("harness: {msg}");
     eprintln!(
-        "usage: harness [fig10|fig11|fig12|fig13|fig14|baseline|all] \
+        "usage: harness [fig10|fig11|fig12|fig13|fig14|baseline|serve|all] \
          [--sf F] [--runs N] [--json PATH] [--quiet] \
-         [--timeout-ms N] [--mem-limit BYTES] [--threads N]"
+         [--timeout-ms N] [--mem-limit BYTES] [--threads N] \
+         [--serve-port P] [--concurrency N] [--rounds R]"
     );
     std::process::exit(2)
 }
@@ -181,6 +224,7 @@ fn main() {
             "fig13" => fig13(&args),
             "fig14" => fig14(&args),
             "baseline" => baseline(&args),
+            "serve" => serve_cmd(&args),
             _ => unreachable!("command validated in parse_args"),
         };
         report.push("metrics", conquer_obs::registry().snapshot_json());
@@ -531,5 +575,280 @@ fn baseline(args: &Args) -> Json {
     );
     let mut report = report_header("baseline", args);
     report.push("series", Json::Arr(series));
+    report
+}
+
+fn wire_strategy(s: Strategy) -> conquer_serve::Strategy {
+    match s {
+        Strategy::Original => conquer_serve::Strategy::Original,
+        Strategy::Rewritten => conquer_serve::Strategy::Rewritten,
+        Strategy::Annotated => conquer_serve::Strategy::Annotated,
+    }
+}
+
+/// Read `stats.cache.{hits,misses}` from a server stats snapshot.
+fn cache_counters(stats: &Json) -> (f64, f64) {
+    let read = |name: &str| {
+        stats
+            .get("cache")
+            .and_then(|c| c.get(name))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0)
+    };
+    (read("hits"), read("misses"))
+}
+
+/// `serve` — closed-loop load generation against a `conquer-serve` server.
+///
+/// Each of `--concurrency` worker connections runs the full benchmark
+/// query × strategy grid `--rounds` times, timing every round trip
+/// client-side; `busy` rejections are retried (and counted), anything else
+/// is an error. A single warmup pass populates the server's rewrite/plan
+/// cache and discovers which strategies the target actually supports (an
+/// external unannotated server rejects `annotated`), so the closed loop
+/// only measures what the server can answer.
+fn serve_cmd(args: &Args) -> Json {
+    use conquer_serve::{serve, Client, ServerConfig};
+
+    // Target: an external server via --serve-port, or an in-process one
+    // over the standard annotated workload.
+    let (addr, server) = match args.serve_port {
+        Some(port) => {
+            let addr = std::net::SocketAddr::from(([127, 0, 0, 1], port));
+            (addr, None)
+        }
+        None => {
+            let w = workload(args.sf, 0.05, 2);
+            let handle = serve(
+                std::sync::Arc::new(w.db),
+                w.sigma,
+                ServerConfig {
+                    max_sessions: args.concurrency + 8,
+                    max_concurrent: args.concurrency,
+                    ..ServerConfig::default()
+                },
+            )
+            .unwrap_or_else(|e| die(&format!("cannot start in-process server: {e}")));
+            (handle.addr(), Some(handle))
+        }
+    };
+    say!(
+        args,
+        "## serve — closed loop, {} connections × {} rounds against {addr}\n",
+        args.concurrency,
+        args.rounds
+    );
+
+    const STRATEGIES: [Strategy; 3] =
+        [Strategy::Original, Strategy::Rewritten, Strategy::Annotated];
+    let queries = all_queries();
+    let mut warm =
+        Client::connect(addr).unwrap_or_else(|e| die(&format!("cannot connect to {addr}: {e}")));
+
+    // Warmup: populate the cache, drop unsupported (query, strategy) pairs.
+    let mut pairs: Vec<(&BenchmarkQuery, Strategy)> = Vec::new();
+    let mut skipped = Vec::new();
+    for &strategy in &STRATEGIES {
+        for q in &queries {
+            match warm.query_with(q.sql, Some(wire_strategy(strategy))) {
+                Ok(_) => pairs.push((q, strategy)),
+                Err(e) => {
+                    say!(args, "(skipping {} [{}]: {e})", q.name(), strategy.label());
+                    skipped.push(Json::obj([
+                        ("query", Json::from(q.name())),
+                        ("strategy", Json::from(strategy.label())),
+                        ("error", Json::from(e.to_string())),
+                    ]));
+                }
+            }
+        }
+    }
+    if pairs.is_empty() {
+        die("the server answered no benchmark query under any strategy");
+    }
+    let (hits0, misses0) = cache_counters(&warm.stats().unwrap_or(Json::Null));
+
+    /// What one closed-loop worker brings home: `(strategy, latency_us)`
+    /// samples, busy-retry count, and any hard errors.
+    type WorkerResult = (Vec<(Strategy, u64)>, u64, Vec<String>);
+
+    // Closed loop: each worker owns one connection and walks the grid with
+    // a staggered start so the workers don't march in lockstep.
+    let t_loop = Instant::now();
+    let rounds = args.rounds;
+    let worker_results: Vec<WorkerResult> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for wid in 0..args.concurrency {
+            let pairs = &pairs;
+            handles.push(scope.spawn(move || {
+                let mut samples: Vec<(Strategy, u64)> = Vec::new();
+                let mut busy = 0u64;
+                let mut errors: Vec<String> = Vec::new();
+                // The session cap can also greet with busy; retry briefly.
+                let mut client = None;
+                for _ in 0..1000 {
+                    match Client::connect(addr) {
+                        Ok(c) => {
+                            client = Some(c);
+                            break;
+                        }
+                        Err(e) if e.is_busy() => {
+                            busy += 1;
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                        Err(e) => {
+                            errors.push(format!("worker {wid} connect: {e}"));
+                            return (samples, busy, errors);
+                        }
+                    }
+                }
+                let Some(mut client) = client else {
+                    errors.push(format!("worker {wid}: session cap never freed"));
+                    return (samples, busy, errors);
+                };
+                // One engine thread per query: with N concurrent
+                // sessions the parallelism is across connections.
+                if let Err(e) = client.set("threads", Json::UInt(1)) {
+                    errors.push(format!("worker {wid} set threads: {e}"));
+                }
+                for _ in 0..rounds {
+                    for i in 0..pairs.len() {
+                        let (q, strategy) = pairs[(i + wid) % pairs.len()];
+                        let mut attempts = 0u32;
+                        loop {
+                            let t0 = Instant::now();
+                            match client.query_with(q.sql, Some(wire_strategy(strategy))) {
+                                Ok(outcome) => {
+                                    std::hint::black_box(outcome.rows.rows.len());
+                                    samples.push((strategy, t0.elapsed().as_micros() as u64));
+                                    break;
+                                }
+                                Err(e) if e.is_busy() && attempts < 1000 => {
+                                    busy += 1;
+                                    attempts += 1;
+                                    std::thread::sleep(Duration::from_millis(1));
+                                }
+                                Err(e) => {
+                                    errors.push(format!(
+                                        "{} [{}]: {e}",
+                                        q.name(),
+                                        strategy.label()
+                                    ));
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+                let _ = client.quit();
+                (samples, busy, errors)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("serve worker"))
+            .collect()
+    });
+    let wall = t_loop.elapsed();
+
+    let mut busy_total = 0u64;
+    let mut all_samples: Vec<(Strategy, u64)> = Vec::new();
+    for (samples, busy, errors) in worker_results {
+        busy_total += busy;
+        all_samples.extend(samples);
+        for e in errors {
+            FAILED.store(true, Ordering::Relaxed);
+            eprintln!("harness: serve worker error: {e}");
+        }
+    }
+
+    // Post-loop cache delta: everything after warmup should be a hit.
+    let (hits1, misses1) = cache_counters(&warm.stats().unwrap_or(Json::Null));
+    let (dh, dm) = (hits1 - hits0, misses1 - misses0);
+    let hit_rate = if dh + dm > 0.0 { dh / (dh + dm) } else { 0.0 };
+
+    say!(
+        args,
+        "| Strategy | queries | p50 (ms) | p95 (ms) | p99 (ms) | mean (ms) |"
+    );
+    say!(
+        args,
+        "|----------|--------:|---------:|---------:|---------:|----------:|"
+    );
+    let mut strategy_reports = Vec::new();
+    for &strategy in &STRATEGIES {
+        let mut lat: Vec<u64> = all_samples
+            .iter()
+            .filter(|(s, _)| *s == strategy)
+            .map(|&(_, us)| us)
+            .collect();
+        if lat.is_empty() {
+            continue;
+        }
+        lat.sort_unstable();
+        let (p50, p95, p99) = (
+            conquer_bench::percentile(&lat, 0.50),
+            conquer_bench::percentile(&lat, 0.95),
+            conquer_bench::percentile(&lat, 0.99),
+        );
+        let mean = lat.iter().sum::<u64>() / lat.len() as u64;
+        say!(
+            args,
+            "| {} | {} | {:.2} | {:.2} | {:.2} | {:.2} |",
+            strategy.label(),
+            lat.len(),
+            p50 as f64 / 1e3,
+            p95 as f64 / 1e3,
+            p99 as f64 / 1e3,
+            mean as f64 / 1e3,
+        );
+        strategy_reports.push(Json::obj([
+            ("strategy", Json::from(strategy.label())),
+            ("count", Json::UInt(lat.len() as u64)),
+            ("p50_us", Json::UInt(p50)),
+            ("p95_us", Json::UInt(p95)),
+            ("p99_us", Json::UInt(p99)),
+            ("mean_us", Json::UInt(mean)),
+        ]));
+    }
+    let throughput = all_samples.len() as f64 / wall.as_secs_f64().max(1e-9);
+    say!(
+        args,
+        "\nthroughput: {throughput:.0} queries/s, busy retries: {busy_total}, \
+         post-warmup cache hit rate: {:.1}%\n",
+        hit_rate * 100.0
+    );
+
+    let _ = warm.quit();
+    if let Some(handle) = server {
+        handle.shutdown();
+    }
+
+    let mut report = report_header("serve", args);
+    report.push("addr", Json::from(addr.to_string()));
+    report.push("in_process", Json::Bool(args.serve_port.is_none()));
+    report.push("concurrency", Json::UInt(args.concurrency as u64));
+    report.push("rounds", Json::UInt(args.rounds as u64));
+    report.push("strategies", Json::Arr(strategy_reports));
+    report.push(
+        "totals",
+        Json::obj([
+            ("queries", Json::UInt(all_samples.len() as u64)),
+            ("busy_retries", Json::UInt(busy_total)),
+            ("wall_ms", Json::Float(wall.as_secs_f64() * 1e3)),
+            ("throughput_qps", Json::Float(throughput)),
+        ]),
+    );
+    report.push(
+        "cache",
+        Json::obj([
+            ("post_warmup_hit_rate", Json::Float(hit_rate)),
+            ("hits", Json::Float(dh)),
+            ("misses", Json::Float(dm)),
+        ]),
+    );
+    if !skipped.is_empty() {
+        report.push("skipped", Json::Arr(skipped));
+    }
     report
 }

@@ -242,6 +242,17 @@ pub fn ms(d: Duration) -> String {
     format!("{:.2}", d.as_secs_f64() * 1e3)
 }
 
+/// Exact quantile over a **sorted** latency sample (nearest-rank on the
+/// zero-based index, the convention the serve-mode report documents).
+/// Returns 0 for an empty sample.
+pub fn percentile(sorted_us: &[u64], q: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let idx = (q.clamp(0.0, 1.0) * (sorted_us.len() - 1) as f64).round() as usize;
+    sorted_us[idx]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -255,6 +266,17 @@ mod tests {
         let ann = run_query(&w, &q, Strategy::Annotated);
         assert_eq!(orig.len(), 1);
         assert_eq!(rew.rows, ann.rows);
+    }
+
+    #[test]
+    fn percentile_is_exact_nearest_rank() {
+        assert_eq!(percentile(&[], 0.5), 0);
+        assert_eq!(percentile(&[7], 0.99), 7);
+        let sample: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sample, 0.0), 1);
+        assert_eq!(percentile(&sample, 0.5), 51); // index round(0.5*99)=50
+        assert_eq!(percentile(&sample, 0.95), 95);
+        assert_eq!(percentile(&sample, 1.0), 100);
     }
 
     #[test]

@@ -37,8 +37,8 @@ pub use conquer_tpch as tpch;
 pub use conquer_core::{
     analyze, annotate_database, consistent_answers, consistent_answers_annotated,
     consistent_answers_annotated_with, consistent_answers_with, is_annotated, possible_answers,
-    rewrite, rewrite_sql, rewrite_tree, AnnotationStats, ConstraintSet, KeyConstraint,
-    RewriteError, RewriteOptions, TreeQuery,
+    prepare_rewrite, rewrite, rewrite_sql, rewrite_tree, AnnotationStats, ConstraintSet,
+    KeyConstraint, PreparedRewrite, RewriteError, RewriteOptions, TreeQuery,
 };
 pub use conquer_engine::{
     CancellationToken, Database, EngineError, ExecOptions, LimitTrip, ResourceLimits, Rows, Table,

@@ -1,6 +1,8 @@
 //! High-level entry points: rewrite a query, or rewrite-and-execute against
 //! a [`Database`].
 
+use std::sync::Arc;
+
 use conquer_engine::{Database, ExecOptions, Rows};
 use conquer_sql::ast::Query;
 use conquer_sql::parse_query;
@@ -103,4 +105,46 @@ pub fn consistent_answers_annotated_with(
 /// symmetry and for the difference-based inconsistency reports of Section 1.
 pub fn possible_answers(db: &Database, sql: &str) -> Result<Rows> {
     Ok(db.query(sql)?)
+}
+
+/// A cacheable rewrite artifact: the parsed AST plus its consistent-answer
+/// rewriting, both behind `Arc` so statement caches (`conquer-serve`) and
+/// prepared statements can share them across sessions without re-parsing or
+/// re-running the analysis. The rewriting depends only on the SQL text, the
+/// constraint set, and the rewrite options — never on the database contents
+/// — so a `PreparedRewrite` stays valid across data changes (plans built
+/// from it do not; see `Database::catalog_epoch`).
+#[derive(Debug, Clone)]
+pub struct PreparedRewrite {
+    /// The query as written.
+    pub original: Arc<Query>,
+    /// The consistent-answer (or range-consistent) rewriting.
+    pub rewritten: Arc<Query>,
+    /// Whether the annotation-aware rewriting (Section 5) was used.
+    pub annotated: bool,
+}
+
+impl PreparedRewrite {
+    /// Execute the rewriting against a database under explicit options.
+    pub fn execute_on(&self, db: &Database, options: &ExecOptions) -> Result<Rows> {
+        Ok(db.execute_query_with(&self.rewritten, options)?)
+    }
+}
+
+/// Parse and rewrite once, producing a [`PreparedRewrite`] for repeated
+/// execution. With `opts.annotated` set, the caller is responsible for
+/// checking [`is_annotated`](crate::annotations::is_annotated) against the
+/// target database (the artifact itself is database-independent).
+pub fn prepare_rewrite(
+    sql: &str,
+    sigma: &ConstraintSet,
+    opts: &RewriteOptions,
+) -> Result<PreparedRewrite> {
+    let original = parse_sql_spanned(sql)?;
+    let rewritten = rewrite(&original, sigma, opts)?;
+    Ok(PreparedRewrite {
+        original: Arc::new(original),
+        rewritten: Arc::new(rewritten),
+        annotated: opts.annotated,
+    })
 }

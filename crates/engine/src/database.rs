@@ -1,6 +1,7 @@
 //! The database: a catalog of named tables plus the query entry points.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use std::sync::RwLock;
@@ -34,28 +35,60 @@ fn write_lock<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
 /// `&Database` is cheap. Scan-ready row batches are cached per table and
 /// invalidated on registration, so repeated references to a table (within
 /// one query or across queries) share a single `Arc<Rows>`.
+///
+/// The database is `Send + Sync` and designed to be shared as
+/// `Arc<Database>` across many session threads (the read-mostly contract
+/// `conquer-serve` relies on): all interior mutability is behind the two
+/// `RwLock`ed catalog maps plus the [catalog epoch](Database::catalog_epoch)
+/// atomic, queries never hold a lock across execution, and writers
+/// (`register`/`drop_table`) swap whole `Arc<Table>`s, so in-flight queries
+/// keep the snapshot they planned against.
 #[derive(Default)]
 pub struct Database {
     tables: RwLock<BTreeMap<String, Arc<Table>>>,
     scan_cache: RwLock<BTreeMap<String, Arc<Rows>>>,
+    /// Bumped on every catalog mutation (`register`, `drop_table`); plan
+    /// and rewrite caches key on this to invalidate stale artifacts.
+    epoch: AtomicU64,
 }
+
+/// The shared-session contract: queries run against `&Database` from many
+/// threads concurrently.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Database>();
+};
 
 impl Database {
     pub fn new() -> Database {
         Database::default()
     }
 
-    /// Register (or replace) a table.
+    /// Register (or replace) a table. Bumps the catalog epoch.
     pub fn register(&self, table: Table) {
         let name = table.name().to_string();
         write_lock(&self.scan_cache).remove(&name);
         write_lock(&self.tables).insert(name, Arc::new(table));
+        self.epoch.fetch_add(1, Ordering::Release);
     }
 
-    /// Remove a table; returns it if present.
+    /// Remove a table; returns it if present. Bumps the catalog epoch when
+    /// the table existed.
     pub fn drop_table(&self, name: &str) -> Option<Arc<Table>> {
         write_lock(&self.scan_cache).remove(name);
-        write_lock(&self.tables).remove(name)
+        let dropped = write_lock(&self.tables).remove(name);
+        if dropped.is_some() {
+            self.epoch.fetch_add(1, Ordering::Release);
+        }
+        dropped
+    }
+
+    /// The catalog epoch: a counter bumped on every `register`/`drop_table`.
+    /// Cached plans and rewritings are valid only for the epoch they were
+    /// built under — plans embed `Arc<Rows>` snapshots of the tables they
+    /// scan, so an epoch mismatch means the snapshot may be stale.
+    pub fn catalog_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
     }
 
     /// Shared handle to a table.
@@ -149,6 +182,20 @@ impl Database {
     pub fn plan(&self, query: &Query, options: &ExecOptions) -> Result<Plan> {
         let gov = Governor::for_options(options);
         self.plan_governed(query, options, gov.as_ref())
+    }
+
+    /// Execute an already-built plan under the given options. This is the
+    /// entry point for plan caches (`conquer-serve`): the plan embeds the
+    /// table snapshots it was built against, so callers must validate the
+    /// [catalog epoch](Database::catalog_epoch) before reusing a plan. The
+    /// options' resource budget and cancellation token cover execution
+    /// only — parse and plan time were paid when the plan was built.
+    pub fn execute_plan_with(&self, plan: &Plan, options: &ExecOptions) -> Result<Rows> {
+        let gov = Governor::for_options(options);
+        let mut span = conquer_obs::span("execute").field("threads", options.threads);
+        let rows = exec::execute_governed_threads(plan, None, gov.as_ref(), options.threads)?;
+        span.record("rows", rows.rows.len());
+        Ok(rows)
     }
 
     fn plan_governed(
@@ -336,6 +383,38 @@ mod tests {
         let db = Database::new();
         let err = db.query("select * from nope").unwrap_err();
         assert!(matches!(err, EngineError::UnknownTable(_)));
+    }
+
+    #[test]
+    fn catalog_epoch_tracks_mutations() {
+        let db = Database::new();
+        let e0 = db.catalog_epoch();
+        db.run_script("create table t (a integer)").unwrap();
+        let e1 = db.catalog_epoch();
+        assert!(e1 > e0);
+        // INSERT re-registers the table, so it bumps the epoch too.
+        db.run_script("insert into t values (1)").unwrap();
+        let e2 = db.catalog_epoch();
+        assert!(e2 > e1);
+        // Dropping a missing table is not a mutation.
+        assert!(db.drop_table("nope").is_none());
+        assert_eq!(db.catalog_epoch(), e2);
+        db.drop_table("t");
+        assert!(db.catalog_epoch() > e2);
+    }
+
+    #[test]
+    fn cached_plan_reexecutes() {
+        let db = Database::new();
+        db.run_script("create table t (a integer); insert into t values (1), (2)")
+            .unwrap();
+        let query = conquer_sql::parse_query("select a from t where a > 1").unwrap();
+        let options = ExecOptions::default();
+        let plan = db.plan(&query, &options).unwrap();
+        let first = db.execute_plan_with(&plan, &options).unwrap();
+        let second = db.execute_plan_with(&plan, &options).unwrap();
+        assert_eq!(first.rows, vec![vec![Value::Int(2)]]);
+        assert_eq!(first, second);
     }
 
     #[test]

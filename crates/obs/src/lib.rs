@@ -13,9 +13,10 @@
 //!   with a JSON snapshot export; every closed span also feeds a
 //!   `span.<name>.ns` histogram, so phase latency distributions are
 //!   available process-wide without any subscriber installed.
-//! * [`json`] — a minimal JSON value type and writer (the workspace builds
-//!   offline, so there is no `serde`); used for the bench harness's
-//!   `BENCH_<fig>.json` exports and `EXPLAIN ANALYZE` machine output.
+//! * [`json`] — a minimal JSON value type, writer, and parser (the
+//!   workspace builds offline, so there is no `serde`); used for the bench
+//!   harness's `BENCH_<fig>.json` exports, `EXPLAIN ANALYZE` machine
+//!   output, and the `conquer-serve` wire protocol.
 //!
 //! The paper's headline claim (SIGMOD 2005, Section 6) is that
 //! consistent-answer rewritings cost less than ~2× the original query;
@@ -42,7 +43,7 @@ pub mod json;
 pub mod metrics;
 pub mod span;
 
-pub use json::Json;
+pub use json::{Json, JsonParseError};
 pub use metrics::{registry, Counter, Histogram, HistogramSnapshot, Registry};
 pub use span::{
     capture, clear_subscriber, phase_totals, set_subscriber, span, FieldValue, HumanSink,

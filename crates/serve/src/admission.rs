@@ -1,0 +1,183 @@
+//! Admission control: a bounded run queue in front of the engine.
+//!
+//! A classic condvar semaphore with a twist: waiters give up after a
+//! configurable queue-wait deadline and the request maps to a structured
+//! `busy` error instead of piling up behind slow queries. That keeps an
+//! overloaded server responsive — clients get a fast, retryable rejection
+//! rather than a hang — and bounds the memory held by in-flight work.
+//!
+//! Permits are RAII ([`Permit`] releases on drop, including on panic and
+//! on the early-return paths of the session loop), so a slot can never
+//! leak.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Counters the stats endpoint reports (see [`Admission::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Queries currently holding a permit.
+    pub in_flight: usize,
+    /// Waiters currently queued for a permit.
+    pub queue_depth: usize,
+    pub max_concurrent: usize,
+    pub admitted: u64,
+    pub rejected: u64,
+}
+
+struct State {
+    in_flight: usize,
+    waiting: usize,
+}
+
+/// Semaphore with a queue-wait deadline. Shared by all sessions of one
+/// server.
+pub struct Admission {
+    state: Mutex<State>,
+    cond: Condvar,
+    max_concurrent: usize,
+    queue_wait: Duration,
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+    /// Mirror of `state.waiting` readable without the mutex (stats path).
+    waiting_gauge: AtomicUsize,
+}
+
+/// RAII admission slot; dropping it releases the slot and wakes one waiter.
+pub struct Permit {
+    admission: Arc<Admission>,
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        let mut state = self.admission.lock();
+        state.in_flight -= 1;
+        drop(state);
+        self.admission.cond.notify_one();
+    }
+}
+
+impl Admission {
+    pub fn new(max_concurrent: usize, queue_wait: Duration) -> Arc<Admission> {
+        Arc::new(Admission {
+            state: Mutex::new(State {
+                in_flight: 0,
+                waiting: 0,
+            }),
+            cond: Condvar::new(),
+            max_concurrent: max_concurrent.max(1),
+            queue_wait,
+            admitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            waiting_gauge: AtomicUsize::new(0),
+        })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Wait up to the queue-wait deadline for a slot. `None` means the
+    /// deadline passed with the server still at capacity — the caller maps
+    /// that to a `busy` response.
+    pub fn try_admit(self: &Arc<Admission>) -> Option<Permit> {
+        let deadline = Instant::now() + self.queue_wait;
+        let mut state = self.lock();
+        if state.in_flight >= self.max_concurrent {
+            state.waiting += 1;
+            self.waiting_gauge.fetch_add(1, Ordering::Relaxed);
+            while state.in_flight >= self.max_concurrent {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (next, _timed_out) = self
+                    .cond
+                    .wait_timeout(state, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                state = next;
+            }
+            state.waiting -= 1;
+            self.waiting_gauge.fetch_sub(1, Ordering::Relaxed);
+            if state.in_flight >= self.max_concurrent {
+                drop(state);
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                conquer_obs::registry()
+                    .counter("serve.admission.rejected")
+                    .inc();
+                return None;
+            }
+        }
+        state.in_flight += 1;
+        drop(state);
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        conquer_obs::registry()
+            .counter("serve.admission.admitted")
+            .inc();
+        Some(Permit {
+            admission: Arc::clone(self),
+        })
+    }
+
+    pub fn stats(&self) -> AdmissionStats {
+        let state = self.lock();
+        AdmissionStats {
+            in_flight: state.in_flight,
+            queue_depth: state.waiting,
+            max_concurrent: self.max_concurrent,
+            admitted: self.admitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn admits_up_to_capacity_then_rejects() {
+        let admission = Admission::new(2, Duration::from_millis(10));
+        let a = admission.try_admit().expect("slot 1");
+        let b = admission.try_admit().expect("slot 2");
+        assert!(admission.try_admit().is_none(), "third must time out");
+        let stats = admission.stats();
+        assert_eq!(stats.in_flight, 2);
+        assert_eq!(stats.admitted, 2);
+        assert_eq!(stats.rejected, 1);
+        drop(a);
+        let c = admission.try_admit().expect("slot freed by drop");
+        drop(b);
+        drop(c);
+        assert_eq!(admission.stats().in_flight, 0);
+    }
+
+    #[test]
+    fn waiter_is_woken_by_release() {
+        let admission = Admission::new(1, Duration::from_secs(5));
+        let permit = admission.try_admit().expect("slot");
+        let admitted = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|scope| {
+            let waiter = {
+                let admission = Arc::clone(&admission);
+                let admitted = Arc::clone(&admitted);
+                scope.spawn(move || {
+                    let p = admission.try_admit();
+                    admitted.store(p.is_some(), Ordering::SeqCst);
+                })
+            };
+            // Give the waiter time to queue, then release.
+            while admission.stats().queue_depth == 0 {
+                std::thread::yield_now();
+            }
+            drop(permit);
+            waiter.join().expect("waiter thread");
+        });
+        assert!(
+            admitted.load(Ordering::SeqCst),
+            "waiter should get the slot"
+        );
+    }
+}

@@ -1,0 +1,193 @@
+//! The `conquer-serve` binary: bind a TCP listener and serve the ConQuer
+//! pipeline over the frame protocol.
+//!
+//! ```text
+//! conquer-serve [--port N] [--tpch-sf F [--inconsistency P] [--annotate]]
+//!               [--script FILE [--keys rel:col+col,rel2:col]]
+//!               [--max-sessions N] [--admit N] [--queue-wait-ms N]
+//!               [--cache N]
+//! ```
+//!
+//! Data comes from exactly one of `--tpch-sf` (generate + inject TPC-H) or
+//! `--script` (run a SQL file; pair with `--keys` for the constraint set).
+//! With neither, the server starts empty — clients create tables with the
+//! `script` op. Prints `listening on ADDR` once accepting (the CI smoke job
+//! and the bench harness scrape that line).
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use conquer_core::ConstraintSet;
+use conquer_engine::Database;
+use conquer_serve::{serve, ServerConfig};
+use conquer_tpch::{build_workload, WorkloadConfig};
+
+struct Args {
+    port: u16,
+    tpch_sf: Option<f64>,
+    inconsistency: f64,
+    annotate: bool,
+    script: Option<String>,
+    keys: Vec<(String, Vec<String>)>,
+    max_sessions: usize,
+    admit: usize,
+    queue_wait_ms: u64,
+    cache: usize,
+}
+
+impl Default for Args {
+    fn default() -> Args {
+        let defaults = ServerConfig::default();
+        Args {
+            port: 7878,
+            tpch_sf: None,
+            inconsistency: 0.05,
+            annotate: false,
+            script: None,
+            keys: Vec::new(),
+            max_sessions: defaults.max_sessions,
+            admit: defaults.max_concurrent,
+            queue_wait_ms: defaults.queue_wait.as_millis() as u64,
+            cache: defaults.cache_capacity,
+        }
+    }
+}
+
+const USAGE: &str = "usage: conquer-serve [--port N] [--tpch-sf F [--inconsistency P] [--annotate]]
+                     [--script FILE [--keys rel:col+col,rel2:col]]
+                     [--max-sessions N] [--admit N] [--queue-wait-ms N] [--cache N]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--port" => {
+                args.port = value("--port")?
+                    .parse()
+                    .map_err(|e| format!("--port: {e}"))?
+            }
+            "--tpch-sf" => {
+                args.tpch_sf = Some(
+                    value("--tpch-sf")?
+                        .parse()
+                        .map_err(|e| format!("--tpch-sf: {e}"))?,
+                )
+            }
+            "--inconsistency" => {
+                args.inconsistency = value("--inconsistency")?
+                    .parse()
+                    .map_err(|e| format!("--inconsistency: {e}"))?
+            }
+            "--annotate" => args.annotate = true,
+            "--script" => args.script = Some(value("--script")?),
+            "--keys" => args.keys = parse_keys(&value("--keys")?)?,
+            "--max-sessions" => {
+                args.max_sessions = value("--max-sessions")?
+                    .parse()
+                    .map_err(|e| format!("--max-sessions: {e}"))?
+            }
+            "--admit" => {
+                args.admit = value("--admit")?
+                    .parse()
+                    .map_err(|e| format!("--admit: {e}"))?
+            }
+            "--queue-wait-ms" => {
+                args.queue_wait_ms = value("--queue-wait-ms")?
+                    .parse()
+                    .map_err(|e| format!("--queue-wait-ms: {e}"))?
+            }
+            "--cache" => {
+                args.cache = value("--cache")?
+                    .parse()
+                    .map_err(|e| format!("--cache: {e}"))?
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+    }
+    if args.tpch_sf.is_some() && args.script.is_some() {
+        return Err("--tpch-sf and --script are mutually exclusive".to_string());
+    }
+    Ok(args)
+}
+
+/// `rel:col+col,rel2:col` → key constraints.
+fn parse_keys(spec: &str) -> Result<Vec<(String, Vec<String>)>, String> {
+    spec.split(',')
+        .filter(|part| !part.is_empty())
+        .map(|part| {
+            let (rel, cols) = part
+                .split_once(':')
+                .ok_or_else(|| format!("--keys entry `{part}` is not rel:col+col"))?;
+            let cols: Vec<String> = cols.split('+').map(str::to_string).collect();
+            if rel.is_empty() || cols.iter().any(String::is_empty) {
+                return Err(format!("--keys entry `{part}` has an empty name"));
+            }
+            Ok((rel.to_string(), cols))
+        })
+        .collect()
+}
+
+fn build_database(args: &Args) -> Result<(Arc<Database>, ConstraintSet), String> {
+    if let Some(sf) = args.tpch_sf {
+        eprintln!("generating TPC-H sf={sf} (p={})...", args.inconsistency);
+        let workload = build_workload(&WorkloadConfig {
+            scale_factor: sf,
+            p: args.inconsistency,
+            annotate: args.annotate,
+            ..WorkloadConfig::default()
+        });
+        return Ok((Arc::new(workload.db), workload.sigma));
+    }
+    let db = Database::new();
+    if let Some(path) = &args.script {
+        let sql = std::fs::read_to_string(path).map_err(|e| format!("--script {path}: {e}"))?;
+        db.run_script(&sql)
+            .map_err(|e| format!("--script {path}: {e}"))?;
+    }
+    let mut sigma = ConstraintSet::new();
+    for (rel, cols) in &args.keys {
+        sigma
+            .add_key(rel.clone(), cols.iter().cloned())
+            .map_err(|e| format!("--keys: {e}"))?;
+    }
+    Ok((Arc::new(db), sigma))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (db, sigma) = match build_database(&args) {
+        Ok(built) => built,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = ServerConfig {
+        addr: format!("127.0.0.1:{}", args.port),
+        max_sessions: args.max_sessions,
+        max_concurrent: args.admit,
+        queue_wait: Duration::from_millis(args.queue_wait_ms),
+        cache_capacity: args.cache,
+    };
+    let server = match serve(db, sigma, config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening on {}", server.addr());
+    server.wait();
+    eprintln!("server stopped");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,350 @@
+//! The rewrite/plan cache: LRU over (SQL text, strategy, catalog epoch).
+//!
+//! A cache entry holds everything the parse → rewrite → plan pipeline
+//! produces: the parsed AST, the ConQuer rewriting (identity for the
+//! `original` strategy), and the physical [`Plan`]. Plans embed `Arc<Rows>`
+//! snapshots of the tables they scan *and* the materialized CTE results the
+//! rewritings lean on (Section 6.1 of the paper), so a warm hit skips the
+//! entire pipeline including CTE materialization — and, equally, a stale
+//! plan would silently serve old data. Entries are therefore valid only for
+//! the [catalog epoch](conquer_engine::Database::catalog_epoch) they were
+//! built under: any `CREATE`/`INSERT`/`DROP` bumps the epoch and the next
+//! lookup rebuilds (`invalidations` counter), so stale plans are never
+//! served.
+//!
+//! Concurrency: lookups and inserts take one short mutex; statement
+//! *builds* run outside the lock, so a miss never blocks other sessions'
+//! hits. Two sessions missing on the same key may both build — the second
+//! insert wins, which is wasted work but never wrong (documented
+//! thundering-herd tradeoff; the bench workload's hit rate makes it
+//! irrelevant after warmup).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use conquer_core::{is_annotated, prepare_rewrite, ConstraintSet, RewriteOptions};
+use conquer_engine::{Database, ExecOptions, Plan};
+use conquer_sql::ast::Query;
+use conquer_sql::parse_query;
+
+use crate::error::ServeError;
+use crate::protocol::Strategy;
+
+/// A fully prepared statement: every artifact of the pipeline, shareable
+/// across sessions.
+#[derive(Debug)]
+pub struct CachedStatement {
+    pub sql: String,
+    pub strategy: Strategy,
+    /// Catalog epoch the plan was built under.
+    pub epoch: u64,
+    /// The query as parsed.
+    pub ast: Arc<Query>,
+    /// What actually executes: the ConQuer rewriting, or `ast` for
+    /// [`Strategy::Original`].
+    pub exec_query: Arc<Query>,
+    /// The physical plan, CTEs materialized.
+    pub plan: Arc<Plan>,
+}
+
+/// Build a statement from scratch (the cache-miss path). The epoch is read
+/// *before* planning: if the catalog changes mid-build the entry records
+/// the older epoch and the next lookup rebuilds — never the reverse.
+pub fn build_statement(
+    db: &Database,
+    sigma: &ConstraintSet,
+    sql: &str,
+    strategy: Strategy,
+    options: &ExecOptions,
+) -> Result<CachedStatement, ServeError> {
+    let epoch = db.catalog_epoch();
+    let (ast, exec_query) = match strategy {
+        Strategy::Original => {
+            let ast = Arc::new(parse_query(sql).map_err(ServeError::Parse)?);
+            (Arc::clone(&ast), ast)
+        }
+        Strategy::Rewritten => {
+            let prepared = prepare_rewrite(sql, sigma, &RewriteOptions::default())?;
+            (prepared.original, prepared.rewritten)
+        }
+        Strategy::Annotated => {
+            if !is_annotated(db, sigma) {
+                return Err(ServeError::Rewrite(
+                    conquer_core::RewriteError::InvalidConstraint(
+                        "database is not annotated; the `annotated` strategy needs the offline \
+                         annotation pass"
+                            .into(),
+                    ),
+                ));
+            }
+            let opts = RewriteOptions {
+                annotated: true,
+                ..RewriteOptions::default()
+            };
+            let prepared = prepare_rewrite(sql, sigma, &opts)?;
+            (prepared.original, prepared.rewritten)
+        }
+    };
+    let plan = db.plan(&exec_query, options).map_err(ServeError::Engine)?;
+    Ok(CachedStatement {
+        sql: sql.to_string(),
+        strategy,
+        epoch,
+        ast,
+        exec_query,
+        plan: Arc::new(plan),
+    })
+}
+
+struct Entry {
+    stmt: Arc<CachedStatement>,
+    last_used: u64,
+}
+
+/// Point-in-time cache counters (per instance, not the global registry).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub entries: usize,
+    pub capacity: usize,
+    pub hits: u64,
+    pub misses: u64,
+    pub invalidations: u64,
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hits over lookups, 0.0 when cold.
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+}
+
+/// The shared statement cache. Keys are `(SQL text, strategy)`; the stored
+/// epoch completes the `(sql, strategy, epoch)` cache key from the design —
+/// an epoch mismatch is a miss that also drops the stale entry.
+pub struct StatementCache {
+    entries: Mutex<HashMap<(String, Strategy), Entry>>,
+    capacity: usize,
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl StatementCache {
+    pub fn new(capacity: usize) -> StatementCache {
+        StatementCache {
+            entries: Mutex::new(HashMap::new()),
+            capacity: capacity.max(1),
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<(String, Strategy), Entry>> {
+        self.entries.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Look up a statement valid at `epoch`. A present-but-stale entry is
+    /// removed and counted as an invalidation (plus the miss).
+    pub fn get(&self, sql: &str, strategy: Strategy, epoch: u64) -> Option<Arc<CachedStatement>> {
+        let key = (sql.to_string(), strategy);
+        let mut entries = self.lock();
+        match entries.get_mut(&key) {
+            Some(entry) if entry.stmt.epoch == epoch => {
+                entry.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
+                let stmt = Arc::clone(&entry.stmt);
+                drop(entries);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                conquer_obs::registry().counter("serve.cache.hit").inc();
+                Some(stmt)
+            }
+            Some(_) => {
+                entries.remove(&key);
+                drop(entries);
+                self.invalidations.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let registry = conquer_obs::registry();
+                registry.counter("serve.cache.invalidation").inc();
+                registry.counter("serve.cache.miss").inc();
+                None
+            }
+            None => {
+                drop(entries);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                conquer_obs::registry().counter("serve.cache.miss").inc();
+                None
+            }
+        }
+    }
+
+    /// Insert (or replace) a built statement, evicting the least-recently
+    /// used entry when over capacity.
+    pub fn insert(&self, stmt: Arc<CachedStatement>) {
+        let key = (stmt.sql.clone(), stmt.strategy);
+        let mut entries = self.lock();
+        entries.insert(
+            key,
+            Entry {
+                stmt,
+                last_used: self.tick.fetch_add(1, Ordering::Relaxed),
+            },
+        );
+        let mut evicted = 0u64;
+        while entries.len() > self.capacity {
+            let Some(oldest) = entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            entries.remove(&oldest);
+            evicted += 1;
+        }
+        drop(entries);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            conquer_obs::registry()
+                .counter("serve.cache.eviction")
+                .add(evicted);
+        }
+    }
+
+    /// The cache-or-build path sessions use. Returns the statement and
+    /// whether it was a hit. Builds run outside the cache lock.
+    pub fn get_or_build(
+        &self,
+        db: &Database,
+        sigma: &ConstraintSet,
+        sql: &str,
+        strategy: Strategy,
+        options: &ExecOptions,
+    ) -> Result<(Arc<CachedStatement>, bool), ServeError> {
+        let epoch = db.catalog_epoch();
+        if let Some(stmt) = self.get(sql, strategy, epoch) {
+            return Ok((stmt, true));
+        }
+        let stmt = Arc::new(build_statement(db, sigma, sql, strategy, options)?);
+        self.insert(Arc::clone(&stmt));
+        Ok((stmt, false))
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            entries: self.lock().len(),
+            capacity: self.capacity,
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_db() -> (Database, ConstraintSet) {
+        let db = Database::new();
+        db.run_script(
+            "create table customer (custkey text, acctbal float);
+             insert into customer values ('c1', 2000), ('c1', 100), ('c2', 2500);",
+        )
+        .unwrap();
+        let sigma = ConstraintSet::new().with_key("customer", ["custkey"]);
+        (db, sigma)
+    }
+
+    const Q: &str = "select custkey from customer where acctbal > 1000";
+
+    #[test]
+    fn hit_after_build_and_invalidation_on_epoch_bump() {
+        let (db, sigma) = tiny_db();
+        let cache = StatementCache::new(8);
+        let options = ExecOptions::default();
+
+        let (first, hit) = cache
+            .get_or_build(&db, &sigma, Q, Strategy::Rewritten, &options)
+            .unwrap();
+        assert!(!hit);
+        let (second, hit) = cache
+            .get_or_build(&db, &sigma, Q, Strategy::Rewritten, &options)
+            .unwrap();
+        assert!(hit);
+        assert!(Arc::ptr_eq(&first, &second));
+
+        // Catalog change: the entry is stale, the rebuild sees new data.
+        db.run_script("insert into customer values ('c9', 9000)")
+            .unwrap();
+        let (third, hit) = cache
+            .get_or_build(&db, &sigma, Q, Strategy::Rewritten, &options)
+            .unwrap();
+        assert!(!hit);
+        assert!(!Arc::ptr_eq(&first, &third));
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.invalidations, 1);
+    }
+
+    #[test]
+    fn strategies_are_distinct_entries() {
+        let (db, sigma) = tiny_db();
+        let cache = StatementCache::new(8);
+        let options = ExecOptions::default();
+        cache
+            .get_or_build(&db, &sigma, Q, Strategy::Original, &options)
+            .unwrap();
+        let (_, hit) = cache
+            .get_or_build(&db, &sigma, Q, Strategy::Rewritten, &options)
+            .unwrap();
+        assert!(!hit, "rewritten must not hit the original entry");
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn lru_eviction_keeps_recent_entries() {
+        let (db, sigma) = tiny_db();
+        let cache = StatementCache::new(2);
+        let options = ExecOptions::default();
+        let queries = [
+            "select custkey from customer",
+            "select acctbal from customer",
+            "select custkey, acctbal from customer",
+        ];
+        for q in &queries {
+            cache
+                .get_or_build(&db, &sigma, q, Strategy::Original, &options)
+                .unwrap();
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 1);
+        // The oldest entry is gone, the newest is a hit.
+        let epoch = db.catalog_epoch();
+        assert!(cache.get(queries[0], Strategy::Original, epoch).is_none());
+        assert!(cache.get(queries[2], Strategy::Original, epoch).is_some());
+    }
+
+    #[test]
+    fn annotated_requires_annotation() {
+        let (db, sigma) = tiny_db();
+        let cache = StatementCache::new(8);
+        let err = cache
+            .get_or_build(&db, &sigma, Q, Strategy::Annotated, &ExecOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Rewrite(_)));
+    }
+}

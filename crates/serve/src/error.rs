@@ -1,0 +1,80 @@
+//! Server-side error type, with a lossless mapping onto the wire-protocol
+//! [`ErrorCode`]s so clients can react structurally (retry on `busy`,
+//! re-prepare on `unknown_statement`, surface the rest).
+
+use std::fmt;
+
+use conquer_core::RewriteError;
+use conquer_engine::EngineError;
+use conquer_sql::ParseError;
+
+use crate::protocol::ErrorCode;
+
+/// Anything that can go wrong while serving one request.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Admission control rejected the request (queue full past the wait
+    /// deadline, or the session cap is reached).
+    Busy(String),
+    /// Malformed request: unknown op, bad field, unsupported `SET` name.
+    Protocol(String),
+    /// The SQL text failed to parse.
+    Parse(ParseError),
+    /// The ConQuer rewriting rejected the query.
+    Rewrite(RewriteError),
+    /// `execute` named a statement id this session never prepared (or
+    /// already closed).
+    UnknownStatement(u64),
+    /// Engine planning or execution failure, including limit trips.
+    Engine(EngineError),
+}
+
+impl ServeError {
+    /// The wire-protocol code for this error. Limit trips that surface
+    /// through the rewriting layer (`RewriteError::Engine`) keep their
+    /// structured code rather than collapsing into `rewrite`.
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            ServeError::Busy(_) => ErrorCode::Busy,
+            ServeError::Protocol(_) => ErrorCode::Protocol,
+            ServeError::Parse(_) => ErrorCode::Parse,
+            ServeError::Rewrite(RewriteError::Engine(e)) => ErrorCode::from_engine(e),
+            ServeError::Rewrite(_) => ErrorCode::Rewrite,
+            ServeError::UnknownStatement(_) => ErrorCode::UnknownStatement,
+            ServeError::Engine(e) => ErrorCode::from_engine(e),
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Busy(msg) => write!(f, "server busy: {msg}"),
+            ServeError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ServeError::Parse(e) => write!(f, "{e}"),
+            ServeError::Rewrite(e) => write!(f, "{e}"),
+            ServeError::UnknownStatement(id) => write!(f, "unknown statement id {id}"),
+            ServeError::Engine(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<RewriteError> for ServeError {
+    fn from(e: RewriteError) -> ServeError {
+        ServeError::Rewrite(e)
+    }
+}
+
+impl From<EngineError> for ServeError {
+    fn from(e: EngineError) -> ServeError {
+        ServeError::Engine(e)
+    }
+}
+
+impl From<ParseError> for ServeError {
+    fn from(e: ParseError) -> ServeError {
+        ServeError::Parse(e)
+    }
+}

@@ -1,0 +1,55 @@
+//! # conquer-serve — a concurrent SQL server for the ConQuer stack
+//!
+//! Exposes the in-process ConQuer pipeline (parse → ConQuer rewrite → plan
+//! → execute) to concurrent clients over TCP, with nothing beyond `std`:
+//!
+//! * **Wire protocol** ([`protocol`]) — length-prefixed JSON frames over
+//!   `std::net::TcpStream`; requests carry SQL + a per-query
+//!   [`Strategy`]; responses carry schema-complete result sets whose
+//!   values round-trip bit-identically (tagged dates and non-finite
+//!   floats).
+//! * **Sessions** ([`server`], `session`) — one thread per connection, a
+//!   shared `Arc<Database>`, per-session `ExecOptions` via `SET`
+//!   (`threads`, `timeout_ms`, `mem_limit`, `max_rows`, `strategy`), and a
+//!   disconnect watchdog that cancels in-flight queries through the
+//!   governor when the client goes away.
+//! * **Admission control** ([`admission`]) — a semaphore-bounded run queue
+//!   with a queue-wait deadline; overload degrades to a structured `busy`
+//!   error instead of a hang.
+//! * **Rewrite/plan cache** ([`cache`]) — an LRU over
+//!   `(SQL, strategy, catalog epoch)` caching the parsed AST, the ConQuer
+//!   rewriting, and the physical plan (CTEs materialized). Catalog
+//!   mutations bump the epoch; stale plans are never served.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use conquer_engine::Database;
+//! use conquer_core::ConstraintSet;
+//! use conquer_serve::{serve, Client, ServerConfig};
+//!
+//! let db = Arc::new(Database::new());
+//! db.run_script("create table t (k text, v int); insert into t values ('a', 1);").unwrap();
+//! let sigma = ConstraintSet::new().with_key("t", ["k"]);
+//! let server = serve(db, sigma, ServerConfig::default()).unwrap();
+//!
+//! let mut client = Client::connect(server.addr()).unwrap();
+//! let outcome = client.query("select k from t").unwrap();
+//! assert_eq!(outcome.rows.rows.len(), 1);
+//! client.quit().unwrap();
+//! ```
+
+pub mod admission;
+pub mod cache;
+pub mod client;
+pub mod error;
+pub mod protocol;
+pub mod server;
+mod session;
+
+pub use admission::{Admission, AdmissionStats, Permit};
+pub use cache::{CacheStats, CachedStatement, StatementCache};
+pub use client::{Client, ClientError};
+pub use error::ServeError;
+pub use protocol::{ErrorCode, QueryOutcome, Request, Response, Strategy};
+pub use server::{serve, ServerConfig, ServerHandle, Shared};
+pub use session::SERVER_VERSION;

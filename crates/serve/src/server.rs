@@ -1,0 +1,244 @@
+//! The server proper: listener, accept loop, session registry, shutdown.
+//!
+//! One [`Shared`] struct carries everything sessions touch — the
+//! `Arc<Database>` (read-mostly: queries never lock, scripts copy-on-write
+//! behind the catalog mutex, see DESIGN.md §4), the constraint set, the
+//! statement cache, and the admission semaphore. Each accepted connection
+//! gets a dedicated session thread; the count is capped (`max_sessions`)
+//! and connections past the cap are greeted with a `busy` error frame and
+//! closed, so the accept loop itself can never pile up unbounded threads.
+//!
+//! Shutdown (either [`ServerHandle::shutdown`] or a client `shutdown`
+//! request) sets a flag, wakes the accept loop with a loopback connect,
+//! half-closes every live session socket (sessions observe EOF and exit),
+//! and waits for the session count to drain.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use conquer_core::ConstraintSet;
+use conquer_engine::Database;
+
+use crate::admission::Admission;
+use crate::cache::StatementCache;
+use crate::protocol::{write_frame, ErrorCode, Response};
+use crate::session::run_session;
+
+/// Tunables for [`serve`]. The defaults suit tests and small deployments.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 to let the OS pick (tests).
+    pub addr: String,
+    /// Connection cap; further connects get a `busy` greeting and a close.
+    pub max_sessions: usize,
+    /// Queries allowed to run at once (admission semaphore width).
+    pub max_concurrent: usize,
+    /// How long a query may queue for admission before `busy`.
+    pub queue_wait: Duration,
+    /// Rewrite/plan cache capacity (entries).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_sessions: 64,
+            max_concurrent: 4,
+            queue_wait: Duration::from_millis(500),
+            cache_capacity: 256,
+        }
+    }
+}
+
+/// State shared by the accept loop and every session thread.
+pub struct Shared {
+    pub db: Arc<Database>,
+    pub sigma: ConstraintSet,
+    pub cache: StatementCache,
+    pub admission: Arc<Admission>,
+    pub max_sessions: usize,
+    addr: SocketAddr,
+    active: AtomicUsize,
+    next_session: AtomicU64,
+    shutdown: AtomicBool,
+    /// `try_clone`s of live session sockets, for forced close on shutdown.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+}
+
+impl Shared {
+    pub fn active_sessions(&self) -> usize {
+        self.active.load(Ordering::Acquire)
+    }
+
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    fn lock_conns(&self) -> std::sync::MutexGuard<'_, HashMap<u64, TcpStream>> {
+        self.conns.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Initiate shutdown from any thread: flag, wake the accept loop, and
+    /// half-close every live session socket so blocked reads see EOF.
+    pub fn request_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::AcqRel) {
+            return; // already underway
+        }
+        // Wake the accept loop (it re-checks the flag per connection).
+        let _ = TcpStream::connect(self.addr);
+        for (_, conn) in self.lock_conns().iter() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// A running server. Dropping the handle shuts the server down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the OS-assigned port when 0 was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared state, for in-process inspection (tests, the binary).
+    pub fn shared(&self) -> &Arc<Shared> {
+        &self.shared
+    }
+
+    /// Ask the server to stop: no new connections, live sockets closed.
+    pub fn shutdown(&self) {
+        self.shared.request_shutdown();
+    }
+
+    /// Block until the accept loop exits and every session drains. Returns
+    /// without forcing shutdown first — callers wanting to *stop* the
+    /// server call [`shutdown`](ServerHandle::shutdown) (or a client sends
+    /// the `shutdown` request); this is what the binary parks on.
+    pub fn wait(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        // The accept loop only exits on shutdown; drain the sessions.
+        let mut spins = 0u32;
+        while self.shared.active_sessions() > 0 && spins < 4000 {
+            std::thread::sleep(Duration::from_millis(5));
+            spins += 1;
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shared.request_shutdown();
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let mut spins = 0u32;
+        while self.shared.active_sessions() > 0 && spins < 1000 {
+            std::thread::sleep(Duration::from_millis(5));
+            spins += 1;
+        }
+    }
+}
+
+/// Bind and start serving `db` under constraints `sigma`. Returns once the
+/// listener is bound and accepting; sessions run on their own threads.
+pub fn serve(
+    db: Arc<Database>,
+    sigma: ConstraintSet,
+    config: ServerConfig,
+) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        db,
+        sigma,
+        cache: StatementCache::new(config.cache_capacity),
+        admission: Admission::new(config.max_concurrent, config.queue_wait),
+        max_sessions: config.max_sessions.max(1),
+        addr,
+        active: AtomicUsize::new(0),
+        next_session: AtomicU64::new(1),
+        shutdown: AtomicBool::new(false),
+        conns: Mutex::new(HashMap::new()),
+    });
+    let accept = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("conquer-accept".to_string())
+            .spawn(move || accept_loop(listener, shared))?
+    };
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept: Some(accept),
+    })
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    for conn in listener.incoming() {
+        if shared.is_shutting_down() {
+            break;
+        }
+        let stream = match conn {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let _ = stream.set_nodelay(true);
+        if shared.active_sessions() >= shared.max_sessions {
+            reject_session(stream);
+            continue;
+        }
+        let id = shared.next_session.fetch_add(1, Ordering::Relaxed);
+        shared.active.fetch_add(1, Ordering::AcqRel);
+        if let Ok(clone) = stream.try_clone() {
+            shared.lock_conns().insert(id, clone);
+        }
+        conquer_obs::registry()
+            .counter("serve.sessions.opened")
+            .inc();
+        let session_shared = Arc::clone(&shared);
+        let spawned = std::thread::Builder::new()
+            .name(format!("conquer-session-{id}"))
+            .spawn(move || {
+                let wants_shutdown = run_session(Arc::clone(&session_shared), stream, id);
+                session_shared.lock_conns().remove(&id);
+                session_shared.active.fetch_sub(1, Ordering::AcqRel);
+                conquer_obs::registry()
+                    .counter("serve.sessions.closed")
+                    .inc();
+                if wants_shutdown {
+                    session_shared.request_shutdown();
+                }
+            });
+        if spawned.is_err() {
+            // Could not spawn a thread: undo the bookkeeping, drop the conn.
+            shared.lock_conns().remove(&id);
+            shared.active.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+}
+
+/// Greet an over-capacity connection with a structured `busy` error so the
+/// client can distinguish "server full" from a network failure.
+fn reject_session(mut stream: TcpStream) {
+    conquer_obs::registry()
+        .counter("serve.sessions.rejected")
+        .inc();
+    let resp = Response::Error {
+        code: ErrorCode::Busy,
+        message: "session limit reached; retry later".to_string(),
+    };
+    let _ = write_frame(&mut stream, &resp.to_json());
+}

@@ -1,0 +1,531 @@
+//! Per-connection session logic: the request loop, session options, the
+//! prepared-statement table, and the disconnect watchdog that turns a
+//! dropped connection into a governor cancellation.
+//!
+//! ## The disconnect watchdog
+//!
+//! The protocol is strictly request/response, so while a query executes the
+//! session thread is *not* reading the socket — a client that gives up and
+//! disconnects would otherwise leave its query burning CPU until the next
+//! write fails. Each session therefore runs one long-lived watchdog thread
+//! over a `try_clone` of the stream. While a query is in flight the
+//! watchdog `peek`s the socket on a short read timeout; `Ok(0)` (EOF) or a
+//! hard error cancels the query's [`CancellationToken`], and the engine
+//! unwinds with `EngineError::Cancelled` at the next cooperative check.
+//!
+//! `try_clone` duplicates the fd onto the *same* file description, so the
+//! watchdog's read timeout is visible to the session's own reads. Both the
+//! timeout install (watchdog) and the restore (session, after the query)
+//! happen under the watch-state mutex, so the session never blocks on a
+//! frame read with a stale poll timeout installed; a belt-and-braces retry
+//! on `WouldBlock` in the read loop covers the remaining impossible cases.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::TcpStream;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use conquer_engine::{CancellationToken, ExecOptions};
+use conquer_obs::Json;
+
+use crate::admission::Permit;
+use crate::cache::CachedStatement;
+use crate::error::ServeError;
+use crate::protocol::{
+    read_frame, write_frame, ErrorCode, QueryOutcome, Request, Response, Strategy,
+};
+use crate::server::Shared;
+
+/// Wire-protocol version reported in the `Hello` frame.
+pub const SERVER_VERSION: &str = env!("CARGO_PKG_VERSION");
+
+/// Poll interval of the disconnect watchdog; bounds how long a dropped
+/// connection's query keeps running past the governor's cooperative check.
+const WATCHDOG_POLL: Duration = Duration::from_millis(20);
+
+enum WatchState {
+    /// No query in flight; the watchdog sleeps on the condvar.
+    Idle,
+    /// A query is executing under this token; the watchdog polls the socket.
+    Watching(CancellationToken),
+    /// The session is over; the watchdog exits.
+    Closed,
+}
+
+struct WatchSlot {
+    state: Mutex<WatchState>,
+    cond: Condvar,
+}
+
+impl WatchSlot {
+    fn lock(&self) -> std::sync::MutexGuard<'_, WatchState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+struct Session {
+    shared: Arc<Shared>,
+    id: u64,
+    options: ExecOptions,
+    strategy: Strategy,
+    statements: HashMap<u64, Arc<CachedStatement>>,
+    next_statement: u64,
+    watch: Arc<WatchSlot>,
+}
+
+/// Serve one connection to completion. Returns `true` when the client asked
+/// for a server shutdown.
+pub(crate) fn run_session(shared: Arc<Shared>, mut stream: TcpStream, id: u64) -> bool {
+    let watch = Arc::new(WatchSlot {
+        state: Mutex::new(WatchState::Idle),
+        cond: Condvar::new(),
+    });
+    let mut session = Session {
+        shared,
+        id,
+        options: ExecOptions::default(),
+        strategy: Strategy::default(),
+        statements: HashMap::new(),
+        next_statement: 1,
+        watch: Arc::clone(&watch),
+    };
+    let watch_stream = stream.try_clone().ok();
+
+    let shutdown_requested = std::thread::scope(|scope| {
+        let watcher = watch_stream.map(|ws| {
+            let watch = Arc::clone(&watch);
+            scope.spawn(move || watchdog(ws, &watch))
+        });
+        let wants_shutdown = session.request_loop(&mut stream);
+        {
+            let mut state = watch.lock();
+            *state = WatchState::Closed;
+        }
+        watch.cond.notify_all();
+        // Unblock a watchdog mid-`peek` so the scope can join promptly.
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+        if let Some(w) = watcher {
+            let _ = w.join();
+        }
+        wants_shutdown
+    });
+    shutdown_requested
+}
+
+fn watchdog(stream: TcpStream, watch: &WatchSlot) {
+    let mut buf = [0u8; 1];
+    loop {
+        // Sleep until a query starts; install the poll timeout under the
+        // same lock that observes `Watching` (see module docs).
+        let token = {
+            let mut state = watch.lock();
+            loop {
+                match &*state {
+                    WatchState::Idle => {
+                        state = watch.cond.wait(state).unwrap_or_else(|e| e.into_inner());
+                    }
+                    WatchState::Watching(token) => {
+                        let token = token.clone();
+                        let _ = stream.set_read_timeout(Some(WATCHDOG_POLL));
+                        break token;
+                    }
+                    WatchState::Closed => return,
+                }
+            }
+        };
+        loop {
+            {
+                let state = watch.lock();
+                match &*state {
+                    WatchState::Watching(_) => {}
+                    WatchState::Idle => break,
+                    WatchState::Closed => return,
+                }
+            }
+            match stream.peek(&mut buf) {
+                // EOF: the client hung up mid-query.
+                Ok(0) => {
+                    token.cancel();
+                    conquer_obs::registry()
+                        .counter("serve.disconnect_cancel")
+                        .inc();
+                    return;
+                }
+                // Bytes queued (a pipelined frame): the peer is alive.
+                Ok(_) => std::thread::sleep(WATCHDOG_POLL),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut => {}
+                // Reset / aborted: treat like a disconnect.
+                Err(_) => {
+                    token.cancel();
+                    conquer_obs::registry()
+                        .counter("serve.disconnect_cancel")
+                        .inc();
+                    return;
+                }
+            }
+        }
+    }
+}
+
+impl Session {
+    /// Read/dispatch/respond until EOF, `quit`, `shutdown`, or an
+    /// unrecoverable frame error. Returns `true` on `shutdown`.
+    fn request_loop(&mut self, stream: &mut TcpStream) -> bool {
+        let hello = Response::Hello {
+            session: self.id,
+            version: SERVER_VERSION.to_string(),
+        };
+        if write_frame(stream, &hello.to_json()).is_err() {
+            return false;
+        }
+        loop {
+            let json = match read_request(stream) {
+                Ok(Some(json)) => json,
+                Ok(None) => return false,
+                Err(_) => {
+                    // Framing is lost; report once and close.
+                    let resp = Response::Error {
+                        code: ErrorCode::Protocol,
+                        message: "malformed frame".to_string(),
+                    };
+                    let _ = write_frame(stream, &resp.to_json());
+                    return false;
+                }
+            };
+            let request = match Request::from_json(&json) {
+                Ok(req) => req,
+                Err(message) => {
+                    let resp = Response::Error {
+                        code: ErrorCode::Protocol,
+                        message,
+                    };
+                    if write_frame(stream, &resp.to_json()).is_err() {
+                        return false;
+                    }
+                    continue;
+                }
+            };
+            let response = self.handle(&request, stream);
+            if write_frame(stream, &response.to_json()).is_err() {
+                return false;
+            }
+            match request {
+                Request::Quit => return false,
+                Request::Shutdown => return true,
+                _ => {}
+            }
+        }
+    }
+
+    fn handle(&mut self, request: &Request, stream: &TcpStream) -> Response {
+        match request {
+            Request::Ping | Request::Quit | Request::Shutdown => Response::Ok,
+            Request::Set { name, value } => match self.set_option(name, value) {
+                Ok(()) => Response::Ok,
+                Err(e) => error_response(e),
+            },
+            Request::Query { sql, strategy } => {
+                let strategy = strategy.unwrap_or(self.strategy);
+                match self.run_query(sql, strategy, stream) {
+                    Ok(outcome) => Response::Rows(outcome),
+                    Err(e) => error_response(e),
+                }
+            }
+            Request::Prepare { sql, strategy } => {
+                let strategy = strategy.unwrap_or(self.strategy);
+                match self.prepare(sql, strategy) {
+                    Ok(statement) => Response::Prepared { statement },
+                    Err(e) => error_response(e),
+                }
+            }
+            Request::Execute { statement } => match self.run_execute(*statement, stream) {
+                Ok(outcome) => Response::Rows(outcome),
+                Err(e) => error_response(e),
+            },
+            Request::CloseStatement { statement } => {
+                if self.statements.remove(statement).is_some() {
+                    Response::Ok
+                } else {
+                    error_response(ServeError::UnknownStatement(*statement))
+                }
+            }
+            Request::Script { sql } => match self.run_script(sql) {
+                Ok(()) => Response::Ok,
+                Err(e) => error_response(e),
+            },
+            Request::Stats => Response::Stats(self.stats_json()),
+        }
+    }
+
+    fn admit(&self) -> Result<Permit, ServeError> {
+        self.shared.admission.try_admit().ok_or_else(|| {
+            let stats = self.shared.admission.stats();
+            ServeError::Busy(format!(
+                "{} queries in flight (max {}), queue wait exceeded; retry later",
+                stats.in_flight, stats.max_concurrent
+            ))
+        })
+    }
+
+    /// Run `f` (plan/execute work) with the disconnect watchdog armed on
+    /// `token`. Restores the socket to blocking reads afterwards.
+    fn with_watch<T>(
+        &self,
+        stream: &TcpStream,
+        token: &CancellationToken,
+        f: impl FnOnce() -> Result<T, ServeError>,
+    ) -> Result<T, ServeError> {
+        {
+            let mut state = self.watch.lock();
+            *state = WatchState::Watching(token.clone());
+        }
+        self.watch.cond.notify_all();
+        let result = f();
+        {
+            let mut state = self.watch.lock();
+            if !matches!(&*state, WatchState::Closed) {
+                *state = WatchState::Idle;
+            }
+            // Under the same lock as the watchdog's install: after this,
+            // the session socket is guaranteed back to blocking reads.
+            let _ = stream.set_read_timeout(None);
+        }
+        result
+    }
+
+    fn run_query(
+        &mut self,
+        sql: &str,
+        strategy: Strategy,
+        stream: &TcpStream,
+    ) -> Result<QueryOutcome, ServeError> {
+        let started = Instant::now();
+        let _permit = self.admit()?;
+        let token = CancellationToken::new();
+        let mut options = self.options.clone();
+        options.cancellation = Some(token.clone());
+        let shared = &self.shared;
+        let (rows, cached) = self.with_watch(stream, &token, || {
+            let (stmt, cached) =
+                shared
+                    .cache
+                    .get_or_build(&shared.db, &shared.sigma, sql, strategy, &options)?;
+            let rows = shared
+                .db
+                .execute_plan_with(&stmt.plan, &options)
+                .map_err(ServeError::Engine)?;
+            Ok((rows, cached))
+        })?;
+        let elapsed_us = started.elapsed().as_micros() as u64;
+        record_query(elapsed_us);
+        Ok(QueryOutcome {
+            rows,
+            cached,
+            elapsed_us,
+        })
+    }
+
+    fn prepare(&mut self, sql: &str, strategy: Strategy) -> Result<u64, ServeError> {
+        // Preparation plans (and for rewritings, materializes CTEs), so it
+        // goes through admission like any other heavy work.
+        let _permit = self.admit()?;
+        let (stmt, _cached) = self.shared.cache.get_or_build(
+            &self.shared.db,
+            &self.shared.sigma,
+            sql,
+            strategy,
+            &self.options,
+        )?;
+        let id = self.next_statement;
+        self.next_statement += 1;
+        self.statements.insert(id, stmt);
+        Ok(id)
+    }
+
+    fn run_execute(
+        &mut self,
+        statement_id: u64,
+        stream: &TcpStream,
+    ) -> Result<QueryOutcome, ServeError> {
+        let bound = self
+            .statements
+            .get(&statement_id)
+            .cloned()
+            .ok_or(ServeError::UnknownStatement(statement_id))?;
+        let started = Instant::now();
+        let _permit = self.admit()?;
+        let token = CancellationToken::new();
+        let mut options = self.options.clone();
+        options.cancellation = Some(token.clone());
+        let shared = &self.shared;
+        let (stmt, rows, cached) = self.with_watch(stream, &token, || {
+            // A catalog change since `prepare` makes the bound plan stale:
+            // re-resolve through the cache so stale plans are never served.
+            let (stmt, cached) = if bound.epoch == shared.db.catalog_epoch() {
+                (Arc::clone(&bound), true)
+            } else {
+                shared.cache.get_or_build(
+                    &shared.db,
+                    &shared.sigma,
+                    &bound.sql,
+                    bound.strategy,
+                    &options,
+                )?
+            };
+            let rows = shared
+                .db
+                .execute_plan_with(&stmt.plan, &options)
+                .map_err(ServeError::Engine)?;
+            Ok((stmt, rows, cached))
+        })?;
+        // Refresh the binding so the next `execute` hits the epoch check.
+        self.statements.insert(statement_id, stmt);
+        let elapsed_us = started.elapsed().as_micros() as u64;
+        record_query(elapsed_us);
+        Ok(QueryOutcome {
+            rows,
+            cached,
+            elapsed_us,
+        })
+    }
+
+    fn run_script(&mut self, sql: &str) -> Result<(), ServeError> {
+        let _permit = self.admit()?;
+        self.shared.db.run_script(sql).map_err(ServeError::Engine)?;
+        Ok(())
+    }
+
+    fn set_option(&mut self, name: &str, value: &Json) -> Result<(), ServeError> {
+        fn uint(value: &Json) -> Option<u64> {
+            match value {
+                Json::UInt(v) => Some(*v),
+                Json::Int(v) if *v >= 0 => Some(*v as u64),
+                _ => None,
+            }
+        }
+        let bad = |what: &str| {
+            ServeError::Protocol(format!("`set {name}` expects {what}, got {value:?}"))
+        };
+        match name {
+            "threads" => {
+                let v = uint(value)
+                    .filter(|v| (1..=256).contains(v))
+                    .ok_or_else(|| bad("an integer in 1..=256"))?;
+                self.options.threads = v as usize;
+            }
+            "timeout_ms" => {
+                let v = uint(value).ok_or_else(|| bad("a non-negative integer (0 clears)"))?;
+                self.options.limits.timeout = (v > 0).then(|| Duration::from_millis(v));
+            }
+            "mem_limit" => {
+                let v = uint(value).ok_or_else(|| bad("a byte count (0 clears)"))?;
+                self.options.limits.max_memory_bytes = (v > 0).then_some(v);
+            }
+            "max_rows" => {
+                let v = uint(value).ok_or_else(|| bad("a row count (0 clears)"))?;
+                self.options.limits.max_rows = (v > 0).then_some(v);
+            }
+            "strategy" => {
+                let Json::Str(s) = value else {
+                    return Err(bad("one of original|rewritten|annotated"));
+                };
+                self.strategy =
+                    Strategy::parse(s).ok_or_else(|| bad("one of original|rewritten|annotated"))?;
+            }
+            _ => {
+                return Err(ServeError::Protocol(format!(
+                    "unknown session option `{name}` (have threads, timeout_ms, mem_limit, \
+                     max_rows, strategy)"
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    fn stats_json(&self) -> Json {
+        let cache = self.shared.cache.stats();
+        let admission = self.shared.admission.stats();
+        Json::obj([
+            (
+                "server",
+                Json::obj([
+                    ("version", Json::from(SERVER_VERSION)),
+                    (
+                        "active_sessions",
+                        Json::UInt(self.shared.active_sessions() as u64),
+                    ),
+                    ("max_sessions", Json::UInt(self.shared.max_sessions as u64)),
+                    ("catalog_epoch", Json::UInt(self.shared.db.catalog_epoch())),
+                ]),
+            ),
+            (
+                "cache",
+                Json::obj([
+                    ("entries", Json::UInt(cache.entries as u64)),
+                    ("capacity", Json::UInt(cache.capacity as u64)),
+                    ("hits", Json::UInt(cache.hits)),
+                    ("misses", Json::UInt(cache.misses)),
+                    ("invalidations", Json::UInt(cache.invalidations)),
+                    ("evictions", Json::UInt(cache.evictions)),
+                    ("hit_rate", Json::Float(cache.hit_rate())),
+                ]),
+            ),
+            (
+                "admission",
+                Json::obj([
+                    ("in_flight", Json::UInt(admission.in_flight as u64)),
+                    ("queue_depth", Json::UInt(admission.queue_depth as u64)),
+                    (
+                        "max_concurrent",
+                        Json::UInt(admission.max_concurrent as u64),
+                    ),
+                    ("admitted", Json::UInt(admission.admitted)),
+                    ("rejected", Json::UInt(admission.rejected)),
+                ]),
+            ),
+            (
+                "session",
+                Json::obj([
+                    ("id", Json::UInt(self.id)),
+                    ("strategy", Json::from(self.strategy.label())),
+                    ("threads", Json::UInt(self.options.threads as u64)),
+                    (
+                        "prepared_statements",
+                        Json::UInt(self.statements.len() as u64),
+                    ),
+                ]),
+            ),
+            ("obs", conquer_obs::registry().snapshot_json()),
+        ])
+    }
+}
+
+fn error_response(e: ServeError) -> Response {
+    Response::Error {
+        code: e.code(),
+        message: e.to_string(),
+    }
+}
+
+fn record_query(elapsed_us: u64) {
+    let registry = conquer_obs::registry();
+    registry.counter("serve.queries").inc();
+    registry.histogram("serve.query.us").record(elapsed_us);
+}
+
+/// [`read_frame`] with a retry on spurious `WouldBlock`/`TimedOut` — a
+/// safety net for the (lock-ordered, see module docs) watchdog timeout
+/// races; never expected to loop in practice.
+fn read_request(stream: &mut TcpStream) -> io::Result<Option<Json>> {
+    loop {
+        match read_frame(stream) {
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            }
+            other => return other,
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Catalog-epoch invalidation through the server: cached plans embed table
+//! snapshots (and materialized CTEs), so serving a stale plan after a
+//! catalog change would silently return old data. These tests drive the
+//! server over loopback and check that prepared statements and cached
+//! queries always reflect post-mutation state — stale plans are never
+//! served — including across sessions.
+
+use std::sync::Arc;
+
+use conquer_core::ConstraintSet;
+use conquer_engine::Database;
+use conquer_obs::Json;
+use conquer_serve::{serve, Client, ServerConfig, ServerHandle, Strategy};
+
+fn start() -> ServerHandle {
+    let db = Database::new();
+    db.run_script(
+        "create table account (k text, bal float);
+         insert into account values
+             ('a1', 100), ('a1', 900), ('a2', 250), ('a3', 400);",
+    )
+    .expect("seed");
+    let sigma = ConstraintSet::new().with_key("account", ["k"]);
+    serve(Arc::new(db), sigma, ServerConfig::default()).expect("bind")
+}
+
+const COUNT: &str = "select count(*) from account";
+
+fn count_of(client: &mut Client, outcome: conquer_serve::QueryOutcome) -> i64 {
+    let _ = client;
+    match &outcome.rows.rows[0][0] {
+        conquer_engine::Value::Int(v) => *v,
+        other => panic!("count(*) returned {other:?}"),
+    }
+}
+
+#[test]
+fn prepared_statement_replans_after_epoch_bump() {
+    let server = start();
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    let stmt = client
+        .prepare(COUNT, Some(Strategy::Original))
+        .expect("prepare");
+    let before = client.execute(stmt).expect("execute");
+    let before_count = count_of(&mut client, before);
+
+    client
+        .script("insert into account values ('a9', 5000)")
+        .expect("script");
+
+    // The bound plan is stale; the server must rebuild, not serve it.
+    let after = client.execute(stmt).expect("re-execute");
+    assert_eq!(
+        count_of(&mut client, after),
+        before_count + 1,
+        "prepared statement served a stale plan after a catalog change"
+    );
+
+    let stats = client.stats().expect("stats");
+    let invalidations = stats
+        .get("cache")
+        .and_then(|c| c.get("invalidations"))
+        .and_then(Json::as_f64)
+        .expect("invalidations counter");
+    assert!(invalidations >= 1.0, "epoch bump must invalidate the entry");
+
+    client.quit().expect("quit");
+    server.shutdown();
+}
+
+#[test]
+fn query_cache_never_serves_stale_rewritten_answers() {
+    let server = start();
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let sql = "select k from account where bal > 300";
+
+    // Warm the cache under the rewriting, then mutate, then re-ask.
+    let cold = client
+        .query_with(sql, Some(Strategy::Rewritten))
+        .expect("cold");
+    assert!(!cold.cached);
+    let warm = client
+        .query_with(sql, Some(Strategy::Rewritten))
+        .expect("warm");
+    assert!(warm.cached, "second run should hit the cache");
+
+    // a3 gains a conflicting duplicate: it stops being a certain answer.
+    client
+        .script("insert into account values ('a3', 10)")
+        .expect("script");
+    let fresh = client
+        .query_with(sql, Some(Strategy::Rewritten))
+        .expect("fresh");
+    assert!(!fresh.cached, "epoch bump must force a rebuild");
+    let keys: Vec<String> = fresh
+        .rows
+        .rows
+        .iter()
+        .map(|row| format!("{:?}", row[0]))
+        .collect();
+    assert!(
+        !keys.iter().any(|k| k.contains("a3")),
+        "stale cached plan: a3 is no longer a consistent answer, got {keys:?}"
+    );
+
+    client.quit().expect("quit");
+    server.shutdown();
+}
+
+#[test]
+fn invalidation_is_visible_across_sessions() {
+    let server = start();
+    let mut preparer = Client::connect(server.addr()).expect("connect preparer");
+    let mut mutator = Client::connect(server.addr()).expect("connect mutator");
+
+    let stmt = preparer
+        .prepare(COUNT, Some(Strategy::Original))
+        .expect("prepare");
+    let before = preparer.execute(stmt).expect("execute");
+    let before_count = count_of(&mut preparer, before);
+
+    // A *different* session mutates the catalog.
+    mutator
+        .script("insert into account values ('a8', 1), ('a7', 2)")
+        .expect("script");
+
+    let after = preparer.execute(stmt).expect("re-execute");
+    assert_eq!(
+        count_of(&mut preparer, after),
+        before_count + 2,
+        "epoch bump from another session must invalidate this session's statement"
+    );
+
+    preparer.quit().expect("quit");
+    mutator.quit().expect("quit");
+    server.shutdown();
+}
