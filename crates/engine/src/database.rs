@@ -4,7 +4,7 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use std::sync::RwLock;
+use std::sync::{Mutex, RwLock};
 
 use conquer_sql::ast::{Expr, Query, Statement};
 use conquer_sql::{parse_query, parse_statements};
@@ -43,10 +43,20 @@ fn write_lock<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
 /// atomic, queries never hold a lock across execution, and writers
 /// (`register`/`drop_table`) swap whole `Arc<Table>`s, so in-flight queries
 /// keep the snapshot they planned against.
+///
+/// Statement-level mutations (`CREATE TABLE`'s existence check, `INSERT`'s
+/// clone-push-register) are read-modify-write sequences, not single swaps;
+/// they serialize on the dedicated `mutation` mutex so concurrent scripts
+/// from different sessions can neither lose rows nor both "create" the
+/// same table.
 #[derive(Default)]
 pub struct Database {
     tables: RwLock<BTreeMap<String, Arc<Table>>>,
     scan_cache: RwLock<BTreeMap<String, Arc<Rows>>>,
+    /// Serializes read-modify-write catalog mutations (`insert`, `CREATE
+    /// TABLE`). Plain `register`/`drop_table` are single atomic swaps and
+    /// don't need it.
+    mutation: Mutex<()>,
     /// Bumped on every catalog mutation (`register`, `drop_table`); plan
     /// and rewrite caches key on this to invalidate stale artifacts.
     epoch: AtomicU64,
@@ -65,18 +75,27 @@ impl Database {
     }
 
     /// Register (or replace) a table. Bumps the catalog epoch.
+    ///
+    /// Ordering matters: the table swap happens *before* the scan-cache
+    /// clear. A concurrent [`Database::table_rows`] miss that read the old
+    /// `Arc<Table>` either inserts its rows before the clear (and the clear
+    /// wipes them) or revalidates after the swap (and sees the table
+    /// changed, so it skips the insert — see `table_rows`). Either way no
+    /// pre-swap rows can sit in the scan cache once the new epoch is
+    /// observable, which is what lets plan caches trust the epoch check.
     pub fn register(&self, table: Table) {
         let name = table.name().to_string();
+        write_lock(&self.tables).insert(name.clone(), Arc::new(table));
         write_lock(&self.scan_cache).remove(&name);
-        write_lock(&self.tables).insert(name, Arc::new(table));
         self.epoch.fetch_add(1, Ordering::Release);
     }
 
     /// Remove a table; returns it if present. Bumps the catalog epoch when
-    /// the table existed.
+    /// the table existed. Same swap-then-clear ordering as
+    /// [`Database::register`].
     pub fn drop_table(&self, name: &str) -> Option<Arc<Table>> {
-        write_lock(&self.scan_cache).remove(name);
         let dropped = write_lock(&self.tables).remove(name);
+        write_lock(&self.scan_cache).remove(name);
         if dropped.is_some() {
             self.epoch.fetch_add(1, Ordering::Release);
         }
@@ -115,7 +134,23 @@ impl Database {
             schema: table.schema().clone(),
             rows: table.rows().to_vec(),
         });
-        write_lock(&self.scan_cache).insert(name.to_string(), Arc::clone(&rows));
+        // Cache only after revalidating, under the cache write lock, that
+        // `table` is still the registered Arc. Without this, a `register`
+        // racing between our miss and our insert could clear the cache and
+        // then have the old rows re-inserted *after* the clear, leaving
+        // stale rows live under the new epoch. The check-and-insert is one
+        // critical section, so it fully precedes or fully follows
+        // `register`'s clear: before, the clear wipes it; after, the table
+        // swap (ordered before the clear) is visible and the ptr_eq check
+        // fails. Nesting the tables read lock inside the cache write lock
+        // is deadlock-free — no writer holds both locks at once.
+        let mut cache = write_lock(&self.scan_cache);
+        let still_current = read_lock(&self.tables)
+            .get(name)
+            .is_some_and(|current| Arc::ptr_eq(current, &table));
+        if still_current {
+            cache.insert(name.to_string(), Arc::clone(&rows));
+        }
         Ok(rows)
     }
 
@@ -265,6 +300,7 @@ impl Database {
         match stmt {
             Statement::Query(q) => Ok(Some(self.execute_query(q)?)),
             Statement::CreateTable { name, columns } => {
+                let _mutation = self.mutation_lock();
                 if read_lock(&self.tables).contains_key(name) {
                     return Err(EngineError::Catalog(format!(
                         "table `{name}` already exists"
@@ -288,7 +324,15 @@ impl Database {
         }
     }
 
+    fn mutation_lock(&self) -> std::sync::MutexGuard<'_, ()> {
+        self.mutation.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     fn insert(&self, name: &str, columns: &[String], rows: &[Vec<Expr>]) -> Result<()> {
+        // INSERT is clone-push-register; hold the mutation mutex across the
+        // whole sequence so a concurrent INSERT can't clone the same base
+        // table and silently drop this one's rows on register.
+        let _mutation = self.mutation_lock();
         let current = self.table(name)?;
         let mut new_table = (*current).clone();
         let n_cols = new_table.schema().len();
@@ -415,6 +459,87 @@ mod tests {
         let second = db.execute_plan_with(&plan, &options).unwrap();
         assert_eq!(first.rows, vec![vec![Value::Int(2)]]);
         assert_eq!(first, second);
+    }
+
+    #[test]
+    fn concurrent_inserts_do_not_lose_rows() {
+        let db = Database::new();
+        db.run_script("create table t (a integer)").unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..50 {
+                        db.run_script("insert into t values (1)").unwrap();
+                    }
+                });
+            }
+        });
+        let rows = db.query("select count(*) from t").unwrap();
+        assert_eq!(rows.rows, vec![vec![Value::Int(200)]]);
+    }
+
+    #[test]
+    fn concurrent_create_table_has_one_winner() {
+        let db = Database::new();
+        let successes: usize = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| scope.spawn(|| db.run_script("create table t (a integer)").is_ok()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .filter(|ok| *ok)
+                .count()
+        });
+        assert_eq!(successes, 1, "exactly one CREATE must win");
+        assert_eq!(db.table_names(), vec!["t".to_string()]);
+    }
+
+    /// Stress the `register` vs `table_rows` race: rows read while the
+    /// epoch is stable must never be older than that epoch (a stale
+    /// scan-cache entry surviving a `register` would violate this and make
+    /// epoch-checked plan caches serve old data).
+    #[test]
+    fn scan_cache_never_lags_a_stable_epoch() {
+        const VERSIONS: u64 = 1000;
+        let db = Database::new();
+        db.run_script("create table t (a integer); insert into t values (0)")
+            .unwrap();
+        let e0 = db.catalog_epoch(); // version 0 is current at e0
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                for i in 1..=VERSIONS {
+                    let mut table = Table::new("t".to_string(), vec![("a", DataType::Integer)]);
+                    table.push(vec![Value::Int(i as i64)]).unwrap();
+                    db.register(table);
+                }
+            });
+            scope.spawn(|| loop {
+                let before = db.catalog_epoch();
+                let rows = db.table_rows("t").unwrap();
+                let after = db.catalog_epoch();
+                if before == after {
+                    // Version (before - e0) registered at epoch `before`;
+                    // seeing anything older means the cache served stale
+                    // rows under this epoch. (Fresher is fine: the writer
+                    // may already have swapped without us observing the
+                    // bump yet.)
+                    let expect = (before - e0) as i64;
+                    let got = match rows.rows[0][0] {
+                        Value::Int(v) => v,
+                        ref other => panic!("unexpected value {other:?}"),
+                    };
+                    assert!(
+                        got >= expect,
+                        "scan cache served version {got} at stable epoch {before} \
+                         (expected at least {expect})"
+                    );
+                }
+                if after >= e0 + VERSIONS {
+                    return;
+                }
+            });
+        });
     }
 
     #[test]

@@ -178,6 +178,7 @@ fn main() -> ExitCode {
         max_concurrent: args.admit,
         queue_wait: Duration::from_millis(args.queue_wait_ms),
         cache_capacity: args.cache,
+        ..ServerConfig::default()
     };
     let server = match serve(db, sigma, config) {
         Ok(server) => server,

@@ -18,6 +18,14 @@
 //! insert wins, which is wasted work but never wrong (documented
 //! thundering-herd tradeoff; the bench workload's hit rate makes it
 //! irrelevant after warmup).
+//!
+//! Build options: entries are shared across sessions but built by
+//! whichever session misses first, so the `ExecOptions` passed to
+//! [`StatementCache::get_or_build`] must be session-independent — the
+//! server passes its fixed [`build_options`](crate::ServerConfig) (plus
+//! the requesting query's cancellation token, which never shapes the
+//! plan), never the session's own `SET` limits. Per-session limits govern
+//! execution of the cached plan, not its construction.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -222,7 +230,8 @@ impl StatementCache {
     }
 
     /// The cache-or-build path sessions use. Returns the statement and
-    /// whether it was a hit. Builds run outside the cache lock.
+    /// whether it was a hit. Builds run outside the cache lock, under
+    /// `options` — which must be session-independent (see module docs).
     pub fn get_or_build(
         &self,
         db: &Database,

@@ -22,7 +22,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use conquer_core::ConstraintSet;
-use conquer_engine::Database;
+use conquer_engine::{CancellationToken, Database, ExecOptions};
 
 use crate::admission::Admission;
 use crate::cache::StatementCache;
@@ -42,6 +42,13 @@ pub struct ServerConfig {
     pub queue_wait: Duration,
     /// Rewrite/plan cache capacity (entries).
     pub cache_capacity: usize,
+    /// Options cached statements are *built* under (plan time, including
+    /// CTE materialization). Cache entries are shared across sessions, so
+    /// builds run under this fixed server-level policy rather than the
+    /// requesting session's `SET` limits — otherwise a plan materialized
+    /// under one session's (lack of) limits would be served to sessions
+    /// whose limits differ. Per-session options still govern execution.
+    pub build_options: ExecOptions,
 }
 
 impl Default for ServerConfig {
@@ -52,6 +59,7 @@ impl Default for ServerConfig {
             max_concurrent: 4,
             queue_wait: Duration::from_millis(500),
             cache_capacity: 256,
+            build_options: ExecOptions::default(),
         }
     }
 }
@@ -63,6 +71,9 @@ pub struct Shared {
     pub cache: StatementCache,
     pub admission: Arc<Admission>,
     pub max_sessions: usize,
+    /// Server-level policy for cache builds (see
+    /// [`ServerConfig::build_options`]).
+    build_options: ExecOptions,
     addr: SocketAddr,
     active: AtomicUsize,
     next_session: AtomicU64,
@@ -74,6 +85,16 @@ pub struct Shared {
 impl Shared {
     pub fn active_sessions(&self) -> usize {
         self.active.load(Ordering::Acquire)
+    }
+
+    /// Options for building a cache entry on behalf of a query: the
+    /// server-level build policy, plus the requesting query's cancellation
+    /// token when it has one (a disconnect still cancels the build; a
+    /// token never shapes the plan, so sharing the entry stays sound).
+    pub fn build_options(&self, cancellation: Option<&CancellationToken>) -> ExecOptions {
+        let mut options = self.build_options.clone();
+        options.cancellation = cancellation.cloned();
+        options
     }
 
     pub fn is_shutting_down(&self) -> bool {
@@ -167,6 +188,7 @@ pub fn serve(
         cache: StatementCache::new(config.cache_capacity),
         admission: Admission::new(config.max_concurrent, config.queue_wait),
         max_sessions: config.max_sessions.max(1),
+        build_options: config.build_options,
         addr,
         active: AtomicUsize::new(0),
         next_session: AtomicU64::new(1),

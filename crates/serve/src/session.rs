@@ -19,10 +19,20 @@
 //! happen under the watch-state mutex, so the session never blocks on a
 //! frame read with a stale poll timeout installed; a belt-and-braces retry
 //! on `WouldBlock` in the read loop covers the remaining impossible cases.
+//!
+//! Each armed query carries a *generation* number. A pipelined client can
+//! finish query N and start query N+1 within one poll cycle, so the
+//! watchdog may never observe the intervening `Idle` — it compares
+//! generations on every poll and, on a change, re-clones the current token
+//! and re-installs the poll timeout (the session restored the socket to
+//! blocking reads when query N finished). Without this the watchdog would
+//! block forever holding query N's already-finished token, and a later
+//! disconnect would cancel nothing.
 
 use std::collections::HashMap;
 use std::io;
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -47,8 +57,11 @@ const WATCHDOG_POLL: Duration = Duration::from_millis(20);
 enum WatchState {
     /// No query in flight; the watchdog sleeps on the condvar.
     Idle,
-    /// A query is executing under this token; the watchdog polls the socket.
-    Watching(CancellationToken),
+    /// A query is executing under this token; the watchdog polls the
+    /// socket. `gen` distinguishes consecutive queries: the watchdog may
+    /// see `Watching` → `Watching` without an intervening `Idle` (see
+    /// module docs) and must refresh its token and poll timeout.
+    Watching { token: CancellationToken, gen: u64 },
     /// The session is over; the watchdog exits.
     Closed,
 }
@@ -56,6 +69,8 @@ enum WatchState {
 struct WatchSlot {
     state: Mutex<WatchState>,
     cond: Condvar,
+    /// Source of `Watching::gen` values; bumped per armed query.
+    next_gen: AtomicU64,
 }
 
 impl WatchSlot {
@@ -80,6 +95,7 @@ pub(crate) fn run_session(shared: Arc<Shared>, mut stream: TcpStream, id: u64) -
     let watch = Arc::new(WatchSlot {
         state: Mutex::new(WatchState::Idle),
         cond: Condvar::new(),
+        next_gen: AtomicU64::new(0),
     });
     let mut session = Session {
         shared,
@@ -118,17 +134,17 @@ fn watchdog(stream: TcpStream, watch: &WatchSlot) {
     loop {
         // Sleep until a query starts; install the poll timeout under the
         // same lock that observes `Watching` (see module docs).
-        let token = {
+        let (mut token, mut gen) = {
             let mut state = watch.lock();
             loop {
                 match &*state {
                     WatchState::Idle => {
                         state = watch.cond.wait(state).unwrap_or_else(|e| e.into_inner());
                     }
-                    WatchState::Watching(token) => {
-                        let token = token.clone();
+                    WatchState::Watching { token, gen } => {
+                        let armed = (token.clone(), *gen);
                         let _ = stream.set_read_timeout(Some(WATCHDOG_POLL));
-                        break token;
+                        break armed;
                     }
                     WatchState::Closed => return,
                 }
@@ -138,7 +154,21 @@ fn watchdog(stream: TcpStream, watch: &WatchSlot) {
             {
                 let state = watch.lock();
                 match &*state {
-                    WatchState::Watching(_) => {}
+                    WatchState::Watching {
+                        token: current,
+                        gen: current_gen,
+                    } => {
+                        // A new query was armed without an observed Idle:
+                        // the session restored blocking reads in between,
+                        // so re-install the poll timeout (under the lock,
+                        // like the initial install) and track the new
+                        // query's token instead of the finished one's.
+                        if *current_gen != gen {
+                            gen = *current_gen;
+                            token = current.clone();
+                            let _ = stream.set_read_timeout(Some(WATCHDOG_POLL));
+                        }
+                    }
                     WatchState::Idle => break,
                     WatchState::Closed => return,
                 }
@@ -280,7 +310,10 @@ impl Session {
     ) -> Result<T, ServeError> {
         {
             let mut state = self.watch.lock();
-            *state = WatchState::Watching(token.clone());
+            *state = WatchState::Watching {
+                token: token.clone(),
+                gen: self.watch.next_gen.fetch_add(1, Ordering::Relaxed),
+            };
         }
         self.watch.cond.notify_all();
         let result = f();
@@ -308,11 +341,15 @@ impl Session {
         let mut options = self.options.clone();
         options.cancellation = Some(token.clone());
         let shared = &self.shared;
+        // Cache builds run under server-level options (plus this query's
+        // cancellation token) so the shared entry doesn't depend on which
+        // session happened to build it; `options` governs execution only.
+        let build_options = shared.build_options(Some(&token));
         let (rows, cached) = self.with_watch(stream, &token, || {
             let (stmt, cached) =
                 shared
                     .cache
-                    .get_or_build(&shared.db, &shared.sigma, sql, strategy, &options)?;
+                    .get_or_build(&shared.db, &shared.sigma, sql, strategy, &build_options)?;
             let rows = shared
                 .db
                 .execute_plan_with(&stmt.plan, &options)
@@ -330,14 +367,15 @@ impl Session {
 
     fn prepare(&mut self, sql: &str, strategy: Strategy) -> Result<u64, ServeError> {
         // Preparation plans (and for rewritings, materializes CTEs), so it
-        // goes through admission like any other heavy work.
+        // goes through admission like any other heavy work. The build runs
+        // under server-level options: the entry is shared across sessions.
         let _permit = self.admit()?;
         let (stmt, _cached) = self.shared.cache.get_or_build(
             &self.shared.db,
             &self.shared.sigma,
             sql,
             strategy,
-            &self.options,
+            &self.shared.build_options(None),
         )?;
         let id = self.next_statement;
         self.next_statement += 1;
@@ -361,6 +399,7 @@ impl Session {
         let mut options = self.options.clone();
         options.cancellation = Some(token.clone());
         let shared = &self.shared;
+        let build_options = shared.build_options(Some(&token));
         let (stmt, rows, cached) = self.with_watch(stream, &token, || {
             // A catalog change since `prepare` makes the bound plan stale:
             // re-resolve through the cache so stale plans are never served.
@@ -372,7 +411,7 @@ impl Session {
                     &shared.sigma,
                     &bound.sql,
                     bound.strategy,
-                    &options,
+                    &build_options,
                 )?
             };
             let rows = shared

@@ -114,6 +114,60 @@ fn overload_maps_to_structured_busy() {
     server.shutdown();
 }
 
+/// Regression: a pipelined client finishes query N and starts query N+1
+/// within one watchdog poll cycle, so the watchdog can see `Watching` →
+/// `Watching` with no `Idle` in between. It must re-arm on the generation
+/// change (fresh token *and* re-installed poll timeout — the session
+/// restored blocking reads when query N finished); without that, a later
+/// disconnect cancels query N's already-finished token and query N+1 runs
+/// to completion holding the admission slot.
+#[test]
+fn disconnect_cancels_a_pipelined_back_to_back_query() {
+    let server = start(128, 1, 100);
+    let addr = server.addr();
+    let registry = conquer_obs::registry();
+
+    let mut raw = TcpStream::connect(addr).expect("connect raw");
+    let hello = read_frame(&mut raw).expect("hello frame").expect("hello");
+    assert!(hello.get("session").is_some());
+
+    // Pipeline a fast query and the slow one in one burst: the session
+    // starts the slow query the instant the fast one's response is written.
+    let fast = Request::Query {
+        sql: "select v from big where v = 1".to_string(),
+        strategy: Some(Strategy::Original),
+    };
+    let slow = Request::Query {
+        sql: SLOW.to_string(),
+        strategy: Some(Strategy::Original),
+    };
+    write_frame(&mut raw, &fast.to_json()).expect("send fast");
+    write_frame(&mut raw, &slow.to_json()).expect("send slow");
+    let first = read_frame(&mut raw).expect("fast response").expect("frame");
+    assert!(first.get("result").is_some(), "expected rows, got {first:?}");
+
+    let mut observer = Client::connect(addr).expect("connect observer");
+    assert!(
+        wait_for_in_flight(&mut observer, 1, Duration::from_secs(10)),
+        "slow query never became in-flight"
+    );
+    let trips_before = registry.counter("governor.trip.cancelled").get();
+
+    drop(raw); // client gives up mid-slow-query
+
+    assert!(
+        wait_for_in_flight(&mut observer, 0, Duration::from_secs(5)),
+        "back-to-back query was not cancelled after disconnect \
+         (watchdog held the previous query's token?)"
+    );
+    assert!(
+        registry.counter("governor.trip.cancelled").get() > trips_before,
+        "the engine never unwound through the cancellation token"
+    );
+    observer.quit().expect("quit");
+    server.shutdown();
+}
+
 #[test]
 fn dropping_the_connection_cancels_the_query_via_the_governor() {
     let server = start(128, 1, 100);

@@ -234,6 +234,47 @@ fn prepared_statements_roundtrip() {
     server.shutdown();
 }
 
+/// Cache entries are shared across sessions, so statements are *built*
+/// under the server-level build options, not the requesting session's
+/// `SET` limits — a session with a 1-byte memory budget can still prepare
+/// a rewritten statement (whose build materializes CTEs); its limits
+/// govern execution only.
+#[test]
+fn session_limits_do_not_shape_cache_builds() {
+    let (server, db, sigma) = start(ServerConfig::default());
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let sql = "select ckey from customer where nation = 'fr'";
+
+    // Sanity: this build genuinely exceeds a 1-byte budget, so the prepare
+    // below can only succeed via the server-level options.
+    let mut tiny = ExecOptions::default();
+    tiny.limits.max_memory_bytes = Some(1);
+    assert!(
+        build_statement(&db, &sigma, sql, Strategy::Rewritten, &tiny).is_err(),
+        "expected the rewritten build to trip a 1-byte memory budget"
+    );
+
+    client.set("mem_limit", Json::UInt(1)).expect("set mem_limit");
+    let id = client
+        .prepare(sql, Some(Strategy::Rewritten))
+        .expect("prepare must build under server options, not the session's 1-byte budget");
+    client
+        .set("mem_limit", Json::UInt(0))
+        .expect("clear mem_limit");
+    let served = client.execute(id).expect("execute");
+
+    // The shared entry answers exactly like in-process execution.
+    let reference = build_statement(&db, &sigma, sql, Strategy::Rewritten, &ExecOptions::default())
+        .expect("in-process build");
+    let expected = db
+        .execute_plan_with(&reference.plan, &ExecOptions::default())
+        .expect("in-process execute");
+    assert_eq!(canon(&served.rows), canon(&expected));
+
+    client.quit().expect("quit");
+    server.shutdown();
+}
+
 #[test]
 fn protocol_and_parse_errors_are_structured() {
     let (server, _db, _sigma) = start(ServerConfig::default());
