@@ -9,7 +9,12 @@
 //! ```
 //!
 //! Subcommands: `fig10`, `fig11`, `fig12`, `fig13`, `fig14`, `baseline`,
-//! `serve`, `all` (`all` runs the six figures; `serve` is explicit-only).
+//! `serve`, `plancost`, `all` (`all` runs the six figures; `serve` and
+//! `plancost` are explicit-only). `plancost` reports the planner's
+//! estimated rewritten/original cost ratio per figure query and, with
+//! `--cost-threshold-file <path>` (lines of `<query> <max_ratio>`), exits
+//! nonzero when a ratio regresses past its checked-in threshold — the CI
+//! plan-quality smoke.
 //! The optional `--sf <factor>` overrides the base scale factor
 //! standing in for the paper's 1 GB database (default 0.05), and
 //! `--runs <n>` the median-of-n timing (default 3). `--json <path>`
@@ -60,8 +65,8 @@ use conquer_obs::Json;
 /// the sweep and writes every report before exiting nonzero.
 static FAILED: AtomicBool = AtomicBool::new(false);
 
-const COMMANDS: [&str; 8] = [
-    "fig10", "fig11", "fig12", "fig13", "fig14", "baseline", "serve", "all",
+const COMMANDS: [&str; 9] = [
+    "fig10", "fig11", "fig12", "fig13", "fig14", "baseline", "serve", "plancost", "all",
 ];
 
 struct Args {
@@ -80,6 +85,10 @@ struct Args {
     concurrency: usize,
     /// `serve` mode: rounds over the full query × strategy grid per worker.
     rounds: usize,
+    /// `plancost` mode: path to a checked-in threshold file (`<query>
+    /// <max_ratio>` lines); a rewritten/original cost ratio above its
+    /// threshold fails the run.
+    cost_threshold_file: Option<String>,
 }
 
 impl Args {
@@ -123,6 +132,7 @@ fn parse_args() -> Args {
         serve_port: None,
         concurrency: 16,
         rounds: 3,
+        cost_threshold_file: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -184,6 +194,12 @@ fn parse_args() -> Args {
                     .filter(|n| *n >= 1)
                     .unwrap_or_else(|| die("--rounds requires a positive integer"));
             }
+            "--cost-threshold-file" => {
+                args.cost_threshold_file = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--cost-threshold-file requires a path")),
+                );
+            }
             "--quiet" => args.quiet = true,
             cmd if !cmd.starts_with('-') => {
                 if !COMMANDS.contains(&cmd) {
@@ -200,10 +216,11 @@ fn parse_args() -> Args {
 fn die(msg: &str) -> ! {
     eprintln!("harness: {msg}");
     eprintln!(
-        "usage: harness [fig10|fig11|fig12|fig13|fig14|baseline|serve|all] \
+        "usage: harness [fig10|fig11|fig12|fig13|fig14|baseline|serve|plancost|all] \
          [--sf F] [--runs N] [--json PATH] [--quiet] \
          [--timeout-ms N] [--mem-limit BYTES] [--threads N] \
-         [--serve-port P] [--concurrency N] [--rounds R]"
+         [--serve-port P] [--concurrency N] [--rounds R] \
+         [--cost-threshold-file PATH]"
     );
     std::process::exit(2)
 }
@@ -225,6 +242,7 @@ fn main() {
             "fig14" => fig14(&args),
             "baseline" => baseline(&args),
             "serve" => serve_cmd(&args),
+            "plancost" => plancost(&args),
             _ => unreachable!("command validated in parse_args"),
         };
         report.push("metrics", conquer_obs::registry().snapshot_json());
@@ -576,6 +594,128 @@ fn baseline(args: &Args) -> Json {
     let mut report = report_header("baseline", args);
     report.push("series", Json::Arr(series));
     report
+}
+
+/// `plancost` — plan-quality sweep: for every figure query, plan the
+/// original and the ConQuer rewriting against the standard workload and
+/// report the estimated plan-cost ratio (rewritten / original) under the
+/// cost model the planner itself optimizes with. The ratio is the planner's
+/// own view of the rewriting overhead the paper bounds at roughly 2×
+/// measured wall time; a plan-quality regression (lost pushdown, bad build
+/// side, worse join order) moves this ratio even when a fast machine hides
+/// it from timings. With `--cost-threshold-file`, any query whose ratio
+/// exceeds its checked-in threshold fails the run (the CI plan-quality
+/// smoke job).
+fn plancost(args: &Args) -> Json {
+    use conquer_bench::rewritten_query;
+
+    say!(
+        args,
+        "## Plan cost — rewritten vs original, estimated (SF {}, p = 5%, n = 2)\n",
+        args.sf
+    );
+    let thresholds = args.cost_threshold_file.as_deref().map(load_thresholds);
+    let w = workload(args.sf, 0.05, 2);
+    // Plan with CTEs inlined: a materialized CTE is built at plan time and
+    // appears in the final plan only as a scan of its result, which would
+    // hide the rewriting's real work from the cost model. Inlining keeps
+    // every join and filter of the rewriting inside one costed tree.
+    let mut options = args.options();
+    options.materialize_ctes = false;
+    let est = conquer::engine::Estimator::from_db(&w.db);
+    say!(
+        args,
+        "| Query | original cost | rewritten cost | ratio | threshold | status |"
+    );
+    say!(
+        args,
+        "|-------|--------------:|---------------:|------:|----------:|--------|"
+    );
+    let mut queries = Vec::new();
+    for q in all_queries() {
+        let threshold = thresholds.as_ref().and_then(|t| t.get(&q.name()).copied());
+        let costs = parse_query(q.sql)
+            .map_err(|e| e.to_string())
+            .and_then(|original| {
+                let plan_o = w.db.plan(&original, &options).map_err(|e| e.to_string())?;
+                let rewritten = rewritten_query(&q, &w.sigma, false);
+                let plan_r = w.db.plan(&rewritten, &options).map_err(|e| e.to_string())?;
+                Ok((est.cost(&plan_o), est.cost(&plan_r)))
+            });
+        let mut entry = Json::obj([("query", Json::from(q.name()))]);
+        match costs {
+            Ok((cost_o, cost_r)) => {
+                let ratio = cost_r / cost_o.max(1.0);
+                let status = match threshold {
+                    Some(t) if ratio > t => "cost_regression",
+                    _ => "ok",
+                };
+                if status != "ok" {
+                    FAILED.store(true, Ordering::Relaxed);
+                    eprintln!(
+                        "harness: {} plan-cost ratio {ratio:.2} exceeds threshold {:.2}",
+                        q.name(),
+                        threshold.unwrap_or(f64::INFINITY),
+                    );
+                }
+                say!(
+                    args,
+                    "| {} | {cost_o:.0} | {cost_r:.0} | {ratio:.2}x | {} | {status} |",
+                    q.name(),
+                    threshold.map_or("-".to_string(), |t| format!("{t:.2}x")),
+                );
+                entry.push("status", Json::from(status));
+                entry.push("cost_original", Json::Float(cost_o));
+                entry.push("cost_rewritten", Json::Float(cost_r));
+                entry.push("ratio", Json::Float(ratio));
+                if let Some(t) = threshold {
+                    entry.push("threshold", Json::Float(t));
+                }
+            }
+            Err(e) => {
+                FAILED.store(true, Ordering::Relaxed);
+                eprintln!("harness: {} plancost error: {e}", q.name());
+                say!(args, "| {} | - | - | - | - | error |", q.name());
+                entry.push("status", Json::from("error"));
+                entry.push("error", Json::from(e));
+            }
+        }
+        queries.push(entry);
+    }
+    say!(args, "");
+    let mut report = report_header("plancost", args);
+    report.push("p", Json::Float(0.05));
+    report.push("n", Json::UInt(2));
+    if let Some(path) = &args.cost_threshold_file {
+        report.push("threshold_file", Json::from(path.clone()));
+    }
+    report.push("queries", Json::Arr(queries));
+    report
+}
+
+/// Parse a threshold file: `<query> <max_ratio>` per line, `#` comments
+/// and blank lines ignored.
+fn load_thresholds(path: &str) -> std::collections::HashMap<String, f64> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| die(&format!("cannot read threshold file {path}: {e}")));
+    let mut out = std::collections::HashMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match (parts.next(), parts.next().and_then(|v| v.parse().ok())) {
+            (Some(name), Some(ratio)) => {
+                out.insert(name.to_string(), ratio);
+            }
+            _ => die(&format!(
+                "{path}:{}: expected `<query> <max_ratio>`, got `{line}`",
+                lineno + 1
+            )),
+        }
+    }
+    out
 }
 
 fn wire_strategy(s: Strategy) -> conquer_serve::Strategy {

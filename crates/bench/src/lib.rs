@@ -242,15 +242,24 @@ pub fn ms(d: Duration) -> String {
     format!("{:.2}", d.as_secs_f64() * 1e3)
 }
 
-/// Exact quantile over a **sorted** latency sample (nearest-rank on the
-/// zero-based index, the convention the serve-mode report documents).
-/// Returns 0 for an empty sample.
+/// Quantile over a **sorted** latency sample, with linear interpolation
+/// between the two ranks a fractional index falls between (the "type 7"
+/// estimator used by numpy and R). Rounding the fractional rank instead
+/// would bias small samples badly — the p50 of two samples would be their
+/// max. Returns 0 for an empty sample.
 pub fn percentile(sorted_us: &[u64], q: f64) -> u64 {
     if sorted_us.is_empty() {
         return 0;
     }
-    let idx = (q.clamp(0.0, 1.0) * (sorted_us.len() - 1) as f64).round() as usize;
-    sorted_us[idx]
+    let rank = q.clamp(0.0, 1.0) * (sorted_us.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        return sorted_us[lo];
+    }
+    let frac = rank - lo as f64;
+    let interpolated = sorted_us[lo] as f64 + (sorted_us[hi] - sorted_us[lo]) as f64 * frac;
+    interpolated.round() as u64
 }
 
 #[cfg(test)]
@@ -269,14 +278,26 @@ mod tests {
     }
 
     #[test]
-    fn percentile_is_exact_nearest_rank() {
+    fn percentile_interpolates_between_ranks() {
         assert_eq!(percentile(&[], 0.5), 0);
+        // One sample: every quantile is that sample.
+        assert_eq!(percentile(&[7], 0.0), 7);
+        assert_eq!(percentile(&[7], 0.5), 7);
         assert_eq!(percentile(&[7], 0.99), 7);
-        let sample: Vec<u64> = (1..=100).collect();
-        assert_eq!(percentile(&sample, 0.0), 1);
-        assert_eq!(percentile(&sample, 0.5), 51); // index round(0.5*99)=50
-        assert_eq!(percentile(&sample, 0.95), 95);
+        // Two samples: the median is their midpoint, not the max (the old
+        // nearest-rank rounding returned 300 here).
+        assert_eq!(percentile(&[100, 300], 0.5), 200);
+        assert_eq!(percentile(&[100, 300], 0.25), 150);
+        assert_eq!(percentile(&[100, 300], 1.0), 300);
+        // Ten samples: exact ranks hit sample values, fractional ranks
+        // interpolate.
+        let sample: Vec<u64> = (1..=10).map(|i| i * 10).collect();
+        assert_eq!(percentile(&sample, 0.0), 10);
         assert_eq!(percentile(&sample, 1.0), 100);
+        assert_eq!(percentile(&sample, 0.5), 55); // rank 4.5 → (50+60)/2
+        assert_eq!(percentile(&sample, 0.75), 78); // rank 6.75 → 70 + 0.75*10
+        let big: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&big, 0.5), 51); // rank 49.5 → 50.5, rounds up
     }
 
     #[test]

@@ -14,6 +14,7 @@ use crate::exec;
 use crate::governor::Governor;
 use crate::plan::{literal_value, ExecOptions, Plan, Planner};
 use crate::schema::DataType;
+use crate::stats::TableStats;
 use crate::table::{Row, Rows, Table};
 use crate::value::Value;
 
@@ -53,6 +54,9 @@ fn write_lock<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
 pub struct Database {
     tables: RwLock<BTreeMap<String, Arc<Table>>>,
     scan_cache: RwLock<BTreeMap<String, Arc<Rows>>>,
+    /// Per-table statistics for the cost-based planner, collected eagerly
+    /// on every `register` (so they are never stale relative to the data).
+    table_stats: RwLock<BTreeMap<String, Arc<TableStats>>>,
     /// Serializes read-modify-write catalog mutations (`insert`, `CREATE
     /// TABLE`). Plain `register`/`drop_table` are single atomic swaps and
     /// don't need it.
@@ -60,6 +64,10 @@ pub struct Database {
     /// Bumped on every catalog mutation (`register`, `drop_table`); plan
     /// and rewrite caches key on this to invalidate stale artifacts.
     epoch: AtomicU64,
+    /// Bumped alongside `epoch`, after the stats map is updated: a plan
+    /// cache entry stamped with this value was costed against statistics
+    /// that are current for that stamp.
+    stats_epoch: AtomicU64,
 }
 
 /// The shared-session contract: queries run against `&Database` from many
@@ -85,8 +93,13 @@ impl Database {
     /// observable, which is what lets plan caches trust the epoch check.
     pub fn register(&self, table: Table) {
         let name = table.name().to_string();
+        // Stats are collected before the swap so readers that observe the
+        // new epoch also observe up-to-date statistics for the new rows.
+        let stats = Arc::new(TableStats::collect(table.rows(), table.schema().len()));
         write_lock(&self.tables).insert(name.clone(), Arc::new(table));
+        write_lock(&self.table_stats).insert(name.clone(), stats);
         write_lock(&self.scan_cache).remove(&name);
+        self.stats_epoch.fetch_add(1, Ordering::Release);
         self.epoch.fetch_add(1, Ordering::Release);
     }
 
@@ -95,8 +108,10 @@ impl Database {
     /// [`Database::register`].
     pub fn drop_table(&self, name: &str) -> Option<Arc<Table>> {
         let dropped = write_lock(&self.tables).remove(name);
+        write_lock(&self.table_stats).remove(name);
         write_lock(&self.scan_cache).remove(name);
         if dropped.is_some() {
+            self.stats_epoch.fetch_add(1, Ordering::Release);
             self.epoch.fetch_add(1, Ordering::Release);
         }
         dropped
@@ -108,6 +123,39 @@ impl Database {
     /// scan, so an epoch mismatch means the snapshot may be stale.
     pub fn catalog_epoch(&self) -> u64 {
         self.epoch.load(Ordering::Acquire)
+    }
+
+    /// The statistics epoch: bumped with every catalog mutation, after the
+    /// stats map has been updated. A plan costed under stats epoch `e` is
+    /// only as good as its estimates while `stats_epoch() == e`; plan
+    /// caches stamp entries with it so re-costed plans are rebuilt when the
+    /// data distribution changes.
+    pub fn stats_epoch(&self) -> u64 {
+        self.stats_epoch.load(Ordering::Acquire)
+    }
+
+    /// Statistics for a table, as collected at its last registration.
+    /// `None` for unknown tables.
+    pub fn table_stats(&self, name: &str) -> Option<Arc<TableStats>> {
+        read_lock(&self.table_stats).get(name).cloned()
+    }
+
+    /// Snapshot mapping each cached scan batch (by `Arc<Rows>` pointer
+    /// identity) to its table's statistics. Plans hold the same `Arc`s the
+    /// scan cache handed out, so the cost estimator can recover base-table
+    /// stats from a bare `Plan::Scan` node. Tables whose rows were never
+    /// scanned have no entry (nothing can reference them from a plan).
+    pub(crate) fn stats_by_scan(&self) -> std::collections::HashMap<usize, Arc<TableStats>> {
+        let cache = read_lock(&self.scan_cache);
+        let stats = read_lock(&self.table_stats);
+        cache
+            .iter()
+            .filter_map(|(name, rows)| {
+                stats
+                    .get(name)
+                    .map(|s| (Arc::as_ptr(rows) as *const () as usize, Arc::clone(s)))
+            })
+            .collect()
     }
 
     /// Shared handle to a table.
@@ -206,9 +254,13 @@ impl Database {
         let gov = Governor::for_options(options);
         let plan = self.plan_governed(query, options, gov.as_ref())?;
         let mut span = conquer_obs::span("execute").field("threads", options.threads);
-        let (rows, stats) =
+        let (rows, mut stats) =
             exec::execute_traced_threads(&plan, None, gov.as_ref(), options.threads)?;
         span.record("rows", rows.rows.len());
+        if options.use_stats {
+            let est = crate::cost::Estimator::from_db(self);
+            crate::cost::annotate(&est, &plan, &mut stats);
+        }
         Ok((rows, plan, stats))
     }
 
@@ -247,7 +299,12 @@ impl Database {
         };
         Ok(if options.pushdown_filters {
             let _span = conquer_obs::span("optimize");
-            crate::opt::optimize(plan)
+            if options.use_stats {
+                let est = crate::cost::Estimator::from_db(self);
+                crate::opt::optimize_with(plan, Some(&est))
+            } else {
+                crate::opt::optimize(plan)
+            }
         } else {
             plan
         })
@@ -265,7 +322,14 @@ impl Database {
     pub fn explain_with(&self, sql: &str, options: &ExecOptions) -> Result<String> {
         let query = parse_query(sql)?;
         let plan = self.plan(&query, options)?;
-        Ok(crate::explain::explain(&plan))
+        if options.use_stats {
+            let est = crate::cost::Estimator::from_db(self);
+            let mut stats = crate::stats::NodeStats::for_plan(&plan);
+            crate::cost::annotate(&est, &plan, &mut stats);
+            Ok(crate::explain::explain_estimated(&plan, &stats))
+        } else {
+            Ok(crate::explain::explain(&plan))
+        }
     }
 
     /// Run a SQL query and return its rows together with the plan listing

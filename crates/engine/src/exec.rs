@@ -26,10 +26,10 @@
 //! partition; aggregation and DISTINCT build per-worker partial tables
 //! that are merged with SQL NULL/three-valued-logic semantics preserved;
 //! ORDER BY sorts per-worker runs and k-way merges them with the global
-//! row index as tie-break, reproducing the serial stable sort. The one
-//! documented divergence from the serial oracle: floating-point SUM/AVG
-//! partial sums associate differently, so float aggregates can differ in
-//! the last ulp.
+//! row index as tie-break, reproducing the serial stable sort. Float
+//! SUM/AVG accumulate in an exact superaccumulator ([`crate::fsum`]), so
+//! aggregates are bit-identical to serial at every thread count — there is
+//! no floating-point divergence between the parallel and serial paths.
 //!
 //! The [`Governor`] is shared by all workers (its counters are atomics):
 //! every worker loop calls `tick`, and the first trip or error aborts the
@@ -51,6 +51,7 @@ use std::time::Instant;
 use crate::error::{EngineError, Result};
 use crate::expr::{BoundExpr, Env};
 use crate::faults;
+use crate::fsum::ExactSum;
 use crate::governor::Governor;
 use crate::plan::{AggFunc, AggSpec, JoinType, Plan};
 use crate::schema::Schema;
@@ -1307,13 +1308,16 @@ fn exec_nested_loop_join(
 // ---------------------------------------------------------------------------
 
 /// Accumulator for one aggregate within one group.
+///
+/// Float sums use [`ExactSum`], so SUM/AVG results depend only on the input
+/// multiset — never on accumulation or merge order.
 #[derive(Debug, Clone)]
 enum Accumulator {
     Count(i64),
     SumInt { sum: i64, seen: bool },
-    SumFloat { sum: f64, seen: bool },
+    SumFloat { sum: Box<ExactSum>, seen: bool },
     MinMax { best: Option<Value>, is_min: bool },
-    Avg { sum: f64, count: i64 },
+    Avg { sum: Box<ExactSum>, count: i64 },
 }
 
 impl Accumulator {
@@ -1332,7 +1336,10 @@ impl Accumulator {
                 best: None,
                 is_min: false,
             },
-            AggFunc::Avg => Accumulator::Avg { sum: 0.0, count: 0 },
+            AggFunc::Avg => Accumulator::Avg {
+                sum: Box::new(ExactSum::new()),
+                count: 0,
+            },
         }
     }
 
@@ -1351,7 +1358,9 @@ impl Accumulator {
                     *seen = true;
                 }
                 Value::Float(v) => {
-                    let promoted = *sum as f64 + v;
+                    let mut promoted = Box::new(ExactSum::new());
+                    promoted.add_i64(*sum);
+                    promoted.add(*v);
                     *self = Accumulator::SumFloat {
                         sum: promoted,
                         seen: true,
@@ -1365,10 +1374,15 @@ impl Accumulator {
                 }
             },
             Accumulator::SumFloat { sum, seen } => {
-                let Some(v) = value.as_f64()? else {
-                    return Ok(()); // non-null checked above; defensive
-                };
-                *sum += v;
+                match value {
+                    Value::Int(v) => sum.add_i64(*v),
+                    other => {
+                        let Some(v) = other.as_f64()? else {
+                            return Ok(()); // non-null checked above; defensive
+                        };
+                        sum.add(v);
+                    }
+                }
                 *seen = true;
             }
             Accumulator::MinMax { best, is_min } => {
@@ -1390,10 +1404,15 @@ impl Accumulator {
                 }
             }
             Accumulator::Avg { sum, count } => {
-                let Some(v) = value.as_f64()? else {
-                    return Ok(());
-                };
-                *sum += v;
+                match value {
+                    Value::Int(v) => sum.add_i64(*v),
+                    other => {
+                        let Some(v) = other.as_f64()? else {
+                            return Ok(());
+                        };
+                        sum.add(v);
+                    }
+                }
                 *count += 1;
             }
         }
@@ -1411,8 +1430,8 @@ impl Accumulator {
     /// in the partial states already (`seen` flags, `count`s), so merging
     /// is pure arithmetic; mixed Int/Float SUM partials promote to float
     /// exactly as the serial accumulator does on its first float input.
-    /// Note float SUM/AVG merges re-associate addition, so results can
-    /// differ from the serial fold in the last ulp.
+    /// Float SUM/AVG partials merge exactly ([`ExactSum`]), so the merge
+    /// order never changes the result.
     fn merge(&mut self, other: Accumulator) -> Result<()> {
         match (&mut *self, other) {
             (Accumulator::Count(a), Accumulator::Count(b)) => {
@@ -1424,18 +1443,25 @@ impl Accumulator {
                     .ok_or_else(|| EngineError::Eval("integer overflow in SUM".into()))?;
                 *seen |= e2;
             }
-            (Accumulator::SumInt { sum, seen }, Accumulator::SumFloat { sum: f, seen: e2 }) => {
+            (
+                Accumulator::SumInt { sum, seen },
+                Accumulator::SumFloat {
+                    sum: mut f,
+                    seen: e2,
+                },
+            ) => {
+                f.add_i64(*sum);
                 *self = Accumulator::SumFloat {
-                    sum: *sum as f64 + f,
+                    sum: f,
                     seen: *seen || e2,
                 };
             }
             (Accumulator::SumFloat { sum, seen }, Accumulator::SumInt { sum: i, seen: e2 }) => {
-                *sum += i as f64;
+                sum.add_i64(i);
                 *seen |= e2;
             }
             (Accumulator::SumFloat { sum, seen }, Accumulator::SumFloat { sum: f, seen: e2 }) => {
-                *sum += f;
+                sum.merge(&f);
                 *seen |= e2;
             }
             (Accumulator::MinMax { best, is_min }, Accumulator::MinMax { best: b2, .. }) => {
@@ -1459,7 +1485,7 @@ impl Accumulator {
                 }
             }
             (Accumulator::Avg { sum, count }, Accumulator::Avg { sum: s2, count: c2 }) => {
-                *sum += s2;
+                sum.merge(&s2);
                 *count += c2;
             }
             // Partials for one spec always share a variant family; reaching
@@ -1483,19 +1509,21 @@ impl Accumulator {
                     Value::Null
                 }
             }
-            Accumulator::SumFloat { sum, seen } => {
+            Accumulator::SumFloat { mut sum, seen } => {
                 if seen {
-                    Value::Float(sum)
+                    Value::Float(sum.to_f64())
                 } else {
                     Value::Null
                 }
             }
             Accumulator::MinMax { best, .. } => best.unwrap_or(Value::Null),
-            Accumulator::Avg { sum, count } => {
+            Accumulator::Avg { mut sum, count } => {
                 if count == 0 {
                     Value::Null
                 } else {
-                    Value::Float(sum / count as f64)
+                    // One exact sum, one rounding, one division: the result
+                    // is a pure function of the input multiset.
+                    Value::Float(sum.to_f64() / count as f64)
                 }
             }
         }

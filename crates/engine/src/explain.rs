@@ -15,53 +15,75 @@ use crate::stats::NodeStats;
 /// Render a plan as an indented operator tree.
 pub fn explain(plan: &Plan) -> String {
     let mut out = String::new();
-    walk(plan, None, 0, &mut out);
+    walk(plan, None, false, 0, &mut out);
+    out
+}
+
+/// Render a plan with the planner's cardinality estimates
+/// (`est_rows=` per operator, from [`crate::cost::annotate`]) but no
+/// runtime measurements — this is what plain `EXPLAIN` shows when table
+/// statistics are available.
+pub fn explain_estimated(plan: &Plan, stats: &NodeStats) -> String {
+    let mut out = String::new();
+    walk(plan, Some(stats), false, 0, &mut out);
     out
 }
 
 /// Render a plan annotated with the runtime stats collected by
 /// [`execute_traced`](crate::exec::execute_traced). The stats tree must
-/// mirror the plan's shape.
+/// mirror the plan's shape. When the stats carry planner estimates,
+/// `est_rows=` prints next to the measured `rows=` so the estimation
+/// error is visible per operator.
 pub fn explain_analyze(plan: &Plan, stats: &NodeStats) -> String {
     let mut out = String::new();
-    walk(plan, Some(stats), 0, &mut out);
+    walk(plan, Some(stats), true, 0, &mut out);
     out
 }
 
-fn walk(plan: &Plan, stats: Option<&NodeStats>, depth: usize, out: &mut String) {
+fn walk(plan: &Plan, stats: Option<&NodeStats>, analyze: bool, depth: usize, out: &mut String) {
     for _ in 0..depth {
         out.push_str("  ");
     }
     out.push_str(&node_label(plan));
     if let Some(s) = stats {
-        out.push_str(&format!(
-            "  (rows={} wall={:.3}ms",
-            s.rows_out,
-            s.wall.as_secs_f64() * 1e3
-        ));
-        if s.invocations > 1 {
-            out.push_str(&format!(" runs={}", s.invocations));
+        if analyze {
+            out.push_str(&format!("  (rows={}", s.rows_out));
+            if let Some(est) = s.est_rows {
+                out.push_str(&format!(" est_rows={est}"));
+            }
+            out.push_str(&format!(" wall={:.3}ms", s.wall.as_secs_f64() * 1e3));
+            if s.invocations > 1 {
+                out.push_str(&format!(" runs={}", s.invocations));
+            }
+            if s.build_rows > 0 {
+                out.push_str(&format!(" build={}", s.build_rows));
+            }
+            if s.probe_rows > 0 {
+                out.push_str(&format!(" probe={}", s.probe_rows));
+            }
+            if s.comparisons > 0 {
+                out.push_str(&format!(" cmp={}", s.comparisons));
+            }
+            if s.est_mem_bytes > 0 {
+                out.push_str(&format!(" mem~{}", human_bytes(s.est_mem_bytes)));
+            }
+            if s.threads_used > 1 {
+                out.push_str(&format!(" threads={}", s.threads_used));
+            }
+            out.push(')');
+        } else if let Some(est) = s.est_rows {
+            out.push_str(&format!("  (est_rows={est})"));
         }
-        if s.build_rows > 0 {
-            out.push_str(&format!(" build={}", s.build_rows));
-        }
-        if s.probe_rows > 0 {
-            out.push_str(&format!(" probe={}", s.probe_rows));
-        }
-        if s.comparisons > 0 {
-            out.push_str(&format!(" cmp={}", s.comparisons));
-        }
-        if s.est_mem_bytes > 0 {
-            out.push_str(&format!(" mem~{}", human_bytes(s.est_mem_bytes)));
-        }
-        if s.threads_used > 1 {
-            out.push_str(&format!(" threads={}", s.threads_used));
-        }
-        out.push(')');
     }
     out.push('\n');
     for (i, child) in plan.children().into_iter().enumerate() {
-        walk(child, stats.and_then(|s| s.children.get(i)), depth + 1, out);
+        walk(
+            child,
+            stats.and_then(|s| s.children.get(i)),
+            analyze,
+            depth + 1,
+            out,
+        );
     }
 }
 
@@ -155,6 +177,9 @@ pub fn stats_json(plan: &Plan, stats: &NodeStats) -> Json {
         ("self_us", Json::UInt(stats.self_wall().as_micros() as u64)),
         ("invocations", Json::UInt(stats.invocations)),
     ]);
+    if let Some(est) = stats.est_rows {
+        obj.push("est_rows", Json::UInt(est));
+    }
     if stats.build_rows > 0 {
         obj.push("build_rows", Json::UInt(stats.build_rows));
     }

@@ -38,12 +38,14 @@
 // cfg(test); integration tests and benches are separate crates).
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod cost;
 pub mod database;
 pub mod error;
 pub mod exec;
 pub mod explain;
 pub mod expr;
 pub mod faults;
+pub mod fsum;
 pub mod governor;
 pub mod opt;
 pub mod plan;
@@ -52,12 +54,13 @@ pub mod stats;
 pub mod table;
 pub mod value;
 
+pub use cost::Estimator;
 pub use database::Database;
 pub use error::{EngineError, Result};
-pub use explain::{explain, explain_analyze, stats_json};
+pub use explain::{explain, explain_analyze, explain_estimated, stats_json};
 pub use governor::{CancellationToken, Governor, LimitTrip, ResourceLimits};
 pub use plan::{ExecOptions, Plan};
 pub use schema::{Column, DataType, Schema};
-pub use stats::NodeStats;
+pub use stats::{ColumnStats, NodeStats, TableStats};
 pub use table::{Row, Rows, Table};
 pub use value::Value;

@@ -1,4 +1,5 @@
-//! Post-planning optimizations: filter pushdown through joins and renames.
+//! Post-planning optimizations: filter pushdown through joins and renames,
+//! plus cost-based build-side selection.
 //!
 //! ConQuer's Section 5 relies on the host optimizer evaluating the
 //! `conscand > 0` guard *before* the Filter's joins ("it is up to the query
@@ -6,31 +7,68 @@
 //! show that it consistently chooses the appropriate strategy"). This pass
 //! plays that role: conjuncts of a `Filter` that reference only one side of
 //! a join move below it, eventually fusing with the base-table scan.
+//!
+//! With a cost [`Estimator`] (the default; see [`crate::cost`]) the pass
+//! additionally:
+//!
+//! * pushes *right-side* conjuncts below inner joins when their estimated
+//!   selectivity is at most [`RIGHT_PUSH_MAX_SEL`] — re-indexing them with
+//!   `remap_row_refs`. Unselective right-side predicates (ConQuer's NSC
+//!   disjunctions) stay above the join, where they run over far fewer rows;
+//! * swaps the sides of inner hash joins *with residuals* so the estimated
+//!   smaller input becomes the hash-build side, restoring the original
+//!   column order with a projection. (Residual-free inner joins are swapped
+//!   at runtime on actual sizes, which is strictly better information, so
+//!   the pass leaves them alone.)
+//!
+//! Without an estimator (`ExecOptions::use_stats = false`) the pass reduces
+//! to the original left-side-only pushdown.
 
+use crate::cost::Estimator;
 use crate::expr::{BoundExpr, SubqueryKind};
 use crate::plan::{JoinType, Plan};
 
-/// Optimize a plan tree. Currently: pushes filter conjuncts through
+/// Push a conjunct below the right side of an inner join only when its
+/// estimated selectivity is at most this: filtering predicates go down,
+/// pass-through predicates stay above the (smaller) join output.
+pub const RIGHT_PUSH_MAX_SEL: f64 = 0.75;
+
+/// Optimize a plan tree without statistics: left-side filter pushdown only.
+pub fn optimize(plan: Plan) -> Plan {
+    optimize_with(plan, None)
+}
+
+/// Optimize a plan tree: filter pushdown (both sides when an estimator
+/// deems it profitable), then cost-based build-side selection.
+pub fn optimize_with(plan: Plan, est: Option<&Estimator<'_>>) -> Plan {
+    let pushed = pushdown(plan, est);
+    match est {
+        Some(est) => orient_build_sides(pushed, est),
+        None => pushed,
+    }
+}
+
+/// Filter-pushdown walk. Currently: pushes filter conjuncts through
 /// `Rename`, `Filter`, inner `HashJoin`/`NestedLoopJoin` (both sides),
 /// left-outer joins (left side only), and semi/anti joins (left side).
-pub fn optimize(plan: Plan) -> Plan {
+fn pushdown(plan: Plan, est: Option<&Estimator<'_>>) -> Plan {
     match plan {
         Plan::Filter { input, predicate } => {
-            let input = optimize(*input);
+            let input = pushdown(*input, est);
             let conjuncts = split_bound_conjuncts(predicate);
-            push_filter(input, conjuncts)
+            push_filter(input, conjuncts, est)
         }
         Plan::Project {
             input,
             exprs,
             schema,
         } => Plan::Project {
-            input: Box::new(optimize(*input)),
+            input: Box::new(pushdown(*input, est)),
             exprs,
             schema,
         },
         Plan::Rename { input, schema } => Plan::Rename {
-            input: Box::new(optimize(*input)),
+            input: Box::new(pushdown(*input, est)),
             schema,
         },
         Plan::HashJoin {
@@ -42,8 +80,8 @@ pub fn optimize(plan: Plan) -> Plan {
             residual,
             schema,
         } => Plan::HashJoin {
-            left: Box::new(optimize(*left)),
-            right: Box::new(optimize(*right)),
+            left: Box::new(pushdown(*left, est)),
+            right: Box::new(pushdown(*right, est)),
             kind,
             left_keys,
             right_keys,
@@ -57,8 +95,8 @@ pub fn optimize(plan: Plan) -> Plan {
             on,
             schema,
         } => Plan::NestedLoopJoin {
-            left: Box::new(optimize(*left)),
-            right: Box::new(optimize(*right)),
+            left: Box::new(pushdown(*left, est)),
+            right: Box::new(pushdown(*right, est)),
             kind,
             on,
             schema,
@@ -69,24 +107,24 @@ pub fn optimize(plan: Plan) -> Plan {
             aggs,
             schema,
         } => Plan::Aggregate {
-            input: Box::new(optimize(*input)),
+            input: Box::new(pushdown(*input, est)),
             group_exprs,
             aggs,
             schema,
         },
         Plan::Distinct { input } => Plan::Distinct {
-            input: Box::new(optimize(*input)),
+            input: Box::new(pushdown(*input, est)),
         },
         Plan::UnionAll { left, right } => Plan::UnionAll {
-            left: Box::new(optimize(*left)),
-            right: Box::new(optimize(*right)),
+            left: Box::new(pushdown(*left, est)),
+            right: Box::new(pushdown(*right, est)),
         },
         Plan::Sort { input, keys } => Plan::Sort {
-            input: Box::new(optimize(*input)),
+            input: Box::new(pushdown(*input, est)),
             keys,
         },
         Plan::Limit { input, n } => Plan::Limit {
-            input: Box::new(optimize(*input)),
+            input: Box::new(pushdown(*input, est)),
             n,
         },
         leaf @ (Plan::Scan { .. } | Plan::Unit) => leaf,
@@ -95,7 +133,7 @@ pub fn optimize(plan: Plan) -> Plan {
 
 /// Push a set of conjuncts as deep as possible above `input`, rebuilding a
 /// `Filter` for whatever cannot sink further.
-fn push_filter(input: Plan, conjuncts: Vec<BoundExpr>) -> Plan {
+fn push_filter(input: Plan, conjuncts: Vec<BoundExpr>, est: Option<&Estimator<'_>>) -> Plan {
     if conjuncts.is_empty() {
         return input;
     }
@@ -107,14 +145,14 @@ fn push_filter(input: Plan, conjuncts: Vec<BoundExpr>) -> Plan {
             // Merge with the existing filter and retry on its input.
             let mut all = split_bound_conjuncts(predicate);
             all.extend(conjuncts);
-            push_filter(*inner, all)
+            push_filter(*inner, all, est)
         }
         Plan::Rename {
             input: inner,
             schema,
         } => {
             // Renames keep column positions; conjuncts pass through intact.
-            let pushed = push_filter(*inner, conjuncts);
+            let pushed = push_filter(*inner, conjuncts, est);
             Plan::Rename {
                 input: Box::new(pushed),
                 schema,
@@ -130,9 +168,10 @@ fn push_filter(input: Plan, conjuncts: Vec<BoundExpr>) -> Plan {
             schema,
         } => {
             let left_width = left.schema().len();
-            let (sink_left, sink_right, keep) = split_by_side(conjuncts, left_width, kind);
-            let left = push_filter(*left, sink_left);
-            let right = push_filter(*right, sink_right);
+            let (sink_left, sink_right, keep) =
+                split_by_side(conjuncts, left_width, kind, est, &right);
+            let left = push_filter(*left, sink_left, est);
+            let right = push_filter(*right, sink_right, est);
             let joined = Plan::HashJoin {
                 left: Box::new(left),
                 right: Box::new(right),
@@ -152,9 +191,10 @@ fn push_filter(input: Plan, conjuncts: Vec<BoundExpr>) -> Plan {
             schema,
         } => {
             let left_width = left.schema().len();
-            let (sink_left, sink_right, keep) = split_by_side(conjuncts, left_width, kind);
-            let left = push_filter(*left, sink_left);
-            let right = push_filter(*right, sink_right);
+            let (sink_left, sink_right, keep) =
+                split_by_side(conjuncts, left_width, kind, est, &right);
+            let left = push_filter(*left, sink_left, est);
+            let right = push_filter(*right, sink_right, est);
             let joined = Plan::NestedLoopJoin {
                 left: Box::new(left),
                 right: Box::new(right),
@@ -169,38 +209,204 @@ fn push_filter(input: Plan, conjuncts: Vec<BoundExpr>) -> Plan {
 }
 
 /// Partition conjuncts into (push-left, push-right, keep-above) for a join
-/// of the given type. Right-side conjuncts are re-indexed.
+/// of the given type. Right-side conjuncts are re-indexed to the right
+/// child's columns with [`remap_row_refs`].
 fn split_by_side(
     conjuncts: Vec<BoundExpr>,
     left_width: usize,
     kind: JoinType,
+    est: Option<&Estimator<'_>>,
+    right_child: &Plan,
 ) -> (Vec<BoundExpr>, Vec<BoundExpr>, Vec<BoundExpr>) {
     let mut left = Vec::new();
-    let right = Vec::new();
+    let mut right = Vec::new();
     let mut keep = Vec::new();
-    let _ = kind;
+    // Lazily derived right-child stats, shared across conjuncts.
+    let mut right_derived = None;
     for conjunct in conjuncts {
         let mut refs = Vec::new();
         collect_row_refs(&conjunct, 0, &mut refs);
-        let all_left = refs.iter().all(|i| *i < left_width);
-        // Only left-side conjuncts sink. For any join type this is safe: a
-        // conjunct over left columns sees identical values above and below
-        // the join. Right-side pushes would also be *correct* for inner
-        // joins, but without cardinality estimates they are a bad bet: in
-        // ConQuer's Filter CTEs the right side is a base table and the
-        // right-side conjunct is the low-selectivity NSC disjunction, which
-        // is far cheaper to evaluate on the join's (small) output. The
-        // conscand guard of Section 5 — the case this pass exists for —
-        // always lands on the left (candidates) side.
-        if all_left {
+        // Left-side conjuncts sink for any join type: a conjunct over left
+        // columns sees identical values above and below the join, and
+        // semi/anti/left-outer joins pass every left row through unchanged
+        // or extended.
+        if refs.iter().all(|i| *i < left_width) {
             left.push(conjunct);
-        } else {
-            keep.push(conjunct);
+            continue;
         }
+        // Right-side conjuncts may sink below *inner* joins only (an outer
+        // join would null-extend rows the pushed filter removed; semi/anti
+        // outputs have no right columns, so the case cannot arise). Pushing
+        // is correct whenever it applies, but only *profitable* when the
+        // predicate actually filters: in ConQuer's Filter CTEs the right
+        // side is a base table and the right-side conjunct is the
+        // low-selectivity NSC disjunction, far cheaper to evaluate on the
+        // join's (small) output. The estimator arbitrates: no estimator, no
+        // right pushes.
+        let all_right = refs.iter().all(|i| *i >= left_width);
+        if all_right && kind == JoinType::Inner {
+            if let Some(est) = est {
+                let mut remapped = conjunct.clone();
+                remap_row_refs(&mut remapped, 0, left_width);
+                let derived = right_derived.get_or_insert_with(|| est.derive(right_child));
+                if est.selectivity(&remapped, derived) <= RIGHT_PUSH_MAX_SEL {
+                    right.push(remapped);
+                    continue;
+                }
+            }
+        }
+        keep.push(conjunct);
     }
-    // Semi/anti join outputs only left columns; the planner never produces
-    // right-referencing filters above them, so `keep` handles any residue.
     (left, right, keep)
+}
+
+/// Build-side selection: for every inner hash join *with a residual* (the
+/// runtime swaps residual-free inner joins itself, on actual sizes), make
+/// the estimated-smaller side the build (right) input. The swap reverses
+/// the output column order, so the join is wrapped in a projection
+/// restoring the original layout; row order changes, which the engine
+/// already permits for inner joins (the runtime swap does the same).
+fn orient_build_sides(plan: Plan, est: &Estimator<'_>) -> Plan {
+    // Recurse first so child estimates reflect final child shapes.
+    let plan = match plan {
+        Plan::Filter { input, predicate } => Plan::Filter {
+            input: Box::new(orient_build_sides(*input, est)),
+            predicate,
+        },
+        Plan::Project {
+            input,
+            exprs,
+            schema,
+        } => Plan::Project {
+            input: Box::new(orient_build_sides(*input, est)),
+            exprs,
+            schema,
+        },
+        Plan::Rename { input, schema } => Plan::Rename {
+            input: Box::new(orient_build_sides(*input, est)),
+            schema,
+        },
+        Plan::HashJoin {
+            left,
+            right,
+            kind,
+            left_keys,
+            right_keys,
+            residual,
+            schema,
+        } => Plan::HashJoin {
+            left: Box::new(orient_build_sides(*left, est)),
+            right: Box::new(orient_build_sides(*right, est)),
+            kind,
+            left_keys,
+            right_keys,
+            residual,
+            schema,
+        },
+        Plan::NestedLoopJoin {
+            left,
+            right,
+            kind,
+            on,
+            schema,
+        } => Plan::NestedLoopJoin {
+            left: Box::new(orient_build_sides(*left, est)),
+            right: Box::new(orient_build_sides(*right, est)),
+            kind,
+            on,
+            schema,
+        },
+        Plan::Aggregate {
+            input,
+            group_exprs,
+            aggs,
+            schema,
+        } => Plan::Aggregate {
+            input: Box::new(orient_build_sides(*input, est)),
+            group_exprs,
+            aggs,
+            schema,
+        },
+        Plan::Distinct { input } => Plan::Distinct {
+            input: Box::new(orient_build_sides(*input, est)),
+        },
+        Plan::UnionAll { left, right } => Plan::UnionAll {
+            left: Box::new(orient_build_sides(*left, est)),
+            right: Box::new(orient_build_sides(*right, est)),
+        },
+        Plan::Sort { input, keys } => Plan::Sort {
+            input: Box::new(orient_build_sides(*input, est)),
+            keys,
+        },
+        Plan::Limit { input, n } => Plan::Limit {
+            input: Box::new(orient_build_sides(*input, est)),
+            n,
+        },
+        leaf @ (Plan::Scan { .. } | Plan::Unit) => leaf,
+    };
+    maybe_swap_build(plan, est)
+}
+
+/// If `plan` is an inner hash join with a residual whose left side is
+/// estimated smaller than its right (build) side, swap the sides and wrap
+/// a projection restoring the original column order.
+fn maybe_swap_build(plan: Plan, est: &Estimator<'_>) -> Plan {
+    let Plan::HashJoin {
+        left,
+        right,
+        kind: JoinType::Inner,
+        left_keys,
+        right_keys,
+        residual: Some(mut residual),
+        schema,
+    } = plan
+    else {
+        return plan;
+    };
+    let l_rows = est.est_rows(&left);
+    let r_rows = est.est_rows(&right);
+    if l_rows >= r_rows {
+        // Build side (right) already the smaller estimate: keep as-is.
+        return Plan::HashJoin {
+            left,
+            right,
+            kind: JoinType::Inner,
+            left_keys,
+            right_keys,
+            residual: Some(residual),
+            schema,
+        };
+    }
+    let w_l = left.schema().len();
+    let w_r = right.schema().len();
+    // The residual is bound over [L, R]; the swapped join concatenates
+    // [R, L].
+    map_row_refs(&mut residual, 0, &mut |i| {
+        if i < w_l {
+            i + w_r
+        } else {
+            i - w_l
+        }
+    });
+    let swapped_schema = right.schema().join(left.schema());
+    // Projection restoring the original [L, R] column order.
+    let exprs: Vec<BoundExpr> = (0..w_l)
+        .map(|i| BoundExpr::column(w_r + i))
+        .chain((0..w_r).map(BoundExpr::column))
+        .collect();
+    Plan::Project {
+        input: Box::new(Plan::HashJoin {
+            left: right,
+            right: left,
+            kind: JoinType::Inner,
+            left_keys: right_keys,
+            right_keys: left_keys,
+            residual: Some(residual),
+            schema: swapped_schema,
+        }),
+        exprs,
+        schema,
+    }
 }
 
 fn wrap_filter(plan: Plan, conjuncts: Vec<BoundExpr>) -> Plan {
@@ -295,60 +501,65 @@ fn collect_plan_row_refs(plan: &Plan, level: usize, out: &mut Vec<usize>) {
     plan.visit_exprs(&mut |e| collect_row_refs(e, level, out));
 }
 
-/// Subtract `delta` from every row-level (depth == level) column index —
-/// needed if a conjunct ever moves to the right side of a join (currently
-/// unused by the pass itself: right-side pushes are disabled pending
-/// cardinality estimation; see `split_by_side`).
-#[allow(dead_code)]
-fn remap_row_refs(e: &mut BoundExpr, level: usize, delta: usize) {
+/// Rewrite every row-level (depth == level) column index through `f`,
+/// including references from inside nested subquery plans (where the row
+/// sits one scope deeper per nesting level).
+fn map_row_refs(e: &mut BoundExpr, level: usize, f: &mut dyn FnMut(usize) -> usize) {
     use BoundExpr::*;
     match e {
         Column { depth, index } => {
             if *depth == level {
-                *index -= delta;
+                *index = f(*index);
             }
         }
         Literal(_) | AggRef { .. } => {}
         Binary { left, right, .. } => {
-            remap_row_refs(left, level, delta);
-            remap_row_refs(right, level, delta);
+            map_row_refs(left, level, f);
+            map_row_refs(right, level, f);
         }
-        Not(x) | Neg(x) => remap_row_refs(x, level, delta),
-        IsNull { expr, .. } => remap_row_refs(expr, level, delta),
+        Not(x) | Neg(x) => map_row_refs(x, level, f),
+        IsNull { expr, .. } => map_row_refs(expr, level, f),
         InList { expr, list, .. } => {
-            remap_row_refs(expr, level, delta);
+            map_row_refs(expr, level, f);
             for x in list {
-                remap_row_refs(x, level, delta);
+                map_row_refs(x, level, f);
             }
         }
         Like { expr, pattern, .. } => {
-            remap_row_refs(expr, level, delta);
-            remap_row_refs(pattern, level, delta);
+            map_row_refs(expr, level, f);
+            map_row_refs(pattern, level, f);
         }
         Case {
             branches,
             else_expr,
         } => {
             for (c, v) in branches {
-                remap_row_refs(c, level, delta);
-                remap_row_refs(v, level, delta);
+                map_row_refs(c, level, f);
+                map_row_refs(v, level, f);
             }
             if let Some(x) = else_expr {
-                remap_row_refs(x, level, delta);
+                map_row_refs(x, level, f);
             }
         }
         Func { args, .. } => {
             for x in args {
-                remap_row_refs(x, level, delta);
+                map_row_refs(x, level, f);
             }
         }
         Subquery { plan, kind } => {
-            plan.visit_exprs_mut(&mut |ex| remap_row_refs(ex, level + 1, delta));
+            plan.visit_exprs_mut(&mut |ex| map_row_refs(ex, level + 1, f));
             if let SubqueryKind::In { expr, .. } = kind {
-                remap_row_refs(expr, level, delta);
+                map_row_refs(expr, level, f);
             }
         }
     }
+}
+
+/// Subtract `delta` from every row-level (depth == level) column index —
+/// the re-indexing a conjunct needs when it moves to the right side of a
+/// join.
+fn remap_row_refs(e: &mut BoundExpr, level: usize, delta: usize) {
+    map_row_refs(e, level, &mut |i| i - delta);
 }
 
 #[cfg(test)]
@@ -376,6 +587,27 @@ mod tests {
         }
     }
 
+    /// A 6-wide dummy right child for side-splitting tests.
+    fn right_child() -> Plan {
+        use crate::schema::{Column, DataType, Schema};
+        use crate::table::Rows;
+        use std::sync::Arc;
+        let schema = Schema::new(
+            (0..6)
+                .map(|i| Column::bare(&format!("c{i}"), DataType::Integer))
+                .collect(),
+        );
+        Plan::Scan {
+            rows: Arc::new(Rows {
+                schema: schema.clone(),
+                rows: (0..10)
+                    .map(|i| (0..6).map(|_| Value::Int(i)).collect())
+                    .collect(),
+            }),
+            schema,
+        }
+    }
+
     #[test]
     fn splits_and_rejoins_conjuncts() {
         let e = and(gt(col(0), 1), and(gt(col(1), 2), gt(col(2), 3)));
@@ -388,19 +620,52 @@ mod tests {
     #[test]
     fn side_split_classifies_by_column_range() {
         let conjuncts = vec![gt(col(0), 1), gt(col(5), 2), gt(and(col(0), col(5)), 0)];
-        let (l, r, keep) = split_by_side(conjuncts, 3, JoinType::Inner);
+        // Without an estimator, right-side pushes stay disabled.
+        let (l, r, keep) = split_by_side(conjuncts, 3, JoinType::Inner, None, &right_child());
         assert_eq!(l.len(), 1);
-        // Right-side pushes are disabled (no cardinality estimation).
         assert!(r.is_empty());
         assert_eq!(keep.len(), 2);
     }
 
     #[test]
-    fn left_outer_join_keeps_right_conjuncts_above() {
-        let conjuncts = vec![gt(col(0), 1), gt(col(5), 2)];
-        let (l, r, keep) = split_by_side(conjuncts, 3, JoinType::LeftOuter);
-        assert_eq!(l.len(), 1);
+    fn selective_right_conjunct_sinks_with_estimator() {
+        let est = Estimator::standalone();
+        // col(5) maps to right column 2: `c2 > 8` keeps ~1 of 10 rows.
+        let conjuncts = vec![gt(col(5), 8), gt(and(col(0), col(5)), 0)];
+        let (l, r, keep) = split_by_side(conjuncts, 3, JoinType::Inner, Some(&est), &right_child());
+        assert!(l.is_empty());
+        assert_eq!(r.len(), 1, "selective right conjunct must sink");
+        assert_eq!(keep.len(), 1);
+        // The pushed conjunct is re-indexed to the right child's columns.
+        let mut refs = Vec::new();
+        collect_row_refs(&r[0], 0, &mut refs);
+        assert_eq!(refs, vec![2]);
+    }
+
+    #[test]
+    fn unselective_right_conjunct_stays_above() {
+        let est = Estimator::standalone();
+        // `c2 > 0` keeps ~9 of 10 rows: pushing buys nothing.
+        let conjuncts = vec![gt(col(5), 0)];
+        let (l, r, keep) = split_by_side(conjuncts, 3, JoinType::Inner, Some(&est), &right_child());
+        assert!(l.is_empty());
         assert!(r.is_empty());
+        assert_eq!(keep.len(), 1);
+    }
+
+    #[test]
+    fn left_outer_join_keeps_right_conjuncts_above() {
+        let est = Estimator::standalone();
+        let conjuncts = vec![gt(col(0), 1), gt(col(5), 8)];
+        let (l, r, keep) = split_by_side(
+            conjuncts,
+            3,
+            JoinType::LeftOuter,
+            Some(&est),
+            &right_child(),
+        );
+        assert_eq!(l.len(), 1);
+        assert!(r.is_empty(), "outer joins must never sink right conjuncts");
         assert_eq!(keep.len(), 1);
     }
 
@@ -411,5 +676,150 @@ mod tests {
         let mut refs = Vec::new();
         collect_row_refs(&e, 0, &mut refs);
         assert_eq!(refs, vec![2]);
+    }
+
+    /// `EXISTS (SELECT ... WHERE local = outer[index])`: the outer
+    /// reference sits at depth 1 *inside* the subquery plan, which is
+    /// depth 0 relative to the conjunct that owns it.
+    fn correlated_exists(outer_index: usize) -> BoundExpr {
+        use crate::schema::{Column, DataType, Schema};
+        use crate::table::Rows;
+        use std::sync::Arc;
+        let schema = Schema::new(vec![Column::bare("inner0", DataType::Integer)]);
+        let scan = Plan::Scan {
+            rows: Arc::new(Rows {
+                schema: schema.clone(),
+                rows: (0..3).map(|i| vec![Value::Int(i)]).collect(),
+            }),
+            schema,
+        };
+        let predicate = BoundExpr::Binary {
+            op: conquer_sql::BinaryOp::Eq,
+            left: Box::new(col(0)),
+            right: Box::new(BoundExpr::Column {
+                depth: 1,
+                index: outer_index,
+            }),
+        };
+        BoundExpr::Subquery {
+            plan: Box::new(Plan::Filter {
+                input: Box::new(scan),
+                predicate,
+            }),
+            kind: SubqueryKind::Exists { negated: false },
+        }
+    }
+
+    #[test]
+    fn correlated_exists_conjunct_sinks_and_remaps_the_outer_ref() {
+        let est = Estimator::standalone();
+        // The EXISTS correlates on combined column 5 — a right-side column
+        // for left_width 3 — so the whole conjunct may sink, but only if
+        // the depth-1 reference inside the subquery plan is remapped too.
+        let conjuncts = vec![correlated_exists(5)];
+        let (l, r, keep) = split_by_side(conjuncts, 3, JoinType::Inner, Some(&est), &right_child());
+        assert!(l.is_empty());
+        assert!(keep.is_empty());
+        assert_eq!(r.len(), 1, "correlated EXISTS on the right side must sink");
+        let mut refs = Vec::new();
+        collect_row_refs(&r[0], 0, &mut refs);
+        assert_eq!(refs, vec![2], "outer ref inside the subquery must remap");
+    }
+
+    #[test]
+    fn exists_correlated_on_both_sides_stays_above_the_join() {
+        let est = Estimator::standalone();
+        // A single conjunct touching columns 1 (left) and 5 (right,
+        // through the EXISTS): not pushable to either side.
+        let mixed = vec![BoundExpr::Binary {
+            op: conquer_sql::BinaryOp::Or,
+            left: Box::new(correlated_exists(5)),
+            right: Box::new(gt(col(1), 0)),
+        }];
+        let (l, r, keep) = split_by_side(mixed, 3, JoinType::Inner, Some(&est), &right_child());
+        assert!(l.is_empty());
+        assert!(r.is_empty());
+        assert_eq!(keep.len(), 1, "mixed-side conjunct must stay above");
+    }
+
+    fn has_subquery(e: &BoundExpr) -> bool {
+        match e {
+            BoundExpr::Subquery { .. } => true,
+            BoundExpr::Binary { left, right, .. } => has_subquery(left) || has_subquery(right),
+            BoundExpr::Not(x) | BoundExpr::Neg(x) => has_subquery(x),
+            _ => false,
+        }
+    }
+
+    /// Does any Filter in the Project/Filter chain *above* the first join
+    /// still hold a subquery predicate?
+    fn subquery_filter_above_join(plan: &Plan) -> bool {
+        match plan {
+            Plan::Project { input, .. } => subquery_filter_above_join(input),
+            Plan::Filter { input, predicate } => {
+                has_subquery(predicate) || subquery_filter_above_join(input)
+            }
+            _ => false,
+        }
+    }
+
+    /// End-to-end regression for the audit in ISSUE 5: a pushed right-side
+    /// conjunct containing an `EXISTS` that references the outer row. The
+    /// push happens (plan shape) and the depth-1 remap is correct (results
+    /// match the unoptimized plan exactly).
+    #[test]
+    fn pushed_exists_conjunct_is_correct_end_to_end() {
+        let db = crate::Database::new();
+        db.run_script(
+            "create table big (lk integer, lv integer);
+             insert into big values (1, 10), (2, 20), (3, 30), (4, 40),
+                                    (5, 50), (6, 60), (7, 70), (8, 80);
+             create table small (rk integer, ry integer);
+             insert into small values (1, 100), (2, 200), (3, 999);
+             create table lookup (cx integer);
+             insert into lookup values (100), (999);",
+        )
+        .unwrap();
+        let sql = "select big.lk, small.ry from big, small \
+                   where big.lk = small.rk \
+                   and exists (select 1 from lookup where lookup.cx = small.ry)";
+        let query = conquer_sql::parse_query(sql).unwrap();
+
+        // Keep the EXISTS a per-row subquery (no semi-join decorrelation)
+        // so the optimizer sees a pushable subquery conjunct.
+        let mut stats_on = crate::ExecOptions::default().with_threads(1);
+        stats_on.decorrelate_exists = false;
+        let mut stats_off = stats_on.clone();
+        stats_off.use_stats = false;
+        let mut unoptimized = stats_off.clone();
+        unoptimized.pushdown_filters = false;
+
+        // Plan shape: with statistics, `small` is the build (right) side
+        // (3 rows vs 8) and the EXISTS sinks below the join, so no
+        // subquery filter remains above it. Without statistics the seed
+        // behaviour keeps right-side conjuncts above the join.
+        let optimized = db.plan(&query, &stats_on).unwrap();
+        assert!(
+            !subquery_filter_above_join(&optimized),
+            "EXISTS must sink below the join with statistics: {optimized:?}"
+        );
+        let seed = db.plan(&query, &stats_off).unwrap();
+        assert!(
+            subquery_filter_above_join(&seed),
+            "without statistics the EXISTS must stay above the join"
+        );
+
+        // Results: identical across all three plans. A wrong remap of the
+        // depth-1 outer reference would read the wrong column (or fall out
+        // of bounds) in the pushed plan.
+        let expected = vec![
+            vec![Value::Int(1), Value::Int(100)],
+            vec![Value::Int(3), Value::Int(999)],
+        ];
+        for options in [&stats_on, &stats_off, &unoptimized] {
+            let mut rows = db.query_with(sql, options).unwrap().rows;
+            rows.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+            assert_eq!(rows, expected, "use_stats={}", options.use_stats);
+        }
     }
 }

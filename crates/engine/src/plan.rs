@@ -39,6 +39,12 @@ pub struct ExecOptions {
     /// Push filter conjuncts below joins after planning (the host-optimizer
     /// behaviour Section 5 of the paper relies on for the `conscand` guard).
     pub pushdown_filters: bool,
+    /// Use table statistics for cost-based planning: greedy join ordering,
+    /// hash build-side selection, selectivity-gated right-side filter
+    /// pushes, and CTE projection pruning. When `false`, planning is purely
+    /// syntactic (the pre-statistics behaviour, kept for ablation and
+    /// differential testing).
+    pub use_stats: bool,
     /// Resource budget for the query (unlimited by default). Covers plan
     /// time too: CTE materialization runs under the same governor.
     pub limits: ResourceLimits,
@@ -60,6 +66,7 @@ impl Default for ExecOptions {
             materialize_ctes: true,
             decorrelate_exists: true,
             pushdown_filters: true,
+            use_stats: true,
             limits: ResourceLimits::default(),
             cancellation: None,
             threads: default_threads(),
@@ -735,8 +742,26 @@ impl<'a> Planner<'a> {
         outer: Option<&BindScope<'_>>,
     ) -> Result<Plan> {
         let mut env = env.clone();
-        for cte in &query.ctes {
-            self.register_cte(cte, &mut env)?;
+        for (i, cte) in query.ctes.iter().enumerate() {
+            // Projection pruning: a materialized CTE only needs to carry
+            // the columns the rest of the query (later CTEs, body, ORDER
+            // BY) can reference. Matching is by column name, which is
+            // conservative — any name mentioned anywhere downstream keeps
+            // the column — and a wildcard anywhere keeps everything.
+            let prune = if self.options.use_stats && self.options.materialize_ctes {
+                let mut scan = ColRefScan::default();
+                for later in &query.ctes[i + 1..] {
+                    scan.query(&later.query);
+                }
+                scan.set_expr(&query.body);
+                for item in &query.order_by {
+                    scan.expr(&item.expr);
+                }
+                (!scan.wildcard).then_some(scan.names)
+            } else {
+                None
+            };
+            self.register_cte(cte, &mut env, prune.as_ref())?;
         }
         let mut plan = self.plan_set_expr(&query.body, &env, outer)?;
         if !query.order_by.is_empty() {
@@ -760,13 +785,26 @@ impl<'a> Planner<'a> {
         Ok(plan)
     }
 
-    fn register_cte(&self, cte: &Cte, env: &mut CteEnv) -> Result<()> {
+    fn register_cte(
+        &self,
+        cte: &Cte,
+        env: &mut CteEnv,
+        keep: Option<&std::collections::HashSet<String>>,
+    ) -> Result<()> {
         if self.options.materialize_ctes {
             faults::trip("cte.materialize")?;
             // CTEs cannot be correlated: plan and run with no outer scope.
             let mut plan = self.plan_query_in(&cte.query, env, None)?;
             if self.options.pushdown_filters {
-                plan = crate::opt::optimize(plan);
+                if self.options.use_stats {
+                    let est = crate::cost::Estimator::from_db(self.db);
+                    plan = crate::opt::optimize_with(plan, Some(&est));
+                } else {
+                    plan = crate::opt::optimize(plan);
+                }
+            }
+            if let Some(keep) = keep {
+                plan = prune_projection(plan, keep);
             }
             let rows = exec::execute_governed_threads(&plan, None, self.gov, self.options.threads)?;
             if let Some(gov) = self.gov {
@@ -1075,31 +1113,98 @@ impl<'a> Planner<'a> {
 
         // Greedy join ordering: repeatedly merge two components connected by
         // a pending conjunct; fall back to a cross join when none connects.
+        // With statistics, every connected pair is tried (estimated-smaller
+        // side oriented as the hash-build input, i.e. the right child) and
+        // the merge with the smallest estimated output wins; without, the
+        // first connected pair in factor order merges, left-to-right.
+        let est = self
+            .options
+            .use_stats
+            .then(|| crate::cost::Estimator::from_db(self.db));
         let mut components: Vec<(std::collections::BTreeSet<usize>, Plan)> = factors
             .into_iter()
             .enumerate()
             .map(|(i, p)| (std::collections::BTreeSet::from([i]), p))
             .collect();
         while components.len() > 1 {
-            let connection = pending.iter().find_map(|(set, _)| {
-                let touching: Vec<usize> = components
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, (fs, _))| !fs.is_disjoint(set))
-                    .map(|(ci, _)| ci)
-                    .collect();
-                (touching.len() == 2
-                    && set.iter().all(|f| {
-                        components[touching[0]].0.contains(f)
-                            || components[touching[1]].0.contains(f)
-                    }))
-                .then_some((touching[0], touching[1]))
-            });
-            let (ci, cj) = connection.unwrap_or((0, 1));
-            let (fj, right) = components.remove(cj.max(ci));
-            let (fi, left) = components.remove(ci.min(cj));
-            let mut merged_factors = fi;
-            merged_factors.extend(fj);
+            // Component pairs joinable via a pending conjunct.
+            let connected: Vec<(usize, usize)> = pending
+                .iter()
+                .filter_map(|(set, _)| {
+                    let touching: Vec<usize> = components
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, (fs, _))| !fs.is_disjoint(set))
+                        .map(|(ci, _)| ci)
+                        .collect();
+                    (touching.len() == 2
+                        && set.iter().all(|f| {
+                            components[touching[0]].0.contains(f)
+                                || components[touching[1]].0.contains(f)
+                        }))
+                    .then_some((touching[0], touching[1]))
+                })
+                .collect();
+            let (left_idx, right_idx) = match &est {
+                None => match connected.first() {
+                    Some(&(a, b)) => (a.min(b), a.max(b)),
+                    None => (0, 1),
+                },
+                Some(est) => {
+                    // Candidate pool: connected pairs, else (cross join
+                    // unavoidable) every pair.
+                    let pool: Vec<(usize, usize)> = if connected.is_empty() {
+                        let n = components.len();
+                        (0..n)
+                            .flat_map(|a| (a + 1..n).map(move |b| (a, b)))
+                            .collect()
+                    } else {
+                        connected
+                    };
+                    let mut best: Option<(usize, usize, f64)> = None;
+                    for &(a, b) in &pool {
+                        // Orient the estimated-smaller component as the
+                        // right (hash-build) side.
+                        let (li, ri) =
+                            if est.est_rows(&components[a].1) >= est.est_rows(&components[b].1) {
+                                (a, b)
+                            } else {
+                                (b, a)
+                            };
+                        let mut union = components[li].0.clone();
+                        union.extend(components[ri].0.iter().copied());
+                        let join_conjuncts: Vec<Expr> = pending
+                            .iter()
+                            .filter(|(set, _)| set.is_subset(&union))
+                            .map(|(_, c)| c.clone())
+                            .collect();
+                        let trial = self.make_join(
+                            components[li].1.clone(),
+                            components[ri].1.clone(),
+                            JoinType::Inner,
+                            &join_conjuncts,
+                            outer,
+                        )?;
+                        let out = est.est_rows(&trial);
+                        if best.is_none_or(|(_, _, c)| out < c) {
+                            best = Some((li, ri, out));
+                        }
+                    }
+                    match best {
+                        Some((li, ri, _)) => (li, ri),
+                        None => (0, 1),
+                    }
+                }
+            };
+            let first = components.remove(left_idx.max(right_idx));
+            let second = components.remove(left_idx.min(right_idx));
+            let ((fl, left), (fr, right)) = if left_idx > right_idx {
+                (first, second)
+            } else {
+                (second, first)
+            };
+            let mut merged_factors = fl;
+            merged_factors.extend(fr);
             // All pending conjuncts now fully contained in the merged pair
             // become join conditions.
             let mut join_conjuncts = Vec::new();
@@ -1679,6 +1784,154 @@ impl<'a> Planner<'a> {
 
 /// `true` when the expression contains any subquery node outside nested
 /// subquery scopes.
+/// Deep column-name scan over an AST fragment, descending into subqueries
+/// (unlike `Expr::visit_columns`). Drives CTE projection pruning: any
+/// column *name* seen anywhere downstream of a CTE keeps the same-named CTE
+/// column; any `*` / `t.*` in a projection keeps everything. `COUNT(*)`'s
+/// bare `Expr::Wildcard` is ignored — it needs rows, not columns, and
+/// pruning always keeps at least one column.
+#[derive(Default)]
+struct ColRefScan {
+    names: std::collections::HashSet<String>,
+    wildcard: bool,
+}
+
+impl ColRefScan {
+    fn query(&mut self, q: &Query) {
+        for cte in &q.ctes {
+            self.query(&cte.query);
+        }
+        self.set_expr(&q.body);
+        for item in &q.order_by {
+            self.expr(&item.expr);
+        }
+    }
+
+    fn set_expr(&mut self, s: &SetExpr) {
+        for sel in s.selects() {
+            self.select(sel);
+        }
+    }
+
+    fn select(&mut self, sel: &Select) {
+        for item in &sel.projection {
+            match item {
+                SelectItem::Expr { expr, .. } => self.expr(expr),
+                SelectItem::Wildcard | SelectItem::QualifiedWildcard(_) => {
+                    self.wildcard = true;
+                }
+            }
+        }
+        for factor in &sel.from {
+            self.table_ref(factor);
+        }
+        if let Some(w) = &sel.selection {
+            self.expr(w);
+        }
+        for g in &sel.group_by {
+            self.expr(g);
+        }
+        if let Some(h) = &sel.having {
+            self.expr(h);
+        }
+    }
+
+    fn table_ref(&mut self, t: &TableRef) {
+        match t {
+            TableRef::Table { .. } => {}
+            TableRef::Subquery { query, .. } => self.query(query),
+            TableRef::Join {
+                left, right, on, ..
+            } => {
+                self.table_ref(left);
+                self.table_ref(right);
+                if let Some(on) = on {
+                    self.expr(on);
+                }
+            }
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        match e {
+            Expr::Column(c) => {
+                self.names.insert(c.name.clone());
+            }
+            Expr::Literal(_) | Expr::Wildcard => {}
+            Expr::BinaryOp { left, right, .. } => {
+                self.expr(left);
+                self.expr(right);
+            }
+            Expr::UnaryOp { expr, .. } | Expr::IsNull { expr, .. } => self.expr(expr),
+            Expr::Between {
+                expr, low, high, ..
+            } => {
+                self.expr(expr);
+                self.expr(low);
+                self.expr(high);
+            }
+            Expr::InList { expr, list, .. } => {
+                self.expr(expr);
+                for x in list {
+                    self.expr(x);
+                }
+            }
+            Expr::InSubquery { expr, subquery, .. } => {
+                self.expr(expr);
+                self.query(subquery);
+            }
+            Expr::Like { expr, pattern, .. } => {
+                self.expr(expr);
+                self.expr(pattern);
+            }
+            Expr::Exists { subquery, .. } => self.query(subquery),
+            Expr::ScalarSubquery(subquery) => self.query(subquery),
+            Expr::Case {
+                branches,
+                else_expr,
+            } => {
+                for (c, v) in branches {
+                    self.expr(c);
+                    self.expr(v);
+                }
+                if let Some(x) = else_expr {
+                    self.expr(x);
+                }
+            }
+            Expr::Function { args, .. } => {
+                for x in args {
+                    self.expr(x);
+                }
+            }
+        }
+    }
+}
+
+/// Narrow a materialized CTE plan to the columns named in `keep`: the
+/// stored rows then only carry what the rest of the query can reference.
+/// Keeps column order, and always at least one column so row counts
+/// (`COUNT(*)` over the CTE) survive.
+fn prune_projection(plan: Plan, keep: &std::collections::HashSet<String>) -> Plan {
+    let schema = plan.schema();
+    let mut kept: Vec<usize> = (0..schema.len())
+        .filter(|&i| keep.contains(&schema.columns[i].name))
+        .collect();
+    if kept.len() == schema.len() {
+        return plan;
+    }
+    if kept.is_empty() {
+        kept.push(0);
+    }
+    let columns = kept.iter().map(|&i| schema.columns[i].clone()).collect();
+    let exprs = kept.iter().map(|&i| BoundExpr::column(i)).collect();
+    let schema = Schema::new(columns);
+    Plan::Project {
+        input: Box::new(plan),
+        exprs,
+        schema,
+    }
+}
+
 fn contains_subquery(e: &Expr) -> bool {
     match e {
         Expr::Exists { .. } | Expr::InSubquery { .. } | Expr::ScalarSubquery(_) => true,

@@ -1,13 +1,24 @@
-//! Per-operator runtime statistics for `EXPLAIN ANALYZE`.
+//! Per-operator runtime statistics for `EXPLAIN ANALYZE`, and the
+//! per-table statistics the cost-based planner estimates from.
 //!
 //! A [`NodeStats`] tree mirrors the [`Plan`] tree shape exactly: the
 //! executor is handed an `Option<&mut NodeStats>` and fills in the node
 //! matching each plan operator as it runs. When no stats are requested the
 //! executor takes the untimed path, so plain queries pay nothing.
+//!
+//! [`TableStats`] / [`ColumnStats`] are collected eagerly whenever a table
+//! is registered (`CREATE TABLE` + every `INSERT` re-registers, so stats
+//! are never stale) and exposed through the catalog
+//! ([`crate::Database::table_stats`]); the stats epoch advances with the
+//! catalog epoch so plan caches can detect staleness. The estimation
+//! formulas that consume them live in [`crate::cost`].
 
+use std::collections::HashSet;
 use std::time::Duration;
 
 use crate::plan::Plan;
+use crate::table::Row;
+use crate::value::{KeyValue, Value};
 
 /// Runtime counters for one plan operator.
 ///
@@ -40,6 +51,11 @@ pub struct NodeStats {
     /// Per-worker counters are summed into this node, so the tree keeps
     /// the serial shape at any thread count.
     pub threads_used: u64,
+    /// Planner cardinality estimate for this operator's output, filled in
+    /// by [`crate::cost::annotate`] when table statistics are available.
+    /// `EXPLAIN ANALYZE` prints it next to the actual `rows_out` so the
+    /// estimation error is visible per operator.
+    pub est_rows: Option<u64>,
     /// Stats of the operator's inputs, in plan order.
     pub children: Vec<NodeStats>,
 }
@@ -70,6 +86,101 @@ impl NodeStats {
     }
 }
 
+/// Track at most this many distinct values per column; past the cap the
+/// column is treated as key-like (NDV ≈ non-null row count).
+const NDV_CAP: usize = 1 << 16;
+
+/// Statistics for one column of a stored table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Number of distinct non-null values. Exact up to [`NDV_CAP`] distinct
+    /// values; approximated as the non-null row count beyond it.
+    pub ndv: u64,
+    /// Number of NULLs in the column.
+    pub null_count: u64,
+    /// Smallest non-null value under a numeric interpretation (ints,
+    /// floats, dates as day numbers, bools as 0/1). `None` for all-NULL or
+    /// non-numeric columns.
+    pub min: Option<f64>,
+    /// Largest non-null value, same interpretation as `min`.
+    pub max: Option<f64>,
+}
+
+impl ColumnStats {
+    /// Fraction of rows that are NULL in this column.
+    pub fn null_fraction(&self, row_count: u64) -> f64 {
+        if row_count == 0 {
+            0.0
+        } else {
+            self.null_count as f64 / row_count as f64
+        }
+    }
+}
+
+/// Statistics for one stored table (or one materialized CTE).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableStats {
+    pub row_count: u64,
+    /// Per-column stats, in schema order.
+    pub columns: Vec<ColumnStats>,
+}
+
+/// Numeric interpretation of a value for min/max range estimation.
+pub(crate) fn numeric_of(v: &Value) -> Option<f64> {
+    match v {
+        Value::Int(i) => Some(*i as f64),
+        Value::Float(f) if !f.is_nan() => Some(*f),
+        Value::Date(d) => Some(*d as f64),
+        Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+        _ => None,
+    }
+}
+
+impl TableStats {
+    /// Collect statistics over a full row batch in one pass per column
+    /// value: NDV (hash-set, capped), null count, numeric min/max.
+    pub fn collect(rows: &[Row], width: usize) -> TableStats {
+        let mut columns: Vec<ColumnStats> = (0..width)
+            .map(|_| ColumnStats {
+                ndv: 0,
+                null_count: 0,
+                min: None,
+                max: None,
+            })
+            .collect();
+        let mut distinct: Vec<Option<HashSet<KeyValue>>> =
+            (0..width).map(|_| Some(HashSet::new())).collect();
+        for row in rows {
+            for (i, v) in row.iter().enumerate().take(width) {
+                let col = &mut columns[i];
+                if v.is_null() {
+                    col.null_count += 1;
+                    continue;
+                }
+                if let Some(set) = &mut distinct[i] {
+                    set.insert(KeyValue::from(v));
+                    if set.len() > NDV_CAP {
+                        distinct[i] = None;
+                    }
+                }
+                if let Some(n) = numeric_of(v) {
+                    col.min = Some(col.min.map_or(n, |m| m.min(n)));
+                    col.max = Some(col.max.map_or(n, |m| m.max(n)));
+                }
+            }
+        }
+        let row_count = rows.len() as u64;
+        for (col, set) in columns.iter_mut().zip(distinct) {
+            col.ndv = match set {
+                Some(set) => set.len() as u64,
+                // Cap blown: assume key-like (every non-null value distinct).
+                None => row_count - col.null_count,
+            };
+        }
+        TableStats { row_count, columns }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,6 +208,37 @@ mod tests {
             1 + s.children.iter().map(depth_of_stats).max().unwrap_or(0)
         }
         assert_eq!(depth_of_plan(&plan), depth_of_stats(&stats));
+    }
+
+    #[test]
+    fn table_stats_collects_ndv_nulls_and_range() {
+        use crate::value::Value;
+        let rows = vec![
+            vec![Value::Int(1), Value::str("a"), Value::Float(2.5)],
+            vec![Value::Int(1), Value::str("b"), Value::Null],
+            vec![Value::Int(3), Value::Null, Value::Float(-1.0)],
+        ];
+        let s = TableStats::collect(&rows, 3);
+        assert_eq!(s.row_count, 3);
+        assert_eq!(s.columns[0].ndv, 2);
+        assert_eq!(s.columns[0].null_count, 0);
+        assert_eq!(s.columns[0].min, Some(1.0));
+        assert_eq!(s.columns[0].max, Some(3.0));
+        assert_eq!(s.columns[1].ndv, 2);
+        assert_eq!(s.columns[1].null_count, 1);
+        assert_eq!(s.columns[1].min, None); // text has no numeric range
+        assert_eq!(s.columns[2].ndv, 2);
+        assert!((s.columns[2].null_fraction(3) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.columns[2].min, Some(-1.0));
+        assert_eq!(s.columns[2].max, Some(2.5));
+        // Int(1) and Float(1.0) normalize to the same distinct value.
+        let rows = vec![vec![Value::Int(1)], vec![Value::Float(1.0)]];
+        assert_eq!(TableStats::collect(&rows, 1).columns[0].ndv, 1);
+        // Empty tables produce empty-but-valid stats.
+        let s = TableStats::collect(&[], 2);
+        assert_eq!(s.row_count, 0);
+        assert_eq!(s.columns.len(), 2);
+        assert_eq!(s.columns[0].null_fraction(0), 0.0);
     }
 
     #[test]

@@ -47,6 +47,12 @@ pub struct CachedStatement {
     pub strategy: Strategy,
     /// Catalog epoch the plan was built under.
     pub epoch: u64,
+    /// Table-statistics epoch the plan was built under. Plans embed
+    /// cost-based decisions (join order, build sides, right-side filter
+    /// pushes), so a plan built from old statistics may be slow even when
+    /// its data snapshots are still current; the stats epoch completes the
+    /// staleness check.
+    pub stats_epoch: u64,
     /// The query as parsed.
     pub ast: Arc<Query>,
     /// What actually executes: the ConQuer rewriting, or `ast` for
@@ -67,6 +73,7 @@ pub fn build_statement(
     options: &ExecOptions,
 ) -> Result<CachedStatement, ServeError> {
     let epoch = db.catalog_epoch();
+    let stats_epoch = db.stats_epoch();
     let (ast, exec_query) = match strategy {
         Strategy::Original => {
             let ast = Arc::new(parse_query(sql).map_err(ServeError::Parse)?);
@@ -99,6 +106,7 @@ pub fn build_statement(
         sql: sql.to_string(),
         strategy,
         epoch,
+        stats_epoch,
         ast,
         exec_query,
         plan: Arc::new(plan),
@@ -163,13 +171,20 @@ impl StatementCache {
         self.entries.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Look up a statement valid at `epoch`. A present-but-stale entry is
-    /// removed and counted as an invalidation (plus the miss).
-    pub fn get(&self, sql: &str, strategy: Strategy, epoch: u64) -> Option<Arc<CachedStatement>> {
+    /// Look up a statement valid at `epoch` + `stats_epoch`. A
+    /// present-but-stale entry is removed and counted as an invalidation
+    /// (plus the miss).
+    pub fn get(
+        &self,
+        sql: &str,
+        strategy: Strategy,
+        epoch: u64,
+        stats_epoch: u64,
+    ) -> Option<Arc<CachedStatement>> {
         let key = (sql.to_string(), strategy);
         let mut entries = self.lock();
         match entries.get_mut(&key) {
-            Some(entry) if entry.stmt.epoch == epoch => {
+            Some(entry) if entry.stmt.epoch == epoch && entry.stmt.stats_epoch == stats_epoch => {
                 entry.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
                 let stmt = Arc::clone(&entry.stmt);
                 drop(entries);
@@ -241,7 +256,8 @@ impl StatementCache {
         options: &ExecOptions,
     ) -> Result<(Arc<CachedStatement>, bool), ServeError> {
         let epoch = db.catalog_epoch();
-        if let Some(stmt) = self.get(sql, strategy, epoch) {
+        let stats_epoch = db.stats_epoch();
+        if let Some(stmt) = self.get(sql, strategy, epoch, stats_epoch) {
             return Ok((stmt, true));
         }
         let stmt = Arc::new(build_statement(db, sigma, sql, strategy, options)?);
@@ -343,8 +359,33 @@ mod tests {
         assert_eq!(stats.evictions, 1);
         // The oldest entry is gone, the newest is a hit.
         let epoch = db.catalog_epoch();
-        assert!(cache.get(queries[0], Strategy::Original, epoch).is_none());
-        assert!(cache.get(queries[2], Strategy::Original, epoch).is_some());
+        let stats_epoch = db.stats_epoch();
+        assert!(cache
+            .get(queries[0], Strategy::Original, epoch, stats_epoch)
+            .is_none());
+        assert!(cache
+            .get(queries[2], Strategy::Original, epoch, stats_epoch)
+            .is_some());
+    }
+
+    #[test]
+    fn stats_epoch_mismatch_invalidates() {
+        let (db, sigma) = tiny_db();
+        let cache = StatementCache::new(8);
+        let stmt = Arc::new(
+            build_statement(&db, &sigma, Q, Strategy::Original, &ExecOptions::default()).unwrap(),
+        );
+        cache.insert(Arc::clone(&stmt));
+        let epoch = db.catalog_epoch();
+        assert!(cache
+            .get(Q, Strategy::Original, epoch, db.stats_epoch())
+            .is_some());
+        // Same catalog epoch, newer statistics: the plan's cost-based
+        // choices are stale, so the entry must drop.
+        assert!(cache
+            .get(Q, Strategy::Original, epoch, db.stats_epoch() + 1)
+            .is_none());
+        assert_eq!(cache.stats().invalidations, 1);
     }
 
     #[test]

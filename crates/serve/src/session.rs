@@ -346,10 +346,13 @@ impl Session {
         // session happened to build it; `options` governs execution only.
         let build_options = shared.build_options(Some(&token));
         let (rows, cached) = self.with_watch(stream, &token, || {
-            let (stmt, cached) =
-                shared
-                    .cache
-                    .get_or_build(&shared.db, &shared.sigma, sql, strategy, &build_options)?;
+            let (stmt, cached) = shared.cache.get_or_build(
+                &shared.db,
+                &shared.sigma,
+                sql,
+                strategy,
+                &build_options,
+            )?;
             let rows = shared
                 .db
                 .execute_plan_with(&stmt.plan, &options)
@@ -401,9 +404,12 @@ impl Session {
         let shared = &self.shared;
         let build_options = shared.build_options(Some(&token));
         let (stmt, rows, cached) = self.with_watch(stream, &token, || {
-            // A catalog change since `prepare` makes the bound plan stale:
-            // re-resolve through the cache so stale plans are never served.
-            let (stmt, cached) = if bound.epoch == shared.db.catalog_epoch() {
+            // A catalog or statistics change since `prepare` makes the
+            // bound plan stale: re-resolve through the cache so stale
+            // plans are never served.
+            let (stmt, cached) = if bound.epoch == shared.db.catalog_epoch()
+                && bound.stats_epoch == shared.db.stats_epoch()
+            {
                 (Arc::clone(&bound), true)
             } else {
                 shared.cache.get_or_build(

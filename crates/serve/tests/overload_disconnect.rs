@@ -144,7 +144,10 @@ fn disconnect_cancels_a_pipelined_back_to_back_query() {
     write_frame(&mut raw, &fast.to_json()).expect("send fast");
     write_frame(&mut raw, &slow.to_json()).expect("send slow");
     let first = read_frame(&mut raw).expect("fast response").expect("frame");
-    assert!(first.get("result").is_some(), "expected rows, got {first:?}");
+    assert!(
+        first.get("result").is_some(),
+        "expected rows, got {first:?}"
+    );
 
     let mut observer = Client::connect(addr).expect("connect observer");
     assert!(

@@ -254,7 +254,9 @@ fn session_limits_do_not_shape_cache_builds() {
         "expected the rewritten build to trip a 1-byte memory budget"
     );
 
-    client.set("mem_limit", Json::UInt(1)).expect("set mem_limit");
+    client
+        .set("mem_limit", Json::UInt(1))
+        .expect("set mem_limit");
     let id = client
         .prepare(sql, Some(Strategy::Rewritten))
         .expect("prepare must build under server options, not the session's 1-byte budget");
@@ -264,8 +266,14 @@ fn session_limits_do_not_shape_cache_builds() {
     let served = client.execute(id).expect("execute");
 
     // The shared entry answers exactly like in-process execution.
-    let reference = build_statement(&db, &sigma, sql, Strategy::Rewritten, &ExecOptions::default())
-        .expect("in-process build");
+    let reference = build_statement(
+        &db,
+        &sigma,
+        sql,
+        Strategy::Rewritten,
+        &ExecOptions::default(),
+    )
+    .expect("in-process build");
     let expected = db
         .execute_plan_with(&reference.plan, &ExecOptions::default())
         .expect("in-process execute");

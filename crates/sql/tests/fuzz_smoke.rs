@@ -154,6 +154,77 @@ fn mutated_sql_never_panics_through_parse_rewrite_plan() {
     assert!(db.plan(&q, &options).is_ok());
 }
 
+/// Rows as sorted strings: join reordering and build-side swaps may
+/// legitimately permute unordered output, so compare as multisets.
+fn sorted_rows(rows: &conquer_engine::Rows) -> Vec<Vec<String>> {
+    let mut v: Vec<Vec<String>> = rows
+        .rows
+        .iter()
+        .map(|r| r.iter().map(ToString::to_string).collect())
+        .collect();
+    v.sort();
+    v
+}
+
+/// Differential: every fuzz case that parses must produce the same result
+/// with cost-based planning on and off (`ExecOptions::use_stats`). This is
+/// the repair-oracle pattern from `tests/oracle_equivalence.rs` applied to
+/// the optimizer: the syntactic seed planner is the oracle, the
+/// statistics-driven planner (join reordering, build-side swaps,
+/// selectivity-gated right-side pushes, CTE pruning) is under test.
+#[test]
+fn fuzz_cases_agree_with_and_without_cost_based_planning() {
+    let db = fixture();
+    let stats_on = ExecOptions::default().with_threads(1);
+    let mut stats_off = stats_on.clone();
+    stats_off.use_stats = false;
+
+    let mut rng = Rng::new(0x5EED_CAFE);
+    let mut compared = 0u64;
+    // The full corpus verbatim, then the mutant storm on top.
+    let cases = CORPUS
+        .iter()
+        .map(|s| (*s).to_string())
+        .chain((0..ITERATIONS).map(|_| mutant(&mut rng)));
+    for (i, sql) in cases.enumerate() {
+        let Ok(query) = parse_query(&sql) else {
+            continue;
+        };
+        let on = db.query_with(&sql, &stats_on);
+        let off = db.query_with(&sql, &stats_off);
+        match (on, off) {
+            (Ok(a), Ok(b)) => {
+                if query.limit.is_some() {
+                    // LIMIT without a total order may keep different rows
+                    // under a different join order; the count is invariant.
+                    assert_eq!(
+                        a.rows.len(),
+                        b.rows.len(),
+                        "case {i}: row count diverged under LIMIT: {sql:?}"
+                    );
+                } else {
+                    assert_eq!(
+                        sorted_rows(&a),
+                        sorted_rows(&b),
+                        "case {i}: stats-on vs stats-off diverged: {sql:?}"
+                    );
+                }
+                compared += 1;
+            }
+            (Err(_), Err(_)) => {}
+            (on, off) => panic!(
+                "case {i}: planners disagree on success (stats-on ok={}, stats-off ok={}): {sql:?}",
+                on.is_ok(),
+                off.is_ok()
+            ),
+        }
+    }
+    assert!(
+        compared >= CORPUS.len() as u64,
+        "only {compared} cases executed on both planners; differential too weak"
+    );
+}
+
 #[test]
 fn truncations_of_every_corpus_entry_never_panic() {
     let db = fixture();

@@ -1,12 +1,13 @@
 //! Serial-vs-parallel differential over the full benchmark and rewriting
 //! surface: every TPC-H workload query under every execution strategy
 //! (original, consistent rewriting, annotation-aware rewriting), plus the
-//! rewriting-shaped queries from the core tests, must produce the same
-//! answer at `threads ∈ {1, 2, 8}` — identical ordered rows where the
-//! query fixes an order, and identical rows in the executor's
-//! deterministic morsel order everywhere else (the parallel executor
-//! reproduces serial order by construction; floats compare within a
-//! relative tolerance because parallel SUM/AVG re-associates addition).
+//! rewriting-shaped queries from the core tests, must produce the
+//! **bit-identical** answer at `threads ∈ {1, 2, 8}` — identical ordered
+//! rows where the query fixes an order, and identical rows in the
+//! executor's deterministic morsel order everywhere else. Floats included:
+//! SUM/AVG accumulate in an exact superaccumulator (`conquer_engine::fsum`),
+//! so the result is a function of the input multiset and merge order
+//! cannot perturb even the last ulp.
 //!
 //! Also covered: governed runs at every thread count trip the same limits
 //! (first trip wins, no panics, no deadlocks) and leave the database
@@ -24,7 +25,8 @@ fn opts(threads: usize) -> ExecOptions {
     ExecOptions::default().with_threads(threads)
 }
 
-/// Compare two result sets exactly, except floats within relative 1e-9.
+/// Compare two result sets exactly — floats bit-for-bit (`to_bits`, so
+/// that a NaN equals a bit-identical NaN and `0.0` differs from `-0.0`).
 fn assert_rows_match(serial: &Rows, parallel: &Rows, context: &str) {
     assert_eq!(
         serial.rows.len(),
@@ -36,10 +38,9 @@ fn assert_rows_match(serial: &Rows, parallel: &Rows, context: &str) {
         for (x, y) in a.iter().zip(b) {
             match (x, y) {
                 (Value::Float(x), Value::Float(y)) => {
-                    let scale = x.abs().max(y.abs()).max(1.0);
                     assert!(
-                        (x - y).abs() <= 1e-9 * scale,
-                        "float diverged ({x} vs {y}): {context}"
+                        x.to_bits() == y.to_bits(),
+                        "float diverged ({x:?} vs {y:?}): {context}"
                     );
                 }
                 _ => assert_eq!(x, y, "value diverged: {context}"),
