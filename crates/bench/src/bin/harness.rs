@@ -9,8 +9,14 @@
 //! ```
 //!
 //! Subcommands: `fig10`, `fig11`, `fig12`, `fig13`, `fig14`, `baseline`,
-//! `serve`, `plancost`, `all` (`all` runs the six figures; `serve` and
-//! `plancost` are explicit-only). `plancost` reports the planner's
+//! `serve`, `plancost`, `trace`, `all` (`all` runs the six figures;
+//! `serve`, `plancost`, and `trace` are explicit-only). `trace "<sql>"`
+//! runs one query against the standard workload with tracing on, prints
+//! the captured span tree (morsel workers included), records it in the
+//! process flight recorder, and writes `BENCH_trace.json` in the Chrome
+//! trace-viewer format — load it at `chrome://tracing` or
+//! <https://ui.perfetto.dev>. `--strategy` picks the answering strategy
+//! (default `rewritten`). `plancost` reports the planner's
 //! estimated rewritten/original cost ratio per figure query and, with
 //! `--cost-threshold-file <path>` (lines of `<query> <max_ratio>`), exits
 //! nonzero when a ratio regresses past its checked-in threshold — the CI
@@ -65,8 +71,8 @@ use conquer_obs::Json;
 /// the sweep and writes every report before exiting nonzero.
 static FAILED: AtomicBool = AtomicBool::new(false);
 
-const COMMANDS: [&str; 9] = [
-    "fig10", "fig11", "fig12", "fig13", "fig14", "baseline", "serve", "plancost", "all",
+const COMMANDS: [&str; 10] = [
+    "fig10", "fig11", "fig12", "fig13", "fig14", "baseline", "serve", "plancost", "trace", "all",
 ];
 
 struct Args {
@@ -89,6 +95,10 @@ struct Args {
     /// <max_ratio>` lines); a rewritten/original cost ratio above its
     /// threshold fails the run.
     cost_threshold_file: Option<String>,
+    /// `trace` mode: the SQL to trace (the positional after the command).
+    sql: Option<String>,
+    /// `trace` mode: which answering strategy to run the SQL under.
+    strategy: Strategy,
 }
 
 impl Args {
@@ -133,7 +143,10 @@ fn parse_args() -> Args {
         concurrency: 16,
         rounds: 3,
         cost_threshold_file: None,
+        sql: None,
+        strategy: Strategy::Rewritten,
     };
+    let mut command_seen = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -200,12 +213,30 @@ fn parse_args() -> Args {
                         .unwrap_or_else(|| die("--cost-threshold-file requires a path")),
                 );
             }
+            "--strategy" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| die("--strategy requires original|rewritten|annotated"));
+                args.strategy = match v.as_str() {
+                    "original" => Strategy::Original,
+                    "rewritten" => Strategy::Rewritten,
+                    "annotated" => Strategy::Annotated,
+                    _ => die("--strategy requires original|rewritten|annotated"),
+                };
+            }
             "--quiet" => args.quiet = true,
-            cmd if !cmd.starts_with('-') => {
-                if !COMMANDS.contains(&cmd) {
-                    die(&format!("unknown command {cmd}"));
+            tok if !tok.starts_with('-') => {
+                if !command_seen {
+                    if !COMMANDS.contains(&tok) {
+                        die(&format!("unknown command {tok}"));
+                    }
+                    args.command = tok.to_string();
+                    command_seen = true;
+                } else if args.command == "trace" && args.sql.is_none() {
+                    args.sql = Some(tok.to_string());
+                } else {
+                    die(&format!("unexpected argument {tok}"));
                 }
-                args.command = cmd.to_string();
             }
             other => die(&format!("unknown flag {other}")),
         }
@@ -220,7 +251,9 @@ fn die(msg: &str) -> ! {
          [--sf F] [--runs N] [--json PATH] [--quiet] \
          [--timeout-ms N] [--mem-limit BYTES] [--threads N] \
          [--serve-port P] [--concurrency N] [--rounds R] \
-         [--cost-threshold-file PATH]"
+         [--cost-threshold-file PATH]\n       \
+         harness trace \"<sql>\" [--strategy original|rewritten|annotated] \
+         [--sf F] [--threads N] [--json PATH]"
     );
     std::process::exit(2)
 }
@@ -243,6 +276,7 @@ fn main() {
             "baseline" => baseline(&args),
             "serve" => serve_cmd(&args),
             "plancost" => plancost(&args),
+            "trace" => trace_cmd(&args),
             _ => unreachable!("command validated in parse_args"),
         };
         report.push("metrics", conquer_obs::registry().snapshot_json());
@@ -716,6 +750,137 @@ fn load_thresholds(path: &str) -> std::collections::HashMap<String, f64> {
         }
     }
     out
+}
+
+/// `trace` — run one SQL statement against the standard workload with
+/// tracing on and export the span tree (all threads) as a Chrome
+/// trace-viewer document.
+///
+/// The report written by `main` (`BENCH_trace.json`, or `--json`) IS the
+/// Chrome document: `traceEvents` carries one complete (`ph: "X"`) event
+/// per span, `ts`/`dur` in microseconds since the process trace epoch,
+/// `tid` the span's process-unique thread tag — so morsel workers land on
+/// their own rows in the viewer. The query is also recorded in the
+/// process-wide flight recorder (session 0), same as a served query.
+fn trace_cmd(args: &Args) -> Json {
+    use conquer_obs::{flight_recorder, QueryTrace, TraceContext};
+
+    let sql = args
+        .sql
+        .clone()
+        .unwrap_or_else(|| die("trace requires a SQL string: harness trace \"<sql>\""));
+    let w = workload(args.sf, 0.05, 2);
+    let ctx = TraceContext::new();
+    let options = args.options().with_trace(ctx.clone());
+    let start_unix_ms = std::time::SystemTime::now()
+        .duration_since(std::time::SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    let started = Instant::now();
+    let result = {
+        // Install for the whole pipeline so parse/rewrite spans (which run
+        // before the engine sees `options.trace`) are captured too.
+        let _guard = ctx.install();
+        match args.strategy {
+            Strategy::Original => {
+                w.db.query_with(&sql, &options)
+                    .map_err(conquer::RewriteError::from)
+            }
+            Strategy::Rewritten => {
+                conquer::consistent_answers_with(&w.db, &sql, &w.sigma, &options)
+            }
+            Strategy::Annotated => {
+                conquer::consistent_answers_annotated_with(&w.db, &sql, &w.sigma, &options)
+            }
+        }
+    };
+    let elapsed_us = started.elapsed().as_micros() as u64;
+    let spans = ctx.take_records();
+    let status = run_status(&result);
+    if result.is_err() {
+        FAILED.store(true, Ordering::Relaxed);
+    }
+    let (rows_out, error) = match &result {
+        Ok(rows) => (rows.rows.len() as u64, None),
+        Err(e) => {
+            eprintln!("harness: trace [{}] {status}: {e}", args.strategy.label());
+            (0, Some(e.to_string()))
+        }
+    };
+    let worker_spans = spans.iter().filter(|s| s.name == "worker").count() as u64;
+
+    say!(
+        args,
+        "## trace — [{}] {status}, {elapsed_us} µs, {rows_out} rows, {} spans \
+         ({worker_spans} workers)\n",
+        args.strategy.label(),
+        spans.len(),
+    );
+    say!(args, "    {sql}\n");
+    for s in &spans {
+        say!(
+            args,
+            "{:indent$}{} {} µs (thread {})",
+            "",
+            s.name,
+            s.wall.as_micros(),
+            s.thread,
+            indent = 2 * s.depth,
+        );
+    }
+    say!(args, "");
+
+    flight_recorder().record(QueryTrace {
+        query_id: ctx.id().value(),
+        session: 0,
+        sql_hash: conquer_obs::sql_hash(&sql),
+        sql: conquer_obs::sql_snippet(&sql),
+        strategy: args.strategy.label(),
+        status,
+        error: error.clone(),
+        cached: false,
+        elapsed_us,
+        rows_out,
+        rows_in: 0,
+        est_rows: None,
+        threads: options.threads,
+        worker_spans,
+        start_unix_ms,
+        trip: None,
+        spans: spans.clone(),
+    });
+
+    let events = spans.iter().map(|s| {
+        Json::obj([
+            ("name", Json::from(s.name)),
+            ("cat", Json::from("span")),
+            ("ph", Json::from("X")),
+            ("ts", Json::UInt(s.start.as_micros() as u64)),
+            ("dur", Json::UInt(s.wall.as_micros() as u64)),
+            ("pid", Json::UInt(1)),
+            ("tid", Json::UInt(s.thread)),
+            ("args", s.to_json()),
+        ])
+    });
+    let mut other = Json::obj([
+        ("sql", Json::from(sql)),
+        ("strategy", Json::from(args.strategy.label())),
+        ("status", Json::from(status)),
+        ("query_id", Json::UInt(ctx.id().value())),
+        ("elapsed_us", Json::UInt(elapsed_us)),
+        ("rows_out", Json::UInt(rows_out)),
+        ("worker_spans", Json::UInt(worker_spans)),
+        ("start_unix_ms", Json::UInt(start_unix_ms)),
+        ("epoch_unix_ms", Json::UInt(conquer_obs::epoch_unix_ms())),
+    ]);
+    if let Some(e) = error {
+        other.push("error", Json::from(e));
+    }
+    Json::obj([
+        ("traceEvents", Json::arr(events)),
+        ("displayTimeUnit", Json::from("ms")),
+        ("otherData", other),
+    ])
 }
 
 fn wire_strategy(s: Strategy) -> conquer_serve::Strategy {

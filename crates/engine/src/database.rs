@@ -212,6 +212,7 @@ impl Database {
     /// wall-clock budget in [`ResourceLimits`](crate::ResourceLimits) is
     /// end-to-end.
     pub fn query_with(&self, sql: &str, options: &ExecOptions) -> Result<Rows> {
+        let _trace = options.trace.as_ref().map(|t| t.install());
         let gov = Governor::for_options(options);
         let query = {
             let _span = conquer_obs::span("parse").field("bytes", sql.len());
@@ -227,6 +228,7 @@ impl Database {
 
     /// Run a parsed query with explicit options.
     pub fn execute_query_with(&self, query: &Query, options: &ExecOptions) -> Result<Rows> {
+        let _trace = options.trace.as_ref().map(|t| t.install());
         let gov = Governor::for_options(options);
         self.execute_query_opts(query, options, gov.as_ref())
     }
@@ -251,6 +253,7 @@ impl Database {
         query: &Query,
         options: &ExecOptions,
     ) -> Result<(Rows, Plan, crate::stats::NodeStats)> {
+        let _trace = options.trace.as_ref().map(|t| t.install());
         let gov = Governor::for_options(options);
         let plan = self.plan_governed(query, options, gov.as_ref())?;
         let mut span = conquer_obs::span("execute").field("threads", options.threads);
@@ -267,6 +270,7 @@ impl Database {
     /// Plan a query without executing it (CTEs are still materialized, under
     /// the options' resource budget).
     pub fn plan(&self, query: &Query, options: &ExecOptions) -> Result<Plan> {
+        let _trace = options.trace.as_ref().map(|t| t.install());
         let gov = Governor::for_options(options);
         self.plan_governed(query, options, gov.as_ref())
     }
@@ -278,6 +282,7 @@ impl Database {
     /// options' resource budget and cancellation token cover execution
     /// only — parse and plan time were paid when the plan was built.
     pub fn execute_plan_with(&self, plan: &Plan, options: &ExecOptions) -> Result<Rows> {
+        let _trace = options.trace.as_ref().map(|t| t.install());
         let gov = Governor::for_options(options);
         let mut span = conquer_obs::span("execute").field("threads", options.threads);
         let rows = exec::execute_governed_threads(plan, None, gov.as_ref(), options.threads)?;

@@ -343,10 +343,18 @@ where
     let morsels = n.div_ceil(MORSEL_ROWS);
     let cursor = AtomicUsize::new(0);
     let abort = AtomicBool::new(false);
+    // Workers adopt the spawning thread's trace so their spans land in the
+    // query's collectors (a no-op when nothing is being traced).
+    let trace = conquer_obs::current_trace();
     let worker_results: Vec<WorkerOut<T>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
+            .map(|w| {
+                let trace = &trace;
+                let cursor = &cursor;
+                let abort = &abort;
+                let f = &f;
+                scope.spawn(move || {
+                    let _trace = trace.adopt_worker(w);
                     let mut out: Vec<(usize, T)> = Vec::new();
                     let mut failed = None;
                     while !abort.load(Ordering::Relaxed) {
@@ -402,10 +410,17 @@ where
     let morsels = n.div_ceil(MORSEL_ROWS);
     let cursor = AtomicUsize::new(0);
     let abort = AtomicBool::new(false);
+    let trace = conquer_obs::current_trace();
     let worker_results: Vec<(T, Option<MorselError>)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
+            .map(|w| {
+                let trace = &trace;
+                let cursor = &cursor;
+                let abort = &abort;
+                let init = &init;
+                let step = &step;
+                scope.spawn(move || {
+                    let _trace = trace.adopt_worker(w);
                     let mut acc = init();
                     let mut failed = None;
                     while !abort.load(Ordering::Relaxed) {
@@ -452,13 +467,18 @@ where
     U: Send,
     F: Fn(usize, T) -> Result<U> + Sync,
 {
+    let trace = conquer_obs::current_trace();
     let results: Vec<(usize, Result<U>)> = std::thread::scope(|scope| {
         let handles: Vec<_> = inputs
             .into_iter()
             .enumerate()
             .map(|(i, input)| {
                 let f = &f;
-                scope.spawn(move || (i, f(i, input)))
+                let trace = &trace;
+                scope.spawn(move || {
+                    let _trace = trace.adopt_worker(i);
+                    (i, f(i, input))
+                })
             })
             .collect();
         handles

@@ -58,6 +58,13 @@ pub struct ExecOptions {
     /// the `CONQUER_THREADS` environment variable (which lets CI run the
     /// whole test suite at a fixed thread count).
     pub threads: usize,
+    /// Per-query trace context. When set, the engine installs it for the
+    /// duration of each public entry point, so every span the query closes
+    /// — including spans closed by morsel worker threads, which adopt the
+    /// installing thread's collectors — accumulates under one
+    /// [`QueryId`](conquer_obs::QueryId). `None` (the default) traces
+    /// nothing beyond the always-on histograms.
+    pub trace: Option<conquer_obs::TraceContext>,
 }
 
 impl Default for ExecOptions {
@@ -70,6 +77,7 @@ impl Default for ExecOptions {
             limits: ResourceLimits::default(),
             cancellation: None,
             threads: default_threads(),
+            trace: None,
         }
     }
 }
@@ -103,6 +111,12 @@ impl ExecOptions {
     /// Builder-style worker-thread count (clamped to at least 1).
     pub fn with_threads(mut self, threads: usize) -> ExecOptions {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Builder-style trace context.
+    pub fn with_trace(mut self, trace: conquer_obs::TraceContext) -> ExecOptions {
+        self.trace = Some(trace);
         self
     }
 }
@@ -238,6 +252,16 @@ impl Plan {
             | Plan::NestedLoopJoin { schema, .. }
             | Plan::Aggregate { schema, .. } => schema,
             Plan::UnionAll { left, .. } => left.schema(),
+        }
+    }
+
+    /// Total rows embedded in this plan's scan leaves — the base-table
+    /// (and materialized-CTE) input the plan reads, i.e. its "rows in"
+    /// for trace summaries.
+    pub fn base_rows(&self) -> u64 {
+        match self {
+            Plan::Scan { rows, .. } => rows.rows.len() as u64,
+            _ => self.children().iter().map(|c| c.base_rows()).sum(),
         }
     }
 

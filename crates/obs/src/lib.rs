@@ -17,6 +17,17 @@
 //!   workspace builds offline, so there is no `serde`); used for the bench
 //!   harness's `BENCH_<fig>.json` exports, `EXPLAIN ANALYZE` machine
 //!   output, and the `conquer-serve` wire protocol.
+//! * [`flight`] — an always-on flight recorder: a fixed-capacity ring of
+//!   per-query [`QueryTrace`] summaries fed by the serve session loop and
+//!   the bench harness, plus a slow-query JSON-lines log.
+//! * [`prom`] — Prometheus text exposition over the registry, with
+//!   cumulative `_bucket` lines derived from the log-scale histograms.
+//!
+//! Per-query, cross-thread tracing is built from [`TraceContext`] (a
+//! [`QueryId`] plus a shareable collector, installed by whoever owns the
+//! query and flowed through the engine's `ExecOptions`) and
+//! [`current_trace`]/[`ThreadTrace`] (how morsel worker threads adopt the
+//! spawning thread's collectors, tagging their spans with worker ids).
 //!
 //! The paper's headline claim (SIGMOD 2005, Section 6) is that
 //! consistent-answer rewritings cost less than ~2× the original query;
@@ -39,13 +50,23 @@
 //! assert!(spans[1].wall >= spans[0].wall);
 //! ```
 
+pub mod flight;
 pub mod json;
 pub mod metrics;
+pub mod prom;
 pub mod span;
 
+pub use flight::{
+    flight_recorder, log_slow_query, set_slow_query_sink, sql_hash, sql_snippet, FlightRecorder,
+    QueryTrace, TripSnapshot, DEFAULT_FLIGHT_CAPACITY,
+};
 pub use json::{Json, JsonParseError};
-pub use metrics::{registry, Counter, Histogram, HistogramSnapshot, Registry};
+pub use metrics::{
+    bucket_index, bucket_upper_bound, registry, Counter, Histogram, HistogramSnapshot, Registry,
+};
+pub use prom::{prometheus_text, push_gauge, sanitize_metric_name};
 pub use span::{
-    capture, clear_subscriber, phase_totals, set_subscriber, span, FieldValue, HumanSink,
-    JsonLinesSink, Span, SpanRecord, Subscriber,
+    capture, clear_subscriber, current_trace, epoch_unix_ms, phase_totals, set_subscriber, span,
+    thread_tag, FieldValue, HumanSink, JsonLinesSink, QueryId, Span, SpanRecord, Subscriber,
+    ThreadTrace, TraceContext, TraceGuard, WorkerGuard,
 };

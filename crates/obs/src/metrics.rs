@@ -179,22 +179,40 @@ impl Registry {
         self.histogram(&format!("span.{span_name}.ns"))
     }
 
+    /// Name-sorted `Arc` handles of every counter. The lock is held only
+    /// to clone the map, never while reading values or serializing.
+    pub fn counters_snapshot(&self) -> Vec<(String, Arc<Counter>)> {
+        let counters = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+        counters
+            .iter()
+            .map(|(name, c)| (name.clone(), Arc::clone(c)))
+            .collect()
+    }
+
+    /// Name-sorted `Arc` handles of every histogram, cloned under the lock
+    /// like [`counters_snapshot`](Registry::counters_snapshot).
+    pub fn histograms_snapshot(&self) -> Vec<(String, Arc<Histogram>)> {
+        let histograms = self.histograms.lock().unwrap_or_else(|e| e.into_inner());
+        histograms
+            .iter()
+            .map(|(name, h)| (name.clone(), Arc::clone(h)))
+            .collect()
+    }
+
     /// Snapshot every metric as a JSON object:
     /// `{"counters": {...}, "histograms": {name: {count, sum, ...}}}`.
+    /// The registry locks are released before any serialization happens,
+    /// so a scrape never stalls concurrent metric registration.
     pub fn snapshot_json(&self) -> Json {
         let counters = self
-            .counters
-            .lock()
-            .unwrap()
-            .iter()
-            .map(|(name, c)| (name.clone(), Json::UInt(c.get())))
+            .counters_snapshot()
+            .into_iter()
+            .map(|(name, c)| (name, Json::UInt(c.get())))
             .collect::<Vec<_>>();
         let histograms = self
-            .histograms
-            .lock()
-            .unwrap()
-            .iter()
-            .map(|(name, h)| (name.clone(), h.snapshot().to_json()))
+            .histograms_snapshot()
+            .into_iter()
+            .map(|(name, h)| (name, h.snapshot().to_json()))
             .collect::<Vec<_>>();
         Json::obj([
             ("counters", Json::Obj(counters)),

@@ -82,8 +82,14 @@ impl Admission {
     /// deadline passed with the server still at capacity — the caller maps
     /// that to a `busy` response.
     pub fn try_admit(self: &Arc<Admission>) -> Option<Permit> {
-        let deadline = Instant::now() + self.queue_wait;
+        let entered = Instant::now();
+        let deadline = entered + self.queue_wait;
         let mut state = self.lock();
+        // Queue depth as this request observed it (before it queued
+        // itself), so the histogram reflects what admissions contend with.
+        conquer_obs::registry()
+            .histogram("serve.admission.queue_depth")
+            .record(state.waiting as u64);
         if state.in_flight >= self.max_concurrent {
             state.waiting += 1;
             self.waiting_gauge.fetch_add(1, Ordering::Relaxed);
@@ -103,18 +109,22 @@ impl Admission {
             if state.in_flight >= self.max_concurrent {
                 drop(state);
                 self.rejected.fetch_add(1, Ordering::Relaxed);
-                conquer_obs::registry()
-                    .counter("serve.admission.rejected")
-                    .inc();
+                let registry = conquer_obs::registry();
+                registry.counter("serve.admission.rejected").inc();
+                registry
+                    .histogram("serve.admission.wait.us")
+                    .record(entered.elapsed().as_micros() as u64);
                 return None;
             }
         }
         state.in_flight += 1;
         drop(state);
         self.admitted.fetch_add(1, Ordering::Relaxed);
-        conquer_obs::registry()
-            .counter("serve.admission.admitted")
-            .inc();
+        let registry = conquer_obs::registry();
+        registry.counter("serve.admission.admitted").inc();
+        registry
+            .histogram("serve.admission.wait.us")
+            .record(entered.elapsed().as_micros() as u64);
         Some(Permit {
             admission: Arc::clone(self),
         })

@@ -5,14 +5,17 @@
 //! conquer-serve [--port N] [--tpch-sf F [--inconsistency P] [--annotate]]
 //!               [--script FILE [--keys rel:col+col,rel2:col]]
 //!               [--max-sessions N] [--admit N] [--queue-wait-ms N]
-//!               [--cache N]
+//!               [--cache N] [--metrics-port N] [--slow-query-us N]
 //! ```
 //!
 //! Data comes from exactly one of `--tpch-sf` (generate + inject TPC-H) or
 //! `--script` (run a SQL file; pair with `--keys` for the constraint set).
 //! With neither, the server starts empty — clients create tables with the
 //! `script` op. Prints `listening on ADDR` once accepting (the CI smoke job
-//! and the bench harness scrape that line).
+//! and the bench harness scrape that line), and `metrics on ADDR` when
+//! `--metrics-port` enables the HTTP exposition endpoint (`/metrics`,
+//! `/metrics.json`, `/traces`). `--slow-query-us` sets the default
+//! slow-query log threshold (JSON lines on stderr; 0 disables).
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -34,6 +37,8 @@ struct Args {
     admit: usize,
     queue_wait_ms: u64,
     cache: usize,
+    metrics_port: Option<u16>,
+    slow_query_us: u64,
 }
 
 impl Default for Args {
@@ -50,13 +55,16 @@ impl Default for Args {
             admit: defaults.max_concurrent,
             queue_wait_ms: defaults.queue_wait.as_millis() as u64,
             cache: defaults.cache_capacity,
+            metrics_port: None,
+            slow_query_us: defaults.slow_query_us,
         }
     }
 }
 
 const USAGE: &str = "usage: conquer-serve [--port N] [--tpch-sf F [--inconsistency P] [--annotate]]
                      [--script FILE [--keys rel:col+col,rel2:col]]
-                     [--max-sessions N] [--admit N] [--queue-wait-ms N] [--cache N]";
+                     [--max-sessions N] [--admit N] [--queue-wait-ms N] [--cache N]
+                     [--metrics-port N] [--slow-query-us N]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args::default();
@@ -103,6 +111,18 @@ fn parse_args() -> Result<Args, String> {
                 args.cache = value("--cache")?
                     .parse()
                     .map_err(|e| format!("--cache: {e}"))?
+            }
+            "--metrics-port" => {
+                args.metrics_port = Some(
+                    value("--metrics-port")?
+                        .parse()
+                        .map_err(|e| format!("--metrics-port: {e}"))?,
+                )
+            }
+            "--slow-query-us" => {
+                args.slow_query_us = value("--slow-query-us")?
+                    .parse()
+                    .map_err(|e| format!("--slow-query-us: {e}"))?
             }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
@@ -178,6 +198,8 @@ fn main() -> ExitCode {
         max_concurrent: args.admit,
         queue_wait: Duration::from_millis(args.queue_wait_ms),
         cache_capacity: args.cache,
+        metrics_addr: args.metrics_port.map(|p| format!("127.0.0.1:{p}")),
+        slow_query_us: args.slow_query_us,
         ..ServerConfig::default()
     };
     let server = match serve(db, sigma, config) {
@@ -188,6 +210,9 @@ fn main() -> ExitCode {
         }
     };
     println!("listening on {}", server.addr());
+    if let Some(metrics_addr) = server.metrics_addr() {
+        println!("metrics on {metrics_addr}");
+    }
     server.wait();
     eprintln!("server stopped");
     ExitCode::SUCCESS

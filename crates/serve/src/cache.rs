@@ -32,7 +32,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use conquer_core::{is_annotated, prepare_rewrite, ConstraintSet, RewriteOptions};
-use conquer_engine::{Database, ExecOptions, Plan};
+use conquer_engine::{Database, Estimator, ExecOptions, Plan};
 use conquer_sql::ast::Query;
 use conquer_sql::parse_query;
 
@@ -60,6 +60,12 @@ pub struct CachedStatement {
     pub exec_query: Arc<Query>,
     /// The physical plan, CTEs materialized.
     pub plan: Arc<Plan>,
+    /// Total base-table (and materialized-CTE) rows the plan scans —
+    /// the "rows in" reported by query traces.
+    pub base_rows: u64,
+    /// Planner cardinality estimate for the plan root, when the build ran
+    /// with statistics on; traces report it against actual rows out.
+    pub est_rows: Option<u64>,
 }
 
 /// Build a statement from scratch (the cache-miss path). The epoch is read
@@ -102,6 +108,15 @@ pub fn build_statement(
         }
     };
     let plan = db.plan(&exec_query, options).map_err(ServeError::Engine)?;
+    let base_rows = plan.base_rows();
+    let est_rows = options.use_stats.then(|| {
+        let est = Estimator::from_db(db).est_rows(&plan);
+        if est.is_finite() && est >= 0.0 {
+            est.round() as u64
+        } else {
+            0
+        }
+    });
     Ok(CachedStatement {
         sql: sql.to_string(),
         strategy,
@@ -110,6 +125,8 @@ pub fn build_statement(
         ast,
         exec_query,
         plan: Arc::new(plan),
+        base_rows,
+        est_rows,
     })
 }
 
@@ -154,6 +171,20 @@ pub struct StatementCache {
     evictions: AtomicU64,
 }
 
+/// Static per-strategy counter names: cache hit/miss rates are compared
+/// per answering strategy (the paper's per-strategy overhead claim), and
+/// static names keep the hot path free of `format!` allocations.
+fn strategy_counter(hit: bool, strategy: Strategy) -> &'static str {
+    match (hit, strategy) {
+        (true, Strategy::Original) => "serve.cache.hit.original",
+        (true, Strategy::Rewritten) => "serve.cache.hit.rewritten",
+        (true, Strategy::Annotated) => "serve.cache.hit.annotated",
+        (false, Strategy::Original) => "serve.cache.miss.original",
+        (false, Strategy::Rewritten) => "serve.cache.miss.rewritten",
+        (false, Strategy::Annotated) => "serve.cache.miss.annotated",
+    }
+}
+
 impl StatementCache {
     pub fn new(capacity: usize) -> StatementCache {
         StatementCache {
@@ -189,7 +220,9 @@ impl StatementCache {
                 let stmt = Arc::clone(&entry.stmt);
                 drop(entries);
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                conquer_obs::registry().counter("serve.cache.hit").inc();
+                let registry = conquer_obs::registry();
+                registry.counter("serve.cache.hit").inc();
+                registry.counter(strategy_counter(true, strategy)).inc();
                 Some(stmt)
             }
             Some(_) => {
@@ -200,12 +233,15 @@ impl StatementCache {
                 let registry = conquer_obs::registry();
                 registry.counter("serve.cache.invalidation").inc();
                 registry.counter("serve.cache.miss").inc();
+                registry.counter(strategy_counter(false, strategy)).inc();
                 None
             }
             None => {
                 drop(entries);
                 self.misses.fetch_add(1, Ordering::Relaxed);
-                conquer_obs::registry().counter("serve.cache.miss").inc();
+                let registry = conquer_obs::registry();
+                registry.counter("serve.cache.miss").inc();
+                registry.counter(strategy_counter(false, strategy)).inc();
                 None
             }
         }

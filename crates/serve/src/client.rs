@@ -207,6 +207,25 @@ impl Client {
         }
     }
 
+    /// Flight-recorder summaries for the most recent queries (newest first).
+    pub fn trace_recent(&mut self, limit: Option<u64>) -> Result<Json, ClientError> {
+        self.expect_traces(&Request::TraceRecent { limit })
+    }
+
+    /// The full trace (span tree included) for one recorded query id.
+    pub fn trace_get(&mut self, query_id: u64) -> Result<Json, ClientError> {
+        self.expect_traces(&Request::TraceGet { query_id })
+    }
+
+    fn expect_traces(&mut self, request: &Request) -> Result<Json, ClientError> {
+        match self.roundtrip(request)? {
+            Response::Traces(traces) => Ok(traces),
+            other => Err(ClientError::Protocol(format!(
+                "expected traces, got {other:?}"
+            ))),
+        }
+    }
+
     pub fn ping(&mut self) -> Result<(), ClientError> {
         self.expect_ok(&Request::Ping)
     }

@@ -42,6 +42,7 @@ pub mod admission;
 pub mod cache;
 pub mod client;
 pub mod error;
+mod metrics_http;
 pub mod protocol;
 pub mod server;
 mod session;

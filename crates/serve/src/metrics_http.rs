@@ -1,0 +1,190 @@
+//! The metrics exposition endpoint: a std-only HTTP/1.1 GET responder.
+//!
+//! Deliberately minimal — it answers exactly three read-only paths and
+//! closes every connection after one response, so there is no keep-alive
+//! state, no chunking, and no framing beyond `Content-Length`:
+//!
+//! * `/metrics` — Prometheus text format (version 0.0.4): every registry
+//!   counter and histogram (cumulative `_bucket` lines derived from the
+//!   log-scale buckets), plus point-in-time server gauges (in-flight
+//!   queries, admission queue depth, active sessions, cache entries).
+//! * `/metrics.json` — the registry's JSON snapshot plus the same gauges.
+//! * `/traces` — the flight-recorder dump (`?limit=N` caps the entries).
+//!
+//! Requests are served inline on the single metrics thread: scrapes are
+//! cheap, and serializing them bounds the resources a scraper can pin.
+//! Read/write timeouts keep one stalled client from wedging the endpoint
+//! for long, and shutdown wakes the loop with a loopback connect (the
+//! same trick the main accept loop uses).
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use conquer_obs::{flight_recorder, prometheus_text, push_gauge, registry, Json};
+
+use crate::server::Shared;
+
+/// Cap on an inbound request head; GETs for three short paths fit easily.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// Per-connection socket timeout: a scrape is a local, sub-millisecond
+/// affair, so anything this slow is a stalled or hostile peer.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Default and maximum `/traces` entries per response.
+const TRACES_DEFAULT_LIMIT: usize = 64;
+const TRACES_MAX_LIMIT: usize = 1024;
+
+pub(crate) fn metrics_loop(listener: TcpListener, shared: Arc<Shared>) {
+    for conn in listener.incoming() {
+        if shared.is_shutting_down() {
+            break;
+        }
+        let stream = match conn {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        registry().counter("serve.metrics.requests").inc();
+        serve_one(stream, &shared);
+    }
+}
+
+fn serve_one(mut stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let Some(path) = read_request_path(&mut stream) else {
+        let _ = respond(
+            &mut stream,
+            "400 Bad Request",
+            "text/plain; charset=utf-8",
+            "bad request\n",
+        );
+        return;
+    };
+    // Strip the query string; `/traces` is the only path that reads it.
+    let (route, query) = match path.split_once('?') {
+        Some((route, query)) => (route, Some(query)),
+        None => (path.as_str(), None),
+    };
+    let result = match route {
+        "/metrics" => respond(
+            &mut stream,
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            &metrics_text(shared),
+        ),
+        "/metrics.json" => respond(
+            &mut stream,
+            "200 OK",
+            "application/json",
+            &metrics_json(shared).render(),
+        ),
+        "/traces" => {
+            let limit = query
+                .and_then(parse_limit)
+                .unwrap_or(TRACES_DEFAULT_LIMIT)
+                .min(TRACES_MAX_LIMIT);
+            respond(
+                &mut stream,
+                "200 OK",
+                "application/json",
+                &flight_recorder().to_json(limit).render(),
+            )
+        }
+        _ => respond(
+            &mut stream,
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found; try /metrics, /metrics.json, or /traces\n",
+        ),
+    };
+    let _ = result;
+}
+
+/// Read the request head and return the GET path, or `None` on anything
+/// malformed (non-GET methods included — every resource here is a read).
+fn read_request_path(stream: &mut TcpStream) -> Option<String> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    while !head_complete(&buf) {
+        if buf.len() >= MAX_REQUEST_BYTES {
+            return None;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => return None,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let request_line = head.lines().next()?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next()?;
+    let path = parts.next()?;
+    if method != "GET" {
+        return None;
+    }
+    Some(path.to_string())
+}
+
+fn head_complete(buf: &[u8]) -> bool {
+    buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.windows(2).any(|w| w == b"\n\n")
+}
+
+fn parse_limit(query: &str) -> Option<usize> {
+    query
+        .split('&')
+        .find_map(|kv| kv.strip_prefix("limit="))
+        .and_then(|v| v.parse().ok())
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Point-in-time server gauges, shared by both exposition formats.
+fn server_gauges(shared: &Arc<Shared>) -> Vec<(&'static str, u64)> {
+    let admission = shared.admission.stats();
+    let cache = shared.cache.stats();
+    vec![
+        ("serve.in_flight", admission.in_flight as u64),
+        (
+            "serve.admission.queue_depth.now",
+            admission.queue_depth as u64,
+        ),
+        ("serve.active_sessions", shared.active_sessions() as u64),
+        ("serve.cache.entries", cache.entries as u64),
+        ("serve.flight.recorded", flight_recorder().recorded()),
+    ]
+}
+
+fn metrics_text(shared: &Arc<Shared>) -> String {
+    let mut out = prometheus_text(registry());
+    for (name, value) in server_gauges(shared) {
+        push_gauge(&mut out, name, value);
+    }
+    out
+}
+
+fn metrics_json(shared: &Arc<Shared>) -> Json {
+    let gauges = server_gauges(shared)
+        .into_iter()
+        .map(|(name, value)| (name.to_string(), Json::UInt(value)))
+        .collect::<Vec<_>>();
+    let mut obj = registry().snapshot_json();
+    obj.push("gauges", Json::Obj(gauges));
+    obj
+}

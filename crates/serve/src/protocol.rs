@@ -124,6 +124,10 @@ pub enum Request {
     Script { sql: String },
     /// Server + session statistics snapshot.
     Stats,
+    /// Recent flight-recorder traces (newest first), optionally capped.
+    TraceRecent { limit: Option<u64> },
+    /// One query's full trace (all spans) by its `query_id`.
+    TraceGet { query_id: u64 },
     /// Liveness probe.
     Ping,
     /// Close this session (the server responds, then closes).
@@ -174,6 +178,17 @@ impl Request {
                 ("sql", Json::from(sql.as_str())),
             ]),
             Request::Stats => Json::obj([("op", Json::from("stats"))]),
+            Request::TraceRecent { limit } => {
+                let mut o = Json::obj([("op", Json::from("trace_recent"))]);
+                if let Some(n) = limit {
+                    o.push("limit", Json::UInt(*n));
+                }
+                o
+            }
+            Request::TraceGet { query_id } => Json::obj([
+                ("op", Json::from("trace_get")),
+                ("query_id", Json::UInt(*query_id)),
+            ]),
             Request::Ping => Json::obj([("op", Json::from("ping"))]),
             Request::Quit => Json::obj([("op", Json::from("quit"))]),
             Request::Shutdown => Json::obj([("op", Json::from("shutdown"))]),
@@ -217,6 +232,15 @@ impl Request {
                 sql: str_field(json, "sql")?,
             }),
             "stats" => Ok(Request::Stats),
+            "trace_recent" => Ok(Request::TraceRecent {
+                limit: match json.get("limit") {
+                    None => None,
+                    Some(_) => Some(uint_field(json, "limit")?),
+                },
+            }),
+            "trace_get" => Ok(Request::TraceGet {
+                query_id: uint_field(json, "query_id")?,
+            }),
             "ping" => Ok(Request::Ping),
             "quit" => Ok(Request::Quit),
             "shutdown" => Ok(Request::Shutdown),
@@ -314,6 +338,9 @@ pub enum Response {
     Rows(QueryOutcome),
     /// Successful `stats`.
     Stats(Json),
+    /// Successful `trace_recent` (a `{recorded, capacity, traces: [...]}`
+    /// dump) or `trace_get` (one full trace with its spans).
+    Traces(Json),
     /// Any failure, including `busy` admission rejections.
     Error { code: ErrorCode, message: String },
 }
@@ -347,6 +374,9 @@ impl Response {
             ]),
             Response::Stats(stats) => {
                 Json::obj([("ok", Json::Bool(true)), ("stats", stats.clone())])
+            }
+            Response::Traces(traces) => {
+                Json::obj([("ok", Json::Bool(true)), ("traces", traces.clone())])
             }
             Response::Error { code, message } => Json::obj([
                 ("ok", Json::Bool(false)),
@@ -395,6 +425,9 @@ impl Response {
         }
         if let Some(stats) = json.get("stats") {
             return Ok(Response::Stats(stats.clone()));
+        }
+        if let Some(traces) = json.get("traces") {
+            return Ok(Response::Traces(traces.clone()));
         }
         if let Some(Json::UInt(id)) = json.get("statement") {
             return Ok(Response::Prepared { statement: *id });
@@ -627,6 +660,9 @@ mod tests {
                 sql: "create table t (a integer)".into(),
             },
             Request::Stats,
+            Request::TraceRecent { limit: Some(10) },
+            Request::TraceRecent { limit: None },
+            Request::TraceGet { query_id: 42 },
             Request::Ping,
             Request::Quit,
             Request::Shutdown,
@@ -663,6 +699,10 @@ mod tests {
                 elapsed_us: 1234,
             }),
             Response::Stats(Json::obj([("active_sessions", Json::UInt(2))])),
+            Response::Traces(Json::obj([
+                ("recorded", Json::UInt(5)),
+                ("traces", Json::Arr(vec![])),
+            ])),
             Response::error(ErrorCode::Busy, "queue full"),
         ];
         for resp in cases {

@@ -49,6 +49,14 @@ pub struct ServerConfig {
     /// under one session's (lack of) limits would be served to sessions
     /// whose limits differ. Per-session options still govern execution.
     pub build_options: ExecOptions,
+    /// Bind address for the HTTP metrics endpoint (`/metrics`,
+    /// `/metrics.json`, `/traces`); `None` disables it.
+    pub metrics_addr: Option<String>,
+    /// Default slow-query threshold in microseconds: queries slower than
+    /// this — plus every tripped or errored query — are written as JSON
+    /// lines to the slow-query sink. `0` disables the log. Sessions can
+    /// override their own threshold with `SET slow_query_us`.
+    pub slow_query_us: u64,
 }
 
 impl Default for ServerConfig {
@@ -60,6 +68,8 @@ impl Default for ServerConfig {
             queue_wait: Duration::from_millis(500),
             cache_capacity: 256,
             build_options: ExecOptions::default(),
+            metrics_addr: None,
+            slow_query_us: 0,
         }
     }
 }
@@ -74,7 +84,11 @@ pub struct Shared {
     /// Server-level policy for cache builds (see
     /// [`ServerConfig::build_options`]).
     build_options: ExecOptions,
+    /// Server-default slow-query threshold, copied into new sessions.
+    pub slow_query_us: u64,
     addr: SocketAddr,
+    /// Where the HTTP metrics endpoint is bound, when enabled.
+    metrics_addr: Option<SocketAddr>,
     active: AtomicUsize,
     next_session: AtomicU64,
     shutdown: AtomicBool,
@@ -113,6 +127,10 @@ impl Shared {
         }
         // Wake the accept loop (it re-checks the flag per connection).
         let _ = TcpStream::connect(self.addr);
+        // Same for the metrics accept loop, when one is running.
+        if let Some(metrics_addr) = self.metrics_addr {
+            let _ = TcpStream::connect(metrics_addr);
+        }
         for (_, conn) in self.lock_conns().iter() {
             let _ = conn.shutdown(Shutdown::Both);
         }
@@ -124,12 +142,18 @@ pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
+    metrics: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
     /// The bound address (with the OS-assigned port when 0 was requested).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Where the HTTP metrics endpoint is listening, when enabled.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.shared.metrics_addr
     }
 
     /// The shared state, for in-process inspection (tests, the binary).
@@ -150,6 +174,9 @@ impl ServerHandle {
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
         }
+        if let Some(metrics) = self.metrics.take() {
+            let _ = metrics.join();
+        }
         // The accept loop only exits on shutdown; drain the sessions.
         let mut spins = 0u32;
         while self.shared.active_sessions() > 0 && spins < 4000 {
@@ -164,6 +191,9 @@ impl Drop for ServerHandle {
         self.shared.request_shutdown();
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
+        }
+        if let Some(metrics) = self.metrics.take() {
+            let _ = metrics.join();
         }
         let mut spins = 0u32;
         while self.shared.active_sessions() > 0 && spins < 1000 {
@@ -182,6 +212,14 @@ pub fn serve(
 ) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
+    let metrics_listener = match &config.metrics_addr {
+        Some(metrics_addr) => Some(TcpListener::bind(metrics_addr)?),
+        None => None,
+    };
+    let metrics_addr = match &metrics_listener {
+        Some(l) => Some(l.local_addr()?),
+        None => None,
+    };
     let shared = Arc::new(Shared {
         db,
         sigma,
@@ -189,7 +227,9 @@ pub fn serve(
         admission: Admission::new(config.max_concurrent, config.queue_wait),
         max_sessions: config.max_sessions.max(1),
         build_options: config.build_options,
+        slow_query_us: config.slow_query_us,
         addr,
+        metrics_addr,
         active: AtomicUsize::new(0),
         next_session: AtomicU64::new(1),
         shutdown: AtomicBool::new(false),
@@ -201,10 +241,22 @@ pub fn serve(
             .name("conquer-accept".to_string())
             .spawn(move || accept_loop(listener, shared))?
     };
+    let metrics = match metrics_listener {
+        Some(listener) => {
+            let shared = Arc::clone(&shared);
+            Some(
+                std::thread::Builder::new()
+                    .name("conquer-metrics".to_string())
+                    .spawn(move || crate::metrics_http::metrics_loop(listener, shared))?,
+            )
+        }
+        None => None,
+    };
     Ok(ServerHandle {
         addr,
         shared,
         accept: Some(accept),
+        metrics,
     })
 }
 

@@ -34,10 +34,11 @@ use std::io;
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime};
 
-use conquer_engine::{CancellationToken, ExecOptions};
-use conquer_obs::Json;
+use conquer_core::RewriteError;
+use conquer_engine::{CancellationToken, EngineError, ExecOptions, Rows};
+use conquer_obs::{flight_recorder, Json, QueryTrace, TraceContext, TripSnapshot};
 
 use crate::admission::Permit;
 use crate::cache::CachedStatement;
@@ -87,6 +88,9 @@ struct Session {
     statements: HashMap<u64, Arc<CachedStatement>>,
     next_statement: u64,
     watch: Arc<WatchSlot>,
+    /// Slow-query log threshold in microseconds (0 = disabled); starts at
+    /// the server default, overridable with `SET slow_query_us`.
+    slow_query_us: u64,
 }
 
 /// Serve one connection to completion. Returns `true` when the client asked
@@ -97,6 +101,7 @@ pub(crate) fn run_session(shared: Arc<Shared>, mut stream: TcpStream, id: u64) -
         cond: Condvar::new(),
         next_gen: AtomicU64::new(0),
     });
+    let slow_query_us = shared.slow_query_us;
     let mut session = Session {
         shared,
         id,
@@ -105,6 +110,7 @@ pub(crate) fn run_session(shared: Arc<Shared>, mut stream: TcpStream, id: u64) -
         statements: HashMap::new(),
         next_statement: 1,
         watch: Arc::clone(&watch),
+        slow_query_us,
     };
     let watch_stream = stream.try_clone().ok();
 
@@ -287,6 +293,17 @@ impl Session {
                 Err(e) => error_response(e),
             },
             Request::Stats => Response::Stats(self.stats_json()),
+            Request::TraceRecent { limit } => {
+                let limit = limit.map_or(64, |n| n.min(1024)) as usize;
+                Response::Traces(flight_recorder().to_json(limit))
+            }
+            Request::TraceGet { query_id } => match flight_recorder().get(*query_id) {
+                Some(trace) => Response::Traces(trace.to_json()),
+                None => Response::error(
+                    ErrorCode::Protocol,
+                    format!("no trace recorded for query id {query_id}"),
+                ),
+            },
         }
     }
 
@@ -336,16 +353,22 @@ impl Session {
         stream: &TcpStream,
     ) -> Result<QueryOutcome, ServeError> {
         let started = Instant::now();
+        let start_unix_ms = unix_ms();
         let _permit = self.admit()?;
         let token = CancellationToken::new();
+        let trace = TraceContext::new();
         let mut options = self.options.clone();
         options.cancellation = Some(token.clone());
+        options.trace = Some(trace.clone());
         let shared = &self.shared;
         // Cache builds run under server-level options (plus this query's
         // cancellation token) so the shared entry doesn't depend on which
         // session happened to build it; `options` governs execution only.
         let build_options = shared.build_options(Some(&token));
-        let (rows, cached) = self.with_watch(stream, &token, || {
+        let result = self.with_watch(stream, &token, || {
+            // Installed here (not just via options.trace) so cache-build
+            // spans — parse, rewrite, plan, optimize — are captured too.
+            let _trace = trace.install();
             let (stmt, cached) = shared.cache.get_or_build(
                 &shared.db,
                 &shared.sigma,
@@ -357,15 +380,95 @@ impl Session {
                 .db
                 .execute_plan_with(&stmt.plan, &options)
                 .map_err(ServeError::Engine)?;
-            Ok((rows, cached))
-        })?;
+            Ok((stmt, rows, cached))
+        });
         let elapsed_us = started.elapsed().as_micros() as u64;
-        record_query(elapsed_us);
+        self.finish_query(
+            sql,
+            strategy,
+            &trace,
+            start_unix_ms,
+            elapsed_us,
+            options.threads,
+            &result,
+        );
+        let (_stmt, rows, cached) = result?;
         Ok(QueryOutcome {
             rows,
             cached,
             elapsed_us,
         })
+    }
+
+    /// Close out a finished (or failed) query: global counters, per-phase
+    /// histograms, the flight-recorder entry, and the slow-query log.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_query(
+        &self,
+        sql: &str,
+        strategy: Strategy,
+        trace: &TraceContext,
+        start_unix_ms: u64,
+        elapsed_us: u64,
+        threads: usize,
+        result: &Result<(Arc<CachedStatement>, Rows, bool), ServeError>,
+    ) {
+        let spans = trace.take_records();
+        record_query(elapsed_us);
+        let registry = conquer_obs::registry();
+        for (name, wall) in conquer_obs::phase_totals(&spans) {
+            registry
+                .histogram(&format!("serve.phase.{name}.us"))
+                .record(wall.as_micros() as u64);
+        }
+        let (status, error, cached, rows_out, rows_in, est_rows, trip) = match result {
+            Ok((stmt, rows, cached)) => (
+                "ok",
+                None,
+                *cached,
+                rows.rows.len() as u64,
+                stmt.base_rows,
+                stmt.est_rows,
+                None,
+            ),
+            Err(e) => (
+                e.code().label(),
+                Some(e.to_string()),
+                false,
+                0,
+                0,
+                None,
+                trip_snapshot(e),
+            ),
+        };
+        let worker_spans = spans.iter().filter(|s| s.name == "worker").count() as u64;
+        let recorded = flight_recorder().record(QueryTrace {
+            query_id: trace.id().value(),
+            session: self.id,
+            sql_hash: conquer_obs::sql_hash(sql),
+            sql: conquer_obs::sql_snippet(sql),
+            strategy: strategy.label(),
+            status,
+            error,
+            cached,
+            elapsed_us,
+            rows_out,
+            rows_in,
+            est_rows,
+            threads,
+            worker_spans,
+            start_unix_ms,
+            trip,
+            spans,
+        });
+        if status != "ok" {
+            registry.counter("serve.queries.error").inc();
+        }
+        let threshold = self.slow_query_us;
+        if threshold > 0 && (elapsed_us >= threshold || status != "ok") {
+            registry.counter("serve.slow_query.logged").inc();
+            conquer_obs::log_slow_query(&recorded, threshold);
+        }
     }
 
     fn prepare(&mut self, sql: &str, strategy: Strategy) -> Result<u64, ServeError> {
@@ -397,13 +500,17 @@ impl Session {
             .cloned()
             .ok_or(ServeError::UnknownStatement(statement_id))?;
         let started = Instant::now();
+        let start_unix_ms = unix_ms();
         let _permit = self.admit()?;
         let token = CancellationToken::new();
+        let trace = TraceContext::new();
         let mut options = self.options.clone();
         options.cancellation = Some(token.clone());
+        options.trace = Some(trace.clone());
         let shared = &self.shared;
         let build_options = shared.build_options(Some(&token));
-        let (stmt, rows, cached) = self.with_watch(stream, &token, || {
+        let result = self.with_watch(stream, &token, || {
+            let _trace = trace.install();
             // A catalog or statistics change since `prepare` makes the
             // bound plan stale: re-resolve through the cache so stale
             // plans are never served.
@@ -425,11 +532,20 @@ impl Session {
                 .execute_plan_with(&stmt.plan, &options)
                 .map_err(ServeError::Engine)?;
             Ok((stmt, rows, cached))
-        })?;
+        });
+        let elapsed_us = started.elapsed().as_micros() as u64;
+        self.finish_query(
+            &bound.sql,
+            bound.strategy,
+            &trace,
+            start_unix_ms,
+            elapsed_us,
+            options.threads,
+            &result,
+        );
+        let (stmt, rows, cached) = result?;
         // Refresh the binding so the next `execute` hits the epoch check.
         self.statements.insert(statement_id, stmt);
-        let elapsed_us = started.elapsed().as_micros() as u64;
-        record_query(elapsed_us);
         Ok(QueryOutcome {
             rows,
             cached,
@@ -480,10 +596,14 @@ impl Session {
                 self.strategy =
                     Strategy::parse(s).ok_or_else(|| bad("one of original|rewritten|annotated"))?;
             }
+            "slow_query_us" => {
+                let v = uint(value).ok_or_else(|| bad("a microsecond threshold (0 disables)"))?;
+                self.slow_query_us = v;
+            }
             _ => {
                 return Err(ServeError::Protocol(format!(
                     "unknown session option `{name}` (have threads, timeout_ms, mem_limit, \
-                     max_rows, strategy)"
+                     max_rows, strategy, slow_query_us)"
                 )))
             }
         }
@@ -559,6 +679,40 @@ fn record_query(elapsed_us: u64) {
     let registry = conquer_obs::registry();
     registry.counter("serve.queries").inc();
     registry.histogram("serve.query.us").record(elapsed_us);
+}
+
+/// Wall-clock milliseconds since the unix epoch (0 if the clock is before
+/// the epoch, which only a badly skewed clock can produce).
+fn unix_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// Governor-trip details for the flight recorder, when the failure was a
+/// resource-limit trip (directly from execution, or surfaced through a
+/// rewrite-time materialization).
+fn trip_snapshot(e: &ServeError) -> Option<TripSnapshot> {
+    let engine_error = match e {
+        ServeError::Engine(e) => e,
+        ServeError::Rewrite(RewriteError::Engine(e)) => e,
+        _ => return None,
+    };
+    let (kind, trip) = match engine_error {
+        EngineError::Timeout(t) => ("timeout", t),
+        EngineError::MemoryExceeded(t) => ("memory", t),
+        EngineError::RowLimitExceeded(t) => ("rows", t),
+        EngineError::Cancelled(t) => ("cancelled", t),
+        _ => return None,
+    };
+    Some(TripSnapshot {
+        kind,
+        operator: trip.operator.to_string(),
+        elapsed_ms: trip.elapsed_ms,
+        rows: trip.rows,
+        mem_bytes: trip.mem_bytes,
+    })
 }
 
 /// [`read_frame`] with a retry on spurious `WouldBlock`/`TimedOut` — a
