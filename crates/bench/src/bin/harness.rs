@@ -9,8 +9,13 @@
 //! ```
 //!
 //! Subcommands: `fig10`, `fig11`, `fig12`, `fig13`, `fig14`, `baseline`,
-//! `serve`, `plancost`, `trace`, `all` (`all` runs the six figures;
-//! `serve`, `plancost`, and `trace` are explicit-only). `trace "<sql>"`
+//! `serve`, `plancost`, `trace`, `recover`, `all` (`all` runs the six
+//! figures; `serve`, `plancost`, `trace`, and `recover` are
+//! explicit-only). `recover` benchmarks the durable-storage crash-recovery
+//! path: it loads the TPC-H workload into a WAL-backed database on a temp
+//! dir, times a cold restart that replays the full WAL, checkpoints, and
+//! times a second restart that loads from segments — writing WAL size and
+//! both replay times to `BENCH_recover.json`. `trace "<sql>"`
 //! runs one query against the standard workload with tracing on, prints
 //! the captured span tree (morsel workers included), records it in the
 //! process flight recorder, and writes `BENCH_trace.json` in the Chrome
@@ -71,8 +76,9 @@ use conquer_obs::Json;
 /// the sweep and writes every report before exiting nonzero.
 static FAILED: AtomicBool = AtomicBool::new(false);
 
-const COMMANDS: [&str; 10] = [
-    "fig10", "fig11", "fig12", "fig13", "fig14", "baseline", "serve", "plancost", "trace", "all",
+const COMMANDS: [&str; 11] = [
+    "fig10", "fig11", "fig12", "fig13", "fig14", "baseline", "serve", "plancost", "trace",
+    "recover", "all",
 ];
 
 struct Args {
@@ -247,7 +253,7 @@ fn parse_args() -> Args {
 fn die(msg: &str) -> ! {
     eprintln!("harness: {msg}");
     eprintln!(
-        "usage: harness [fig10|fig11|fig12|fig13|fig14|baseline|serve|plancost|all] \
+        "usage: harness [fig10|fig11|fig12|fig13|fig14|baseline|serve|plancost|recover|all] \
          [--sf F] [--runs N] [--json PATH] [--quiet] \
          [--timeout-ms N] [--mem-limit BYTES] [--threads N] \
          [--serve-port P] [--concurrency N] [--rounds R] \
@@ -277,6 +283,7 @@ fn main() {
             "serve" => serve_cmd(&args),
             "plancost" => plancost(&args),
             "trace" => trace_cmd(&args),
+            "recover" => recover_cmd(&args),
             _ => unreachable!("command validated in parse_args"),
         };
         report.push("metrics", conquer_obs::registry().snapshot_json());
@@ -1155,5 +1162,110 @@ fn serve_cmd(args: &Args) -> Json {
     if !skipped.is_empty() {
         report.push("skipped", Json::Arr(skipped));
     }
+    report
+}
+
+/// `recover` — crash-recovery benchmark for the durable storage layer.
+///
+/// Loads the standard TPC-H workload into a WAL-backed database under a
+/// temp dir, then times the two recovery paths a restart can take:
+///
+/// 1. **WAL replay**: reopen with the load still sitting in the WAL — the
+///    worst case (every record decoded, validated, applied, re-statted).
+/// 2. **Segment load**: checkpoint, reopen again — the steady-state boot
+///    (snapshots with verbatim stats, empty WAL).
+///
+/// The report carries row/table counts, the WAL size the load produced,
+/// and both replay times, so EXPERIMENTS.md can track recovery-speed
+/// regressions alongside the paper figures.
+fn recover_cmd(args: &Args) -> Json {
+    use conquer::{Database, DurabilityOptions, SyncPolicy};
+
+    let dir = std::env::temp_dir().join(format!("conquer-harness-recover-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    // `Never` keeps fsyncs out of the load timing; an explicit flush before
+    // the simulated crash makes the WAL complete on disk.
+    let opts = DurabilityOptions {
+        sync: SyncPolicy::Never,
+        checkpoint_wal_bytes: 0,
+    };
+    say!(
+        args,
+        "## recover — durable-storage restart (SF {})\n",
+        args.sf
+    );
+
+    let w = workload(args.sf, 0.05, 2);
+    let tables = w.db.table_names();
+    let rows: u64 = conquer_bench::total_tuples(&w.db) as u64;
+
+    // Load: copy every generated table into the durable catalog (each copy
+    // is one WAL snapshot record).
+    let t0 = Instant::now();
+    let db = Database::open(&dir, opts).unwrap_or_else(|e| die(&format!("open {dir:?}: {e}")));
+    for name in &tables {
+        let table = w.db.table(name).unwrap_or_else(|e| die(&e.to_string()));
+        db.register((*table).clone())
+            .unwrap_or_else(|e| die(&format!("register {name}: {e}")));
+    }
+    db.flush().unwrap_or_else(|e| die(&format!("flush: {e}")));
+    let load_us = t0.elapsed().as_micros() as u64;
+    let wal_bytes = db.storage_status().map_or(0, |s| s.wal_bytes);
+    drop(db); // simulated crash: no checkpoint, the WAL holds everything
+
+    // Restart 1: full WAL replay.
+    let t0 = Instant::now();
+    let db = Database::open(&dir, opts).unwrap_or_else(|e| die(&format!("reopen: {e}")));
+    let replay_wal_us = t0.elapsed().as_micros() as u64;
+    let recovered: u64 = conquer_bench::total_tuples(&db) as u64;
+    if recovered != rows {
+        FAILED.store(true, Ordering::Relaxed);
+        eprintln!("harness: WAL replay recovered {recovered} rows, expected {rows}");
+    }
+
+    // Fold into segments, then time the steady-state boot.
+    db.checkpoint()
+        .unwrap_or_else(|e| die(&format!("checkpoint: {e}")));
+    let segments = db.storage_status().map_or(0, |s| s.segments);
+    drop(db);
+    let t0 = Instant::now();
+    let db = Database::open(&dir, opts).unwrap_or_else(|e| die(&format!("reopen: {e}")));
+    let replay_segments_us = t0.elapsed().as_micros() as u64;
+    let recovered_seg: u64 = conquer_bench::total_tuples(&db) as u64;
+    if recovered_seg != rows {
+        FAILED.store(true, Ordering::Relaxed);
+        eprintln!("harness: segment load recovered {recovered_seg} rows, expected {rows}");
+    }
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    say!(args, "| phase | time (ms) |");
+    say!(args, "|-------|----------:|");
+    say!(
+        args,
+        "| load ({} tables, {rows} rows) | {:.1} |",
+        tables.len(),
+        load_us as f64 / 1e3
+    );
+    say!(
+        args,
+        "| restart: WAL replay ({wal_bytes} B) | {:.1} |",
+        replay_wal_us as f64 / 1e3
+    );
+    say!(
+        args,
+        "| restart: segment load ({segments} segments) | {:.1} |",
+        replay_segments_us as f64 / 1e3
+    );
+    say!(args, "");
+
+    let mut report = report_header("recover", args);
+    report.push("tables", Json::UInt(tables.len() as u64));
+    report.push("rows", Json::UInt(rows));
+    report.push("wal_bytes", Json::UInt(wal_bytes));
+    report.push("segments", Json::UInt(segments));
+    report.push("load_us", Json::UInt(load_us));
+    report.push("replay_wal_us", Json::UInt(replay_wal_us));
+    report.push("replay_segments_us", Json::UInt(replay_segments_us));
     report
 }

@@ -41,8 +41,8 @@ pub use conquer_core::{
     KeyConstraint, PreparedRewrite, RewriteError, RewriteOptions, TreeQuery,
 };
 pub use conquer_engine::{
-    CancellationToken, Database, EngineError, ExecOptions, LimitTrip, ResourceLimits, Rows, Table,
-    Value,
+    CancellationToken, Checkpointer, Database, DurabilityOptions, EngineError, ExecOptions,
+    LimitTrip, ResourceLimits, Rows, StoreStatus, SyncPolicy, Table, Value,
 };
 pub use conquer_repair::{
     answers_with_support, consistent_answers_oracle, possible_answers_oracle,

@@ -77,7 +77,7 @@ pub fn annotate_database(db: &Database, sigma: &ConstraintSet) -> Result<Vec<Ann
                 Value::str("n")
             }
         });
-        db.register(annotated);
+        db.register(annotated)?;
         stats.push(AnnotationStats {
             relation: constraint.relation.clone(),
             total_tuples: table.len(),

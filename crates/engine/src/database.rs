@@ -6,9 +6,15 @@ use std::sync::Arc;
 
 use std::sync::{Mutex, RwLock};
 
+use std::path::Path;
+
 use conquer_sql::ast::{Expr, Query, Statement};
 use conquer_sql::{parse_query, parse_statements};
+use conquer_storage::{Store, StoreOptions, StoreStatus, WalRecord};
 
+use crate::durable::{
+    self, Durability, DurabilityOptions, KIND_CREATE, KIND_DROP, KIND_INSERT, KIND_SNAPSHOT,
+};
 use crate::error::{EngineError, Result};
 use crate::exec;
 use crate::governor::Governor;
@@ -68,6 +74,11 @@ pub struct Database {
     /// cache entry stamped with this value was costed against statistics
     /// that are current for that stamp.
     stats_epoch: AtomicU64,
+    /// The durable half, when this database was opened with
+    /// [`Database::open`]: every catalog mutation is logged to the WAL
+    /// before it is applied, and checkpoints snapshot the catalog into
+    /// immutable segments. `None` for plain in-memory databases.
+    durability: Option<Durability>,
 }
 
 /// The shared-session contract: queries run against `&Database` from many
@@ -82,7 +93,97 @@ impl Database {
         Database::default()
     }
 
-    /// Register (or replace) a table. Bumps the catalog epoch.
+    /// Open a durable database rooted at `dir`: recover the catalog from
+    /// the manifest, segments, and WAL tail, then log every subsequent
+    /// mutation write-ahead. Recovery tolerates a torn or truncated final
+    /// WAL record (the unsynced tail is dropped, never half-applied) and
+    /// is idempotent — a crash during recovery or checkpointing recovers
+    /// cleanly on the next open.
+    pub fn open(dir: &Path, options: DurabilityOptions) -> Result<Database> {
+        durable::install_fault_hook();
+        let (store, recovered) =
+            Store::open(dir, StoreOptions { sync: options.sync }).map_err(durable::storage_err)?;
+        let mut db = Database::new();
+        // Segments first: each is a full-table snapshot with its stats
+        // restored verbatim (annotations are stored columns, so they come
+        // back with the rows — nothing is recomputed).
+        for seg in &recovered.segments {
+            let (table, stats) = durable::decode_snapshot(&seg.payload)?;
+            db.apply_register(table, Arc::new(stats));
+        }
+        // Epochs as of the checkpoint: serve-layer plan/rewrite caches key
+        // on these, so recovery must not restart them from zero (a stale
+        // cache entry stamped with a "fresh" epoch would serve old data).
+        for (key, value) in &recovered.meta {
+            match key.as_str() {
+                "catalog_epoch" => db.epoch.store(*value, Ordering::Release),
+                "stats_epoch" => db.stats_epoch.store(*value, Ordering::Release),
+                _ => {}
+            }
+        }
+        // Then the WAL tail. Each record replays as exactly one apply (one
+        // epoch bump), mirroring the original mutation, so the recovered
+        // epochs land exactly where they were before the crash.
+        for record in &recovered.wal_records {
+            db.apply_wal_record(record)?;
+        }
+        db.durability = Some(Durability {
+            store,
+            checkpoint_wal_bytes: options.checkpoint_wal_bytes,
+        });
+        Ok(db)
+    }
+
+    /// Whether this database persists mutations (opened via
+    /// [`Database::open`]).
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// WAL/checkpoint progress for status endpoints; `None` when not
+    /// durable.
+    pub fn storage_status(&self) -> Option<StoreStatus> {
+        self.durability.as_ref().map(|d| d.store.status())
+    }
+
+    /// Register (or replace) a table. Bumps the catalog epoch; on a
+    /// durable database the full table is logged (as a snapshot record)
+    /// before the in-memory swap, so annotation recomputes and bulk loads
+    /// survive a crash.
+    pub fn register(&self, table: Table) -> Result<()> {
+        let _mutation = self.mutation_lock();
+        self.register_locked(table)
+    }
+
+    /// [`Database::register`] with the mutation mutex already held (the
+    /// `INSERT`/`CREATE` paths and recovery hold it across their whole
+    /// read-modify-write sequence).
+    fn register_locked(&self, table: Table) -> Result<()> {
+        let stats = Arc::new(TableStats::collect(table.rows(), table.schema().len()));
+        if self.durability.is_some() {
+            self.log(KIND_SNAPSHOT, &durable::encode_snapshot(&table, &stats))?;
+        }
+        self.apply_register(table, stats);
+        self.maybe_auto_checkpoint()
+    }
+
+    /// Remove a table; returns it if present. Bumps the catalog epoch when
+    /// the table existed; logged write-ahead on durable databases.
+    pub fn drop_table(&self, name: &str) -> Result<Option<Arc<Table>>> {
+        let _mutation = self.mutation_lock();
+        if !read_lock(&self.tables).contains_key(name) {
+            return Ok(None);
+        }
+        if self.durability.is_some() {
+            self.log(KIND_DROP, &durable::encode_drop(name))?;
+        }
+        let dropped = self.apply_drop(name);
+        self.maybe_auto_checkpoint()?;
+        Ok(dropped)
+    }
+
+    /// Apply a table swap to the in-memory catalog (no logging — callers
+    /// log first).
     ///
     /// Ordering matters: the table swap happens *before* the scan-cache
     /// clear. A concurrent [`Database::table_rows`] miss that read the old
@@ -91,11 +192,10 @@ impl Database {
     /// changed, so it skips the insert — see `table_rows`). Either way no
     /// pre-swap rows can sit in the scan cache once the new epoch is
     /// observable, which is what lets plan caches trust the epoch check.
-    pub fn register(&self, table: Table) {
+    /// Stats are installed before the swap is observable for the same
+    /// reason.
+    fn apply_register(&self, table: Table, stats: Arc<TableStats>) {
         let name = table.name().to_string();
-        // Stats are collected before the swap so readers that observe the
-        // new epoch also observe up-to-date statistics for the new rows.
-        let stats = Arc::new(TableStats::collect(table.rows(), table.schema().len()));
         write_lock(&self.tables).insert(name.clone(), Arc::new(table));
         write_lock(&self.table_stats).insert(name.clone(), stats);
         write_lock(&self.scan_cache).remove(&name);
@@ -103,10 +203,9 @@ impl Database {
         self.epoch.fetch_add(1, Ordering::Release);
     }
 
-    /// Remove a table; returns it if present. Bumps the catalog epoch when
-    /// the table existed. Same swap-then-clear ordering as
-    /// [`Database::register`].
-    pub fn drop_table(&self, name: &str) -> Option<Arc<Table>> {
+    /// Apply a drop to the in-memory catalog. Same swap-then-clear
+    /// ordering as [`Database::apply_register`].
+    fn apply_drop(&self, name: &str) -> Option<Arc<Table>> {
         let dropped = write_lock(&self.tables).remove(name);
         write_lock(&self.table_stats).remove(name);
         write_lock(&self.scan_cache).remove(name);
@@ -115,6 +214,151 @@ impl Database {
             self.epoch.fetch_add(1, Ordering::Release);
         }
         dropped
+    }
+
+    /// Replay one recovered WAL record against the in-memory catalog.
+    fn apply_wal_record(&self, record: &WalRecord) -> Result<()> {
+        match record.kind {
+            KIND_CREATE => {
+                let (name, schema) = durable::decode_create(&record.payload)?;
+                let table = Table::from_parts(name, schema, Vec::new());
+                let stats = Arc::new(TableStats::collect(table.rows(), table.schema().len()));
+                self.apply_register(table, stats);
+                Ok(())
+            }
+            KIND_INSERT => {
+                let (name, rows) = durable::decode_insert(&record.payload)?;
+                let current = self.table(&name).map_err(|_| {
+                    EngineError::Storage(format!(
+                        "WAL insert into unknown table `{name}` (seq {})",
+                        record.seq
+                    ))
+                })?;
+                let mut table = (*current).clone();
+                for row in rows {
+                    table.push(row)?;
+                }
+                let stats = Arc::new(TableStats::collect(table.rows(), table.schema().len()));
+                self.apply_register(table, stats);
+                Ok(())
+            }
+            KIND_SNAPSHOT => {
+                let (table, stats) = durable::decode_snapshot(&record.payload)?;
+                self.apply_register(table, Arc::new(stats));
+                Ok(())
+            }
+            KIND_DROP => {
+                let name = durable::decode_drop(&record.payload)?;
+                self.apply_drop(&name);
+                Ok(())
+            }
+            other => Err(EngineError::Storage(format!(
+                "unknown WAL record kind {other} (seq {})",
+                record.seq
+            ))),
+        }
+    }
+
+    /// Append a record to the WAL (before the matching in-memory apply).
+    fn log(&self, kind: u8, payload: &[u8]) -> Result<()> {
+        if let Some(d) = &self.durability {
+            d.store
+                .append(kind, payload)
+                .map_err(durable::storage_err)?;
+        }
+        Ok(())
+    }
+
+    /// Checkpoint inline when the WAL has outgrown the configured
+    /// threshold. Called with the mutation mutex held, so no mutation can
+    /// sit between its WAL append and its in-memory apply while the
+    /// checkpoint snapshots the catalog.
+    fn maybe_auto_checkpoint(&self) -> Result<()> {
+        if let Some(d) = &self.durability {
+            if d.checkpoint_wal_bytes > 0 && d.store.wal_bytes() >= d.checkpoint_wal_bytes {
+                self.checkpoint_locked()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Write a checkpoint now: every table (with its annotations — they
+    /// are stored columns — and its stats) becomes an immutable segment, a
+    /// new manifest commits the set atomically, and the WAL restarts
+    /// empty. Returns `Ok(false)` on a non-durable database.
+    pub fn checkpoint(&self) -> Result<bool> {
+        if self.durability.is_none() {
+            return Ok(false);
+        }
+        let _mutation = self.mutation_lock();
+        self.checkpoint_locked()?;
+        Ok(true)
+    }
+
+    /// Checkpoint only if the WAL holds records (the background
+    /// checkpointer's cheap periodic call). Returns whether a checkpoint
+    /// was written.
+    pub fn checkpoint_if_dirty(&self) -> Result<bool> {
+        let Some(d) = &self.durability else {
+            return Ok(false);
+        };
+        // 8 bytes = the WAL file magic; anything beyond it is a record.
+        if d.store.wal_bytes() <= 8 {
+            return Ok(false);
+        }
+        let _mutation = self.mutation_lock();
+        if d.store.wal_bytes() <= 8 {
+            return Ok(false);
+        }
+        self.checkpoint_locked()?;
+        Ok(true)
+    }
+
+    fn checkpoint_locked(&self) -> Result<()> {
+        let Some(d) = &self.durability else {
+            return Ok(());
+        };
+        let tables: Vec<(String, Arc<Table>)> = read_lock(&self.tables)
+            .iter()
+            .map(|(name, t)| (name.clone(), Arc::clone(t)))
+            .collect();
+        let stats = read_lock(&self.table_stats).clone();
+        let payloads: Vec<(String, Vec<u8>)> = tables
+            .iter()
+            .map(|(name, table)| {
+                let table_stats = stats
+                    .get(name)
+                    .map(Arc::as_ref)
+                    .cloned()
+                    .unwrap_or_else(|| TableStats::collect(table.rows(), table.schema().len()));
+                (name.clone(), durable::encode_snapshot(table, &table_stats))
+            })
+            .collect();
+        let meta = [
+            ("catalog_epoch".to_string(), self.catalog_epoch()),
+            ("stats_epoch".to_string(), self.stats_epoch()),
+        ];
+        d.store
+            .checkpoint(&payloads, &meta)
+            .map_err(durable::storage_err)
+    }
+
+    /// fsync the WAL regardless of sync policy (graceful shutdown). No-op
+    /// on non-durable databases.
+    pub fn flush(&self) -> Result<()> {
+        if let Some(d) = &self.durability {
+            d.store.sync().map_err(durable::storage_err)?;
+        }
+        Ok(())
+    }
+
+    /// Tick the `interval_ms` sync policy (the background checkpointer
+    /// calls this so the interval holds even without appends).
+    pub fn flush_if_due(&self) -> Result<()> {
+        if let Some(d) = &self.durability {
+            d.store.maybe_sync().map_err(durable::storage_err)?;
+        }
+        Ok(())
     }
 
     /// The catalog epoch: a counter bumped on every `register`/`drop_table`.
@@ -379,7 +623,13 @@ impl Database {
                     .iter()
                     .map(|c| (c.name.as_str(), DataType::from(c.ty)))
                     .collect();
-                self.register(Table::new(name.clone(), cols));
+                let table = Table::new(name.clone(), cols);
+                if self.durability.is_some() {
+                    self.log(KIND_CREATE, &durable::encode_create(name, table.schema()))?;
+                }
+                let stats = Arc::new(TableStats::collect(table.rows(), table.schema().len()));
+                self.apply_register(table, stats);
+                self.maybe_auto_checkpoint()?;
                 Ok(None)
             }
             Statement::Insert {
@@ -428,7 +678,18 @@ impl Database {
             }
             new_table.push(row)?;
         }
-        self.register(new_table);
+        if self.durability.is_some() {
+            // Log only the newly appended rows, not the whole table: the
+            // base rows are already covered by earlier records/segments.
+            let appended = &new_table.rows()[current.len()..];
+            self.log(KIND_INSERT, &durable::encode_insert(name, appended))?;
+        }
+        let stats = Arc::new(TableStats::collect(
+            new_table.rows(),
+            new_table.schema().len(),
+        ));
+        self.apply_register(new_table, stats);
+        self.maybe_auto_checkpoint()?;
         Ok(())
     }
 }
@@ -510,9 +771,9 @@ mod tests {
         let e2 = db.catalog_epoch();
         assert!(e2 > e1);
         // Dropping a missing table is not a mutation.
-        assert!(db.drop_table("nope").is_none());
+        assert!(db.drop_table("nope").unwrap().is_none());
         assert_eq!(db.catalog_epoch(), e2);
-        db.drop_table("t");
+        db.drop_table("t").unwrap();
         assert!(db.catalog_epoch() > e2);
     }
 
@@ -580,7 +841,7 @@ mod tests {
                 for i in 1..=VERSIONS {
                     let mut table = Table::new("t".to_string(), vec![("a", DataType::Integer)]);
                     table.push(vec![Value::Int(i as i64)]).unwrap();
-                    db.register(table);
+                    db.register(table).unwrap();
                 }
             });
             scope.spawn(|| loop {

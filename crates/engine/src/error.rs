@@ -34,6 +34,9 @@ pub enum EngineError {
     RowLimitExceeded(LimitTrip),
     /// A [`CancellationToken`](crate::CancellationToken) was tripped.
     Cancelled(LimitTrip),
+    /// A durable-storage failure: WAL append/sync, checkpoint, or a
+    /// corrupt file discovered during recovery.
+    Storage(String),
     /// Any other planning/execution failure.
     Execution(String),
 }
@@ -66,6 +69,7 @@ impl fmt::Display for EngineError {
             EngineError::MemoryExceeded(trip) => write!(f, "memory limit exceeded {trip}"),
             EngineError::RowLimitExceeded(trip) => write!(f, "row limit exceeded {trip}"),
             EngineError::Cancelled(trip) => write!(f, "query cancelled {trip}"),
+            EngineError::Storage(msg) => write!(f, "storage error: {msg}"),
             EngineError::Execution(msg) => write!(f, "execution error: {msg}"),
         }
     }

@@ -30,6 +30,12 @@ pub const POINTS: &[&str] = &[
     "sort",
     "limit",
     "cte.materialize",
+    // WAL/checkpoint layer (tripped inside `conquer-storage` via the
+    // process-global hook installed on the first durable open).
+    "wal_append_io",
+    "wal_sync_fail",
+    "segment_write_torn",
+    "manifest_rename_fail",
 ];
 
 #[cfg(not(feature = "fault-injection"))]

@@ -40,6 +40,7 @@
 
 pub mod cost;
 pub mod database;
+pub mod durable;
 pub mod error;
 pub mod exec;
 pub mod explain;
@@ -54,8 +55,10 @@ pub mod stats;
 pub mod table;
 pub mod value;
 
+pub use conquer_storage::{StoreStatus, SyncPolicy};
 pub use cost::Estimator;
 pub use database::Database;
+pub use durable::{Checkpointer, DurabilityOptions};
 pub use error::{EngineError, Result};
 pub use explain::{explain, explain_analyze, explain_estimated, stats_json};
 pub use governor::{CancellationToken, Governor, LimitTrip, ResourceLimits};

@@ -192,7 +192,7 @@ mod tests {
         let db = Database::new();
         let mut t = Table::new("t", vec![("a", crate::schema::DataType::Integer)]);
         t.push(vec![crate::value::Value::Int(1)]).unwrap();
-        db.register(t);
+        db.register(t).unwrap();
         let query = conquer_sql::parse_query("select a from t where a > 0").unwrap();
         let plan = db.plan(&query, &Default::default()).unwrap();
         let stats = NodeStats::for_plan(&plan);

@@ -117,6 +117,13 @@ impl Table {
         Ok(t)
     }
 
+    /// Reassemble a table from decoded parts (durable recovery). Rows are
+    /// trusted: they were validated by `push` before being logged, and the
+    /// storage layer checksum-verified them on the way back in.
+    pub(crate) fn from_parts(name: String, schema: Schema, rows: Vec<Row>) -> Table {
+        Table { name, schema, rows }
+    }
+
     pub fn name(&self) -> &str {
         &self.name
     }

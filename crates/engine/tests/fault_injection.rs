@@ -44,12 +44,26 @@ fn is_injected(err: &EngineError, point: &str) -> bool {
         && msg.contains(point))
 }
 
+/// WAL/checkpoint-layer points: not reachable from a query — exercised by
+/// the crash matrix in `tests/durability_faults.rs` instead.
+const STORAGE_POINTS: &[&str] = &[
+    "wal_append_io",
+    "wal_sync_fail",
+    "segment_write_torn",
+    "manifest_rename_fail",
+];
+
 #[test]
 fn every_fault_point_errs_and_database_survives() {
     // The query table must cover the exhaustive point list, so a new
     // executor fault point cannot ship without a test riding through it.
+    // (Storage-layer points ride through durability_faults.rs.)
     let covered: std::collections::BTreeSet<&str> = POINT_QUERIES.iter().map(|(p, _)| *p).collect();
-    let all: std::collections::BTreeSet<&str> = faults::POINTS.iter().copied().collect();
+    let all: std::collections::BTreeSet<&str> = faults::POINTS
+        .iter()
+        .copied()
+        .filter(|p| !STORAGE_POINTS.contains(p))
+        .collect();
     assert_eq!(covered, all, "POINT_QUERIES must cover faults::POINTS");
 
     let db = fixture();

@@ -68,7 +68,7 @@ fn fixture(n: usize) -> Database {
         ];
         t.push(row).unwrap();
     }
-    db.register(t);
+    db.register(t).unwrap();
     let mut u = Table::new(
         "u",
         vec![("k", DataType::Integer), ("w", DataType::Integer)],
@@ -81,7 +81,7 @@ fn fixture(n: usize) -> Database {
         ])
         .unwrap();
     }
-    db.register(u);
+    db.register(u).unwrap();
     db
 }
 

@@ -35,12 +35,12 @@ fn fixture() -> Database {
     for i in 0..6_000i64 {
         t.push(vec![Value::Int(i), Value::Int(i % 37)]).unwrap();
     }
-    db.register(t);
+    db.register(t).unwrap();
     let mut s = Table::new("s", vec![("y", DataType::Integer)]);
     for i in 0..5_000i64 {
         s.push(vec![Value::Int(i * 3 % 6_000)]).unwrap();
     }
-    db.register(s);
+    db.register(s).unwrap();
     db
 }
 

@@ -87,7 +87,7 @@ impl RepairEnumerator {
         for name in db.table_names() {
             let table = db.table(&name)?;
             match sigma.key_of(&name) {
-                None => base.register((*table).clone()),
+                None => base.register((*table).clone())?,
                 Some(key) => {
                     let key_idx: Vec<usize> = key
                         .iter()
@@ -162,7 +162,7 @@ impl RepairEnumerator {
                     t.extend_unchecked([g[digits[d]].clone()]);
                     d += 1;
                 }
-                self.base.register(t);
+                self.base.register(t)?;
             }
             f(&self.base)?;
 

@@ -4,6 +4,8 @@
 //! ```text
 //! conquer-serve [--port N] [--tpch-sf F [--inconsistency P] [--annotate]]
 //!               [--script FILE [--keys rel:col+col,rel2:col]]
+//!               [--data-dir DIR [--sync always|interval:<ms>|never]
+//!                [--checkpoint-wal-bytes N] [--checkpoint-interval-ms N]]
 //!               [--max-sessions N] [--admit N] [--queue-wait-ms N]
 //!               [--cache N] [--metrics-port N] [--slow-query-us N]
 //! ```
@@ -16,13 +18,20 @@
 //! `--metrics-port` enables the HTTP exposition endpoint (`/metrics`,
 //! `/metrics.json`, `/traces`). `--slow-query-us` sets the default
 //! slow-query log threshold (JSON lines on stderr; 0 disables).
+//!
+//! `--data-dir` makes the catalog durable: mutations are write-ahead
+//! logged, a background checkpointer folds the WAL into immutable
+//! segments, and a restart recovers the catalog before accepting
+//! connections (printing `recovered N tables ...`). When the recovered
+//! catalog is non-empty, `--tpch-sf`/`--script` seeding is skipped — the
+//! disk is the source of truth.
 
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
 use conquer_core::ConstraintSet;
-use conquer_engine::Database;
+use conquer_engine::{Checkpointer, Database, DurabilityOptions, SyncPolicy};
 use conquer_serve::{serve, ServerConfig};
 use conquer_tpch::{build_workload, WorkloadConfig};
 
@@ -33,6 +42,10 @@ struct Args {
     annotate: bool,
     script: Option<String>,
     keys: Vec<(String, Vec<String>)>,
+    data_dir: Option<String>,
+    sync: SyncPolicy,
+    checkpoint_wal_bytes: u64,
+    checkpoint_interval_ms: u64,
     max_sessions: usize,
     admit: usize,
     queue_wait_ms: u64,
@@ -44,6 +57,7 @@ struct Args {
 impl Default for Args {
     fn default() -> Args {
         let defaults = ServerConfig::default();
+        let durability = DurabilityOptions::default();
         Args {
             port: 7878,
             tpch_sf: None,
@@ -51,6 +65,10 @@ impl Default for Args {
             annotate: false,
             script: None,
             keys: Vec::new(),
+            data_dir: None,
+            sync: durability.sync,
+            checkpoint_wal_bytes: durability.checkpoint_wal_bytes,
+            checkpoint_interval_ms: 60_000,
             max_sessions: defaults.max_sessions,
             admit: defaults.max_concurrent,
             queue_wait_ms: defaults.queue_wait.as_millis() as u64,
@@ -63,6 +81,8 @@ impl Default for Args {
 
 const USAGE: &str = "usage: conquer-serve [--port N] [--tpch-sf F [--inconsistency P] [--annotate]]
                      [--script FILE [--keys rel:col+col,rel2:col]]
+                     [--data-dir DIR [--sync always|interval:<ms>|never]
+                      [--checkpoint-wal-bytes N] [--checkpoint-interval-ms N]]
                      [--max-sessions N] [--admit N] [--queue-wait-ms N] [--cache N]
                      [--metrics-port N] [--slow-query-us N]";
 
@@ -92,6 +112,18 @@ fn parse_args() -> Result<Args, String> {
             "--annotate" => args.annotate = true,
             "--script" => args.script = Some(value("--script")?),
             "--keys" => args.keys = parse_keys(&value("--keys")?)?,
+            "--data-dir" => args.data_dir = Some(value("--data-dir")?),
+            "--sync" => args.sync = SyncPolicy::parse(&value("--sync")?)?,
+            "--checkpoint-wal-bytes" => {
+                args.checkpoint_wal_bytes = value("--checkpoint-wal-bytes")?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint-wal-bytes: {e}"))?
+            }
+            "--checkpoint-interval-ms" => {
+                args.checkpoint_interval_ms = value("--checkpoint-interval-ms")?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint-interval-ms: {e}"))?
+            }
             "--max-sessions" => {
                 args.max_sessions = value("--max-sessions")?
                     .parse()
@@ -152,7 +184,38 @@ fn parse_keys(spec: &str) -> Result<Vec<(String, Vec<String>)>, String> {
 }
 
 fn build_database(args: &Args) -> Result<(Arc<Database>, ConstraintSet), String> {
+    // Open (and recover) the durable catalog first: when it already holds
+    // tables, seeding is skipped — the disk is the source of truth.
+    let durable_db = match &args.data_dir {
+        Some(dir) => {
+            let db = Database::open(
+                std::path::Path::new(dir),
+                DurabilityOptions {
+                    sync: args.sync,
+                    checkpoint_wal_bytes: args.checkpoint_wal_bytes,
+                },
+            )
+            .map_err(|e| format!("--data-dir {dir}: {e}"))?;
+            let recovered = db.table_names().len();
+            eprintln!(
+                "recovered {recovered} tables from {dir} (sync={})",
+                args.sync
+            );
+            Some(db)
+        }
+        None => None,
+    };
+    let already_loaded = durable_db
+        .as_ref()
+        .is_some_and(|db| !db.table_names().is_empty());
+
     if let Some(sf) = args.tpch_sf {
+        let sigma = conquer_tpch::benchmark_constraints();
+        if already_loaded {
+            eprintln!("data dir is non-empty; skipping TPC-H seeding");
+            let db = durable_db.ok_or("unreachable: already_loaded implies durable")?;
+            return Ok((Arc::new(db), sigma));
+        }
         eprintln!("generating TPC-H sf={sf} (p={})...", args.inconsistency);
         let workload = build_workload(&WorkloadConfig {
             scale_factor: sf,
@@ -160,13 +223,28 @@ fn build_database(args: &Args) -> Result<(Arc<Database>, ConstraintSet), String>
             annotate: args.annotate,
             ..WorkloadConfig::default()
         });
-        return Ok((Arc::new(workload.db), workload.sigma));
+        let Some(db) = durable_db else {
+            return Ok((Arc::new(workload.db), workload.sigma));
+        };
+        // Copy the generated tables into the durable catalog (each copy is
+        // logged as a snapshot record, so the load itself is durable).
+        for name in workload.db.table_names() {
+            let table = workload.db.table(&name).map_err(|e| e.to_string())?;
+            db.register((*table).clone())
+                .map_err(|e| format!("--data-dir: {e}"))?;
+        }
+        return Ok((Arc::new(db), workload.sigma));
     }
-    let db = Database::new();
+
+    let db = durable_db.unwrap_or_default();
     if let Some(path) = &args.script {
-        let sql = std::fs::read_to_string(path).map_err(|e| format!("--script {path}: {e}"))?;
-        db.run_script(&sql)
-            .map_err(|e| format!("--script {path}: {e}"))?;
+        if already_loaded {
+            eprintln!("data dir is non-empty; skipping --script seeding");
+        } else {
+            let sql = std::fs::read_to_string(path).map_err(|e| format!("--script {path}: {e}"))?;
+            db.run_script(&sql)
+                .map_err(|e| format!("--script {path}: {e}"))?;
+        }
     }
     let mut sigma = ConstraintSet::new();
     for (rel, cols) in &args.keys {
@@ -202,7 +280,16 @@ fn main() -> ExitCode {
         slow_query_us: args.slow_query_us,
         ..ServerConfig::default()
     };
-    let server = match serve(db, sigma, config) {
+    // Background checkpointer: folds the WAL into segments on an interval
+    // and ticks the interval-sync policy. Dropped (stopped and joined)
+    // after the server exits.
+    let checkpointer = (db.is_durable() && args.checkpoint_interval_ms > 0).then(|| {
+        Checkpointer::spawn(
+            Arc::clone(&db),
+            Duration::from_millis(args.checkpoint_interval_ms),
+        )
+    });
+    let server = match serve(Arc::clone(&db), sigma, config) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("bind failed: {e}");
@@ -214,6 +301,15 @@ fn main() -> ExitCode {
         println!("metrics on {metrics_addr}");
     }
     server.wait();
+    drop(checkpointer);
+    // Graceful shutdown: fold everything into a checkpoint and fsync, so
+    // the next boot replays nothing.
+    if db.is_durable() {
+        match db.checkpoint().and_then(|_| db.flush()) {
+            Ok(()) => eprintln!("checkpointed on shutdown"),
+            Err(e) => eprintln!("shutdown checkpoint failed: {e}"),
+        }
+    }
     eprintln!("server stopped");
     ExitCode::SUCCESS
 }

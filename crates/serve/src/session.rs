@@ -663,6 +663,20 @@ impl Session {
                     ),
                 ]),
             ),
+            (
+                "storage",
+                match self.shared.db.storage_status() {
+                    Some(status) => Json::obj([
+                        ("durable", Json::Bool(true)),
+                        ("generation", Json::UInt(status.generation)),
+                        ("last_seq", Json::UInt(status.last_seq)),
+                        ("wal_bytes", Json::UInt(status.wal_bytes)),
+                        ("wal_unsynced_bytes", Json::UInt(status.wal_unsynced_bytes)),
+                        ("segments", Json::UInt(status.segments)),
+                    ]),
+                    None => Json::obj([("durable", Json::Bool(false))]),
+                },
+            ),
             ("obs", conquer_obs::registry().snapshot_json()),
         ])
     }

@@ -20,6 +20,10 @@
 //! assert_eq!(q.to_string(), "SELECT custkey FROM customer WHERE acctbal > 1000");
 //! ```
 
+// The front end parses untrusted SQL text: like the engine, library code
+// must surface structured `ParseError`s, never panic. Tests may unwrap.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod ast;
 pub mod dates;
 pub mod display;

@@ -176,7 +176,7 @@ fn fill_region_nation(db: &Database) {
             Value::str("regional comment"),
         ]]);
     }
-    db.register(region);
+    db.register(region).expect("register in-memory table");
 
     let mut nation = (*db.table("nation").unwrap()).clone();
     for (i, name) in NATION_NAMES.iter().enumerate() {
@@ -187,7 +187,7 @@ fn fill_region_nation(db: &Database) {
             Value::str("national comment"),
         ]]);
     }
-    db.register(nation);
+    db.register(nation).expect("register in-memory table");
 }
 
 fn fill_supplier(db: &Database, config: &GenConfig) {
@@ -205,7 +205,7 @@ fn fill_supplier(db: &Database, config: &GenConfig) {
             Value::str(short_text(&mut rng)),
         ]]);
     }
-    db.register(t);
+    db.register(t).expect("register in-memory table");
 }
 
 fn fill_part_partsupp(db: &Database, config: &GenConfig) {
@@ -259,8 +259,8 @@ fn fill_part_partsupp(db: &Database, config: &GenConfig) {
             ]]);
         }
     }
-    db.register(part);
-    db.register(partsupp);
+    db.register(part).expect("register in-memory table");
+    db.register(partsupp).expect("register in-memory table");
 }
 
 fn fill_customer(db: &Database, config: &GenConfig) {
@@ -279,7 +279,7 @@ fn fill_customer(db: &Database, config: &GenConfig) {
             Value::str(short_text(&mut rng)),
         ]]);
     }
-    db.register(t);
+    db.register(t).expect("register in-memory table");
 }
 
 /// Orders and lineitems are generated in parallel chunks; each chunk's RNG
@@ -332,8 +332,8 @@ fn fill_orders_lineitem(db: &Database, config: &GenConfig) {
         orders.extend_unchecked(order_rows);
         lineitem.extend_unchecked(line_rows);
     }
-    db.register(orders);
-    db.register(lineitem);
+    db.register(orders).expect("register in-memory table");
+    db.register(lineitem).expect("register in-memory table");
 }
 
 fn generate_order_chunk(

@@ -102,7 +102,7 @@ pub fn inject_table(
             new_table.extend_unchecked([row]);
         }
     }
-    db.register(new_table);
+    db.register(new_table).expect("register in-memory table");
 
     InjectionStats {
         relation: relation.to_string(),

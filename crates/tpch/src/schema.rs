@@ -22,7 +22,8 @@ pub fn create_tables(db: &Database) {
             ("r_name", Text),
             ("r_comment", Text),
         ],
-    ));
+    ))
+    .expect("register in-memory table");
     db.register(Table::new(
         "nation",
         vec![
@@ -31,7 +32,8 @@ pub fn create_tables(db: &Database) {
             ("n_regionkey", Integer),
             ("n_comment", Text),
         ],
-    ));
+    ))
+    .expect("register in-memory table");
     db.register(Table::new(
         "supplier",
         vec![
@@ -43,7 +45,8 @@ pub fn create_tables(db: &Database) {
             ("s_acctbal", Float),
             ("s_comment", Text),
         ],
-    ));
+    ))
+    .expect("register in-memory table");
     db.register(Table::new(
         "part",
         vec![
@@ -57,7 +60,8 @@ pub fn create_tables(db: &Database) {
             ("p_retailprice", Float),
             ("p_comment", Text),
         ],
-    ));
+    ))
+    .expect("register in-memory table");
     db.register(Table::new(
         "partsupp",
         vec![
@@ -67,7 +71,8 @@ pub fn create_tables(db: &Database) {
             ("ps_supplycost", Float),
             ("ps_comment", Text),
         ],
-    ));
+    ))
+    .expect("register in-memory table");
     db.register(Table::new(
         "customer",
         vec![
@@ -80,7 +85,8 @@ pub fn create_tables(db: &Database) {
             ("c_mktsegment", Text),
             ("c_comment", Text),
         ],
-    ));
+    ))
+    .expect("register in-memory table");
     db.register(Table::new(
         "orders",
         vec![
@@ -94,7 +100,8 @@ pub fn create_tables(db: &Database) {
             ("o_shippriority", Integer),
             ("o_comment", Text),
         ],
-    ));
+    ))
+    .expect("register in-memory table");
     db.register(Table::new(
         "lineitem",
         vec![
@@ -115,7 +122,8 @@ pub fn create_tables(db: &Database) {
             ("l_shipmode", Text),
             ("l_comment", Text),
         ],
-    ));
+    ))
+    .expect("register in-memory table");
 }
 
 /// The TPC-H primary keys as query constraints.

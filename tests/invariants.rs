@@ -30,7 +30,7 @@ fn build(rows: &[(i64, i64, i64)]) -> Database {
         rows.iter()
             .map(|(k, a, b)| vec![Value::Int(*k), Value::Int(*a), Value::Int(*b)]),
     );
-    db.register(t);
+    db.register(t).unwrap();
     db
 }
 

@@ -53,14 +53,14 @@ fn build_db(r: &[(i64, i64, i64)], s: Option<&[(i64, i64)]>) -> Database {
         r.iter()
             .map(|(k, a, b)| vec![Value::Int(*k), Value::Int(*a), Value::Int(*b)]),
     );
-    db.register(tr);
+    db.register(tr).unwrap();
     if let Some(s) = s {
         let mut ts = Table::new(
             "s",
             vec![("k", DataType::Integer), ("c", DataType::Integer)],
         );
         ts.extend_unchecked(s.iter().map(|(k, c)| vec![Value::Int(*k), Value::Int(*c)]));
-        db.register(ts);
+        db.register(ts).unwrap();
     }
     db
 }
@@ -190,7 +190,7 @@ fn aggregate_ranges_match_oracle() {
             rows.iter()
                 .map(|(k, g, v)| vec![Value::Int(*k), Value::Int(*g), Value::Int(*v)]),
         );
-        db.register(t);
+        db.register(t).unwrap();
         let sigma = sigma_r();
 
         let agg_expr = if agg == "count" {
@@ -261,7 +261,7 @@ fn joined_aggregate_ranges_match_oracle() {
                 .iter()
                 .map(|(k, f, v)| vec![Value::Int(*k), Value::Int(*f), Value::Int(*v)]),
         );
-        db.register(tr);
+        db.register(tr).unwrap();
         let mut ts = Table::new(
             "s",
             vec![("k", DataType::Integer), ("g", DataType::Integer)],
@@ -271,7 +271,7 @@ fn joined_aggregate_ranges_match_oracle() {
                 .iter()
                 .map(|(k, g)| vec![Value::Int(*k), Value::Int(*g)]),
         );
-        db.register(ts);
+        db.register(ts).unwrap();
         let sigma = sigma_rs();
 
         let q = "select s.g, sum(r.v) as x from r, s where r.fk = s.k group by s.g";
