@@ -9,9 +9,14 @@
 //! ```
 //!
 //! Subcommands: `fig10`, `fig11`, `fig12`, `fig13`, `fig14`, `baseline`,
-//! `serve`, `plancost`, `trace`, `recover`, `all` (`all` runs the six
-//! figures; `serve`, `plancost`, `trace`, and `recover` are
-//! explicit-only). `recover` benchmarks the durable-storage crash-recovery
+//! `serve`, `plancost`, `opbench`, `trace`, `recover`, `all` (`all` runs
+//! the six figures; `serve`, `plancost`, `opbench`, `trace`, and `recover`
+//! are explicit-only). `opbench` is the per-operator throughput
+//! microbenchmark: one query per executor kernel (filter, hash build,
+//! hash probe, semi join, global and grouped aggregation), each timed
+//! with the vectorized columnar kernels on and off, reporting rows/sec
+//! over the driving table and the batch/row speedup
+//! (`BENCH_opbench.json`). `recover` benchmarks the durable-storage crash-recovery
 //! path: it loads the TPC-H workload into a WAL-backed database on a temp
 //! dir, times a cold restart that replays the full WAL, checkpoints, and
 //! times a second restart that loads from segments — writing WAL size and
@@ -76,9 +81,9 @@ use conquer_obs::Json;
 /// the sweep and writes every report before exiting nonzero.
 static FAILED: AtomicBool = AtomicBool::new(false);
 
-const COMMANDS: [&str; 11] = [
-    "fig10", "fig11", "fig12", "fig13", "fig14", "baseline", "serve", "plancost", "trace",
-    "recover", "all",
+const COMMANDS: [&str; 12] = [
+    "fig10", "fig11", "fig12", "fig13", "fig14", "baseline", "serve", "plancost", "opbench",
+    "trace", "recover", "all",
 ];
 
 struct Args {
@@ -253,7 +258,7 @@ fn parse_args() -> Args {
 fn die(msg: &str) -> ! {
     eprintln!("harness: {msg}");
     eprintln!(
-        "usage: harness [fig10|fig11|fig12|fig13|fig14|baseline|serve|plancost|recover|all] \
+        "usage: harness [fig10|fig11|fig12|fig13|fig14|baseline|serve|plancost|opbench|recover|all] \
          [--sf F] [--runs N] [--json PATH] [--quiet] \
          [--timeout-ms N] [--mem-limit BYTES] [--threads N] \
          [--serve-port P] [--concurrency N] [--rounds R] \
@@ -282,6 +287,7 @@ fn main() {
             "baseline" => baseline(&args),
             "serve" => serve_cmd(&args),
             "plancost" => plancost(&args),
+            "opbench" => opbench(&args),
             "trace" => trace_cmd(&args),
             "recover" => recover_cmd(&args),
             _ => unreachable!("command validated in parse_args"),
@@ -757,6 +763,145 @@ fn load_thresholds(path: &str) -> std::collections::HashMap<String, f64> {
         }
     }
     out
+}
+
+/// `opbench` — per-operator throughput microbenchmark. Each cell isolates
+/// one executor kernel with a query shaped so that operator dominates,
+/// and times it with the columnar kernels off (`row`, the row-at-a-time
+/// reference path) and on (`batch`). Rows/sec is over the driving table —
+/// the input the operator consumes — so the two modes are compared on the
+/// same denominator. Outer joins pin the build side (the engine only
+/// swaps inner joins): `tiny LEFT JOIN big` isolates the build of `big`,
+/// `big LEFT JOIN tiny` the probe over `big`.
+fn opbench(args: &Args) -> Json {
+    struct OpSpec {
+        op: &'static str,
+        driving: &'static str,
+        sql: &'static str,
+    }
+    const OPS: &[OpSpec] = &[
+        OpSpec {
+            op: "filter",
+            driving: "lineitem",
+            sql: "select l_orderkey from lineitem l \
+                  where l_quantity > 25 and l_discount > 0.02",
+        },
+        OpSpec {
+            op: "filter.text",
+            driving: "orders",
+            sql: "select o_orderkey from orders o where o_orderstatus = 'F'",
+        },
+        OpSpec {
+            op: "hash_build",
+            driving: "lineitem",
+            sql: "select o.o_orderkey from orders o \
+                  left join lineitem l on o.o_orderkey = l.l_orderkey",
+        },
+        OpSpec {
+            op: "hash_probe",
+            driving: "lineitem",
+            sql: "select l.l_orderkey from lineitem l \
+                  left join orders o on l.l_orderkey = o.o_orderkey",
+        },
+        OpSpec {
+            op: "semi_join",
+            driving: "orders",
+            sql: "select o.o_orderkey from orders o where exists \
+                  (select l.l_orderkey from lineitem l where l.l_orderkey = o.o_orderkey)",
+        },
+        OpSpec {
+            op: "aggregate.global",
+            driving: "lineitem",
+            sql: "select count(*), sum(l_extendedprice), avg(l_discount), \
+                  min(l_quantity), max(l_quantity) from lineitem l",
+        },
+        OpSpec {
+            op: "aggregate.group",
+            driving: "lineitem",
+            sql: "select l_orderkey, count(*), sum(l_quantity) from lineitem l \
+                  group by l_orderkey",
+        },
+    ];
+
+    say!(
+        args,
+        "## Per-operator throughput — row vs batch (SF {}, threads {}, median of {})\n",
+        args.sf,
+        args.threads,
+        args.runs
+    );
+    let w = workload(args.sf, 0.05, 2);
+    say!(
+        args,
+        "| Operator | rows | row | batch | row rows/s | batch rows/s | speedup |"
+    );
+    say!(
+        args,
+        "|----------|-----:|----:|------:|-----------:|-------------:|--------:|"
+    );
+
+    let time_mode = |sql: &str, columnar: bool| -> Result<Duration, String> {
+        let options = args.options().with_columnar(columnar);
+        // Warm-up run: populates the scan cache and plan-level caches so
+        // the timed runs measure execution, not first-touch setup.
+        w.db.query_with(sql, &options).map_err(|e| e.to_string())?;
+        let mut times = Vec::with_capacity(args.runs);
+        for _ in 0..args.runs {
+            let t0 = Instant::now();
+            w.db.query_with(sql, &options).map_err(|e| e.to_string())?;
+            times.push(t0.elapsed());
+        }
+        times.sort_unstable();
+        Ok(times[times.len() / 2])
+    };
+
+    let mut ops = Vec::new();
+    for spec in OPS {
+        let rows = w.db.table(spec.driving).map_or(0, |t| t.len());
+        let mut entry = Json::obj([
+            ("op", Json::from(spec.op)),
+            ("driving_table", Json::from(spec.driving)),
+            ("driving_rows", Json::UInt(rows as u64)),
+            (
+                "sql",
+                Json::from(spec.sql.split_whitespace().collect::<Vec<_>>().join(" ")),
+            ),
+        ]);
+        match (time_mode(spec.sql, false), time_mode(spec.sql, true)) {
+            (Ok(t_row), Ok(t_batch)) => {
+                let rps = |t: Duration| rows as f64 / t.as_secs_f64().max(1e-9);
+                say!(
+                    args,
+                    "| {} | {rows} | {} | {} | {:.0} | {:.0} | {:.2}x |",
+                    spec.op,
+                    ms(t_row),
+                    ms(t_batch),
+                    rps(t_row),
+                    rps(t_batch),
+                    speedup(t_row, t_batch),
+                );
+                entry.push("status", Json::from("ok"));
+                entry.push("row_us", Json::UInt(t_row.as_micros() as u64));
+                entry.push("batch_us", Json::UInt(t_batch.as_micros() as u64));
+                entry.push("row_rows_per_sec", Json::Float(rps(t_row)));
+                entry.push("batch_rows_per_sec", Json::Float(rps(t_batch)));
+                entry.push("speedup", Json::Float(speedup(t_row, t_batch)));
+            }
+            (row_r, batch_r) => {
+                let e = row_r.err().or(batch_r.err()).unwrap_or_default();
+                FAILED.store(true, Ordering::Relaxed);
+                eprintln!("harness: opbench {} error: {e}", spec.op);
+                say!(args, "| {} | {rows} | - | - | - | - | error |", spec.op);
+                entry.push("status", Json::from("error"));
+                entry.push("error", Json::from(e));
+            }
+        }
+        ops.push(entry);
+    }
+    say!(args, "");
+    let mut report = report_header("opbench", args);
+    report.push("operators", Json::Arr(ops));
+    report
 }
 
 /// `trace` — run one SQL statement against the standard workload with

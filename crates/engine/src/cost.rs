@@ -27,11 +27,11 @@ use std::sync::Arc;
 
 use conquer_sql::BinaryOp;
 
+use crate::col::ColBatch;
 use crate::database::Database;
 use crate::expr::{BoundExpr, SubqueryKind};
 use crate::plan::{JoinType, Plan};
 use crate::stats::{numeric_of, NodeStats, TableStats};
-use crate::table::Rows;
 use crate::value::Value;
 
 /// Default selectivity when a predicate's shape gives no information.
@@ -95,10 +95,10 @@ impl Derived {
 /// the catalog does not know (materialized CTEs).
 pub struct Estimator<'a> {
     db: Option<&'a Database>,
-    /// `Arc<Rows>` pointer → catalog stats, refreshed lazily from the
+    /// `Arc<ColBatch>` pointer → catalog stats, refreshed lazily from the
     /// database's scan cache.
     base: RefCell<HashMap<usize, Arc<TableStats>>>,
-    /// `Arc<Rows>` pointer → stats sampled from the batch itself.
+    /// `Arc<ColBatch>` pointer → stats sampled from the batch itself.
     sampled: RefCell<HashMap<usize, Arc<TableStats>>>,
 }
 
@@ -124,8 +124,8 @@ impl<'a> Estimator<'a> {
 
     /// Statistics for a scanned batch: catalog stats when the pointer maps
     /// to a registered table, sampled stats otherwise.
-    fn scan_stats(&self, rows: &Arc<Rows>) -> Arc<TableStats> {
-        let key = Arc::as_ptr(rows) as *const () as usize;
+    fn scan_stats(&self, cols: &Arc<ColBatch>) -> Arc<TableStats> {
+        let key = Arc::as_ptr(cols) as *const () as usize;
         if let Some(s) = self.base.borrow().get(&key) {
             return Arc::clone(s);
         }
@@ -139,14 +139,17 @@ impl<'a> Estimator<'a> {
         if let Some(s) = self.sampled.borrow().get(&key) {
             return Arc::clone(s);
         }
-        let n = rows.len().min(SAMPLE_ROWS);
-        let width = rows.schema.len();
-        let mut stats = TableStats::collect(&rows.rows[..n], width);
-        if n < rows.len() && n > 0 {
+        let n = cols.len().min(SAMPLE_ROWS);
+        let width = cols.width();
+        // Pivot only the sample prefix; a full-table pivot just to sample
+        // would defeat the columnar scan cache.
+        let sample: Vec<_> = (0..n).map(|i| cols.row_at(i)).collect();
+        let mut stats = TableStats::collect(&sample, width);
+        if n < cols.len() && n > 0 {
             // Scale the sample up: row-linear counters scale linearly, NDV
             // scales linearly but is capped by the true row count.
-            let scale = rows.len() as f64 / n as f64;
-            stats.row_count = rows.len() as u64;
+            let scale = cols.len() as f64 / n as f64;
+            stats.row_count = cols.len() as u64;
             for c in &mut stats.columns {
                 c.null_count = (c.null_count as f64 * scale) as u64;
                 c.ndv = ((c.ndv as f64 * scale) as u64).min(stats.row_count);
@@ -166,9 +169,9 @@ impl<'a> Estimator<'a> {
     pub fn derive(&self, plan: &Plan) -> Derived {
         match plan {
             Plan::Unit => Derived::empty(),
-            Plan::Scan { rows, schema } => {
-                let stats = self.scan_stats(rows);
-                let n = rows.len() as f64;
+            Plan::Scan { cols, schema } => {
+                let stats = self.scan_stats(cols);
+                let n = cols.len() as f64;
                 let cols = schema
                     .columns
                     .iter()
@@ -528,7 +531,7 @@ impl<'a> Estimator<'a> {
         let children_cost: f64 = plan.children().iter().map(|c| self.cost(c)).sum();
         let own = match plan {
             Plan::Unit => 0.0,
-            Plan::Scan { rows, .. } => rows.len() as f64,
+            Plan::Scan { cols, .. } => cols.len() as f64,
             Plan::Filter { input, .. } => self.est_rows(input),
             Plan::Project { input, .. } | Plan::Rename { input, .. } => self.est_rows(input),
             Plan::HashJoin { left, right, .. } => {

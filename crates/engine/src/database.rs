@@ -12,6 +12,7 @@ use conquer_sql::ast::{Expr, Query, Statement};
 use conquer_sql::{parse_query, parse_statements};
 use conquer_storage::{Store, StoreOptions, StoreStatus, WalRecord};
 
+use crate::col::ColBatch;
 use crate::durable::{
     self, Durability, DurabilityOptions, KIND_CREATE, KIND_DROP, KIND_INSERT, KIND_SNAPSHOT,
 };
@@ -59,7 +60,7 @@ fn write_lock<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
 #[derive(Default)]
 pub struct Database {
     tables: RwLock<BTreeMap<String, Arc<Table>>>,
-    scan_cache: RwLock<BTreeMap<String, Arc<Rows>>>,
+    scan_cache: RwLock<BTreeMap<String, Arc<ColBatch>>>,
     /// Per-table statistics for the cost-based planner, collected eagerly
     /// on every `register` (so they are never stale relative to the data).
     table_stats: RwLock<BTreeMap<String, Arc<TableStats>>>,
@@ -186,10 +187,10 @@ impl Database {
     /// log first).
     ///
     /// Ordering matters: the table swap happens *before* the scan-cache
-    /// clear. A concurrent [`Database::table_rows`] miss that read the old
+    /// clear. A concurrent [`Database::table_cols`] miss that read the old
     /// `Arc<Table>` either inserts its rows before the clear (and the clear
     /// wipes them) or revalidates after the swap (and sees the table
-    /// changed, so it skips the insert — see `table_rows`). Either way no
+    /// changed, so it skips the insert — see `table_cols`). Either way no
     /// pre-swap rows can sit in the scan cache once the new epoch is
     /// observable, which is what lets plan caches trust the epoch check.
     /// Stats are installed before the swap is observable for the same
@@ -221,7 +222,8 @@ impl Database {
         match record.kind {
             KIND_CREATE => {
                 let (name, schema) = durable::decode_create(&record.payload)?;
-                let table = Table::from_parts(name, schema, Vec::new());
+                let cols = ColBatch::from_schema(&schema);
+                let table = Table::from_parts(name, schema, cols);
                 let stats = Arc::new(TableStats::collect(table.rows(), table.schema().len()));
                 self.apply_register(table, stats);
                 Ok(())
@@ -384,7 +386,7 @@ impl Database {
         read_lock(&self.table_stats).get(name).cloned()
     }
 
-    /// Snapshot mapping each cached scan batch (by `Arc<Rows>` pointer
+    /// Snapshot mapping each cached scan batch (by `Arc<ColBatch>` pointer
     /// identity) to its table's statistics. Plans hold the same `Arc`s the
     /// scan cache handed out, so the cost estimator can recover base-table
     /// stats from a bare `Plan::Scan` node. Tables whose rows were never
@@ -394,10 +396,10 @@ impl Database {
         let stats = read_lock(&self.table_stats);
         cache
             .iter()
-            .filter_map(|(name, rows)| {
+            .filter_map(|(name, cols)| {
                 stats
                     .get(name)
-                    .map(|s| (Arc::as_ptr(rows) as *const () as usize, Arc::clone(s)))
+                    .map(|s| (Arc::as_ptr(cols) as *const () as usize, Arc::clone(s)))
             })
             .collect()
     }
@@ -415,17 +417,16 @@ impl Database {
         read_lock(&self.tables).keys().cloned().collect()
     }
 
-    /// The rows of a table as a shared, scan-ready batch (cached until the
-    /// table is re-registered).
-    pub(crate) fn table_rows(&self, name: &str) -> Result<Arc<Rows>> {
+    /// The columns of a table as a shared, scan-ready batch (cached until
+    /// the table is re-registered). The batch shares the table's column
+    /// chunks — mutation on the table copy-on-writes them, so the handle
+    /// is a stable snapshot.
+    pub(crate) fn table_cols(&self, name: &str) -> Result<Arc<ColBatch>> {
         if let Some(cached) = read_lock(&self.scan_cache).get(name) {
             return Ok(Arc::clone(cached));
         }
         let table = self.table(name)?;
-        let rows = Arc::new(Rows {
-            schema: table.schema().clone(),
-            rows: table.rows().to_vec(),
-        });
+        let cols = Arc::new(table.batch());
         // Cache only after revalidating, under the cache write lock, that
         // `table` is still the registered Arc. Without this, a `register`
         // racing between our miss and our insert could clear the cache and
@@ -441,9 +442,9 @@ impl Database {
             .get(name)
             .is_some_and(|current| Arc::ptr_eq(current, &table));
         if still_current {
-            cache.insert(name.to_string(), Arc::clone(&rows));
+            cache.insert(name.to_string(), Arc::clone(&cols));
         }
-        Ok(rows)
+        Ok(cols)
     }
 
     /// Run a SQL query string with default options.
@@ -485,7 +486,9 @@ impl Database {
     ) -> Result<Rows> {
         let plan = self.plan_governed(query, options, gov)?;
         let mut span = conquer_obs::span("execute").field("threads", options.threads);
-        let rows = exec::execute_governed_threads(&plan, None, gov, options.threads)?;
+        let rows =
+            exec::execute_columnar_threads(&plan, None, gov, options.threads, options.columnar)?
+                .into_rows();
         span.record("rows", rows.rows.len());
         Ok(rows)
     }
@@ -501,8 +504,13 @@ impl Database {
         let gov = Governor::for_options(options);
         let plan = self.plan_governed(query, options, gov.as_ref())?;
         let mut span = conquer_obs::span("execute").field("threads", options.threads);
-        let (rows, mut stats) =
-            exec::execute_traced_threads(&plan, None, gov.as_ref(), options.threads)?;
+        let (rows, mut stats) = exec::execute_traced_threads(
+            &plan,
+            None,
+            gov.as_ref(),
+            options.threads,
+            options.columnar,
+        )?;
         span.record("rows", rows.rows.len());
         if options.use_stats {
             let est = crate::cost::Estimator::from_db(self);
@@ -529,7 +537,14 @@ impl Database {
         let _trace = options.trace.as_ref().map(|t| t.install());
         let gov = Governor::for_options(options);
         let mut span = conquer_obs::span("execute").field("threads", options.threads);
-        let rows = exec::execute_governed_threads(plan, None, gov.as_ref(), options.threads)?;
+        let rows = exec::execute_columnar_threads(
+            plan,
+            None,
+            gov.as_ref(),
+            options.threads,
+            options.columnar,
+        )?
+        .into_rows();
         span.record("rows", rows.rows.len());
         Ok(rows)
     }
@@ -846,7 +861,7 @@ mod tests {
             });
             scope.spawn(|| loop {
                 let before = db.catalog_epoch();
-                let rows = db.table_rows("t").unwrap();
+                let rows = db.table_cols("t").unwrap();
                 let after = db.catalog_epoch();
                 if before == after {
                     // Version (before - e0) registered at epoch `before`;
@@ -855,7 +870,7 @@ mod tests {
                     // may already have swapped without us observing the
                     // bump yet.)
                     let expect = (before - e0) as i64;
-                    let got = match rows.rows[0][0] {
+                    let got = match rows.rows()[0][0] {
                         Value::Int(v) => v,
                         ref other => panic!("unexpected value {other:?}"),
                     };

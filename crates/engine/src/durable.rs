@@ -214,7 +214,16 @@ pub(crate) fn encode_snapshot(table: &Table, stats: &TableStats) -> Vec<u8> {
     put_str(&mut buf, table.name());
     put_schema(&mut buf, table.schema());
     put_stats(&mut buf, stats);
-    put_rows(&mut buf, table.rows());
+    // Stream row-at-a-time out of the columnar batch rather than calling
+    // `table.rows()`, which would materialize (and keep) a full pivot.
+    buf.extend_from_slice(&(table.len() as u64).to_le_bytes());
+    for i in 0..table.len() {
+        let row = table.row_at(i);
+        buf.extend_from_slice(&(row.len() as u32).to_le_bytes());
+        for v in &row {
+            put_value(&mut buf, v);
+        }
+    }
     buf
 }
 
@@ -381,9 +390,26 @@ pub(crate) fn decode_snapshot(payload: &[u8]) -> Result<(Table, TableStats)> {
     let name = cur.str()?;
     let schema = cur.schema()?;
     let stats = cur.stats()?;
-    let rows = cur.rows()?;
+    // Stream decoded rows straight into column chunks — recovery never
+    // builds an intermediate `Vec<Vec<Value>>` of the whole segment.
+    let mut cols = crate::col::ColBatch::from_schema(&schema);
+    let n = cur.u64()? as usize;
+    for _ in 0..n {
+        let width = cur.u32()? as usize;
+        if width != schema.len() {
+            return Err(EngineError::Storage(format!(
+                "snapshot row arity {width} does not match schema width {}",
+                schema.len()
+            )));
+        }
+        let mut row = Vec::with_capacity(width.min(1 << 12));
+        for _ in 0..width {
+            row.push(cur.value()?);
+        }
+        cols.push_row(row);
+    }
     cur.finish()?;
-    Ok((Table::from_parts(name, schema, rows), stats))
+    Ok((Table::from_parts(name, schema, cols), stats))
 }
 
 // ---------------------------------------------------------------------------

@@ -48,65 +48,104 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+use crate::col::{self, ColBatch, ColumnChunk, ColumnData};
 use crate::error::{EngineError, Result};
 use crate::expr::{BoundExpr, Env};
 use crate::faults;
 use crate::fsum::ExactSum;
 use crate::governor::Governor;
+use crate::kernels;
 use crate::plan::{AggFunc, AggSpec, JoinType, Plan};
 use crate::schema::Schema;
 use crate::stats::NodeStats;
 use crate::table::{Row, Rows};
 use crate::value::{Key, KeyValue, Value};
 
-/// An operator's output: owned rows, or a shared batch plus the schema it
-/// is viewed under (scans re-qualify the stored schema per binding).
+/// An operator's output: owned rows, or a shared column batch plus the
+/// schema it is viewed under (scans re-qualify the stored schema per
+/// binding). Columnar operators hand batches down without pivoting; the
+/// row view pivots lazily, once, through the batch's cache.
 pub enum Batch {
     Owned(Rows),
-    Shared { rows: Arc<Rows>, schema: Schema },
+    Col { cols: Arc<ColBatch>, schema: Schema },
 }
 
 impl Batch {
     pub fn schema(&self) -> &Schema {
         match self {
             Batch::Owned(r) => &r.schema,
-            Batch::Shared { schema, .. } => schema,
+            Batch::Col { schema, .. } => schema,
         }
     }
 
+    /// Row view of the batch. For a columnar batch this pivots once into
+    /// the batch's cached row vector (subsequent calls are free); the
+    /// row-at-a-time operators consume batches through it.
     pub fn rows(&self) -> &[Row] {
         match self {
             Batch::Owned(r) => &r.rows,
-            Batch::Shared { rows, .. } => &rows.rows,
+            Batch::Col { cols, .. } => cols.rows(),
+        }
+    }
+
+    /// The columnar view, when this batch is columnar.
+    pub fn cols(&self) -> Option<&ColBatch> {
+        match self {
+            Batch::Owned(_) => None,
+            Batch::Col { cols, .. } => Some(cols),
         }
     }
 
     pub fn len(&self) -> usize {
-        self.rows().len()
+        match self {
+            Batch::Owned(r) => r.rows.len(),
+            Batch::Col { cols, .. } => cols.len(),
+        }
     }
 
     pub fn is_empty(&self) -> bool {
-        self.rows().is_empty()
+        self.len() == 0
     }
 
-    /// Convert into owned rows, cloning when shared.
+    /// Convert into owned rows, pivoting (or stealing the pivot cache)
+    /// when columnar.
     pub fn into_rows(self) -> Rows {
         match self {
             Batch::Owned(r) => r,
-            Batch::Shared { rows, schema } => Rows {
-                schema,
-                rows: rows.rows.clone(),
-            },
+            Batch::Col { cols, schema } => {
+                let rows = match Arc::try_unwrap(cols) {
+                    Ok(batch) => batch.into_rows(),
+                    Err(shared) => shared.rows().to_vec(),
+                };
+                Rows { schema, rows }
+            }
+        }
+    }
+
+    /// Convert into `(schema, shared column batch)`, pivoting row-shaped
+    /// output into fresh columns (CTE materialization adopts columnar
+    /// operator output as-is).
+    pub fn into_schema_cols(self) -> (Schema, Arc<ColBatch>) {
+        match self {
+            Batch::Col { cols, schema } => (schema, cols),
+            Batch::Owned(r) => {
+                let Rows { schema, rows } = r;
+                let cols = ColBatch::from_rows(&schema, rows);
+                (schema, Arc::new(cols))
+            }
         }
     }
 }
 
-/// Shared execution context: the resource governor (if any) plus the
-/// worker-thread budget for morsel-parallel operators.
+/// Shared execution context: the resource governor (if any), the
+/// worker-thread budget for morsel-parallel operators, and whether the
+/// vectorized columnar kernels may be used (`false` forces every operator
+/// onto the row-at-a-time reference path).
 #[derive(Clone, Copy)]
 struct ExecCtx<'g> {
     gov: Option<&'g Governor>,
     threads: usize,
+    columnar: bool,
 }
 
 /// Execute a plan to fully-owned rows. `outer` is the enclosing row
@@ -116,7 +155,15 @@ struct ExecCtx<'g> {
 /// must not fan out nested thread pools.
 pub fn execute(plan: &Plan, outer: Option<&Env<'_>>) -> Result<Rows> {
     let gov = outer.and_then(|e| e.gov);
-    execute_governed(plan, outer, gov)
+    // Correlated subqueries inherit the enclosing query's row/columnar
+    // mode, so a row-mode differential run stays row-mode all the way down.
+    let columnar = outer.is_none_or(|e| e.columnar);
+    let ctx = ExecCtx {
+        gov,
+        threads: 1,
+        columnar,
+    };
+    Ok(execute_ctx(plan, outer, None, ctx)?.into_rows())
 }
 
 /// Execute a plan to fully-owned rows under an explicit resource governor
@@ -137,11 +184,26 @@ pub fn execute_governed_threads(
     gov: Option<&Governor>,
     threads: usize,
 ) -> Result<Rows> {
+    Ok(execute_columnar_threads(plan, outer, gov, threads, true)?.into_rows())
+}
+
+/// Execute a plan to a [`Batch`] with explicit thread and columnar-kernel
+/// settings — the entry point `Database` query execution and CTE
+/// materialization use (the latter adopts a columnar output batch without
+/// pivoting).
+pub fn execute_columnar_threads(
+    plan: &Plan,
+    outer: Option<&Env<'_>>,
+    gov: Option<&Governor>,
+    threads: usize,
+    columnar: bool,
+) -> Result<Batch> {
     let ctx = ExecCtx {
         gov,
         threads: threads.max(1),
+        columnar,
     };
-    Ok(execute_ctx(plan, outer, None, ctx)?.into_rows())
+    execute_ctx(plan, outer, None, ctx)
 }
 
 /// Execute a plan, sharing pre-materialized rows where possible (serial).
@@ -157,7 +219,7 @@ pub fn execute_traced(
     outer: Option<&Env<'_>>,
     gov: Option<&Governor>,
 ) -> Result<(Rows, NodeStats)> {
-    execute_traced_threads(plan, outer, gov, 1)
+    execute_traced_threads(plan, outer, gov, 1, true)
 }
 
 /// [`execute_traced`] with up to `threads` morsel-parallel workers.
@@ -169,11 +231,13 @@ pub fn execute_traced_threads(
     outer: Option<&Env<'_>>,
     gov: Option<&Governor>,
     threads: usize,
+    columnar: bool,
 ) -> Result<(Rows, NodeStats)> {
     let mut stats = NodeStats::for_plan(plan);
     let ctx = ExecCtx {
         gov,
         threads: threads.max(1),
+        columnar,
     };
     let rows = execute_ctx(plan, outer, Some(&mut stats), ctx)?.into_rows();
     Ok((rows, stats))
@@ -185,33 +249,14 @@ pub fn rows_bytes(rows: &Rows) -> u64 {
     est_row_bytes(&rows.schema) * rows.rows.len() as u64
 }
 
-/// Amortized heap payload charged per `TEXT` column of a row: the
-/// `Arc<str>` control block (two ref counts) plus a typical short-string
-/// payload. TPC-H string columns are mostly fixed-ish short codes and
-/// comments; before this constant existed string payloads were charged
-/// zero and the memory governor undercounted string-heavy rows badly.
-const TEXT_PAYLOAD_BYTES: usize = 32;
-
-/// Estimated bytes for one materialized row under `schema`: inline
-/// `Value`s plus the row vector header, plus [`TEXT_PAYLOAD_BYTES`] for
-/// every `TEXT` (or untyped) column. `Arc<str>` payloads are shared, but
-/// each clone keeps the allocation alive, so charging them per row is the
-/// honest upper-bound-ish estimate. The same formula feeds the governor's
-/// memory budget and the `est_mem_bytes` column of `EXPLAIN ANALYZE`.
+/// Estimated bytes for one row under `schema`, grounded in the columnar
+/// batch layout ([`col::batch_row_bytes`]): fixed-width payloads per
+/// column type, amortized dictionary bytes per `TEXT` column, and the
+/// per-row share of the validity bitmaps. The same formula feeds the
+/// governor's memory budget and the `est_mem_bytes` column of
+/// `EXPLAIN ANALYZE`.
 fn est_row_bytes(schema: &Schema) -> u64 {
-    let text_cols = schema
-        .columns
-        .iter()
-        .filter(|c| {
-            matches!(
-                c.ty,
-                crate::schema::DataType::Text | crate::schema::DataType::Any
-            )
-        })
-        .count();
-    (schema.len() * mem::size_of::<Value>()
-        + text_cols * TEXT_PAYLOAD_BYTES
-        + mem::size_of::<Row>()) as u64
+    col::batch_row_bytes(schema) as u64
 }
 
 /// Execute a plan, filling `stats` (when present) for this operator and
@@ -224,7 +269,16 @@ pub fn execute_batch_stats(
     stats: Option<&mut NodeStats>,
     gov: Option<&Governor>,
 ) -> Result<Batch> {
-    execute_ctx(plan, outer, stats, ExecCtx { gov, threads: 1 })
+    execute_ctx(
+        plan,
+        outer,
+        stats,
+        ExecCtx {
+            gov,
+            threads: 1,
+            columnar: true,
+        },
+    )
 }
 
 /// The recursive executor: times the operator, runs it, and commits its
@@ -282,6 +336,16 @@ fn op_name(plan: &Plan) -> &'static str {
 fn tick(gov: Option<&Governor>, op: &'static str) -> Result<()> {
     match gov {
         Some(g) => g.tick(op),
+        None => Ok(()),
+    }
+}
+
+/// Bulk [`tick`] for vectorized kernels: one governor call per morsel
+/// instead of one per row.
+#[inline]
+fn ticks(gov: Option<&Governor>, n: u64, op: &'static str) -> Result<()> {
+    match gov {
+        Some(g) => g.ticks(n, op),
         None => Ok(()),
     }
 }
@@ -522,10 +586,10 @@ fn exec_node(
 ) -> Result<Batch> {
     let gov = ctx.gov;
     match plan {
-        Plan::Scan { rows, schema } => {
+        Plan::Scan { cols, schema } => {
             faults::trip("scan")?;
-            Ok(Batch::Shared {
-                rows: Arc::clone(rows),
+            Ok(Batch::Col {
+                cols: Arc::clone(cols),
                 schema: schema.clone(),
             })
         }
@@ -536,6 +600,39 @@ fn exec_node(
         Plan::Filter { input, predicate } => {
             faults::trip("filter")?;
             let child = execute_ctx(input, outer, child_stats(stats, 0), ctx)?;
+            // Kernel path: compile the predicate against the child's column
+            // layout, evaluate it morsel-at-a-time into selection vectors,
+            // and gather the passing rows into a fresh columnar batch — the
+            // output stays columnar for the operators above. Predicates the
+            // compiler rejects (subqueries, outer references, arithmetic,
+            // demoted columns) fall through to the row loop below.
+            if ctx.columnar {
+                if let Batch::Col { cols, schema } = &child {
+                    if let Some(pred) = kernels::compile_predicate(predicate, cols) {
+                        let n = cols.len();
+                        let workers = par_workers(n, ctx.threads);
+                        note_threads(stats, workers);
+                        let sel: Vec<u32> = if workers == 1 {
+                            ticks(gov, n as u64, "filter")?;
+                            let mut sel = Vec::new();
+                            pred.select_into(cols, 0..n, &mut sel)?;
+                            sel
+                        } else {
+                            parallel_morsels(n, workers, |_, range| {
+                                ticks(gov, range.len() as u64, "filter")?;
+                                let mut sel = Vec::new();
+                                pred.select_into(cols, range, &mut sel)?;
+                                Ok(sel)
+                            })?
+                            .concat()
+                        };
+                        return Ok(Batch::Col {
+                            cols: Arc::new(cols.gather(&sel)),
+                            schema: schema.clone(),
+                        });
+                    }
+                }
+            }
             let rows = child.rows();
             let workers = par_workers(rows.len(), ctx.threads);
             note_threads(stats, workers);
@@ -543,7 +640,7 @@ fn exec_node(
                 let mut out = Vec::new();
                 for row in &rows[range] {
                     tick(gov, "filter")?;
-                    if eval_predicate_on_row(predicate, row, outer, gov)? == Some(true) {
+                    if eval_predicate_on_row(predicate, row, outer, ctx)? == Some(true) {
                         out.push(row.clone());
                     }
                 }
@@ -568,6 +665,19 @@ fn exec_node(
         } => {
             faults::trip("project")?;
             let child = execute_ctx(input, outer, child_stats(stats, 0), ctx)?;
+            // Kernel path: a projection that is a pure column pick reorders
+            // chunk pointers — no per-row expression evaluation, no copy.
+            if ctx.columnar {
+                if let (Batch::Col { cols, .. }, Some(idxs)) =
+                    (&child, kernels::column_indices(exprs))
+                {
+                    ticks(gov, cols.len() as u64, "project")?;
+                    return Ok(Batch::Col {
+                        cols: Arc::new(cols.select_columns(&idxs)),
+                        schema: schema.clone(),
+                    });
+                }
+            }
             let rows = child.rows();
             let workers = par_workers(rows.len(), ctx.threads);
             note_threads(stats, workers);
@@ -575,7 +685,7 @@ fn exec_node(
                 let mut out = Vec::with_capacity(range.len());
                 for row in &rows[range] {
                     tick(gov, "project")?;
-                    out.push(project_row(row, exprs, outer, gov)?);
+                    out.push(project_row(row, exprs, outer, ctx)?);
                 }
                 Ok(out)
             };
@@ -599,8 +709,8 @@ fn exec_node(
                     schema: schema.clone(),
                     rows: r.rows,
                 }),
-                Batch::Shared { rows, .. } => Batch::Shared {
-                    rows,
+                Batch::Col { cols, .. } => Batch::Col {
+                    cols,
                     schema: schema.clone(),
                 },
             })
@@ -616,7 +726,7 @@ fn exec_node(
         } => {
             let l = execute_ctx(left, outer, child_stats(stats, 0), ctx)?;
             let r = execute_ctx(right, outer, child_stats(stats, 1), ctx)?;
-            Ok(Batch::Owned(exec_hash_join(
+            exec_hash_join(
                 l,
                 r,
                 *kind,
@@ -627,7 +737,7 @@ fn exec_node(
                 outer,
                 stats.as_deref_mut(),
                 ctx,
-            )?))
+            )
         }
         Plan::NestedLoopJoin {
             left,
@@ -690,7 +800,7 @@ fn exec_node(
             let mut rows = l.into_rows();
             match r {
                 Batch::Owned(o) => rows.rows.extend(o.rows),
-                Batch::Shared { rows: shared, .. } => rows.rows.extend(shared.rows.iter().cloned()),
+                Batch::Col { cols, .. } => rows.rows.extend(cols.rows().iter().cloned()),
             }
             Ok(Batch::Owned(rows))
         }
@@ -699,12 +809,23 @@ fn exec_node(
             let child = execute_ctx(input, outer, child_stats(stats, 0), ctx)?.into_rows();
             let workers = par_workers(child.rows.len(), ctx.threads);
             note_threads(stats, workers);
-            Ok(Batch::Owned(exec_sort(child, keys, outer, gov, workers)?))
+            Ok(Batch::Owned(exec_sort(child, keys, outer, ctx, workers)?))
         }
         Plan::Limit { input, n } => {
             faults::trip("limit")?;
             let child = execute_ctx(input, outer, child_stats(stats, 0), ctx)?;
             let take = (*n as usize).min(child.len());
+            if take == child.len() {
+                return Ok(child);
+            }
+            if ctx.columnar {
+                if let Batch::Col { cols, schema } = &child {
+                    return Ok(Batch::Col {
+                        cols: Arc::new(cols.head(take)),
+                        schema: schema.clone(),
+                    });
+                }
+            }
             let rows = child.rows()[..take].to_vec();
             Ok(Batch::Owned(Rows {
                 schema: child.schema().clone(),
@@ -813,11 +934,11 @@ fn eval_on_row(
     expr: &BoundExpr,
     row: &[Value],
     outer: Option<&Env<'_>>,
-    gov: Option<&Governor>,
+    ctx: ExecCtx<'_>,
 ) -> Result<Value> {
     match outer {
         Some(parent) => expr.eval(&Env::push(row, parent)),
-        None => expr.eval(&Env::governed(row, gov)),
+        None => expr.eval(&Env::exec(row, ctx.gov, ctx.columnar)),
     }
 }
 
@@ -825,11 +946,11 @@ fn eval_predicate_on_row(
     expr: &BoundExpr,
     row: &[Value],
     outer: Option<&Env<'_>>,
-    gov: Option<&Governor>,
+    ctx: ExecCtx<'_>,
 ) -> Result<Option<bool>> {
     match outer {
         Some(parent) => expr.eval_predicate(&Env::push(row, parent)),
-        None => expr.eval_predicate(&Env::governed(row, gov)),
+        None => expr.eval_predicate(&Env::exec(row, ctx.gov, ctx.columnar)),
     }
 }
 
@@ -837,11 +958,11 @@ fn project_row(
     row: &[Value],
     exprs: &[BoundExpr],
     outer: Option<&Env<'_>>,
-    gov: Option<&Governor>,
+    ctx: ExecCtx<'_>,
 ) -> Result<Row> {
     let mut out = Vec::with_capacity(exprs.len());
     for e in exprs {
-        out.push(eval_on_row(e, row, outer, gov)?);
+        out.push(eval_on_row(e, row, outer, ctx)?);
     }
     Ok(out)
 }
@@ -877,26 +998,70 @@ impl PartitionedTable {
     }
 }
 
-/// Build the join hash table over `rows`, partitioned across `workers`
-/// threads when above the parallel threshold. Workers extract keys per
-/// morsel and route `(key, row index)` pairs into per-partition buckets; a
-/// morsel-order transpose then hands each partition's pairs — in global
-/// row order — to one builder thread, so every key's index list is
-/// identical to the serial build's. NULL keys are skipped (SQL equality
+/// Key extractor for one join side: either direct reads from the key
+/// column chunks of a columnar batch (the hash-key kernel — no per-row
+/// expression evaluation, and no pivot of the non-key columns), or bound
+/// key expressions evaluated over the pivoted rows.
+enum KeySource<'a> {
+    Cols(Vec<&'a ColumnChunk>),
+    Rows {
+        rows: &'a [Row],
+        keys: &'a [BoundExpr],
+    },
+}
+
+impl<'a> KeySource<'a> {
+    /// Pick the extraction strategy for `input`: column chunks when the
+    /// keys are plain depth-0 columns over a columnar batch and the
+    /// kernels are enabled, pivoted rows otherwise.
+    fn for_batch(input: &'a Batch, keys: &'a [BoundExpr], ctx: ExecCtx<'_>) -> KeySource<'a> {
+        if ctx.columnar {
+            if let (Some(cb), Some(idxs)) = (input.cols(), kernels::column_indices(keys)) {
+                return KeySource::Cols(idxs.iter().map(|&i| &*cb.cols()[i]).collect());
+            }
+        }
+        KeySource::Rows {
+            rows: input.rows(),
+            keys,
+        }
+    }
+
+    fn key_at(&self, i: usize, outer: Option<&Env<'_>>, ctx: ExecCtx<'_>) -> Result<Key> {
+        match self {
+            KeySource::Cols(chunks) => {
+                let vals: Vec<Value> = chunks.iter().map(|c| c.value_at(i)).collect();
+                Ok(Key::from_values(&vals))
+            }
+            KeySource::Rows { rows, keys } => {
+                Ok(Key::from_values(&project_row(&rows[i], keys, outer, ctx)?))
+            }
+        }
+    }
+}
+
+/// Build the join hash table over the build side, partitioned across
+/// `workers` threads when above the parallel threshold. Workers extract
+/// keys per morsel and route `(key, row index)` pairs into per-partition
+/// buckets; a morsel-order transpose then hands each partition's pairs —
+/// in global row order — to one builder thread, so every key's index list
+/// is identical to the serial build's. NULL keys are skipped (SQL equality
 /// never matches them).
 fn build_join_table(
-    rows: &[Row],
+    input: &Batch,
     keys: &[BoundExpr],
     workers: usize,
     outer: Option<&Env<'_>>,
-    gov: Option<&Governor>,
+    ctx: ExecCtx<'_>,
 ) -> Result<PartitionedTable> {
+    let gov = ctx.gov;
+    let n = input.len();
+    let source = KeySource::for_batch(input, keys, ctx);
     let hasher = RandomState::new();
     if workers == 1 {
-        let mut table: HashMap<Key, Vec<usize>> = HashMap::with_capacity(rows.len());
-        for (i, row) in rows.iter().enumerate() {
+        let mut table: HashMap<Key, Vec<usize>> = HashMap::with_capacity(n);
+        for i in 0..n {
             tick(gov, "hash_join")?;
-            let key = Key::from_values(&project_row(row, keys, outer, gov)?);
+            let key = source.key_at(i, outer, ctx)?;
             if key.has_null() {
                 continue;
             }
@@ -909,20 +1074,19 @@ fn build_join_table(
     }
 
     let nparts = workers;
-    let morsel_buckets: Vec<Vec<Vec<(Key, usize)>>> =
-        parallel_morsels(rows.len(), workers, |_, range| {
-            let mut buckets: Vec<Vec<(Key, usize)>> = (0..nparts).map(|_| Vec::new()).collect();
-            for idx in range {
-                tick(gov, "hash_join")?;
-                let key = Key::from_values(&project_row(&rows[idx], keys, outer, gov)?);
-                if key.has_null() {
-                    continue;
-                }
-                let p = (hasher.hash_one(&key) as usize) % nparts;
-                buckets[p].push((key, idx));
+    let morsel_buckets: Vec<Vec<Vec<(Key, usize)>>> = parallel_morsels(n, workers, |_, range| {
+        let mut buckets: Vec<Vec<(Key, usize)>> = (0..nparts).map(|_| Vec::new()).collect();
+        for idx in range {
+            tick(gov, "hash_join")?;
+            let key = source.key_at(idx, outer, ctx)?;
+            if key.has_null() {
+                continue;
             }
-            Ok(buckets)
-        })?;
+            let p = (hasher.hash_one(&key) as usize) % nparts;
+            buckets[p].push((key, idx));
+        }
+        Ok(buckets)
+    })?;
     // Transpose morsel-major to partition-major; iterating morsels in order
     // keeps each partition's pairs in global row order.
     let mut per_part: Vec<Vec<(Key, usize)>> = (0..nparts).map(|_| Vec::new()).collect();
@@ -954,7 +1118,7 @@ fn exec_hash_join(
     outer: Option<&Env<'_>>,
     mut stats: Option<&mut NodeStats>,
     ctx: ExecCtx<'_>,
-) -> Result<Rows> {
+) -> Result<Batch> {
     let gov = ctx.gov;
     if let Some(s) = stats.as_deref_mut() {
         s.build_rows += right.len() as u64;
@@ -975,15 +1139,24 @@ fn exec_hash_join(
     // has an empty candidates side on nearly-consistent databases.)
     if right.is_empty() {
         return Ok(match kind {
-            JoinType::Inner | JoinType::Semi => Rows {
+            JoinType::Inner | JoinType::Semi => Batch::Owned(Rows {
                 schema: schema.clone(),
                 rows: Vec::new(),
-            },
+            }),
             JoinType::Anti => {
                 emit(left.len())?;
-                Rows {
-                    schema: schema.clone(),
-                    rows: left.into_rows().rows,
+                // Pass-through: keep the left batch's representation
+                // (columnar stays columnar), re-viewed under the join's
+                // schema.
+                match left {
+                    Batch::Col { cols, .. } => Batch::Col {
+                        cols,
+                        schema: schema.clone(),
+                    },
+                    Batch::Owned(r) => Batch::Owned(Rows {
+                        schema: schema.clone(),
+                        rows: r.rows,
+                    }),
                 }
             }
             JoinType::LeftOuter => {
@@ -998,33 +1171,32 @@ fn exec_hash_join(
                         row
                     })
                     .collect();
-                Rows {
+                Batch::Owned(Rows {
                     schema: schema.clone(),
                     rows,
-                }
+                })
             }
         });
     }
     if left.is_empty() {
-        return Ok(Rows {
+        return Ok(Batch::Owned(Rows {
             schema: schema.clone(),
             rows: Vec::new(),
-        });
+        }));
     }
 
     // Inner joins build the hash table on the smaller side; the output
     // column order (left ++ right) is preserved when emitting.
     if kind == JoinType::Inner && left.len() < right.len() && residual.is_none() {
-        return exec_hash_join_inner_swapped(
+        return Ok(Batch::Owned(exec_hash_join_inner_swapped(
             right, left, right_keys, left_keys, schema, outer, stats, ctx,
-        );
+        )?));
     }
 
     // Build on the right side, hash-partitioned across workers when large.
     faults::trip("join.build")?;
-    let right_rows = right.rows();
-    let build_workers = par_workers(right_rows.len(), ctx.threads);
-    let table = build_join_table(right_rows, right_keys, build_workers, outer, gov)?;
+    let build_workers = par_workers(right.len(), ctx.threads);
+    let table = build_join_table(&right, right_keys, build_workers, outer, ctx)?;
     if let Some(g) = gov {
         g.reserve_mem(table.bytes(), "hash_join")?;
     }
@@ -1033,11 +1205,71 @@ fn exec_hash_join(
     }
 
     faults::trip("join.probe")?;
-    let left_rows = left.rows();
-    let probe_workers = par_workers(left_rows.len(), ctx.threads);
+    let probe_workers = par_workers(left.len(), ctx.threads);
     if let Some(s) = stats.as_deref_mut() {
         s.threads_used = s.threads_used.max(build_workers.max(probe_workers) as u64);
     }
+    let left_source = KeySource::for_batch(&left, left_keys, ctx);
+
+    // Kernel path for semi/anti joins without residuals: probe straight
+    // off the key chunks, collect the surviving left row indices, and
+    // gather them into a columnar output — neither side is pivoted. This
+    // is the hot shape of ConQuer's rewritings (decorrelated EXISTS /
+    // NOT EXISTS).
+    if matches!(kind, JoinType::Semi | JoinType::Anti) && residual.is_none() && ctx.columnar {
+        if let Some(lcols) = left.cols() {
+            let probe_sel = |range: Range<usize>| -> Result<(Vec<u32>, u64)> {
+                let mut comparisons = 0u64;
+                let mut out = Vec::new();
+                for i in range {
+                    tick(gov, "hash_join")?;
+                    let key = left_source.key_at(i, outer, ctx)?;
+                    let matched = if key.has_null() {
+                        false
+                    } else if table.get(&key).is_some() {
+                        // The serial row path inspects exactly one
+                        // candidate before the semi/anti short-circuit.
+                        comparisons += 1;
+                        true
+                    } else {
+                        false
+                    };
+                    if matched == (kind == JoinType::Semi) {
+                        emit(1)?;
+                        out.push(i as u32);
+                    }
+                }
+                Ok((out, comparisons))
+            };
+            let (sel, comparisons) = if probe_workers == 1 {
+                probe_sel(0..left.len())?
+            } else {
+                let chunks =
+                    parallel_morsels(left.len(), probe_workers, |_, range| probe_sel(range))?;
+                let comparisons = chunks.iter().map(|(_, c)| c).sum();
+                (
+                    chunks
+                        .into_iter()
+                        .flat_map(|(sel, _)| sel)
+                        .collect::<Vec<u32>>(),
+                    comparisons,
+                )
+            };
+            if let Some(s) = stats {
+                s.comparisons += comparisons;
+            }
+            return Ok(Batch::Col {
+                cols: Arc::new(lcols.gather(&sel)),
+                schema: schema.clone(),
+            });
+        }
+    }
+
+    // Inner/outer output rows splice in right-side values; semi/anti with
+    // a residual evaluate it over the concatenated pair. Either way both
+    // sides pivot here (once, cached).
+    let left_rows = left.rows();
+    let right_rows = right.rows();
     let right_width = right.schema().len();
     // One probe morsel: the per-row matching logic is identical at any
     // thread count, and morsel outputs concatenate back to the serial
@@ -1046,9 +1278,10 @@ fn exec_hash_join(
     let probe_morsel = |range: Range<usize>| -> Result<(Vec<Row>, u64)> {
         let mut comparisons = 0u64;
         let mut out = Vec::new();
-        for lrow in &left_rows[range] {
+        for li in range {
+            let lrow = &left_rows[li];
             tick(gov, "hash_join")?;
-            let key = Key::from_values(&project_row(lrow, left_keys, outer, gov)?);
+            let key = left_source.key_at(li, outer, ctx)?;
             let matches = if key.has_null() {
                 None
             } else {
@@ -1065,7 +1298,7 @@ fn exec_hash_join(
                         Some(res) => {
                             let mut combined = lrow.clone();
                             combined.extend(right_rows[ri].iter().cloned());
-                            eval_predicate_on_row(res, &combined, outer, gov)? == Some(true)
+                            eval_predicate_on_row(res, &combined, outer, ctx)? == Some(true)
                         }
                     };
                     if !pass {
@@ -1118,10 +1351,10 @@ fn exec_hash_join(
     if let Some(s) = stats {
         s.comparisons += comparisons;
     }
-    Ok(Rows {
+    Ok(Batch::Owned(Rows {
         schema: schema.clone(),
         rows: out,
-    })
+    }))
 }
 
 /// Rough footprint of a join hash table: map entry overhead plus one
@@ -1153,9 +1386,9 @@ fn exec_hash_join_inner_swapped(
     let gov = ctx.gov;
     faults::trip("join.build")?;
     let row_bytes = est_row_bytes(schema);
+    let build_workers = par_workers(build.len(), ctx.threads);
+    let table = build_join_table(&build, build_keys, build_workers, outer, ctx)?;
     let build_rows = build.rows();
-    let build_workers = par_workers(build_rows.len(), ctx.threads);
-    let table = build_join_table(build_rows, build_keys, build_workers, outer, gov)?;
     if let Some(g) = gov {
         g.reserve_mem(table.bytes(), "hash_join")?;
     }
@@ -1169,6 +1402,7 @@ fn exec_hash_join_inner_swapped(
         });
     }
     faults::trip("join.probe")?;
+    let probe_source = KeySource::for_batch(&probe, probe_keys, ctx);
     let probe_rows = probe.rows();
     let probe_workers = par_workers(probe_rows.len(), ctx.threads);
     if let Some(s) = stats.as_deref_mut() {
@@ -1177,9 +1411,10 @@ fn exec_hash_join_inner_swapped(
     let probe_morsel = |range: Range<usize>| -> Result<(Vec<Row>, u64)> {
         let mut comparisons = 0u64;
         let mut out = Vec::new();
-        for prow in &probe_rows[range] {
+        for pi in range {
+            let prow = &probe_rows[pi];
             tick(gov, "hash_join")?;
-            let key = Key::from_values(&project_row(prow, probe_keys, outer, gov)?);
+            let key = probe_source.key_at(pi, outer, ctx)?;
             if key.has_null() {
                 continue;
             }
@@ -1265,7 +1500,7 @@ fn exec_nested_loop_join(
                 combined.extend(rrow.iter().cloned());
                 let pass = match on {
                     None => true,
-                    Some(cond) => eval_predicate_on_row(cond, &combined, outer, gov)? == Some(true),
+                    Some(cond) => eval_predicate_on_row(cond, &combined, outer, ctx)? == Some(true),
                 };
                 if !pass {
                     continue;
@@ -1445,6 +1680,98 @@ impl Accumulator {
         }
     }
 
+    /// Bulk `COUNT(*)`: every input row counts, NULL or not.
+    fn count_rows(&mut self, n: i64) {
+        if let Accumulator::Count(c) = self {
+            *c += n;
+        }
+    }
+
+    /// Fold `range` of a column chunk into the accumulator — the
+    /// vectorized inner loop of global aggregation. Typed loops cover the
+    /// hot combinations (COUNT over anything, SUM/MIN/MAX/AVG over integer
+    /// columns, AVG over float columns); everything else falls back to
+    /// per-value [`Accumulator::update`] over the chunk, which is still
+    /// pivot-free. Value-level semantics (NULL skipping, overflow, the
+    /// Int→Float SUM promotion) match the row path exactly.
+    fn update_column(&mut self, chunk: &ColumnChunk, range: Range<usize>) -> Result<()> {
+        match (&mut *self, &chunk.data) {
+            (Accumulator::Count(c), _) => {
+                let nulls = chunk.null_count_range(range.start, range.end);
+                *c += (range.len() - nulls) as i64;
+                return Ok(());
+            }
+            (Accumulator::SumInt { sum, seen }, ColumnData::Int(vals)) => {
+                for i in range {
+                    if chunk.is_null(i) {
+                        continue;
+                    }
+                    *sum = sum
+                        .checked_add(vals[i])
+                        .ok_or_else(|| EngineError::Eval("integer overflow in SUM".into()))?;
+                    *seen = true;
+                }
+                return Ok(());
+            }
+            (Accumulator::Avg { sum, count }, ColumnData::Int(vals)) => {
+                for i in range {
+                    if chunk.is_null(i) {
+                        continue;
+                    }
+                    sum.add_i64(vals[i]);
+                    *count += 1;
+                }
+                return Ok(());
+            }
+            (Accumulator::Avg { sum, count }, ColumnData::Float(vals)) => {
+                for i in range {
+                    if chunk.is_null(i) {
+                        continue;
+                    }
+                    sum.add(vals[i]);
+                    *count += 1;
+                }
+                return Ok(());
+            }
+            (Accumulator::MinMax { best, is_min }, ColumnData::Int(vals))
+                if matches!(best, None | Some(Value::Int(_))) =>
+            {
+                let mut cur: Option<i64> = match best {
+                    Some(Value::Int(b)) => Some(*b),
+                    _ => None,
+                };
+                for i in range {
+                    if chunk.is_null(i) {
+                        continue;
+                    }
+                    let v = vals[i];
+                    cur = Some(match cur {
+                        None => v,
+                        Some(b) => {
+                            if *is_min {
+                                b.min(v)
+                            } else {
+                                b.max(v)
+                            }
+                        }
+                    });
+                }
+                if let Some(b) = cur {
+                    *best = Some(Value::Int(b));
+                }
+                return Ok(());
+            }
+            _ => {}
+        }
+        for i in range {
+            if chunk.is_null(i) {
+                continue;
+            }
+            self.update(&chunk.value_at(i))?;
+        }
+        Ok(())
+    }
+
     /// Fold another partial state for the same aggregate spec into `self`
     /// (morsel-parallel aggregation). NULL-skipping semantics are encoded
     /// in the partial states already (`seen` flags, `count`s), so merging
@@ -1578,19 +1905,46 @@ impl GroupState {
         aggs: &[AggSpec],
         row: &[Value],
         outer: Option<&Env<'_>>,
-        gov: Option<&Governor>,
+        ctx: ExecCtx<'_>,
     ) -> Result<()> {
         for (i, spec) in aggs.iter().enumerate() {
             match &spec.arg {
                 None => self.accs[i].count_row(),
                 Some(arg) => {
-                    let v = eval_on_row(arg, row, outer, gov)?;
+                    let v = eval_on_row(arg, row, outer, ctx)?;
                     if let Some(seen) = &mut self.distinct_seen[i] {
                         if v.is_null() || !seen.insert(KeyValue::from(&v)) {
                             continue;
                         }
                     }
                     self.accs[i].update(&v)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Columnar twin of [`GroupState::update`]: aggregate arguments are
+    /// read straight from their column chunks (`argidx[k]` is the chunk
+    /// index for spec `k`, `None` for `COUNT(*)`).
+    fn update_cols(
+        &mut self,
+        aggs: &[AggSpec],
+        argidx: &[Option<usize>],
+        cols: &ColBatch,
+        i: usize,
+    ) -> Result<()> {
+        for (k, _spec) in aggs.iter().enumerate() {
+            match argidx[k] {
+                None => self.accs[k].count_row(),
+                Some(ci) => {
+                    let v = cols.col(ci).value_at(i);
+                    if let Some(seen) = &mut self.distinct_seen[k] {
+                        if v.is_null() || !seen.insert(KeyValue::from(&v)) {
+                            continue;
+                        }
+                    }
+                    self.accs[k].update(&v)?;
                 }
             }
         }
@@ -1612,18 +1966,74 @@ fn exec_aggregate(
     if let Some(s) = stats.as_deref_mut() {
         s.threads_used = s.threads_used.max(workers as u64);
     }
-    if workers > 1 {
-        return exec_aggregate_parallel(
-            input,
+    // Kernel path: plain-column group keys and aggregate arguments over a
+    // columnar input run without pivoting (typed bulk loops for global
+    // aggregates, chunk reads for grouped ones).
+    if ctx.columnar {
+        match exec_aggregate_columnar(
+            &input,
             group_exprs,
             aggs,
             schema,
-            outer,
-            stats,
+            stats.as_deref_mut(),
             ctx,
             workers,
+        ) {
+            Ok(Some(rows)) => return Ok(rows),
+            Ok(None) => {}
+            // Value-level errors replay on the row path so the reported
+            // error is the one the serial row-major scan hits first (the
+            // columnar path visits values column-major).
+            Err(EngineError::TypeError(_) | EngineError::Eval(_)) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let rows = input.rows();
+    if workers > 1 {
+        return aggregate_parallel(
+            rows.len(),
+            workers,
+            aggs,
+            group_exprs.is_empty(),
+            schema,
+            gov,
+            stats,
+            |i| project_row(&rows[i], group_exprs, outer, ctx),
+            |pg, i| pg.update(aggs, &rows[i], i, outer, ctx),
         );
     }
+    aggregate_serial(
+        rows.len(),
+        aggs,
+        group_exprs.is_empty(),
+        schema,
+        gov,
+        stats,
+        |i| project_row(&rows[i], group_exprs, outer, ctx),
+        |state, i| state.update(aggs, &rows[i], outer, ctx),
+    )
+}
+
+/// Serial grouped aggregation over `n` input positions. `group_vals_at`
+/// yields the group-key values for a position and `update` folds a
+/// position into its group's state; the two closures are the row/columnar
+/// switch (expression evaluation over pivoted rows vs direct chunk reads).
+/// Group output order is first-seen order, deterministic either way.
+#[allow(clippy::too_many_arguments)]
+fn aggregate_serial<GV, UP>(
+    n: usize,
+    aggs: &[AggSpec],
+    group_is_empty: bool,
+    schema: &Schema,
+    gov: Option<&Governor>,
+    stats: Option<&mut NodeStats>,
+    group_vals_at: GV,
+    mut update: UP,
+) -> Result<Rows>
+where
+    GV: Fn(usize) -> Result<Row>,
+    UP: FnMut(&mut GroupState, usize) -> Result<()>,
+{
     let mut groups: HashMap<Key, (Row, GroupState)> = HashMap::new();
     // Preserve first-seen group order for deterministic output.
     let mut order: Vec<Key> = Vec::new();
@@ -1633,15 +2043,15 @@ fn exec_aggregate(
     // BY trips the budget while building rather than after.
     let mut reserved_cap = 0usize;
 
-    for row in input.rows() {
+    for i in 0..n {
         tick(gov, "aggregate")?;
-        let group_vals = project_row(row, group_exprs, outer, gov)?;
+        let group_vals = group_vals_at(i)?;
         let key = Key::from_values(&group_vals);
         match groups.entry(key.clone()) {
-            Entry::Occupied(mut e) => e.get_mut().1.update(aggs, row, outer, gov)?,
+            Entry::Occupied(mut e) => update(&mut e.get_mut().1, i)?,
             Entry::Vacant(e) => {
                 let mut state = GroupState::new(aggs);
-                state.update(aggs, row, outer, gov)?;
+                update(&mut state, i)?;
                 e.insert((group_vals, state));
                 order.push(key);
             }
@@ -1658,13 +2068,13 @@ fn exec_aggregate(
     }
 
     if let Some(s) = stats {
-        s.build_rows += input.len() as u64;
+        s.build_rows += n as u64;
         s.est_mem_bytes += (groups.capacity() * per_group) as u64;
     }
 
     // A global aggregate (no GROUP BY) over zero rows yields one row of
     // "empty" aggregate values.
-    if group_exprs.is_empty() && groups.is_empty() {
+    if group_is_empty && groups.is_empty() {
         return Ok(Rows {
             schema: schema.clone(),
             rows: vec![empty_aggregate_row(aggs)],
@@ -1684,6 +2094,113 @@ fn exec_aggregate(
         schema: schema.clone(),
         rows: out,
     })
+}
+
+/// The columnar aggregation dispatch: `Ok(None)` means "not applicable,
+/// run the row path" (row-shaped input, or a group key / aggregate
+/// argument that is not a plain column).
+fn exec_aggregate_columnar(
+    input: &Batch,
+    group_exprs: &[BoundExpr],
+    aggs: &[AggSpec],
+    schema: &Schema,
+    mut stats: Option<&mut NodeStats>,
+    ctx: ExecCtx<'_>,
+    workers: usize,
+) -> Result<Option<Rows>> {
+    let gov = ctx.gov;
+    let Some(cols) = input.cols() else {
+        return Ok(None);
+    };
+    let Some(gidx) = kernels::column_indices(group_exprs) else {
+        return Ok(None);
+    };
+    let mut argidx: Vec<Option<usize>> = Vec::with_capacity(aggs.len());
+    for spec in aggs {
+        match &spec.arg {
+            None => argidx.push(None),
+            Some(BoundExpr::Column { depth: 0, index }) => argidx.push(Some(*index)),
+            Some(_) => return Ok(None),
+        }
+    }
+    let n = cols.len();
+
+    // Global aggregates without DISTINCT: one typed bulk pass per argument
+    // column ([`Accumulator::update_column`]), morsel-parallel partials
+    // merged exactly like the row path's.
+    if gidx.is_empty() && aggs.iter().all(|a| !a.distinct) {
+        let run = |accs: &mut Vec<Accumulator>, range: Range<usize>| -> Result<()> {
+            ticks(gov, range.len() as u64, "aggregate")?;
+            for (acc, ai) in accs.iter_mut().zip(&argidx) {
+                match ai {
+                    None => acc.count_rows(range.len() as i64),
+                    Some(ci) => acc.update_column(cols.col(*ci), range.clone())?,
+                }
+            }
+            Ok(())
+        };
+        let mut accs: Vec<Accumulator> = aggs.iter().map(|a| Accumulator::new(a.func)).collect();
+        if workers == 1 {
+            run(&mut accs, 0..n)?;
+        } else {
+            let partials = parallel_fold(
+                n,
+                workers,
+                || {
+                    aggs.iter()
+                        .map(|a| Accumulator::new(a.func))
+                        .collect::<Vec<_>>()
+                },
+                |acc, range| run(acc, range),
+            )?;
+            for partial in partials {
+                for (acc, part) in accs.iter_mut().zip(partial) {
+                    acc.merge(part)?;
+                }
+            }
+        }
+        if let Some(s) = stats.as_deref_mut() {
+            s.build_rows += n as u64;
+        }
+        let row: Row = accs.into_iter().map(Accumulator::finish).collect();
+        // Over zero rows the fresh accumulators finish to exactly the
+        // "empty" aggregate row the row path emits.
+        return Ok(Some(Rows {
+            schema: schema.clone(),
+            rows: vec![row],
+        }));
+    }
+
+    // Grouped (or DISTINCT) aggregation: group keys read from the key
+    // chunks, arguments from theirs — the same first-seen-order machinery
+    // as the row path, minus the pivot.
+    let group_vals_at =
+        |i: usize| -> Result<Row> { Ok(gidx.iter().map(|&c| cols.col(c).value_at(i)).collect()) };
+    let out = if workers > 1 {
+        aggregate_parallel(
+            n,
+            workers,
+            aggs,
+            group_exprs.is_empty(),
+            schema,
+            gov,
+            stats,
+            group_vals_at,
+            |pg, i| pg.update_cols(aggs, &argidx, cols, i),
+        )?
+    } else {
+        aggregate_serial(
+            n,
+            aggs,
+            group_exprs.is_empty(),
+            schema,
+            gov,
+            stats,
+            group_vals_at,
+            |state, i| state.update_cols(aggs, &argidx, cols, i),
+        )?
+    };
+    Ok(Some(out))
 }
 
 /// Group table footprint: per-group key, group values, accumulators.
@@ -1743,13 +2260,13 @@ impl PartialGroup {
         row: &[Value],
         row_idx: usize,
         outer: Option<&Env<'_>>,
-        gov: Option<&Governor>,
+        ctx: ExecCtx<'_>,
     ) -> Result<()> {
         for (i, spec) in aggs.iter().enumerate() {
             match &spec.arg {
                 None => self.accs[i].count_row(),
                 Some(arg) => {
-                    let v = eval_on_row(arg, row, outer, gov)?;
+                    let v = eval_on_row(arg, row, outer, ctx)?;
                     if let Some(seen) = &mut self.distinct[i] {
                         if !v.is_null() {
                             // First occurrence wins; a worker's row indexes
@@ -1758,6 +2275,33 @@ impl PartialGroup {
                         }
                     } else {
                         self.accs[i].update(&v)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Columnar twin of [`PartialGroup::update`]: arguments come from
+    /// their column chunks instead of a pivoted row.
+    fn update_cols(
+        &mut self,
+        aggs: &[AggSpec],
+        argidx: &[Option<usize>],
+        cols: &ColBatch,
+        row_idx: usize,
+    ) -> Result<()> {
+        for (k, _spec) in aggs.iter().enumerate() {
+            match argidx[k] {
+                None => self.accs[k].count_row(),
+                Some(ci) => {
+                    let v = cols.col(ci).value_at(row_idx);
+                    if let Some(seen) = &mut self.distinct[k] {
+                        if !v.is_null() {
+                            seen.entry(KeyValue::from(&v)).or_insert((row_idx, v));
+                        }
+                    } else {
+                        self.accs[k].update(&v)?;
                     }
                 }
             }
@@ -1816,18 +2360,21 @@ fn finish_partial_group(mut pg: PartialGroup) -> Result<Row> {
 /// tables ([`Accumulator::merge`]) and emits groups ordered by global
 /// first-seen row index — the exact group order of the serial path.
 #[allow(clippy::too_many_arguments)]
-fn exec_aggregate_parallel(
-    input: Batch,
-    group_exprs: &[BoundExpr],
-    aggs: &[AggSpec],
-    schema: &Schema,
-    outer: Option<&Env<'_>>,
-    stats: Option<&mut NodeStats>,
-    ctx: ExecCtx<'_>,
+fn aggregate_parallel<GV, UP>(
+    n: usize,
     workers: usize,
-) -> Result<Rows> {
-    let gov = ctx.gov;
-    let rows = input.rows();
+    aggs: &[AggSpec],
+    group_is_empty: bool,
+    schema: &Schema,
+    gov: Option<&Governor>,
+    stats: Option<&mut NodeStats>,
+    group_vals_at: GV,
+    update: UP,
+) -> Result<Rows>
+where
+    GV: Fn(usize) -> Result<Row> + Sync,
+    UP: Fn(&mut PartialGroup, usize) -> Result<()> + Sync,
+{
     let per_group = group_footprint(aggs);
 
     struct WorkerTable {
@@ -1835,7 +2382,7 @@ fn exec_aggregate_parallel(
         reserved_cap: usize,
     }
     let tables = parallel_fold(
-        rows.len(),
+        n,
         workers,
         || WorkerTable {
             groups: HashMap::new(),
@@ -1844,16 +2391,15 @@ fn exec_aggregate_parallel(
         |acc, range| {
             for idx in range {
                 tick(gov, "aggregate")?;
-                let row = &rows[idx];
-                let group_vals = project_row(row, group_exprs, outer, gov)?;
+                let group_vals = group_vals_at(idx)?;
                 let key = Key::from_values(&group_vals);
                 match acc.groups.entry(key) {
                     Entry::Occupied(mut e) => {
-                        e.get_mut().update(aggs, row, idx, outer, gov)?;
+                        update(e.get_mut(), idx)?;
                     }
                     Entry::Vacant(e) => {
                         let pg = e.insert(PartialGroup::new(idx, group_vals, aggs));
-                        pg.update(aggs, row, idx, outer, gov)?;
+                        update(pg, idx)?;
                     }
                 }
                 if acc.groups.capacity() > acc.reserved_cap {
@@ -1875,7 +2421,7 @@ fn exec_aggregate_parallel(
         .map(|t| (t.groups.capacity() * per_group) as u64)
         .sum();
     if let Some(s) = stats {
-        s.build_rows += rows.len() as u64;
+        s.build_rows += n as u64;
         s.est_mem_bytes += est_mem;
     }
 
@@ -1893,7 +2439,7 @@ fn exec_aggregate_parallel(
         }
     }
 
-    if group_exprs.is_empty() && merged.is_empty() {
+    if group_is_empty && merged.is_empty() {
         return Ok(Rows {
             schema: schema.clone(),
             rows: vec![empty_aggregate_row(aggs)],
@@ -1949,16 +2495,17 @@ fn exec_sort(
     mut input: Rows,
     keys: &[(BoundExpr, bool)],
     outer: Option<&Env<'_>>,
-    gov: Option<&Governor>,
+    ctx: ExecCtx<'_>,
     workers: usize,
 ) -> Result<Rows> {
+    let gov = ctx.gov;
     if workers == 1 {
         let mut decorated: Vec<(Vec<Value>, Row)> = Vec::with_capacity(input.rows.len());
         for row in input.rows.drain(..) {
             tick(gov, "sort")?;
             let mut kv = Vec::with_capacity(keys.len());
             for (expr, _) in keys {
-                kv.push(eval_on_row(expr, &row, outer, gov)?);
+                kv.push(eval_on_row(expr, &row, outer, ctx)?);
             }
             decorated.push((kv, row));
         }
@@ -1977,7 +2524,7 @@ fn exec_sort(
             tick(gov, "sort")?;
             let mut kv = Vec::with_capacity(keys.len());
             for (expr, _) in keys {
-                kv.push(eval_on_row(expr, &rows[idx], outer, gov)?);
+                kv.push(eval_on_row(expr, &rows[idx], outer, ctx)?);
             }
             out.push(kv);
         }

@@ -92,17 +92,13 @@ fn walk(plan: &Plan, stats: Option<&NodeStats>, analyze: bool, depth: usize, out
 /// source names).
 pub fn node_label(plan: &Plan) -> String {
     match plan {
-        Plan::Scan { rows, schema } => {
+        Plan::Scan { cols, schema } => {
             let name = schema
                 .columns
                 .first()
                 .and_then(|c| c.qualifier.as_deref())
                 .unwrap_or("?");
-            format!(
-                "Scan {name} [{} rows, {} cols]",
-                rows.rows.len(),
-                schema.len()
-            )
+            format!("Scan {name} [{} rows, {} cols]", cols.len(), schema.len())
         }
         Plan::Unit => "Unit".to_string(),
         Plan::Filter { .. } => "Filter".to_string(),

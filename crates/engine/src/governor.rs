@@ -227,6 +227,25 @@ impl Governor {
         Ok(())
     }
 
+    /// Bulk equivalent of [`tick`](Governor::tick) for vectorized kernels:
+    /// account `n` units of work in one relaxed add and run the full check
+    /// whenever the counter crosses a [`CHECK_EVERY`] boundary. A kernel
+    /// that processes a whole morsel in a tight loop calls this once per
+    /// morsel instead of once per row, with the same cancellation
+    /// granularity the row path gets (morsels are ≤ 1024 rows, a few
+    /// multiples of the check interval).
+    #[inline]
+    pub fn ticks(&self, n: u64, op: &'static str) -> Result<()> {
+        if n == 0 {
+            return Ok(());
+        }
+        let before = self.work.fetch_add(n, Ordering::Relaxed);
+        if before / CHECK_EVERY != before.saturating_add(n) / CHECK_EVERY {
+            self.check_now(op)?;
+        }
+        Ok(())
+    }
+
     /// Immediate timeout + cancellation check (used at operator entry and
     /// by `tick` on its check interval).
     pub fn check_now(&self, op: &'static str) -> Result<()> {

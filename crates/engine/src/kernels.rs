@@ -1,0 +1,1075 @@
+//! Vectorized predicate kernels over [`ColBatch`].
+//!
+//! A bound predicate is *compiled* against a specific batch (column chunk
+//! layouts are runtime properties — a demoted `Any` column compiles to
+//! nothing) into a small tree of typed comparison nodes. Evaluation runs
+//! tight per-column loops producing a three-state mask — true / null /
+//! error bits packed in `u64` words — and the filter turns the true bits
+//! into a selection vector of row indices.
+//!
+//! Semantics are bit-identical to the row-at-a-time path, including
+//! errors: AND/OR reproduce SQL short-circuit reachability (a row whose
+//! left conjunct is `false` never observes an error in the right
+//! conjunct), and when an error bit survives to the top the original
+//! expression is re-evaluated on that single pivoted row so the error
+//! message is the row path's own. Compilation returns `None` for any
+//! shape it can't reproduce exactly — subqueries, arithmetic, `Any`
+//! columns, cross-type comparisons — and the executor falls back to rows.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use conquer_sql::ast::BinaryOp;
+
+use crate::col::{ColBatch, ColumnData};
+use crate::error::{EngineError, Result};
+use crate::expr::{like_match, BoundExpr, Env};
+use crate::value::{cmp_i64_f64, Value};
+
+/// Extract plain current-row column indices from expressions, or `None`
+/// if any expression is not a depth-0 column reference. Used to route
+/// projections, join keys, and aggregate arguments to columnar paths.
+pub fn column_indices(exprs: &[BoundExpr]) -> Option<Vec<usize>> {
+    exprs
+        .iter()
+        .map(|e| match e {
+            BoundExpr::Column { depth: 0, index } => Some(*index),
+            _ => None,
+        })
+        .collect()
+}
+
+/// A comparison operator normalized to `column op literal` form.
+#[derive(Debug, Clone, Copy)]
+enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    fn from_ast(op: BinaryOp) -> Option<CmpOp> {
+        Some(match op {
+            BinaryOp::Eq => CmpOp::Eq,
+            BinaryOp::NotEq => CmpOp::Ne,
+            BinaryOp::Lt => CmpOp::Lt,
+            BinaryOp::LtEq => CmpOp::Le,
+            BinaryOp::Gt => CmpOp::Gt,
+            BinaryOp::GtEq => CmpOp::Ge,
+            _ => return None,
+        })
+    }
+
+    /// Mirror the operator across the comparison (`lit op col` becomes
+    /// `col flip(op) lit`).
+    fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    #[inline]
+    fn passes(self, ord: std::cmp::Ordering) -> bool {
+        match self {
+            CmpOp::Eq => ord.is_eq(),
+            CmpOp::Ne => !ord.is_eq(),
+            CmpOp::Lt => ord.is_lt(),
+            CmpOp::Le => ord.is_le(),
+            CmpOp::Gt => ord.is_gt(),
+            CmpOp::Ge => ord.is_ge(),
+        }
+    }
+}
+
+/// Compiled predicate node. Every variant's evaluation is either
+/// infallible or records failures as error bits with row-path parity.
+#[derive(Debug)]
+enum Node {
+    /// A bare boolean column used as the predicate.
+    BoolCol {
+        col: usize,
+    },
+    IsNull {
+        col: usize,
+        negated: bool,
+    },
+    /// Int column vs int literal.
+    CmpII {
+        col: usize,
+        op: CmpOp,
+        lit: i64,
+    },
+    /// Int column vs (non-NaN) float literal.
+    CmpIF {
+        col: usize,
+        op: CmpOp,
+        lit: f64,
+    },
+    /// Float column vs (non-NaN) float literal; NaN cells error.
+    CmpFF {
+        col: usize,
+        op: CmpOp,
+        lit: f64,
+    },
+    /// Float column vs int literal; NaN cells error.
+    CmpFI {
+        col: usize,
+        op: CmpOp,
+        lit: i64,
+    },
+    CmpDD {
+        col: usize,
+        op: CmpOp,
+        lit: i32,
+    },
+    CmpBB {
+        col: usize,
+        op: CmpOp,
+        lit: bool,
+    },
+    /// Text column: per-dictionary-code verdicts precomputed at compile
+    /// time (covers comparisons and LIKE). NULL cells stay null.
+    TextPass {
+        col: usize,
+        pass: Vec<bool>,
+    },
+    /// `col [NOT] IN (int literals)`.
+    InInt {
+        col: usize,
+        items: Vec<i64>,
+        has_null: bool,
+        negated: bool,
+    },
+    /// `col [NOT] IN (date literals)`.
+    InDate {
+        col: usize,
+        items: Vec<i32>,
+        has_null: bool,
+        negated: bool,
+    },
+    /// `col [NOT] IN (text literals)` with per-code membership.
+    InText {
+        col: usize,
+        pass: Vec<bool>,
+        has_null: bool,
+        negated: bool,
+    },
+    And(Box<Node>, Box<Node>),
+    Or(Box<Node>, Box<Node>),
+    Not(Box<Node>),
+}
+
+/// Three-state result mask over a row range: `t` = predicate true,
+/// `n` = unknown (NULL), `e` = evaluation error reached this row. Bits
+/// not covered by `t | n | e` mean false. Bit `k` is row `start + k`.
+struct TriMask {
+    t: Vec<u64>,
+    n: Vec<u64>,
+    e: Vec<u64>,
+    len: usize,
+}
+
+impl TriMask {
+    fn new(len: usize) -> TriMask {
+        let words = len.div_ceil(64);
+        TriMask {
+            t: vec![0; words],
+            n: vec![0; words],
+            e: vec![0; words],
+            len,
+        }
+    }
+
+    #[inline]
+    fn set_t(&mut self, k: usize) {
+        self.t[k / 64] |= 1 << (k % 64);
+    }
+
+    #[inline]
+    fn set_n(&mut self, k: usize) {
+        self.n[k / 64] |= 1 << (k % 64);
+    }
+
+    #[inline]
+    fn set_e(&mut self, k: usize) {
+        self.e[k / 64] |= 1 << (k % 64);
+    }
+
+    /// All-ones mask for word `w` restricted to valid bit positions.
+    #[inline]
+    fn word_mask(&self, w: usize) -> u64 {
+        let last = self.len.div_ceil(64).saturating_sub(1);
+        if w == last && !self.len.is_multiple_of(64) {
+            (1u64 << (self.len % 64)) - 1
+        } else {
+            u64::MAX
+        }
+    }
+
+    /// SQL three-valued AND with short-circuit error reachability: a row
+    /// whose left side is `false` (or already failed) never reaches the
+    /// right side.
+    fn and(mut self, r: TriMask) -> TriMask {
+        for w in 0..self.t.len() {
+            let (tl, nl, el) = (self.t[w], self.n[w], self.e[w]);
+            let (tr, nr, er) = (r.t[w], r.n[w], r.e[w]);
+            let reach_r = (tl | nl) & !el;
+            let e = el | (reach_r & er);
+            self.e[w] = e;
+            self.t[w] = tl & tr & !e;
+            self.n[w] = ((nl & (nr | tr)) | (tl & nr)) & !e;
+        }
+        self
+    }
+
+    /// SQL three-valued OR; a row whose left side is `true` never
+    /// reaches the right side.
+    fn or(mut self, r: TriMask) -> TriMask {
+        for w in 0..self.t.len() {
+            let (tl, nl, el) = (self.t[w], self.n[w], self.e[w]);
+            let (tr, nr, er) = (r.t[w], r.n[w], r.e[w]);
+            let reach_r = !tl & !el & self.word_mask(w);
+            let e = el | (reach_r & er);
+            self.e[w] = e;
+            let t = (tl | (reach_r & tr)) & !e;
+            self.t[w] = t;
+            self.n[w] = (nl | nr) & !t & !e & self.word_mask(w);
+        }
+        self
+    }
+
+    fn not(mut self) -> TriMask {
+        for w in 0..self.t.len() {
+            let mask = self.word_mask(w);
+            let f = !self.t[w] & !self.n[w] & !self.e[w] & mask;
+            self.t[w] = f;
+        }
+        self
+    }
+
+    #[inline]
+    fn get(&self, words: &[u64], k: usize) -> bool {
+        words[k / 64] & (1 << (k % 64)) != 0
+    }
+}
+
+/// A predicate compiled for one specific batch. Holds the source
+/// expression so error rows can be re-evaluated for exact messages.
+pub struct Pred<'a> {
+    root: Node,
+    expr: &'a BoundExpr,
+}
+
+/// Compile `expr` against `batch`'s column layout. `None` means the
+/// expression (or the data it touches) can't be vectorized faithfully.
+pub fn compile_predicate<'a>(expr: &'a BoundExpr, batch: &ColBatch) -> Option<Pred<'a>> {
+    compile_node(expr, batch).map(|root| Pred { root, expr })
+}
+
+fn col_index(e: &BoundExpr) -> Option<usize> {
+    match e {
+        BoundExpr::Column { depth: 0, index } => Some(*index),
+        _ => None,
+    }
+}
+
+fn literal(e: &BoundExpr) -> Option<&Value> {
+    match e {
+        BoundExpr::Literal(v) => Some(v),
+        _ => None,
+    }
+}
+
+fn compile_node(e: &BoundExpr, batch: &ColBatch) -> Option<Node> {
+    match e {
+        BoundExpr::Binary {
+            op: BinaryOp::And,
+            left,
+            right,
+        } => Some(Node::And(
+            Box::new(compile_node(left, batch)?),
+            Box::new(compile_node(right, batch)?),
+        )),
+        BoundExpr::Binary {
+            op: BinaryOp::Or,
+            left,
+            right,
+        } => Some(Node::Or(
+            Box::new(compile_node(left, batch)?),
+            Box::new(compile_node(right, batch)?),
+        )),
+        BoundExpr::Not(inner) => Some(Node::Not(Box::new(compile_node(inner, batch)?))),
+        BoundExpr::Binary { op, left, right } => {
+            let op = CmpOp::from_ast(*op)?;
+            // Normalize to `col op lit`.
+            let (col, lit, op) = if let (Some(c), Some(l)) = (col_index(left), literal(right)) {
+                (c, l, op)
+            } else if let (Some(c), Some(l)) = (col_index(right), literal(left)) {
+                (c, l, op.flip())
+            } else {
+                return None;
+            };
+            compile_cmp(col, op, lit, batch)
+        }
+        BoundExpr::IsNull { expr, negated } => {
+            let col = col_index(expr)?;
+            if matches!(batch.col(col).data, ColumnData::Any(_)) {
+                return None;
+            }
+            Some(Node::IsNull {
+                col,
+                negated: *negated,
+            })
+        }
+        BoundExpr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let col = col_index(expr)?;
+            compile_in_list(col, list, *negated, batch)
+        }
+        BoundExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            let col = col_index(expr)?;
+            let Value::Str(pat) = literal(pattern)? else {
+                return None;
+            };
+            let ColumnData::Text { dict, .. } = &batch.col(col).data else {
+                return None;
+            };
+            let pass = dict
+                .strings()
+                .iter()
+                .map(|s| like_match(s, pat) != *negated)
+                .collect();
+            Some(Node::TextPass { col, pass })
+        }
+        BoundExpr::Column { depth: 0, index } => {
+            // A boolean column used directly as the predicate.
+            if matches!(batch.col(*index).data, ColumnData::Bool(_)) {
+                Some(Node::BoolCol { col: *index })
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+fn compile_cmp(col: usize, op: CmpOp, lit: &Value, batch: &ColBatch) -> Option<Node> {
+    match (&batch.col(col).data, lit) {
+        (ColumnData::Int(_), Value::Int(x)) => Some(Node::CmpII { col, op, lit: *x }),
+        (ColumnData::Int(_), Value::Float(x)) if !x.is_nan() => {
+            Some(Node::CmpIF { col, op, lit: *x })
+        }
+        (ColumnData::Float(_), Value::Float(x)) if !x.is_nan() => {
+            Some(Node::CmpFF { col, op, lit: *x })
+        }
+        (ColumnData::Float(_), Value::Int(x)) => Some(Node::CmpFI { col, op, lit: *x }),
+        (ColumnData::Date(_), Value::Date(x)) => Some(Node::CmpDD { col, op, lit: *x }),
+        (ColumnData::Bool(_), Value::Bool(x)) => Some(Node::CmpBB { col, op, lit: *x }),
+        (ColumnData::Text { dict, .. }, Value::Str(lit)) => {
+            let pass = dict
+                .strings()
+                .iter()
+                .map(|s| op.passes(s.as_ref().cmp(lit.as_ref())))
+                .collect();
+            Some(Node::TextPass { col, pass })
+        }
+        // NULL literals, NaN literals, and cross-type comparisons keep
+        // their row-path semantics via fallback.
+        _ => None,
+    }
+}
+
+fn compile_in_list(
+    col: usize,
+    list: &[BoundExpr],
+    negated: bool,
+    batch: &ColBatch,
+) -> Option<Node> {
+    let mut has_null = false;
+    let mut values: Vec<&Value> = Vec::with_capacity(list.len());
+    for item in list {
+        match literal(item)? {
+            Value::Null => has_null = true,
+            v => values.push(v),
+        }
+    }
+    match &batch.col(col).data {
+        ColumnData::Int(_) => {
+            let items: Option<Vec<i64>> = values
+                .iter()
+                .map(|v| match v {
+                    Value::Int(x) => Some(*x),
+                    _ => None,
+                })
+                .collect();
+            Some(Node::InInt {
+                col,
+                items: items?,
+                has_null,
+                negated,
+            })
+        }
+        ColumnData::Date(_) => {
+            let items: Option<Vec<i32>> = values
+                .iter()
+                .map(|v| match v {
+                    Value::Date(x) => Some(*x),
+                    _ => None,
+                })
+                .collect();
+            Some(Node::InDate {
+                col,
+                items: items?,
+                has_null,
+                negated,
+            })
+        }
+        ColumnData::Text { dict, .. } => {
+            let strs: Option<Vec<&Arc<str>>> = values
+                .iter()
+                .map(|v| match v {
+                    Value::Str(s) => Some(s),
+                    _ => None,
+                })
+                .collect();
+            let strs = strs?;
+            let pass = dict
+                .strings()
+                .iter()
+                .map(|s| strs.iter().any(|item| item.as_ref() == s.as_ref()))
+                .collect();
+            Some(Node::InText {
+                col,
+                pass,
+                has_null,
+                negated,
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Fold IN-list three-valued semantics (found / unknown / not found)
+/// plus negation into (t, n) bits.
+#[inline]
+fn in_verdict(found: bool, has_null: bool, negated: bool) -> (bool, bool) {
+    let raw = if found {
+        Some(true)
+    } else if has_null {
+        None
+    } else {
+        Some(false)
+    };
+    let v = if negated { raw.map(|b| !b) } else { raw };
+    (v == Some(true), v.is_none())
+}
+
+impl Node {
+    /// Evaluate over the range. `None` means the batch's chunk layout
+    /// did not match the compiled node (cannot happen for a batch the
+    /// predicate was compiled against; kept panic-free regardless), and
+    /// the caller falls back to row-at-a-time evaluation.
+    fn eval(&self, batch: &ColBatch, range: Range<usize>) -> Option<TriMask> {
+        let len = range.len();
+        let mut m = TriMask::new(len);
+        match self {
+            Node::And(l, r) => {
+                return Some(l.eval(batch, range.clone())?.and(r.eval(batch, range)?))
+            }
+            Node::Or(l, r) => return Some(l.eval(batch, range.clone())?.or(r.eval(batch, range)?)),
+            Node::Not(x) => return Some(x.eval(batch, range)?.not()),
+            Node::BoolCol { col } => {
+                let chunk = batch.col(*col);
+                if let ColumnData::Bool(xs) = &chunk.data {
+                    for (k, i) in range.enumerate() {
+                        if chunk.is_null(i) {
+                            m.set_n(k);
+                        } else if xs[i] {
+                            m.set_t(k);
+                        }
+                    }
+                } else {
+                    return None;
+                }
+            }
+            Node::IsNull { col, negated } => {
+                let chunk = batch.col(*col);
+                for (k, i) in range.enumerate() {
+                    if chunk.is_null(i) != *negated {
+                        m.set_t(k);
+                    }
+                }
+            }
+            Node::CmpII { col, op, lit } => {
+                let chunk = batch.col(*col);
+                if let ColumnData::Int(xs) = &chunk.data {
+                    for (k, i) in range.enumerate() {
+                        if chunk.is_null(i) {
+                            m.set_n(k);
+                        } else if op.passes(xs[i].cmp(lit)) {
+                            m.set_t(k);
+                        }
+                    }
+                } else {
+                    return None;
+                }
+            }
+            Node::CmpIF { col, op, lit } => {
+                let chunk = batch.col(*col);
+                if let ColumnData::Int(xs) = &chunk.data {
+                    for (k, i) in range.enumerate() {
+                        if chunk.is_null(i) {
+                            m.set_n(k);
+                        } else {
+                            // lit is non-NaN, so this cannot fail.
+                            match cmp_i64_f64(xs[i], *lit) {
+                                Ok(ord) if op.passes(ord) => m.set_t(k),
+                                Ok(_) => {}
+                                Err(_) => m.set_e(k),
+                            }
+                        }
+                    }
+                } else {
+                    return None;
+                }
+            }
+            Node::CmpFF { col, op, lit } => {
+                let chunk = batch.col(*col);
+                if let ColumnData::Float(xs) = &chunk.data {
+                    for (k, i) in range.enumerate() {
+                        if chunk.is_null(i) {
+                            m.set_n(k);
+                        } else {
+                            match xs[i].partial_cmp(lit) {
+                                Some(ord) if op.passes(ord) => m.set_t(k),
+                                Some(_) => {}
+                                None => m.set_e(k), // NaN cell
+                            }
+                        }
+                    }
+                } else {
+                    return None;
+                }
+            }
+            Node::CmpFI { col, op, lit } => {
+                let chunk = batch.col(*col);
+                if let ColumnData::Float(xs) = &chunk.data {
+                    for (k, i) in range.enumerate() {
+                        if chunk.is_null(i) {
+                            m.set_n(k);
+                        } else {
+                            match cmp_i64_f64(*lit, xs[i]) {
+                                Ok(ord) if op.passes(ord.reverse()) => m.set_t(k),
+                                Ok(_) => {}
+                                Err(_) => m.set_e(k), // NaN cell
+                            }
+                        }
+                    }
+                } else {
+                    return None;
+                }
+            }
+            Node::CmpDD { col, op, lit } => {
+                let chunk = batch.col(*col);
+                if let ColumnData::Date(xs) = &chunk.data {
+                    for (k, i) in range.enumerate() {
+                        if chunk.is_null(i) {
+                            m.set_n(k);
+                        } else if op.passes(xs[i].cmp(lit)) {
+                            m.set_t(k);
+                        }
+                    }
+                } else {
+                    return None;
+                }
+            }
+            Node::CmpBB { col, op, lit } => {
+                let chunk = batch.col(*col);
+                if let ColumnData::Bool(xs) = &chunk.data {
+                    for (k, i) in range.enumerate() {
+                        if chunk.is_null(i) {
+                            m.set_n(k);
+                        } else if op.passes(xs[i].cmp(lit)) {
+                            m.set_t(k);
+                        }
+                    }
+                } else {
+                    return None;
+                }
+            }
+            Node::TextPass { col, pass } => {
+                let chunk = batch.col(*col);
+                if let ColumnData::Text { codes, .. } = &chunk.data {
+                    for (k, i) in range.enumerate() {
+                        if chunk.is_null(i) {
+                            m.set_n(k);
+                        } else if pass[codes[i] as usize] {
+                            m.set_t(k);
+                        }
+                    }
+                } else {
+                    return None;
+                }
+            }
+            Node::InInt {
+                col,
+                items,
+                has_null,
+                negated,
+            } => {
+                let chunk = batch.col(*col);
+                if let ColumnData::Int(xs) = &chunk.data {
+                    for (k, i) in range.enumerate() {
+                        if chunk.is_null(i) {
+                            m.set_n(k);
+                        } else {
+                            let found = items.contains(&xs[i]);
+                            let (t, n) = in_verdict(found, *has_null, *negated);
+                            if t {
+                                m.set_t(k);
+                            } else if n {
+                                m.set_n(k);
+                            }
+                        }
+                    }
+                } else {
+                    return None;
+                }
+            }
+            Node::InDate {
+                col,
+                items,
+                has_null,
+                negated,
+            } => {
+                let chunk = batch.col(*col);
+                if let ColumnData::Date(xs) = &chunk.data {
+                    for (k, i) in range.enumerate() {
+                        if chunk.is_null(i) {
+                            m.set_n(k);
+                        } else {
+                            let found = items.contains(&xs[i]);
+                            let (t, n) = in_verdict(found, *has_null, *negated);
+                            if t {
+                                m.set_t(k);
+                            } else if n {
+                                m.set_n(k);
+                            }
+                        }
+                    }
+                } else {
+                    return None;
+                }
+            }
+            Node::InText {
+                col,
+                pass,
+                has_null,
+                negated,
+            } => {
+                let chunk = batch.col(*col);
+                if let ColumnData::Text { codes, .. } = &chunk.data {
+                    for (k, i) in range.enumerate() {
+                        if chunk.is_null(i) {
+                            m.set_n(k);
+                        } else {
+                            let found = pass[codes[i] as usize];
+                            let (t, n) = in_verdict(found, *has_null, *negated);
+                            if t {
+                                m.set_t(k);
+                            } else if n {
+                                m.set_n(k);
+                            }
+                        }
+                    }
+                } else {
+                    return None;
+                }
+            }
+        }
+        Some(m)
+    }
+}
+
+impl<'a> Pred<'a> {
+    /// Evaluate over `[range)` and append the passing row indices
+    /// (absolute, ascending) to `out`. On the first row whose evaluation
+    /// the row path would abort on, returns that row's exact error.
+    pub fn select_into(
+        &self,
+        batch: &ColBatch,
+        range: Range<usize>,
+        out: &mut Vec<u32>,
+    ) -> Result<()> {
+        let start = range.start;
+        let Some(m) = self.root.eval(batch, range.clone()) else {
+            // Layout mismatch (defensive): exact row-at-a-time fallback.
+            for i in range {
+                let row = batch.row_at(i);
+                if self.expr.eval_predicate(&Env::root(&row))? == Some(true) {
+                    out.push(i as u32);
+                }
+            }
+            return Ok(());
+        };
+        for k in 0..m.len {
+            if m.get(&m.e, k) {
+                return Err(self.row_error(batch, start + k));
+            }
+            if m.get(&m.t, k) {
+                out.push((start + k) as u32);
+            }
+        }
+        Ok(())
+    }
+
+    /// Reproduce the row path's error for row `i` by evaluating the
+    /// original expression on the pivoted row.
+    fn row_error(&self, batch: &ColBatch, i: usize) -> EngineError {
+        let row = batch.row_at(i);
+        let env = Env::root(&row);
+        match self.expr.eval_predicate(&env) {
+            Err(e) => e,
+            Ok(_) => EngineError::Execution(
+                "vectorized predicate flagged an error the row path does not reproduce".into(),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, DataType, Schema};
+    use crate::table::Row;
+
+    fn schema(tys: &[DataType]) -> Schema {
+        Schema::new(
+            tys.iter()
+                .enumerate()
+                .map(|(i, &ty)| Column::bare(&format!("c{i}"), ty))
+                .collect(),
+        )
+    }
+
+    fn col(i: usize) -> BoundExpr {
+        BoundExpr::column(i)
+    }
+
+    fn lit(v: Value) -> BoundExpr {
+        BoundExpr::Literal(v)
+    }
+
+    fn cmp(op: BinaryOp, l: BoundExpr, r: BoundExpr) -> BoundExpr {
+        BoundExpr::Binary {
+            op,
+            left: Box::new(l),
+            right: Box::new(r),
+        }
+    }
+
+    /// Row-path reference: indices where eval_predicate == Some(true),
+    /// or the first error in row order.
+    fn row_reference(expr: &BoundExpr, rows: &[Row]) -> Result<Vec<u32>> {
+        let mut out = Vec::new();
+        for (i, row) in rows.iter().enumerate() {
+            if expr.eval_predicate(&Env::root(row))? == Some(true) {
+                out.push(i as u32);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Assert the kernel agrees with the row path on `expr` over `rows`
+    /// (same selection, or same error message). Panics if the predicate
+    /// does not compile.
+    fn assert_kernel_matches(expr: &BoundExpr, sch: &Schema, rows: Vec<Row>) {
+        let batch = ColBatch::from_rows(sch, rows.clone());
+        let pred = compile_predicate(expr, &batch).expect("predicate should compile");
+        let mut got = Vec::new();
+        let kernel = pred
+            .select_into(&batch, 0..batch.len(), &mut got)
+            .map(|()| got);
+        let reference = row_reference(expr, &rows);
+        match (kernel, reference) {
+            (Ok(a), Ok(b)) => assert_eq!(a, b),
+            (Err(a), Err(b)) => assert_eq!(a.to_string(), b.to_string()),
+            (a, b) => panic!("kernel {a:?} vs row path {b:?}"),
+        }
+    }
+
+    fn int_rows() -> (Schema, Vec<Row>) {
+        let s = schema(&[DataType::Integer]);
+        let rows = (0..200)
+            .map(|i| {
+                vec![if i % 7 == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(i - 100)
+                }]
+            })
+            .collect();
+        (s, rows)
+    }
+
+    #[test]
+    fn int_comparisons_match_row_path() {
+        let (s, rows) = int_rows();
+        for op in [
+            BinaryOp::Eq,
+            BinaryOp::NotEq,
+            BinaryOp::Lt,
+            BinaryOp::LtEq,
+            BinaryOp::Gt,
+            BinaryOp::GtEq,
+        ] {
+            let e = cmp(op, col(0), lit(Value::Int(3)));
+            assert_kernel_matches(&e, &s, rows.clone());
+            // Literal on the left flips the operator.
+            let e = cmp(op, lit(Value::Int(3)), col(0));
+            assert_kernel_matches(&e, &s, rows.clone());
+            // Int column vs float literal.
+            let e = cmp(op, col(0), lit(Value::Float(2.5)));
+            assert_kernel_matches(&e, &s, rows.clone());
+        }
+    }
+
+    #[test]
+    fn float_comparisons_and_nan_error_parity() {
+        let s = schema(&[DataType::Float]);
+        let rows: Vec<Row> = vec![
+            vec![Value::Float(1.5)],
+            vec![Value::Null],
+            vec![Value::Float(-0.0)],
+            vec![Value::Float(100.25)],
+        ];
+        let e = cmp(BinaryOp::Lt, col(0), lit(Value::Float(1.0)));
+        assert_kernel_matches(&e, &s, rows.clone());
+        let e = cmp(BinaryOp::GtEq, col(0), lit(Value::Int(1)));
+        assert_kernel_matches(&e, &s, rows);
+
+        // A NaN cell must produce the row path's exact error.
+        let rows = vec![vec![Value::Float(0.5)], vec![Value::Float(f64::NAN)]];
+        let e = cmp(BinaryOp::Lt, col(0), lit(Value::Float(1.0)));
+        assert_kernel_matches(&e, &s, rows);
+    }
+
+    #[test]
+    fn short_circuit_suppresses_right_side_errors() {
+        // WHERE a < 0 AND b < 1.0 — rows where a >= 0 must not observe
+        // the NaN in b, exactly like the row path's short-circuit.
+        let s = schema(&[DataType::Integer, DataType::Float]);
+        let rows = vec![
+            vec![Value::Int(5), Value::Float(f64::NAN)], // a<0 false: NaN skipped
+            vec![Value::Int(-1), Value::Float(0.5)],
+        ];
+        let e = cmp(
+            BinaryOp::And,
+            cmp(BinaryOp::Lt, col(0), lit(Value::Int(0))),
+            cmp(BinaryOp::Lt, col(1), lit(Value::Float(1.0))),
+        );
+        assert_kernel_matches(&e, &s, rows);
+
+        // And the error shows when the left side passes.
+        let rows = vec![vec![Value::Int(-2), Value::Float(f64::NAN)]];
+        let e = cmp(
+            BinaryOp::And,
+            cmp(BinaryOp::Lt, col(0), lit(Value::Int(0))),
+            cmp(BinaryOp::Lt, col(1), lit(Value::Float(1.0))),
+        );
+        assert_kernel_matches(&e, &s, rows);
+
+        // OR: a true left side skips the right.
+        let rows = vec![
+            vec![Value::Int(-3), Value::Float(f64::NAN)], // true OR err → true
+            vec![Value::Int(9), Value::Float(2.0)],
+        ];
+        let e = cmp(
+            BinaryOp::Or,
+            cmp(BinaryOp::Lt, col(0), lit(Value::Int(0))),
+            cmp(BinaryOp::Lt, col(1), lit(Value::Float(1.0))),
+        );
+        assert_kernel_matches(&e, &s, rows);
+    }
+
+    #[test]
+    fn three_valued_and_or_not() {
+        let s = schema(&[DataType::Integer, DataType::Integer]);
+        let mut rows = Vec::new();
+        for a in [Some(1i64), Some(5), None] {
+            for b in [Some(2i64), Some(9), None] {
+                rows.push(vec![
+                    a.map_or(Value::Null, Value::Int),
+                    b.map_or(Value::Null, Value::Int),
+                ]);
+            }
+        }
+        let left = cmp(BinaryOp::Lt, col(0), lit(Value::Int(3)));
+        let right = cmp(BinaryOp::Gt, col(1), lit(Value::Int(5)));
+        for e in [
+            cmp(BinaryOp::And, left.clone(), right.clone()),
+            cmp(BinaryOp::Or, left.clone(), right.clone()),
+            BoundExpr::Not(Box::new(cmp(BinaryOp::And, left.clone(), right.clone()))),
+            BoundExpr::Not(Box::new(left.clone())),
+        ] {
+            assert_kernel_matches(&e, &s, rows.clone());
+        }
+    }
+
+    #[test]
+    fn text_compare_like_and_in() {
+        let s = schema(&[DataType::Text]);
+        let words = ["BUILDING", "AUTOMOBILE", "FURNITURE", "building"];
+        let rows: Vec<Row> = (0..40)
+            .map(|i| {
+                vec![if i % 9 == 0 {
+                    Value::Null
+                } else {
+                    Value::str(words[i % words.len()])
+                }]
+            })
+            .collect();
+        let e = cmp(BinaryOp::Eq, col(0), lit(Value::str("BUILDING")));
+        assert_kernel_matches(&e, &s, rows.clone());
+        let e = cmp(BinaryOp::Lt, col(0), lit(Value::str("C")));
+        assert_kernel_matches(&e, &s, rows.clone());
+        for negated in [false, true] {
+            let e = BoundExpr::Like {
+                expr: Box::new(col(0)),
+                pattern: Box::new(lit(Value::str("%BUILD%"))),
+                negated,
+            };
+            assert_kernel_matches(&e, &s, rows.clone());
+            let e = BoundExpr::InList {
+                expr: Box::new(col(0)),
+                list: vec![lit(Value::str("FURNITURE")), lit(Value::str("nope"))],
+                negated,
+            };
+            assert_kernel_matches(&e, &s, rows.clone());
+            // NULL in the IN list makes misses unknown.
+            let e = BoundExpr::InList {
+                expr: Box::new(col(0)),
+                list: vec![lit(Value::str("FURNITURE")), lit(Value::Null)],
+                negated,
+            };
+            assert_kernel_matches(&e, &s, rows.clone());
+        }
+    }
+
+    #[test]
+    fn int_date_in_list_and_is_null() {
+        let (s, rows) = int_rows();
+        for negated in [false, true] {
+            let e = BoundExpr::InList {
+                expr: Box::new(col(0)),
+                list: vec![
+                    lit(Value::Int(-99)),
+                    lit(Value::Int(0)),
+                    lit(Value::Int(42)),
+                ],
+                negated,
+            };
+            assert_kernel_matches(&e, &s, rows.clone());
+            let e = BoundExpr::IsNull {
+                expr: Box::new(col(0)),
+                negated,
+            };
+            assert_kernel_matches(&e, &s, rows.clone());
+        }
+        let s = schema(&[DataType::Date]);
+        let rows: Vec<Row> = (0..30)
+            .map(|i| {
+                vec![if i % 5 == 0 {
+                    Value::Null
+                } else {
+                    Value::Date(i)
+                }]
+            })
+            .collect();
+        let e = cmp(BinaryOp::LtEq, col(0), lit(Value::Date(11)));
+        assert_kernel_matches(&e, &s, rows.clone());
+        let e = BoundExpr::InList {
+            expr: Box::new(col(0)),
+            list: vec![lit(Value::Date(3)), lit(Value::Date(7))],
+            negated: false,
+        };
+        assert_kernel_matches(&e, &s, rows);
+    }
+
+    #[test]
+    fn bool_columns_as_predicates() {
+        let s = schema(&[DataType::Boolean]);
+        let rows: Vec<Row> = vec![
+            vec![Value::Bool(true)],
+            vec![Value::Bool(false)],
+            vec![Value::Null],
+        ];
+        assert_kernel_matches(&col(0), &s, rows.clone());
+        let e = cmp(BinaryOp::Eq, col(0), lit(Value::Bool(false)));
+        assert_kernel_matches(&e, &s, rows);
+    }
+
+    #[test]
+    fn empty_and_all_filtered_batches() {
+        let s = schema(&[DataType::Integer]);
+        let e = cmp(BinaryOp::Gt, col(0), lit(Value::Int(1000)));
+        assert_kernel_matches(&e, &s, vec![]);
+        let rows: Vec<Row> = (0..100).map(|i| vec![Value::Int(i)]).collect();
+        assert_kernel_matches(&e, &s, rows); // nothing passes
+    }
+
+    #[test]
+    fn uncompilable_shapes_fall_back() {
+        let s = schema(&[DataType::Integer, DataType::Integer]);
+        let rows = vec![vec![Value::Int(1), Value::Int(2)]];
+        let batch = ColBatch::from_rows(&s, rows);
+        // Column-vs-column comparison: not vectorized.
+        assert!(compile_predicate(&cmp(BinaryOp::Lt, col(0), col(1)), &batch).is_none());
+        // NULL literal comparison: not vectorized.
+        assert!(compile_predicate(&cmp(BinaryOp::Eq, col(0), lit(Value::Null)), &batch).is_none());
+        // Arithmetic inside a comparison: not vectorized.
+        let arith = BoundExpr::Binary {
+            op: BinaryOp::Plus,
+            left: Box::new(col(0)),
+            right: Box::new(lit(Value::Int(1))),
+        };
+        assert!(compile_predicate(&cmp(BinaryOp::Eq, arith, lit(Value::Int(2))), &batch).is_none());
+        // An Any column (demoted) is not vectorized.
+        let s = schema(&[DataType::Any]);
+        let batch = ColBatch::from_rows(&s, vec![vec![Value::Int(1)]]);
+        assert!(
+            compile_predicate(&cmp(BinaryOp::Eq, col(0), lit(Value::Int(1))), &batch).is_none()
+        );
+    }
+
+    #[test]
+    fn selection_over_offset_ranges() {
+        let s = schema(&[DataType::Integer]);
+        let rows: Vec<Row> = (0..300).map(|i| vec![Value::Int(i % 10)]).collect();
+        let batch = ColBatch::from_rows(&s, rows.clone());
+        let e = cmp(BinaryOp::Eq, col(0), lit(Value::Int(3)));
+        let pred = compile_predicate(&e, &batch).unwrap();
+        // Morsel-style disjoint ranges concatenate to the full result.
+        let mut all = Vec::new();
+        for start in (0..300).step_by(70) {
+            let end = (start + 70).min(300);
+            pred.select_into(&batch, start..end, &mut all).unwrap();
+        }
+        assert_eq!(all, row_reference(&e, &rows).unwrap());
+    }
+}

@@ -38,6 +38,7 @@
 // cfg(test); integration tests and benches are separate crates).
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod col;
 pub mod cost;
 pub mod database;
 pub mod durable;
@@ -48,6 +49,7 @@ pub mod expr;
 pub mod faults;
 pub mod fsum;
 pub mod governor;
+pub mod kernels;
 pub mod opt;
 pub mod plan;
 pub mod schema;
@@ -55,6 +57,7 @@ pub mod stats;
 pub mod table;
 pub mod value;
 
+pub use col::{ColBatch, ColumnChunk, ColumnData, TextDict};
 pub use conquer_storage::{StoreStatus, SyncPolicy};
 pub use cost::Estimator;
 pub use database::Database;

@@ -589,21 +589,19 @@ mod tests {
 
     /// A 6-wide dummy right child for side-splitting tests.
     fn right_child() -> Plan {
+        use crate::col::ColBatch;
         use crate::schema::{Column, DataType, Schema};
-        use crate::table::Rows;
         use std::sync::Arc;
         let schema = Schema::new(
             (0..6)
                 .map(|i| Column::bare(&format!("c{i}"), DataType::Integer))
                 .collect(),
         );
+        let rows = (0..10)
+            .map(|i| (0..6).map(|_| Value::Int(i)).collect())
+            .collect();
         Plan::Scan {
-            rows: Arc::new(Rows {
-                schema: schema.clone(),
-                rows: (0..10)
-                    .map(|i| (0..6).map(|_| Value::Int(i)).collect())
-                    .collect(),
-            }),
+            cols: Arc::new(ColBatch::from_rows(&schema, rows)),
             schema,
         }
     }
@@ -682,15 +680,13 @@ mod tests {
     /// reference sits at depth 1 *inside* the subquery plan, which is
     /// depth 0 relative to the conjunct that owns it.
     fn correlated_exists(outer_index: usize) -> BoundExpr {
+        use crate::col::ColBatch;
         use crate::schema::{Column, DataType, Schema};
-        use crate::table::Rows;
         use std::sync::Arc;
         let schema = Schema::new(vec![Column::bare("inner0", DataType::Integer)]);
+        let rows = (0..3).map(|i| vec![Value::Int(i)]).collect();
         let scan = Plan::Scan {
-            rows: Arc::new(Rows {
-                schema: schema.clone(),
-                rows: (0..3).map(|i| vec![Value::Int(i)]).collect(),
-            }),
+            cols: Arc::new(ColBatch::from_rows(&schema, rows)),
             schema,
         };
         let predicate = BoundExpr::Binary {

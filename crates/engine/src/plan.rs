@@ -16,6 +16,7 @@ use conquer_sql::ast::{
 };
 use conquer_sql::Literal;
 
+use crate::col::ColBatch;
 use crate::database::Database;
 use crate::error::{EngineError, Result};
 use crate::exec;
@@ -23,7 +24,6 @@ use crate::expr::{BoundExpr, ScalarFunc, SubqueryKind};
 use crate::faults;
 use crate::governor::{CancellationToken, Governor, ResourceLimits};
 use crate::schema::{Column, DataType, Schema};
-use crate::table::Rows;
 use crate::value::Value;
 
 /// Planner/executor options; the defaults match the paper's configuration.
@@ -65,6 +65,13 @@ pub struct ExecOptions {
     /// [`QueryId`](conquer_obs::QueryId). `None` (the default) traces
     /// nothing beyond the always-on histograms.
     pub trace: Option<conquer_obs::TraceContext>,
+    /// Use the vectorized columnar kernels (selection bitmaps, fused
+    /// column projection, typed aggregate loops) where an operator
+    /// qualifies. When `false`, every operator runs the row-at-a-time
+    /// reference path — the oracle the batch-vs-row differential suite
+    /// compares against. Results are bit-identical either way; this flag
+    /// only switches the execution strategy.
+    pub columnar: bool,
 }
 
 impl Default for ExecOptions {
@@ -78,6 +85,7 @@ impl Default for ExecOptions {
             cancellation: None,
             threads: default_threads(),
             trace: None,
+            columnar: true,
         }
     }
 }
@@ -117,6 +125,12 @@ impl ExecOptions {
     /// Builder-style trace context.
     pub fn with_trace(mut self, trace: conquer_obs::TraceContext) -> ExecOptions {
         self.trace = Some(trace);
+        self
+    }
+
+    /// Builder-style columnar-kernel switch.
+    pub fn with_columnar(mut self, columnar: bool) -> ExecOptions {
+        self.columnar = columnar;
         self
     }
 }
@@ -167,10 +181,11 @@ impl AggFunc {
 /// An executable operator tree.
 #[derive(Debug, Clone)]
 pub enum Plan {
-    /// Scan of pre-materialized rows (base table or materialized CTE). The
-    /// schema carries the binding qualifier; `rows` are shared.
+    /// Scan of a pre-materialized column batch (base table or materialized
+    /// CTE). The schema carries the binding qualifier; the batch is shared
+    /// (column chunks are `Arc`s, so a scan never copies table data).
     Scan {
-        rows: Arc<Rows>,
+        cols: Arc<ColBatch>,
         schema: Schema,
     },
     /// A single empty row — the input of `SELECT` without `FROM`.
@@ -260,7 +275,7 @@ impl Plan {
     /// for trace summaries.
     pub fn base_rows(&self) -> u64 {
         match self {
-            Plan::Scan { rows, .. } => rows.rows.len() as u64,
+            Plan::Scan { cols, .. } => cols.len() as u64,
             _ => self.children().iter().map(|c| c.base_rows()).sum(),
         }
     }
@@ -685,8 +700,9 @@ fn shift_plan_above(plan: &mut Plan, min_depth: usize, delta: usize) {
 /// CTE bindings visible while planning a query.
 #[derive(Debug, Clone, Default)]
 struct CteEnv {
-    /// Materialized CTE results.
-    materialized: HashMap<String, Arc<Rows>>,
+    /// Materialized CTE results: the output schema (unqualified) plus the
+    /// shared column batch each reference scans.
+    materialized: HashMap<String, (Schema, Arc<ColBatch>)>,
     /// Inline CTE definitions (when materialization is disabled).
     inline: HashMap<String, Arc<Query>>,
 }
@@ -830,11 +846,22 @@ impl<'a> Planner<'a> {
             if let Some(keep) = keep {
                 plan = prune_projection(plan, keep);
             }
-            let rows = exec::execute_governed_threads(&plan, None, self.gov, self.options.threads)?;
+            // Execute to a batch: a columnar output (scan pass-throughs,
+            // kernel-filtered scans) is adopted as-is; row-shaped outputs
+            // are pivoted into a fresh batch once, here, so every reference
+            // scans columns.
+            let batch = exec::execute_columnar_threads(
+                &plan,
+                None,
+                self.gov,
+                self.options.threads,
+                self.options.columnar,
+            )?;
+            let (schema, cols) = batch.into_schema_cols();
             if let Some(gov) = self.gov {
-                gov.reserve_mem(exec::rows_bytes(&rows), "cte.materialize")?;
+                gov.reserve_mem(cols.byte_size() as u64, "cte.materialize")?;
             }
-            env.materialized.insert(cte.name.clone(), Arc::new(rows));
+            env.materialized.insert(cte.name.clone(), (schema, cols));
         } else {
             env.inline
                 .insert(cte.name.clone(), Arc::new(cte.query.clone()));
@@ -959,10 +986,10 @@ impl<'a> Planner<'a> {
                 let binding = alias.as_deref().unwrap_or(name);
                 self.check_binding(binding, bindings)?;
                 // CTEs shadow base tables.
-                if let Some(rows) = env.materialized.get(name) {
-                    let schema = rows.schema.qualified(binding);
+                if let Some((cte_schema, cols)) = env.materialized.get(name) {
+                    let schema = cte_schema.qualified(binding);
                     return Ok(Plan::Scan {
-                        rows: Arc::clone(rows),
+                        cols: Arc::clone(cols),
                         schema,
                     });
                 }
@@ -977,8 +1004,8 @@ impl<'a> Planner<'a> {
                 }
                 let table = self.db.table(name)?;
                 let schema = table.schema().qualified(binding);
-                let rows = self.db.table_rows(name)?;
-                Ok(Plan::Scan { rows, schema })
+                let cols = self.db.table_cols(name)?;
+                Ok(Plan::Scan { cols, schema })
             }
             TableRef::Subquery { query, alias } => {
                 self.check_binding(alias, bindings)?;

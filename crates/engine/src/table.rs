@@ -1,7 +1,14 @@
 //! Stored tables and transient row batches.
+//!
+//! Tables hold their data in columnar form (a [`ColBatch`]): typed
+//! fixed-width columns, dictionary-encoded text, validity bitmaps. The
+//! row-oriented [`Rows`] type remains the query *result* shape and the
+//! interchange format for operators that still work row-at-a-time; a
+//! table's rows are pivoted out of the batch lazily and cached.
 
 use std::sync::Arc;
 
+use crate::col::ColBatch;
 use crate::error::{EngineError, Result};
 use crate::schema::{Column, DataType, Schema};
 use crate::value::Value;
@@ -81,27 +88,30 @@ impl Rows {
     }
 }
 
-/// A stored base table: a schema whose columns are unqualified, plus rows.
+/// A stored base table: a schema whose columns are unqualified, plus a
+/// columnar batch of its data.
 #[derive(Debug, Clone)]
 pub struct Table {
     name: String,
     schema: Schema,
-    rows: Vec<Row>,
+    cols: ColBatch,
 }
 
 impl Table {
     /// Create an empty table. Column qualifiers are stripped: stored
     /// columns are always unqualified and get qualified at scan time.
     pub fn new(name: impl Into<String>, columns: Vec<(&str, DataType)>) -> Table {
+        let schema = Schema::new(
+            columns
+                .into_iter()
+                .map(|(n, t)| Column::bare(n, t))
+                .collect(),
+        );
+        let cols = ColBatch::from_schema(&schema);
         Table {
             name: name.into(),
-            schema: Schema::new(
-                columns
-                    .into_iter()
-                    .map(|(n, t)| Column::bare(n, t))
-                    .collect(),
-            ),
-            rows: Vec::new(),
+            schema,
+            cols,
         }
     }
 
@@ -117,11 +127,13 @@ impl Table {
         Ok(t)
     }
 
-    /// Reassemble a table from decoded parts (durable recovery). Rows are
-    /// trusted: they were validated by `push` before being logged, and the
-    /// storage layer checksum-verified them on the way back in.
-    pub(crate) fn from_parts(name: String, schema: Schema, rows: Vec<Row>) -> Table {
-        Table { name, schema, rows }
+    /// Reassemble a table from decoded parts (durable recovery). The
+    /// batch is trusted: rows were validated by `push` before being
+    /// logged, and the storage layer checksum-verified them on the way
+    /// back in. Recovery streams decoded rows straight into the batch,
+    /// never materializing an intermediate `Vec<Row>`.
+    pub(crate) fn from_parts(name: String, schema: Schema, cols: ColBatch) -> Table {
+        Table { name, schema, cols }
     }
 
     pub fn name(&self) -> &str {
@@ -132,16 +144,35 @@ impl Table {
         &self.schema
     }
 
+    /// The table's data, pivoted to rows (computed once and cached).
+    /// Streaming consumers that touch each row once should prefer
+    /// [`Table::row_at`] to avoid materializing the cache.
     pub fn rows(&self) -> &[Row] {
-        &self.rows
+        self.cols.rows()
+    }
+
+    /// The columnar batch backing this table.
+    pub fn cols(&self) -> &ColBatch {
+        &self.cols
+    }
+
+    /// Row `i`, materialized on the fly (no pivot cache involved).
+    pub fn row_at(&self, i: usize) -> Row {
+        self.cols.row_at(i)
+    }
+
+    /// Rows `start..end`, materialized on the fly (used when logging an
+    /// appended range to the WAL).
+    pub fn rows_range(&self, start: usize, end: usize) -> Vec<Row> {
+        (start..end).map(|i| self.cols.row_at(i)).collect()
     }
 
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.cols.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.cols.is_empty()
     }
 
     /// Index of a column by name.
@@ -174,13 +205,15 @@ impl Table {
                 )));
             }
         }
-        self.rows.push(row);
+        self.cols.push_row(row);
         Ok(())
     }
 
     /// Bulk-append without per-row type checks (trusted generators).
     pub fn extend_unchecked(&mut self, rows: impl IntoIterator<Item = Row>) {
-        self.rows.extend(rows);
+        for row in rows {
+            self.cols.push_row(row);
+        }
     }
 
     /// A copy of this table extended with one extra column computed from
@@ -193,27 +226,33 @@ impl Table {
     ) -> Table {
         let mut schema = self.schema.clone();
         schema.columns.push(Column::bare(name, ty));
+        // Existing columns are shared; only the computed column is built.
+        let mut computed = crate::col::ColumnChunk::for_type(ty);
+        for i in 0..self.cols.len() {
+            let row = self.cols.row_at(i);
+            computed.push(f(&row));
+        }
+        let mut chunks: Vec<Arc<crate::col::ColumnChunk>> = self.cols.cols().to_vec();
+        chunks.push(Arc::new(computed));
         Table {
             name: self.name.clone(),
             schema,
-            rows: self
-                .rows
-                .iter()
-                .map(|r| {
-                    let mut r2 = r.clone();
-                    let v = f(r);
-                    r2.push(v);
-                    r2
-                })
-                .collect(),
+            cols: ColBatch::from_chunks(self.cols.len(), chunks),
         }
     }
 
-    /// View the table as a scan result under a binding name.
+    /// Snapshot the table's data as a shareable columnar batch (shallow:
+    /// column chunks are shared copy-on-write).
+    pub fn batch(&self) -> ColBatch {
+        self.cols.clone()
+    }
+
+    /// View the table as a scan result under a binding name (row form;
+    /// kept for tests and tooling — the executor scans batches).
     pub fn scan(self: &Arc<Table>, binding: &str) -> Rows {
         Rows {
             schema: self.schema.qualified(binding),
-            rows: self.rows.clone(),
+            rows: self.cols.rows().to_vec(),
         }
     }
 }

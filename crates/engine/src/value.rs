@@ -184,7 +184,7 @@ fn date_shift(days: i32, by: i64, negate: bool) -> Result<Value> {
 }
 
 /// Compare an i64 with an f64 exactly (no precision loss for large ints).
-fn cmp_i64_f64(a: i64, b: f64) -> Result<Ordering> {
+pub(crate) fn cmp_i64_f64(a: i64, b: f64) -> Result<Ordering> {
     if b.is_nan() {
         return Err(EngineError::TypeError("NaN comparison".into()));
     }

@@ -4,7 +4,7 @@
 
 #![cfg(feature = "fault-injection")]
 
-use conquer_engine::{faults, Database, EngineError};
+use conquer_engine::{faults, Database, EngineError, ExecOptions};
 
 /// One query per fault point, each guaranteed to reach that point on the
 /// small fixture below.
@@ -93,6 +93,34 @@ fn every_fault_point_errs_and_database_survives() {
             .query(sql)
             .unwrap_or_else(|e| panic!("{point}: database unusable after trip: {e}"));
         assert!(!rows.schema.columns.is_empty());
+    }
+}
+
+/// The columnar kernels must not move a fault point: every trip sits at
+/// operator entry, so an armed point fires identically whether the
+/// operator runs its vectorized or row-at-a-time body — and the database
+/// survives either way.
+#[test]
+fn fault_points_fire_identically_row_and_columnar() {
+    let db = fixture();
+    for columnar in [false, true] {
+        let options = ExecOptions::default().with_columnar(columnar);
+        for (point, sql) in POINT_QUERIES {
+            faults::disarm_all();
+            faults::arm(point, 0);
+            let err = db
+                .query_with(sql, &options)
+                .expect_err(&format!("columnar={columnar}: armed `{point}` must err"));
+            assert!(
+                is_injected(&err, point),
+                "columnar={columnar} `{point}`: expected injected fault, got {err:?}"
+            );
+            faults::disarm_all();
+            let rows = db.query_with(sql, &options).unwrap_or_else(|e| {
+                panic!("columnar={columnar} {point}: database unusable after trip: {e}")
+            });
+            assert!(!rows.schema.columns.is_empty());
+        }
     }
 }
 
