@@ -9,9 +9,14 @@
 //! ```
 //!
 //! Subcommands: `fig10`, `fig11`, `fig12`, `fig13`, `fig14`, `baseline`,
-//! `serve`, `plancost`, `opbench`, `trace`, `recover`, `all` (`all` runs
-//! the six figures; `serve`, `plancost`, `opbench`, `trace`, and `recover`
-//! are explicit-only). `opbench` is the per-operator throughput
+//! `serve`, `plancost`, `opbench`, `idxbench`, `trace`, `recover`, `all`
+//! (`all` runs the six figures; the rest are explicit-only). `idxbench`
+//! measures what secondary indexes buy: point-lookup and key-self-join
+//! throughput with the access-path planner index-aware vs index-blind
+//! (`with_indexes(false)`, the pre-index plans), at `--sf` and 4×`--sf`
+//! (the defaults land on SF 0.05 and 0.2), reporting lookups/sec,
+//! join rows/sec, and the indexed/seqscan speedup per scale
+//! (`BENCH_idxbench.json`). `opbench` is the per-operator throughput
 //! microbenchmark: one query per executor kernel (filter, hash build,
 //! hash probe, semi join, global and grouped aggregation), each timed
 //! with the vectorized columnar kernels on and off, reporting rows/sec
@@ -81,9 +86,9 @@ use conquer_obs::Json;
 /// the sweep and writes every report before exiting nonzero.
 static FAILED: AtomicBool = AtomicBool::new(false);
 
-const COMMANDS: [&str; 12] = [
+const COMMANDS: [&str; 13] = [
     "fig10", "fig11", "fig12", "fig13", "fig14", "baseline", "serve", "plancost", "opbench",
-    "trace", "recover", "all",
+    "idxbench", "trace", "recover", "all",
 ];
 
 struct Args {
@@ -258,7 +263,7 @@ fn parse_args() -> Args {
 fn die(msg: &str) -> ! {
     eprintln!("harness: {msg}");
     eprintln!(
-        "usage: harness [fig10|fig11|fig12|fig13|fig14|baseline|serve|plancost|opbench|recover|all] \
+        "usage: harness [fig10|fig11|fig12|fig13|fig14|baseline|serve|plancost|opbench|idxbench|recover|all] \
          [--sf F] [--runs N] [--json PATH] [--quiet] \
          [--timeout-ms N] [--mem-limit BYTES] [--threads N] \
          [--serve-port P] [--concurrency N] [--rounds R] \
@@ -288,6 +293,7 @@ fn main() {
             "serve" => serve_cmd(&args),
             "plancost" => plancost(&args),
             "opbench" => opbench(&args),
+            "idxbench" => idxbench(&args),
             "trace" => trace_cmd(&args),
             "recover" => recover_cmd(&args),
             _ => unreachable!("command validated in parse_args"),
@@ -901,6 +907,143 @@ fn opbench(args: &Args) -> Json {
     say!(args, "");
     let mut report = report_header("opbench", args);
     report.push("operators", Json::Arr(ops));
+    report
+}
+
+/// `idxbench` — what secondary indexes buy. Two access-path-sensitive
+/// shapes over the standard workload's `orders` table (whose conflict
+/// group key `o_orderkey` gets an auto-declared index): a batch of keyed
+/// point lookups and the key self-join the ConQuer rewriting is built
+/// from. Each is timed with the planner index-aware (default options)
+/// and index-blind (`with_indexes(false)`, exactly the pre-index plans),
+/// at `--sf` and 4×`--sf` — the defaults land on SF 0.05 and 0.2, the
+/// scales the index acceptance criteria are stated at. Point lookups are
+/// timed in batches of 64 because a single indexed probe is microseconds
+/// — too close to clock resolution to compare honestly.
+fn idxbench(args: &Args) -> Json {
+    const LOOKUPS_PER_RUN: usize = 64;
+    const JOIN_SQL: &str = "select a.o_orderkey from orders a, orders b \
+                            where a.o_orderkey = b.o_orderkey \
+                            and a.o_totalprice < b.o_totalprice";
+
+    say!(
+        args,
+        "## Index access paths — indexed vs seqscan (threads {}, median of {})\n",
+        args.threads,
+        args.runs
+    );
+    let indexed = args.options();
+    let blind = args.options().with_indexes(false);
+    let mut scales = Vec::new();
+    for sf in [args.sf, args.sf * 4.0] {
+        let w = workload(sf, 0.05, 2);
+        let orders_rows = w.db.table("orders").map_or(0, |t| t.len());
+        // Sample keys evenly across the whole key range so the lookup
+        // batch touches many chunks, not one hot spot.
+        let keys: Vec<i64> = match w.db.query_with("select o_orderkey from orders o", &blind) {
+            Ok(rows) => {
+                let all: Vec<i64> = rows
+                    .rows
+                    .iter()
+                    .filter_map(|r| r[0].to_string().parse().ok())
+                    .collect();
+                (0..LOOKUPS_PER_RUN)
+                    .filter_map(|i| all.get(i * all.len() / LOOKUPS_PER_RUN).copied())
+                    .collect()
+            }
+            Err(e) => die(&format!("idxbench: cannot enumerate orders keys: {e}")),
+        };
+        let lookup_sqls: Vec<String> = keys
+            .iter()
+            .map(|k| format!("select o_totalprice from orders o where o_orderkey = {k}"))
+            .collect();
+
+        let time_batch = |sqls: &[String], options: &ExecOptions| -> Result<Duration, String> {
+            // Warm-up pass: scan cache, plan caches, and the lazy index
+            // build all land here, so the timed runs measure probes.
+            for sql in sqls {
+                w.db.query_with(sql, options).map_err(|e| e.to_string())?;
+            }
+            let mut times = Vec::with_capacity(args.runs);
+            for _ in 0..args.runs {
+                let t0 = Instant::now();
+                for sql in sqls {
+                    w.db.query_with(sql, options).map_err(|e| e.to_string())?;
+                }
+                times.push(t0.elapsed());
+            }
+            times.sort_unstable();
+            Ok(times[times.len() / 2])
+        };
+        let uses_index = |sql: &str| {
+            w.db.explain_with(sql, &indexed)
+                .map(|plan| plan.contains("access=index"))
+                .unwrap_or(false)
+        };
+
+        say!(args, "### SF {sf} ({orders_rows} orders rows)\n");
+        say!(
+            args,
+            "| Op | seqscan | indexed | seqscan unit/s | indexed unit/s | speedup | indexed plan |"
+        );
+        say!(
+            args,
+            "|----|--------:|--------:|---------------:|---------------:|--------:|--------------|"
+        );
+        let mut ops = Vec::new();
+        let join_sqls = [JOIN_SQL.to_string()];
+        let cells: [(&str, &[String], usize); 2] = [
+            ("point_lookup", &lookup_sqls, keys.len()),
+            ("key_self_join", &join_sqls, orders_rows),
+        ];
+        for (op, sqls, units) in cells {
+            let mut entry = Json::obj([
+                ("op", Json::from(op)),
+                ("units_per_run", Json::UInt(units as u64)),
+            ]);
+            let planned = sqls.first().is_some_and(|sql| uses_index(sql));
+            match (time_batch(sqls, &blind), time_batch(sqls, &indexed)) {
+                (Ok(t_seq), Ok(t_idx)) => {
+                    let ups = |t: Duration| units as f64 / t.as_secs_f64().max(1e-9);
+                    say!(
+                        args,
+                        "| {op} | {} | {} | {:.0} | {:.0} | {:.2}x | {} |",
+                        ms(t_seq),
+                        ms(t_idx),
+                        ups(t_seq),
+                        ups(t_idx),
+                        speedup(t_seq, t_idx),
+                        if planned { "access=index" } else { "seqscan" },
+                    );
+                    entry.push("status", Json::from("ok"));
+                    entry.push("seqscan_us", Json::UInt(t_seq.as_micros() as u64));
+                    entry.push("indexed_us", Json::UInt(t_idx.as_micros() as u64));
+                    entry.push("seqscan_units_per_sec", Json::Float(ups(t_seq)));
+                    entry.push("indexed_units_per_sec", Json::Float(ups(t_idx)));
+                    entry.push("speedup", Json::Float(speedup(t_seq, t_idx)));
+                    entry.push("indexed_plan_uses_index", Json::Bool(planned));
+                }
+                (seq_r, idx_r) => {
+                    let e = seq_r.err().or(idx_r.err()).unwrap_or_default();
+                    FAILED.store(true, Ordering::Relaxed);
+                    eprintln!("harness: idxbench {op} error: {e}");
+                    say!(args, "| {op} | - | - | - | - | - | error |");
+                    entry.push("status", Json::from("error"));
+                    entry.push("error", Json::from(e));
+                }
+            }
+            ops.push(entry);
+        }
+        say!(args, "");
+        scales.push(Json::obj([
+            ("sf", Json::Float(sf)),
+            ("orders_rows", Json::UInt(orders_rows as u64)),
+            ("lookups_per_run", Json::UInt(LOOKUPS_PER_RUN as u64)),
+            ("ops", Json::Arr(ops)),
+        ]));
+    }
+    let mut report = report_header("idxbench", args);
+    report.push("scales", Json::Arr(scales));
     report
 }
 

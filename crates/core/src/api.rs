@@ -100,6 +100,24 @@ pub fn consistent_answers_annotated_with(
     Ok(db.execute_query_with(&rewritten, options)?)
 }
 
+/// Declare a secondary index on each constrained relation's key columns —
+/// the columns that define its conflict groups, and therefore the columns
+/// every ConQuer rewriting self-joins (or correlated-EXISTS probes) on.
+/// Relations the database does not hold, or whose key columns it lacks,
+/// are skipped. Returns how many *new* declarations were made; the
+/// postings themselves are built lazily by the first query that plans
+/// against each table.
+pub fn declare_key_indexes(db: &Database, sigma: &ConstraintSet) -> usize {
+    let mut created = 0;
+    for kc in sigma.iter() {
+        let cols: Vec<&str> = kc.key.iter().map(String::as_str).collect();
+        if matches!(db.create_index(&kc.relation, &cols), Ok(true)) {
+            created += 1;
+        }
+    }
+    created
+}
+
 /// The *possible* answers of a monotone query are the answers of the
 /// original query on the inconsistent database (Section 2); provided for
 /// symmetry and for the difference-based inconsistency reports of Section 1.

@@ -30,6 +30,7 @@ use conquer_sql::BinaryOp;
 use crate::col::ColBatch;
 use crate::database::Database;
 use crate::expr::{BoundExpr, SubqueryKind};
+use crate::index::{Index, IndexAccess};
 use crate::plan::{JoinType, Plan};
 use crate::stats::{numeric_of, NodeStats, TableStats};
 use crate::value::Value;
@@ -100,6 +101,11 @@ pub struct Estimator<'a> {
     base: RefCell<HashMap<usize, Arc<TableStats>>>,
     /// `Arc<ColBatch>` pointer → stats sampled from the batch itself.
     sampled: RefCell<HashMap<usize, Arc<TableStats>>>,
+    /// `Arc<ColBatch>` pointer → built secondary index over that batch.
+    /// Empty unless constructed via [`Estimator::from_db_with_indexes`];
+    /// the optimizer's access-path pass only sees indexes through here, so
+    /// a plain [`Estimator::from_db`] reproduces pre-index plans exactly.
+    indexes: HashMap<usize, Arc<Index>>,
 }
 
 impl<'a> Estimator<'a> {
@@ -109,7 +115,17 @@ impl<'a> Estimator<'a> {
             db: Some(db),
             base: RefCell::new(HashMap::new()),
             sampled: RefCell::new(HashMap::new()),
+            indexes: HashMap::new(),
         }
+    }
+
+    /// Like [`Estimator::from_db`], but also snapshots the database's
+    /// built secondary indexes (triggering lazy builds for cached scans)
+    /// so the optimizer can consider index access paths.
+    pub fn from_db_with_indexes(db: &'a Database) -> Estimator<'a> {
+        let mut est = Estimator::from_db(db);
+        est.indexes = db.indexes_by_scan();
+        est
     }
 
     /// An estimator with no catalog: every scan is sampled directly. Used
@@ -119,7 +135,26 @@ impl<'a> Estimator<'a> {
             db: None,
             base: RefCell::new(HashMap::new()),
             sampled: RefCell::new(HashMap::new()),
+            indexes: HashMap::new(),
         }
+    }
+
+    /// A standalone estimator carrying explicit indexes (tests).
+    pub fn standalone_with_indexes(indexes: Vec<Arc<Index>>) -> Estimator<'static> {
+        let mut est = Estimator::standalone();
+        est.indexes = indexes
+            .into_iter()
+            .map(|i| (Arc::as_ptr(i.batch()) as *const () as usize, i))
+            .collect();
+        est
+    }
+
+    /// The built index over a scanned batch, if one is known. Keyed by
+    /// `Arc` pointer — the same snapshot identity the plan's scan holds —
+    /// so a stale index (built over a batch an `INSERT` has since
+    /// replaced) can never be returned for a fresh scan.
+    pub fn index_for(&self, cols: &Arc<ColBatch>) -> Option<&Arc<Index>> {
+        self.indexes.get(&(Arc::as_ptr(cols) as *const () as usize))
     }
 
     /// Statistics for a scanned batch: catalog stats when the pointer maps
@@ -187,6 +222,33 @@ impl<'a> Estimator<'a> {
                     })
                     .collect();
                 Derived { rows: n, cols }
+            }
+            Plan::IndexScan {
+                cols,
+                schema,
+                index,
+                access,
+            } => {
+                let stats = self.scan_stats(cols);
+                let n = cols.len() as f64;
+                let base: Vec<ColEst> = schema
+                    .columns
+                    .iter()
+                    .enumerate()
+                    .map(|(i, _)| match stats.columns.get(i) {
+                        Some(c) => ColEst {
+                            ndv: (c.ndv as f64).max(1.0),
+                            null_frac: c.null_fraction(stats.row_count),
+                            min: c.min,
+                            max: c.max,
+                        },
+                        None => ColEst::unknown(n),
+                    })
+                    .collect();
+                let sel = self.index_access_selectivity(index, access, &base);
+                let rows = (n * sel).max(0.0);
+                let cols = base.iter().map(|c| c.capped(rows)).collect();
+                Derived { rows, cols }
             }
             Plan::Filter { input, predicate } => {
                 let d = self.derive(input);
@@ -373,6 +435,50 @@ impl<'a> Estimator<'a> {
         Derived { rows, cols }
     }
 
+    /// Fraction of a table's rows an index access keeps: `1/NDV` per
+    /// equality column (zero when the literal falls outside the column's
+    /// observed range), linear interpolation over `[min, max]` for a
+    /// range probe — the same model the equivalent `Filter` predicate
+    /// would get, so `IndexScan` vs `SeqScan`+`Filter` compare on cost,
+    /// not on cardinality artifacts.
+    fn index_access_selectivity(
+        &self,
+        index: &Index,
+        access: &IndexAccess,
+        cols: &[ColEst],
+    ) -> f64 {
+        let col = |i: usize| cols.get(i).cloned().unwrap_or_else(|| ColEst::unknown(1.0));
+        match access {
+            IndexAccess::Eq(values) => {
+                let mut sel = 1.0f64;
+                for (&ci, v) in index.cols().iter().zip(values) {
+                    let c = col(ci);
+                    if let (Some(n), Some(min), Some(max)) = (numeric_of(v), c.min, c.max) {
+                        if n < min || n > max {
+                            return 0.0;
+                        }
+                    }
+                    sel /= c.ndv.max(1.0);
+                }
+                sel
+            }
+            IndexAccess::Range { lo, hi } => {
+                let c = col(index.cols()[0]);
+                let (Some(min), Some(max)) = (c.min, c.max) else {
+                    return DEFAULT_SEL;
+                };
+                if max <= min {
+                    return DEFAULT_SEL;
+                }
+                let frac =
+                    |v: &Value| numeric_of(v).map(|n| ((n - min) / (max - min)).clamp(0.0, 1.0));
+                let lo_f = lo.as_ref().and_then(|(v, _)| frac(v)).unwrap_or(0.0);
+                let hi_f = hi.as_ref().and_then(|(v, _)| frac(v)).unwrap_or(1.0);
+                (hi_f - lo_f).clamp(0.0, 1.0)
+            }
+        }
+    }
+
     /// Column stats an expression evaluates to over `input`.
     fn expr_col(&self, e: &BoundExpr, input: &Derived) -> ColEst {
         match e {
@@ -532,12 +638,27 @@ impl<'a> Estimator<'a> {
         let own = match plan {
             Plan::Unit => 0.0,
             Plan::Scan { cols, .. } => cols.len() as f64,
+            // An index probe touches only the matching rows (plus a
+            // constant for the lookup itself) — this is what lets the
+            // optimizer price IndexScan against SeqScan+Filter.
+            Plan::IndexScan { .. } => out + 1.0,
             Plan::Filter { input, .. } => self.est_rows(input),
             Plan::Project { input, .. } | Plan::Rename { input, .. } => self.est_rows(input),
-            Plan::HashJoin { left, right, .. } => {
+            Plan::HashJoin {
+                left,
+                right,
+                build_index,
+                ..
+            } => {
                 // Probe side scans once; the build side pays hash-table
-                // construction (heavier per row); plus emission.
-                self.est_rows(left) + 2.0 * self.est_rows(right) + out
+                // construction (heavier per row); plus emission. A
+                // prebuilt index build side skips construction entirely.
+                let build = if build_index.is_some() {
+                    0.0
+                } else {
+                    2.0 * self.est_rows(right)
+                };
+                self.est_rows(left) + build + out
             }
             Plan::NestedLoopJoin { left, right, .. } => {
                 self.est_rows(left) * self.est_rows(right).max(1.0)

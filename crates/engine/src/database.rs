@@ -14,11 +14,13 @@ use conquer_storage::{Store, StoreOptions, StoreStatus, WalRecord};
 
 use crate::col::ColBatch;
 use crate::durable::{
-    self, Durability, DurabilityOptions, KIND_CREATE, KIND_DROP, KIND_INSERT, KIND_SNAPSHOT,
+    self, Durability, DurabilityOptions, KIND_CREATE, KIND_DROP, KIND_INDEX, KIND_INSERT,
+    KIND_SNAPSHOT,
 };
 use crate::error::{EngineError, Result};
 use crate::exec;
 use crate::governor::Governor;
+use crate::index::Index;
 use crate::plan::{literal_value, ExecOptions, Plan, Planner};
 use crate::schema::DataType;
 use crate::stats::TableStats;
@@ -57,10 +59,25 @@ fn write_lock<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
 /// they serialize on the dedicated `mutation` mutex so concurrent scripts
 /// from different sessions can neither lose rows nor both "create" the
 /// same table.
+/// One declared secondary index: the key column names, plus the built
+/// postings once the lazy build has run. `built` always refers to a batch
+/// the scan cache handed out; `Arc::ptr_eq` against the current cached
+/// batch is the validity check (exactly the scan-cache revalidation
+/// idiom).
+struct IndexSlot {
+    cols: Vec<String>,
+    built: Option<Arc<Index>>,
+}
+
 #[derive(Default)]
 pub struct Database {
     tables: RwLock<BTreeMap<String, Arc<Table>>>,
     scan_cache: RwLock<BTreeMap<String, Arc<ColBatch>>>,
+    /// Declared secondary indexes per table. Declarations are catalog
+    /// state (durable, epoch-bumping); the built postings are a cache,
+    /// (re)materialized lazily by [`Database::indexes_by_scan`] and
+    /// maintained incrementally by `INSERT`.
+    indexes: RwLock<BTreeMap<String, Vec<IndexSlot>>>,
     /// Per-table statistics for the cost-based planner, collected eagerly
     /// on every `register` (so they are never stale relative to the data).
     table_stats: RwLock<BTreeMap<String, Arc<TableStats>>>,
@@ -108,9 +125,17 @@ impl Database {
         // Segments first: each is a full-table snapshot with its stats
         // restored verbatim (annotations are stored columns, so they come
         // back with the rows — nothing is recomputed).
+        // Index *declarations* ride along in each snapshot; the postings
+        // are deliberately not persisted. Declarations come back unbuilt
+        // and the first query that plans against the table rebuilds them
+        // lazily, so cold-boot recovery time does not depend on indexes.
         for seg in &recovered.segments {
-            let (table, stats) = durable::decode_snapshot(&seg.payload)?;
+            let (table, stats, indexes) = durable::decode_snapshot(&seg.payload)?;
+            let name = table.name().to_string();
             db.apply_register(table, Arc::new(stats));
+            for cols in indexes {
+                db.apply_create_index(&name, cols);
+            }
         }
         // Epochs as of the checkpoint: serve-layer plan/rewrite caches key
         // on these, so recovery must not restart them from zero (a stale
@@ -162,7 +187,11 @@ impl Database {
     fn register_locked(&self, table: Table) -> Result<()> {
         let stats = Arc::new(TableStats::collect(table.rows(), table.schema().len()));
         if self.durability.is_some() {
-            self.log(KIND_SNAPSHOT, &durable::encode_snapshot(&table, &stats))?;
+            let decls = self.declared_indexes(table.name());
+            self.log(
+                KIND_SNAPSHOT,
+                &durable::encode_snapshot(&table, &stats, &decls),
+            )?;
         }
         self.apply_register(table, stats);
         self.maybe_auto_checkpoint()
@@ -200,6 +229,16 @@ impl Database {
         write_lock(&self.tables).insert(name.clone(), Arc::new(table));
         write_lock(&self.table_stats).insert(name.clone(), stats);
         write_lock(&self.scan_cache).remove(&name);
+        // Unbuild (not undeclare) the table's indexes — their postings
+        // describe the replaced data. This must follow the scan-cache
+        // clear: a concurrent lazy build revalidates against the cache
+        // under the indexes lock, so clearing first guarantees any build
+        // it stores afterwards is either over the new batch or wiped here.
+        if let Some(slots) = write_lock(&self.indexes).get_mut(&name) {
+            for slot in slots.iter_mut() {
+                slot.built = None;
+            }
+        }
         self.stats_epoch.fetch_add(1, Ordering::Release);
         self.epoch.fetch_add(1, Ordering::Release);
     }
@@ -210,6 +249,8 @@ impl Database {
         let dropped = write_lock(&self.tables).remove(name);
         write_lock(&self.table_stats).remove(name);
         write_lock(&self.scan_cache).remove(name);
+        // Dropping a table drops its index declarations with it.
+        write_lock(&self.indexes).remove(name);
         if dropped.is_some() {
             self.stats_epoch.fetch_add(1, Ordering::Release);
             self.epoch.fetch_add(1, Ordering::Release);
@@ -245,13 +286,22 @@ impl Database {
                 Ok(())
             }
             KIND_SNAPSHOT => {
-                let (table, stats) = durable::decode_snapshot(&record.payload)?;
+                let (table, stats, indexes) = durable::decode_snapshot(&record.payload)?;
+                let name = table.name().to_string();
                 self.apply_register(table, Arc::new(stats));
+                for cols in indexes {
+                    self.apply_create_index(&name, cols);
+                }
                 Ok(())
             }
             KIND_DROP => {
                 let name = durable::decode_drop(&record.payload)?;
                 self.apply_drop(&name);
+                Ok(())
+            }
+            KIND_INDEX => {
+                let (name, cols) = durable::decode_index(&record.payload)?;
+                self.apply_create_index(&name, cols);
                 Ok(())
             }
             other => Err(EngineError::Storage(format!(
@@ -333,7 +383,11 @@ impl Database {
                     .map(Arc::as_ref)
                     .cloned()
                     .unwrap_or_else(|| TableStats::collect(table.rows(), table.schema().len()));
-                (name.clone(), durable::encode_snapshot(table, &table_stats))
+                let decls = self.declared_indexes(name);
+                (
+                    name.clone(),
+                    durable::encode_snapshot(table, &table_stats, &decls),
+                )
             })
             .collect();
         let meta = [
@@ -402,6 +456,178 @@ impl Database {
                     .map(|s| (Arc::as_ptr(cols) as *const () as usize, Arc::clone(s)))
             })
             .collect()
+    }
+
+    /// Declare a secondary index on `table` over `cols` (column order
+    /// matters: multi-column probes present values in index order).
+    /// Returns `Ok(false)` when an identical declaration already exists —
+    /// re-declaring is a no-op that bumps nothing.
+    ///
+    /// The postings are *not* built here. The first query that plans
+    /// against the table builds them lazily (see
+    /// [`Database::indexes_by_scan`]); the declaration itself is a
+    /// durable, epoch-bumping catalog mutation like any other DDL, so
+    /// serve-layer plan caches stamped with the old epoch are invalidated.
+    pub fn create_index(&self, table: &str, cols: &[&str]) -> Result<bool> {
+        let _mutation = self.mutation_lock();
+        let t = self.table(table)?;
+        for c in cols {
+            t.column_index(c)?;
+        }
+        let col_names: Vec<String> = cols.iter().map(|c| (*c).to_string()).collect();
+        if read_lock(&self.indexes)
+            .get(table)
+            .is_some_and(|slots| slots.iter().any(|s| s.cols == col_names))
+        {
+            return Ok(false);
+        }
+        if self.durability.is_some() {
+            self.log(KIND_INDEX, &durable::encode_index(table, &col_names))?;
+        }
+        self.apply_create_index(table, col_names);
+        self.maybe_auto_checkpoint()?;
+        Ok(true)
+    }
+
+    /// Install an index declaration (no logging — callers log first).
+    /// Idempotent: an already-declared column list changes nothing and
+    /// bumps nothing.
+    fn apply_create_index(&self, table: &str, cols: Vec<String>) {
+        {
+            let mut map = write_lock(&self.indexes);
+            let slots = map.entry(table.to_string()).or_default();
+            if slots.iter().any(|s| s.cols == cols) {
+                return;
+            }
+            slots.push(IndexSlot { cols, built: None });
+        }
+        self.stats_epoch.fetch_add(1, Ordering::Release);
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// Declared index key-column lists for a table, built or not.
+    pub fn declared_indexes(&self, table: &str) -> Vec<Vec<String>> {
+        read_lock(&self.indexes)
+            .get(table)
+            .map(|slots| slots.iter().map(|s| s.cols.clone()).collect())
+            .unwrap_or_default()
+    }
+
+    /// One row per declared index: `(table, key columns, built)`. `built`
+    /// reports whether postings over the table's *current* scan snapshot
+    /// exist — after crash recovery this is `false` for every index until
+    /// a query plans against the table and triggers the lazy rebuild.
+    pub fn index_status(&self) -> Vec<(String, Vec<String>, bool)> {
+        let cache = read_lock(&self.scan_cache).clone();
+        read_lock(&self.indexes)
+            .iter()
+            .flat_map(|(table, slots)| {
+                slots
+                    .iter()
+                    .map(|s| {
+                        let current = cache.get(table).is_some_and(|b| {
+                            s.built.as_ref().is_some_and(|i| Arc::ptr_eq(i.batch(), b))
+                        });
+                        (table.clone(), s.cols.clone(), current)
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    }
+
+    /// Snapshot mapping each cached scan batch (by `Arc<ColBatch>` pointer
+    /// identity, exactly like [`Database::stats_by_scan`]) to a built
+    /// index over that exact batch. Declared-but-unbuilt indexes are built
+    /// here — this is the lazy (re)build point that keeps crash recovery
+    /// and `INSERT` cheap. A failed build (`index_build_fail` fault, a
+    /// re-registered table that lost the key column) is not an error: the
+    /// table simply plans as a sequential scan.
+    pub(crate) fn indexes_by_scan(&self) -> std::collections::HashMap<usize, Arc<Index>> {
+        let names: Vec<String> = {
+            let idxs = read_lock(&self.indexes);
+            if idxs.is_empty() {
+                return std::collections::HashMap::new();
+            }
+            idxs.keys().cloned().collect()
+        };
+        let targets: Vec<(String, Arc<ColBatch>)> = {
+            let cache = read_lock(&self.scan_cache);
+            names
+                .into_iter()
+                .filter_map(|n| cache.get(&n).map(|b| (n, Arc::clone(b))))
+                .collect()
+        };
+        let mut out = std::collections::HashMap::new();
+        for (name, batch) in targets {
+            if let Some(idx) = self.index_over(&name, &batch) {
+                out.insert(Arc::as_ptr(&batch) as *const () as usize, idx);
+            }
+        }
+        out
+    }
+
+    /// A built index over exactly `batch`: the already-built slot when its
+    /// postings match this batch, otherwise the first declaration that
+    /// builds successfully. Build time lands in the `index.build.us`
+    /// histogram; a failed build bumps `index.fallback` and the caller
+    /// falls back to a sequential scan.
+    fn index_over(&self, name: &str, batch: &Arc<ColBatch>) -> Option<Arc<Index>> {
+        let decls: Vec<(Vec<String>, Option<Arc<Index>>)> = read_lock(&self.indexes)
+            .get(name)?
+            .iter()
+            .map(|s| (s.cols.clone(), s.built.clone()))
+            .collect();
+        for (_, built) in &decls {
+            if let Some(b) = built {
+                if Arc::ptr_eq(b.batch(), batch) {
+                    return Some(Arc::clone(b));
+                }
+            }
+        }
+        let table = self.table(name).ok()?;
+        for (cols, _) in decls {
+            let Ok(positions) = cols
+                .iter()
+                .map(|c| table.column_index(c))
+                .collect::<Result<Vec<_>>>()
+            else {
+                continue;
+            };
+            let start = std::time::Instant::now();
+            match Index::build(name, &cols, positions, batch) {
+                Ok(idx) => {
+                    conquer_obs::registry()
+                        .histogram("index.build.us")
+                        .record(start.elapsed().as_micros() as u64);
+                    conquer_obs::registry().counter("index.build").inc();
+                    let idx = Arc::new(idx);
+                    // Cache the build only while this batch is still the
+                    // table's scan snapshot (the scan-cache revalidation
+                    // idiom); either way the caller gets the index for the
+                    // plan it is building right now, which holds `batch`.
+                    // `apply_register` clears the scan cache *before*
+                    // unbuilding slots, so a store that passes this check
+                    // and then loses the race is wiped by the unbuild.
+                    let mut map = write_lock(&self.indexes);
+                    let still_current = read_lock(&self.scan_cache)
+                        .get(name)
+                        .is_some_and(|cur| Arc::ptr_eq(cur, batch));
+                    if still_current {
+                        if let Some(slot) = map
+                            .get_mut(name)
+                            .and_then(|slots| slots.iter_mut().find(|s| s.cols == cols))
+                        {
+                            slot.built = Some(Arc::clone(&idx));
+                        }
+                    }
+                    return Some(idx);
+                }
+                Err(_) => {
+                    conquer_obs::registry().counter("index.fallback").inc();
+                }
+            }
+        }
+        None
     }
 
     /// Shared handle to a table.
@@ -513,7 +739,7 @@ impl Database {
         )?;
         span.record("rows", rows.rows.len());
         if options.use_stats {
-            let est = crate::cost::Estimator::from_db(self);
+            let est = self.estimator_for(options);
             crate::cost::annotate(&est, &plan, &mut stats);
         }
         Ok((rows, plan, stats))
@@ -564,7 +790,7 @@ impl Database {
         Ok(if options.pushdown_filters {
             let _span = conquer_obs::span("optimize");
             if options.use_stats {
-                let est = crate::cost::Estimator::from_db(self);
+                let est = self.estimator_for(options);
                 crate::opt::optimize_with(plan, Some(&est))
             } else {
                 crate::opt::optimize(plan)
@@ -572,6 +798,19 @@ impl Database {
         } else {
             plan
         })
+    }
+
+    /// The cost estimator for one planning pass. With `use_indexes` (and
+    /// `use_stats`) on, built secondary indexes become visible as
+    /// access-path candidates; off, the estimator is index-blind and the
+    /// planner produces exactly the pre-index plans — the differential
+    /// testing oracle.
+    fn estimator_for(&self, options: &ExecOptions) -> crate::cost::Estimator<'_> {
+        if options.use_indexes {
+            crate::cost::Estimator::from_db_with_indexes(self)
+        } else {
+            crate::cost::Estimator::from_db(self)
+        }
     }
 
     /// The operator tree a SQL query plans to, as an indented listing.
@@ -587,7 +826,7 @@ impl Database {
         let query = parse_query(sql)?;
         let plan = self.plan(&query, options)?;
         if options.use_stats {
-            let est = crate::cost::Estimator::from_db(self);
+            let est = self.estimator_for(options);
             let mut stats = crate::stats::NodeStats::for_plan(&plan);
             crate::cost::annotate(&est, &plan, &mut stats);
             Ok(crate::explain::explain_estimated(&plan, &stats))
@@ -614,7 +853,8 @@ impl Database {
     }
 
     /// Execute a `;`-separated script of statements (`CREATE TABLE`,
-    /// `INSERT`, queries). Returns the result of the last query, if any.
+    /// `INSERT`, `DROP TABLE`, `CREATE INDEX`, queries). Returns the
+    /// result of the last query, if any.
     pub fn run_script(&self, sql: &str) -> Result<Option<Rows>> {
         let mut last = None;
         for stmt in parse_statements(sql)? {
@@ -653,6 +893,15 @@ impl Database {
                 rows,
             } => {
                 self.insert(table, columns, rows)?;
+                Ok(None)
+            }
+            Statement::DropTable { name } => {
+                self.drop_table(name)?;
+                Ok(None)
+            }
+            Statement::CreateIndex { table, columns } => {
+                let cols: Vec<&str> = columns.iter().map(String::as_str).collect();
+                self.create_index(table, &cols)?;
                 Ok(None)
             }
         }
@@ -703,7 +952,32 @@ impl Database {
             new_table.rows(),
             new_table.schema().len(),
         ));
+        // Built indexes describe the pre-insert batch; capture them before
+        // the register unbuilds the slots so they can be extended (rather
+        // than rebuilt) over the appended rows. Sound because the mutation
+        // mutex is held: the new table is exactly the old rows plus the
+        // appended suffix, which is `Index::extended`'s contract.
+        let old_built: Vec<Arc<Index>> = read_lock(&self.indexes)
+            .get(name)
+            .map(|slots| slots.iter().filter_map(|s| s.built.clone()).collect())
+            .unwrap_or_default();
         self.apply_register(new_table, stats);
+        if !old_built.is_empty() {
+            if let Ok(new_batch) = self.table_cols(name) {
+                let mut map = write_lock(&self.indexes);
+                if let Some(slots) = map.get_mut(name) {
+                    for slot in slots.iter_mut() {
+                        if let Some(ext) = old_built
+                            .iter()
+                            .find(|i| i.col_names() == slot.cols.as_slice())
+                            .and_then(|i| i.extended(&new_batch))
+                        {
+                            slot.built = Some(Arc::new(ext));
+                        }
+                    }
+                }
+            }
+        }
         self.maybe_auto_checkpoint()?;
         Ok(())
     }

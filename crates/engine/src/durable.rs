@@ -3,20 +3,25 @@
 //! [`Checkpointer`].
 //!
 //! The storage layer (`conquer-storage`) moves opaque bytes; this module
-//! owns what the bytes mean. Four record kinds cover every catalog
+//! owns what the bytes mean. Five record kinds cover every catalog
 //! mutation:
 //!
 //! | kind | record | logged by |
 //! |------|--------|-----------|
 //! | 1 | `Create(name, schema)`              | `CREATE TABLE` |
 //! | 2 | `Insert(name, rows)`                | `INSERT` (the new rows only) |
-//! | 3 | `Snapshot(name, schema, stats, rows)` | `Database::register` (annotation recompute, bulk loads) |
+//! | 3 | `Snapshot(name, schema, stats, rows, indexes)` | `Database::register` (annotation recompute, bulk loads) |
 //! | 4 | `Drop(name)`                        | `Database::drop_table` |
+//! | 5 | `Index(name, key columns)`          | `Database::create_index` |
 //!
 //! Checkpoint segments reuse the `Snapshot` payload encoding, so the same
 //! decoder serves WAL replay and segment loading. `TableStats` are stored
 //! in snapshots and recovered verbatim — annotations and statistics are
-//! first-class durable data, not recomputed on boot.
+//! first-class durable data, not recomputed on boot. Index *declarations*
+//! are durable too (a snapshot carries its table's declared indexes); the
+//! built postings are not — recovery reinstalls declarations unbuilt, and
+//! the first query that plans against the table rebuilds lazily, keeping
+//! cold-boot recovery time independent of index count.
 //!
 //! Every decoder is bounds-checked and returns [`EngineError::Storage`] on
 //! malformed input; nothing here can panic on a corrupt file.
@@ -38,6 +43,7 @@ pub(crate) const KIND_CREATE: u8 = 1;
 pub(crate) const KIND_INSERT: u8 = 2;
 pub(crate) const KIND_SNAPSHOT: u8 = 3;
 pub(crate) const KIND_DROP: u8 = 4;
+pub(crate) const KIND_INDEX: u8 = 5;
 
 /// How a durable [`Database`](crate::Database) is opened — see
 /// [`Database::open`](crate::Database::open).
@@ -207,9 +213,26 @@ pub(crate) fn encode_drop(name: &str) -> Vec<u8> {
     buf
 }
 
+/// `Index` record: table name + key column names in index order.
+pub(crate) fn encode_index(name: &str, cols: &[String]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_str(&mut buf, name);
+    buf.extend_from_slice(&(cols.len() as u32).to_le_bytes());
+    for col in cols {
+        put_str(&mut buf, col);
+    }
+    buf
+}
+
 /// `Snapshot` record / checkpoint segment payload: the full table (name,
-/// schema, stats, rows).
-pub(crate) fn encode_snapshot(table: &Table, stats: &TableStats) -> Vec<u8> {
+/// schema, stats, rows) plus its declared index key-column lists. The
+/// index section is not optional — every snapshot carries it (possibly
+/// empty), so the decoder rejects truncation anywhere in the payload.
+pub(crate) fn encode_snapshot(
+    table: &Table,
+    stats: &TableStats,
+    indexes: &[Vec<String>],
+) -> Vec<u8> {
     let mut buf = Vec::new();
     put_str(&mut buf, table.name());
     put_schema(&mut buf, table.schema());
@@ -222,6 +245,13 @@ pub(crate) fn encode_snapshot(table: &Table, stats: &TableStats) -> Vec<u8> {
         buf.extend_from_slice(&(row.len() as u32).to_le_bytes());
         for v in &row {
             put_value(&mut buf, v);
+        }
+    }
+    buf.extend_from_slice(&(indexes.len() as u32).to_le_bytes());
+    for cols in indexes {
+        buf.extend_from_slice(&(cols.len() as u32).to_le_bytes());
+        for col in cols {
+            put_str(&mut buf, col);
         }
     }
     buf
@@ -351,6 +381,15 @@ impl<'a> Cursor<'a> {
         Ok(rows)
     }
 
+    fn index_decl(&mut self) -> Result<Vec<String>> {
+        let n = self.u32()? as usize;
+        let mut cols = Vec::with_capacity(n.min(1 << 10));
+        for _ in 0..n {
+            cols.push(self.str()?);
+        }
+        Ok(cols)
+    }
+
     fn finish(self) -> Result<()> {
         if self.at == self.bytes.len() {
             Ok(())
@@ -385,7 +424,15 @@ pub(crate) fn decode_drop(payload: &[u8]) -> Result<String> {
     Ok(name)
 }
 
-pub(crate) fn decode_snapshot(payload: &[u8]) -> Result<(Table, TableStats)> {
+pub(crate) fn decode_index(payload: &[u8]) -> Result<(String, Vec<String>)> {
+    let mut cur = Cursor::new(payload);
+    let name = cur.str()?;
+    let cols = cur.index_decl()?;
+    cur.finish()?;
+    Ok((name, cols))
+}
+
+pub(crate) fn decode_snapshot(payload: &[u8]) -> Result<(Table, TableStats, Vec<Vec<String>>)> {
     let mut cur = Cursor::new(payload);
     let name = cur.str()?;
     let schema = cur.schema()?;
@@ -408,8 +455,13 @@ pub(crate) fn decode_snapshot(payload: &[u8]) -> Result<(Table, TableStats)> {
         }
         cols.push_row(row);
     }
+    let n_indexes = cur.u32()? as usize;
+    let mut indexes = Vec::with_capacity(n_indexes.min(1 << 10));
+    for _ in 0..n_indexes {
+        indexes.push(cur.index_decl()?);
+    }
     cur.finish()?;
-    Ok((Table::from_parts(name, schema, cols), stats))
+    Ok((Table::from_parts(name, schema, cols), stats, indexes))
 }
 
 // ---------------------------------------------------------------------------
@@ -533,6 +585,11 @@ mod tests {
         assert!(matches!(decoded[2][1], Value::Date(19000)));
 
         assert_eq!(decode_drop(&encode_drop("orders")).unwrap(), "orders");
+
+        let cols = vec!["custkey".to_string(), "nationkey".to_string()];
+        let (name, decoded) = decode_index(&encode_index("customer", &cols)).unwrap();
+        assert_eq!(name, "customer");
+        assert_eq!(decoded, cols);
     }
 
     #[test]
@@ -541,14 +598,16 @@ mod tests {
         table.push(vec![Value::Int(1), Value::str("x")]).unwrap();
         table.push(vec![Value::Int(2), Value::Null]).unwrap();
         let stats = TableStats::collect(table.rows(), 2);
-        let payload = encode_snapshot(&table, &stats);
-        let (decoded, decoded_stats) = decode_snapshot(&payload).unwrap();
+        let decls = vec![vec!["a".to_string()]];
+        let payload = encode_snapshot(&table, &stats, &decls);
+        let (decoded, decoded_stats, decoded_decls) = decode_snapshot(&payload).unwrap();
         assert_eq!(decoded.name(), "t");
         assert_eq!(decoded.schema(), table.schema());
         assert_eq!(decoded.rows()[1][0], Value::Int(2));
         assert_eq!(decoded_stats.row_count, 2);
         assert_eq!(decoded_stats.columns[1].null_count, 1);
         assert_eq!(decoded_stats.columns[0].min, stats.columns[0].min);
+        assert_eq!(decoded_decls, decls);
     }
 
     #[test]
@@ -556,7 +615,7 @@ mod tests {
         let mut table = Table::new("t", vec![("a", DataType::Integer)]);
         table.push(vec![Value::Int(1)]).unwrap();
         let stats = TableStats::collect(table.rows(), 1);
-        let payload = encode_snapshot(&table, &stats);
+        let payload = encode_snapshot(&table, &stats, &[vec!["a".to_string()]]);
         for cut in 0..payload.len() {
             assert!(decode_snapshot(&payload[..cut]).is_err());
         }

@@ -316,6 +316,7 @@ fn execute_ctx(
 fn op_name(plan: &Plan) -> &'static str {
     match plan {
         Plan::Scan { .. } => "scan",
+        Plan::IndexScan { .. } => "index_scan",
         Plan::Unit => "unit",
         Plan::Filter { .. } => "filter",
         Plan::Project { .. } => "project",
@@ -593,6 +594,23 @@ fn exec_node(
                 schema: schema.clone(),
             })
         }
+        Plan::IndexScan {
+            cols,
+            schema,
+            index,
+            access,
+        } => {
+            // An index scan is still a scan for fault purposes: the same
+            // point fires whichever access path the optimizer picked.
+            faults::trip("scan")?;
+            let sel = index.select(access);
+            conquer_obs::registry().counter("index.probe").inc();
+            ticks(gov, sel.len() as u64, "index_scan")?;
+            Ok(Batch::Col {
+                cols: Arc::new(cols.gather(&sel)),
+                schema: schema.clone(),
+            })
+        }
         Plan::Unit => Ok(Batch::Owned(Rows {
             schema: plan.schema().clone(),
             rows: vec![Vec::new()],
@@ -722,6 +740,7 @@ fn exec_node(
             left_keys,
             right_keys,
             residual,
+            build_index,
             schema,
         } => {
             let l = execute_ctx(left, outer, child_stats(stats, 0), ctx)?;
@@ -733,6 +752,7 @@ fn exec_node(
                 left_keys,
                 right_keys,
                 residual.as_ref(),
+                build_index.as_ref(),
                 schema,
                 outer,
                 stats.as_deref_mut(),
@@ -998,6 +1018,34 @@ impl PartitionedTable {
     }
 }
 
+/// The probe target of a hash join: either a hash table built for this
+/// query, or a prebuilt secondary [`Index`](crate::index::Index) attached
+/// by the optimizer. Both expose the same postings contract — per-key row
+/// indices in ascending build-row order with NULL keys absent — so every
+/// probe and emission path downstream is identical.
+enum JoinTable<'a> {
+    Built(PartitionedTable),
+    Indexed(&'a crate::index::Index),
+}
+
+impl JoinTable<'_> {
+    fn get(&self, key: &Key) -> Option<&Vec<usize>> {
+        match self {
+            JoinTable::Built(t) => t.get(key),
+            JoinTable::Indexed(idx) => idx.get(key),
+        }
+    }
+
+    /// Bytes this join *allocated*: a prebuilt index is a shared,
+    /// database-resident structure, so it costs the query nothing.
+    fn query_bytes(&self) -> u64 {
+        match self {
+            JoinTable::Built(t) => t.bytes(),
+            JoinTable::Indexed(_) => 0,
+        }
+    }
+}
+
 /// Key extractor for one join side: either direct reads from the key
 /// column chunks of a columnar batch (the hash-key kernel — no per-row
 /// expression evaluation, and no pivot of the non-key columns), or bound
@@ -1114,12 +1162,23 @@ fn exec_hash_join(
     left_keys: &[BoundExpr],
     right_keys: &[BoundExpr],
     residual: Option<&BoundExpr>,
+    build_index: Option<&Arc<crate::index::Index>>,
     schema: &Schema,
     outer: Option<&Env<'_>>,
     mut stats: Option<&mut NodeStats>,
     ctx: ExecCtx<'_>,
 ) -> Result<Batch> {
     let gov = ctx.gov;
+    // A prebuilt index is only sound if the right child still produced the
+    // exact batch the index was built over (snapshot semantics); anything
+    // else — pivoted rows, a different epoch's batch — falls back to
+    // building a table for this query.
+    let prebuilt: Option<&crate::index::Index> = build_index
+        .filter(|idx| match &right {
+            Batch::Col { cols, .. } => Arc::ptr_eq(cols, idx.batch()),
+            Batch::Owned(_) => false,
+        })
+        .map(Arc::as_ref);
     if let Some(s) = stats.as_deref_mut() {
         s.build_rows += right.len() as u64;
         s.probe_rows += left.len() as u64;
@@ -1186,22 +1245,39 @@ fn exec_hash_join(
     }
 
     // Inner joins build the hash table on the smaller side; the output
-    // column order (left ++ right) is preserved when emitting.
-    if kind == JoinType::Inner && left.len() < right.len() && residual.is_none() {
+    // column order (left ++ right) is preserved when emitting. An attached
+    // index pins the build to the right side: probing a prebuilt structure
+    // beats re-hashing the smaller input.
+    if kind == JoinType::Inner
+        && left.len() < right.len()
+        && residual.is_none()
+        && prebuilt.is_none()
+    {
         return Ok(Batch::Owned(exec_hash_join_inner_swapped(
             right, left, right_keys, left_keys, schema, outer, stats, ctx,
         )?));
     }
 
-    // Build on the right side, hash-partitioned across workers when large.
+    // Build on the right side, hash-partitioned across workers when large —
+    // unless the optimizer attached a prebuilt index, which skips the build
+    // entirely. Both paths fire the `join.build` fault point.
     faults::trip("join.build")?;
-    let build_workers = par_workers(right.len(), ctx.threads);
-    let table = build_join_table(&right, right_keys, build_workers, outer, ctx)?;
+    let (table, build_workers) = match prebuilt {
+        Some(idx) => (JoinTable::Indexed(idx), 1),
+        None => {
+            let workers = par_workers(right.len(), ctx.threads);
+            let built = build_join_table(&right, right_keys, workers, outer, ctx)?;
+            (JoinTable::Built(built), workers)
+        }
+    };
     if let Some(g) = gov {
-        g.reserve_mem(table.bytes(), "hash_join")?;
+        g.reserve_mem(table.query_bytes(), "hash_join")?;
     }
     if let Some(s) = stats.as_deref_mut() {
-        s.est_mem_bytes += table.bytes();
+        s.est_mem_bytes += table.query_bytes();
+    }
+    if matches!(table, JoinTable::Indexed(_)) {
+        conquer_obs::registry().counter("index.probe").inc();
     }
 
     faults::trip("join.probe")?;

@@ -100,6 +100,25 @@ pub fn node_label(plan: &Plan) -> String {
                 .unwrap_or("?");
             format!("Scan {name} [{} rows, {} cols]", cols.len(), schema.len())
         }
+        Plan::IndexScan {
+            cols,
+            schema,
+            index,
+            access,
+        } => {
+            let name = schema
+                .columns
+                .first()
+                .and_then(|c| c.qualifier.as_deref())
+                .unwrap_or("?");
+            format!(
+                "Scan {name} [{} rows, {} cols] access=index({} {})",
+                cols.len(),
+                schema.len(),
+                index.col_names().join(","),
+                access.label(),
+            )
+        }
         Plan::Unit => "Unit".to_string(),
         Plan::Filter { .. } => "Filter".to_string(),
         Plan::Project { exprs, .. } => format!("Project [{} exprs]", exprs.len()),
@@ -115,13 +134,20 @@ pub fn node_label(plan: &Plan) -> String {
             kind,
             left_keys,
             residual,
+            build_index,
             ..
-        } => format!(
-            "HashJoin {} [{} keys{}]",
-            join_kind(*kind),
-            left_keys.len(),
-            if residual.is_some() { " +residual" } else { "" },
-        ),
+        } => {
+            let access = match build_index {
+                Some(idx) => format!(" access=index({})", idx.col_names().join(",")),
+                None => String::new(),
+            };
+            format!(
+                "HashJoin {} [{} keys{}]{access}",
+                join_kind(*kind),
+                left_keys.len(),
+                if residual.is_some() { " +residual" } else { "" },
+            )
+        }
         Plan::NestedLoopJoin { kind, on, .. } => format!(
             "NestedLoopJoin {}{}",
             join_kind(*kind),

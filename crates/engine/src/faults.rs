@@ -30,6 +30,11 @@ pub const POINTS: &[&str] = &[
     "sort",
     "limit",
     "cte.materialize",
+    // Secondary-index construction (`Index::build`). Unlike the operator
+    // points above, an armed failure here does not surface as a query
+    // error: the planner falls back to a SeqScan access path and the query
+    // still answers correctly.
+    "index_build_fail",
     // WAL/checkpoint layer (tripped inside `conquer-storage` via the
     // process-global hook installed on the first durable open).
     "wal_append_io",
@@ -61,6 +66,11 @@ mod imp {
     struct Schedule {
         /// point -> remaining hits before it fires (0 = fire on next hit).
         armed: HashMap<&'static str, u64>,
+        /// Points that fire on *every* hit until disarmed — for degradation
+        /// points that are retried within one operation (lazy index builds
+        /// are attempted once per estimator construction, so a one-shot
+        /// arming can be consumed before the plan is final).
+        every: std::collections::HashSet<&'static str>,
         /// Seeded mode: xorshift64* state and the 1-in-N firing rate.
         seeded: Option<(u64, u64)>,
         /// Total times each point was reached (armed or not).
@@ -85,6 +95,13 @@ mod imp {
     pub fn arm(point: &'static str, after: u64) {
         SCHEDULE.with(|s| {
             s.borrow_mut().armed.insert(point, after);
+        });
+    }
+
+    /// Arm one fault point to fire on *every* hit until [`disarm_all`].
+    pub fn arm_every(point: &'static str) {
+        SCHEDULE.with(|s| {
+            s.borrow_mut().every.insert(point);
         });
     }
 
@@ -120,6 +137,9 @@ mod imp {
         SCHEDULE.with(|s| {
             let mut s = s.borrow_mut();
             *s.hits.entry(point).or_insert(0) += 1;
+            if s.every.contains(point) {
+                return Err(injected(point));
+            }
             if let Some(remaining) = s.armed.get_mut(point) {
                 if *remaining == 0 {
                     s.armed.remove(point);
@@ -140,7 +160,7 @@ mod imp {
 pub use imp::trip;
 
 #[cfg(feature = "fault-injection")]
-pub use imp::{arm, arm_seeded, disarm_all, hits};
+pub use imp::{arm, arm_every, arm_seeded, disarm_all, hits};
 
 #[cfg(all(test, feature = "fault-injection"))]
 mod tests {

@@ -1,0 +1,444 @@
+//! Secondary indexes over columnar batches: hash postings for equality
+//! probes and an ordered numeric view for range scans.
+//!
+//! An [`Index`] maps key values to **row-id postings** over one immutable
+//! [`ColBatch`] — the same `Arc` the table's scan cache hands to every
+//! plan, so `Arc::ptr_eq` doubles as the validity stamp (exactly like the
+//! scan cache itself; see `Database::indexes_by_scan`). Postings are built
+//! in ascending row order with NULL keys excluded, which makes them
+//! *bit-compatible* with both consumers:
+//!
+//! * a hash join's build table (`exec::build_join_table` inserts rows
+//!   serially in the same order and skips NULL keys the same way), so an
+//!   [`IndexLookupJoin`](crate::plan::Plan::HashJoin) substitutes the
+//!   prebuilt postings for the per-query build without changing a single
+//!   emitted row;
+//! * a `Filter`-over-`Scan` selection vector (the filter kernels emit
+//!   passing rows in ascending row order), so an
+//!   [`IndexScan`](crate::plan::Plan::IndexScan) gather produces the
+//!   identical batch.
+//!
+//! Range scans binary-search the ordered `(f64, row)` view for a candidate
+//! span — `f64` conversion is monotone, so the span is a superset of the
+//! true matches — then re-check every candidate with the exact
+//! [`Value::sql_cmp`] the filter kernel would have used. Equality probes
+//! need no re-check: [`Key`] normalization (`Float(1.0)` → `Int(1)`) agrees
+//! with SQL equality for every literal the planner is allowed to attach
+//! (see `opt::select_access_paths`).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::mem;
+use std::sync::Arc;
+
+use crate::col::ColBatch;
+use crate::error::Result;
+use crate::faults;
+use crate::stats::numeric_of;
+use crate::value::{Key, Value};
+
+/// How an [`IndexScan`](crate::plan::Plan::IndexScan) probes its index.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IndexAccess {
+    /// Point lookup: one literal per index column, in index column order.
+    Eq(Vec<Value>),
+    /// Range probe over a single-column ordered index; each bound is
+    /// `(literal, inclusive)`.
+    Range {
+        lo: Option<(Value, bool)>,
+        hi: Option<(Value, bool)>,
+    },
+}
+
+impl IndexAccess {
+    /// Short label for `EXPLAIN` (`eq` / `range`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            IndexAccess::Eq(_) => "eq",
+            IndexAccess::Range { .. } => "range",
+        }
+    }
+}
+
+/// A built secondary index over one columnar batch. Immutable once built;
+/// `INSERT` produces a new `Index` via [`Index::extended`].
+pub struct Index {
+    table: String,
+    col_names: Vec<String>,
+    /// Key column indices in the batch, in declared order.
+    cols: Vec<usize>,
+    /// The batch the postings describe; `Arc::ptr_eq` is the validity
+    /// stamp.
+    batch: Arc<ColBatch>,
+    /// Equality postings: key → ascending row ids (NULL keys excluded).
+    map: HashMap<Key, Vec<usize>>,
+    /// Ordered view for single-column indexes whose non-null values are
+    /// all numeric: `(numeric value, row id)` sorted ascending. `None`
+    /// for multi-column or non-numeric keys — no range support then.
+    ordered: Option<Vec<(f64, usize)>>,
+}
+
+impl fmt::Debug for Index {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Index")
+            .field("table", &self.table)
+            .field("cols", &self.col_names)
+            .field("rows", &self.batch.len())
+            .field("keys", &self.map.len())
+            .field("ordered", &self.ordered.is_some())
+            .finish()
+    }
+}
+
+impl Index {
+    /// Build postings over `batch` for the given key columns. Carries the
+    /// `index_build_fail` fault point: a tripped build surfaces as `Err`
+    /// and the caller (the database's lazy build) falls back to a
+    /// sequential scan — never a wrong answer, never a panic.
+    pub fn build(
+        table: &str,
+        col_names: &[String],
+        cols: Vec<usize>,
+        batch: &Arc<ColBatch>,
+    ) -> Result<Index> {
+        faults::trip("index_build_fail")?;
+        let n = batch.len();
+        let chunks: Vec<_> = cols.iter().map(|&c| Arc::clone(&batch.cols()[c])).collect();
+        let mut map: HashMap<Key, Vec<usize>> = HashMap::new();
+        let mut numeric = cols.len() == 1;
+        let mut ordered: Vec<(f64, usize)> = Vec::new();
+        let mut vals: Vec<Value> = Vec::with_capacity(cols.len());
+        for i in 0..n {
+            vals.clear();
+            for chunk in &chunks {
+                vals.push(chunk.value_at(i));
+            }
+            if numeric && !vals[0].is_null() {
+                match numeric_of(&vals[0]) {
+                    Some(v) => ordered.push((v, i)),
+                    None => {
+                        numeric = false;
+                        ordered.clear();
+                    }
+                }
+            }
+            let key = Key::from_values(&vals);
+            if key.has_null() {
+                continue;
+            }
+            map.entry(key).or_default().push(i);
+        }
+        ordered.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        Ok(Index {
+            table: table.to_string(),
+            col_names: col_names.to_vec(),
+            cols,
+            batch: Arc::clone(batch),
+            map,
+            ordered: numeric.then_some(ordered),
+        })
+    }
+
+    /// Incremental maintenance for `INSERT`: `new_batch` must extend this
+    /// index's batch by appended rows (the engine's inserts clone the
+    /// table and push, so the row prefix is value-identical). Existing
+    /// postings stay valid; only the appended suffix is keyed. Returns
+    /// `None` when `new_batch` is not a pure extension.
+    pub fn extended(&self, new_batch: &Arc<ColBatch>) -> Option<Index> {
+        let old_n = self.batch.len();
+        if new_batch.len() < old_n || new_batch.width() != self.batch.width() {
+            return None;
+        }
+        let chunks: Vec<_> = self
+            .cols
+            .iter()
+            .map(|&c| Arc::clone(&new_batch.cols()[c]))
+            .collect();
+        let mut map = self.map.clone();
+        let mut ordered = self.ordered.clone();
+        let mut vals: Vec<Value> = Vec::with_capacity(self.cols.len());
+        for i in old_n..new_batch.len() {
+            vals.clear();
+            for chunk in &chunks {
+                vals.push(chunk.value_at(i));
+            }
+            if let Some(ord) = &mut ordered {
+                if !vals[0].is_null() {
+                    match numeric_of(&vals[0]) {
+                        Some(v) => ord.push((v, i)),
+                        None => ordered = None,
+                    }
+                }
+            }
+            let key = Key::from_values(&vals);
+            if key.has_null() {
+                continue;
+            }
+            map.entry(key).or_default().push(i);
+        }
+        if let Some(ord) = &mut ordered {
+            ord.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        }
+        Some(Index {
+            table: self.table.clone(),
+            col_names: self.col_names.clone(),
+            cols: self.cols.clone(),
+            batch: Arc::clone(new_batch),
+            map,
+            ordered,
+        })
+    }
+
+    /// The table this index belongs to.
+    pub fn table(&self) -> &str {
+        &self.table
+    }
+
+    /// Key column names, in index order.
+    pub fn col_names(&self) -> &[String] {
+        &self.col_names
+    }
+
+    /// Key column indices in the batch, in index order.
+    pub fn cols(&self) -> &[usize] {
+        &self.cols
+    }
+
+    /// The batch the postings were built over (the validity stamp).
+    pub fn batch(&self) -> &Arc<ColBatch> {
+        &self.batch
+    }
+
+    /// Number of distinct (non-null) keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether range probes are supported (single numeric key column).
+    pub fn supports_range(&self) -> bool {
+        self.ordered.is_some()
+    }
+
+    /// Equality postings for a key, ascending row ids. Drop-in for the
+    /// hash join's build-table lookup: `None` and NULL-key behaviour match
+    /// `exec::build_join_table` exactly.
+    pub fn get(&self, key: &Key) -> Option<&Vec<usize>> {
+        self.map.get(key)
+    }
+
+    /// Rough resident footprint, mirroring the join hash-table estimate.
+    pub fn bytes(&self) -> u64 {
+        let entry = mem::size_of::<Key>() + mem::size_of::<Vec<usize>>();
+        let postings: usize = self.map.values().map(Vec::len).sum();
+        let ordered = self
+            .ordered
+            .as_ref()
+            .map_or(0, |o| o.len() * mem::size_of::<(f64, usize)>());
+        (self.map.capacity() * entry + postings * mem::size_of::<usize>() + ordered) as u64
+    }
+
+    /// Resolve an access into an ascending selection vector over the
+    /// index's batch — exactly the rows the equivalent `Filter` over a
+    /// full `Scan` would keep, in the same order.
+    pub fn select(&self, access: &IndexAccess) -> Vec<u32> {
+        match access {
+            IndexAccess::Eq(values) => {
+                if values.iter().any(Value::is_null) {
+                    return Vec::new(); // SQL equality never matches NULL
+                }
+                let key = Key::from_values(values);
+                match self.map.get(&key) {
+                    Some(rows) => rows.iter().map(|&r| r as u32).collect(),
+                    None => Vec::new(),
+                }
+            }
+            IndexAccess::Range { lo, hi } => self.select_range(lo.as_ref(), hi.as_ref()),
+        }
+    }
+
+    fn select_range(&self, lo: Option<&(Value, bool)>, hi: Option<&(Value, bool)>) -> Vec<u32> {
+        let Some(ordered) = &self.ordered else {
+            return Vec::new(); // planner never attaches Range without support
+        };
+        // Candidate span with *inclusive* f64 bounds: `f64` conversion is
+        // monotone, so every true match lands inside; the exact re-check
+        // below discards boundary rows the rounding let through.
+        let start = match lo.and_then(|(v, _)| numeric_of(v)) {
+            Some(f) => ordered.partition_point(|e| e.0 < f),
+            None => 0,
+        };
+        let end = match hi.and_then(|(v, _)| numeric_of(v)) {
+            Some(f) => ordered.partition_point(|e| e.0 <= f),
+            None => ordered.len(),
+        };
+        let chunk = &self.batch.cols()[self.cols[0]];
+        let mut out: Vec<u32> = Vec::new();
+        for &(_, row) in &ordered[start..end.max(start)] {
+            let v = chunk.value_at(row);
+            let pass_lo = match lo {
+                None => true,
+                Some((bound, inclusive)) => match v.sql_cmp(bound) {
+                    Ok(Some(ord)) => ord.is_gt() || (*inclusive && ord.is_eq()),
+                    Ok(None) | Err(_) => false,
+                },
+            };
+            let pass_hi = match hi {
+                None => true,
+                Some((bound, inclusive)) => match v.sql_cmp(bound) {
+                    Ok(Some(ord)) => ord.is_lt() || (*inclusive && ord.is_eq()),
+                    Ok(None) | Err(_) => false,
+                },
+            };
+            if pass_lo && pass_hi {
+                out.push(row as u32);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, DataType, Schema};
+
+    fn batch(rows: Vec<Vec<Value>>) -> Arc<ColBatch> {
+        let schema = Schema::new(vec![
+            Column::bare("k", DataType::Integer),
+            Column::bare("v", DataType::Text),
+        ]);
+        Arc::new(ColBatch::from_rows(&schema, rows))
+    }
+
+    fn demo() -> Arc<ColBatch> {
+        batch(vec![
+            vec![Value::Int(3), Value::str("a")],
+            vec![Value::Int(1), Value::str("b")],
+            vec![Value::Null, Value::str("c")],
+            vec![Value::Int(3), Value::str("d")],
+            vec![Value::Int(2), Value::str("e")],
+        ])
+    }
+
+    fn build(b: &Arc<ColBatch>) -> Index {
+        Index::build("t", &["k".to_string()], vec![0], b).expect("build")
+    }
+
+    #[test]
+    fn eq_postings_ascend_and_skip_nulls() {
+        let b = demo();
+        let idx = build(&b);
+        assert_eq!(
+            idx.select(&IndexAccess::Eq(vec![Value::Int(3)])),
+            vec![0, 3]
+        );
+        assert_eq!(
+            idx.select(&IndexAccess::Eq(vec![Value::Int(9)])),
+            Vec::<u32>::new()
+        );
+        assert_eq!(
+            idx.select(&IndexAccess::Eq(vec![Value::Null])),
+            Vec::<u32>::new(),
+            "NULL never matches equality"
+        );
+        // Float(3.0) normalizes to the same key as Int(3) — matching
+        // SQL equality (3 = 3.0 is true).
+        assert_eq!(
+            idx.select(&IndexAccess::Eq(vec![Value::Float(3.0)])),
+            vec![0, 3]
+        );
+        assert_eq!(idx.distinct_keys(), 3);
+    }
+
+    #[test]
+    fn range_select_matches_filter_semantics() {
+        let b = demo();
+        let idx = build(&b);
+        assert!(idx.supports_range());
+        let sel = |lo: Option<(i64, bool)>, hi: Option<(i64, bool)>| {
+            idx.select(&IndexAccess::Range {
+                lo: lo.map(|(v, inc)| (Value::Int(v), inc)),
+                hi: hi.map(|(v, inc)| (Value::Int(v), inc)),
+            })
+        };
+        assert_eq!(sel(Some((2, false)), None), vec![0, 3]); // k > 2
+        assert_eq!(sel(Some((2, true)), None), vec![0, 3, 4]); // k >= 2
+        assert_eq!(sel(None, Some((2, false))), vec![1]); // k < 2
+        assert_eq!(sel(Some((1, false)), Some((3, false))), vec![4]); // 1 < k < 3
+        assert_eq!(sel(None, None), vec![0, 1, 3, 4]); // non-null rows
+    }
+
+    #[test]
+    fn text_keys_lose_range_but_keep_eq() {
+        let b = demo();
+        let idx = Index::build("t", &["v".to_string()], vec![1], &b).expect("build");
+        assert!(!idx.supports_range());
+        assert_eq!(idx.select(&IndexAccess::Eq(vec![Value::str("d")])), vec![3]);
+        assert!(idx
+            .select(&IndexAccess::Range {
+                lo: None,
+                hi: Some((Value::str("c"), true)),
+            })
+            .is_empty());
+    }
+
+    #[test]
+    fn extended_matches_full_rebuild() {
+        let b = demo();
+        let idx = build(&b);
+        let grown = batch(vec![
+            vec![Value::Int(3), Value::str("a")],
+            vec![Value::Int(1), Value::str("b")],
+            vec![Value::Null, Value::str("c")],
+            vec![Value::Int(3), Value::str("d")],
+            vec![Value::Int(2), Value::str("e")],
+            vec![Value::Int(3), Value::str("f")],
+            vec![Value::Null, Value::str("g")],
+            vec![Value::Int(0), Value::str("h")],
+        ]);
+        let ext = idx.extended(&grown).expect("extends");
+        let rebuilt = build(&grown);
+        assert_eq!(
+            ext.select(&IndexAccess::Eq(vec![Value::Int(3)])),
+            rebuilt.select(&IndexAccess::Eq(vec![Value::Int(3)]))
+        );
+        assert_eq!(
+            ext.select(&IndexAccess::Range {
+                lo: Some((Value::Int(1), true)),
+                hi: None
+            }),
+            rebuilt.select(&IndexAccess::Range {
+                lo: Some((Value::Int(1), true)),
+                hi: None
+            })
+        );
+        assert_eq!(ext.distinct_keys(), rebuilt.distinct_keys());
+        assert!(Arc::ptr_eq(ext.batch(), &grown));
+        // A shrunk batch is not an extension.
+        assert!(ext.extended(&b).is_none());
+    }
+
+    #[test]
+    fn multi_column_keys_probe_in_index_order() {
+        let schema = Schema::new(vec![
+            Column::bare("a", DataType::Integer),
+            Column::bare("b", DataType::Text),
+        ]);
+        let b = Arc::new(ColBatch::from_rows(
+            &schema,
+            vec![
+                vec![Value::Int(1), Value::str("x")],
+                vec![Value::Int(1), Value::str("y")],
+                vec![Value::Int(1), Value::str("x")],
+            ],
+        ));
+        let idx =
+            Index::build("t", &["a".to_string(), "b".to_string()], vec![0, 1], &b).expect("build");
+        assert!(!idx.supports_range());
+        assert_eq!(
+            idx.select(&IndexAccess::Eq(vec![Value::Int(1), Value::str("x")])),
+            vec![0, 2]
+        );
+    }
+}

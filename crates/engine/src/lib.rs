@@ -49,6 +49,7 @@ pub mod expr;
 pub mod faults;
 pub mod fsum;
 pub mod governor;
+pub mod index;
 pub mod kernels;
 pub mod opt;
 pub mod plan;
@@ -65,6 +66,7 @@ pub use durable::{Checkpointer, DurabilityOptions};
 pub use error::{EngineError, Result};
 pub use explain::{explain, explain_analyze, explain_estimated, stats_json};
 pub use governor::{CancellationToken, Governor, LimitTrip, ResourceLimits};
+pub use index::{Index, IndexAccess};
 pub use plan::{ExecOptions, Plan};
 pub use schema::{Column, DataType, Schema};
 pub use stats::{ColumnStats, NodeStats, TableStats};

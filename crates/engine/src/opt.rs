@@ -26,7 +26,9 @@
 
 use crate::cost::Estimator;
 use crate::expr::{BoundExpr, SubqueryKind};
+use crate::index::{Index, IndexAccess};
 use crate::plan::{JoinType, Plan};
+use crate::value::Value;
 
 /// Push a conjunct below the right side of an inner join only when its
 /// estimated selectivity is at most this: filtering predicates go down,
@@ -43,7 +45,7 @@ pub fn optimize(plan: Plan) -> Plan {
 pub fn optimize_with(plan: Plan, est: Option<&Estimator<'_>>) -> Plan {
     let pushed = pushdown(plan, est);
     match est {
-        Some(est) => orient_build_sides(pushed, est),
+        Some(est) => select_access_paths(orient_build_sides(pushed, est), est),
         None => pushed,
     }
 }
@@ -78,6 +80,7 @@ fn pushdown(plan: Plan, est: Option<&Estimator<'_>>) -> Plan {
             left_keys,
             right_keys,
             residual,
+            build_index,
             schema,
         } => Plan::HashJoin {
             left: Box::new(pushdown(*left, est)),
@@ -86,6 +89,7 @@ fn pushdown(plan: Plan, est: Option<&Estimator<'_>>) -> Plan {
             left_keys,
             right_keys,
             residual,
+            build_index,
             schema,
         },
         Plan::NestedLoopJoin {
@@ -127,7 +131,7 @@ fn pushdown(plan: Plan, est: Option<&Estimator<'_>>) -> Plan {
             input: Box::new(pushdown(*input, est)),
             n,
         },
-        leaf @ (Plan::Scan { .. } | Plan::Unit) => leaf,
+        leaf @ (Plan::Scan { .. } | Plan::IndexScan { .. } | Plan::Unit) => leaf,
     }
 }
 
@@ -165,6 +169,7 @@ fn push_filter(input: Plan, conjuncts: Vec<BoundExpr>, est: Option<&Estimator<'_
             left_keys,
             right_keys,
             residual,
+            build_index,
             schema,
         } => {
             let left_width = left.schema().len();
@@ -179,6 +184,7 @@ fn push_filter(input: Plan, conjuncts: Vec<BoundExpr>, est: Option<&Estimator<'_
                 left_keys,
                 right_keys,
                 residual,
+                build_index,
                 schema,
             };
             wrap_filter(joined, keep)
@@ -293,6 +299,7 @@ fn orient_build_sides(plan: Plan, est: &Estimator<'_>) -> Plan {
             left_keys,
             right_keys,
             residual,
+            build_index,
             schema,
         } => Plan::HashJoin {
             left: Box::new(orient_build_sides(*left, est)),
@@ -301,6 +308,7 @@ fn orient_build_sides(plan: Plan, est: &Estimator<'_>) -> Plan {
             left_keys,
             right_keys,
             residual,
+            build_index,
             schema,
         },
         Plan::NestedLoopJoin {
@@ -342,7 +350,7 @@ fn orient_build_sides(plan: Plan, est: &Estimator<'_>) -> Plan {
             input: Box::new(orient_build_sides(*input, est)),
             n,
         },
-        leaf @ (Plan::Scan { .. } | Plan::Unit) => leaf,
+        leaf @ (Plan::Scan { .. } | Plan::IndexScan { .. } | Plan::Unit) => leaf,
     };
     maybe_swap_build(plan, est)
 }
@@ -358,6 +366,7 @@ fn maybe_swap_build(plan: Plan, est: &Estimator<'_>) -> Plan {
         left_keys,
         right_keys,
         residual: Some(mut residual),
+        build_index,
         schema,
     } = plan
     else {
@@ -374,6 +383,7 @@ fn maybe_swap_build(plan: Plan, est: &Estimator<'_>) -> Plan {
             left_keys,
             right_keys,
             residual: Some(residual),
+            build_index,
             schema,
         };
     }
@@ -402,11 +412,382 @@ fn maybe_swap_build(plan: Plan, est: &Estimator<'_>) -> Plan {
             left_keys: right_keys,
             right_keys: left_keys,
             residual: Some(residual),
+            // Sides flipped: a build index for the old right no longer
+            // describes the build input. (None in practice — the attach
+            // pass runs after build-side orientation.)
+            build_index: None,
             schema: swapped_schema,
         }),
         exprs,
         schema,
     }
+}
+
+/// Access-path selection over the final plan shape: rewrite
+/// `Filter`-over-`Scan` into an `IndexScan` (plus a residual `Filter` for
+/// conjuncts the index cannot answer) when a secondary index covers the
+/// filter's key-equality or range conjuncts *and* the cost model prices
+/// the probe below the sequential scan, and serve hash-join build sides
+/// from a prebuilt index whenever the build keys are exactly the index's
+/// key columns. Only runs with an estimator (`use_stats`), and only sees
+/// indexes the estimator carries (`use_indexes`) — without either, plans
+/// are untouched.
+fn select_access_paths(plan: Plan, est: &Estimator<'_>) -> Plan {
+    let plan = match plan {
+        Plan::Filter { input, predicate } => {
+            let input = select_access_paths(*input, est);
+            if let Plan::Scan { cols, schema } = &input {
+                if let Some(index) = est.index_for(cols) {
+                    if let Some(rewritten) = try_index_scan(cols, schema, index, &predicate, est) {
+                        return rewritten;
+                    }
+                }
+            }
+            Plan::Filter {
+                input: Box::new(input),
+                predicate,
+            }
+        }
+        Plan::Project {
+            input,
+            exprs,
+            schema,
+        } => Plan::Project {
+            input: Box::new(select_access_paths(*input, est)),
+            exprs,
+            schema,
+        },
+        Plan::Rename { input, schema } => Plan::Rename {
+            input: Box::new(select_access_paths(*input, est)),
+            schema,
+        },
+        Plan::HashJoin {
+            left,
+            right,
+            kind,
+            mut left_keys,
+            mut right_keys,
+            residual,
+            mut build_index,
+            schema,
+        } => {
+            let left = Box::new(select_access_paths(*left, est));
+            let right = Box::new(select_access_paths(*right, est));
+            if build_index.is_none() {
+                if let Plan::Scan { cols, .. } = &*right {
+                    if let Some(index) = est.index_for(cols) {
+                        if let Some(perm) = key_permutation(index, &right_keys) {
+                            // Reorder both key vectors into the index's
+                            // column order so probe keys hash exactly the
+                            // keys the postings were built from.
+                            left_keys = perm.iter().map(|&j| left_keys[j].clone()).collect();
+                            right_keys = perm.iter().map(|&j| right_keys[j].clone()).collect();
+                            build_index = Some(std::sync::Arc::clone(index));
+                        }
+                    }
+                }
+            }
+            // ConQuer's rewriting shape: an *inner* join whose build side
+            // is a filtered base table (the Filter rewriting joins the
+            // candidates back against `σ(R)`). Hoisting the filter into
+            // the join residual is sound for inner joins — every emitted
+            // pair must satisfy it either way — and frees the prebuilt
+            // key index to serve the build. Priced against building from
+            // the filtered scan, so a very selective build filter keeps
+            // the sequential build.
+            if build_index.is_none() && matches!(kind, JoinType::Inner) {
+                if let Plan::Filter { input, predicate } = &*right {
+                    if let Plan::Scan {
+                        cols,
+                        schema: scan_schema,
+                    } = &**input
+                    {
+                        if let Some(index) = est.index_for(cols) {
+                            if let Some(perm) = key_permutation(index, &right_keys) {
+                                let mut hoisted = predicate.clone();
+                                let w_l = left.schema().len();
+                                map_row_refs(&mut hoisted, 0, &mut |i| i + w_l);
+                                let mut conjuncts = vec![hoisted];
+                                if let Some(r) = residual.clone() {
+                                    conjuncts.extend(split_bound_conjuncts(r));
+                                }
+                                let candidate = Plan::HashJoin {
+                                    left: left.clone(),
+                                    right: Box::new(Plan::Scan {
+                                        cols: std::sync::Arc::clone(cols),
+                                        schema: scan_schema.clone(),
+                                    }),
+                                    kind,
+                                    left_keys: perm.iter().map(|&j| left_keys[j].clone()).collect(),
+                                    right_keys: perm
+                                        .iter()
+                                        .map(|&j| right_keys[j].clone())
+                                        .collect(),
+                                    residual: conjoin_bound(conjuncts),
+                                    build_index: Some(std::sync::Arc::clone(index)),
+                                    schema: schema.clone(),
+                                };
+                                let original = Plan::HashJoin {
+                                    left: left.clone(),
+                                    right: right.clone(),
+                                    kind,
+                                    left_keys: left_keys.clone(),
+                                    right_keys: right_keys.clone(),
+                                    residual: residual.clone(),
+                                    build_index: None,
+                                    schema: schema.clone(),
+                                };
+                                if est.cost(&candidate) < est.cost(&original) {
+                                    return candidate;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            Plan::HashJoin {
+                left,
+                right,
+                kind,
+                left_keys,
+                right_keys,
+                residual,
+                build_index,
+                schema,
+            }
+        }
+        Plan::NestedLoopJoin {
+            left,
+            right,
+            kind,
+            on,
+            schema,
+        } => Plan::NestedLoopJoin {
+            left: Box::new(select_access_paths(*left, est)),
+            right: Box::new(select_access_paths(*right, est)),
+            kind,
+            on,
+            schema,
+        },
+        Plan::Aggregate {
+            input,
+            group_exprs,
+            aggs,
+            schema,
+        } => Plan::Aggregate {
+            input: Box::new(select_access_paths(*input, est)),
+            group_exprs,
+            aggs,
+            schema,
+        },
+        Plan::Distinct { input } => Plan::Distinct {
+            input: Box::new(select_access_paths(*input, est)),
+        },
+        Plan::UnionAll { left, right } => Plan::UnionAll {
+            left: Box::new(select_access_paths(*left, est)),
+            right: Box::new(select_access_paths(*right, est)),
+        },
+        Plan::Sort { input, keys } => Plan::Sort {
+            input: Box::new(select_access_paths(*input, est)),
+            keys,
+        },
+        Plan::Limit { input, n } => Plan::Limit {
+            input: Box::new(select_access_paths(*input, est)),
+            n,
+        },
+        leaf @ (Plan::Scan { .. } | Plan::IndexScan { .. } | Plan::Unit) => leaf,
+    };
+    plan
+}
+
+/// Attempt to serve a filtered scan through `index`, pricing the candidate
+/// against the sequential plan. Returns the rewritten subtree only when
+/// the index answers part of the predicate *and* costs less.
+fn try_index_scan(
+    cols: &std::sync::Arc<crate::col::ColBatch>,
+    schema: &crate::schema::Schema,
+    index: &std::sync::Arc<Index>,
+    predicate: &BoundExpr,
+    est: &Estimator<'_>,
+) -> Option<Plan> {
+    let conjuncts = split_bound_conjuncts(predicate.clone());
+    let (access, residual) = index_access_for(index, schema, conjuncts)?;
+    let candidate = wrap_filter(
+        Plan::IndexScan {
+            cols: std::sync::Arc::clone(cols),
+            schema: schema.clone(),
+            index: std::sync::Arc::clone(index),
+            access,
+        },
+        residual,
+    );
+    let original = Plan::Filter {
+        input: Box::new(Plan::Scan {
+            cols: std::sync::Arc::clone(cols),
+            schema: schema.clone(),
+        }),
+        predicate: predicate.clone(),
+    };
+    (est.cost(&candidate) < est.cost(&original)).then_some(candidate)
+}
+
+/// Carve an [`IndexAccess`] out of a filter's conjuncts: a full equality
+/// cover of the index's key columns (one typed literal per column), or —
+/// for single-column ordered indexes — the first lower and upper range
+/// bounds. Everything unconsumed comes back as the residual.
+fn index_access_for(
+    index: &Index,
+    schema: &crate::schema::Schema,
+    conjuncts: Vec<BoundExpr>,
+) -> Option<(IndexAccess, Vec<BoundExpr>)> {
+    // Full equality cover first: the cheapest probe an index offers.
+    let mut used = vec![false; conjuncts.len()];
+    let mut values = Vec::new();
+    for &c in index.cols() {
+        let hit = conjuncts
+            .iter()
+            .enumerate()
+            .find(|(j, conj)| !used[*j] && eq_on_col(conj, schema, c).is_some());
+        match hit {
+            Some((j, conj)) => {
+                used[j] = true;
+                values.push(eq_on_col(conj, schema, c)?);
+            }
+            None => {
+                values.clear();
+                break;
+            }
+        }
+    }
+    if values.len() == index.cols().len() {
+        let residual = conjuncts
+            .into_iter()
+            .zip(used)
+            .filter_map(|(conj, u)| (!u).then_some(conj))
+            .collect();
+        return Some((IndexAccess::Eq(values), residual));
+    }
+    // Range probe over the single ordered key column: consume the first
+    // lower and first upper bound; further bounds stay in the residual
+    // (re-applied exactly, so tightness is a cost question, not a
+    // correctness one).
+    if index.supports_range() {
+        let c = index.cols()[0];
+        let (mut lo, mut hi) = (None, None);
+        let mut residual = Vec::new();
+        for conj in conjuncts {
+            match range_on_col(&conj, schema, c) {
+                Some((true, v, inclusive)) if lo.is_none() => lo = Some((v, inclusive)),
+                Some((false, v, inclusive)) if hi.is_none() => hi = Some((v, inclusive)),
+                _ => residual.push(conj),
+            }
+        }
+        if lo.is_some() || hi.is_some() {
+            return Some((IndexAccess::Range { lo, hi }, residual));
+        }
+    }
+    None
+}
+
+/// `col = literal` (either side) on column `c`, with the literal's type
+/// compatible with the column's — the shapes where an index equality
+/// probe provably agrees with SQL equality.
+fn eq_on_col(conj: &BoundExpr, schema: &crate::schema::Schema, c: usize) -> Option<Value> {
+    let BoundExpr::Binary {
+        op: conquer_sql::BinaryOp::Eq,
+        left,
+        right,
+    } = conj
+    else {
+        return None;
+    };
+    let (i, v) = col_and_literal(left, right)?;
+    (i == c && literal_type_ok(v, schema.columns.get(c)?.ty)).then(|| v.clone())
+}
+
+/// `col OP literal` / `literal OP col` comparison on column `c` with a
+/// typed numeric-comparable literal. Returns `(is_lower_bound, literal,
+/// inclusive)` from the column's point of view.
+fn range_on_col(
+    conj: &BoundExpr,
+    schema: &crate::schema::Schema,
+    c: usize,
+) -> Option<(bool, Value, bool)> {
+    use conquer_sql::BinaryOp::{Gt, GtEq, Lt, LtEq};
+    let BoundExpr::Binary { op, left, right } = conj else {
+        return None;
+    };
+    let (i, v, col_on_left) = match (&**left, &**right) {
+        (BoundExpr::Column { depth: 0, index }, BoundExpr::Literal(v)) => (*index, v, true),
+        (BoundExpr::Literal(v), BoundExpr::Column { depth: 0, index }) => (*index, v, false),
+        _ => return None,
+    };
+    if i != c
+        || !literal_type_ok(v, schema.columns.get(c)?.ty)
+        || crate::stats::numeric_of(v).is_none()
+    {
+        return None;
+    }
+    let (is_lo, inclusive) = match (op, col_on_left) {
+        (Gt, true) | (Lt, false) => (true, false),
+        (GtEq, true) | (LtEq, false) => (true, true),
+        (Lt, true) | (Gt, false) => (false, false),
+        (LtEq, true) | (GtEq, false) => (false, true),
+        _ => return None,
+    };
+    Some((is_lo, v.clone(), inclusive))
+}
+
+fn col_and_literal<'e>(left: &'e BoundExpr, right: &'e BoundExpr) -> Option<(usize, &'e Value)> {
+    match (left, right) {
+        (BoundExpr::Column { depth: 0, index }, BoundExpr::Literal(v))
+        | (BoundExpr::Literal(v), BoundExpr::Column { depth: 0, index }) => Some((*index, v)),
+        _ => None,
+    }
+}
+
+/// Literal/column pairings where the index key normalization (integral
+/// floats fold into ints) provably agrees with SQL equality and ordering.
+/// NULL and NaN literals never qualify (`= NULL` matches nothing, and the
+/// filter kernel would agree).
+fn literal_type_ok(lit: &Value, ty: crate::schema::DataType) -> bool {
+    use crate::schema::DataType;
+    match (lit, ty) {
+        (Value::Int(_), DataType::Integer | DataType::Float) => true,
+        (Value::Float(f), DataType::Integer | DataType::Float) => f.is_finite(),
+        (Value::Str(_), DataType::Text) => true,
+        (Value::Bool(_), DataType::Boolean) => true,
+        (Value::Date(_), DataType::Date) => true,
+        _ => false,
+    }
+}
+
+/// If every build key is a plain depth-0 column and the key set is
+/// exactly a permutation of the index's key columns, return the
+/// permutation `perm` with `keys[perm[p]]` covering `index.cols()[p]`.
+fn key_permutation(index: &Index, right_keys: &[BoundExpr]) -> Option<Vec<usize>> {
+    if right_keys.len() != index.cols().len() {
+        return None;
+    }
+    let key_cols: Vec<usize> = right_keys
+        .iter()
+        .map(|k| match k {
+            BoundExpr::Column { depth: 0, index } => Some(*index),
+            _ => None,
+        })
+        .collect::<Option<_>>()?;
+    let mut used = vec![false; key_cols.len()];
+    let mut perm = Vec::with_capacity(key_cols.len());
+    for &c in index.cols() {
+        let j = key_cols
+            .iter()
+            .enumerate()
+            .find(|(j, &kc)| !used[*j] && kc == c)?
+            .0;
+        used[j] = true;
+        perm.push(j);
+    }
+    Some(perm)
 }
 
 fn wrap_filter(plan: Plan, conjuncts: Vec<BoundExpr>) -> Plan {

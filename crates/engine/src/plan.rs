@@ -72,6 +72,12 @@ pub struct ExecOptions {
     /// compares against. Results are bit-identical either way; this flag
     /// only switches the execution strategy.
     pub columnar: bool,
+    /// Consider secondary indexes when choosing access paths (index point
+    /// and range scans, index-backed hash-join build sides). Requires
+    /// `use_stats`; when `false`, plans are identical to the pre-index
+    /// planner — the oracle the index differential suite compares
+    /// against. Answers are the same either way.
+    pub use_indexes: bool,
 }
 
 impl Default for ExecOptions {
@@ -86,6 +92,7 @@ impl Default for ExecOptions {
             threads: default_threads(),
             trace: None,
             columnar: true,
+            use_indexes: true,
         }
     }
 }
@@ -131,6 +138,12 @@ impl ExecOptions {
     /// Builder-style columnar-kernel switch.
     pub fn with_columnar(mut self, columnar: bool) -> ExecOptions {
         self.columnar = columnar;
+        self
+    }
+
+    /// Builder-style secondary-index switch.
+    pub fn with_indexes(mut self, use_indexes: bool) -> ExecOptions {
+        self.use_indexes = use_indexes;
         self
     }
 }
@@ -188,6 +201,19 @@ pub enum Plan {
         cols: Arc<ColBatch>,
         schema: Schema,
     },
+    /// Index point/range scan: probe a secondary index for a selection
+    /// vector and gather the matching rows from the same shared batch a
+    /// full [`Plan::Scan`] would read. The plan holds the built
+    /// [`Index`] directly (snapshot semantics, like `Scan` holds its
+    /// batch): execution never consults the catalog, so concurrent
+    /// `INSERT`/`DROP` cannot skew a running query. The planner only
+    /// attaches an index whose stamp `Arc::ptr_eq`s `cols`.
+    IndexScan {
+        cols: Arc<ColBatch>,
+        schema: Schema,
+        index: Arc<crate::index::Index>,
+        access: crate::index::IndexAccess,
+    },
     /// A single empty row — the input of `SELECT` without `FROM`.
     Unit,
     Filter {
@@ -213,6 +239,13 @@ pub enum Plan {
         /// Extra join condition over the concatenated row, part of the ON
         /// clause (affects match decisions for outer joins).
         residual: Option<BoundExpr>,
+        /// When set, the build side (always `right`) is served by this
+        /// prebuilt index's postings instead of a per-query hash build —
+        /// the "IndexLookupJoin" access path. The optimizer only attaches
+        /// an index whose stamp `Arc::ptr_eq`s the right child's scan
+        /// batch and whose key columns match `right_keys` exactly; probing
+        /// and row emission are byte-identical to the built table.
+        build_index: Option<Arc<crate::index::Index>>,
         schema: Schema,
     },
     /// Fallback join for non-equi or missing ON conditions.
@@ -261,7 +294,8 @@ impl Plan {
             | Plan::Distinct { input }
             | Plan::Sort { input, .. }
             | Plan::Limit { input, .. } => input.schema(),
-            Plan::Project { schema, .. }
+            Plan::IndexScan { schema, .. }
+            | Plan::Project { schema, .. }
             | Plan::Rename { schema, .. }
             | Plan::HashJoin { schema, .. }
             | Plan::NestedLoopJoin { schema, .. }
@@ -275,7 +309,7 @@ impl Plan {
     /// for trace summaries.
     pub fn base_rows(&self) -> u64 {
         match self {
-            Plan::Scan { cols, .. } => cols.len() as u64,
+            Plan::Scan { cols, .. } | Plan::IndexScan { cols, .. } => cols.len() as u64,
             _ => self.children().iter().map(|c| c.base_rows()).sum(),
         }
     }
@@ -283,7 +317,7 @@ impl Plan {
     /// The operator's inputs, in execution order (left before right).
     pub fn children(&self) -> Vec<&Plan> {
         match self {
-            Plan::Scan { .. } | Plan::Unit => Vec::new(),
+            Plan::Scan { .. } | Plan::IndexScan { .. } | Plan::Unit => Vec::new(),
             Plan::Filter { input, .. }
             | Plan::Project { input, .. }
             | Plan::Rename { input, .. }
@@ -304,7 +338,7 @@ impl Plan {
         // Expressions inside a plan evaluate against that plan's own rows at
         // depth 0; anything deeper refers to enclosing query scopes.
         match self {
-            Plan::Scan { .. } | Plan::Unit => 0,
+            Plan::Scan { .. } | Plan::IndexScan { .. } | Plan::Unit => 0,
             Plan::Filter { input, predicate } => input.max_outer_depth().max(predicate.max_depth()),
             Plan::Project { input, exprs, .. } => input
                 .max_outer_depth()
@@ -374,7 +408,7 @@ impl Plan {
     /// Visit every expression embedded in this plan tree (immutably).
     pub fn visit_exprs(&self, f: &mut impl FnMut(&BoundExpr)) {
         match self {
-            Plan::Scan { .. } | Plan::Unit => {}
+            Plan::Scan { .. } | Plan::IndexScan { .. } | Plan::Unit => {}
             Plan::Filter { input, predicate } => {
                 f(predicate);
                 input.visit_exprs(f);
@@ -434,7 +468,7 @@ impl Plan {
     /// Visit every expression embedded in this plan tree (mutably).
     pub fn visit_exprs_mut(&mut self, f: &mut impl FnMut(&mut BoundExpr)) {
         match self {
-            Plan::Scan { .. } | Plan::Unit => {}
+            Plan::Scan { .. } | Plan::IndexScan { .. } | Plan::Unit => {}
             Plan::Filter { input, predicate } => {
                 f(predicate);
                 input.visit_exprs_mut(f);
@@ -499,7 +533,7 @@ impl Plan {
     /// Shift every outer-scope reference in the plan by `delta`.
     pub fn shift_outer_depths(&mut self, delta: usize) {
         match self {
-            Plan::Scan { .. } | Plan::Unit => {}
+            Plan::Scan { .. } | Plan::IndexScan { .. } | Plan::Unit => {}
             Plan::Filter { input, predicate } => {
                 input.shift_outer_depths(delta);
                 shift_if_outer(predicate, delta);
@@ -628,7 +662,7 @@ fn shift_above(e: &mut BoundExpr, min_depth: usize, delta: usize) {
 
 fn shift_plan_above(plan: &mut Plan, min_depth: usize, delta: usize) {
     match plan {
-        Plan::Scan { .. } | Plan::Unit => {}
+        Plan::Scan { .. } | Plan::IndexScan { .. } | Plan::Unit => {}
         Plan::Filter { input, predicate } => {
             shift_plan_above(input, min_depth, delta);
             shift_above(predicate, min_depth, delta);
@@ -769,6 +803,16 @@ impl<'a> Planner<'a> {
         Planner { db, options, gov }
     }
 
+    /// The cost estimator the options call for: index-aware when
+    /// secondary indexes are enabled, plain statistics otherwise.
+    fn estimator(&self) -> crate::cost::Estimator<'a> {
+        if self.options.use_indexes {
+            crate::cost::Estimator::from_db_with_indexes(self.db)
+        } else {
+            crate::cost::Estimator::from_db(self.db)
+        }
+    }
+
     /// Plan (and, for CTEs, partially execute) a full query.
     pub fn plan_query(&self, query: &Query) -> Result<Plan> {
         let env = CteEnv::default();
@@ -837,7 +881,7 @@ impl<'a> Planner<'a> {
             let mut plan = self.plan_query_in(&cte.query, env, None)?;
             if self.options.pushdown_filters {
                 if self.options.use_stats {
-                    let est = crate::cost::Estimator::from_db(self.db);
+                    let est = self.estimator();
                     plan = crate::opt::optimize_with(plan, Some(&est));
                 } else {
                     plan = crate::opt::optimize(plan);
@@ -1168,10 +1212,7 @@ impl<'a> Planner<'a> {
         // side oriented as the hash-build input, i.e. the right child) and
         // the merge with the smallest estimated output wins; without, the
         // first connected pair in factor order merges, left-to-right.
-        let est = self
-            .options
-            .use_stats
-            .then(|| crate::cost::Estimator::from_db(self.db));
+        let est = self.options.use_stats.then(|| self.estimator());
         let mut components: Vec<(std::collections::BTreeSet<usize>, Plan)> = factors
             .into_iter()
             .enumerate()
@@ -1415,6 +1456,7 @@ impl<'a> Planner<'a> {
             left_keys,
             right_keys,
             residual,
+            build_index: None,
             schema,
         })
     }
@@ -1563,6 +1605,7 @@ impl<'a> Planner<'a> {
             left_keys: outer_keys,
             right_keys: inner_keys,
             residual: None,
+            build_index: None,
             schema: outer_schema,
         }))
     }
@@ -1593,6 +1636,7 @@ impl<'a> Planner<'a> {
             left_keys: vec![outer_key],
             right_keys: vec![BoundExpr::column(0)],
             residual: None,
+            build_index: None,
             schema: outer_schema,
         }))
     }

@@ -220,6 +220,11 @@ pub fn serve(
         Some(l) => Some(l.local_addr()?),
         None => None,
     };
+    // Declare key-column indexes up front: the columns the rewritings
+    // self-join on. Declarations only — the first query against each table
+    // triggers the lazy build, so startup (and crash recovery before it)
+    // stays fast.
+    conquer_core::declare_key_indexes(&db, &sigma);
     let shared = Arc::new(Shared {
         db,
         sigma,

@@ -677,6 +677,22 @@ impl Session {
                     None => Json::obj([("durable", Json::Bool(false))]),
                 },
             ),
+            (
+                "indexes",
+                Json::arr(
+                    self.shared
+                        .db
+                        .index_status()
+                        .into_iter()
+                        .map(|(table, cols, built)| {
+                            Json::obj([
+                                ("table", Json::from(table.as_str())),
+                                ("columns", Json::from(cols.join(",").as_str())),
+                                ("built", Json::Bool(built)),
+                            ])
+                        }),
+                ),
+            ),
             ("obs", conquer_obs::registry().snapshot_json()),
         ])
     }

@@ -110,6 +110,48 @@ fn wire_mutations_survive_server_restart() {
 }
 
 #[test]
+fn recovered_indexes_build_lazily_on_first_query() {
+    let dir = temp_dir("lazy-index");
+    {
+        let db = open_db(&dir);
+        db.run_script(
+            "create table t (k text, v integer);
+             insert into t values ('a', 1), ('a', 2), ('b', 3)",
+        )
+        .unwrap();
+        db.create_index("t", &["k"]).unwrap();
+        // Build the postings now, so the cold boot below demonstrably
+        // starts over from the declaration alone.
+        db.query("select v from t where k = 'a'").unwrap();
+        assert!(db.index_status()[0].2, "warm instance built its index");
+        db.flush().unwrap();
+    }
+
+    // Cold boot: the declaration recovers, the postings do not — recovery
+    // must stay cheap (`harness recover` measures this boot), so the
+    // rebuild is deferred to the first query that plans against the table.
+    let db = open_db(&dir);
+    assert_eq!(
+        db.index_status(),
+        vec![("t".to_string(), vec!["k".to_string()], false)],
+        "recovery must not eagerly rebuild index postings"
+    );
+    let server = start(Arc::clone(&db));
+    let mut client = Client::connect(server.addr()).unwrap();
+    let out = client.query("select v from t where k = 'a'").unwrap();
+    assert_eq!(out.rows.rows.len(), 2);
+    assert!(
+        db.index_status()
+            .iter()
+            .any(|(t, _, built)| t == "t" && *built),
+        "first query over the wire triggers the lazy rebuild"
+    );
+    server.shutdown();
+    server.wait();
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn stats_op_reports_storage_section() {
     let dir = temp_dir("stats");
     let db = open_db(&dir);

@@ -602,4 +602,14 @@ pub enum Statement {
         columns: Vec<String>,
         rows: Vec<Vec<Expr>>,
     },
+    /// `DROP TABLE name`.
+    DropTable {
+        name: String,
+    },
+    /// `CREATE INDEX ON name (col, ...)` — declare a secondary index over
+    /// the listed columns (column order matters for multi-column probes).
+    CreateIndex {
+        table: String,
+        columns: Vec<String>,
+    },
 }

@@ -415,6 +415,17 @@ impl Display for Statement {
                 }
                 Ok(())
             }
+            Statement::DropTable { name } => write!(f, "DROP TABLE {}", ident(name)),
+            Statement::CreateIndex { table, columns } => {
+                write!(f, "CREATE INDEX ON {} (", ident(table))?;
+                for (i, c) in columns.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    f.write_str(&ident(c))?;
+                }
+                f.write_str(")")
+            }
         }
     }
 }

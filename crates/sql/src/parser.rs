@@ -185,13 +185,41 @@ impl Parser {
     // ---- statements ----------------------------------------------------
 
     fn parse_statement(&mut self) -> Result<Statement> {
-        if self.peek_keyword("create") {
+        if self.peek_keyword("create") && self.peek_keyword_at(1, "index") {
+            self.parse_create_index()
+        } else if self.peek_keyword("create") {
             self.parse_create_table()
         } else if self.peek_keyword("insert") {
             self.parse_insert()
+        } else if self.peek_keyword("drop") {
+            self.parse_drop_table()
         } else {
             Ok(Statement::Query(self.parse_query()?))
         }
+    }
+
+    fn parse_drop_table(&mut self) -> Result<Statement> {
+        self.expect_keyword("drop")?;
+        self.expect_keyword("table")?;
+        let name = self.parse_ident()?;
+        Ok(Statement::DropTable { name })
+    }
+
+    fn parse_create_index(&mut self) -> Result<Statement> {
+        self.expect_keyword("create")?;
+        self.expect_keyword("index")?;
+        self.expect_keyword("on")?;
+        let table = self.parse_ident()?;
+        self.expect_kind(&TokenKind::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            columns.push(self.parse_ident()?);
+            if !self.eat_kind(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect_kind(&TokenKind::RParen)?;
+        Ok(Statement::CreateIndex { table, columns })
     }
 
     fn parse_create_table(&mut self) -> Result<Statement> {

@@ -273,6 +273,33 @@ fn parses_statement_sequence() {
 }
 
 #[test]
+fn parses_ddl_statements() {
+    let s = parse_statement("drop table customer").unwrap();
+    assert_eq!(
+        s,
+        Statement::DropTable {
+            name: "customer".into()
+        }
+    );
+    assert_eq!(s.to_string(), "DROP TABLE customer");
+
+    let s = parse_statement("create index on orders (o_orderkey, o_custkey)").unwrap();
+    let Statement::CreateIndex { table, columns } = &s else {
+        panic!("expected CreateIndex, got {s:?}")
+    };
+    assert_eq!(table, "orders");
+    assert_eq!(columns, &["o_orderkey", "o_custkey"]);
+    assert_eq!(
+        s.to_string(),
+        "CREATE INDEX ON orders (o_orderkey, o_custkey)"
+    );
+
+    // `create` alone still means CREATE TABLE; a bare `drop` needs `table`.
+    assert!(parse_statement("drop customer").is_err());
+    assert!(parse_statement("create index on t").is_err());
+}
+
+#[test]
 fn parses_derived_table() {
     roundtrip("select s.total from (select sum(x) as total from t) s where s.total > 0");
 }

@@ -28,7 +28,7 @@ pub use inject::{inject_database, inject_table, InjectionStats};
 pub use queries::{all_queries, BenchmarkQuery, Selectivity, Q1, Q10, Q12, Q3, Q4, Q6};
 pub use schema::{benchmark_constraints, create_tables, key_constraints, TABLES};
 
-use conquer_core::{annotate_database, AnnotationStats, ConstraintSet};
+use conquer_core::{annotate_database, declare_key_indexes, AnnotationStats, ConstraintSet};
 use conquer_engine::Database;
 
 /// Configuration of a complete benchmark workload.
@@ -83,6 +83,11 @@ pub fn build_workload(config: &WorkloadConfig) -> Workload {
     let annotation = config
         .annotate
         .then(|| annotate_database(&db, &sigma).expect("annotation succeeds"));
+    // Declare (not build) a secondary index on each relation's key columns
+    // — the access path the rewritings' key self-joins probe. Queries run
+    // with `ExecOptions::with_indexes(false)` still plan index-blind, so
+    // differential suites can compare both modes over one workload.
+    declare_key_indexes(&db, &sigma);
     Workload {
         db,
         sigma,
