@@ -67,7 +67,12 @@
 //! times (default 3), timing each round trip client-side. With
 //! `--serve-port <P>` it targets an already-running server on loopback;
 //! without it, it spins up an in-process server over the standard
-//! annotated workload. The report (`BENCH_serve.json`) carries per-strategy
+//! annotated workload. `--connections <N,M,...>` sweeps a trajectory of
+//! total-open-connection counts: each point holds that many connections
+//! open — `min(concurrency, point)` of them driving the closed loop, the
+//! rest idle — so the report shows how the serving core behaves as
+//! connection count grows past the worker pool. The report
+//! (`BENCH_serve.json`) carries, per trajectory point, per-strategy
 //! p50/p95/p99/mean latency, aggregate throughput, busy-retry counts, and
 //! the post-warmup rewrite/plan-cache hit rate.
 
@@ -105,6 +110,12 @@ struct Args {
     serve_port: Option<u16>,
     /// `serve` mode: number of closed-loop worker connections.
     concurrency: usize,
+    /// `serve` mode: total-open-connection points for the trajectory sweep
+    /// (comma list). Each point holds this many connections open —
+    /// `min(concurrency, point)` of them driving the closed loop, the rest
+    /// idle — so the report shows latency/throughput as a function of
+    /// connection count. Empty means a single point at `concurrency`.
+    connections: Vec<usize>,
     /// `serve` mode: rounds over the full query × strategy grid per worker.
     rounds: usize,
     /// `plancost` mode: path to a checked-in threshold file (`<query>
@@ -157,6 +168,7 @@ fn parse_args() -> Args {
         threads: ExecOptions::default().threads,
         serve_port: None,
         concurrency: 16,
+        connections: Vec::new(),
         rounds: 3,
         cost_threshold_file: None,
         sql: None,
@@ -216,6 +228,24 @@ fn parse_args() -> Args {
                     .filter(|n| *n >= 1)
                     .unwrap_or_else(|| die("--concurrency requires a positive integer"));
             }
+            "--connections" => {
+                let spec = it
+                    .next()
+                    .unwrap_or_else(|| die("--connections requires a comma list of counts"));
+                args.connections = spec
+                    .split(',')
+                    .filter(|part| !part.is_empty())
+                    .map(|part| {
+                        part.parse()
+                            .ok()
+                            .filter(|n| *n >= 1)
+                            .unwrap_or_else(|| die("--connections entries must be positive"))
+                    })
+                    .collect();
+                if args.connections.is_empty() {
+                    die("--connections requires a comma list of counts");
+                }
+            }
             "--rounds" => {
                 args.rounds = it
                     .next()
@@ -266,7 +296,7 @@ fn die(msg: &str) -> ! {
         "usage: harness [fig10|fig11|fig12|fig13|fig14|baseline|serve|plancost|opbench|idxbench|recover|all] \
          [--sf F] [--runs N] [--json PATH] [--quiet] \
          [--timeout-ms N] [--mem-limit BYTES] [--threads N] \
-         [--serve-port P] [--concurrency N] [--rounds R] \
+         [--serve-port P] [--concurrency N] [--connections N,M,...] [--rounds R] \
          [--cost-threshold-file PATH]\n       \
          harness trace \"<sql>\" [--strategy original|rewritten|annotated] \
          [--sf F] [--threads N] [--json PATH]"
@@ -1210,6 +1240,18 @@ fn cache_counters(stats: &Json) -> (f64, f64) {
 fn serve_cmd(args: &Args) -> Json {
     use conquer_serve::{serve, Client, ServerConfig};
 
+    // Trajectory points: total open connections per sweep step. Each point
+    // keeps that many connections open — `min(concurrency, point)` driving
+    // the closed loop, the rest idle — so the report captures how latency
+    // and throughput move with connection count, not just one operating
+    // point.
+    let points: Vec<usize> = if args.connections.is_empty() {
+        vec![args.concurrency]
+    } else {
+        args.connections.clone()
+    };
+    let max_point = points.iter().copied().max().unwrap_or(args.concurrency);
+
     // Target: an external server via --serve-port, or an in-process one
     // over the standard annotated workload.
     let (addr, server) = match args.serve_port {
@@ -1223,7 +1265,7 @@ fn serve_cmd(args: &Args) -> Json {
                 std::sync::Arc::new(w.db),
                 w.sigma,
                 ServerConfig {
-                    max_sessions: args.concurrency + 8,
+                    max_sessions: max_point.max(args.concurrency) + 8,
                     max_concurrent: args.concurrency,
                     ..ServerConfig::default()
                 },
@@ -1234,7 +1276,8 @@ fn serve_cmd(args: &Args) -> Json {
     };
     say!(
         args,
-        "## serve — closed loop, {} connections × {} rounds against {addr}\n",
+        "## serve — closed loop, {} active workers × {} rounds against {addr}, \
+         connection axis {points:?}\n",
         args.concurrency,
         args.rounds
     );
@@ -1266,20 +1309,165 @@ fn serve_cmd(args: &Args) -> Json {
     if pairs.is_empty() {
         die("the server answered no benchmark query under any strategy");
     }
-    let (hits0, misses0) = cache_counters(&warm.stats().unwrap_or(Json::Null));
+    // One sweep step per connection point: open the idle connections, run
+    // the closed loop, report, tear the idle connections back down.
+    let mut trajectory = Vec::new();
+    for &point in &points {
+        let active = point.min(args.concurrency);
+        let idle_count = point - active;
+        say!(
+            args,
+            "### {point} connections ({active} active, {idle_count} idle)\n"
+        );
+        // The idle connections cost the server registration + readiness
+        // sweeping — exactly the pressure this axis is meant to measure.
+        let mut idle = Vec::new();
+        for i in 0..idle_count {
+            match Client::connect(addr) {
+                Ok(c) => idle.push(c),
+                Err(e) => die(&format!("idle connection {i} of {idle_count}: {e}")),
+            }
+        }
+        let (hits0, misses0) = cache_counters(&warm.stats().unwrap_or(Json::Null));
+        let t_loop = Instant::now();
+        let worker_results = serve_point(addr, &pairs, args.rounds, active);
+        let wall = t_loop.elapsed();
+        for client in idle {
+            let _ = client.quit();
+        }
 
-    /// What one closed-loop worker brings home: `(strategy, latency_us)`
-    /// samples, busy-retry count, and any hard errors.
-    type WorkerResult = (Vec<(Strategy, u64)>, u64, Vec<String>);
+        let mut busy_total = 0u64;
+        let mut all_samples: Vec<(Strategy, u64)> = Vec::new();
+        for (samples, busy, errors) in worker_results {
+            busy_total += busy;
+            all_samples.extend(samples);
+            for e in errors {
+                FAILED.store(true, Ordering::Relaxed);
+                eprintln!("harness: serve worker error: {e}");
+            }
+        }
 
-    // Closed loop: each worker owns one connection and walks the grid with
-    // a staggered start so the workers don't march in lockstep.
-    let t_loop = Instant::now();
-    let rounds = args.rounds;
-    let worker_results: Vec<WorkerResult> = std::thread::scope(|scope| {
+        // Per-point cache delta: everything after warmup should be a hit.
+        let (hits1, misses1) = cache_counters(&warm.stats().unwrap_or(Json::Null));
+        let (dh, dm) = (hits1 - hits0, misses1 - misses0);
+        let hit_rate = if dh + dm > 0.0 { dh / (dh + dm) } else { 0.0 };
+
+        say!(
+            args,
+            "| Strategy | queries | p50 (ms) | p95 (ms) | p99 (ms) | mean (ms) |"
+        );
+        say!(
+            args,
+            "|----------|--------:|---------:|---------:|---------:|----------:|"
+        );
+        let mut strategy_reports = Vec::new();
+        for &strategy in &STRATEGIES {
+            let mut lat: Vec<u64> = all_samples
+                .iter()
+                .filter(|(s, _)| *s == strategy)
+                .map(|&(_, us)| us)
+                .collect();
+            if lat.is_empty() {
+                continue;
+            }
+            lat.sort_unstable();
+            let (p50, p95, p99) = (
+                conquer_bench::percentile(&lat, 0.50),
+                conquer_bench::percentile(&lat, 0.95),
+                conquer_bench::percentile(&lat, 0.99),
+            );
+            let mean = lat.iter().sum::<u64>() / lat.len() as u64;
+            say!(
+                args,
+                "| {} | {} | {:.2} | {:.2} | {:.2} | {:.2} |",
+                strategy.label(),
+                lat.len(),
+                p50 as f64 / 1e3,
+                p95 as f64 / 1e3,
+                p99 as f64 / 1e3,
+                mean as f64 / 1e3,
+            );
+            strategy_reports.push(Json::obj([
+                ("strategy", Json::from(strategy.label())),
+                ("count", Json::UInt(lat.len() as u64)),
+                ("p50_us", Json::UInt(p50)),
+                ("p95_us", Json::UInt(p95)),
+                ("p99_us", Json::UInt(p99)),
+                ("mean_us", Json::UInt(mean)),
+            ]));
+        }
+        let throughput = all_samples.len() as f64 / wall.as_secs_f64().max(1e-9);
+        say!(
+            args,
+            "\nthroughput: {throughput:.0} queries/s, busy retries: {busy_total}, \
+             post-warmup cache hit rate: {:.1}%\n",
+            hit_rate * 100.0
+        );
+
+        trajectory.push(Json::obj([
+            ("connections", Json::UInt(point as u64)),
+            ("active", Json::UInt(active as u64)),
+            ("idle", Json::UInt(idle_count as u64)),
+            ("strategies", Json::Arr(strategy_reports)),
+            (
+                "totals",
+                Json::obj([
+                    ("queries", Json::UInt(all_samples.len() as u64)),
+                    ("busy_retries", Json::UInt(busy_total)),
+                    ("wall_ms", Json::Float(wall.as_secs_f64() * 1e3)),
+                    ("throughput_qps", Json::Float(throughput)),
+                ]),
+            ),
+            (
+                "cache",
+                Json::obj([
+                    ("post_warmup_hit_rate", Json::Float(hit_rate)),
+                    ("hits", Json::Float(dh)),
+                    ("misses", Json::Float(dm)),
+                ]),
+            ),
+        ]));
+    }
+
+    let _ = warm.quit();
+    if let Some(handle) = server {
+        handle.shutdown();
+    }
+
+    let mut report = report_header("serve", args);
+    report.push("addr", Json::from(addr.to_string()));
+    report.push("in_process", Json::Bool(args.serve_port.is_none()));
+    report.push("concurrency", Json::UInt(args.concurrency as u64));
+    report.push("rounds", Json::UInt(args.rounds as u64));
+    report.push(
+        "connections",
+        Json::Arr(points.iter().map(|&n| Json::UInt(n as u64)).collect()),
+    );
+    report.push("trajectory", Json::Arr(trajectory));
+    if !skipped.is_empty() {
+        report.push("skipped", Json::Arr(skipped));
+    }
+    report
+}
+
+/// What one closed-loop worker brings home: `(strategy, latency_us)`
+/// samples, busy-retry count, and any hard errors.
+type WorkerResult = (Vec<(Strategy, u64)>, u64, Vec<String>);
+
+/// One trajectory point of the `serve` closed loop: `active` workers, each
+/// owning one connection, walking the query × strategy grid `rounds` times
+/// with staggered starts so the workers don't march in lockstep.
+fn serve_point(
+    addr: std::net::SocketAddr,
+    pairs: &[(&BenchmarkQuery, Strategy)],
+    rounds: usize,
+    active: usize,
+) -> Vec<WorkerResult> {
+    use conquer_serve::Client;
+
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
-        for wid in 0..args.concurrency {
-            let pairs = &pairs;
+        for wid in 0..active {
             handles.push(scope.spawn(move || {
                 let mut samples: Vec<(Strategy, u64)> = Vec::new();
                 let mut busy = 0u64;
@@ -1348,109 +1536,7 @@ fn serve_cmd(args: &Args) -> Json {
             .into_iter()
             .map(|h| h.join().expect("serve worker"))
             .collect()
-    });
-    let wall = t_loop.elapsed();
-
-    let mut busy_total = 0u64;
-    let mut all_samples: Vec<(Strategy, u64)> = Vec::new();
-    for (samples, busy, errors) in worker_results {
-        busy_total += busy;
-        all_samples.extend(samples);
-        for e in errors {
-            FAILED.store(true, Ordering::Relaxed);
-            eprintln!("harness: serve worker error: {e}");
-        }
-    }
-
-    // Post-loop cache delta: everything after warmup should be a hit.
-    let (hits1, misses1) = cache_counters(&warm.stats().unwrap_or(Json::Null));
-    let (dh, dm) = (hits1 - hits0, misses1 - misses0);
-    let hit_rate = if dh + dm > 0.0 { dh / (dh + dm) } else { 0.0 };
-
-    say!(
-        args,
-        "| Strategy | queries | p50 (ms) | p95 (ms) | p99 (ms) | mean (ms) |"
-    );
-    say!(
-        args,
-        "|----------|--------:|---------:|---------:|---------:|----------:|"
-    );
-    let mut strategy_reports = Vec::new();
-    for &strategy in &STRATEGIES {
-        let mut lat: Vec<u64> = all_samples
-            .iter()
-            .filter(|(s, _)| *s == strategy)
-            .map(|&(_, us)| us)
-            .collect();
-        if lat.is_empty() {
-            continue;
-        }
-        lat.sort_unstable();
-        let (p50, p95, p99) = (
-            conquer_bench::percentile(&lat, 0.50),
-            conquer_bench::percentile(&lat, 0.95),
-            conquer_bench::percentile(&lat, 0.99),
-        );
-        let mean = lat.iter().sum::<u64>() / lat.len() as u64;
-        say!(
-            args,
-            "| {} | {} | {:.2} | {:.2} | {:.2} | {:.2} |",
-            strategy.label(),
-            lat.len(),
-            p50 as f64 / 1e3,
-            p95 as f64 / 1e3,
-            p99 as f64 / 1e3,
-            mean as f64 / 1e3,
-        );
-        strategy_reports.push(Json::obj([
-            ("strategy", Json::from(strategy.label())),
-            ("count", Json::UInt(lat.len() as u64)),
-            ("p50_us", Json::UInt(p50)),
-            ("p95_us", Json::UInt(p95)),
-            ("p99_us", Json::UInt(p99)),
-            ("mean_us", Json::UInt(mean)),
-        ]));
-    }
-    let throughput = all_samples.len() as f64 / wall.as_secs_f64().max(1e-9);
-    say!(
-        args,
-        "\nthroughput: {throughput:.0} queries/s, busy retries: {busy_total}, \
-         post-warmup cache hit rate: {:.1}%\n",
-        hit_rate * 100.0
-    );
-
-    let _ = warm.quit();
-    if let Some(handle) = server {
-        handle.shutdown();
-    }
-
-    let mut report = report_header("serve", args);
-    report.push("addr", Json::from(addr.to_string()));
-    report.push("in_process", Json::Bool(args.serve_port.is_none()));
-    report.push("concurrency", Json::UInt(args.concurrency as u64));
-    report.push("rounds", Json::UInt(args.rounds as u64));
-    report.push("strategies", Json::Arr(strategy_reports));
-    report.push(
-        "totals",
-        Json::obj([
-            ("queries", Json::UInt(all_samples.len() as u64)),
-            ("busy_retries", Json::UInt(busy_total)),
-            ("wall_ms", Json::Float(wall.as_secs_f64() * 1e3)),
-            ("throughput_qps", Json::Float(throughput)),
-        ]),
-    );
-    report.push(
-        "cache",
-        Json::obj([
-            ("post_warmup_hit_rate", Json::Float(hit_rate)),
-            ("hits", Json::Float(dh)),
-            ("misses", Json::Float(dm)),
-        ]),
-    );
-    if !skipped.is_empty() {
-        report.push("skipped", Json::Arr(skipped));
-    }
-    report
+    })
 }
 
 /// `recover` — crash-recovery benchmark for the durable storage layer.

@@ -7,6 +7,7 @@
 //!               [--data-dir DIR [--sync always|interval:<ms>|never]
 //!                [--checkpoint-wal-bytes N] [--checkpoint-interval-ms N]]
 //!               [--max-sessions N] [--admit N] [--queue-wait-ms N]
+//!               [--io-threads N] [--workers N]
 //!               [--cache N] [--metrics-port N] [--slow-query-us N]
 //! ```
 //!
@@ -18,6 +19,10 @@
 //! `--metrics-port` enables the HTTP exposition endpoint (`/metrics`,
 //! `/metrics.json`, `/traces`). `--slow-query-us` sets the default
 //! slow-query log threshold (JSON lines on stderr; 0 disables).
+//!
+//! `--io-threads` sizes the event loop's connection-driver pool
+//! (`--io-threads 0` selects the legacy thread-per-connection mode) and
+//! `--workers` the query-worker pool (0 means match `--admit`).
 //!
 //! `--data-dir` makes the catalog durable: mutations are write-ahead
 //! logged, a background checkpointer folds the WAL into immutable
@@ -49,6 +54,8 @@ struct Args {
     max_sessions: usize,
     admit: usize,
     queue_wait_ms: u64,
+    io_threads: usize,
+    workers: usize,
     cache: usize,
     metrics_port: Option<u16>,
     slow_query_us: u64,
@@ -72,6 +79,8 @@ impl Default for Args {
             max_sessions: defaults.max_sessions,
             admit: defaults.max_concurrent,
             queue_wait_ms: defaults.queue_wait.as_millis() as u64,
+            io_threads: defaults.io_threads,
+            workers: defaults.workers,
             cache: defaults.cache_capacity,
             metrics_port: None,
             slow_query_us: defaults.slow_query_us,
@@ -83,7 +92,8 @@ const USAGE: &str = "usage: conquer-serve [--port N] [--tpch-sf F [--inconsisten
                      [--script FILE [--keys rel:col+col,rel2:col]]
                      [--data-dir DIR [--sync always|interval:<ms>|never]
                       [--checkpoint-wal-bytes N] [--checkpoint-interval-ms N]]
-                     [--max-sessions N] [--admit N] [--queue-wait-ms N] [--cache N]
+                     [--max-sessions N] [--admit N] [--queue-wait-ms N]
+                     [--io-threads N] [--workers N] [--cache N]
                      [--metrics-port N] [--slow-query-us N]";
 
 fn parse_args() -> Result<Args, String> {
@@ -138,6 +148,16 @@ fn parse_args() -> Result<Args, String> {
                 args.queue_wait_ms = value("--queue-wait-ms")?
                     .parse()
                     .map_err(|e| format!("--queue-wait-ms: {e}"))?
+            }
+            "--io-threads" => {
+                args.io_threads = value("--io-threads")?
+                    .parse()
+                    .map_err(|e| format!("--io-threads: {e}"))?
+            }
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
             }
             "--cache" => {
                 args.cache = value("--cache")?
@@ -275,6 +295,8 @@ fn main() -> ExitCode {
         max_sessions: args.max_sessions,
         max_concurrent: args.admit,
         queue_wait: Duration::from_millis(args.queue_wait_ms),
+        io_threads: args.io_threads,
+        workers: args.workers,
         cache_capacity: args.cache,
         metrics_addr: args.metrics_port.map(|p| format!("127.0.0.1:{p}")),
         slow_query_us: args.slow_query_us,

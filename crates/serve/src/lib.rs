@@ -8,11 +8,17 @@
 //!   [`Strategy`]; responses carry schema-complete result sets whose
 //!   values round-trip bit-identically (tagged dates and non-finite
 //!   floats).
-//! * **Sessions** ([`server`], `session`) — one thread per connection, a
-//!   shared `Arc<Database>`, per-session `ExecOptions` via `SET`
-//!   (`threads`, `timeout_ms`, `mem_limit`, `max_rows`, `strategy`), and a
-//!   disconnect watchdog that cancels in-flight queries through the
-//!   governor when the client goes away.
+//! * **Serving core** ([`server`], `event`) — a readiness-polled event
+//!   loop: a fixed pool of `io_threads` drivers multiplexes every
+//!   connection over nonblocking sockets, and a fixed pool of query
+//!   workers executes admission-gated requests from a bounded run queue.
+//!   Session state (per-connection `ExecOptions` via `SET` — `threads`,
+//!   `timeout_ms`, `mem_limit`, `max_rows`, `strategy` — plus prepared
+//!   statements) lives in explicit per-connection structs (`state`);
+//!   client disconnects surface as EOF on the driver and cancel in-flight
+//!   queries through the governor. `io_threads: 0` selects the legacy
+//!   thread-per-connection mode (`session`), kept one release as a
+//!   differential oracle.
 //! * **Admission control** ([`admission`]) — a semaphore-bounded run queue
 //!   with a queue-wait deadline; overload degrades to a structured `busy`
 //!   error instead of a hang.
@@ -42,15 +48,17 @@ pub mod admission;
 pub mod cache;
 pub mod client;
 pub mod error;
+mod event;
 mod metrics_http;
 pub mod protocol;
 pub mod server;
 mod session;
+mod state;
 
 pub use admission::{Admission, AdmissionStats, Permit};
 pub use cache::{CacheStats, CachedStatement, StatementCache};
 pub use client::{Client, ClientError};
 pub use error::ServeError;
-pub use protocol::{ErrorCode, QueryOutcome, Request, Response, Strategy};
+pub use protocol::{ErrorCode, FrameBuf, QueryOutcome, Request, Response, Strategy};
 pub use server::{serve, ServerConfig, ServerHandle, Shared};
-pub use session::SERVER_VERSION;
+pub use state::SERVER_VERSION;

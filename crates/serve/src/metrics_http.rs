@@ -108,7 +108,8 @@ fn serve_one(mut stream: TcpStream, shared: &Arc<Shared>) {
 fn read_request_path(stream: &mut TcpStream) -> Option<String> {
     let mut buf = Vec::with_capacity(512);
     let mut chunk = [0u8; 512];
-    while !head_complete(&buf) {
+    let mut scanned = 0;
+    while !head_complete(&buf, &mut scanned) {
         if buf.len() >= MAX_REQUEST_BYTES {
             return None;
         }
@@ -129,8 +130,20 @@ fn read_request_path(stream: &mut TcpStream) -> Option<String> {
     Some(path.to_string())
 }
 
-fn head_complete(buf: &[u8]) -> bool {
-    buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.windows(2).any(|w| w == b"\n\n")
+/// Is the request head (terminated by a blank line) complete?
+///
+/// `scanned` carries the high-water mark of bytes already examined across
+/// calls, so each call only scans the newly-arrived suffix (re-reading a
+/// 3-byte overlap in case a `\r\n\r\n` terminator straddles two reads).
+/// Without the offset this re-scanned the whole buffer after every chunk —
+/// quadratic against a slow-trickle client.
+fn head_complete(buf: &[u8], scanned: &mut usize) -> bool {
+    let start = scanned.saturating_sub(3);
+    let tail = &buf[start..];
+    let hit =
+        tail.windows(4).any(|w| w == b"\r\n\r\n") || tail.windows(2).any(|w| w == b"\n\n");
+    *scanned = buf.len();
+    hit
 }
 
 fn parse_limit(query: &str) -> Option<usize> {
@@ -187,4 +200,44 @@ fn metrics_json(shared: &Arc<Shared>) -> Json {
     let mut obj = registry().snapshot_json();
     obj.push("gauges", Json::Obj(gauges));
     obj
+}
+
+#[cfg(test)]
+mod tests {
+    use super::head_complete;
+
+    /// Simulates a byte-at-a-time writer: completion must be detected at
+    /// exactly the final terminator byte, and each call must only scan the
+    /// new suffix (tracked via the `scanned` high-water mark).
+    #[test]
+    fn head_complete_tracks_a_scan_offset_byte_at_a_time() {
+        for head in [
+            b"GET /metrics HTTP/1.1\r\nHost: x\r\nUser-Agent: trickle\r\n\r\n".as_slice(),
+            b"GET /traces?limit=2 HTTP/1.1\nHost: x\n\n".as_slice(),
+        ] {
+            let mut buf = Vec::new();
+            let mut scanned = 0;
+            for (i, byte) in head.iter().enumerate() {
+                buf.push(*byte);
+                let complete = head_complete(&buf, &mut scanned);
+                assert_eq!(
+                    complete,
+                    i == head.len() - 1,
+                    "completion misdetected at byte {i} of {head:?}"
+                );
+                assert_eq!(scanned, buf.len(), "scan offset must track the buffer");
+            }
+        }
+    }
+
+    /// A terminator split across two reads must still be found — the
+    /// resumed scan overlaps the previous tail by 3 bytes.
+    #[test]
+    fn head_complete_finds_a_terminator_split_across_reads() {
+        let mut buf: Vec<u8> = b"GET / HTTP/1.1\r\nA: b\r\n".to_vec();
+        let mut scanned = 0;
+        assert!(!head_complete(&buf, &mut scanned));
+        buf.extend_from_slice(b"\r\n");
+        assert!(head_complete(&buf, &mut scanned));
+    }
 }

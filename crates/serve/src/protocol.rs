@@ -40,6 +40,100 @@ pub fn write_frame(w: &mut impl Write, payload: &Json) -> io::Result<()> {
     w.flush()
 }
 
+/// Encode one frame to bytes: 4-byte big-endian length, then the rendered
+/// JSON. The event loop appends this to a connection's output buffer and
+/// lets the nonblocking flusher drain it; errors only on an oversized
+/// payload (the same cap [`write_frame`] enforces).
+pub fn encode_frame(payload: &Json) -> io::Result<Vec<u8>> {
+    let body = payload.render();
+    if body.len() > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "frame of {} bytes exceeds the {MAX_FRAME_BYTES}-byte cap",
+                body.len()
+            ),
+        ));
+    }
+    let mut out = Vec::with_capacity(4 + body.len());
+    out.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    out.extend_from_slice(body.as_bytes());
+    Ok(out)
+}
+
+/// Incremental frame decoder for nonblocking sockets.
+///
+/// [`read_frame`] assumes a blocking stream: it can sit in `read_exact`
+/// until a whole frame arrives. A nonblocking driver instead gets bytes in
+/// arbitrary chunks — half a length prefix now, three frames at once
+/// later — so it feeds whatever arrived into [`extend`](FrameBuf::extend)
+/// and drains complete frames with [`next_frame`](FrameBuf::next_frame).
+/// Decoding is identical to `read_frame` (same length cap, same UTF-8 and
+/// JSON validation); a decode error poisons the stream — the connection is
+/// no longer at a known frame boundary and must close, exactly like the
+/// blocking path.
+#[derive(Default)]
+pub struct FrameBuf {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`; compacted opportunistically so a long
+    /// pipelined burst doesn't hold its full history in memory.
+    pos: usize,
+}
+
+/// Compact the consumed prefix away once it crosses this many bytes (or
+/// whenever the buffer is fully drained, which is the common case).
+const FRAMEBUF_COMPACT_BYTES: usize = 64 * 1024;
+
+impl FrameBuf {
+    pub fn new() -> FrameBuf {
+        FrameBuf::default()
+    }
+
+    /// Append newly-read bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet decoded into frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Decode the next complete frame, if the buffer holds one.
+    /// `Ok(None)` means more bytes are needed; errors are terminal for the
+    /// connection (oversized length, non-UTF-8, or malformed JSON).
+    pub fn next_frame(&mut self) -> io::Result<Option<Json>> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([avail[0], avail[1], avail[2], avail[3]]) as usize;
+        if len > MAX_FRAME_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame length {len} exceeds the {MAX_FRAME_BYTES}-byte cap"),
+            ));
+        }
+        if avail.len() < 4 + len {
+            return Ok(None);
+        }
+        let body = &avail[4..4 + len];
+        let text = std::str::from_utf8(body)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not UTF-8"))?;
+        let json = Json::parse(text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad frame: {e}")))?;
+        self.pos += 4 + len;
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos >= FRAMEBUF_COMPACT_BYTES {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        Ok(Some(json))
+    }
+}
+
 /// Read one frame. Returns `Ok(None)` on a clean EOF at a frame boundary;
 /// a mid-frame EOF, an oversized length prefix, or undecodable JSON is an
 /// error (the connection is no longer at a known boundary and must close).
@@ -626,6 +720,75 @@ mod tests {
         buf.truncate(buf.len() - 2);
         let mut cursor = io::Cursor::new(buf);
         assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn encode_frame_matches_write_frame() {
+        let doc = Json::obj([("op", Json::from("ping")), ("n", Json::UInt(7))]);
+        let mut written = Vec::new();
+        write_frame(&mut written, &doc).unwrap();
+        assert_eq!(encode_frame(&doc).unwrap(), written);
+    }
+
+    #[test]
+    fn framebuf_decodes_byte_at_a_time() {
+        let docs = [
+            Json::obj([("op", Json::from("ping"))]),
+            Json::obj([("op", Json::from("query")), ("sql", Json::from("select 1"))]),
+            Json::obj([("op", Json::from("quit"))]),
+        ];
+        let mut wire = Vec::new();
+        for doc in &docs {
+            write_frame(&mut wire, doc).unwrap();
+        }
+        let mut frames = FrameBuf::new();
+        let mut decoded = Vec::new();
+        for byte in wire {
+            frames.extend(&[byte]);
+            while let Some(json) = frames.next_frame().unwrap() {
+                decoded.push(json);
+            }
+        }
+        assert_eq!(decoded, docs);
+        assert_eq!(frames.buffered(), 0);
+    }
+
+    #[test]
+    fn framebuf_decodes_a_pipelined_burst() {
+        let docs: Vec<Json> = (0..5).map(|i| Json::obj([("i", Json::Int(i))])).collect();
+        let mut wire = Vec::new();
+        for doc in &docs {
+            write_frame(&mut wire, doc).unwrap();
+        }
+        // Everything arrives in one read, plus half of a trailing frame.
+        let extra = Json::obj([("i", Json::Int(99))]);
+        let mut tail = Vec::new();
+        write_frame(&mut tail, &extra).unwrap();
+        let split = tail.len() / 2;
+        let mut frames = FrameBuf::new();
+        frames.extend(&wire);
+        frames.extend(&tail[..split]);
+        let mut decoded = Vec::new();
+        while let Some(json) = frames.next_frame().unwrap() {
+            decoded.push(json);
+        }
+        assert_eq!(decoded, docs);
+        assert!(frames.buffered() > 0, "partial trailing frame stays buffered");
+        frames.extend(&tail[split..]);
+        assert_eq!(frames.next_frame().unwrap(), Some(extra));
+        assert_eq!(frames.buffered(), 0);
+    }
+
+    #[test]
+    fn framebuf_rejects_oversized_and_malformed_frames() {
+        let mut oversized = FrameBuf::new();
+        oversized.extend(&(u32::MAX).to_be_bytes());
+        assert!(oversized.next_frame().is_err());
+
+        let mut garbage = FrameBuf::new();
+        garbage.extend(&5u32.to_be_bytes());
+        garbage.extend(b"nope!");
+        assert!(garbage.next_frame().is_err());
     }
 
     #[test]

@@ -1,33 +1,58 @@
-//! The server proper: listener, accept loop, session registry, shutdown.
+//! The server proper: listener, accept loop, serving-mode wiring, shutdown.
 //!
-//! One [`Shared`] struct carries everything sessions touch — the
+//! One [`Shared`] struct carries everything request handling touches — the
 //! `Arc<Database>` (read-mostly: queries never lock, scripts copy-on-write
 //! behind the catalog mutex, see DESIGN.md §4), the constraint set, the
-//! statement cache, and the admission semaphore. Each accepted connection
-//! gets a dedicated session thread; the count is capped (`max_sessions`)
-//! and connections past the cap are greeted with a `busy` error frame and
-//! closed, so the accept loop itself can never pile up unbounded threads.
+//! statement cache, and the admission semaphore.
+//!
+//! Two serving modes share it:
+//!
+//! * **Event loop** (default, `io_threads > 0`): accepted connections are
+//!   handed round-robin to a fixed pool of IO drivers that multiplex them
+//!   over nonblocking sockets, with heavy work on a fixed pool of query
+//!   workers ([`crate::event`]). Total thread count is
+//!   `io_threads + workers + 2` (accept + metrics), independent of
+//!   connection count.
+//! * **Thread-per-connection fallback** (`io_threads == 0`): the PR-4
+//!   design — one session thread plus a disconnect watchdog per
+//!   connection ([`crate::session`]) — kept for one release as the
+//!   differential oracle the soak test compares wire output against.
+//!
+//! Either way the connection count is capped (`max_sessions`) and
+//! connections past the cap are greeted with a `busy` error frame (under a
+//! write timeout — a never-reading peer must not wedge the accept loop)
+//! and closed.
 //!
 //! Shutdown (either [`ServerHandle::shutdown`] or a client `shutdown`
 //! request) sets a flag, wakes the accept loop with a loopback connect,
-//! half-closes every live session socket (sessions observe EOF and exit),
-//! and waits for the session count to drain.
+//! closes the run queue and wakes every driver (event mode) or half-closes
+//! every live session socket (fallback), then waits for the live-session
+//! count to drain — a condvar signaled by the last connection teardown,
+//! not a bounded sleep-spin, so [`ServerHandle::wait`] returning means the
+//! server is actually quiescent.
 
 use std::collections::HashMap;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use conquer_core::ConstraintSet;
 use conquer_engine::{CancellationToken, Database, ExecOptions};
 
 use crate::admission::Admission;
 use crate::cache::StatementCache;
+use crate::event::{driver_loop, worker_loop, DriverShared, EventCore, Inbox, RunQueue, Waker};
 use crate::protocol::{write_frame, ErrorCode, Response};
 use crate::session::run_session;
+
+/// Write timeout for accept-path greetings (the over-capacity `busy` frame
+/// and the fallback mode's `Hello`): a peer that connects and never reads
+/// gets its socket dropped instead of wedging the accept path once the
+/// kernel buffer fills.
+const GREETING_WRITE_TIMEOUT: Duration = Duration::from_secs(2);
 
 /// Tunables for [`serve`]. The defaults suit tests and small deployments.
 #[derive(Debug, Clone)]
@@ -57,6 +82,15 @@ pub struct ServerConfig {
     /// lines to the slow-query sink. `0` disables the log. Sessions can
     /// override their own threshold with `SET slow_query_us`.
     pub slow_query_us: u64,
+    /// IO driver threads multiplexing the connections. `0` selects the
+    /// legacy thread-per-connection fallback (one session thread + one
+    /// watchdog per connection), kept for one release as a differential
+    /// oracle.
+    pub io_threads: usize,
+    /// Query worker threads executing admission-gated requests in event
+    /// mode. `0` means "match `max_concurrent`" — more would idle behind
+    /// the admission semaphore, fewer would leave admitted slots unused.
+    pub workers: usize,
 }
 
 impl Default for ServerConfig {
@@ -70,11 +104,13 @@ impl Default for ServerConfig {
             build_options: ExecOptions::default(),
             metrics_addr: None,
             slow_query_us: 0,
+            io_threads: 2,
+            workers: 0,
         }
     }
 }
 
-/// State shared by the accept loop and every session thread.
+/// State shared by the accept loop and every connection, in either mode.
 pub struct Shared {
     pub db: Arc<Database>,
     pub sigma: ConstraintSet,
@@ -89,11 +125,27 @@ pub struct Shared {
     addr: SocketAddr,
     /// Where the HTTP metrics endpoint is bound, when enabled.
     metrics_addr: Option<SocketAddr>,
+    /// Live-session count, authoritative copy under the mutex so the drain
+    /// condvar can't miss the last decrement; `active` mirrors it for
+    /// lock-free reads on the stats path.
+    sessions: Mutex<usize>,
+    sessions_cond: Condvar,
     active: AtomicUsize,
     next_session: AtomicU64,
     shutdown: AtomicBool,
     /// `try_clone`s of live session sockets, for forced close on shutdown.
+    /// Fallback mode only: event-mode drivers close their own sockets when
+    /// they observe the shutdown flag, which also halves the fd budget.
     conns: Mutex<HashMap<u64, TcpStream>>,
+    /// Fallback-mode session thread handles. The condvar drain proves every
+    /// session *signalled* teardown; joining these proves the threads are
+    /// actually gone, which is what lets `wait()` promise zero server
+    /// threads. The accept loop reaps finished handles opportunistically so
+    /// the vector stays proportional to live sessions.
+    session_threads: Mutex<Vec<JoinHandle<()>>>,
+    /// Event-mode plumbing (run queue + per-driver inbox/waker), installed
+    /// once by [`serve`] when `io_threads > 0`.
+    event: OnceLock<Arc<EventCore>>,
 }
 
 impl Shared {
@@ -115,12 +167,113 @@ impl Shared {
         self.shutdown.load(Ordering::Acquire)
     }
 
+    /// Requests currently waiting in the event loop's run queue for a free
+    /// query worker (0 in fallback mode, which has no run queue).
+    pub fn run_queue_depth(&self) -> usize {
+        self.event.get().map_or(0, |core| core.run_queue.depth())
+    }
+
     fn lock_conns(&self) -> std::sync::MutexGuard<'_, HashMap<u64, TcpStream>> {
         self.conns.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Initiate shutdown from any thread: flag, wake the accept loop, and
-    /// half-close every live session socket so blocked reads see EOF.
+    /// Register a fallback session thread, reaping any that have already
+    /// finished (joins happen outside the lock and are instantaneous for a
+    /// finished thread).
+    fn track_session_thread(&self, handle: JoinHandle<()>) {
+        let finished = {
+            let mut threads = self
+                .session_threads
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            let mut finished = Vec::new();
+            let mut i = 0;
+            while i < threads.len() {
+                if threads[i].is_finished() {
+                    finished.push(threads.swap_remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+            threads.push(handle);
+            finished
+        };
+        for thread in finished {
+            let _ = thread.join();
+        }
+    }
+
+    /// Join every tracked session thread. Callers must have completed the
+    /// condvar drain first, so each join only waits out a thread's final
+    /// few instructions (the teardown signal fires from inside the thread).
+    fn join_session_threads(&self) {
+        let threads = std::mem::take(
+            &mut *self
+                .session_threads
+                .lock()
+                .unwrap_or_else(|e| e.into_inner()),
+        );
+        for thread in threads {
+            let _ = thread.join();
+        }
+    }
+
+    /// Account one accepted connection (either mode).
+    pub(crate) fn session_opened(&self) {
+        let mut sessions = self.sessions.lock().unwrap_or_else(|e| e.into_inner());
+        *sessions += 1;
+        drop(sessions);
+        self.active.fetch_add(1, Ordering::AcqRel);
+        conquer_obs::registry()
+            .counter("serve.sessions.opened")
+            .inc();
+    }
+
+    /// Account one connection teardown and signal the drain condvar — this
+    /// notify is what makes [`ServerHandle::wait`] returning mean actual
+    /// quiescence rather than "slept long enough".
+    pub(crate) fn session_closed(&self) {
+        let mut sessions = self.sessions.lock().unwrap_or_else(|e| e.into_inner());
+        *sessions = sessions.saturating_sub(1);
+        drop(sessions);
+        self.active.fetch_sub(1, Ordering::AcqRel);
+        conquer_obs::registry()
+            .counter("serve.sessions.closed")
+            .inc();
+        self.sessions_cond.notify_all();
+    }
+
+    /// Block until every live session has torn down, or `deadline` passes
+    /// (`None` waits indefinitely). Returns whether the drain completed.
+    fn drain_sessions(&self, deadline: Option<Instant>) -> bool {
+        let mut sessions = self.sessions.lock().unwrap_or_else(|e| e.into_inner());
+        while *sessions > 0 {
+            match deadline {
+                None => {
+                    sessions = self
+                        .sessions_cond
+                        .wait(sessions)
+                        .unwrap_or_else(|e| e.into_inner());
+                }
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return false;
+                    }
+                    let (guard, _) = self
+                        .sessions_cond
+                        .wait_timeout(sessions, deadline - now)
+                        .unwrap_or_else(|e| e.into_inner());
+                    sessions = guard;
+                }
+            }
+        }
+        true
+    }
+
+    /// Initiate shutdown from any thread: flag, wake the accept loop, stop
+    /// the event loop's queue/drivers, and half-close fallback sockets so
+    /// blocked session reads see EOF.
     pub fn request_shutdown(&self) {
         if self.shutdown.swap(true, Ordering::AcqRel) {
             return; // already underway
@@ -130,6 +283,12 @@ impl Shared {
         // Same for the metrics accept loop, when one is running.
         if let Some(metrics_addr) = self.metrics_addr {
             let _ = TcpStream::connect(metrics_addr);
+        }
+        if let Some(core) = self.event.get() {
+            core.run_queue.close();
+            for driver in &core.drivers {
+                driver.waker.wake();
+            }
         }
         for (_, conn) in self.lock_conns().iter() {
             let _ = conn.shutdown(Shutdown::Both);
@@ -143,6 +302,8 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
     metrics: Option<JoinHandle<()>>,
+    drivers: Vec<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -166,10 +327,13 @@ impl ServerHandle {
         self.shared.request_shutdown();
     }
 
-    /// Block until the accept loop exits and every session drains. Returns
-    /// without forcing shutdown first — callers wanting to *stop* the
-    /// server call [`shutdown`](ServerHandle::shutdown) (or a client sends
-    /// the `shutdown` request); this is what the binary parks on.
+    /// Block until the accept loop exits, every session drains, and every
+    /// pool thread is joined. Returns without forcing shutdown first —
+    /// callers wanting to *stop* the server call
+    /// [`shutdown`](ServerHandle::shutdown) (or a client sends the
+    /// `shutdown` request); this is what the binary parks on. When this
+    /// returns, the server is quiescent: zero live sessions and zero
+    /// server threads.
     pub fn wait(mut self) {
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
@@ -177,11 +341,16 @@ impl ServerHandle {
         if let Some(metrics) = self.metrics.take() {
             let _ = metrics.join();
         }
-        // The accept loop only exits on shutdown; drain the sessions.
-        let mut spins = 0u32;
-        while self.shared.active_sessions() > 0 && spins < 4000 {
-            std::thread::sleep(Duration::from_millis(5));
-            spins += 1;
+        // The accept loop only exits on shutdown; by now the drivers are
+        // tearing connections down. Wait on the drain condvar (signaled by
+        // the last teardown), then collect the pools.
+        self.shared.drain_sessions(None);
+        self.shared.join_session_threads();
+        for driver in self.drivers.drain(..) {
+            let _ = driver.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
         }
     }
 }
@@ -195,16 +364,26 @@ impl Drop for ServerHandle {
         if let Some(metrics) = self.metrics.take() {
             let _ = metrics.join();
         }
-        let mut spins = 0u32;
-        while self.shared.active_sessions() > 0 && spins < 1000 {
-            std::thread::sleep(Duration::from_millis(5));
-            spins += 1;
+        // Generous but bounded: `Drop` must not hang forever on a wedged
+        // session, but in-flight queries get cancelled at teardown and the
+        // governor unwinds them within its check interval.
+        let drained = self
+            .shared
+            .drain_sessions(Some(Instant::now() + Duration::from_secs(30)));
+        if drained {
+            self.shared.join_session_threads();
+        }
+        for driver in self.drivers.drain(..) {
+            let _ = driver.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
         }
     }
 }
 
 /// Bind and start serving `db` under constraints `sigma`. Returns once the
-/// listener is bound and accepting; sessions run on their own threads.
+/// listener is bound and accepting.
 pub fn serve(
     db: Arc<Database>,
     sigma: ConstraintSet,
@@ -235,11 +414,54 @@ pub fn serve(
         slow_query_us: config.slow_query_us,
         addr,
         metrics_addr,
+        sessions: Mutex::new(0),
+        sessions_cond: Condvar::new(),
         active: AtomicUsize::new(0),
         next_session: AtomicU64::new(1),
         shutdown: AtomicBool::new(false),
         conns: Mutex::new(HashMap::new()),
+        session_threads: Mutex::new(Vec::new()),
+        event: OnceLock::new(),
     });
+    let mut drivers = Vec::new();
+    let mut workers = Vec::new();
+    if config.io_threads > 0 {
+        let worker_count = if config.workers > 0 {
+            config.workers
+        } else {
+            config.max_concurrent.max(1)
+        };
+        let run_queue = RunQueue::new();
+        let mut driver_shared = Vec::new();
+        for i in 0..config.io_threads {
+            let inbox = Arc::new(Inbox::new());
+            let waker = Arc::new(Waker::new());
+            driver_shared.push(DriverShared {
+                waker: Arc::clone(&waker),
+                inbox: Arc::clone(&inbox),
+            });
+            let shared = Arc::clone(&shared);
+            let queue = Arc::clone(&run_queue);
+            drivers.push(
+                std::thread::Builder::new()
+                    .name(format!("conquer-io-{i}"))
+                    .spawn(move || driver_loop(shared, queue, inbox, waker))?,
+            );
+        }
+        for i in 0..worker_count {
+            let shared = Arc::clone(&shared);
+            let queue = Arc::clone(&run_queue);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("conquer-worker-{i}"))
+                    .spawn(move || worker_loop(shared, queue))?,
+            );
+        }
+        let _ = shared.event.set(Arc::new(EventCore {
+            run_queue,
+            drivers: driver_shared,
+        }));
+    }
     let accept = {
         let shared = Arc::clone(&shared);
         std::thread::Builder::new()
@@ -262,6 +484,8 @@ pub fn serve(
         shared,
         accept: Some(accept),
         metrics,
+        drivers,
+        workers,
     })
 }
 
@@ -280,41 +504,67 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
             continue;
         }
         let id = shared.next_session.fetch_add(1, Ordering::Relaxed);
-        shared.active.fetch_add(1, Ordering::AcqRel);
-        if let Ok(clone) = stream.try_clone() {
-            shared.lock_conns().insert(id, clone);
-        }
-        conquer_obs::registry()
-            .counter("serve.sessions.opened")
-            .inc();
-        let session_shared = Arc::clone(&shared);
-        let spawned = std::thread::Builder::new()
-            .name(format!("conquer-session-{id}"))
-            .spawn(move || {
-                let wants_shutdown = run_session(Arc::clone(&session_shared), stream, id);
-                session_shared.lock_conns().remove(&id);
-                session_shared.active.fetch_sub(1, Ordering::AcqRel);
-                conquer_obs::registry()
-                    .counter("serve.sessions.closed")
-                    .inc();
-                if wants_shutdown {
-                    session_shared.request_shutdown();
+        match shared.event.get() {
+            Some(core) => {
+                // Event mode: hand the socket to a driver round-robin. The
+                // driver writes the Hello greeting from its nonblocking
+                // flusher, so no write timeout is needed here.
+                shared.session_opened();
+                let driver = &core.drivers[id as usize % core.drivers.len()];
+                match driver.inbox.push(stream, id) {
+                    Ok(()) => driver.waker.wake(),
+                    Err(stream) => {
+                        // Driver already shut down (shutdown race): undo.
+                        drop(stream);
+                        shared.session_closed();
+                    }
                 }
-            });
-        if spawned.is_err() {
+            }
+            None => spawn_session_thread(&shared, stream, id),
+        }
+    }
+}
+
+/// Fallback mode: one session thread per connection (plus its watchdog).
+fn spawn_session_thread(shared: &Arc<Shared>, stream: TcpStream, id: u64) {
+    shared.session_opened();
+    if let Ok(clone) = stream.try_clone() {
+        shared.lock_conns().insert(id, clone);
+    }
+    // The session thread writes the Hello greeting with a blocking write;
+    // cap it so a connected-but-never-reading peer can't pin the thread
+    // (the session restores untimed writes once the greeting is out).
+    let _ = stream.set_write_timeout(Some(GREETING_WRITE_TIMEOUT));
+    let session_shared = Arc::clone(shared);
+    let spawned = std::thread::Builder::new()
+        .name(format!("conquer-session-{id}"))
+        .spawn(move || {
+            let wants_shutdown = run_session(Arc::clone(&session_shared), stream, id);
+            session_shared.lock_conns().remove(&id);
+            session_shared.session_closed();
+            if wants_shutdown {
+                session_shared.request_shutdown();
+            }
+        });
+    match spawned {
+        Ok(handle) => shared.track_session_thread(handle),
+        Err(_) => {
             // Could not spawn a thread: undo the bookkeeping, drop the conn.
             shared.lock_conns().remove(&id);
-            shared.active.fetch_sub(1, Ordering::AcqRel);
+            shared.session_closed();
         }
     }
 }
 
 /// Greet an over-capacity connection with a structured `busy` error so the
-/// client can distinguish "server full" from a network failure.
+/// client can distinguish "server full" from a network failure. The write
+/// runs under a timeout: this is the accept thread, and a peer that never
+/// reads must not be able to wedge it.
 fn reject_session(mut stream: TcpStream) {
     conquer_obs::registry()
         .counter("serve.sessions.rejected")
         .inc();
+    let _ = stream.set_write_timeout(Some(GREETING_WRITE_TIMEOUT));
     let resp = Response::Error {
         code: ErrorCode::Busy,
         message: "session limit reached; retry later".to_string(),

@@ -1,6 +1,11 @@
-//! Per-connection session logic: the request loop, session options, the
-//! prepared-statement table, and the disconnect watchdog that turns a
-//! dropped connection into a governor cancellation.
+//! The thread-per-connection fallback (`io_threads: 0`): one blocking
+//! request loop per connection plus the disconnect watchdog. This was the
+//! only serving mode through PR 4; the event loop ([`crate::event`]) is
+//! the default now, and this path is kept for one release as the
+//! differential oracle the soak test compares wire output against. All
+//! request semantics live in [`crate::state`], shared with the event
+//! loop — this module only supplies the blocking transport and the
+//! watchdog-based disconnect detection.
 //!
 //! ## The disconnect watchdog
 //!
@@ -12,6 +17,13 @@
 //! watchdog `peek`s the socket on a short read timeout; `Ok(0)` (EOF) or a
 //! hard error cancels the query's [`CancellationToken`], and the engine
 //! unwinds with `EngineError::Cancelled` at the next cooperative check.
+//!
+//! **Known limitation (the reason this design is being retired):** when a
+//! client pipelines a frame and then disconnects, the queued bytes make
+//! `peek` return `Ok(n)` forever — the FIN behind them is invisible, so
+//! the in-flight query is never cancelled. The event loop detects EOF by
+//! actually draining the socket and does not have this bug; the
+//! `pipelined_disconnect` regression test demonstrates the difference.
 //!
 //! `try_clone` duplicates the fd onto the *same* file description, so the
 //! watchdog's read timeout is visible to the session's own reads. Both the
@@ -29,27 +41,18 @@
 //! block forever holding query N's already-finished token, and a later
 //! disconnect would cancel nothing.
 
-use std::collections::HashMap;
 use std::io;
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::{Duration, Instant, SystemTime};
+use std::time::{Duration, Instant};
 
-use conquer_core::RewriteError;
-use conquer_engine::{CancellationToken, EngineError, ExecOptions, Rows};
-use conquer_obs::{flight_recorder, Json, QueryTrace, TraceContext, TripSnapshot};
+use conquer_engine::CancellationToken;
+use conquer_obs::Json;
 
-use crate::admission::Permit;
-use crate::cache::CachedStatement;
-use crate::error::ServeError;
-use crate::protocol::{
-    read_frame, write_frame, ErrorCode, QueryOutcome, Request, Response, Strategy,
-};
+use crate::protocol::{read_frame, write_frame, ErrorCode, Request, Response};
 use crate::server::Shared;
-
-/// Wire-protocol version reported in the `Hello` frame.
-pub const SERVER_VERSION: &str = env!("CARGO_PKG_VERSION");
+use crate::state::{classify, handle_control, run_heavy, RequestClass, SessionState, SERVER_VERSION};
 
 /// Poll interval of the disconnect watchdog; bounds how long a dropped
 /// connection's query keeps running past the governor's cooperative check.
@@ -80,19 +83,6 @@ impl WatchSlot {
     }
 }
 
-struct Session {
-    shared: Arc<Shared>,
-    id: u64,
-    options: ExecOptions,
-    strategy: Strategy,
-    statements: HashMap<u64, Arc<CachedStatement>>,
-    next_statement: u64,
-    watch: Arc<WatchSlot>,
-    /// Slow-query log threshold in microseconds (0 = disabled); starts at
-    /// the server default, overridable with `SET slow_query_us`.
-    slow_query_us: u64,
-}
-
 /// Serve one connection to completion. Returns `true` when the client asked
 /// for a server shutdown.
 pub(crate) fn run_session(shared: Arc<Shared>, mut stream: TcpStream, id: u64) -> bool {
@@ -101,17 +91,7 @@ pub(crate) fn run_session(shared: Arc<Shared>, mut stream: TcpStream, id: u64) -
         cond: Condvar::new(),
         next_gen: AtomicU64::new(0),
     });
-    let slow_query_us = shared.slow_query_us;
-    let mut session = Session {
-        shared,
-        id,
-        options: ExecOptions::default(),
-        strategy: Strategy::default(),
-        statements: HashMap::new(),
-        next_statement: 1,
-        watch: Arc::clone(&watch),
-        slow_query_us,
-    };
+    let mut state = SessionState::new(&shared, id);
     let watch_stream = stream.try_clone().ok();
 
     let shutdown_requested = std::thread::scope(|scope| {
@@ -119,10 +99,10 @@ pub(crate) fn run_session(shared: Arc<Shared>, mut stream: TcpStream, id: u64) -
             let watch = Arc::clone(&watch);
             scope.spawn(move || watchdog(ws, &watch))
         });
-        let wants_shutdown = session.request_loop(&mut stream);
+        let wants_shutdown = request_loop(&shared, &mut state, &watch, &mut stream);
         {
-            let mut state = watch.lock();
-            *state = WatchState::Closed;
+            let mut ws = watch.lock();
+            *ws = WatchState::Closed;
         }
         watch.cond.notify_all();
         // Unblock a watchdog mid-`peek` so the scope can join promptly.
@@ -188,7 +168,10 @@ fn watchdog(stream: TcpStream, watch: &WatchSlot) {
                         .inc();
                     return;
                 }
-                // Bytes queued (a pipelined frame): the peer is alive.
+                // Bytes queued (a pipelined frame): the peer is alive — as
+                // far as `peek` can tell. This is the blind spot: a FIN
+                // behind these bytes is invisible, so a pipelining client
+                // that disconnects mid-query is never noticed here.
                 Ok(_) => std::thread::sleep(WATCHDOG_POLL),
                 Err(e)
                     if e.kind() == io::ErrorKind::WouldBlock
@@ -206,543 +189,106 @@ fn watchdog(stream: TcpStream, watch: &WatchSlot) {
     }
 }
 
-impl Session {
-    /// Read/dispatch/respond until EOF, `quit`, `shutdown`, or an
-    /// unrecoverable frame error. Returns `true` on `shutdown`.
-    fn request_loop(&mut self, stream: &mut TcpStream) -> bool {
-        let hello = Response::Hello {
-            session: self.id,
-            version: SERVER_VERSION.to_string(),
-        };
-        if write_frame(stream, &hello.to_json()).is_err() {
-            return false;
-        }
-        loop {
-            let json = match read_request(stream) {
-                Ok(Some(json)) => json,
-                Ok(None) => return false,
-                Err(_) => {
-                    // Framing is lost; report once and close.
-                    let resp = Response::Error {
-                        code: ErrorCode::Protocol,
-                        message: "malformed frame".to_string(),
-                    };
-                    let _ = write_frame(stream, &resp.to_json());
-                    return false;
-                }
-            };
-            let request = match Request::from_json(&json) {
-                Ok(req) => req,
-                Err(message) => {
-                    let resp = Response::Error {
-                        code: ErrorCode::Protocol,
-                        message,
-                    };
-                    if write_frame(stream, &resp.to_json()).is_err() {
-                        return false;
-                    }
-                    continue;
-                }
-            };
-            let response = self.handle(&request, stream);
-            if write_frame(stream, &response.to_json()).is_err() {
+/// Read/dispatch/respond until EOF, `quit`, `shutdown`, or an
+/// unrecoverable frame error. Returns `true` on `shutdown`.
+fn request_loop(
+    shared: &Arc<Shared>,
+    state: &mut SessionState,
+    watch: &WatchSlot,
+    stream: &mut TcpStream,
+) -> bool {
+    let hello = Response::Hello {
+        session: state.id,
+        version: SERVER_VERSION.to_string(),
+    };
+    // The accept loop installed a write timeout so a connected-but-never-
+    // reading peer can't wedge this greeting; drop back to untimed writes
+    // for the request loop proper once the client proves it reads.
+    if write_frame(stream, &hello.to_json()).is_err() {
+        return false;
+    }
+    let _ = stream.set_write_timeout(None);
+    loop {
+        let json = match read_request(stream) {
+            Ok(Some(json)) => json,
+            Ok(None) => return false,
+            Err(_) => {
+                // Framing is lost; report once and close.
+                let resp = Response::Error {
+                    code: ErrorCode::Protocol,
+                    message: "malformed frame".to_string(),
+                };
+                let _ = write_frame(stream, &resp.to_json());
                 return false;
             }
-            match request {
-                Request::Quit => return false,
-                Request::Shutdown => return true,
-                _ => {}
-            }
-        }
-    }
-
-    fn handle(&mut self, request: &Request, stream: &TcpStream) -> Response {
-        match request {
-            Request::Ping | Request::Quit | Request::Shutdown => Response::Ok,
-            Request::Set { name, value } => match self.set_option(name, value) {
-                Ok(()) => Response::Ok,
-                Err(e) => error_response(e),
-            },
-            Request::Query { sql, strategy } => {
-                let strategy = strategy.unwrap_or(self.strategy);
-                match self.run_query(sql, strategy, stream) {
-                    Ok(outcome) => Response::Rows(outcome),
-                    Err(e) => error_response(e),
-                }
-            }
-            Request::Prepare { sql, strategy } => {
-                let strategy = strategy.unwrap_or(self.strategy);
-                match self.prepare(sql, strategy) {
-                    Ok(statement) => Response::Prepared { statement },
-                    Err(e) => error_response(e),
-                }
-            }
-            Request::Execute { statement } => match self.run_execute(*statement, stream) {
-                Ok(outcome) => Response::Rows(outcome),
-                Err(e) => error_response(e),
-            },
-            Request::CloseStatement { statement } => {
-                if self.statements.remove(statement).is_some() {
-                    Response::Ok
-                } else {
-                    error_response(ServeError::UnknownStatement(*statement))
-                }
-            }
-            Request::Script { sql } => match self.run_script(sql) {
-                Ok(()) => Response::Ok,
-                Err(e) => error_response(e),
-            },
-            Request::Stats => Response::Stats(self.stats_json()),
-            Request::TraceRecent { limit } => {
-                let limit = limit.map_or(64, |n| n.min(1024)) as usize;
-                Response::Traces(flight_recorder().to_json(limit))
-            }
-            Request::TraceGet { query_id } => match flight_recorder().get(*query_id) {
-                Some(trace) => Response::Traces(trace.to_json()),
-                None => Response::error(
-                    ErrorCode::Protocol,
-                    format!("no trace recorded for query id {query_id}"),
-                ),
-            },
-        }
-    }
-
-    fn admit(&self) -> Result<Permit, ServeError> {
-        self.shared.admission.try_admit().ok_or_else(|| {
-            let stats = self.shared.admission.stats();
-            ServeError::Busy(format!(
-                "{} queries in flight (max {}), queue wait exceeded; retry later",
-                stats.in_flight, stats.max_concurrent
-            ))
-        })
-    }
-
-    /// Run `f` (plan/execute work) with the disconnect watchdog armed on
-    /// `token`. Restores the socket to blocking reads afterwards.
-    fn with_watch<T>(
-        &self,
-        stream: &TcpStream,
-        token: &CancellationToken,
-        f: impl FnOnce() -> Result<T, ServeError>,
-    ) -> Result<T, ServeError> {
-        {
-            let mut state = self.watch.lock();
-            *state = WatchState::Watching {
-                token: token.clone(),
-                gen: self.watch.next_gen.fetch_add(1, Ordering::Relaxed),
-            };
-        }
-        self.watch.cond.notify_all();
-        let result = f();
-        {
-            let mut state = self.watch.lock();
-            if !matches!(&*state, WatchState::Closed) {
-                *state = WatchState::Idle;
-            }
-            // Under the same lock as the watchdog's install: after this,
-            // the session socket is guaranteed back to blocking reads.
-            let _ = stream.set_read_timeout(None);
-        }
-        result
-    }
-
-    fn run_query(
-        &mut self,
-        sql: &str,
-        strategy: Strategy,
-        stream: &TcpStream,
-    ) -> Result<QueryOutcome, ServeError> {
-        let started = Instant::now();
-        let start_unix_ms = unix_ms();
-        let _permit = self.admit()?;
-        let token = CancellationToken::new();
-        let trace = TraceContext::new();
-        let mut options = self.options.clone();
-        options.cancellation = Some(token.clone());
-        options.trace = Some(trace.clone());
-        let shared = &self.shared;
-        // Cache builds run under server-level options (plus this query's
-        // cancellation token) so the shared entry doesn't depend on which
-        // session happened to build it; `options` governs execution only.
-        let build_options = shared.build_options(Some(&token));
-        let result = self.with_watch(stream, &token, || {
-            // Installed here (not just via options.trace) so cache-build
-            // spans — parse, rewrite, plan, optimize — are captured too.
-            let _trace = trace.install();
-            let (stmt, cached) = shared.cache.get_or_build(
-                &shared.db,
-                &shared.sigma,
-                sql,
-                strategy,
-                &build_options,
-            )?;
-            let rows = shared
-                .db
-                .execute_plan_with(&stmt.plan, &options)
-                .map_err(ServeError::Engine)?;
-            Ok((stmt, rows, cached))
-        });
-        let elapsed_us = started.elapsed().as_micros() as u64;
-        self.finish_query(
-            sql,
-            strategy,
-            &trace,
-            start_unix_ms,
-            elapsed_us,
-            options.threads,
-            &result,
-        );
-        let (_stmt, rows, cached) = result?;
-        Ok(QueryOutcome {
-            rows,
-            cached,
-            elapsed_us,
-        })
-    }
-
-    /// Close out a finished (or failed) query: global counters, per-phase
-    /// histograms, the flight-recorder entry, and the slow-query log.
-    #[allow(clippy::too_many_arguments)]
-    fn finish_query(
-        &self,
-        sql: &str,
-        strategy: Strategy,
-        trace: &TraceContext,
-        start_unix_ms: u64,
-        elapsed_us: u64,
-        threads: usize,
-        result: &Result<(Arc<CachedStatement>, Rows, bool), ServeError>,
-    ) {
-        let spans = trace.take_records();
-        record_query(elapsed_us);
-        let registry = conquer_obs::registry();
-        for (name, wall) in conquer_obs::phase_totals(&spans) {
-            registry
-                .histogram(&format!("serve.phase.{name}.us"))
-                .record(wall.as_micros() as u64);
-        }
-        let (status, error, cached, rows_out, rows_in, est_rows, trip) = match result {
-            Ok((stmt, rows, cached)) => (
-                "ok",
-                None,
-                *cached,
-                rows.rows.len() as u64,
-                stmt.base_rows,
-                stmt.est_rows,
-                None,
-            ),
-            Err(e) => (
-                e.code().label(),
-                Some(e.to_string()),
-                false,
-                0,
-                0,
-                None,
-                trip_snapshot(e),
-            ),
         };
-        let worker_spans = spans.iter().filter(|s| s.name == "worker").count() as u64;
-        let recorded = flight_recorder().record(QueryTrace {
-            query_id: trace.id().value(),
-            session: self.id,
-            sql_hash: conquer_obs::sql_hash(sql),
-            sql: conquer_obs::sql_snippet(sql),
-            strategy: strategy.label(),
-            status,
-            error,
-            cached,
-            elapsed_us,
-            rows_out,
-            rows_in,
-            est_rows,
-            threads,
-            worker_spans,
-            start_unix_ms,
-            trip,
-            spans,
-        });
-        if status != "ok" {
-            registry.counter("serve.queries.error").inc();
-        }
-        let threshold = self.slow_query_us;
-        if threshold > 0 && (elapsed_us >= threshold || status != "ok") {
-            registry.counter("serve.slow_query.logged").inc();
-            conquer_obs::log_slow_query(&recorded, threshold);
-        }
-    }
-
-    fn prepare(&mut self, sql: &str, strategy: Strategy) -> Result<u64, ServeError> {
-        // Preparation plans (and for rewritings, materializes CTEs), so it
-        // goes through admission like any other heavy work. The build runs
-        // under server-level options: the entry is shared across sessions.
-        let _permit = self.admit()?;
-        let (stmt, _cached) = self.shared.cache.get_or_build(
-            &self.shared.db,
-            &self.shared.sigma,
-            sql,
-            strategy,
-            &self.shared.build_options(None),
-        )?;
-        let id = self.next_statement;
-        self.next_statement += 1;
-        self.statements.insert(id, stmt);
-        Ok(id)
-    }
-
-    fn run_execute(
-        &mut self,
-        statement_id: u64,
-        stream: &TcpStream,
-    ) -> Result<QueryOutcome, ServeError> {
-        let bound = self
-            .statements
-            .get(&statement_id)
-            .cloned()
-            .ok_or(ServeError::UnknownStatement(statement_id))?;
-        let started = Instant::now();
-        let start_unix_ms = unix_ms();
-        let _permit = self.admit()?;
-        let token = CancellationToken::new();
-        let trace = TraceContext::new();
-        let mut options = self.options.clone();
-        options.cancellation = Some(token.clone());
-        options.trace = Some(trace.clone());
-        let shared = &self.shared;
-        let build_options = shared.build_options(Some(&token));
-        let result = self.with_watch(stream, &token, || {
-            let _trace = trace.install();
-            // A catalog or statistics change since `prepare` makes the
-            // bound plan stale: re-resolve through the cache so stale
-            // plans are never served.
-            let (stmt, cached) = if bound.epoch == shared.db.catalog_epoch()
-                && bound.stats_epoch == shared.db.stats_epoch()
-            {
-                (Arc::clone(&bound), true)
-            } else {
-                shared.cache.get_or_build(
-                    &shared.db,
-                    &shared.sigma,
-                    &bound.sql,
-                    bound.strategy,
-                    &build_options,
-                )?
-            };
-            let rows = shared
-                .db
-                .execute_plan_with(&stmt.plan, &options)
-                .map_err(ServeError::Engine)?;
-            Ok((stmt, rows, cached))
-        });
-        let elapsed_us = started.elapsed().as_micros() as u64;
-        self.finish_query(
-            &bound.sql,
-            bound.strategy,
-            &trace,
-            start_unix_ms,
-            elapsed_us,
-            options.threads,
-            &result,
-        );
-        let (stmt, rows, cached) = result?;
-        // Refresh the binding so the next `execute` hits the epoch check.
-        self.statements.insert(statement_id, stmt);
-        Ok(QueryOutcome {
-            rows,
-            cached,
-            elapsed_us,
-        })
-    }
-
-    fn run_script(&mut self, sql: &str) -> Result<(), ServeError> {
-        let _permit = self.admit()?;
-        self.shared.db.run_script(sql).map_err(ServeError::Engine)?;
-        Ok(())
-    }
-
-    fn set_option(&mut self, name: &str, value: &Json) -> Result<(), ServeError> {
-        fn uint(value: &Json) -> Option<u64> {
-            match value {
-                Json::UInt(v) => Some(*v),
-                Json::Int(v) if *v >= 0 => Some(*v as u64),
-                _ => None,
-            }
-        }
-        let bad = |what: &str| {
-            ServeError::Protocol(format!("`set {name}` expects {what}, got {value:?}"))
-        };
-        match name {
-            "threads" => {
-                let v = uint(value)
-                    .filter(|v| (1..=256).contains(v))
-                    .ok_or_else(|| bad("an integer in 1..=256"))?;
-                self.options.threads = v as usize;
-            }
-            "timeout_ms" => {
-                let v = uint(value).ok_or_else(|| bad("a non-negative integer (0 clears)"))?;
-                self.options.limits.timeout = (v > 0).then(|| Duration::from_millis(v));
-            }
-            "mem_limit" => {
-                let v = uint(value).ok_or_else(|| bad("a byte count (0 clears)"))?;
-                self.options.limits.max_memory_bytes = (v > 0).then_some(v);
-            }
-            "max_rows" => {
-                let v = uint(value).ok_or_else(|| bad("a row count (0 clears)"))?;
-                self.options.limits.max_rows = (v > 0).then_some(v);
-            }
-            "strategy" => {
-                let Json::Str(s) = value else {
-                    return Err(bad("one of original|rewritten|annotated"));
+        let request = match Request::from_json(&json) {
+            Ok(req) => req,
+            Err(message) => {
+                let resp = Response::Error {
+                    code: ErrorCode::Protocol,
+                    message,
                 };
-                self.strategy =
-                    Strategy::parse(s).ok_or_else(|| bad("one of original|rewritten|annotated"))?;
+                if write_frame(stream, &resp.to_json()).is_err() {
+                    return false;
+                }
+                continue;
             }
-            "slow_query_us" => {
-                let v = uint(value).ok_or_else(|| bad("a microsecond threshold (0 disables)"))?;
-                self.slow_query_us = v;
+        };
+        match classify(request, state) {
+            RequestClass::Control(request) => {
+                let response = handle_control(shared, state, &request);
+                if write_frame(stream, &response.to_json()).is_err() {
+                    return false;
+                }
+                match request {
+                    Request::Quit => return false,
+                    Request::Shutdown => return true,
+                    _ => {}
+                }
             }
-            _ => {
-                return Err(ServeError::Protocol(format!(
-                    "unknown session option `{name}` (have threads, timeout_ms, mem_limit, \
-                     max_rows, strategy, slow_query_us)"
-                )))
+            RequestClass::Heavy(op) => {
+                let queued_at = Instant::now();
+                let token = CancellationToken::new();
+                let response =
+                    with_watch(watch, stream, &token, || {
+                        run_heavy(shared, state, &op, &token, queued_at)
+                    });
+                if write_frame(stream, &response.to_json()).is_err() {
+                    return false;
+                }
             }
         }
-        Ok(())
-    }
-
-    fn stats_json(&self) -> Json {
-        let cache = self.shared.cache.stats();
-        let admission = self.shared.admission.stats();
-        Json::obj([
-            (
-                "server",
-                Json::obj([
-                    ("version", Json::from(SERVER_VERSION)),
-                    (
-                        "active_sessions",
-                        Json::UInt(self.shared.active_sessions() as u64),
-                    ),
-                    ("max_sessions", Json::UInt(self.shared.max_sessions as u64)),
-                    ("catalog_epoch", Json::UInt(self.shared.db.catalog_epoch())),
-                ]),
-            ),
-            (
-                "cache",
-                Json::obj([
-                    ("entries", Json::UInt(cache.entries as u64)),
-                    ("capacity", Json::UInt(cache.capacity as u64)),
-                    ("hits", Json::UInt(cache.hits)),
-                    ("misses", Json::UInt(cache.misses)),
-                    ("invalidations", Json::UInt(cache.invalidations)),
-                    ("evictions", Json::UInt(cache.evictions)),
-                    ("hit_rate", Json::Float(cache.hit_rate())),
-                ]),
-            ),
-            (
-                "admission",
-                Json::obj([
-                    ("in_flight", Json::UInt(admission.in_flight as u64)),
-                    ("queue_depth", Json::UInt(admission.queue_depth as u64)),
-                    (
-                        "max_concurrent",
-                        Json::UInt(admission.max_concurrent as u64),
-                    ),
-                    ("admitted", Json::UInt(admission.admitted)),
-                    ("rejected", Json::UInt(admission.rejected)),
-                ]),
-            ),
-            (
-                "session",
-                Json::obj([
-                    ("id", Json::UInt(self.id)),
-                    ("strategy", Json::from(self.strategy.label())),
-                    ("threads", Json::UInt(self.options.threads as u64)),
-                    (
-                        "prepared_statements",
-                        Json::UInt(self.statements.len() as u64),
-                    ),
-                ]),
-            ),
-            (
-                "storage",
-                match self.shared.db.storage_status() {
-                    Some(status) => Json::obj([
-                        ("durable", Json::Bool(true)),
-                        ("generation", Json::UInt(status.generation)),
-                        ("last_seq", Json::UInt(status.last_seq)),
-                        ("wal_bytes", Json::UInt(status.wal_bytes)),
-                        ("wal_unsynced_bytes", Json::UInt(status.wal_unsynced_bytes)),
-                        ("segments", Json::UInt(status.segments)),
-                    ]),
-                    None => Json::obj([("durable", Json::Bool(false))]),
-                },
-            ),
-            (
-                "indexes",
-                Json::arr(
-                    self.shared
-                        .db
-                        .index_status()
-                        .into_iter()
-                        .map(|(table, cols, built)| {
-                            Json::obj([
-                                ("table", Json::from(table.as_str())),
-                                ("columns", Json::from(cols.join(",").as_str())),
-                                ("built", Json::Bool(built)),
-                            ])
-                        }),
-                ),
-            ),
-            ("obs", conquer_obs::registry().snapshot_json()),
-        ])
     }
 }
 
-fn error_response(e: ServeError) -> Response {
-    Response::Error {
-        code: e.code(),
-        message: e.to_string(),
+/// Run `f` (plan/execute work) with the disconnect watchdog armed on
+/// `token`. Restores the socket to blocking reads afterwards.
+fn with_watch<T>(
+    watch: &WatchSlot,
+    stream: &TcpStream,
+    token: &CancellationToken,
+    f: impl FnOnce() -> T,
+) -> T {
+    {
+        let mut state = watch.lock();
+        *state = WatchState::Watching {
+            token: token.clone(),
+            gen: watch.next_gen.fetch_add(1, Ordering::Relaxed),
+        };
     }
-}
-
-fn record_query(elapsed_us: u64) {
-    let registry = conquer_obs::registry();
-    registry.counter("serve.queries").inc();
-    registry.histogram("serve.query.us").record(elapsed_us);
-}
-
-/// Wall-clock milliseconds since the unix epoch (0 if the clock is before
-/// the epoch, which only a badly skewed clock can produce).
-fn unix_ms() -> u64 {
-    SystemTime::now()
-        .duration_since(SystemTime::UNIX_EPOCH)
-        .map(|d| d.as_millis() as u64)
-        .unwrap_or(0)
-}
-
-/// Governor-trip details for the flight recorder, when the failure was a
-/// resource-limit trip (directly from execution, or surfaced through a
-/// rewrite-time materialization).
-fn trip_snapshot(e: &ServeError) -> Option<TripSnapshot> {
-    let engine_error = match e {
-        ServeError::Engine(e) => e,
-        ServeError::Rewrite(RewriteError::Engine(e)) => e,
-        _ => return None,
-    };
-    let (kind, trip) = match engine_error {
-        EngineError::Timeout(t) => ("timeout", t),
-        EngineError::MemoryExceeded(t) => ("memory", t),
-        EngineError::RowLimitExceeded(t) => ("rows", t),
-        EngineError::Cancelled(t) => ("cancelled", t),
-        _ => return None,
-    };
-    Some(TripSnapshot {
-        kind,
-        operator: trip.operator.to_string(),
-        elapsed_ms: trip.elapsed_ms,
-        rows: trip.rows,
-        mem_bytes: trip.mem_bytes,
-    })
+    watch.cond.notify_all();
+    let result = f();
+    {
+        let mut state = watch.lock();
+        if !matches!(&*state, WatchState::Closed) {
+            *state = WatchState::Idle;
+        }
+        // Under the same lock as the watchdog's install: after this,
+        // the session socket is guaranteed back to blocking reads.
+        let _ = stream.set_read_timeout(None);
+    }
+    result
 }
 
 /// [`read_frame`] with a retry on spurious `WouldBlock`/`TimedOut` — a

@@ -1,0 +1,394 @@
+//! Event-loop serving mode: the structural disconnect fix, accept-path
+//! liveness against non-reading peers, post-`wait()` quiescence, and the
+//! 256-connection soak with a thread census and a wire-identity
+//! differential against the thread-per-connection fallback.
+
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use conquer_core::ConstraintSet;
+use conquer_engine::Database;
+use conquer_obs::Json;
+use conquer_serve::protocol::{read_frame, rows_to_json, write_frame};
+use conquer_serve::{serve, Client, Request, ServerConfig, ServerHandle, Strategy};
+
+/// Serialize the tests in this binary: the thread census reads
+/// `/proc/self/task`, which sees every thread of the process, so two tests
+/// running servers concurrently would pollute each other's counts.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Names of this process's live `conquer-*` threads, via each task's
+/// `comm` (truncated to 15 bytes by the kernel, which preserves the
+/// prefix we filter on).
+fn conquer_threads() -> Vec<String> {
+    let mut names = Vec::new();
+    if let Ok(tasks) = std::fs::read_dir("/proc/self/task") {
+        for task in tasks.flatten() {
+            let comm = std::fs::read_to_string(task.path().join("comm")).unwrap_or_default();
+            let comm = comm.trim();
+            if comm.starts_with("conquer-") {
+                names.push(comm.to_string());
+            }
+        }
+    }
+    names
+}
+
+/// Same long-running, low-memory query the overload suite uses: a
+/// non-equality correlated EXISTS that can't short-circuit.
+const SLOW: &str = "select count(*) from big a \
+                    where exists (select b.v from big b, big c where b.v + c.v + a.v < 0)";
+
+fn start_big(rows: usize, config: ServerConfig) -> ServerHandle {
+    let db = Database::new();
+    db.run_script("create table big (k text, v int)").expect("create");
+    let mut insert = String::from("insert into big values ");
+    for i in 0..rows {
+        let sep = if i + 1 < rows { "," } else { ";" };
+        insert.push_str(&format!("('k{i}', {i}){sep}"));
+    }
+    db.run_script(&insert).expect("insert");
+    let sigma = ConstraintSet::new().with_key("big", ["k"]);
+    serve(Arc::new(db), sigma, config).expect("bind")
+}
+
+fn wait_for_in_flight(client: &mut Client, want: u64, deadline: Duration) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        let stats = client.stats().expect("stats");
+        let in_flight = stats
+            .get("admission")
+            .and_then(|a| a.get("in_flight"))
+            .and_then(Json::as_f64)
+            .expect("in_flight gauge") as u64;
+        if in_flight == want {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    false
+}
+
+/// **The regression the event loop exists to fix.** A client pipelines an
+/// extra frame behind a slow query and then disconnects. Under the PR-4
+/// watchdog the queued bytes make `peek` return `Ok(n)` forever — the FIN
+/// behind them is invisible (`session.rs`'s `Ok(_)` arm just sleeps), so
+/// the query is never cancelled and burns its full runtime holding the
+/// admission slot. The event loop drains the socket, so the FIN surfaces
+/// as `read() == 0` regardless of what preceded it: the in-flight query
+/// must be cancelled and `serve.disconnect_cancel` must tick within the
+/// governor's cooperative check interval, not the query's natural runtime.
+#[test]
+fn pipelined_disconnect_is_seen_through_queued_bytes() {
+    let _guard = serial();
+    let server = start_big(
+        128,
+        ServerConfig {
+            max_concurrent: 1,
+            queue_wait: Duration::from_millis(100),
+            ..ServerConfig::default()
+        },
+    );
+    let addr = server.addr();
+    let registry = conquer_obs::registry();
+
+    let mut raw = TcpStream::connect(addr).expect("connect raw");
+    let hello = read_frame(&mut raw).expect("hello frame").expect("hello");
+    assert!(hello.get("session").is_some());
+
+    // One burst: the slow query plus a pipelined ping that will still be
+    // sitting unread in the server-side buffer at disconnect time — the
+    // exact bytes that blind the fallback watchdog's peek.
+    let slow = Request::Query {
+        sql: SLOW.to_string(),
+        strategy: Some(Strategy::Original),
+    };
+    write_frame(&mut raw, &slow.to_json()).expect("send slow");
+    write_frame(&mut raw, &Request::Ping.to_json()).expect("send pipelined ping");
+
+    let mut observer = Client::connect(addr).expect("connect observer");
+    assert!(
+        wait_for_in_flight(&mut observer, 1, Duration::from_secs(10)),
+        "slow query never became in-flight"
+    );
+    let cancels_before = registry.counter("serve.disconnect_cancel").get();
+    let trips_before = registry.counter("governor.trip.cancelled").get();
+
+    drop(raw); // disconnect with the ping still queued server-side
+
+    assert!(
+        wait_for_in_flight(&mut observer, 0, Duration::from_secs(5)),
+        "in-flight query survived a disconnect hidden behind pipelined bytes"
+    );
+    assert!(
+        registry.counter("serve.disconnect_cancel").get() > cancels_before,
+        "disconnect was never detected (peek-style blind spot?)"
+    );
+    assert!(
+        registry.counter("governor.trip.cancelled").get() > trips_before,
+        "the engine never unwound through the cancellation token"
+    );
+    observer.quit().expect("quit");
+    server.shutdown();
+}
+
+/// Peers that connect and never read a byte — neither the greeting nor
+/// the over-capacity `busy` frame — must not wedge the accept path for
+/// clients that behave.
+#[test]
+fn non_reading_clients_do_not_wedge_the_accept_path() {
+    let _guard = serial();
+    let server = start_big(
+        16,
+        ServerConfig {
+            max_sessions: 6,
+            ..ServerConfig::default()
+        },
+    );
+    let addr = server.addr();
+
+    // Four sessions held by clients that never read their greeting, then a
+    // pile of over-capacity connects that never read their rejection.
+    let holders: Vec<TcpStream> = (0..4)
+        .map(|i| TcpStream::connect(addr).unwrap_or_else(|e| panic!("holder {i}: {e}")))
+        .collect();
+    let mut over_cap = Vec::new();
+    for _ in 0..10 {
+        // Some of these take the remaining session slots (where they hold
+        // an unread greeting), the rest hit the rejection path.
+        over_cap.push(TcpStream::connect(addr).expect("over-cap connect"));
+    }
+    std::thread::sleep(Duration::from_millis(100));
+
+    // A well-behaved client must still get through promptly. Freeing the
+    // over-capacity sockets first guarantees a slot regardless of how many
+    // of them landed as sessions.
+    drop(over_cap);
+    let asked = Instant::now();
+    let mut client = loop {
+        match Client::connect(addr) {
+            Ok(client) => break client,
+            Err(_) => {
+                assert!(
+                    asked.elapsed() < Duration::from_secs(10),
+                    "accept path wedged: no session slot freed after dropping over-cap conns"
+                );
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    };
+    let outcome = client
+        .query_with("select v from big where v = 1", Some(Strategy::Original))
+        .expect("query on a server with non-reading peers");
+    assert_eq!(outcome.rows.rows.len(), 1);
+    assert!(
+        asked.elapsed() < Duration::from_secs(10),
+        "round trip took {:?} with non-reading peers connected",
+        asked.elapsed()
+    );
+    client.quit().expect("quit");
+    drop(holders);
+    server.shutdown();
+}
+
+/// `wait()` returning must mean actual quiescence — zero live sessions and
+/// zero server threads — even when shutdown lands while a query is in
+/// flight. The PR-4 drain was a bounded sleep-spin that could return with
+/// sessions (and their watchdogs) still alive.
+fn assert_quiescent_after_wait(io_threads: usize) {
+    let server = start_big(
+        128,
+        ServerConfig {
+            max_concurrent: 2,
+            io_threads,
+            ..ServerConfig::default()
+        },
+    );
+    let addr = server.addr();
+    let shared = Arc::clone(server.shared());
+
+    // A query mid-flight at shutdown time, from a raw client that will be
+    // force-closed rather than politely quitting.
+    let mut raw = TcpStream::connect(addr).expect("connect raw");
+    let _hello = read_frame(&mut raw).expect("hello").expect("frame");
+    let slow = Request::Query {
+        sql: SLOW.to_string(),
+        strategy: Some(Strategy::Original),
+    };
+    write_frame(&mut raw, &slow.to_json()).expect("send slow");
+    let mut observer = Client::connect(addr).expect("observer");
+    assert!(
+        wait_for_in_flight(&mut observer, 1, Duration::from_secs(10)),
+        "slow query never became in-flight"
+    );
+
+    server.shutdown();
+    server.wait();
+
+    assert_eq!(
+        shared.active_sessions(),
+        0,
+        "wait() returned with sessions still live (mode io_threads={io_threads})"
+    );
+    let leftovers = conquer_threads();
+    assert!(
+        leftovers.is_empty(),
+        "wait() returned with server threads still running \
+         (mode io_threads={io_threads}): {leftovers:?}"
+    );
+}
+
+#[test]
+fn wait_returns_only_after_quiescence_event_mode() {
+    let _guard = serial();
+    assert_quiescent_after_wait(2);
+}
+
+#[test]
+fn wait_returns_only_after_quiescence_fallback_mode() {
+    let _guard = serial();
+    assert_quiescent_after_wait(0);
+}
+
+/// The soak: 256 concurrent connections on the event loop, served by a
+/// fixed thread topology (census-verified: at most `io_threads + workers +
+/// 2` server threads, where thread-per-connection would need 512+), with
+/// every response wire-identical to the `io_threads: 0` fallback — the
+/// PR-4 design kept one release precisely to be this differential oracle.
+#[test]
+fn soak_256_connections_wire_identical_with_bounded_threads() {
+    let _guard = serial();
+    let seed = {
+        let mut sql = String::from(
+            "create table customer (ckey text, name text, nation text);
+             create table orders (okey text, cust text, price float, qty int);\n",
+        );
+        sql.push_str("insert into customer values\n");
+        for i in 0..60 {
+            let nation = ["fr", "de", "jp"][i % 3];
+            let sep = if i + 1 < 60 { "," } else { ";" };
+            sql.push_str(&format!("('c{i}', 'name{i}', '{nation}'){sep}\n"));
+        }
+        // Key violations so the rewritten strategy has real work to do.
+        sql.push_str("insert into customer values\n");
+        for i in (0..60).step_by(10) {
+            let sep = if i + 10 < 60 { "," } else { ";" };
+            sql.push_str(&format!("('c{i}', 'dup{i}', 'us'){sep}\n"));
+        }
+        sql.push_str("insert into orders values\n");
+        for i in 0..90 {
+            let cust = i % 60;
+            let price = (i * 17 % 400) as f64 + 0.25;
+            let sep = if i + 1 < 90 { "," } else { ";" };
+            sql.push_str(&format!("('o{i}', 'c{cust}', {price}, {}){sep}\n", i % 7 + 1));
+        }
+        sql
+    };
+    let queries = [
+        "select ckey from customer where nation = 'fr'",
+        "select o.okey from orders o, customer c where o.cust = c.ckey and c.nation = 'jp'",
+        "select cust, count(*) from orders group by cust",
+        "select okey from orders where price > 300",
+    ];
+    let strategies = [Strategy::Original, Strategy::Rewritten];
+    let sigma = ConstraintSet::new()
+        .with_key("customer", ["ckey"])
+        .with_key("orders", ["okey"]);
+    let start = |io_threads: usize, workers: usize| {
+        let db = Database::new();
+        db.run_script(&seed).expect("seed");
+        serve(
+            Arc::new(db),
+            sigma.clone(),
+            ServerConfig {
+                max_sessions: 300,
+                max_concurrent: 8,
+                io_threads,
+                workers,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind")
+    };
+    // Run the full workload over `active` closed-loop connections and
+    // return every response in deterministic order.
+    let run_workload = |addr: std::net::SocketAddr, active: usize| -> Vec<String> {
+        let results = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for worker in 0..active {
+                let results = &results;
+                let queries = &queries;
+                let strategies = &strategies;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("workload connect");
+                    for (qi, sql) in queries.iter().enumerate() {
+                        for (si, &strategy) in strategies.iter().enumerate() {
+                            let outcome = client
+                                .query_with(sql, Some(strategy))
+                                .expect("workload query");
+                            results.lock().expect("results").push((
+                                (worker, qi, si),
+                                rows_to_json(&outcome.rows).render(),
+                            ));
+                        }
+                    }
+                    client.quit().expect("workload quit");
+                });
+            }
+        });
+        let mut results = results.into_inner().expect("results");
+        results.sort();
+        results.into_iter().map(|(_, canon)| canon).collect()
+    };
+
+    // Phase A — the differential oracle: thread-per-connection fallback.
+    let oracle_server = start(0, 0);
+    let oracle = run_workload(oracle_server.addr(), 8);
+    oracle_server.shutdown();
+    oracle_server.wait();
+
+    // Phase B — the event loop under 256 live connections.
+    const IO_THREADS: usize = 2;
+    const WORKERS: usize = 4;
+    let server = start(IO_THREADS, WORKERS);
+    let addr = server.addr();
+    let mut idle: Vec<Client> = Vec::new();
+    for i in 0..248 {
+        idle.push(Client::connect(addr).unwrap_or_else(|e| panic!("idle conn {i}: {e}")));
+    }
+    // 248 idle + 8 workload = 256 concurrent connections.
+    let served = run_workload(addr, 8);
+    assert_eq!(
+        served, oracle,
+        "event-loop responses diverged from the thread-per-connection oracle"
+    );
+
+    // Census while all 248 idle connections are still up and no query is
+    // in flight (engine worker threads are scoped to a query, and would
+    // inherit a `conquer-worker-*` comm if sampled mid-query).
+    let threads = conquer_threads();
+    assert!(
+        !threads.is_empty(),
+        "census found no server threads at all — /proc not readable?"
+    );
+    assert!(
+        threads.len() <= IO_THREADS + WORKERS + 2,
+        "{} server threads for 256 connections — not a fixed topology: {threads:?}",
+        threads.len()
+    );
+
+    for client in idle {
+        client.quit().expect("idle quit");
+    }
+    server.shutdown();
+    server.wait();
+    assert!(
+        conquer_threads().is_empty(),
+        "threads survived wait() after the soak"
+    );
+}
